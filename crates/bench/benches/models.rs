@@ -1,0 +1,46 @@
+//! Criterion benchmarks of whole-model inference on the build host:
+//! the three architectures (width-scaled for tractable runtimes) under
+//! dense-direct, dense-im2col, and CSR execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cnn_stack_models::ModelKind;
+use cnn_stack_nn::network::set_network_format;
+use cnn_stack_nn::{ConvAlgorithm, ExecConfig, Phase, WeightFormat};
+use cnn_stack_tensor::Tensor;
+use std::time::Duration;
+
+fn bench_model_variants(c: &mut Criterion) {
+    let input = Tensor::zeros([1, 3, 32, 32]);
+    for kind in ModelKind::all() {
+        let mut group = c.benchmark_group(format!("forward_{}_w0.25", kind.name()));
+        group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+        let mut dense = kind.build_width(10, 0.25);
+        let direct = ExecConfig {
+            conv_algo: ConvAlgorithm::Direct,
+            ..ExecConfig::serial()
+        };
+        group.bench_function("dense_direct", |b| {
+            b.iter(|| dense.network.forward(&input, Phase::Eval, &direct))
+        });
+
+        let im2col = ExecConfig {
+            conv_algo: ConvAlgorithm::Im2col,
+            ..ExecConfig::serial()
+        };
+        group.bench_function("dense_im2col", |b| {
+            b.iter(|| dense.network.forward(&input, Phase::Eval, &im2col))
+        });
+
+        let mut sparse = kind.build_width(10, 0.25);
+        cnn_stack_compress::magnitude::prune_network(&mut sparse.network, 0.8);
+        set_network_format(&mut sparse.network, WeightFormat::Csr);
+        group.bench_function("csr80_direct", |b| {
+            b.iter(|| sparse.network.forward(&input, Phase::Eval, &direct))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_model_variants);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Ablation: the sparse-format exploration the paper defers (§IV-C,
+//! "We leave the exploration of other formats for future work") —
+//! dense vs CSR vs CSC vs COO vs BSR, on storage bytes and real measured
+//! SpMM time, under unstructured and block-structured sparsity.
+
+use cnn_stack_bench::{fmt_seconds, render_table};
+use cnn_stack_sparse::{BsrMatrix, CooMatrix, CscMatrix, CsrMatrix};
+use cnn_stack_tensor::{gemm, Tensor};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn unstructured(rows: usize, cols: usize, density: f64, seed: u64) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Tensor::from_fn([rows, cols], |_| {
+        if rng.gen_bool(density) {
+            rng.gen_range(-1.0..1.0)
+        } else {
+            0.0
+        }
+    })
+}
+
+fn block_structured(rows: usize, cols: usize, block: usize, density: f64, seed: u64) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let bc = cols / block;
+    let keep: Vec<bool> = (0..(rows / block) * bc).map(|_| rng.gen_bool(density)).collect();
+    Tensor::from_fn([rows, cols], |i| {
+        let (r, c) = (i / cols, i % cols);
+        if keep[(r / block) * bc + c / block] {
+            rng.gen_range(0.1..1.0)
+        } else {
+            0.0
+        }
+    })
+}
+
+fn time_it(mut f: impl FnMut() -> Tensor) -> f64 {
+    let _ = f(); // warm
+    let start = Instant::now();
+    let out = f();
+    std::hint::black_box(out.data()[0]);
+    start.elapsed().as_secs_f64()
+}
+
+fn compare(title: &str, a: &Tensor) {
+    let (rows, cols) = a.shape().matrix();
+    let b = unstructured(cols, 64, 1.0, 999);
+    let dense_bytes = rows * cols * 4;
+
+    let csr = CsrMatrix::from_dense(a, 0.0);
+    let csc = CscMatrix::from_dense(a, 0.0);
+    let coo = CooMatrix::from_dense(a, 0.0);
+    let bsr = BsrMatrix::from_dense(a, 8, 0.0);
+
+    let rows_out = vec![
+        vec![
+            "dense".to_string(),
+            format!("{dense_bytes}"),
+            fmt_seconds(time_it(|| gemm::matmul(a, &b))),
+        ],
+        vec![
+            "CSR".to_string(),
+            format!("{}", csr.storage_bytes()),
+            fmt_seconds(time_it(|| csr.spmm(&b))),
+        ],
+        vec![
+            "CSC".to_string(),
+            format!("{}", csc.storage_bytes()),
+            fmt_seconds(time_it(|| csc.spmm(&b))),
+        ],
+        vec![
+            "COO".to_string(),
+            format!("{}", coo.storage_bytes()),
+            fmt_seconds(time_it(|| coo.spmm(&b))),
+        ],
+        vec![
+            format!("BSR-8 (waste {:.0}%)", bsr.fill_waste() * 100.0),
+            format!("{}", bsr.storage_bytes()),
+            fmt_seconds(time_it(|| bsr.spmm(&b))),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(title, &["Format", "Bytes", "SpMM time (measured)"], &rows_out)
+    );
+}
+
+fn main() {
+    // A VGG-like layer matrix [512 x 1152] at ~80% sparsity.
+    compare(
+        "Format comparison: unstructured 80% sparsity [512x1152] . [1152x64]",
+        &unstructured(512, 1152, 0.2, 1),
+    );
+    compare(
+        "Format comparison: block-structured (8x8 blocks, 20% kept)",
+        &block_structured(512, 1152, 8, 0.2, 2),
+    );
+    println!(
+        "Reading: at the *large-matrix SpMM* level, sparse kernels do win at\n\
+         80% sparsity — the paper's negative CSR result is specific to small\n\
+         3x3-filter direct convolution (see ablate_conv_algo and Fig. 4).\n\
+         The format lesson here is structural: under unstructured pruning,\n\
+         BSR stores whole mostly-zero blocks (storage *worse* than dense);\n\
+         only block-structured sparsity lets it beat CSR on storage while\n\
+         matching its speed — the group-Lasso argument of the paper's\n\
+         [26]/[30] citations."
+    );
+}

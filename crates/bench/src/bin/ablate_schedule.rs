@@ -1,0 +1,63 @@
+//! Ablation: OpenMP loop schedules (static / dynamic / guided) on a
+//! skewed convolution-like workload — real executions via the
+//! `cnn-stack-parallel` fork-join runtime, reporting chunk counts and
+//! load imbalance.
+
+use cnn_stack_bench::render_table;
+use cnn_stack_parallel::{parallel_for_stats, Schedule};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Simulated per-channel work: channel `i` costs `(i % 7 + 1)` units —
+/// the uneven per-iteration cost the paper cites as the reason for
+/// dynamic scheduling ("because of the different amount of data required
+/// to process in each loop", §IV-D).
+fn skewed_work(i: usize, sink: &AtomicU64) {
+    let units = (i % 7 + 1) * 12_000;
+    let mut acc = 0u64;
+    for k in 0..units {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k as u64);
+    }
+    sink.fetch_xor(acc, Ordering::Relaxed);
+}
+
+fn main() {
+    let sink = AtomicU64::new(0);
+    let total = 512; // channels
+    let threads = 4;
+    let mut rows = Vec::new();
+    for (label, schedule) in [
+        ("static", Schedule::Static),
+        ("dynamic(1)", Schedule::Dynamic { chunk: 1 }),
+        ("dynamic(8)", Schedule::Dynamic { chunk: 8 }),
+        ("guided", Schedule::Guided { min_chunk: 1 }),
+    ] {
+        let start = Instant::now();
+        let stats = parallel_for_stats(threads, total, schedule, |range| {
+            for i in range {
+                skewed_work(i, &sink);
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1} ms", elapsed * 1e3),
+            stats.chunks.to_string(),
+            format!("{:.3}", stats.imbalance()),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &format!("Ablation: loop schedules, {total} skewed grains on {threads} threads (host-measured)"),
+            &["Schedule", "Time", "Chunks", "Imbalance (max/mean iters)"],
+            &rows,
+        )
+    );
+    println!(
+        "\n(sink={:x}) Dynamic scheduling trades dispatch overhead for balance —\n\
+         the paper's choice for convolution outer loops. On a single-core host\n\
+         the times converge; chunk counts and imbalance still differentiate.",
+        sink.load(Ordering::Relaxed)
+    );
+}

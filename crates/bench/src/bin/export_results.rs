@@ -1,0 +1,81 @@
+//! Exports the full experiment grid as CSV files under `results/`, so
+//! the paper's plots can be regenerated with any external plotting tool.
+//!
+//! Produces:
+//! * `results/fig3_pareto.csv` — the accuracy curves (model, technique,
+//!   x, accuracy).
+//! * `results/fig4_threads.csv` — time vs threads for every (model,
+//!   variant, platform) cell, plus memory, energy and accuracy.
+//! * `results/fig6_backends.csv` — the three backends per plain model on
+//!   the Odroid.
+
+use cnn_stack_bench::{figure4_configs, OperatingPoints};
+use cnn_stack_compress::Technique;
+use cnn_stack_core::pareto::pareto_curve;
+use cnn_stack_core::{evaluate, PlatformChoice, StackConfig};
+use cnn_stack_hwsim::Backend;
+use cnn_stack_models::ModelKind;
+use std::fs;
+use std::io::Write;
+
+fn main() -> std::io::Result<()> {
+    fs::create_dir_all("results")?;
+
+    // Fig. 3 curves.
+    let mut f = fs::File::create("results/fig3_pareto.csv")?;
+    writeln!(f, "model,technique,x,accuracy_pct")?;
+    for kind in ModelKind::all() {
+        for technique in Technique::all() {
+            for p in pareto_curve(kind, technique, 101) {
+                writeln!(f, "{},{},{:.4},{:.4}", kind.name(), technique.name(), p.x, p.accuracy_pct)?;
+            }
+        }
+    }
+
+    // Fig. 4 grid (+ memory/energy columns for Tables IV-ish views).
+    let mut f = fs::File::create("results/fig4_threads.csv")?;
+    writeln!(
+        f,
+        "model,variant,platform,threads,modelled_s,memory_mb,energy_j,accuracy_pct,sparsity"
+    )?;
+    for kind in ModelKind::all() {
+        for platform in PlatformChoice::all() {
+            for (label, cfg) in figure4_configs(kind, platform, OperatingPoints::Table3) {
+                for &t in &platform.platform().paper_thread_counts() {
+                    let cell = evaluate(&cfg.threads(t));
+                    writeln!(
+                        f,
+                        "{},{},{},{},{:.6},{:.3},{:.4},{:.2},{:.4}",
+                        kind.name(),
+                        label,
+                        platform.platform().name,
+                        t,
+                        cell.modelled_s,
+                        cell.memory_mb,
+                        cell.energy_j,
+                        cell.accuracy_pct,
+                        cell.sparsity,
+                    )?;
+                }
+            }
+        }
+    }
+
+    // Fig. 6 backends.
+    let mut f = fs::File::create("results/fig6_backends.csv")?;
+    writeln!(f, "model,backend,modelled_s")?;
+    for kind in ModelKind::all() {
+        let base = StackConfig::plain(kind, PlatformChoice::OdroidXu4);
+        for (label, cfg) in [
+            ("CLBlast", base.backend(Backend::OpenClClblast)),
+            ("OpenMP-8t", base.threads(8)),
+            ("OpenCL-hand", base.backend(Backend::OpenClHandTuned)),
+        ] {
+            let cell = evaluate(&cfg);
+            writeln!(f, "{},{label},{:.6}", kind.name(), cell.modelled_s)?;
+        }
+    }
+
+    println!("wrote results/fig3_pareto.csv, results/fig4_threads.csv, results/fig6_backends.csv");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Figure 3: accuracy/compression Pareto curves for the three models
+//! under (a) weight pruning, (b) channel pruning, (c) ternary
+//! quantisation.
+
+use cnn_stack_bench::render_table;
+use cnn_stack_compress::Technique;
+use cnn_stack_core::pareto::pareto_curve;
+use cnn_stack_models::ModelKind;
+
+fn print_panel(title: &str, technique: Technique, xs: &[f64], x_label: &str, x_fmt: fn(f64) -> String) {
+    let curves: Vec<Vec<_>> = ModelKind::all()
+        .iter()
+        .map(|&kind| pareto_curve(kind, technique, 201))
+        .collect();
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .map(|&x| {
+            let mut row = vec![x_fmt(x)];
+            for curve in &curves {
+                // Nearest sampled point.
+                let p = curve
+                    .iter()
+                    .min_by(|a, b| {
+                        (a.x - x).abs().partial_cmp(&(b.x - x).abs()).expect("finite")
+                    })
+                    .expect("non-empty curve");
+                row.push(format!("{:.2}%", p.accuracy_pct));
+            }
+            row
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            title,
+            &[x_label, "MobileNet", "ResNet-18", "VGG-16"],
+            &rows
+                .into_iter()
+                .map(|mut r| {
+                    // ModelKind::all() order is VGG, ResNet, MobileNet;
+                    // the paper's legend lists MobileNet first.
+                    r.swap(1, 3);
+                    r
+                })
+                .collect::<Vec<_>>(),
+        )
+    );
+}
+
+fn main() {
+    let sparsities: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
+    print_panel(
+        "Figure 3(a): Top-1 accuracy vs weight-pruning sparsity",
+        Technique::WeightPruning,
+        &sparsities,
+        "Sparsity",
+        |x| format!("{x:.0}%"),
+    );
+
+    let compressions: Vec<f64> = (0..=8).map(|i| 60.0 + i as f64 * 5.0).collect();
+    print_panel(
+        "Figure 3(b): Top-1 accuracy vs channel-pruning compression rate",
+        Technique::ChannelPruning,
+        &compressions,
+        "Compression",
+        |x| format!("{x:.0}%"),
+    );
+
+    let thresholds: Vec<f64> = (0..=10).map(|i| i as f64 * 0.02).collect();
+    print_panel(
+        "Figure 3(c): Top-1 accuracy vs TTQ threshold",
+        Technique::TernaryQuantisation,
+        &thresholds,
+        "Threshold",
+        |x| format!("{x:.2}"),
+    );
+
+    println!(
+        "Anchors: baselines 92.20/94.32/90.47 (VGG/ResNet/MobileNet, SV-A);\n\
+         curves calibrated to Tables III and V (see compress::accuracy)."
+    );
+}

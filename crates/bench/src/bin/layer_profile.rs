@@ -1,0 +1,69 @@
+//! Per-layer characterisation profile: where each model spends its
+//! modelled time on each platform, decomposed into the timing model's
+//! compute / memory / overhead terms — the drill-down view behind the
+//! Fig. 4 bars.
+
+use cnn_stack_bench::render_table;
+use cnn_stack_core::PlatformChoice;
+use cnn_stack_hwsim::timing::layer_time;
+use cnn_stack_hwsim::SimConfig;
+use cnn_stack_models::ModelKind;
+
+fn main() {
+    let kind = std::env::args()
+        .nth(1)
+        .map(|a| match a.to_lowercase().as_str() {
+            "vgg16" | "vgg" => ModelKind::Vgg16,
+            "resnet18" | "resnet" => ModelKind::ResNet18,
+            _ => ModelKind::MobileNet,
+        })
+        .unwrap_or(ModelKind::MobileNet);
+
+    let model = kind.build(10);
+    let descs = model.network.descriptors(&[1, 3, 32, 32]);
+
+    for platform_choice in PlatformChoice::all() {
+        let platform = platform_choice.platform();
+        let threads = platform.max_threads();
+        let sim = SimConfig::cpu(threads);
+        let mut rows = Vec::new();
+        let mut total = 0.0;
+        for d in &descs {
+            let t = layer_time(&platform, d, &sim);
+            total += t.seconds();
+            // Skip sub-microsecond layers to keep the table readable.
+            if t.seconds() < 1e-5 {
+                continue;
+            }
+            let bound = if t.compute_s >= t.memory_s { "compute" } else { "memory" };
+            rows.push(vec![
+                d.name.clone(),
+                format!("{:.0}", d.macs as f64 / 1e6),
+                format!("{:.2}", t.compute_s * 1e3),
+                format!("{:.2}", t.memory_s * 1e3),
+                format!("{:.2}", t.overhead_s * 1e3),
+                bound.to_string(),
+            ]);
+        }
+        print!(
+            "{}",
+            render_table(
+                &format!(
+                    "{} per-layer profile on {} ({} threads) — total {:.1} ms",
+                    kind.name(),
+                    platform.name,
+                    threads,
+                    total * 1e3
+                ),
+                &["Layer", "MMACs", "Compute ms", "Memory ms", "Overhead ms", "Bound"],
+                &rows,
+            )
+        );
+        println!();
+    }
+    println!(
+        "Usage: layer_profile [vgg16|resnet18|mobilenet]\n\
+         The 'Bound' column shows each layer's roofline side: MobileNet's\n\
+         late pointwise layers go memory-bound, which is the §V-D story."
+    );
+}

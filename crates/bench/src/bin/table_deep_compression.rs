@@ -1,0 +1,63 @@
+//! Extension table: the full Deep Compression storage pipeline (§III-A's
+//! "pruning, quantisation, and Huffman coding") realised end to end —
+//! weight storage bytes after each stage, per model.
+
+use cnn_stack_bench::render_table;
+use cnn_stack_compress::{code_ternary_network, magnitude, ttq};
+use cnn_stack_models::ModelKind;
+use cnn_stack_nn::memory::layer_weight_bytes;
+use cnn_stack_nn::network::set_network_format;
+use cnn_stack_nn::WeightFormat;
+
+fn weight_bytes(net: &cnn_stack_nn::Network, format: WeightFormat) -> usize {
+    let mut clone_descs = net.descriptors(&[1, 3, 32, 32]);
+    for d in &mut clone_descs {
+        d.format = format;
+    }
+    clone_descs.iter().map(layer_weight_bytes).sum()
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for kind in ModelKind::all() {
+        let mut model = kind.build(10);
+        let dense = weight_bytes(&model.network, WeightFormat::Dense);
+
+        // Stage 1: prune to the Table III sparsity.
+        let sparsity = cnn_stack_compress::AccuracyModel::table3_operating_point(
+            kind,
+            cnn_stack_compress::Technique::WeightPruning,
+        ) / 100.0;
+        magnitude::prune_network(&mut model.network, sparsity);
+        set_network_format(&mut model.network, WeightFormat::Csr);
+        let pruned_csr = weight_bytes(&model.network, WeightFormat::Csr);
+
+        // Stage 2: ternary quantisation of the survivors.
+        ttq::ttq_quantise(&mut model.network, 0.0);
+        // Stage 3: Huffman coding of the ternary stream.
+        let report = code_ternary_network(&mut model.network);
+
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.1} MB", dense as f64 / 1e6),
+            format!("{:.1} MB", pruned_csr as f64 / 1e6),
+            format!("{:.2} MB", report.coded_bytes as f64 / 1e6),
+            format!("{:.2} bits/w", report.bits_per_weight),
+            format!("{:.0}x", dense as f64 / report.coded_bytes as f64),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Deep Compression storage pipeline: prune -> quantise -> Huffman",
+            &["Model", "Dense", "Pruned (CSR)", "Huffman", "Rate", "Total compression"],
+            &rows,
+        )
+    );
+    println!(
+        "\nThis is the storage story the paper's technique citation [12] tells:\n\
+         the pipeline shrinks *storage* dramatically — but as Tables IV/VI\n\
+         show, none of it helps (and CSR actively hurts) the *runtime* memory\n\
+         footprint or inference time on unmodified kernels."
+    );
+}

@@ -1,0 +1,366 @@
+//! Calibrated accuracy-response models for the paper's Fig. 3 Pareto
+//! curves.
+//!
+//! Reproducing Fig. 3 exactly requires tens of GPU-hours of CIFAR-10
+//! training per point. Per the substitution policy (`DESIGN.md` §4.3/§5)
+//! this module provides smooth per-model response functions **calibrated
+//! to the paper's own reported anchor points**: the §V-A baseline
+//! accuracies, the Table III elbows (accuracy-optimal operating points)
+//! and the Table V fixed-90 %-accuracy operating points. The real
+//! prune/fine-tune pipelines in this crate are exercised end-to-end on
+//! the synthetic dataset by the integration tests; these curves exist so
+//! the figure/table harness is deterministic and faithful to the paper's
+//! numbers.
+//!
+//! Accuracy is in **percent** (0–100). `x` is in **percent** for weight
+//! pruning (sparsity) and channel pruning (compression rate), and an
+//! **absolute threshold** for TTQ (the paper sweeps 0–0.20).
+
+use cnn_stack_models::ModelKind;
+
+/// The three compression techniques of the paper's Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Deep Compression magnitude weight pruning.
+    WeightPruning,
+    /// Fisher channel pruning.
+    ChannelPruning,
+    /// Trained ternary quantisation.
+    TernaryQuantisation,
+}
+
+impl Technique {
+    /// All techniques, in the paper's column order.
+    pub fn all() -> [Technique; 3] {
+        [
+            Technique::WeightPruning,
+            Technique::ChannelPruning,
+            Technique::TernaryQuantisation,
+        ]
+    }
+
+    /// Display name as the paper prints it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::WeightPruning => "Weight Pruning",
+            Technique::ChannelPruning => "Channel Pruning",
+            Technique::TernaryQuantisation => "Quantisation",
+        }
+    }
+}
+
+impl std::fmt::Display for Technique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Calibrated accuracy-response curves (see module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccuracyModel;
+
+/// Random-guess floor for a 10-class problem, in percent.
+const FLOOR: f64 = 10.0;
+
+/// Logistic decay from `base` towards [`FLOOR`], centred at `x0` with
+/// width `w`.
+fn logistic(base: f64, x: f64, x0: f64, w: f64) -> f64 {
+    FLOOR + (base - FLOOR) / (1.0 + ((x - x0) / w).exp())
+}
+
+impl AccuracyModel {
+    /// Baseline (uncompressed) accuracy in percent — §V-A: 92.20 / 94.32
+    /// / 90.47.
+    pub fn baseline(kind: ModelKind) -> f64 {
+        kind.paper_baseline_accuracy() * 100.0
+    }
+
+    /// Predicted top-1 accuracy (percent) at operating point `x`.
+    ///
+    /// * `WeightPruning` — `x` = sparsity in percent (Fig. 3a).
+    /// * `ChannelPruning` — `x` = compression rate in percent (Fig. 3b).
+    /// * `TernaryQuantisation` — `x` = TTQ threshold (Fig. 3c).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative.
+    pub fn accuracy(kind: ModelKind, technique: Technique, x: f64) -> f64 {
+        assert!(x >= 0.0, "operating point must be non-negative");
+        let base = Self::baseline(kind);
+        match (technique, kind) {
+            // Fig. 3(a): VGG/ResNet withstand heavy pruning, MobileNet
+            // "suffers significant accuracy losses".
+            (Technique::WeightPruning, ModelKind::Vgg16) => logistic(base, x, 97.6, 3.50),
+            (Technique::WeightPruning, ModelKind::ResNet18) => logistic(base, x, 93.3, 0.79),
+            (Technique::WeightPruning, ModelKind::MobileNet) => logistic(base, x, 135.5, 18.2),
+            // Fig. 3(b): "all three networks perform very similarly as
+            // the compression rate increases".
+            (Technique::ChannelPruning, ModelKind::Vgg16) => logistic(base, x, 102.2, 2.28),
+            (Technique::ChannelPruning, ModelKind::ResNet18) => logistic(base, x, 98.4, 1.51),
+            (Technique::ChannelPruning, ModelKind::MobileNet) => logistic(base, x, 103.7, 1.5),
+            // Fig. 3(c): VGG/ResNet decline gently with threshold;
+            // MobileNet's flat weight distribution needs a large
+            // threshold and *improves* towards it.
+            (Technique::TernaryQuantisation, ModelKind::Vgg16) => (base - 55.0 * x * x).max(FLOOR),
+            (Technique::TernaryQuantisation, ModelKind::ResNet18) => {
+                (base - 108.0 * x * x).max(FLOOR)
+            }
+            (Technique::TernaryQuantisation, ModelKind::MobileNet) => {
+                (base - 18.0 * (-x / 0.05).exp()).max(FLOOR)
+            }
+        }
+    }
+
+    /// The weight sparsity a TTQ threshold induces, in percent
+    /// (saturating fit through the Table III anchors: VGG 0.09→69.52 %,
+    /// ResNet 0.07→87.93 %, MobileNet 0.20→92.13 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative.
+    pub fn ttq_sparsity(kind: ModelKind, t: f64) -> f64 {
+        assert!(t >= 0.0, "threshold must be non-negative");
+        let (smax, tau) = match kind {
+            ModelKind::Vgg16 => (95.0, 0.0683),
+            ModelKind::ResNet18 => (95.0, 0.0269),
+            ModelKind::MobileNet => (95.0, 0.0571),
+        };
+        smax * (1.0 - (-t / tau).exp())
+    }
+
+    /// Samples the full Pareto curve over the paper's plotted range.
+    pub fn curve(kind: ModelKind, technique: Technique, points: usize) -> Vec<(f64, f64)> {
+        let (lo, hi) = match technique {
+            Technique::WeightPruning => (0.0, 100.0),
+            Technique::ChannelPruning => (60.0, 100.0),
+            Technique::TernaryQuantisation => (0.0, 0.20),
+        };
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1).max(1) as f64;
+                (x, Self::accuracy(kind, technique, x))
+            })
+            .collect()
+    }
+
+    /// The paper's Table III operating points (the Pareto-curve elbows
+    /// chosen for the baseline hardware experiments).
+    pub fn table3_operating_point(kind: ModelKind, technique: Technique) -> f64 {
+        match (technique, kind) {
+            (Technique::WeightPruning, ModelKind::Vgg16) => 76.54,
+            (Technique::WeightPruning, ModelKind::ResNet18) => 88.92,
+            (Technique::WeightPruning, ModelKind::MobileNet) => 23.46,
+            (Technique::ChannelPruning, ModelKind::Vgg16) => 88.48,
+            (Technique::ChannelPruning, ModelKind::ResNet18) => 60.24,
+            (Technique::ChannelPruning, ModelKind::MobileNet) => 80.33,
+            (Technique::TernaryQuantisation, ModelKind::Vgg16) => 0.09,
+            (Technique::TernaryQuantisation, ModelKind::ResNet18) => 0.07,
+            (Technique::TernaryQuantisation, ModelKind::MobileNet) => 0.20,
+        }
+    }
+
+    /// Table III's reported TTQ sparsities (percent) at the Table III
+    /// thresholds: 69.52 / 87.93 / 92.13.
+    pub fn table3_ttq_sparsity(kind: ModelKind) -> f64 {
+        match kind {
+            ModelKind::Vgg16 => 69.52,
+            ModelKind::ResNet18 => 87.93,
+            ModelKind::MobileNet => 92.13,
+        }
+    }
+
+    /// The paper's Table V operating points (accuracy fixed at 90 %).
+    /// For TTQ the threshold is 0.2 for all models; the induced
+    /// sparsities Table V reports are 70 / 80 / 20 %.
+    pub fn table5_operating_point(kind: ModelKind, technique: Technique) -> f64 {
+        match (technique, kind) {
+            (Technique::WeightPruning, ModelKind::Vgg16) => 85.0,
+            (Technique::WeightPruning, ModelKind::ResNet18) => 91.0,
+            (Technique::WeightPruning, ModelKind::MobileNet) => 42.0,
+            (Technique::ChannelPruning, ModelKind::Vgg16) => 94.0,
+            (Technique::ChannelPruning, ModelKind::ResNet18) => 94.0,
+            (Technique::ChannelPruning, ModelKind::MobileNet) => 96.0,
+            (Technique::TernaryQuantisation, _) => 0.2,
+        }
+    }
+
+    /// Table V's reported TTQ sparsities at threshold 0.2 (these come
+    /// from independent fine-tuning runs and differ from the Table III
+    /// curve — the paper's own tables disagree here; see
+    /// `EXPERIMENTS.md`).
+    pub fn table5_ttq_sparsity(kind: ModelKind) -> f64 {
+        match kind {
+            ModelKind::Vgg16 => 70.0,
+            ModelKind::ResNet18 => 80.0,
+            ModelKind::MobileNet => 20.0,
+        }
+    }
+
+    /// Largest operating point whose predicted accuracy still meets
+    /// `target` percent, found by bisection over the technique's range.
+    /// Returns `None` if even `x = 0` misses the target.
+    pub fn operating_point_for_accuracy(
+        kind: ModelKind,
+        technique: Technique,
+        target: f64,
+    ) -> Option<f64> {
+        let (lo, hi) = match technique {
+            Technique::WeightPruning => (0.0, 100.0),
+            Technique::ChannelPruning => (0.0, 100.0),
+            Technique::TernaryQuantisation => (0.0, 0.25),
+        };
+        // MobileNet TTQ *rises* with x, so handle the monotone-increasing
+        // case first: the top of the range is the most aggressive point.
+        if Self::accuracy(kind, technique, hi) >= target {
+            return Some(hi);
+        }
+        if Self::accuracy(kind, technique, lo) < target {
+            return None;
+        }
+        let (mut lo, mut hi) = (lo, hi);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if Self::accuracy(kind, technique, mid) >= target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_match_paper() {
+        assert!((AccuracyModel::baseline(ModelKind::Vgg16) - 92.20).abs() < 1e-9);
+        assert!((AccuracyModel::baseline(ModelKind::ResNet18) - 94.32).abs() < 1e-9);
+        assert!((AccuracyModel::baseline(ModelKind::MobileNet) - 90.47).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table5_anchors_hit_90_percent() {
+        // The calibration contract: each Table V operating point predicts
+        // ~90 % accuracy.
+        for kind in ModelKind::all() {
+            for tech in Technique::all() {
+                let x = AccuracyModel::table5_operating_point(kind, tech);
+                let acc = AccuracyModel::accuracy(kind, tech, x);
+                assert!(
+                    (acc - 90.0).abs() < 1.0,
+                    "{kind} {tech} at {x}: predicted {acc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table3_elbows_stay_near_baseline() {
+        // Elbows are accuracy-optimal points: within a couple of percent
+        // of the baseline.
+        for kind in ModelKind::all() {
+            for tech in Technique::all() {
+                let x = AccuracyModel::table3_operating_point(kind, tech);
+                let acc = AccuracyModel::accuracy(kind, tech, x);
+                let base = AccuracyModel::baseline(kind);
+                assert!(
+                    base - acc < 3.0,
+                    "{kind} {tech} elbow at {x}: {acc} vs base {base}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weight_pruning_monotone_decreasing() {
+        for kind in ModelKind::all() {
+            let mut prev = f64::INFINITY;
+            for i in 0..=20 {
+                let acc = AccuracyModel::accuracy(kind, Technique::WeightPruning, i as f64 * 5.0);
+                assert!(acc <= prev + 1e-9, "{kind} not monotone at {i}");
+                prev = acc;
+            }
+        }
+    }
+
+    #[test]
+    fn mobilenet_is_most_pruning_fragile() {
+        // At 60% sparsity MobileNet has lost more accuracy than VGG or
+        // ResNet — the Fig. 3(a) separation.
+        let drop = |kind: ModelKind| {
+            AccuracyModel::baseline(kind)
+                - AccuracyModel::accuracy(kind, Technique::WeightPruning, 60.0)
+        };
+        assert!(drop(ModelKind::MobileNet) > drop(ModelKind::Vgg16));
+        assert!(drop(ModelKind::MobileNet) > drop(ModelKind::ResNet18));
+    }
+
+    #[test]
+    fn mobilenet_ttq_improves_with_threshold() {
+        // Fig. 3(c): MobileNet needs a larger threshold.
+        let low = AccuracyModel::accuracy(ModelKind::MobileNet, Technique::TernaryQuantisation, 0.01);
+        let high = AccuracyModel::accuracy(ModelKind::MobileNet, Technique::TernaryQuantisation, 0.20);
+        assert!(high > low + 5.0);
+    }
+
+    #[test]
+    fn ttq_sparsity_hits_table3_anchors() {
+        assert!((AccuracyModel::ttq_sparsity(ModelKind::Vgg16, 0.09) - 69.52).abs() < 1.5);
+        assert!((AccuracyModel::ttq_sparsity(ModelKind::ResNet18, 0.07) - 87.93).abs() < 1.5);
+        assert!((AccuracyModel::ttq_sparsity(ModelKind::MobileNet, 0.20) - 92.13).abs() < 1.5);
+    }
+
+    #[test]
+    fn ttq_sparsity_monotone_in_threshold() {
+        for kind in ModelKind::all() {
+            assert!(
+                AccuracyModel::ttq_sparsity(kind, 0.15) > AccuracyModel::ttq_sparsity(kind, 0.05)
+            );
+        }
+    }
+
+    #[test]
+    fn curves_have_requested_resolution_and_range() {
+        let c = AccuracyModel::curve(ModelKind::Vgg16, Technique::ChannelPruning, 41);
+        assert_eq!(c.len(), 41);
+        assert!((c[0].0 - 60.0).abs() < 1e-9);
+        assert!((c[40].0 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_lookup_agrees_with_forward() {
+        for kind in ModelKind::all() {
+            let x =
+                AccuracyModel::operating_point_for_accuracy(kind, Technique::WeightPruning, 90.0)
+                    .unwrap();
+            let acc = AccuracyModel::accuracy(kind, Technique::WeightPruning, x);
+            assert!((acc - 90.0).abs() < 0.2, "{kind}: {x} -> {acc}");
+        }
+    }
+
+    #[test]
+    fn inverse_lookup_matches_table5_roughly() {
+        // The Table V weight-pruning points should be near our inverse
+        // lookup at 90%.
+        for kind in ModelKind::all() {
+            let x =
+                AccuracyModel::operating_point_for_accuracy(kind, Technique::WeightPruning, 90.0)
+                    .unwrap();
+            let paper = AccuracyModel::table5_operating_point(kind, Technique::WeightPruning);
+            assert!((x - paper).abs() < 6.0, "{kind}: bisected {x} vs paper {paper}");
+        }
+    }
+
+    #[test]
+    fn impossible_target_returns_none() {
+        assert!(AccuracyModel::operating_point_for_accuracy(
+            ModelKind::MobileNet,
+            Technique::WeightPruning,
+            99.0
+        )
+        .is_none());
+    }
+}

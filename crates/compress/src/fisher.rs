@@ -1,0 +1,276 @@
+//! Fisher channel pruning (Theis et al. / Molchanov et al.; the paper's
+//! §III-B / §V-B.2 technique).
+//!
+//! The effect of removing a channel on the loss is approximated by a
+//! second-order Taylor expansion whose expectation is the Fisher
+//! information of the channel's gate. Following Theis et al., the
+//! per-channel signal is the squared gradient of the loss with respect to
+//! the channel's batch-norm scale, accumulated over fine-tuning steps.
+//! A penalty `β · FLOPs(channel)` is added so that "highly expensive
+//! channels are pruned first"; the channel with the lowest penalised
+//! saliency is removed every `prune_every` steps, and the network is
+//! recast as a smaller **dense** network (structural surgery, no sparse
+//! format needed — the root of channel pruning's across-the-board win in
+//! Fig. 4/5).
+
+use cnn_stack_models::PruningPlan;
+use cnn_stack_nn::Network;
+
+/// Stateful Fisher pruner: accumulates saliency between prune events.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_compress::FisherPruner;
+/// use cnn_stack_models::vgg16_width;
+///
+/// let model = vgg16_width(10, 0.2);
+/// let pruner = FisherPruner::new(&model.network, &model.plan, 1e-6);
+/// assert_eq!(pruner.groups(), model.plan.group_count());
+/// ```
+#[derive(Debug)]
+pub struct FisherPruner {
+    /// Accumulated squared gamma-gradients, one vector per group.
+    saliency: Vec<Vec<f64>>,
+    /// Steps accumulated since the last reset.
+    steps: usize,
+    /// FLOP penalty coefficient (the paper uses β = 10⁻⁶).
+    beta: f64,
+    /// Channels pruned so far.
+    pruned: usize,
+    /// Original prunable channel count.
+    original_channels: usize,
+    /// Original parameter count (for compression-rate reporting).
+    original_params: usize,
+}
+
+impl FisherPruner {
+    /// Creates a pruner for `net` under `plan` with FLOP penalty `beta`.
+    pub fn new(net: &Network, plan: &PruningPlan, beta: f64) -> Self {
+        let saliency = (0..plan.group_count())
+            .map(|g| vec![0.0; plan.channels(net, g)])
+            .collect();
+        // Parameter count requires &mut; recompute cheaply from descriptors.
+        let original_params: usize = net
+            .descriptors(&[1, 3, 32, 32])
+            .iter()
+            .map(|d| d.weight_elems)
+            .sum();
+        FisherPruner {
+            saliency,
+            steps: 0,
+            beta,
+            pruned: 0,
+            original_channels: plan.total_channels(net),
+            original_params,
+        }
+    }
+
+    /// Number of groups tracked.
+    pub fn groups(&self) -> usize {
+        self.saliency.len()
+    }
+
+    /// Channels pruned so far.
+    pub fn pruned_channels(&self) -> usize {
+        self.pruned
+    }
+
+    /// Fraction of originally prunable channels removed, in `[0, 1]`.
+    pub fn channel_compression(&self) -> f64 {
+        self.pruned as f64 / self.original_channels as f64
+    }
+
+    /// Fraction of original *parameters* removed — the paper's
+    /// "compression rate" axis in Fig. 3(b).
+    pub fn parameter_compression(&self, net: &Network) -> f64 {
+        let now: usize = net
+            .descriptors(&[1, 3, 32, 32])
+            .iter()
+            .map(|d| d.weight_elems)
+            .sum();
+        1.0 - now as f64 / self.original_params as f64
+    }
+
+    /// Accumulates one fine-tuning step's saliency. Call after
+    /// `Network::backward` (gradients must be fresh for this batch:
+    /// `zero_grad → forward(Train) → backward → accumulate`).
+    pub fn accumulate(&mut self, net: &mut Network, plan: &PruningPlan) {
+        for g in 0..plan.group_count() {
+            let grads = plan.gamma_grad(net, g);
+            debug_assert_eq!(grads.len(), self.saliency[g].len(), "group {g} drifted");
+            for (s, &dg) in self.saliency[g].iter_mut().zip(&grads) {
+                // Fisher approximation: Δ_c ≈ ½ (dL/dg_c)².
+                *s += 0.5 * (dg as f64).powi(2);
+            }
+        }
+        self.steps += 1;
+    }
+
+    /// Prunes the single channel with the smallest penalised saliency
+    /// `s̄_c + β · FLOPs_c` and resets the accumulators. Returns the
+    /// `(group, channel)` pruned, or `None` if no group can lose another
+    /// channel.
+#[allow(clippy::needless_range_loop)]
+    pub fn prune_one(
+        &mut self,
+        net: &mut Network,
+        plan: &PruningPlan,
+        input_shape: &[usize],
+    ) -> Option<(usize, usize)> {
+        let flops = plan.flops_per_channel(net, input_shape);
+        let steps = self.steps.max(1) as f64;
+        let mut best: Option<(usize, usize, f64)> = None;
+        for g in 0..plan.group_count() {
+            if !plan.can_prune(net, g) {
+                continue;
+            }
+            for (c, &s) in self.saliency[g].iter().enumerate() {
+                // Penalised saliency: estimated loss increase minus the
+                // FLOP reward for removing the channel, so "highly
+                // expensive channels are pruned first" (§V-B.2).
+                let score = s / steps - self.beta * flops[g] as f64;
+                if best.is_none_or(|(_, _, b)| score < b) {
+                    best = Some((g, c, score));
+                }
+            }
+        }
+        let (g, c, _) = best?;
+        plan.prune(net, g, c);
+        self.saliency[g].remove(c);
+        for v in self.saliency.iter_mut() {
+            for s in v.iter_mut() {
+                *s = 0.0;
+            }
+        }
+        self.steps = 0;
+        self.pruned += 1;
+        Some((g, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_stack_models::{resnet18_width, vgg16_width};
+    use cnn_stack_nn::{ExecConfig, Phase};
+    use cnn_stack_tensor::{ops, Tensor};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_batch(seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x = Tensor::from_fn([4, 3, 32, 32], |_| rng.gen_range(-1.0..1.0));
+        let labels = (0..4).map(|i| i % 10).collect();
+        (x, labels)
+    }
+
+    fn accumulate_once(
+        pruner: &mut FisherPruner,
+        model: &mut cnn_stack_models::Model,
+        seed: u64,
+    ) {
+        let (x, labels) = random_batch(seed);
+        let cfg = ExecConfig::default();
+        model.network.zero_grad();
+        let logits = model.network.forward(&x, Phase::Train, &cfg);
+        let (_, d) = ops::cross_entropy_with_grad(&logits, &labels);
+        model.network.backward(&d);
+        pruner.accumulate(&mut model.network, &model.plan);
+    }
+
+    #[test]
+    fn prunes_channels_and_stays_runnable() {
+        let mut model = vgg16_width(10, 0.1);
+        let mut pruner = FisherPruner::new(&model.network, &model.plan, 1e-6);
+        for step in 0..3 {
+            accumulate_once(&mut pruner, &mut model, step);
+        }
+        for _ in 0..5 {
+            let pruned = pruner.prune_one(&mut model.network, &model.plan, &[1, 3, 32, 32]);
+            assert!(pruned.is_some());
+        }
+        assert_eq!(pruner.pruned_channels(), 5);
+        let y = model.network.forward(
+            &Tensor::zeros([1, 3, 32, 32]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
+        assert_eq!(y.shape().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn flop_penalty_prefers_expensive_channels() {
+        // "Highly expensive channels are pruned first": with β large
+        // enough to dominate the saliency term, the pruned channel must
+        // come from the group with the highest per-channel FLOPs.
+        let mut model = vgg16_width(10, 0.1);
+        let mut pruner = FisherPruner::new(&model.network, &model.plan, 1.0);
+        accumulate_once(&mut pruner, &mut model, 0);
+        let flops = model.plan.flops_per_channel(&model.network, &[1, 3, 32, 32]);
+        let max_g = (0..flops.len()).max_by_key(|&g| flops[g]).unwrap();
+        let (g, _) = pruner
+            .prune_one(&mut model.network, &model.plan, &[1, 3, 32, 32])
+            .unwrap();
+        assert_eq!(g, max_g);
+    }
+
+    #[test]
+    fn resnet_only_inner_channels_shrink() {
+        let mut model = resnet18_width(10, 0.1);
+        let mut pruner = FisherPruner::new(&model.network, &model.plan, 1e-6);
+        accumulate_once(&mut pruner, &mut model, 1);
+        for _ in 0..4 {
+            pruner.prune_one(&mut model.network, &model.plan, &[1, 3, 32, 32]);
+        }
+        // Output still 10 classes, shapes intact.
+        let y = model.network.forward(
+            &Tensor::zeros([1, 3, 32, 32]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
+        assert_eq!(y.shape().dims(), &[1, 10]);
+        assert_eq!(pruner.pruned_channels(), 4);
+    }
+
+    #[test]
+    fn compression_metrics_increase() {
+        let mut model = vgg16_width(10, 0.15);
+        let mut pruner = FisherPruner::new(&model.network, &model.plan, 1e-6);
+        accumulate_once(&mut pruner, &mut model, 2);
+        assert_eq!(pruner.parameter_compression(&model.network), 0.0);
+        for _ in 0..6 {
+            pruner.prune_one(&mut model.network, &model.plan, &[1, 3, 32, 32]);
+        }
+        assert!(pruner.channel_compression() > 0.0);
+        assert!(pruner.parameter_compression(&model.network) > 0.0);
+    }
+
+    #[test]
+    fn saliency_tracks_gradient_magnitude() {
+        let mut model = vgg16_width(10, 0.1);
+        let mut pruner = FisherPruner::new(&model.network, &model.plan, 0.0);
+        accumulate_once(&mut pruner, &mut model, 3);
+        // At least one group accumulated non-zero saliency.
+        assert!(pruner.saliency.iter().flatten().any(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn stops_when_nothing_left() {
+        let mut model = vgg16_width(10, 0.03); // 2 channels everywhere
+        let mut pruner = FisherPruner::new(&model.network, &model.plan, 1e-6);
+        accumulate_once(&mut pruner, &mut model, 4);
+        let mut count = 0;
+        while pruner
+            .prune_one(&mut model.network, &model.plan, &[1, 3, 32, 32])
+            .is_some()
+        {
+            count += 1;
+            assert!(count < 1000, "runaway pruning");
+        }
+        // Every group is down to a single channel.
+        for g in 0..model.plan.group_count() {
+            assert_eq!(model.plan.channels(&model.network, g), 1);
+        }
+    }
+}

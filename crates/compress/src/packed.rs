@@ -1,0 +1,249 @@
+//! Bit-packed ternary weight storage: the paper's §V-D remark made
+//! concrete — "Through hashing at the level of bits, the memory
+//! requirement for quantisation could be an order of magnitude smaller
+//! although the inference time would also increase."
+//!
+//! A ternary weight needs 2 bits (codes `00` = 0, `01` = +W, `10` = −W),
+//! so a packed matrix stores 16 weights per f32-equivalent — a 16×
+//! reduction over dense and far below CSR. The price: every multiply
+//! first pays a shift/mask decode, which the `ablate_packed_ternary`
+//! bench measures against the CSR and dense kernels.
+
+use cnn_stack_tensor::Tensor;
+use std::fmt;
+
+/// A ternary matrix packed at 2 bits per weight, with per-matrix
+/// positive/negative scales.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_compress::packed::PackedTernaryMatrix;
+/// use cnn_stack_tensor::Tensor;
+///
+/// let t = Tensor::from_vec([1, 4], vec![0.5, 0.0, -0.25, 0.5]);
+/// let m = PackedTernaryMatrix::from_dense_ternary(&t).unwrap();
+/// assert!(m.to_dense().allclose(&t, 0.0));
+/// assert_eq!(m.storage_bytes(), 1 + 8 + 8); // 4 codes in 1 byte + scales
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct PackedTernaryMatrix {
+    rows: usize,
+    cols: usize,
+    /// 2-bit codes, 4 per byte, row-major.
+    codes: Vec<u8>,
+    /// Value encoded by `01`.
+    positive: f32,
+    /// Magnitude encoded by `10` (stored positive).
+    negative: f32,
+}
+
+/// Error returned when a tensor is not ternary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotTernaryError;
+
+impl fmt::Display for NotTernaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("tensor holds more than one positive or negative magnitude")
+    }
+}
+
+impl std::error::Error for NotTernaryError {}
+
+impl PackedTernaryMatrix {
+    /// Packs a rank-2 ternary tensor (values drawn from `{-n, 0, +p}`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotTernaryError`] if more than one positive or negative
+    /// magnitude appears.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is not rank-2.
+    pub fn from_dense_ternary(dense: &Tensor) -> Result<Self, NotTernaryError> {
+        let (rows, cols) = dense.shape().matrix();
+        let mut positive = f32::NAN;
+        let mut negative = f32::NAN;
+        let mut codes = vec![0u8; (rows * cols).div_ceil(4)];
+        for (i, &v) in dense.data().iter().enumerate() {
+            let code: u8 = if v == 0.0 {
+                0b00
+            } else if v > 0.0 {
+                if positive.is_nan() {
+                    positive = v;
+                } else if positive != v {
+                    return Err(NotTernaryError);
+                }
+                0b01
+            } else {
+                if negative.is_nan() {
+                    negative = -v;
+                } else if negative != -v {
+                    return Err(NotTernaryError);
+                }
+                0b10
+            };
+            codes[i / 4] |= code << ((i % 4) * 2);
+        }
+        Ok(PackedTernaryMatrix {
+            rows,
+            cols,
+            codes,
+            positive: if positive.is_nan() { 0.0 } else { positive },
+            negative: if negative.is_nan() { 0.0 } else { negative },
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Decodes element `i` (row-major linear index).
+    #[inline]
+    fn decode(&self, i: usize) -> f32 {
+        match (self.codes[i / 4] >> ((i % 4) * 2)) & 0b11 {
+            0b01 => self.positive,
+            0b10 => -self.negative,
+            _ => 0.0,
+        }
+    }
+
+    /// Expands back to dense.
+    pub fn to_dense(&self) -> Tensor {
+        Tensor::from_fn([self.rows, self.cols], |i| self.decode(i))
+    }
+
+    /// Packed × dense product `C = self · B`, decoding codes on the fly —
+    /// the "inference time would also increase" path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not rank-2 or dimensions disagree.
+    pub fn spmm(&self, b: &Tensor) -> Tensor {
+        let (bk, bn) = b.shape().matrix();
+        assert_eq!(bk, self.cols, "inner dimension mismatch");
+        let mut out = Tensor::zeros([self.rows, bn]);
+        let odata = out.data_mut();
+        for r in 0..self.rows {
+            let orow = &mut odata[r * bn..(r + 1) * bn];
+            for c in 0..self.cols {
+                let v = self.decode(r * self.cols + c);
+                if v == 0.0 {
+                    continue;
+                }
+                let brow = &b.data()[c * bn..(c + 1) * bn];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += v * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact heap bytes: packed codes plus the two f32 scales (stored as
+    /// 8 bytes each with their identifying tag in the paper's C layout).
+    pub fn storage_bytes(&self) -> usize {
+        self.codes.len() + 16
+    }
+
+    /// Compression ratio versus dense f32 storage.
+    pub fn ratio_vs_dense(&self) -> f64 {
+        (self.rows * self.cols * 4) as f64 / self.storage_bytes() as f64
+    }
+}
+
+impl fmt::Debug for PackedTernaryMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PackedTernaryMatrix({}x{}, +{}/-{}, {} B)",
+            self.rows,
+            self.cols,
+            self.positive,
+            self.negative,
+            self.storage_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_stack_tensor::matmul;
+
+    fn ternary(rows: usize, cols: usize, seed: u64) -> Tensor {
+        Tensor::from_fn([rows, cols], |i| match (i as u64 * 2654435761 + seed) % 5 {
+            0 => 0.75,
+            1 => -0.5,
+            _ => 0.0,
+        })
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = ternary(7, 13, 1);
+        let m = PackedTernaryMatrix::from_dense_ternary(&t).unwrap();
+        assert!(m.to_dense().allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = ternary(6, 10, 2);
+        let b = Tensor::from_fn([10, 4], |i| i as f32 * 0.3 - 1.5);
+        let want = matmul(&a, &b);
+        let got = PackedTernaryMatrix::from_dense_ternary(&a).unwrap().spmm(&b);
+        assert!(want.allclose(&got, 1e-4));
+    }
+
+    #[test]
+    fn sixteen_x_smaller_than_dense() {
+        let t = ternary(64, 64, 3);
+        let m = PackedTernaryMatrix::from_dense_ternary(&t).unwrap();
+        assert!(m.ratio_vs_dense() > 15.0, "ratio {}", m.ratio_vs_dense());
+    }
+
+    #[test]
+    fn far_smaller_than_csr_at_ttq_sparsity() {
+        use cnn_stack_sparse::CsrMatrix;
+        // 60% zeros, like a TTQ'd layer: CSR pays 8 B/nnz, packed pays
+        // 0.25 B/weight regardless.
+        let t = ternary(128, 128, 4);
+        let packed = PackedTernaryMatrix::from_dense_ternary(&t).unwrap();
+        let csr = CsrMatrix::from_dense(&t, 0.0);
+        assert!(packed.storage_bytes() * 8 < csr.storage_bytes());
+    }
+
+    #[test]
+    fn rejects_non_ternary() {
+        let t = Tensor::from_vec([1, 3], vec![0.5, 0.25, 0.0]);
+        assert_eq!(
+            PackedTernaryMatrix::from_dense_ternary(&t),
+            Err(NotTernaryError)
+        );
+        let t = Tensor::from_vec([1, 3], vec![-0.5, -0.25, 0.0]);
+        assert!(PackedTernaryMatrix::from_dense_ternary(&t).is_err());
+    }
+
+    #[test]
+    fn all_zero_matrix_packs() {
+        let m = PackedTernaryMatrix::from_dense_ternary(&Tensor::zeros([3, 5])).unwrap();
+        assert_eq!(m.to_dense().sum(), 0.0);
+        assert_eq!(m.spmm(&Tensor::ones([5, 2])).sum(), 0.0);
+    }
+
+    #[test]
+    fn non_multiple_of_four_lengths() {
+        for cols in [1usize, 2, 3, 5, 9] {
+            let t = ternary(3, cols, cols as u64);
+            let m = PackedTernaryMatrix::from_dense_ternary(&t).unwrap();
+            assert!(m.to_dense().allclose(&t, 0.0), "cols {cols}");
+        }
+    }
+}

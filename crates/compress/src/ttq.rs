@@ -1,0 +1,267 @@
+//! Trained Ternary Quantisation (Zhu et al.; the paper's §III-C /
+//! §V-B.3 technique).
+//!
+//! Every convolution/linear weight is constrained to three values per
+//! layer: `{-Wⁿ_l, 0, +Wᵖ_l}`. The threshold hyper-parameter `t` sets the
+//! dead zone: `|w| ≤ t · max|w|` is trimmed to zero; survivors snap to the
+//! layer's positive or negative scale. The scales are *trained*: during
+//! fine-tuning each SGD step updates the full-precision shadow weights
+//! and the projection re-estimates `Wᵖ/Wⁿ` from the surviving weights
+//! (projection-based training; the gradient flow matches TTQ's
+//! straight-through estimator in expectation — documented substitution,
+//! `DESIGN.md` §5).
+
+use cnn_stack_nn::{Conv2d, DepthwiseConv2d, Linear, Network, Param, ResidualBlock};
+use cnn_stack_tensor::Tensor;
+
+/// Summary of a ternarisation pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TtqReport {
+    /// Weights considered.
+    pub total_weights: usize,
+    /// Weights trimmed to zero.
+    pub zeroed_weights: usize,
+    /// Resulting sparsity in `[0, 1]`.
+    pub sparsity: f64,
+    /// Per-layer `(name, W⁺, W⁻, sparsity)`.
+    pub per_layer: Vec<(String, f32, f32, f64)>,
+}
+
+/// The per-layer ternary codebook: positive scale, negative scale.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TernaryScales {
+    /// Value assigned to surviving positive weights.
+    pub positive: f32,
+    /// Value assigned to surviving negative weights (stored positive;
+    /// weights become `-negative`).
+    pub negative: f32,
+}
+
+/// Ternarises one weight tensor in place with threshold `t`, returning
+/// the learned scales and the achieved sparsity. The scales are the mean
+/// magnitudes of the surviving positive/negative weights — the
+/// fixed-point of TTQ's scale-gradient update.
+///
+/// # Panics
+///
+/// Panics if `t` is not in `[0, 1)`.
+pub fn ternarise_tensor(weights: &mut Tensor, t: f64) -> (TernaryScales, f64) {
+    assert!((0.0..1.0).contains(&t), "threshold must be in [0, 1), got {t}");
+    let max_mag = weights.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let delta = (t as f32) * max_mag;
+    let mut pos_sum = 0.0f64;
+    let mut pos_n = 0usize;
+    let mut neg_sum = 0.0f64;
+    let mut neg_n = 0usize;
+    for &v in weights.data() {
+        if v > delta {
+            pos_sum += v as f64;
+            pos_n += 1;
+        } else if v < -delta {
+            neg_sum += (-v) as f64;
+            neg_n += 1;
+        }
+    }
+    let scales = TernaryScales {
+        positive: if pos_n > 0 { (pos_sum / pos_n as f64) as f32 } else { 0.0 },
+        negative: if neg_n > 0 { (neg_sum / neg_n as f64) as f32 } else { 0.0 },
+    };
+    let mut zeroed = 0usize;
+    for v in weights.data_mut() {
+        if *v > delta {
+            *v = scales.positive;
+        } else if *v < -delta {
+            *v = -scales.negative;
+        } else {
+            *v = 0.0;
+            zeroed += 1;
+        }
+    }
+    (scales, zeroed as f64 / weights.len() as f64)
+}
+
+fn ternarise_param(param: &mut Param, t: f64) -> (TernaryScales, usize, usize) {
+    let (scales, _) = ternarise_tensor(&mut param.value, t);
+    // Pin the dead zone with a mask so fine-tuning keeps ternary support.
+    let mask = Tensor::from_fn(param.value.shape().dims().to_vec(), |i| {
+        if param.value.data()[i] == 0.0 {
+            0.0
+        } else {
+            1.0
+        }
+    });
+    let zeroed = mask.count_zeros(0.0);
+    let total = param.value.len();
+    param.set_mask(mask);
+    (scales, total, zeroed)
+}
+
+/// Ternarises every convolution and linear weight of `net` with the same
+/// threshold `t` (the paper's single TTQ-threshold knob, Fig. 3(c)).
+///
+/// # Panics
+///
+/// Panics if `t` is not in `[0, 1)`.
+pub fn ttq_quantise(net: &mut Network, t: f64) -> TtqReport {
+    assert!((0.0..1.0).contains(&t), "threshold must be in [0, 1), got {t}");
+    let mut total = 0usize;
+    let mut zeroed = 0usize;
+    let mut per_layer = Vec::new();
+    for i in 0..net.len() {
+        let layer = net.layer_mut(i);
+        if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
+            let (s, t_n, z) = ternarise_param(conv.weight_mut(), t);
+            per_layer.push((format!("layer{i}:conv"), s.positive, s.negative, z as f64 / t_n as f64));
+            total += t_n;
+            zeroed += z;
+        } else if let Some(fc) = layer.as_any_mut().downcast_mut::<Linear>() {
+            let (s, t_n, z) = ternarise_param(fc.weight_mut(), t);
+            per_layer.push((format!("layer{i}:linear"), s.positive, s.negative, z as f64 / t_n as f64));
+            total += t_n;
+            zeroed += z;
+        } else if let Some(dw) = layer.as_any_mut().downcast_mut::<DepthwiseConv2d>() {
+            let (s, t_n, z) = ternarise_param(dw.weight_mut(), t);
+            per_layer.push((format!("layer{i}:dwconv"), s.positive, s.negative, z as f64 / t_n as f64));
+            total += t_n;
+            zeroed += z;
+        } else if let Some(block) = layer.as_any_mut().downcast_mut::<ResidualBlock>() {
+            let (s1, t1, z1) = ternarise_param(block.conv1_mut().weight_mut(), t);
+            per_layer.push((
+                format!("layer{i}:resblock.conv1"),
+                s1.positive,
+                s1.negative,
+                z1 as f64 / t1 as f64,
+            ));
+            let (s2, t2, z2) = ternarise_param(block.conv2_mut().weight_mut(), t);
+            per_layer.push((
+                format!("layer{i}:resblock.conv2"),
+                s2.positive,
+                s2.negative,
+                z2 as f64 / t2 as f64,
+            ));
+            total += t1 + t2;
+            zeroed += z1 + z2;
+            if let Some(sc) = block.shortcut_conv_mut() {
+                let (s3, t3, z3) = ternarise_param(sc.weight_mut(), t);
+                per_layer.push((
+                    format!("layer{i}:resblock.shortcut"),
+                    s3.positive,
+                    s3.negative,
+                    z3 as f64 / t3 as f64,
+                ));
+                total += t3;
+                zeroed += z3;
+            }
+        }
+    }
+    TtqReport {
+        total_weights: total,
+        zeroed_weights: zeroed,
+        sparsity: if total == 0 { 0.0 } else { zeroed as f64 / total as f64 },
+        per_layer,
+    }
+}
+
+/// One projection-training round: re-ternarise after an SGD step so the
+/// scales track the shadow weights (call this after each fine-tuning
+/// epoch, as the paper's "determined iteratively over several epochs").
+pub fn reproject(net: &mut Network, t: f64) -> TtqReport {
+    ttq_quantise(net, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_stack_models::{resnet18_width, vgg16_width};
+    use cnn_stack_nn::{ExecConfig, Phase};
+
+    #[test]
+    fn tensor_becomes_ternary() {
+        let mut w = Tensor::from_vec([1, 6], vec![0.9, -0.8, 0.05, -0.04, 0.5, -0.6]);
+        let (scales, sparsity) = ternarise_tensor(&mut w, 0.1);
+        // max|w| = 0.9, delta = 0.09: +{0.9, 0.5} → 0.7; -{0.8, 0.6} → 0.7.
+        assert!((scales.positive - 0.7).abs() < 1e-6);
+        assert!((scales.negative - 0.7).abs() < 1e-6);
+        assert!((sparsity - 2.0 / 6.0).abs() < 1e-9);
+        let distinct: std::collections::BTreeSet<String> =
+            w.data().iter().map(|v| format!("{v:.6}")).collect();
+        assert!(distinct.len() <= 3, "not ternary: {distinct:?}");
+    }
+
+    #[test]
+    fn higher_threshold_means_more_zeros() {
+        let mut model_lo = vgg16_width(10, 0.1);
+        let mut model_hi = vgg16_width(10, 0.1);
+        let lo = ttq_quantise(&mut model_lo.network, 0.02);
+        let hi = ttq_quantise(&mut model_hi.network, 0.3);
+        assert!(hi.sparsity > lo.sparsity);
+    }
+
+    #[test]
+    fn quantised_network_runs_and_is_ternary() {
+        let mut model = vgg16_width(10, 0.1);
+        let report = ttq_quantise(&mut model.network, 0.09);
+        assert!(report.sparsity > 0.0);
+        let y = model.network.forward(
+            &Tensor::zeros([1, 3, 32, 32]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
+        assert_eq!(y.shape().dims(), &[1, 10]);
+        // First conv has at most 3 distinct weight values.
+        let conv = model
+            .network
+            .layer_mut(0)
+            .as_any_mut()
+            .downcast_mut::<Conv2d>()
+            .unwrap();
+        let distinct: std::collections::BTreeSet<String> = conv
+            .weight()
+            .value
+            .data()
+            .iter()
+            .map(|v| format!("{v:.6}"))
+            .collect();
+        assert!(distinct.len() <= 3, "{distinct:?}");
+    }
+
+    #[test]
+    fn resnet_blocks_are_quantised() {
+        let mut model = resnet18_width(10, 0.1);
+        let report = ttq_quantise(&mut model.network, 0.1);
+        let block_layers = report
+            .per_layer
+            .iter()
+            .filter(|(n, ..)| n.contains("resblock"))
+            .count();
+        // 8 blocks × 2 convs + 3 projection shortcuts.
+        assert_eq!(block_layers, 19);
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything_nonzero() {
+        let mut model = vgg16_width(10, 0.05);
+        let report = ttq_quantise(&mut model.network, 0.0);
+        // Only exact zeros get trimmed at t=0 (Kaiming init has none).
+        assert!(report.sparsity < 0.01, "sparsity {}", report.sparsity);
+    }
+
+    #[test]
+    fn reprojection_is_idempotent_on_scales() {
+        let mut model = vgg16_width(10, 0.1);
+        let first = ttq_quantise(&mut model.network, 0.1);
+        let second = reproject(&mut model.network, 0.1);
+        // Re-projecting an already-ternary net keeps the same support.
+        assert_eq!(first.zeroed_weights, second.zeroed_weights);
+        for (a, b) in first.per_layer.iter().zip(&second.per_layer) {
+            assert!((a.1 - b.1).abs() < 1e-5, "positive scale drifted");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in")]
+    fn threshold_validated() {
+        let mut model = vgg16_width(10, 0.05);
+        let _ = ttq_quantise(&mut model.network, 1.5);
+    }
+}

@@ -1,0 +1,98 @@
+//! Training-time augmentation: the paper pads each image with 2 pixels of
+//! zeros and takes a random 32×32 crop (§IV).
+
+use cnn_stack_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Pads every image in an `[n, c, h, w]` batch with `pad` zero pixels on
+/// each side and extracts a random `h × w` crop per image.
+///
+/// A fresh deterministic stream is derived from `seed`, so augmentation is
+/// reproducible across runs.
+///
+/// # Panics
+///
+/// Panics if the batch is not rank-4.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_dataset::pad_and_crop;
+/// use cnn_stack_tensor::Tensor;
+///
+/// let batch = Tensor::ones([4, 3, 32, 32]);
+/// let out = pad_and_crop(&batch, 2, 0);
+/// assert_eq!(out.shape().dims(), &[4, 3, 32, 32]);
+/// ```
+pub fn pad_and_crop(batch: &Tensor, pad: usize, seed: u64) -> Tensor {
+    let (n, c, h, w) = batch.shape().nchw();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Tensor::zeros([n, c, h, w]);
+    let src = batch.data();
+    let dst = out.data_mut();
+    for img in 0..n {
+        // Crop offset within the padded image, in [0, 2*pad].
+        let oy = rng.gen_range(0..=2 * pad) as isize - pad as isize;
+        let ox = rng.gen_range(0..=2 * pad) as isize - pad as isize;
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for y in 0..h {
+                let sy = y as isize + oy;
+                if sy < 0 || sy as usize >= h {
+                    continue; // stays zero (padding)
+                }
+                for x in 0..w {
+                    let sx = x as isize + ox;
+                    if sx < 0 || sx as usize >= w {
+                        continue;
+                    }
+                    dst[base + y * w + x] = src[base + sy as usize * w + sx as usize];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_shape() {
+        let b = Tensor::ones([3, 3, 8, 8]);
+        assert_eq!(pad_and_crop(&b, 2, 0).shape().dims(), &[3, 3, 8, 8]);
+    }
+
+    #[test]
+    fn zero_pad_is_identity_shift_range() {
+        // With pad = 0 the only legal offset is (0, 0): identity.
+        let b = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        assert_eq!(pad_and_crop(&b, 0, 5), b);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let b = Tensor::from_fn([4, 3, 8, 8], |i| (i % 17) as f32);
+        assert_eq!(pad_and_crop(&b, 2, 9), pad_and_crop(&b, 2, 9));
+    }
+
+    #[test]
+    fn some_seed_produces_a_shift() {
+        // Over several seeds, at least one must move the content.
+        let b = Tensor::from_fn([1, 1, 8, 8], |i| i as f32);
+        let moved = (0..20).any(|s| pad_and_crop(&b, 2, s) != b);
+        assert!(moved);
+    }
+
+    #[test]
+    fn shifted_pixels_are_zero_filled() {
+        // An all-ones image after any crop has zeros only at borders; the
+        // total mass can only decrease.
+        let b = Tensor::ones([8, 1, 8, 8]);
+        let out = pad_and_crop(&b, 2, 3);
+        assert!(out.sum() <= b.sum());
+        assert!(out.min() >= 0.0 && out.max() <= 1.0);
+    }
+}

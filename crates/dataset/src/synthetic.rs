@@ -1,0 +1,349 @@
+//! Planted-prototype synthetic dataset with CIFAR-10 geometry.
+
+use cnn_stack_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Image side length (CIFAR-10: 32).
+pub const IMAGE_SIZE: usize = 32;
+/// Colour channels (RGB).
+pub const CHANNELS: usize = 3;
+/// Class count (CIFAR-10: 10).
+pub const NUM_CLASSES: usize = 10;
+/// Elements per image.
+const IMAGE_ELEMS: usize = CHANNELS * IMAGE_SIZE * IMAGE_SIZE;
+
+/// Configuration for [`SyntheticCifar`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetConfig {
+    /// Training images (CIFAR-10: 50,000).
+    pub train_size: usize,
+    /// Test images (CIFAR-10: 10,000).
+    pub test_size: usize,
+    /// Standard deviation of per-pixel noise added to the prototypes.
+    pub noise_std: f32,
+    /// RNG seed; the whole dataset is a pure function of the config.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// Full CIFAR-10-sized dataset (50k/10k). ~737 MB of f32; use only
+    /// for the large-scale harness runs.
+    pub fn full(seed: u64) -> Self {
+        DatasetConfig {
+            train_size: 50_000,
+            test_size: 10_000,
+            noise_std: 0.3,
+            seed,
+        }
+    }
+
+    /// Small dataset for experiments (2,048/512).
+    pub fn small(seed: u64) -> Self {
+        DatasetConfig {
+            train_size: 2_048,
+            test_size: 512,
+            noise_std: 0.3,
+            seed,
+        }
+    }
+
+    /// Minimal dataset for unit tests (160/80).
+    pub fn tiny(seed: u64) -> Self {
+        DatasetConfig {
+            train_size: 160,
+            test_size: 80,
+            noise_std: 0.3,
+            seed,
+        }
+    }
+}
+
+/// A deterministic, learnable, CIFAR-10-shaped dataset.
+///
+/// Each class `c` owns a smooth prototype built from a coarse random grid
+/// (low-frequency structure a 3×3-kernel CNN can detect) bilinearly
+/// upsampled to 32×32. Sample `i` of class `c` is
+/// `prototype_c + noise_std · ε_i`, clamped to the normalised image range.
+pub struct SyntheticCifar {
+    config: DatasetConfig,
+    prototypes: Vec<f32>,
+    train_images: Vec<f32>,
+    train_labels: Vec<usize>,
+    test_images: Vec<f32>,
+    test_labels: Vec<usize>,
+}
+
+impl std::fmt::Debug for SyntheticCifar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SyntheticCifar(train={}, test={}, seed={})",
+            self.config.train_size, self.config.test_size, self.config.seed
+        )
+    }
+}
+
+impl SyntheticCifar {
+    /// Generates the dataset described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either split is empty.
+    pub fn new(config: DatasetConfig) -> Self {
+        assert!(
+            config.train_size > 0 && config.test_size > 0,
+            "both splits must be non-empty"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let prototypes = make_prototypes(&mut rng);
+        let (train_images, train_labels) =
+            make_split(&prototypes, config.train_size, config.noise_std, &mut rng);
+        let (test_images, test_labels) =
+            make_split(&prototypes, config.test_size, config.noise_std, &mut rng);
+        SyntheticCifar {
+            config,
+            prototypes,
+            train_images,
+            train_labels,
+            test_images,
+            test_labels,
+        }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// Number of training images.
+    pub fn train_len(&self) -> usize {
+        self.config.train_size
+    }
+
+    /// Number of test images.
+    pub fn test_len(&self) -> usize {
+        self.config.test_size
+    }
+
+    /// The clean class prototypes as a `[10, 3, 32, 32]` tensor.
+    pub fn prototypes(&self) -> Tensor {
+        Tensor::from_vec(
+            [NUM_CLASSES, CHANNELS, IMAGE_SIZE, IMAGE_SIZE],
+            self.prototypes.clone(),
+        )
+    }
+
+    /// One training mini-batch, wrapping around the split. Batches tile
+    /// the training set deterministically: batch `b` starts at image
+    /// `b * batch_size mod train_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0` or larger than the training split.
+    pub fn train_batch(&self, batch_index: usize, batch_size: usize) -> (Tensor, Vec<usize>) {
+        self.batch_from(
+            &self.train_images,
+            &self.train_labels,
+            batch_index,
+            batch_size,
+        )
+    }
+
+    /// One test mini-batch (same tiling contract as
+    /// [`train_batch`](Self::train_batch)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0` or larger than the test split.
+    pub fn test_batch(&self, batch_index: usize, batch_size: usize) -> (Tensor, Vec<usize>) {
+        self.batch_from(&self.test_images, &self.test_labels, batch_index, batch_size)
+    }
+
+    /// The whole test split as one tensor (use for final accuracy).
+    pub fn test_set(&self) -> (Tensor, Vec<usize>) {
+        (
+            Tensor::from_vec(
+                [self.config.test_size, CHANNELS, IMAGE_SIZE, IMAGE_SIZE],
+                self.test_images.clone(),
+            ),
+            self.test_labels.clone(),
+        )
+    }
+
+    fn batch_from(
+        &self,
+        images: &[f32],
+        labels: &[usize],
+        batch_index: usize,
+        batch_size: usize,
+    ) -> (Tensor, Vec<usize>) {
+        let n = labels.len();
+        assert!(batch_size > 0 && batch_size <= n, "bad batch size {batch_size}");
+        let mut data = Vec::with_capacity(batch_size * IMAGE_ELEMS);
+        let mut out_labels = Vec::with_capacity(batch_size);
+        for i in 0..batch_size {
+            let idx = (batch_index * batch_size + i) % n;
+            data.extend_from_slice(&images[idx * IMAGE_ELEMS..(idx + 1) * IMAGE_ELEMS]);
+            out_labels.push(labels[idx]);
+        }
+        (
+            Tensor::from_vec([batch_size, CHANNELS, IMAGE_SIZE, IMAGE_SIZE], data),
+            out_labels,
+        )
+    }
+}
+
+/// Builds one smooth prototype per class: an 8×8 random grid per channel,
+/// bilinearly upsampled to 32×32, in `[-1, 1]`.
+#[allow(clippy::needless_range_loop)]
+fn make_prototypes(rng: &mut ChaCha8Rng) -> Vec<f32> {
+    const GRID: usize = 8;
+    let mut protos = vec![0.0f32; NUM_CLASSES * IMAGE_ELEMS];
+    for class in 0..NUM_CLASSES {
+        for ch in 0..CHANNELS {
+            let coarse: Vec<f32> = (0..GRID * GRID).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            for y in 0..IMAGE_SIZE {
+                for x in 0..IMAGE_SIZE {
+                    // Bilinear sample of the coarse grid.
+                    let fy = y as f32 / IMAGE_SIZE as f32 * (GRID - 1) as f32;
+                    let fx = x as f32 / IMAGE_SIZE as f32 * (GRID - 1) as f32;
+                    let (y0, x0) = (fy as usize, fx as usize);
+                    let (y1, x1) = ((y0 + 1).min(GRID - 1), (x0 + 1).min(GRID - 1));
+                    let (dy, dx) = (fy - y0 as f32, fx - x0 as f32);
+                    let v = coarse[y0 * GRID + x0] * (1.0 - dy) * (1.0 - dx)
+                        + coarse[y0 * GRID + x1] * (1.0 - dy) * dx
+                        + coarse[y1 * GRID + x0] * dy * (1.0 - dx)
+                        + coarse[y1 * GRID + x1] * dy * dx;
+                    protos[(class * CHANNELS + ch) * IMAGE_SIZE * IMAGE_SIZE + y * IMAGE_SIZE + x] =
+                        v;
+                }
+            }
+        }
+    }
+    protos
+}
+
+fn make_split(
+    prototypes: &[f32],
+    count: usize,
+    noise_std: f32,
+    rng: &mut ChaCha8Rng,
+) -> (Vec<f32>, Vec<usize>) {
+    let mut images = Vec::with_capacity(count * IMAGE_ELEMS);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = i % NUM_CLASSES;
+        labels.push(class);
+        let proto = &prototypes[class * IMAGE_ELEMS..(class + 1) * IMAGE_ELEMS];
+        for &p in proto {
+            // Box–Muller normal noise.
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let noise = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            images.push((p + noise_std * noise).clamp(-2.0, 2.0));
+        }
+    }
+    (images, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_cifar10() {
+        let d = SyntheticCifar::new(DatasetConfig::tiny(1));
+        let (x, y) = d.train_batch(0, 16);
+        assert_eq!(x.shape().dims(), &[16, 3, 32, 32]);
+        assert_eq!(y.len(), 16);
+        assert!(y.iter().all(|&c| c < NUM_CLASSES));
+        let (tx, ty) = d.test_set();
+        assert_eq!(tx.shape().dims(), &[80, 3, 32, 32]);
+        assert_eq!(ty.len(), 80);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SyntheticCifar::new(DatasetConfig::tiny(7));
+        let b = SyntheticCifar::new(DatasetConfig::tiny(7));
+        let c = SyntheticCifar::new(DatasetConfig::tiny(8));
+        assert_eq!(a.train_batch(3, 8).0, b.train_batch(3, 8).0);
+        assert_ne!(a.train_batch(3, 8).0, c.train_batch(3, 8).0);
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let d = SyntheticCifar::new(DatasetConfig::tiny(2));
+        let (_, labels) = d.test_set();
+        for class in 0..NUM_CLASSES {
+            let count = labels.iter().filter(|&&l| l == class).count();
+            assert_eq!(count, 80 / NUM_CLASSES);
+        }
+    }
+
+    #[test]
+    fn batches_tile_the_split() {
+        let d = SyntheticCifar::new(DatasetConfig::tiny(3));
+        // 160 train images, batch 32 → batch 5 wraps to batch 0.
+        let (b0, l0) = d.train_batch(0, 32);
+        let (b5, l5) = d.train_batch(5, 32);
+        assert_eq!(b0, b5);
+        assert_eq!(l0, l5);
+        let (b1, _) = d.train_batch(1, 32);
+        assert_ne!(b0, b1);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn samples_cluster_around_prototypes() {
+        // A sample must be closer to its own prototype than to a random
+        // other prototype (the dataset is learnable).
+        let d = SyntheticCifar::new(DatasetConfig::tiny(4));
+        let protos = d.prototypes();
+        let (x, labels) = d.train_batch(0, 32);
+        let mut correct = 0;
+        for i in 0..32 {
+            let img = &x.data()[i * IMAGE_ELEMS..(i + 1) * IMAGE_ELEMS];
+            let mut best_class = 0;
+            let mut best_dist = f32::INFINITY;
+            for c in 0..NUM_CLASSES {
+                let p = &protos.data()[c * IMAGE_ELEMS..(c + 1) * IMAGE_ELEMS];
+                let dist: f32 = img.iter().zip(p).map(|(a, b)| (a - b).powi(2)).sum();
+                if dist < best_dist {
+                    best_dist = dist;
+                    best_class = c;
+                }
+            }
+            if best_class == labels[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 30, "only {correct}/32 nearest-prototype matches");
+    }
+
+    #[test]
+    fn values_are_bounded() {
+        let d = SyntheticCifar::new(DatasetConfig::tiny(5));
+        let (x, _) = d.test_set();
+        assert!(x.max() <= 2.0 && x.min() >= -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad batch size")]
+    fn oversized_batch_rejected() {
+        let d = SyntheticCifar::new(DatasetConfig::tiny(6));
+        let _ = d.train_batch(0, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_split_rejected() {
+        let _ = SyntheticCifar::new(DatasetConfig {
+            train_size: 0,
+            test_size: 1,
+            noise_std: 0.1,
+            seed: 0,
+        });
+    }
+}

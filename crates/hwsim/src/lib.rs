@@ -1,0 +1,39 @@
+//! Hardware layer of the stack: platform descriptors, the analytic
+//! timing model, a simulated OpenCL device, and a CLBlast-style tuned
+//! GEMM with a CLTune-style auto-tuner.
+//!
+//! The paper measures two physical platforms — an Odroid-XU4
+//! (Cortex-A15/A7 big.LITTLE with a Mali-T628 GPU) and an Intel Core
+//! i7-3820 —
+//! neither of which exists in this environment. Following the
+//! substitution policy (`DESIGN.md` §5), this crate provides:
+//!
+//! * [`platform`] — parametric descriptions of both machines (core
+//!   counts, effective MAC rates, memory bandwidth, threading overheads,
+//!   sparse-access penalties), calibrated so the *relative* behaviour of
+//!   the paper's experiments is reproduced from first principles.
+//! * [`timing`] — an analytic roofline-plus-overheads model that prices a
+//!   network forward pass per layer from its
+//!   [`LayerDescriptor`](cnn_stack_nn::LayerDescriptor)s: compute versus
+//!   memory bounds, OpenMP fork/dispatch overheads, dynamic-scheduling
+//!   contention, and the CSR per-nonzero penalty.
+//! * [`ocl`] — a functional simulation of the paper's OpenCL pipeline:
+//!   buffers, kernel launches and transfers execute real Rust kernels
+//!   (bit-identical results) while a Mali-shaped cost model accumulates
+//!   simulated time.
+//! * [`clblast`] — a tiled GEMM exposing CLBlast's tuning surface and a
+//!   random-search auto-tuner in the spirit of CLTune.
+//! * [`energy`] — per-event energy costs (pJ/MAC, pJ/DRAM-byte, static
+//!   power) turning the paper's §I energy motivation into numbers.
+
+pub mod clblast;
+pub mod energy;
+pub mod ocl;
+pub mod platform;
+pub mod timing;
+
+pub use clblast::{tune_gemm, TunedGemm, TuneResult};
+pub use energy::{network_energy, EnergyBreakdown, EnergyModel};
+pub use ocl::{OclDevice, OclRun};
+pub use platform::{intel_i7, odroid_xu4, CpuCluster, GpuDevice, Platform};
+pub use timing::{layer_time, network_time, Backend, LayerTime, SimConfig};

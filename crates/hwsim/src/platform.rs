@@ -1,0 +1,258 @@
+//! Parametric platform descriptors for the paper's two machines (§IV-E).
+//!
+//! Parameters are *effective* rates for the paper's plain C kernels, not
+//! peak datasheet numbers: they were calibrated so that the model's
+//! absolute times land in the same range as the paper's Fig. 4 curves
+//! (e.g. single-thread dense VGG-16 ≈ 4 s on the Odroid's A15 and
+//! ≈ 1.3 s on the i7) and all relative effects follow from the model
+//! structure rather than per-experiment fudging.
+
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous group of CPU cores.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CpuCluster {
+    /// Cluster name, e.g. `"Cortex-A15"`.
+    pub name: String,
+    /// Core count.
+    pub cores: usize,
+    /// Effective dense multiply-accumulates per second per core for the
+    /// paper's direct-convolution C code.
+    pub macs_per_sec: f64,
+}
+
+/// A GPU as the paper's OpenCL backend sees it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuDevice {
+    /// Device name, e.g. `"Mali-T628 MP6"`.
+    pub name: String,
+    /// Effective MACs/s achieved by the paper's hand-tuned OpenCL kernels
+    /// (4×4 work-groups, 16-wide vectors).
+    pub hand_tuned_macs_per_sec: f64,
+    /// Peak MACs/s a perfectly tuned large GEMM can reach (CLBlast's
+    /// asymptote).
+    pub gemm_peak_macs_per_sec: f64,
+    /// GEMM efficiency half-saturation point: the per-call MAC count at
+    /// which CLBlast reaches half its peak rate. Small CIFAR matrices sit
+    /// far below this — the cause of Fig. 6's CLBlast collapse — while
+    /// 224×224 ImageNet GEMMs sit above it (§V-F).
+    pub gemm_half_saturation_macs: f64,
+    /// Utilisation floor for CLBlast GEMM calls: even a tiny GEMM keeps a
+    /// few compute units busy, so efficiency never falls below this.
+    pub gemm_min_utilisation: f64,
+    /// Host↔device buffer bandwidth, bytes/s.
+    pub transfer_bytes_per_sec: f64,
+    /// Fixed cost per kernel launch, seconds.
+    pub kernel_launch_s: f64,
+    /// Extra fixed cost per CLBlast GEMM call (library dispatch, padding,
+    /// layout checks), seconds.
+    pub gemm_call_overhead_s: f64,
+}
+
+/// A complete platform: CPU clusters, memory system, threading costs and
+/// (optionally) a GPU.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Platform name as the paper prints it.
+    pub name: String,
+    /// CPU clusters, fastest first (threads are assigned in this order,
+    /// which is how a big.LITTLE governor places compute-bound work).
+    pub clusters: Vec<CpuCluster>,
+    /// Effective memory bandwidth for streaming activations, bytes/s.
+    pub mem_bytes_per_sec: f64,
+    /// Memory-system contention coefficient. Parallel efficiency of a
+    /// layer with arithmetic intensity `I` (MACs/byte) is
+    /// `1 / (1 + mem_contention·(T-1)·(intensity_ref/I)²)`: low-intensity
+    /// layers collapse under threading (shared-bus contention), high-
+    /// intensity layers scale. Also used to derate streaming bandwidth
+    /// via [`Platform::effective_bandwidth`].
+    pub mem_contention: f64,
+    /// OpenMP fork/join cost per thread per parallel region, seconds.
+    pub thread_spawn_s: f64,
+    /// Cost of one dynamic-schedule chunk dispatch, seconds.
+    pub dispatch_s: f64,
+    /// Scheduler-contention growth per extra thread (atomic counter
+    /// ping-pong): dispatch cost scales by `1 + contention·(T-1)`.
+    pub sched_contention: f64,
+    /// Parallel thrashing floor: even a hopelessly memory-bound layer is
+    /// at worst `1 + parallel_thrash·(T-1)` times its serial time (the
+    /// team degenerates to serialised bus access, it does not livelock).
+    pub parallel_thrash: f64,
+    /// Per-nonzero cost multiplier of the CSR kernels relative to one
+    /// dense MAC (index decode + irregular gather; §V-D). The effective
+    /// sparse work is `macs · min(sparse_penalty · density,
+    /// sparse_saturation)`: per-nonzero costs dominate at high sparsity,
+    /// while at moderate sparsity the per-tap plane sweeps saturate at a
+    /// small constant factor over dense — which is why the paper's CSR
+    /// models are never faster than dense until extreme sparsity.
+    pub sparse_penalty: f64,
+    /// Saturation of the sparse work multiplier (see `sparse_penalty`).
+    pub sparse_saturation: f64,
+    /// Arithmetic-intensity reference (MACs per byte): layers below this
+    /// intensity lose parallel efficiency to memory contention as
+    /// `1 / (1 + mem_contention·(T-1)·intensity_ref/intensity)` — the
+    /// mechanism behind MobileNet's non-scaling (§V-D).
+    pub intensity_ref: f64,
+    /// GPU, if the platform has one the paper uses.
+    pub gpu: Option<GpuDevice>,
+}
+
+impl Platform {
+    /// Total cores.
+    pub fn max_threads(&self) -> usize {
+        self.clusters.iter().map(|c| c.cores).sum()
+    }
+
+    /// Aggregate dense MAC rate of the `threads` fastest cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn aggregate_rate(&self, threads: usize) -> f64 {
+        assert!(threads > 0, "at least one thread required");
+        let mut remaining = threads;
+        let mut rate = 0.0;
+        for cluster in &self.clusters {
+            let used = remaining.min(cluster.cores);
+            rate += used as f64 * cluster.macs_per_sec;
+            remaining -= used;
+            if remaining == 0 {
+                break;
+            }
+        }
+        // Threads beyond the physical cores add no rate (oversubscribed).
+        rate
+    }
+
+    /// Rate of the single fastest core.
+    pub fn single_core_rate(&self) -> f64 {
+        self.clusters
+            .first()
+            .map(|c| c.macs_per_sec)
+            .expect("platform has at least one cluster")
+    }
+
+    /// Effective memory bandwidth with `threads` active.
+    pub fn effective_bandwidth(&self, threads: usize) -> f64 {
+        self.mem_bytes_per_sec / (1.0 + self.mem_contention * (threads.saturating_sub(1)) as f64)
+    }
+
+    /// The thread counts the paper sweeps on this platform
+    /// (Odroid: 1/2/4/8; i7: 1/2/4).
+    pub fn paper_thread_counts(&self) -> Vec<usize> {
+        let max = self.max_threads();
+        [1usize, 2, 4, 8].iter().copied().filter(|&t| t <= max).collect()
+    }
+}
+
+/// The Odroid-XU4: Cortex-A15 (4 × 2.0 GHz) + Cortex-A7 (4 × 1.4 GHz)
+/// big.LITTLE, 2 GB shared LPDDR3, Mali-T628 MP6 (§IV-E.1).
+pub fn odroid_xu4() -> Platform {
+    Platform {
+        name: "Odroid-XU4".into(),
+        clusters: vec![
+            CpuCluster {
+                name: "Cortex-A15".into(),
+                cores: 4,
+                macs_per_sec: 80e6,
+            },
+            CpuCluster {
+                name: "Cortex-A7".into(),
+                cores: 4,
+                macs_per_sec: 33e6,
+            },
+        ],
+        mem_bytes_per_sec: 0.8e9,
+        mem_contention: 0.03,
+        thread_spawn_s: 1.0e-3,
+        dispatch_s: 1.6e-6,
+        sched_contention: 0.30,
+        sparse_penalty: 10.0,
+        sparse_saturation: 1.25,
+        parallel_thrash: 0.03,
+        intensity_ref: 8.0,
+        gpu: Some(GpuDevice {
+            name: "Mali-T628 MP6".into(),
+            hand_tuned_macs_per_sec: 0.55e9,
+            gemm_peak_macs_per_sec: 3.2e9,
+            gemm_half_saturation_macs: 2.0e9,
+            gemm_min_utilisation: 0.01,
+            transfer_bytes_per_sec: 1.2e9,
+            kernel_launch_s: 60e-6,
+            gemm_call_overhead_s: 4.0e-3,
+        }),
+    }
+}
+
+/// The Intel Core i7-3820 (4 cores @ 3.6 GHz, 16 GB DDR2) desktop
+/// (§IV-E.2). No OpenCL GPU is used on this platform in the paper.
+pub fn intel_i7() -> Platform {
+    Platform {
+        name: "Intel Core i7".into(),
+        clusters: vec![CpuCluster {
+            name: "i7-3820".into(),
+            cores: 4,
+            macs_per_sec: 260e6,
+        }],
+        mem_bytes_per_sec: 4.0e9,
+        mem_contention: 0.13,
+        thread_spawn_s: 0.9e-3,
+        dispatch_s: 0.35e-6,
+        sched_contention: 0.12,
+        sparse_penalty: 10.0,
+        sparse_saturation: 1.20,
+        parallel_thrash: 0.03,
+        intensity_ref: 8.0,
+        gpu: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odroid_has_eight_heterogeneous_cores() {
+        let p = odroid_xu4();
+        assert_eq!(p.max_threads(), 8);
+        assert_eq!(p.paper_thread_counts(), vec![1, 2, 4, 8]);
+        // big cores are listed first and are faster.
+        assert!(p.clusters[0].macs_per_sec > p.clusters[1].macs_per_sec);
+    }
+
+    #[test]
+    fn i7_has_four_homogeneous_cores() {
+        let p = intel_i7();
+        assert_eq!(p.max_threads(), 4);
+        assert_eq!(p.paper_thread_counts(), vec![1, 2, 4]);
+        assert!(p.gpu.is_none());
+    }
+
+    #[test]
+    fn aggregate_rate_uses_fastest_cores_first() {
+        let p = odroid_xu4();
+        assert_eq!(p.aggregate_rate(1), 80e6);
+        assert_eq!(p.aggregate_rate(4), 320e6);
+        assert_eq!(p.aggregate_rate(8), 320e6 + 4.0 * 33e6);
+        // Oversubscription adds nothing.
+        assert_eq!(p.aggregate_rate(16), p.aggregate_rate(8));
+    }
+
+    #[test]
+    fn bandwidth_contention_reduces_effective_bw() {
+        let p = odroid_xu4();
+        assert!(p.effective_bandwidth(8) < p.effective_bandwidth(1));
+        assert_eq!(p.effective_bandwidth(1), p.mem_bytes_per_sec);
+    }
+
+    #[test]
+    fn i7_is_faster_per_core_than_odroid() {
+        assert!(intel_i7().single_core_rate() > odroid_xu4().single_core_rate() * 2.0);
+    }
+
+    #[test]
+    fn debug_representation_is_descriptive() {
+        let repr = format!("{:?}", odroid_xu4());
+        assert!(repr.contains("Mali") && repr.contains("Cortex-A15"));
+    }
+}

@@ -1,0 +1,43 @@
+//! The paper's three CNN workloads (§IV-A), built on `cnn-stack-nn`:
+//!
+//! * **VGG-16** — 13 convolutional layers (3×3), max-pooling after layers
+//!   {2, 4, 7, 10, 13}, with the paper's truncated CIFAR-10 head (two
+//!   fully connected layers of 512 and `classes` outputs).
+//! * **ResNet-18** — initial 3×3 stem plus eight two-convolution residual
+//!   blocks and a linear classifier.
+//! * **MobileNet** — 27 convolutional layers alternating 3×3 depthwise and
+//!   1×1 pointwise convolutions, one fully connected classifier.
+//!
+//! Each builder also returns a [`PruningPlan`] describing which channels
+//! are structurally prunable and what surgery removing one entails — the
+//! metadata Fisher channel pruning (in `cnn-stack-compress`) operates on.
+//! For ResNet the plan covers only the channels *between* shortcuts,
+//! matching the paper's §V-B.2 constraint.
+//!
+//! # Example
+//!
+//! ```
+//! use cnn_stack_models::resnet18;
+//! use cnn_stack_nn::{ExecConfig, Phase};
+//! use cnn_stack_tensor::Tensor;
+//!
+//! let mut model = resnet18(10);
+//! let logits = model.network.forward(
+//!     &Tensor::zeros([1, 3, 32, 32]),
+//!     Phase::Eval,
+//!     &ExecConfig::default(),
+//! );
+//! assert_eq!(logits.shape().dims(), &[1, 10]);
+//! ```
+
+pub mod mobilenet;
+pub mod model;
+pub mod plan;
+pub mod resnet;
+pub mod vgg;
+
+pub use mobilenet::{mobilenet, mobilenet_width};
+pub use model::{Model, ModelKind};
+pub use plan::{PruneGroup, PruningPlan};
+pub use resnet::{resnet18, resnet18_width};
+pub use vgg::{vgg16, vgg16_width};

@@ -1,0 +1,780 @@
+//! Standard 2-D convolution with selectable algorithm and weight format.
+
+use crate::descriptor::{LayerDescriptor, LayerKind};
+use crate::layer::{ConvAlgorithm, ExecConfig, Layer, Param, Phase, WeightFormat};
+use crate::par::DisjointWriter;
+use cnn_stack_parallel::parallel_for;
+use cnn_stack_sparse::CsrMatrix;
+use cnn_stack_tensor::init::{initialise, Init};
+use cnn_stack_tensor::{col2im, gemm, im2col, ops, winograd_conv2d, Conv2dGeometry, Tensor};
+
+/// A standard (grouped-by-1) 2-D convolution layer.
+///
+/// The layer owns dense weights of shape `[out_c, in_c, k, k]` and can be
+/// switched to CSR inference storage with
+/// [`set_format`](Conv2d::set_format), mirroring the paper's format layer.
+/// Both the direct and the im2col algorithms are implemented for both
+/// formats; training (backward) always runs on the dense weights.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_nn::{Conv2d, ExecConfig, Layer, Phase};
+/// use cnn_stack_tensor::Tensor;
+///
+/// let mut conv = Conv2d::new(3, 16, 3, 1, 1, 42);
+/// let y = conv.forward(&Tensor::zeros([2, 3, 32, 32]), Phase::Eval, &ExecConfig::default());
+/// assert_eq!(y.shape().dims(), &[2, 16, 32, 32]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: Param,
+    bias: Param,
+    format: WeightFormat,
+    /// CSR snapshot of the weights, rebuilt lazily when `format == Csr`.
+    csr: Option<CsrMatrix>,
+    /// Cached training-forward input.
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+            "conv extents must be non-zero"
+        );
+        let weight = Param::new(initialise(
+            [out_channels, in_channels, kernel, kernel],
+            Init::KaimingNormal,
+            seed,
+        ));
+        let bias = Param::new(Tensor::zeros([out_channels]));
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight,
+            bias,
+            format: WeightFormat::Dense,
+            csr: None,
+            cached_input: None,
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel extent.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// The weight parameter (dense master copy).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable weight parameter. Invalidate the CSR snapshot afterwards by
+    /// calling [`set_format`](Conv2d::set_format) again if needed.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        self.csr = None;
+        &mut self.weight
+    }
+
+    /// The bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Mutable bias parameter.
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+
+    /// Current inference weight format.
+    pub fn format(&self) -> WeightFormat {
+        self.format
+    }
+
+    /// Selects the inference weight format; `Csr` snapshots the current
+    /// dense weights into CSR.
+    pub fn set_format(&mut self, format: WeightFormat) {
+        self.format = format;
+        self.csr = match format {
+            WeightFormat::Dense => None,
+            WeightFormat::Csr => Some(CsrMatrix::from_dense(&self.weight_matrix(), 0.0)),
+        };
+    }
+
+    /// The weights viewed as a `[out_c, in_c*k*k]` matrix (same memory
+    /// order).
+    pub fn weight_matrix(&self) -> Tensor {
+        self.weight
+            .value
+            .reshape([self.out_channels, self.in_channels * self.kernel * self.kernel])
+    }
+
+    /// Convolution geometry for an input of spatial extent `h × w`.
+    pub fn geometry(&self, h: usize, w: usize) -> Conv2dGeometry {
+        Conv2dGeometry::new(
+            self.in_channels,
+            h,
+            w,
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.padding,
+        )
+    }
+
+    /// Removes output channel `o`: drops the filter row and bias entry.
+    /// Used by channel-pruning surgery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of range or only one channel remains.
+    pub fn remove_out_channel(&mut self, o: usize) {
+        assert!(o < self.out_channels, "output channel {o} out of range");
+        assert!(self.out_channels > 1, "cannot remove the last output channel");
+        let row = self.in_channels * self.kernel * self.kernel;
+        let mut w = self.weight.value.data().to_vec();
+        w.drain(o * row..(o + 1) * row);
+        let mut b = self.bias.value.data().to_vec();
+        b.remove(o);
+        self.out_channels -= 1;
+        self.weight = Param::new(Tensor::from_vec(
+            [self.out_channels, self.in_channels, self.kernel, self.kernel],
+            w,
+        ));
+        self.bias = Param::new(Tensor::from_vec([self.out_channels], b));
+        self.csr = None;
+    }
+
+    /// Removes input channel `c`: drops that slice from every filter.
+    /// Used by channel-pruning surgery on the consumer layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range or only one channel remains.
+    pub fn remove_in_channel(&mut self, c: usize) {
+        assert!(c < self.in_channels, "input channel {c} out of range");
+        assert!(self.in_channels > 1, "cannot remove the last input channel");
+        let kk = self.kernel * self.kernel;
+        let old_row = self.in_channels * kk;
+        let src = self.weight.value.data();
+        let mut w = Vec::with_capacity(self.out_channels * (old_row - kk));
+        for o in 0..self.out_channels {
+            let row = &src[o * old_row..(o + 1) * old_row];
+            w.extend_from_slice(&row[..c * kk]);
+            w.extend_from_slice(&row[(c + 1) * kk..]);
+        }
+        self.in_channels -= 1;
+        self.weight = Param::new(Tensor::from_vec(
+            [self.out_channels, self.in_channels, self.kernel, self.kernel],
+            w,
+        ));
+        self.csr = None;
+    }
+
+    fn forward_dense_direct(&self, input: &Tensor, geom: &Conv2dGeometry, cfg: &ExecConfig) -> Tensor {
+        let (n, _, h, w) = input.shape().nchw();
+        let mut out = Tensor::zeros([n, self.out_channels, geom.out_h, geom.out_w]);
+        let plane = geom.out_h * geom.out_w;
+        let in_img = self.in_channels * h * w;
+        let out_img = self.out_channels * plane;
+        let wdata = self.weight.value.data();
+        let bdata = self.bias.value.data();
+        let in_data = input.data();
+        let k = self.kernel;
+        let row = self.in_channels * k * k;
+        {
+            let writer = DisjointWriter::new(out.data_mut());
+            let writer = &writer;
+            for img in 0..n {
+                let x = &in_data[img * in_img..(img + 1) * in_img];
+                parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
+                    for o in range {
+                        // SAFETY: each grain `o` owns exactly one output
+                        // plane; planes never overlap across grains.
+                        let dst = unsafe {
+                            writer.slice_mut(
+                                img * out_img + o * plane,
+                                img * out_img + (o + 1) * plane,
+                            )
+                        };
+                        dst.fill(bdata[o]);
+                        let filter = &wdata[o * row..(o + 1) * row];
+                        direct_channel_conv(x, filter, dst, geom, h, w, k);
+                    }
+                });
+            }
+        }
+        out
+    }
+
+    fn forward_dense_im2col(&self, input: &Tensor, geom: &Conv2dGeometry, cfg: &ExecConfig) -> Tensor {
+        let (n, _, h, w) = input.shape().nchw();
+        let mut out = Tensor::zeros([n, self.out_channels, geom.out_h, geom.out_w]);
+        let plane = geom.out_positions();
+        let in_img = self.in_channels * h * w;
+        let out_img = self.out_channels * plane;
+        let wmat = self.weight_matrix();
+        let k_dim = wmat.shape().dims()[1];
+        let bdata = self.bias.value.data();
+        {
+            let writer = DisjointWriter::new(out.data_mut());
+            let writer = &writer;
+            for img in 0..n {
+                let cols = im2col(&input.data()[img * in_img..(img + 1) * in_img], geom);
+                let cols = &cols;
+                parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
+                    // SAFETY: grain range covers whole output rows
+                    // [start*plane, end*plane) of this image — disjoint.
+                    let dst = unsafe {
+                        writer.slice_mut(
+                            img * out_img + range.start * plane,
+                            img * out_img + range.end * plane,
+                        )
+                    };
+                    for (local, o) in range.clone().enumerate() {
+                        dst[local * plane..(local + 1) * plane].fill(bdata[o]);
+                    }
+                    // One GEMM over the claimed row block.
+                    let wslice =
+                        &wmat.data()[range.start * k_dim..range.end * k_dim];
+                    gemm::gemm_into(
+                        wslice,
+                        cols.data(),
+                        dst,
+                        range.end - range.start,
+                        k_dim,
+                        plane,
+                        gemm::GemmAlgorithm::Blocked,
+                    );
+                });
+            }
+        }
+        out
+    }
+
+    fn forward_csr(&self, input: &Tensor, geom: &Conv2dGeometry, cfg: &ExecConfig) -> Tensor {
+        let csr = self
+            .csr
+            .as_ref()
+            .expect("CSR snapshot missing; call set_format(WeightFormat::Csr)");
+        let (n, _, h, w) = input.shape().nchw();
+        let mut out = Tensor::zeros([n, self.out_channels, geom.out_h, geom.out_w]);
+        let plane = geom.out_positions();
+        let in_img = self.in_channels * h * w;
+        let out_img = self.out_channels * plane;
+        let bdata = self.bias.value.data();
+        let k = self.kernel;
+        {
+            let writer = DisjointWriter::new(out.data_mut());
+            let writer = &writer;
+            for img in 0..n {
+                match cfg.conv_algo {
+                    // Winograd applies to dense weights only; CSR falls
+                    // back to the direct sparse kernel.
+                    ConvAlgorithm::Direct | ConvAlgorithm::Winograd => {
+                        let x = &input.data()[img * in_img..(img + 1) * in_img];
+                        parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
+                            for o in range {
+                                // SAFETY: one output plane per grain.
+                                let dst = unsafe {
+                                    writer.slice_mut(
+                                        img * out_img + o * plane,
+                                        img * out_img + (o + 1) * plane,
+                                    )
+                                };
+                                dst.fill(bdata[o]);
+                                let (idx, val) = csr.row(o);
+                                sparse_channel_conv(x, idx, val, dst, geom, h, w, k);
+                            }
+                        });
+                    }
+                    ConvAlgorithm::Im2col => {
+                        let cols = im2col(&input.data()[img * in_img..(img + 1) * in_img], geom);
+                        let cols = &cols;
+                        parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
+                            // SAFETY: whole-row block per grain range.
+                            let dst = unsafe {
+                                writer.slice_mut(
+                                    img * out_img + range.start * plane,
+                                    img * out_img + range.end * plane,
+                                )
+                            };
+                            for (local, o) in range.clone().enumerate() {
+                                dst[local * plane..(local + 1) * plane].fill(bdata[o]);
+                                let (idx, val) = csr.row(o);
+                                let drow = &mut dst[local * plane..(local + 1) * plane];
+                                for (&col, &v) in idx.iter().zip(val) {
+                                    let brow =
+                                        &cols.data()[col as usize * plane..(col as usize + 1) * plane];
+                                    for (d, &b) in drow.iter_mut().zip(brow) {
+                                        *d += v * b;
+                                    }
+                                }
+                            }
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Accumulates one dense filter over one image into one output plane.
+fn direct_channel_conv(
+    x: &[f32],
+    filter: &[f32],
+    dst: &mut [f32],
+    geom: &Conv2dGeometry,
+    h: usize,
+    w: usize,
+    k: usize,
+) {
+    for c in 0..geom.in_channels {
+        let x_plane = &x[c * h * w..(c + 1) * h * w];
+        for kh in 0..k {
+            for kw in 0..k {
+                let wv = filter[(c * k + kh) * k + kw];
+                if wv == 0.0 {
+                    continue;
+                }
+                accumulate_tap(x_plane, wv, dst, geom, h, w, kh, kw);
+            }
+        }
+    }
+}
+
+/// Accumulates the non-zero taps of one CSR filter row into one plane.
+#[allow(clippy::too_many_arguments)]
+fn sparse_channel_conv(
+    x: &[f32],
+    idx: &[u32],
+    val: &[f32],
+    dst: &mut [f32],
+    geom: &Conv2dGeometry,
+    h: usize,
+    w: usize,
+    k: usize,
+) {
+    let kk = k * k;
+    for (&flat, &wv) in idx.iter().zip(val) {
+        let flat = flat as usize;
+        let c = flat / kk;
+        let kh = (flat % kk) / k;
+        let kw = flat % k;
+        let x_plane = &x[c * h * w..(c + 1) * h * w];
+        accumulate_tap(x_plane, wv, dst, geom, h, w, kh, kw);
+    }
+}
+
+/// Adds `wv * shifted(x_plane)` into the output plane for kernel tap
+/// `(kh, kw)`.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)]
+fn accumulate_tap(
+    x_plane: &[f32],
+    wv: f32,
+    dst: &mut [f32],
+    geom: &Conv2dGeometry,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+) {
+    for oh in 0..geom.out_h {
+        let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
+        if ih < 0 || ih as usize >= h {
+            continue;
+        }
+        let x_row = &x_plane[ih as usize * w..(ih as usize + 1) * w];
+        let d_row = &mut dst[oh * geom.out_w..(oh + 1) * geom.out_w];
+        for ow in 0..geom.out_w {
+            let iw = (ow * geom.stride + kw) as isize - geom.padding as isize;
+            if iw < 0 || iw as usize >= w {
+                continue;
+            }
+            d_row[ow] += wv * x_row[iw as usize];
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> String {
+        format!(
+            "conv{k}x{k}({i}->{o})/s{s}",
+            k = self.kernel,
+            i = self.in_channels,
+            o = self.out_channels,
+            s = self.stride
+        )
+    }
+
+    fn forward(&mut self, input: &Tensor, phase: Phase, cfg: &ExecConfig) -> Tensor {
+        let (_, in_c, h, w) = input.shape().nchw();
+        assert_eq!(in_c, self.in_channels, "{}: input channel mismatch", self.name());
+        let geom = self.geometry(h, w);
+        if phase == Phase::Train {
+            self.cached_input = Some(input.clone());
+        }
+        match self.format {
+            WeightFormat::Dense => match cfg.conv_algo {
+                ConvAlgorithm::Direct => self.forward_dense_direct(input, &geom, cfg),
+                ConvAlgorithm::Im2col => self.forward_dense_im2col(input, &geom, cfg),
+                ConvAlgorithm::Winograd => {
+                    if self.kernel == 3 && self.stride == 1 {
+                        winograd_conv2d(
+                            input,
+                            &self.weight.value,
+                            Some(self.bias.value.data()),
+                            self.padding,
+                        )
+                    } else {
+                        self.forward_dense_direct(input, &geom, cfg)
+                    }
+                }
+            },
+            WeightFormat::Csr => self.forward_csr(input, &geom, cfg),
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward without a Train-phase forward");
+        let (n, _, h, w) = input.shape().nchw();
+        let geom = self.geometry(h, w);
+        let plane = geom.out_positions();
+        let row = self.in_channels * self.kernel * self.kernel;
+        let in_img = self.in_channels * h * w;
+        let out_img = self.out_channels * plane;
+        let wmat = self.weight_matrix();
+        let wmat_t = ops::transpose(&wmat);
+        let mut grad_input = Tensor::zeros(input.shape().dims().to_vec());
+
+        for img in 0..n {
+            let cols = im2col(&input.data()[img * in_img..(img + 1) * in_img], &geom);
+            let dy = Tensor::from_vec(
+                [self.out_channels, plane],
+                grad_out.data()[img * out_img..(img + 1) * out_img].to_vec(),
+            );
+            // dW += dY · colsᵀ
+            let cols_t = ops::transpose(&cols);
+            let dw = cnn_stack_tensor::matmul(&dy, &cols_t);
+            debug_assert_eq!(dw.len(), self.out_channels * row);
+            self.weight.grad.axpy(
+                1.0,
+                &dw.reshape([self.out_channels, self.in_channels, self.kernel, self.kernel]),
+            );
+            // db += rowsum(dY)
+            for o in 0..self.out_channels {
+                let s: f32 = dy.data()[o * plane..(o + 1) * plane].iter().sum();
+                self.bias.grad.data_mut()[o] += s;
+            }
+            // dX = col2im(Wᵀ · dY)
+            let dcols = cnn_stack_tensor::matmul(&wmat_t, &dy);
+            col2im(&dcols, &geom, &mut grad_input.data_mut()[img * in_img..(img + 1) * in_img]);
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {
+        let n = input_shape[0];
+        let (h, w) = (input_shape[2], input_shape[3]);
+        let geom = self.geometry(h, w);
+        let positions = geom.out_positions();
+        let row = self.in_channels * self.kernel * self.kernel;
+        let weight_elems = self.out_channels * row;
+        let weight_nnz = match (&self.csr, self.format) {
+            (Some(csr), WeightFormat::Csr) => csr.nnz(),
+            _ => self.weight.value.len() - self.weight.value.count_zeros(0.0),
+        };
+        LayerDescriptor {
+            name: self.name(),
+            kind: LayerKind::Conv {
+                geom,
+                out_channels: self.out_channels,
+            },
+            macs: (n * self.out_channels * row * positions) as u64,
+            weight_elems,
+            weight_nnz,
+            format: self.format,
+            input_elems: input_shape.iter().product(),
+            output_elems: n * self.out_channels * positions,
+            output_shape: vec![n, self.out_channels, geom.out_h, geom.out_w],
+            scratch_elems: self.in_channels * (h + 2 * self.padding) * (w + 2 * self.padding),
+            parallel_grains: self.out_channels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random(shape: impl Into<cnn_stack_tensor::Shape>, seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::from_fn(shape.into(), |_| rng.gen_range(-1.0..1.0))
+    }
+
+    fn all_paths(conv: &mut Conv2d, x: &Tensor) -> Vec<Tensor> {
+        let mut outs = Vec::new();
+        for format in [WeightFormat::Dense, WeightFormat::Csr] {
+            conv.set_format(format);
+            for algo in [ConvAlgorithm::Direct, ConvAlgorithm::Im2col] {
+                for threads in [1, 3] {
+                    let cfg = ExecConfig {
+                        threads,
+                        conv_algo: algo,
+                        ..ExecConfig::serial()
+                    };
+                    outs.push(conv.forward(x, Phase::Eval, &cfg));
+                }
+            }
+        }
+        conv.set_format(WeightFormat::Dense);
+        outs
+    }
+
+    #[test]
+    fn output_shape() {
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, 0);
+        let y = conv.forward(&Tensor::zeros([2, 3, 16, 16]), Phase::Eval, &ExecConfig::default());
+        assert_eq!(y.shape().dims(), &[2, 8, 16, 16]);
+        let mut strided = Conv2d::new(3, 8, 3, 2, 1, 0);
+        let y = strided.forward(&Tensor::zeros([1, 3, 16, 16]), Phase::Eval, &ExecConfig::default());
+        assert_eq!(y.shape().dims(), &[1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn every_format_algorithm_thread_combo_agrees() {
+        let mut conv = Conv2d::new(3, 5, 3, 1, 1, 11);
+        // Plant some zeros so CSR actually skips entries.
+        conv.weight_mut().value.data_mut()[3] = 0.0;
+        conv.weight_mut().value.data_mut()[40] = 0.0;
+        let x = random([2, 3, 7, 7], 1);
+        let outs = all_paths(&mut conv, &x);
+        for (i, o) in outs.iter().enumerate().skip(1) {
+            assert!(outs[0].allclose(o, 1e-4), "path {i} disagrees with reference");
+        }
+    }
+
+    #[test]
+    fn pointwise_conv_agrees_across_paths() {
+        let mut conv = Conv2d::new(8, 4, 1, 1, 0, 5);
+        let x = random([1, 8, 5, 5], 2);
+        let outs = all_paths(&mut conv, &x);
+        for o in &outs[1..] {
+            assert!(outs[0].allclose(o, 1e-4));
+        }
+    }
+
+    #[test]
+    fn winograd_path_matches_direct() {
+        let mut conv = Conv2d::new(3, 6, 3, 1, 1, 31);
+        conv.bias.value.data_mut()[0] = 0.5;
+        let x = random([2, 3, 8, 8], 17);
+        let direct = conv.forward(&x, Phase::Eval, &ExecConfig::serial());
+        let wino_cfg = ExecConfig {
+            conv_algo: ConvAlgorithm::Winograd,
+            ..ExecConfig::serial()
+        };
+        let wino = conv.forward(&x, Phase::Eval, &wino_cfg);
+        assert!(direct.allclose(&wino, 1e-3));
+    }
+
+    #[test]
+    fn winograd_falls_back_for_unsupported_shapes() {
+        // 1x1 kernel: Winograd config silently uses the direct kernel.
+        let mut conv = Conv2d::new(4, 4, 1, 1, 0, 32);
+        let x = random([1, 4, 5, 5], 18);
+        let direct = conv.forward(&x, Phase::Eval, &ExecConfig::serial());
+        let wino_cfg = ExecConfig {
+            conv_algo: ConvAlgorithm::Winograd,
+            ..ExecConfig::serial()
+        };
+        let wino = conv.forward(&x, Phase::Eval, &wino_cfg);
+        assert!(direct.allclose(&wino, 1e-6));
+    }
+
+    #[test]
+    fn known_value_conv() {
+        // 1 in, 1 out, 3x3 all-ones kernel, bias 1, on an all-ones 3x3
+        // image with pad 1: centre output = 9 + 1, corner = 4 + 1.
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, 0);
+        conv.weight_mut().value.fill(1.0);
+        conv.bias.value.fill(1.0);
+        let y = conv.forward(&Tensor::ones([1, 1, 3, 3]), Phase::Eval, &ExecConfig::default());
+        assert_eq!(y[[0, 0, 1, 1]], 10.0);
+        assert_eq!(y[[0, 0, 0, 0]], 5.0);
+    }
+
+    #[test]
+    fn backward_gradient_check_weights() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 7);
+        let x = random([1, 2, 4, 4], 3);
+        let cfg = ExecConfig::serial();
+        // Loss = sum(output); dL/dy = ones.
+        let y = conv.forward(&x, Phase::Train, &cfg);
+        let ones = Tensor::ones(y.shape().dims().to_vec());
+        conv.backward(&ones);
+        let analytic = conv.weight.grad.clone();
+        let eps = 1e-3;
+        for &i in &[0usize, 5, 17, 30, analytic.len() - 1] {
+            let orig = conv.weight.value.data()[i];
+            conv.weight.value.data_mut()[i] = orig + eps;
+            let lp = conv.forward(&x, Phase::Eval, &cfg).sum();
+            conv.weight.value.data_mut()[i] = orig - eps;
+            let lm = conv.forward(&x, Phase::Eval, &cfg).sum();
+            conv.weight.value.data_mut()[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic.data()[i]).abs() < 2e-2,
+                "dW[{i}]: fd={fd}, analytic={}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_gradient_check_input() {
+        let mut conv = Conv2d::new(2, 2, 3, 1, 1, 9);
+        let x = random([1, 2, 4, 4], 4);
+        let cfg = ExecConfig::serial();
+        let y = conv.forward(&x, Phase::Train, &cfg);
+        let ones = Tensor::ones(y.shape().dims().to_vec());
+        let dx = conv.backward(&ones);
+        let eps = 1e-3;
+        for &i in &[0usize, 7, 19, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp = conv.forward(&xp, Phase::Eval, &cfg).sum();
+            let lm = conv.forward(&xm, Phase::Eval, &cfg).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.data()[i]).abs() < 2e-2,
+                "dX[{i}]: fd={fd}, analytic={}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_bias_gradient_is_output_count() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, 0);
+        let x = random([2, 1, 4, 4], 5);
+        let y = conv.forward(&x, Phase::Train, &ExecConfig::serial());
+        let ones = Tensor::ones(y.shape().dims().to_vec());
+        conv.backward(&ones);
+        // dL/db_o = number of output positions summed = 2 images * 16.
+        assert!((conv.bias.grad.data()[0] - 32.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn remove_out_channel_drops_row() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 1);
+        let before = conv.weight_matrix();
+        conv.remove_out_channel(1);
+        assert_eq!(conv.out_channels(), 2);
+        let after = conv.weight_matrix();
+        assert_eq!(after.data()[0..18], before.data()[0..18]);
+        assert_eq!(after.data()[18..36], before.data()[36..54]);
+    }
+
+    #[test]
+    fn remove_in_channel_drops_slice() {
+        let mut conv = Conv2d::new(3, 2, 3, 1, 1, 2);
+        let before = conv.weight.value.clone();
+        conv.remove_in_channel(0);
+        assert_eq!(conv.in_channels(), 2);
+        // For each filter, channels 1..3 of the old weights survive.
+        for o in 0..2 {
+            for c in 0..2 {
+                for t in 0..9 {
+                    assert_eq!(
+                        conv.weight.value.data()[(o * 2 + c) * 9 + t],
+                        before.data()[(o * 3 + c + 1) * 9 + t]
+                    );
+                }
+            }
+        }
+        // Forward still works at the new shape.
+        let y = conv.forward(&Tensor::zeros([1, 2, 4, 4]), Phase::Eval, &ExecConfig::default());
+        assert_eq!(y.shape().dims(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn descriptor_macs_formula() {
+        let conv = Conv2d::new(3, 64, 3, 1, 1, 0);
+        let d = conv.descriptor(&[1, 3, 32, 32]);
+        assert_eq!(d.macs, 64 * 27 * 1024);
+        assert_eq!(d.parallel_grains, 64);
+        assert_eq!(d.weight_elems, 64 * 27);
+        assert_eq!(d.output_elems, 64 * 1024);
+    }
+
+    #[test]
+    fn descriptor_tracks_csr_nnz() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, 3);
+        conv.weight_mut().value.fill(0.0);
+        conv.weight_mut().value.data_mut()[0] = 1.0;
+        conv.set_format(WeightFormat::Csr);
+        let d = conv.descriptor(&[1, 1, 4, 4]);
+        assert_eq!(d.weight_nnz, 1);
+        assert_eq!(d.format, WeightFormat::Csr);
+        assert!(d.sparsity() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward without")]
+    fn backward_requires_train_forward() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, 0);
+        let _ = conv.backward(&Tensor::zeros([1, 1, 4, 4]));
+    }
+}

@@ -1,0 +1,237 @@
+//! The `Layer` trait and the execution-configuration types shared by all
+//! layers.
+
+use crate::descriptor::LayerDescriptor;
+use cnn_stack_parallel::Schedule;
+use cnn_stack_tensor::Tensor;
+
+/// Whether a forward pass is part of training (caches activations for the
+/// backward pass, uses batch statistics) or pure inference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Training: layers cache whatever their backward pass needs.
+    Train,
+    /// Inference: no caching, running statistics, maximum speed.
+    Eval,
+}
+
+/// Which convolution algorithm the systems layer selects (§IV-C/D).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ConvAlgorithm {
+    /// Direct (7-loop) convolution — the paper's baseline kernels.
+    #[default]
+    Direct,
+    /// Lower to im2col, then one dense GEMM — the CLBlast pipeline.
+    Im2col,
+    /// F(2×2, 3×3) Winograd transform (the §II-B layer-3 candidate the
+    /// paper names but does not evaluate). Applies to dense 3×3 stride-1
+    /// convolutions; other layers fall back to the direct kernel.
+    Winograd,
+}
+
+/// How a layer's weights are stored at inference time (§IV-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum WeightFormat {
+    /// Contiguous dense array.
+    #[default]
+    Dense,
+    /// Compressed Sparse Row; pays per-nonzero index overhead.
+    Csr,
+}
+
+/// Execution configuration for a forward pass: the knobs of the paper's
+/// "Systems Techniques" stack layer.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_nn::ExecConfig;
+///
+/// let cfg = ExecConfig::with_threads(4);
+/// assert_eq!(cfg.threads, 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecConfig {
+    /// Worker thread count for the convolution/linear outer loops.
+    pub threads: usize,
+    /// Loop schedule (the paper uses dynamic scheduling).
+    pub schedule: Schedule,
+    /// Convolution lowering.
+    pub conv_algo: ConvAlgorithm,
+}
+
+impl ExecConfig {
+    /// Serial execution with direct convolutions — the paper's 1-thread
+    /// baseline.
+    pub fn serial() -> Self {
+        ExecConfig {
+            threads: 1,
+            schedule: Schedule::Dynamic { chunk: 1 },
+            conv_algo: ConvAlgorithm::Direct,
+        }
+    }
+
+    /// Direct convolutions on `threads` workers with dynamic scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread required");
+        ExecConfig {
+            threads,
+            ..ExecConfig::serial()
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig::serial()
+    }
+}
+
+/// A trainable parameter: value plus gradient accumulator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+    /// Optional binary mask; wherever the mask is zero the value is pinned
+    /// to zero (weight pruning keeps masks so fine-tuning cannot revive
+    /// pruned weights).
+    pub mask: Option<Tensor>,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient and no mask.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().dims().to_vec());
+        Param {
+            value,
+            grad,
+            mask: None,
+        }
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Re-applies the mask to the value (a no-op without a mask).
+    pub fn apply_mask(&mut self) {
+        if let Some(mask) = &self.mask {
+            for (v, m) in self.value.data_mut().iter_mut().zip(mask.data()) {
+                *v *= m;
+            }
+        }
+    }
+
+    /// Installs a binary mask and immediately applies it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask shape differs from the value shape.
+    pub fn set_mask(&mut self, mask: Tensor) {
+        assert_eq!(
+            mask.shape(),
+            self.value.shape(),
+            "mask shape must match parameter shape"
+        );
+        self.mask = Some(mask);
+        self.apply_mask();
+    }
+}
+
+/// A neural-network layer: forward, backward, parameters and a static
+/// descriptor for the hardware model.
+///
+/// Layers own their backward-pass caches, so `forward` takes `&mut self`;
+/// calling [`backward`](Layer::backward) is only valid after a
+/// [`Phase::Train`] forward.
+pub trait Layer: std::fmt::Debug + std::any::Any {
+    /// Short human-readable layer name, e.g. `"conv3x3(64->128)"`.
+    fn name(&self) -> String;
+
+    /// Upcast for concrete-type inspection (compression passes downcast
+    /// through this to reach `Conv2d`/`Linear`/… internals).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable upcast; see [`as_any`](Layer::as_any).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Computes the layer output.
+    fn forward(&mut self, input: &Tensor, phase: Phase, cfg: &ExecConfig) -> Tensor;
+
+    /// Propagates `grad_out` (gradient w.r.t. this layer's output) to the
+    /// input, accumulating parameter gradients along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`Phase::Train`] forward pass preceded this call.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to the layer's trainable parameters (empty for
+    /// stateless layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Static descriptor for the given input shape: MACs, weight counts,
+    /// parallel grain, output shape. Used by memory accounting and the
+    /// platform timing model.
+    fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor;
+
+    /// Flat descriptors of the primitive layers this layer comprises.
+    /// Composite layers (residual blocks) override this to expose their
+    /// children; primitives return just their own descriptor.
+    fn child_descriptors(&self, input_shape: &[usize]) -> Vec<LayerDescriptor> {
+        vec![self.descriptor(input_shape)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_config_defaults() {
+        let cfg = ExecConfig::default();
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.conv_algo, ConvAlgorithm::Direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = ExecConfig::with_threads(0);
+    }
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new(Tensor::ones([3]));
+        p.grad.fill(5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn param_mask_pins_zeros() {
+        let mut p = Param::new(Tensor::from_vec([4], vec![1.0, 2.0, 3.0, 4.0]));
+        p.set_mask(Tensor::from_vec([4], vec![1.0, 0.0, 1.0, 0.0]));
+        assert_eq!(p.value.data(), &[1.0, 0.0, 3.0, 0.0]);
+        // Simulate an SGD update reviving a pruned weight…
+        p.value.data_mut()[1] = 9.0;
+        p.apply_mask();
+        assert_eq!(p.value.data()[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask shape")]
+    fn mask_shape_checked() {
+        let mut p = Param::new(Tensor::ones([4]));
+        p.set_mask(Tensor::ones([3]));
+    }
+}

@@ -1,0 +1,343 @@
+//! Fully connected (dense) layer.
+
+use crate::descriptor::{LayerDescriptor, LayerKind};
+use crate::layer::{ExecConfig, Layer, Param, Phase, WeightFormat};
+use crate::par::DisjointWriter;
+use cnn_stack_parallel::parallel_for;
+use cnn_stack_sparse::CsrMatrix;
+use cnn_stack_tensor::init::{initialise, Init};
+use cnn_stack_tensor::{ops, Tensor};
+
+/// A fully connected layer `y = x · Wᵀ + b` over `[batch, in]` inputs.
+///
+/// Like [`crate::Conv2d`], the dense master weights can be snapshotted
+/// into CSR for sparse inference. The parallel grain is the output
+/// feature.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_nn::{ExecConfig, Layer, Linear, Phase};
+/// use cnn_stack_tensor::Tensor;
+///
+/// let mut fc = Linear::new(512, 10, 0);
+/// let y = fc.forward(&Tensor::zeros([4, 512]), Phase::Eval, &ExecConfig::default());
+/// assert_eq!(y.shape().dims(), &[4, 10]);
+/// ```
+#[derive(Debug)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    /// `[out, in]` weight matrix.
+    weight: Param,
+    bias: Param,
+    format: WeightFormat,
+    csr: Option<CsrMatrix>,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0, "feature counts must be non-zero");
+        Linear {
+            in_features,
+            out_features,
+            weight: Param::new(initialise([out_features, in_features], Init::XavierUniform, seed)),
+            bias: Param::new(Tensor::zeros([out_features])),
+            format: WeightFormat::Dense,
+            csr: None,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable weight parameter (invalidates any CSR snapshot).
+    pub fn weight_mut(&mut self) -> &mut Param {
+        self.csr = None;
+        &mut self.weight
+    }
+
+    /// The bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Current inference weight format.
+    pub fn format(&self) -> WeightFormat {
+        self.format
+    }
+
+    /// Selects the inference weight format.
+    pub fn set_format(&mut self, format: WeightFormat) {
+        self.format = format;
+        self.csr = match format {
+            WeightFormat::Dense => None,
+            WeightFormat::Csr => Some(CsrMatrix::from_dense(&self.weight.value, 0.0)),
+        };
+    }
+
+    /// Removes a contiguous block of input features (used when channel
+    /// pruning deletes a channel feeding the flattened classifier input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or would empty the layer.
+    pub fn remove_in_features(&mut self, start: usize, len: usize) {
+        assert!(start + len <= self.in_features, "feature range out of bounds");
+        assert!(len < self.in_features, "cannot remove every input feature");
+        let old_in = self.in_features;
+        let src = self.weight.value.data();
+        let mut w = Vec::with_capacity(self.out_features * (old_in - len));
+        for o in 0..self.out_features {
+            let row = &src[o * old_in..(o + 1) * old_in];
+            w.extend_from_slice(&row[..start]);
+            w.extend_from_slice(&row[start + len..]);
+        }
+        self.in_features -= len;
+        self.weight = Param::new(Tensor::from_vec([self.out_features, self.in_features], w));
+        self.csr = None;
+    }
+}
+
+impl Layer for Linear {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> String {
+        format!("linear({}->{})", self.in_features, self.out_features)
+    }
+
+    fn forward(&mut self, input: &Tensor, phase: Phase, cfg: &ExecConfig) -> Tensor {
+        let (batch, feat) = input.shape().matrix();
+        assert_eq!(feat, self.in_features, "{}: feature mismatch", self.name());
+        if phase == Phase::Train {
+            self.cached_input = Some(input.clone());
+        }
+        let mut out = Tensor::zeros([batch, self.out_features]);
+        let bdata = self.bias.value.data();
+        let in_data = input.data();
+        let out_f = self.out_features;
+        {
+            let writer = DisjointWriter::new(out.data_mut());
+            let writer = &writer;
+            match (self.format, &self.csr) {
+                (WeightFormat::Csr, Some(csr)) => {
+                    parallel_for(cfg.threads, out_f, cfg.schedule, |range| {
+                        for o in range {
+                            let (idx, val) = csr.row(o);
+                            for b in 0..batch {
+                                let x = &in_data[b * feat..(b + 1) * feat];
+                                let mut acc = bdata[o];
+                                for (&c, &v) in idx.iter().zip(val) {
+                                    acc += v * x[c as usize];
+                                }
+                                // SAFETY: element (b, o) is owned by grain o.
+                                unsafe {
+                                    writer.slice_mut(b * out_f + o, b * out_f + o + 1)[0] = acc;
+                                }
+                            }
+                        }
+                    });
+                }
+                _ => {
+                    let wdata = self.weight.value.data();
+                    parallel_for(cfg.threads, out_f, cfg.schedule, |range| {
+                        for o in range {
+                            let w_row = &wdata[o * feat..(o + 1) * feat];
+                            for b in 0..batch {
+                                let x = &in_data[b * feat..(b + 1) * feat];
+                                let mut acc = bdata[o];
+                                for (wv, xv) in w_row.iter().zip(x) {
+                                    acc += wv * xv;
+                                }
+                                // SAFETY: element (b, o) is owned by grain o.
+                                unsafe {
+                                    writer.slice_mut(b * out_f + o, b * out_f + o + 1)[0] = acc;
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward without a Train-phase forward");
+        let (batch, _) = input.shape().matrix();
+        // dW += dYᵀ · X ; db += colsum(dY) ; dX = dY · W.
+        let dy_t = ops::transpose(grad_out);
+        let dw = cnn_stack_tensor::matmul(&dy_t, &input);
+        self.weight.grad.axpy(1.0, &dw);
+        for b in 0..batch {
+            for o in 0..self.out_features {
+                self.bias.grad.data_mut()[o] += grad_out.data()[b * self.out_features + o];
+            }
+        }
+        cnn_stack_tensor::matmul(grad_out, &self.weight.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {
+        let batch = input_shape[0];
+        let weight_elems = self.in_features * self.out_features;
+        let weight_nnz = match (&self.csr, self.format) {
+            (Some(csr), WeightFormat::Csr) => csr.nnz(),
+            _ => self.weight.value.len() - self.weight.value.count_zeros(0.0),
+        };
+        LayerDescriptor {
+            name: self.name(),
+            kind: LayerKind::Linear {
+                in_features: self.in_features,
+                out_features: self.out_features,
+            },
+            macs: (batch * weight_elems) as u64,
+            weight_elems,
+            weight_nnz,
+            format: self.format,
+            input_elems: batch * self.in_features,
+            output_elems: batch * self.out_features,
+            output_shape: vec![batch, self.out_features],
+            scratch_elems: 0,
+            parallel_grains: self.out_features,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random(shape: impl Into<cnn_stack_tensor::Shape>, seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::from_fn(shape.into(), |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn forward_matches_matmul() {
+        let mut fc = Linear::new(6, 4, 1);
+        let x = random([3, 6], 2);
+        let y = fc.forward(&x, Phase::Eval, &ExecConfig::default());
+        let want = cnn_stack_tensor::matmul(&x, &ops::transpose(&fc.weight.value));
+        assert!(y.allclose(&want, 1e-5)); // bias is zero at init
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let mut fc = Linear::new(2, 2, 1);
+        fc.weight_mut().value.fill(0.0);
+        fc.bias.value.data_mut().copy_from_slice(&[1.5, -2.5]);
+        let y = fc.forward(&Tensor::ones([1, 2]), Phase::Eval, &ExecConfig::default());
+        assert_eq!(y.data(), &[1.5, -2.5]);
+    }
+
+    #[test]
+    fn sparse_and_parallel_paths_agree() {
+        let mut fc = Linear::new(16, 8, 3);
+        // Plant zeros so CSR differs structurally.
+        for i in (0..fc.weight.value.len()).step_by(3) {
+            fc.weight_mut().value.data_mut()[i] = 0.0;
+        }
+        let x = random([5, 16], 4);
+        let dense = fc.forward(&x, Phase::Eval, &ExecConfig::serial());
+        let dense_par = fc.forward(&x, Phase::Eval, &ExecConfig::with_threads(4));
+        fc.set_format(WeightFormat::Csr);
+        let sparse = fc.forward(&x, Phase::Eval, &ExecConfig::serial());
+        let sparse_par = fc.forward(&x, Phase::Eval, &ExecConfig::with_threads(3));
+        assert!(dense.allclose(&dense_par, 1e-5));
+        assert!(dense.allclose(&sparse, 1e-5));
+        assert!(dense.allclose(&sparse_par, 1e-5));
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut fc = Linear::new(4, 3, 5);
+        let x = random([2, 4], 6);
+        let cfg = ExecConfig::serial();
+        let y = fc.forward(&x, Phase::Train, &cfg);
+        let ones = Tensor::ones(y.shape().dims().to_vec());
+        let dx = fc.backward(&ones);
+        let eps = 1e-3;
+        for &i in &[0usize, 5, 11] {
+            let orig = fc.weight.value.data()[i];
+            fc.weight.value.data_mut()[i] = orig + eps;
+            let lp = fc.forward(&x, Phase::Eval, &cfg).sum();
+            fc.weight.value.data_mut()[i] = orig - eps;
+            let lm = fc.forward(&x, Phase::Eval, &cfg).sum();
+            fc.weight.value.data_mut()[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - fc.weight.grad.data()[i]).abs() < 1e-2, "dW[{i}]");
+        }
+        for &i in &[0usize, 3, 7] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp = fc.forward(&xp, Phase::Eval, &cfg).sum();
+            let lm = fc.forward(&xm, Phase::Eval, &cfg).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 1e-2, "dX[{i}]");
+        }
+        // Bias gradient: batch size.
+        assert!((fc.bias.grad.data()[0] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn remove_in_features_block() {
+        let mut fc = Linear::new(6, 2, 7);
+        let before = fc.weight.value.clone();
+        fc.remove_in_features(2, 2);
+        assert_eq!(fc.in_features(), 4);
+        for o in 0..2 {
+            assert_eq!(fc.weight.value.data()[o * 4], before.data()[o * 6]);
+            assert_eq!(fc.weight.value.data()[o * 4 + 2], before.data()[o * 6 + 4]);
+        }
+    }
+
+    #[test]
+    fn descriptor_macs() {
+        let fc = Linear::new(512, 10, 0);
+        let d = fc.descriptor(&[8, 512]);
+        assert_eq!(d.macs, 8 * 512 * 10);
+        assert_eq!(d.parallel_grains, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn wrong_input_width_rejected() {
+        let mut fc = Linear::new(4, 2, 0);
+        let _ = fc.forward(&Tensor::zeros([1, 5]), Phase::Eval, &ExecConfig::default());
+    }
+}

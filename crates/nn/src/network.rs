@@ -1,0 +1,350 @@
+//! A sequential network container.
+
+use crate::descriptor::LayerDescriptor;
+use crate::layer::{ExecConfig, Layer, Param, Phase, WeightFormat};
+use cnn_stack_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// A feed-forward network: an ordered pipeline of boxed layers.
+///
+/// Residual topologies are expressed by composite layers
+/// ([`crate::ResidualBlock`]), so a flat sequence suffices for all three
+/// of the paper's models. Execution is synchronised at every layer
+/// boundary, exactly as the paper's OpenMP implementation ("the execution
+/// of the threads is synchronised on each neural network layer", §IV-D).
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_nn::{Conv2d, ExecConfig, Flatten, Linear, Network, Phase, ReLU};
+/// use cnn_stack_tensor::Tensor;
+///
+/// let mut net = Network::new(vec![
+///     Box::new(Conv2d::new(3, 4, 3, 1, 1, 0)),
+///     Box::new(ReLU::new()),
+///     Box::new(Flatten::new()),
+///     Box::new(Linear::new(4 * 32 * 32, 10, 1)),
+/// ]);
+/// let logits = net.forward(&Tensor::zeros([2, 3, 32, 32]), Phase::Eval, &ExecConfig::default());
+/// assert_eq!(logits.shape().dims(), &[2, 10]);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Builds a network from an ordered layer list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!layers.is_empty(), "a network needs at least one layer");
+        Network { layers }
+    }
+
+    /// Number of top-level layers (composites count as one).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers (never true; see [`new`](Self::new)).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to a layer by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn layer(&self, idx: usize) -> &dyn Layer {
+        self.layers[idx].as_ref()
+    }
+
+    /// Mutable access to a layer by index (used by compression passes to
+    /// downcast to concrete layer types).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn layer_mut(&mut self, idx: usize) -> &mut Box<dyn Layer> {
+        &mut self.layers[idx]
+    }
+
+    /// Splits the layer list at `mid`, allowing two layers to be borrowed
+    /// mutably at once (used by transformation passes such as batch-norm
+    /// folding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid > len()`.
+    #[allow(clippy::type_complexity)] // the split-borrow pair is the API
+    pub fn layers_split_at_mut(
+        &mut self,
+        mid: usize,
+    ) -> (&mut [Box<dyn Layer>], &mut [Box<dyn Layer>]) {
+        self.layers.split_at_mut(mid)
+    }
+
+    /// Removes the layer at `idx`. Renumbers subsequent layers — any
+    /// index-based metadata (pruning plans) built against the old
+    /// numbering is invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range or if it would leave the network empty.
+    pub fn remove_layer(&mut self, idx: usize) -> Box<dyn Layer> {
+        assert!(self.layers.len() > 1, "cannot remove the last layer");
+        self.layers.remove(idx)
+    }
+
+    /// Runs the network forward.
+    pub fn forward(&mut self, input: &Tensor, phase: Phase, cfg: &ExecConfig) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, phase, cfg);
+        }
+        x
+    }
+
+    /// Runs the network forward, returning per-layer wall-clock times
+    /// alongside the output. This is the measured-mode instrument behind
+    /// the timing experiments.
+    pub fn forward_timed(
+        &mut self,
+        input: &Tensor,
+        cfg: &ExecConfig,
+    ) -> (Tensor, Vec<(String, Duration)>) {
+        let mut x = input.clone();
+        let mut times = Vec::with_capacity(self.layers.len());
+        for layer in &mut self.layers {
+            let start = Instant::now();
+            x = layer.forward(&x, Phase::Eval, cfg);
+            times.push((layer.name(), start.elapsed()));
+        }
+        (x, times)
+    }
+
+    /// Backpropagates `grad` (gradient w.r.t. the network output),
+    /// accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless a [`Phase::Train`] forward pass directly preceded it.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// All trainable parameters, in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Re-applies every pruning mask (after an optimiser step).
+    pub fn apply_masks(&mut self) {
+        for p in self.params_mut() {
+            p.apply_mask();
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Flat primitive-layer descriptors for a given input shape
+    /// (composites are expanded).
+    pub fn descriptors(&self, input_shape: &[usize]) -> Vec<LayerDescriptor> {
+        let mut shape = input_shape.to_vec();
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            let next_shape = layer.descriptor(&shape).output_shape;
+            out.extend(layer.child_descriptors(&shape));
+            shape = next_shape;
+        }
+        out
+    }
+
+    /// Total dense MAC count for one forward pass at `input_shape`.
+    pub fn macs(&self, input_shape: &[usize]) -> u64 {
+        self.descriptors(input_shape).iter().map(|d| d.macs).sum()
+    }
+
+    /// Total *stored-non-zero* MAC count, the paper's "expected" cost.
+    pub fn effective_macs(&self, input_shape: &[usize]) -> u64 {
+        self.descriptors(input_shape)
+            .iter()
+            .map(|d| d.effective_macs())
+            .sum()
+    }
+
+    /// Overall weight sparsity across all layers, weighted by element
+    /// count.
+    pub fn weight_sparsity(&self, input_shape: &[usize]) -> f64 {
+        let descs = self.descriptors(input_shape);
+        let total: usize = descs.iter().map(|d| d.weight_elems).sum();
+        let nnz: usize = descs.iter().map(|d| d.weight_nnz).sum();
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - nnz as f64 / total as f64
+        }
+    }
+
+    /// Output shape for a given input shape, without running the network.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let mut shape = input_shape.to_vec();
+        for layer in &self.layers {
+            shape = layer.descriptor(&shape).output_shape;
+        }
+        shape
+    }
+}
+
+/// Applies a weight format to every `Conv2d` and `Linear` in the network
+/// (descending into residual blocks). Convenience wrapper used by the
+/// format layer of the stack.
+pub fn set_network_format(net: &mut Network, format: WeightFormat) {
+    for i in 0..net.len() {
+        let layer = net.layer_mut(i);
+        if let Some(conv) = layer.as_any_mut().downcast_mut::<crate::Conv2d>() {
+            conv.set_format(format);
+        } else if let Some(fc) = layer.as_any_mut().downcast_mut::<crate::Linear>() {
+            fc.set_format(format);
+        } else if let Some(block) = layer.as_any_mut().downcast_mut::<crate::ResidualBlock>() {
+            block.set_format(format);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+    use cnn_stack_tensor::ops;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_net() -> Network {
+        Network::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, 1, 1, 0)),
+            Box::new(ReLU::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4 * 4 * 4, 3, 1)),
+        ])
+    }
+
+    fn random(shape: impl Into<cnn_stack_tensor::Shape>, seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::from_fn(shape.into(), |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut net = tiny_net();
+        let y = net.forward(&Tensor::zeros([2, 1, 8, 8]), Phase::Eval, &ExecConfig::default());
+        assert_eq!(y.shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn output_shape_matches_forward() {
+        let mut net = tiny_net();
+        let y = net.forward(&Tensor::zeros([2, 1, 8, 8]), Phase::Eval, &ExecConfig::default());
+        assert_eq!(net.output_shape(&[2, 1, 8, 8]), y.shape().dims());
+    }
+
+    #[test]
+    fn forward_timed_covers_every_layer() {
+        let mut net = tiny_net();
+        let (_, times) = net.forward_timed(&Tensor::zeros([1, 1, 8, 8]), &ExecConfig::default());
+        assert_eq!(times.len(), 5);
+        assert!(times.iter().all(|(name, _)| !name.is_empty()));
+    }
+
+    #[test]
+    fn end_to_end_training_reduces_loss() {
+        let mut net = tiny_net();
+        let x = random([8, 1, 8, 8], 2);
+        let labels = [0usize, 1, 2, 0, 1, 2, 0, 1];
+        let cfg = ExecConfig::serial();
+        let mut losses = Vec::new();
+        for _ in 0..30 {
+            net.zero_grad();
+            let logits = net.forward(&x, Phase::Train, &cfg);
+            let (loss, dlogits) = ops::cross_entropy_with_grad(&logits, &labels);
+            losses.push(loss);
+            net.backward(&dlogits);
+            for p in net.params_mut() {
+                let g = p.grad.clone();
+                p.value.axpy(-0.05, &g);
+            }
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "loss did not drop: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn num_params_counts_everything() {
+        let mut net = tiny_net();
+        // conv: 4*1*9 + 4; linear: 64*3 + 3.
+        assert_eq!(net.num_params(), 36 + 4 + 192 + 3);
+    }
+
+    #[test]
+    fn descriptors_walk_shapes() {
+        let net = tiny_net();
+        let descs = net.descriptors(&[1, 1, 8, 8]);
+        assert_eq!(descs.len(), 5);
+        assert_eq!(descs[0].output_shape, vec![1, 4, 8, 8]);
+        assert_eq!(descs[2].output_shape, vec![1, 4, 4, 4]);
+        assert_eq!(descs[4].output_shape, vec![1, 3]);
+    }
+
+    #[test]
+    fn macs_sum_over_layers() {
+        let net = tiny_net();
+        // conv: 4*9*64 MACs; linear: 64*3.
+        assert_eq!(net.macs(&[1, 1, 8, 8]), 4 * 9 * 64 + 64 * 3);
+    }
+
+    #[test]
+    fn sparsity_reflects_zeroed_weights() {
+        let mut net = tiny_net();
+        if let Some(conv) = net.layer_mut(0).as_any_mut().downcast_mut::<Conv2d>() {
+            conv.weight_mut().value.fill(0.0);
+        }
+        let s = net.weight_sparsity(&[1, 1, 8, 8]);
+        assert!(s > 0.1, "sparsity {s}");
+    }
+
+    #[test]
+    fn set_format_descends() {
+        let mut net = tiny_net();
+        set_network_format(&mut net, WeightFormat::Csr);
+        let descs = net.descriptors(&[1, 1, 8, 8]);
+        assert_eq!(descs[0].format, WeightFormat::Csr);
+        assert_eq!(descs[4].format, WeightFormat::Csr);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_rejected() {
+        let _ = Network::new(Vec::new());
+    }
+}

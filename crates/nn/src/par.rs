@@ -1,0 +1,70 @@
+//! Internal helper for writing disjoint output regions from parallel
+//! loops.
+
+/// A raw pointer to an output buffer that parallel workers write through,
+/// each touching a provably disjoint region (e.g. one output-channel plane
+/// per grain).
+///
+/// This mirrors what the paper's OpenMP C code does: every thread writes
+/// its own output rows of the shared array with no synchronisation.
+pub(crate) struct DisjointWriter {
+    ptr: *mut f32,
+    len: usize,
+}
+
+// SAFETY: the pointer is only dereferenced through `slice_mut`, whose
+// callers guarantee disjoint ranges across threads (enforced by the
+// parallel-loop structure: each loop index owns a unique output region).
+unsafe impl Sync for DisjointWriter {}
+unsafe impl Send for DisjointWriter {}
+
+impl DisjointWriter {
+    /// Wraps a mutable buffer for the duration of a parallel region.
+    pub(crate) fn new(buf: &mut [f32]) -> Self {
+        DisjointWriter {
+            ptr: buf.as_mut_ptr(),
+            len: buf.len(),
+        }
+    }
+
+    /// Returns a mutable subslice.
+    ///
+    /// # Safety
+    ///
+    /// Callers must guarantee that concurrently outstanding ranges never
+    /// overlap and that the underlying buffer outlives the region (the
+    /// borrow in [`new`](Self::new) enforces the lifetime at the
+    /// call site).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn slice_mut(&self, start: usize, end: usize) -> &mut [f32] {
+        debug_assert!(start <= end && end <= self.len, "disjoint write out of bounds");
+        std::slice::from_raw_parts_mut(self.ptr.add(start), end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_stack_parallel::{parallel_for, Schedule};
+
+    #[test]
+    fn parallel_disjoint_writes_land() {
+        let mut buf = vec![0.0f32; 64];
+        {
+            let w = DisjointWriter::new(&mut buf);
+            let w = &w;
+            parallel_for(4, 16, Schedule::Dynamic { chunk: 1 }, |range| {
+                for i in range {
+                    // Each grain owns elements [i*4, i*4+4).
+                    let s = unsafe { w.slice_mut(i * 4, i * 4 + 4) };
+                    for (k, v) in s.iter_mut().enumerate() {
+                        *v = (i * 4 + k) as f32;
+                    }
+                }
+            });
+        }
+        for (i, v) in buf.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+}

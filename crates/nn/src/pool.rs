@@ -1,0 +1,348 @@
+//! Pooling and shape layers: max pooling, global average pooling, flatten.
+
+use crate::descriptor::{LayerDescriptor, LayerKind};
+use crate::layer::{ExecConfig, Layer, Phase, WeightFormat};
+use cnn_stack_tensor::Tensor;
+
+/// Non-overlapping max pooling (the paper's networks use 2×2/stride-2
+/// after selected VGG layers).
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_nn::{ExecConfig, Layer, MaxPool2d, Phase};
+/// use cnn_stack_tensor::Tensor;
+///
+/// let mut pool = MaxPool2d::new(2);
+/// let y = pool.forward(&Tensor::zeros([1, 4, 8, 8]), Phase::Eval, &ExecConfig::default());
+/// assert_eq!(y.shape().dims(), &[1, 4, 4, 4]);
+/// ```
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    /// Linear index of the argmax per output element, for backward.
+    cached_argmax: Option<Vec<usize>>,
+    cached_input_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a `window × window`, stride-`window` max pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        MaxPool2d {
+            window,
+            cached_argmax: None,
+            cached_input_shape: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> String {
+        format!("maxpool{w}x{w}", w = self.window)
+    }
+
+    fn forward(&mut self, input: &Tensor, phase: Phase, _cfg: &ExecConfig) -> Tensor {
+        let (n, c, h, w) = input.shape().nchw();
+        assert!(
+            h % self.window == 0 && w % self.window == 0,
+            "{}: input {h}x{w} not divisible by window {}",
+            self.name(),
+            self.window
+        );
+        let oh = h / self.window;
+        let ow = w / self.window;
+        let mut out = Tensor::zeros([n, c, oh, ow]);
+        let mut argmax = vec![0usize; out.len()];
+        let src = input.data();
+        let dst = out.data_mut();
+        for img in 0..n {
+            for ch in 0..c {
+                let in_base = (img * c + ch) * h * w;
+                let out_base = (img * c + ch) * oh * ow;
+                for py in 0..oh {
+                    for px in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..self.window {
+                            for dx in 0..self.window {
+                                let idx =
+                                    in_base + (py * self.window + dy) * w + px * self.window + dx;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        dst[out_base + py * ow + px] = best;
+                        argmax[out_base + py * ow + px] = best_idx;
+                    }
+                }
+            }
+        }
+        if phase == Phase::Train {
+            self.cached_argmax = Some(argmax);
+            self.cached_input_shape = Some(input.shape().dims().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self
+            .cached_argmax
+            .take()
+            .expect("backward without a Train-phase forward");
+        let shape = self.cached_input_shape.take().expect("missing shape cache");
+        let mut grad_in = Tensor::zeros(shape);
+        for (g, &src_idx) in grad_out.data().iter().zip(&argmax) {
+            grad_in.data_mut()[src_idx] += g;
+        }
+        grad_in
+    }
+
+    fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {
+        let elems: usize = input_shape.iter().product();
+        LayerDescriptor {
+            name: self.name(),
+            kind: LayerKind::Pool,
+            macs: 0,
+            weight_elems: 0,
+            weight_nnz: 0,
+            format: WeightFormat::Dense,
+            input_elems: elems,
+            output_elems: elems / (self.window * self.window),
+            output_shape: vec![input_shape[0], input_shape[1], input_shape[2] / self.window, input_shape[3] / self.window],
+            scratch_elems: 0,
+            parallel_grains: 1,
+        }
+    }
+}
+
+/// Global average pooling: collapses each channel plane to one value.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    cached_input_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool.
+    pub fn new() -> Self {
+        GlobalAvgPool {
+            cached_input_shape: None,
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> String {
+        "globalavgpool".into()
+    }
+
+    fn forward(&mut self, input: &Tensor, phase: Phase, _cfg: &ExecConfig) -> Tensor {
+        let (n, c, h, w) = input.shape().nchw();
+        let plane = h * w;
+        let mut out = Tensor::zeros([n, c, 1, 1]);
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                let s: f32 = input.data()[base..base + plane].iter().sum();
+                out.data_mut()[img * c + ch] = s / plane as f32;
+            }
+        }
+        if phase == Phase::Train {
+            self.cached_input_shape = Some(input.shape().dims().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cached_input_shape
+            .take()
+            .expect("backward without a Train-phase forward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let plane = h * w;
+        let mut grad_in = Tensor::zeros(shape.clone());
+        for img in 0..n {
+            for ch in 0..c {
+                let g = grad_out.data()[img * c + ch] / plane as f32;
+                let base = (img * c + ch) * plane;
+                for v in &mut grad_in.data_mut()[base..base + plane] {
+                    *v = g;
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {
+        let elems: usize = input_shape.iter().product();
+        LayerDescriptor {
+            name: self.name(),
+            kind: LayerKind::Pool,
+            macs: 0,
+            weight_elems: 0,
+            weight_nnz: 0,
+            format: WeightFormat::Dense,
+            input_elems: elems,
+            output_elems: input_shape[0] * input_shape[1],
+            output_shape: vec![input_shape[0], input_shape[1], 1, 1],
+            scratch_elems: 0,
+            parallel_grains: 1,
+        }
+    }
+}
+
+/// Flattens `[n, c, h, w]` to `[n, c*h*w]` for the classifier head.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten {
+            cached_input_shape: None,
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> String {
+        "flatten".into()
+    }
+
+    fn forward(&mut self, input: &Tensor, phase: Phase, _cfg: &ExecConfig) -> Tensor {
+        let dims = input.shape().dims();
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        if phase == Phase::Train {
+            self.cached_input_shape = Some(dims.to_vec());
+        }
+        input.reshape([n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cached_input_shape
+            .take()
+            .expect("backward without a Train-phase forward");
+        grad_out.reshape(shape)
+    }
+
+    fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {
+        let elems: usize = input_shape.iter().product();
+        LayerDescriptor {
+            name: self.name(),
+            kind: LayerKind::Reshape,
+            macs: 0,
+            weight_elems: 0,
+            weight_nnz: 0,
+            format: WeightFormat::Dense,
+            input_elems: elems,
+            output_elems: elems,
+            output_shape: vec![input_shape[0], elems / input_shape[0]],
+            scratch_elems: 0,
+            parallel_grains: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let y = pool.forward(&x, Phase::Eval, &ExecConfig::default());
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 9.0, 2.0, 3.0]);
+        let _ = pool.forward(&x, Phase::Train, &ExecConfig::default());
+        let dx = pool.backward(&Tensor::from_vec([1, 1, 1, 1], vec![5.0]));
+        assert_eq!(dx.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn maxpool_rejects_ragged_input() {
+        let mut pool = MaxPool2d::new(2);
+        let _ = pool.forward(&Tensor::zeros([1, 1, 5, 5]), Phase::Eval, &ExecConfig::default());
+    }
+
+    #[test]
+    fn gap_averages_planes() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let y = gap.forward(&x, Phase::Eval, &ExecConfig::default());
+        assert_eq!(y.shape().dims(), &[1, 2, 1, 1]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn gap_backward_spreads_evenly() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::ones([1, 1, 2, 2]);
+        let _ = gap.forward(&x, Phase::Train, &ExecConfig::default());
+        let dx = gap.backward(&Tensor::from_vec([1, 1, 1, 1], vec![8.0]));
+        assert_eq!(dx.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut flat = Flatten::new();
+        let x = Tensor::from_fn([2, 3, 2, 2], |i| i as f32);
+        let y = flat.forward(&x, Phase::Train, &ExecConfig::default());
+        assert_eq!(y.shape().dims(), &[2, 12]);
+        let back = flat.backward(&y);
+        assert_eq!(back.shape().dims(), &[2, 3, 2, 2]);
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn descriptors() {
+        assert_eq!(MaxPool2d::new(2).descriptor(&[1, 4, 8, 8]).output_elems, 64);
+        assert_eq!(GlobalAvgPool::new().descriptor(&[2, 16, 4, 4]).output_elems, 32);
+        assert_eq!(Flatten::new().descriptor(&[1, 2, 3, 3]).output_elems, 18);
+    }
+}

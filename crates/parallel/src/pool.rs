@@ -1,0 +1,197 @@
+//! A persistent worker thread pool.
+
+use crossbeam::channel::{unbounded, Sender};
+use crossbeam::sync::WaitGroup;
+use parking_lot::Mutex;
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing `'static` tasks.
+///
+/// [`crate::parallel_for`] forks and joins threads per region, which is
+/// what the paper's OpenMP implementation effectively pays for
+/// ("OpenMP suffers from some overheads such as threads initialisation
+/// and loops scheduling", §IV-D). `ThreadPool` is the amortised
+/// alternative used by the experiment runner for coarse-grained jobs such
+/// as running independent experiment cells concurrently.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_parallel::ThreadPool;
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(2);
+/// let counter = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..10 {
+///     let c = Arc::clone(&counter);
+///     pool.execute(move || {
+///         c.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// pool.wait();
+/// assert_eq!(counter.load(Ordering::Relaxed), 10);
+/// ```
+pub struct ThreadPool {
+    sender: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+    pending: Mutex<Option<WaitGroup>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool of `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker required");
+        let (sender, receiver) = unbounded::<Task>();
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("cnn-stack-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            task();
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            pending: Mutex::new(Some(WaitGroup::new())),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a task for execution on some worker.
+    pub fn execute(&self, task: impl FnOnce() + Send + 'static) {
+        let guard = self
+            .pending
+            .lock()
+            .as_ref()
+            .expect("pool is shutting down")
+            .clone();
+        self.sender
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Box::new(move || {
+                task();
+                drop(guard);
+            }))
+            .expect("worker channel closed");
+    }
+
+    /// Blocks until every task submitted so far has finished.
+    pub fn wait(&self) {
+        let mut slot = self.pending.lock();
+        let wg = slot.take().expect("pool is shutting down");
+        *slot = Some(WaitGroup::new());
+        drop(slot);
+        wg.wait();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers drain and exit, then join them.
+        // Destructors must not fail: join errors (worker panics) are
+        // ignored here — the panic has already been reported on stderr.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ThreadPool({} workers)", self.workers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn wait_can_be_called_repeatedly() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for round in 1..=3 {
+            for _ in 0..10 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait();
+            assert_eq!(counter.load(Ordering::Relaxed), round * 10);
+        }
+    }
+
+    #[test]
+    fn wait_with_no_tasks_returns() {
+        let pool = ThreadPool::new(2);
+        pool.wait();
+        pool.wait();
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(3);
+            for _ in 0..20 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn threads_reports_size() {
+        assert_eq!(ThreadPool::new(5).threads(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(format!("{:?}", ThreadPool::new(1)).contains("workers"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Fork-join parallel loops with OpenMP-style scheduling.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An OpenMP loop schedule.
+///
+/// The paper uses `schedule(dynamic)` for convolution outer loops
+/// "because of the different amount of data required to process in each
+/// loop" (§IV-D); `Static` and `Guided` are provided for the scheduling
+/// ablation benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// Each thread receives one contiguous slice of ~`total / threads`
+    /// iterations, decided before the loop starts.
+    Static,
+    /// Threads repeatedly claim fixed-size chunks from a shared counter.
+    Dynamic {
+        /// Iterations claimed per grab.
+        chunk: usize,
+    },
+    /// Chunk size decays with the remaining work:
+    /// `max(remaining / (2·threads), min_chunk)`.
+    Guided {
+        /// Lower bound on the decaying chunk size.
+        min_chunk: usize,
+    },
+}
+
+impl Default for Schedule {
+    /// The paper's choice: dynamic with a 1-iteration chunk.
+    fn default() -> Self {
+        Schedule::Dynamic { chunk: 1 }
+    }
+}
+
+/// Instrumentation collected by [`parallel_for_stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Number of chunks dispatched across all threads.
+    pub chunks: usize,
+    /// Iterations executed by each thread, indexed by thread id.
+    pub per_thread_iterations: Vec<usize>,
+}
+
+impl RegionStats {
+    /// Load imbalance: `max_thread_iters / mean_thread_iters`, 1.0 being a
+    /// perfect balance. Returns 1.0 for empty regions.
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.per_thread_iterations.iter().sum();
+        if total == 0 || self.per_thread_iterations.is_empty() {
+            return 1.0;
+        }
+        let max = *self.per_thread_iterations.iter().max().unwrap() as f64;
+        let mean = total as f64 / self.per_thread_iterations.len() as f64;
+        max / mean
+    }
+}
+
+/// Runs `body` over `0..total` across `threads` OS threads with the given
+/// schedule, returning when every iteration has completed (the implicit
+/// OpenMP barrier at the end of a parallel region).
+///
+/// With `threads == 1` the loop runs inline with no thread spawn — exactly
+/// the serial baseline the paper measures as "1 thread".
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates a panic from `body`.
+pub fn parallel_for<F>(threads: usize, total: usize, schedule: Schedule, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let _ = parallel_for_stats(threads, total, schedule, body);
+}
+
+/// As [`parallel_for`], additionally returning scheduling statistics.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates a panic from `body`.
+pub fn parallel_for_stats<F>(
+    threads: usize,
+    total: usize,
+    schedule: Schedule,
+    body: F,
+) -> RegionStats
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    assert!(threads > 0, "at least one thread required");
+    if total == 0 {
+        return RegionStats {
+            chunks: 0,
+            per_thread_iterations: vec![0; threads],
+        };
+    }
+    if threads == 1 {
+        body(0..total);
+        return RegionStats {
+            chunks: 1,
+            per_thread_iterations: vec![total],
+        };
+    }
+
+    let chunk_counter = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let body = &body;
+    let next_ref = &next;
+    let chunk_ref = &chunk_counter;
+
+    let per_thread: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                scope.spawn(move || {
+                    let mut done = 0usize;
+                    match schedule {
+                        Schedule::Static => {
+                            // Contiguous block per thread, remainder spread
+                            // over the leading threads (OpenMP static).
+                            let base = total / threads;
+                            let rem = total % threads;
+                            let start = tid * base + tid.min(rem);
+                            let len = base + usize::from(tid < rem);
+                            if len > 0 {
+                                chunk_ref.fetch_add(1, Ordering::Relaxed);
+                                body(start..start + len);
+                                done = len;
+                            }
+                        }
+                        Schedule::Dynamic { chunk } => {
+                            let chunk = chunk.max(1);
+                            loop {
+                                let start = next_ref.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= total {
+                                    break;
+                                }
+                                let end = (start + chunk).min(total);
+                                chunk_ref.fetch_add(1, Ordering::Relaxed);
+                                body(start..end);
+                                done += end - start;
+                            }
+                        }
+                        Schedule::Guided { min_chunk } => {
+                            let min_chunk = min_chunk.max(1);
+                            loop {
+                                // CAS loop: claim a chunk proportional to
+                                // the remaining work.
+                                let mut start = next_ref.load(Ordering::Relaxed);
+                                let end = loop {
+                                    if start >= total {
+                                        break None;
+                                    }
+                                    let remaining = total - start;
+                                    let size = (remaining / (2 * threads)).max(min_chunk);
+                                    let end = (start + size).min(total);
+                                    match next_ref.compare_exchange_weak(
+                                        start,
+                                        end,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    ) {
+                                        Ok(_) => break Some(end),
+                                        Err(cur) => start = cur,
+                                    }
+                                };
+                                let Some(end) = end else { break };
+                                chunk_ref.fetch_add(1, Ordering::Relaxed);
+                                body(start..end);
+                                done += end - start;
+                            }
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    RegionStats {
+        chunks: chunk_counter.load(Ordering::Relaxed),
+        per_thread_iterations: per_thread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn covered_exactly_once(threads: usize, total: usize, schedule: Schedule) {
+        let hits = Mutex::new(vec![0u32; total]);
+        parallel_for(threads, total, schedule, |range| {
+            let mut h = hits.lock().unwrap();
+            for i in range {
+                h[i] += 1;
+            }
+        });
+        let h = hits.into_inner().unwrap();
+        assert!(h.iter().all(|&c| c == 1), "{schedule:?} t={threads} n={total}: {h:?}");
+    }
+
+    #[test]
+    fn static_covers_every_index_once() {
+        for &t in &[1, 2, 3, 4, 8] {
+            for &n in &[0, 1, 5, 64, 97] {
+                covered_exactly_once(t, n, Schedule::Static);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_covers_every_index_once() {
+        for &t in &[1, 2, 4, 8] {
+            for &n in &[0, 1, 13, 100] {
+                for &c in &[1, 3, 16] {
+                    covered_exactly_once(t, n, Schedule::Dynamic { chunk: c });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guided_covers_every_index_once() {
+        for &t in &[2, 4] {
+            for &n in &[1, 17, 128] {
+                covered_exactly_once(t, n, Schedule::Guided { min_chunk: 2 });
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let stats = parallel_for_stats(1, 50, Schedule::Dynamic { chunk: 4 }, |_| {});
+        assert_eq!(stats.chunks, 1);
+        assert_eq!(stats.per_thread_iterations, vec![50]);
+    }
+
+    #[test]
+    fn zero_iterations_is_noop() {
+        let stats = parallel_for_stats(4, 0, Schedule::Static, |_| panic!("must not run"));
+        assert_eq!(stats.chunks, 0);
+    }
+
+    #[test]
+    fn dynamic_chunk_counts() {
+        let stats = parallel_for_stats(2, 100, Schedule::Dynamic { chunk: 10 }, |_| {});
+        assert_eq!(stats.chunks, 10);
+        let total: usize = stats.per_thread_iterations.iter().sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn static_chunk_count_equals_threads() {
+        let stats = parallel_for_stats(4, 100, Schedule::Static, |_| {});
+        assert_eq!(stats.chunks, 4);
+        assert_eq!(stats.per_thread_iterations, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn static_remainder_spread() {
+        let stats = parallel_for_stats(4, 10, Schedule::Static, |_| {});
+        let mut per = stats.per_thread_iterations.clone();
+        per.sort_unstable();
+        assert_eq!(per, vec![2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let balanced = RegionStats {
+            chunks: 2,
+            per_thread_iterations: vec![50, 50],
+        };
+        assert!((balanced.imbalance() - 1.0).abs() < 1e-12);
+        let skewed = RegionStats {
+            chunks: 2,
+            per_thread_iterations: vec![90, 10],
+        };
+        assert!((skewed.imbalance() - 1.8).abs() < 1e-12);
+        assert_eq!(RegionStats::default().imbalance(), 1.0);
+    }
+
+    #[test]
+    fn results_are_deterministic_for_commutative_reductions() {
+        // Each index writes to its own slot, so the result is identical
+        // regardless of schedule.
+        let mut expect = vec![0.0f64; 200];
+        for (i, v) in expect.iter_mut().enumerate() {
+            *v = (i as f64).sqrt();
+        }
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 7 },
+            Schedule::Guided { min_chunk: 1 },
+        ] {
+            let out = Mutex::new(vec![0.0f64; 200]);
+            parallel_for(4, 200, schedule, |range| {
+                let vals: Vec<(usize, f64)> = range.map(|i| (i, (i as f64).sqrt())).collect();
+                let mut o = out.lock().unwrap();
+                for (i, v) in vals {
+                    o[i] = v;
+                }
+            });
+            assert_eq!(out.into_inner().unwrap(), expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        parallel_for(0, 10, Schedule::Static, |_| {});
+    }
+
+    #[test]
+    fn default_schedule_is_dynamic_one() {
+        assert_eq!(Schedule::default(), Schedule::Dynamic { chunk: 1 });
+    }
+}

@@ -1,0 +1,241 @@
+//! Sparse convolution kernels.
+//!
+//! The paper's CSR inference path uses the *direct* convolution algorithm
+//! with sparse filters (§V-D: "This is due to using the direct convolution
+//! algorithm and the filter size of the networks"). Both that direct
+//! kernel and the im2col+SpMM lowering are provided so the ablation bench
+//! can compare them.
+
+use crate::csr::CsrMatrix;
+use cnn_stack_tensor::{im2col, Conv2dGeometry, Tensor};
+
+/// Direct sparse 2-D convolution.
+///
+/// * `input` — `[n, in_c, h, w]` activations.
+/// * `filters` — CSR matrix of shape `[out_c, in_c * k_h * k_w]` whose row
+///   `o` holds the flattened filter for output channel `o`.
+/// * `bias` — optional `[out_c]` bias.
+///
+/// Each stored non-zero costs one index decode (recovering its
+/// `(channel, kh, kw)` tap) plus `out_h * out_w` multiply-accumulates with
+/// strided, non-contiguous input reads — the locality penalty behind the
+/// paper's "sparse methods fail to provide any speedup" result.
+///
+/// # Panics
+///
+/// Panics if the filter matrix width does not equal
+/// `geom.patch_len()`, the input shape does not match `geom`, or the bias
+/// length does not equal the output channel count.
+#[allow(clippy::needless_range_loop)]
+pub fn sparse_conv2d(
+    input: &Tensor,
+    filters: &CsrMatrix,
+    bias: Option<&[f32]>,
+    geom: &Conv2dGeometry,
+) -> Tensor {
+    let (n, in_c, h, w) = input.shape().nchw();
+    assert_eq!(in_c, geom.in_channels, "input channel mismatch");
+    assert_eq!((h, w), (geom.in_h, geom.in_w), "input extent mismatch");
+    assert_eq!(
+        filters.cols(),
+        geom.patch_len(),
+        "filter width {} does not match patch length {}",
+        filters.cols(),
+        geom.patch_len()
+    );
+    let out_c = filters.rows();
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_c, "bias length mismatch");
+    }
+    let mut output = Tensor::zeros([n, out_c, geom.out_h, geom.out_w]);
+    let in_data = input.data();
+    let out_data = output.data_mut();
+    let in_img = in_c * h * w;
+    let out_img = out_c * geom.out_h * geom.out_w;
+    let khw = geom.k_h * geom.k_w;
+
+    for img in 0..n {
+        let input_img = &in_data[img * in_img..(img + 1) * in_img];
+        let output_img = &mut out_data[img * out_img..(img + 1) * out_img];
+        for o in 0..out_c {
+            let plane = &mut output_img[o * geom.out_h * geom.out_w..(o + 1) * geom.out_h * geom.out_w];
+            if let Some(b) = bias {
+                plane.fill(b[o]);
+            }
+            let (idx, val) = filters.row(o);
+            for (&flat, &v) in idx.iter().zip(val) {
+                let flat = flat as usize;
+                let c = flat / khw;
+                let kh = (flat % khw) / geom.k_w;
+                let kw = flat % geom.k_w;
+                let in_plane = &input_img[c * h * w..(c + 1) * h * w];
+                for oh in 0..geom.out_h {
+                    let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
+                    if ih < 0 || ih as usize >= h {
+                        continue;
+                    }
+                    let in_row = &in_plane[ih as usize * w..(ih as usize + 1) * w];
+                    let out_row = &mut plane[oh * geom.out_w..(oh + 1) * geom.out_w];
+                    for ow in 0..geom.out_w {
+                        let iw = (ow * geom.stride + kw) as isize - geom.padding as isize;
+                        if iw < 0 || iw as usize >= w {
+                            continue;
+                        }
+                        out_row[ow] += v * in_row[iw as usize];
+                    }
+                }
+            }
+        }
+    }
+    output
+}
+
+/// Sparse convolution via the im2col lowering: `filters · im2col(input)`.
+///
+/// Produces bit-compatible results with [`sparse_conv2d`] but trades the
+/// irregular direct access pattern for a large dense intermediate — the
+/// memory/time trade-off the paper notes when discussing im2col (§V-D).
+///
+/// # Panics
+///
+/// Same contract as [`sparse_conv2d`].
+pub fn sparse_conv2d_im2col(
+    input: &Tensor,
+    filters: &CsrMatrix,
+    bias: Option<&[f32]>,
+    geom: &Conv2dGeometry,
+) -> Tensor {
+    let (n, in_c, h, w) = input.shape().nchw();
+    assert_eq!(in_c, geom.in_channels, "input channel mismatch");
+    assert_eq!((h, w), (geom.in_h, geom.in_w), "input extent mismatch");
+    let out_c = filters.rows();
+    let positions = geom.out_positions();
+    let mut output = Tensor::zeros([n, out_c, geom.out_h, geom.out_w]);
+    let out_data = output.data_mut();
+    let in_img = in_c * h * w;
+    for img in 0..n {
+        let cols = im2col(&input.data()[img * in_img..(img + 1) * in_img], geom);
+        let prod = filters.spmm(&cols);
+        let dst = &mut out_data[img * out_c * positions..(img + 1) * out_c * positions];
+        dst.copy_from_slice(prod.data());
+        if let Some(b) = bias {
+            for o in 0..out_c {
+                for p in &mut dst[o * positions..(o + 1) * positions] {
+                    *p += b[o];
+                }
+            }
+        }
+    }
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_stack_tensor::matmul;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random(shape: impl Into<cnn_stack_tensor::Shape>, density: f64, seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::from_fn(shape.into(), |_| {
+            if rng.gen_bool(density) {
+                rng.gen_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Dense reference convolution via im2col + GEMM.
+    fn reference_conv(input: &Tensor, wmat: &Tensor, bias: Option<&[f32]>, geom: &Conv2dGeometry) -> Tensor {
+        let (n, in_c, h, w) = input.shape().nchw();
+        let out_c = wmat.shape().dims()[0];
+        let positions = geom.out_positions();
+        let mut out = Tensor::zeros([n, out_c, geom.out_h, geom.out_w]);
+        let od = out.data_mut();
+        for img in 0..n {
+            let cols = im2col(&input.data()[img * in_c * h * w..(img + 1) * in_c * h * w], geom);
+            let prod = matmul(wmat, &cols);
+            let dst = &mut od[img * out_c * positions..(img + 1) * out_c * positions];
+            dst.copy_from_slice(prod.data());
+            if let Some(b) = bias {
+                for o in 0..out_c {
+                    for p in &mut dst[o * positions..(o + 1) * positions] {
+                        *p += b[o];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn direct_matches_reference_3x3() {
+        let geom = Conv2dGeometry::new(3, 8, 8, 3, 3, 1, 1);
+        let input = random([2, 3, 8, 8], 1.0, 1);
+        let wmat = random([4, geom.patch_len()], 0.4, 2);
+        let bias = vec![0.1f32, -0.2, 0.3, 0.0];
+        let filters = CsrMatrix::from_dense(&wmat, 0.0);
+        let want = reference_conv(&input, &wmat, Some(&bias), &geom);
+        let got = sparse_conv2d(&input, &filters, Some(&bias), &geom);
+        assert!(want.allclose(&got, 1e-4));
+    }
+
+    #[test]
+    fn direct_matches_reference_stride2_no_bias() {
+        let geom = Conv2dGeometry::new(2, 9, 9, 3, 3, 2, 1);
+        let input = random([1, 2, 9, 9], 1.0, 3);
+        let wmat = random([5, geom.patch_len()], 0.5, 4);
+        let filters = CsrMatrix::from_dense(&wmat, 0.0);
+        let want = reference_conv(&input, &wmat, None, &geom);
+        let got = sparse_conv2d(&input, &filters, None, &geom);
+        assert!(want.allclose(&got, 1e-4));
+    }
+
+    #[test]
+    fn direct_matches_reference_1x1() {
+        let geom = Conv2dGeometry::new(8, 4, 4, 1, 1, 1, 0);
+        let input = random([1, 8, 4, 4], 1.0, 5);
+        let wmat = random([6, 8], 0.6, 6);
+        let filters = CsrMatrix::from_dense(&wmat, 0.0);
+        let want = reference_conv(&input, &wmat, None, &geom);
+        let got = sparse_conv2d(&input, &filters, None, &geom);
+        assert!(want.allclose(&got, 1e-4));
+    }
+
+    #[test]
+    fn im2col_path_matches_direct() {
+        let geom = Conv2dGeometry::new(3, 6, 6, 3, 3, 1, 1);
+        let input = random([2, 3, 6, 6], 1.0, 7);
+        let wmat = random([4, geom.patch_len()], 0.3, 8);
+        let bias = vec![1.0f32; 4];
+        let filters = CsrMatrix::from_dense(&wmat, 0.0);
+        let a = sparse_conv2d(&input, &filters, Some(&bias), &geom);
+        let b = sparse_conv2d_im2col(&input, &filters, Some(&bias), &geom);
+        assert!(a.allclose(&b, 1e-4));
+    }
+
+    #[test]
+    fn all_zero_filters_give_bias_only() {
+        let geom = Conv2dGeometry::new(1, 4, 4, 3, 3, 1, 1);
+        let input = random([1, 1, 4, 4], 1.0, 9);
+        let filters = CsrMatrix::from_dense(&Tensor::zeros([2, 9]), 0.0);
+        let bias = vec![2.0f32, -1.0];
+        let out = sparse_conv2d(&input, &filters, Some(&bias), &geom);
+        for v in &out.data()[0..16] {
+            assert_eq!(*v, 2.0);
+        }
+        for v in &out.data()[16..32] {
+            assert_eq!(*v, -1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "filter width")]
+    fn wrong_filter_width_rejected() {
+        let geom = Conv2dGeometry::new(2, 4, 4, 3, 3, 1, 1);
+        let filters = CsrMatrix::from_dense(&Tensor::zeros([2, 9]), 0.0); // needs 18
+        let _ = sparse_conv2d(&Tensor::zeros([1, 2, 4, 4]), &filters, None, &geom);
+    }
+}

@@ -1,0 +1,213 @@
+//! Coordinate (COO) format — the simplest sparse representation, one
+//! `(row, col, value)` triplet per non-zero.
+//!
+//! The paper evaluates CSR only and "leaves the exploration of other
+//! formats for future work" (§IV-C); COO is the first entry of that
+//! exploration (see the `format_comparison` ablation bench). Its
+//! per-nonzero cost is 12 bytes (two u32 indices + one f32) against CSR's
+//! 8, but it has no per-row pointer overhead, so it wins for very tall
+//! or hyper-sparse matrices.
+
+use crate::csr::CsrMatrix;
+use cnn_stack_tensor::Tensor;
+use std::fmt;
+
+/// A coordinate-format sparse matrix with row-major-sorted triplets.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_sparse::CooMatrix;
+/// use cnn_stack_tensor::Tensor;
+///
+/// let d = Tensor::from_vec([2, 2], vec![0.0, 1.0, 2.0, 0.0]);
+/// let m = CooMatrix::from_dense(&d, 0.0);
+/// assert_eq!(m.nnz(), 2);
+/// assert!(m.to_dense().allclose(&d, 0.0));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    row_indices: Vec<u32>,
+    col_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CooMatrix {
+    /// Converts a dense matrix, dropping entries with `|v| <= threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is not rank-2.
+    pub fn from_dense(dense: &Tensor, threshold: f32) -> Self {
+        let (rows, cols) = dense.shape().matrix();
+        let mut row_indices = Vec::new();
+        let mut col_indices = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense.data()[r * cols + c];
+                if v.abs() > threshold {
+                    row_indices.push(r as u32);
+                    col_indices.push(c as u32);
+                    values.push(v);
+                }
+            }
+        }
+        CooMatrix {
+            rows,
+            cols,
+            row_indices,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored non-zero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Expands back to dense.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros([self.rows, self.cols]);
+        for i in 0..self.nnz() {
+            out.data_mut()[self.row_indices[i] as usize * self.cols
+                + self.col_indices[i] as usize] = self.values[i];
+        }
+        out
+    }
+
+    /// Sparse × dense product `C = self · B`.
+    ///
+    /// Each triplet costs two index loads and one scattered accumulate —
+    /// strictly worse locality than CSR's row-grouped traversal, which is
+    /// why COO is a storage/interchange format rather than a compute one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not rank-2 or dimensions disagree.
+    pub fn spmm(&self, b: &Tensor) -> Tensor {
+        let (bk, bn) = b.shape().matrix();
+        assert_eq!(bk, self.cols, "inner dimension mismatch");
+        let mut out = Tensor::zeros([self.rows, bn]);
+        let odata = out.data_mut();
+        for i in 0..self.nnz() {
+            let r = self.row_indices[i] as usize;
+            let c = self.col_indices[i] as usize;
+            let v = self.values[i];
+            let brow = &b.data()[c * bn..(c + 1) * bn];
+            for (o, &bv) in odata[r * bn..(r + 1) * bn].iter_mut().zip(brow) {
+                *o += v * bv;
+            }
+        }
+        out
+    }
+
+    /// Exact heap bytes: 12 per non-zero.
+    pub fn storage_bytes(&self) -> usize {
+        self.nnz() * (4 + 4 + 4)
+    }
+
+    /// Converts to CSR (triplets are already row-major sorted).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut indptr = vec![0usize; self.rows + 1];
+        for &r in &self.row_indices {
+            indptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            indptr[i + 1] += indptr[i];
+        }
+        CsrMatrix::from_raw(
+            self.rows,
+            self.cols,
+            indptr,
+            self.col_indices.clone(),
+            self.values.clone(),
+        )
+    }
+}
+
+impl fmt::Debug for CooMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CooMatrix({}x{}, nnz={})", self.rows, self.cols, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_stack_tensor::matmul;
+
+    fn sample() -> Tensor {
+        Tensor::from_vec(
+            [3, 4],
+            vec![1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 3.0, -1.0, 0.5, 0.0, 0.0],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = sample();
+        let m = CooMatrix::from_dense(&d, 0.0);
+        assert_eq!(m.nnz(), 5);
+        assert!(m.to_dense().allclose(&d, 0.0));
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = sample();
+        let b = Tensor::from_fn([4, 3], |i| i as f32 * 0.5 - 2.0);
+        let want = matmul(&a, &b);
+        let got = CooMatrix::from_dense(&a, 0.0).spmm(&b);
+        assert!(want.allclose(&got, 1e-5));
+    }
+
+    #[test]
+    fn to_csr_preserves_structure() {
+        let d = sample();
+        let coo = CooMatrix::from_dense(&d, 0.0);
+        let csr = coo.to_csr();
+        assert!(csr.to_dense().allclose(&d, 0.0));
+        assert_eq!(csr.nnz(), coo.nnz());
+    }
+
+    #[test]
+    fn storage_is_12_bytes_per_nnz() {
+        let m = CooMatrix::from_dense(&sample(), 0.0);
+        assert_eq!(m.storage_bytes(), 5 * 12);
+    }
+
+    #[test]
+    fn coo_vs_csr_storage_tradeoff() {
+        // Hyper-sparse tall matrix: COO (no row pointers) wins.
+        let mut tall = Tensor::zeros([1000, 4]);
+        tall.data_mut()[0] = 1.0;
+        let coo = CooMatrix::from_dense(&tall, 0.0);
+        let csr = CsrMatrix::from_dense(&tall, 0.0);
+        assert!(coo.storage_bytes() < csr.storage_bytes());
+        // Dense-ish wide matrix: CSR's 8 B/nnz wins.
+        let wide = Tensor::ones([2, 512]);
+        let coo = CooMatrix::from_dense(&wide, 0.0);
+        let csr = CsrMatrix::from_dense(&wide, 0.0);
+        assert!(csr.storage_bytes() < coo.storage_bytes());
+    }
+
+    #[test]
+    fn threshold_drops_small_entries() {
+        // Values are {1, 2, 3, -1, 0.5}; |v| > 0.6 keeps four of them.
+        let m = CooMatrix::from_dense(&sample(), 0.6);
+        assert_eq!(m.nnz(), 4);
+    }
+}

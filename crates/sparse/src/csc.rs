@@ -1,0 +1,248 @@
+//! Compressed Sparse Column matrices.
+
+use crate::csr::CsrMatrix;
+use cnn_stack_tensor::Tensor;
+use std::fmt;
+
+/// A Compressed Sparse Column (CSC) matrix over `f32`.
+///
+/// CSC is the column-major dual of [`CsrMatrix`]. The paper evaluates CSR
+/// only ("We leave the exploration of other formats for future work",
+/// §IV-C); CSC is provided so that the format-ablation benchmark can make
+/// that comparison concrete, and because the channel-pruning code removes
+/// *columns* of the layer-weight matrix, which is O(removed columns) here
+/// versus O(nnz) in CSR.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_sparse::CscMatrix;
+/// use cnn_stack_tensor::Tensor;
+///
+/// let d = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 2.0]);
+/// let m = CscMatrix::from_dense(&d, 0.0);
+/// assert_eq!(m.nnz(), 2);
+/// assert!(m.to_dense().allclose(&d, 0.0));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    /// `colptr[c]..colptr[c+1]` spans the entries of column `c`.
+    colptr: Vec<usize>,
+    row_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CscMatrix {
+    /// Converts a dense matrix to CSC, dropping entries with
+    /// `|v| <= threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is not rank-2.
+    pub fn from_dense(dense: &Tensor, threshold: f32) -> Self {
+        let (rows, cols) = dense.shape().matrix();
+        let data = dense.data();
+        let mut colptr = Vec::with_capacity(cols + 1);
+        let mut row_indices = Vec::new();
+        let mut values = Vec::new();
+        colptr.push(0);
+        for c in 0..cols {
+            for r in 0..rows {
+                let v = data[r * cols + c];
+                if v.abs() > threshold {
+                    row_indices.push(r as u32);
+                    values.push(v);
+                }
+            }
+            colptr.push(values.len());
+        }
+        CscMatrix {
+            rows,
+            cols,
+            colptr,
+            row_indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(row_indices, values)` slice for one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols()`.
+    pub fn col(&self, c: usize) -> (&[u32], &[f32]) {
+        assert!(c < self.cols, "column {c} out of bounds");
+        let span = self.colptr[c]..self.colptr[c + 1];
+        (&self.row_indices[span.clone()], &self.values[span])
+    }
+
+    /// Expands back to a dense tensor.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros([self.rows, self.cols]);
+        let data = out.data_mut();
+        for c in 0..self.cols {
+            for p in self.colptr[c]..self.colptr[c + 1] {
+                data[self.row_indices[p] as usize * self.cols + c] = self.values[p];
+            }
+        }
+        out
+    }
+
+    /// Drops an entire column, renumbering later columns — the structural
+    /// operation channel pruning performs on a `[out, in]` weight matrix
+    /// when an input channel disappears.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols()`.
+    pub fn remove_col(&mut self, c: usize) {
+        assert!(c < self.cols, "column {c} out of bounds");
+        let span = self.colptr[c]..self.colptr[c + 1];
+        let removed = span.len();
+        self.row_indices.drain(span.clone());
+        self.values.drain(span);
+        for p in self.colptr[c + 1..].iter_mut() {
+            *p -= removed;
+        }
+        self.colptr.remove(c + 1);
+        self.cols -= 1;
+    }
+
+    /// Sparse × dense product `C = self · B`, traversing by column:
+    /// every stored entry of column `c` scatters `value × B[c, :]` into
+    /// its row of the output. Compared to CSR's row-major traversal the
+    /// output accesses scatter, which is why CSR is the compute format of
+    /// choice and CSC the *surgery* format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not rank-2 or its row count differs from `cols()`.
+    pub fn spmm(&self, b: &Tensor) -> Tensor {
+        let (bk, bn) = b.shape().matrix();
+        assert_eq!(bk, self.cols, "inner dimension mismatch");
+        let mut out = Tensor::zeros([self.rows, bn]);
+        let odata = out.data_mut();
+        for c in 0..self.cols {
+            let brow = &b.data()[c * bn..(c + 1) * bn];
+            for p in self.colptr[c]..self.colptr[c + 1] {
+                let r = self.row_indices[p] as usize;
+                let v = self.values[p];
+                for (o, &bv) in odata[r * bn..(r + 1) * bn].iter_mut().zip(brow) {
+                    *o += v * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact heap bytes of the three CSC arrays.
+    pub fn storage_bytes(&self) -> usize {
+        self.colptr.len() * std::mem::size_of::<usize>()
+            + self.row_indices.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The same matrix in CSR form.
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_dense(&self.to_dense(), 0.0)
+    }
+}
+
+impl fmt::Debug for CscMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CscMatrix({}x{}, nnz={})", self.rows, self.cols, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let d = Tensor::from_vec([3, 3], vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0]);
+        let m = CscMatrix::from_dense(&d, 0.0);
+        assert_eq!(m.nnz(), 4);
+        assert!(m.to_dense().allclose(&d, 0.0));
+    }
+
+    #[test]
+    fn col_access() {
+        let d = Tensor::from_vec([2, 3], vec![1.0, 0.0, 2.0, 3.0, 0.0, 0.0]);
+        let m = CscMatrix::from_dense(&d, 0.0);
+        let (ri, v) = m.col(0);
+        assert_eq!(ri, &[0, 1]);
+        assert_eq!(v, &[1.0, 3.0]);
+        assert!(m.col(1).0.is_empty());
+    }
+
+    #[test]
+    fn remove_col_shifts_structure() {
+        let d = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut m = CscMatrix::from_dense(&d, 0.0);
+        m.remove_col(1);
+        assert_eq!(m.cols(), 2);
+        let want = Tensor::from_vec([2, 2], vec![1.0, 3.0, 4.0, 6.0]);
+        assert!(m.to_dense().allclose(&want, 0.0));
+    }
+
+    #[test]
+    fn remove_first_and_last_col() {
+        let d = Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]);
+        let mut m = CscMatrix::from_dense(&d, 0.0);
+        m.remove_col(0);
+        m.remove_col(1);
+        assert_eq!(m.to_dense().data(), &[2.0]);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        use cnn_stack_tensor::matmul;
+        let d = Tensor::from_vec(
+            [3, 4],
+            vec![1.0, 0.0, 2.0, 0.0, 0.0, -1.0, 0.0, 3.0, 0.5, 0.0, 0.0, -2.0],
+        );
+        let b = Tensor::from_fn([4, 5], |i| i as f32 * 0.25 - 1.0);
+        let want = matmul(&d, &b);
+        let got = CscMatrix::from_dense(&d, 0.0).spmm(&b);
+        assert!(want.allclose(&got, 1e-5));
+    }
+
+    #[test]
+    fn to_csr_agrees() {
+        let d = Tensor::from_vec([2, 2], vec![0.0, 7.0, 8.0, 0.0]);
+        let m = CscMatrix::from_dense(&d, 0.0);
+        assert!(m.to_csr().to_dense().allclose(&d, 0.0));
+    }
+
+    #[test]
+    fn storage_formula() {
+        let d = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let m = CscMatrix::from_dense(&d, 0.0);
+        assert_eq!(m.storage_bytes(), 3 * 8 + 2 * 4 + 2 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn remove_col_bounds() {
+        let mut m = CscMatrix::from_dense(&Tensor::zeros([2, 2]), 0.0);
+        m.remove_col(2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Byte-exact memory accounting for weight storage formats.
+//!
+//! Tables IV and VI of the paper report runtime memory footprints and show
+//! the counter-intuitive headline result that CSR storage of pruned models
+//! is *larger* than dense storage ("in dense format the matrix is an array
+//! of 9 floating point elements for the 3×3 filter, while in CSR format
+//! there are 3 arrays ... with additional parameters", §V-D). This module
+//! provides the arithmetic behind those tables.
+
+use std::fmt;
+
+/// Size of one matrix-format choice, in bytes, broken into its arrays.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_sparse::FormatCost;
+///
+/// // A 3x3 filter that is 50% sparse: CSR still loses to dense.
+/// let dense = FormatCost::dense(1, 9);
+/// let csr = FormatCost::csr(1, 9, 5);
+/// assert!(csr.total() > dense.total());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FormatCost {
+    /// Bytes of f32 payload values.
+    pub values: usize,
+    /// Bytes of per-nonzero column (or row) indices.
+    pub indices: usize,
+    /// Bytes of row- (or column-) pointer array.
+    pub pointers: usize,
+}
+
+impl FormatCost {
+    /// Cost of storing an `rows × cols` matrix densely.
+    pub fn dense(rows: usize, cols: usize) -> Self {
+        FormatCost {
+            values: rows * cols * 4,
+            indices: 0,
+            pointers: 0,
+        }
+    }
+
+    /// Cost of storing an `rows × cols` matrix with `nnz` non-zeros in CSR
+    /// (u32 column indices, usize row pointers — the layout of
+    /// [`crate::CsrMatrix`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nnz > rows * cols`.
+    pub fn csr(rows: usize, cols: usize, nnz: usize) -> Self {
+        assert!(nnz <= rows * cols, "nnz {nnz} exceeds matrix capacity");
+        FormatCost {
+            values: nnz * 4,
+            indices: nnz * 4,
+            pointers: (rows + 1) * 8,
+        }
+    }
+
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.values + self.indices + self.pointers
+    }
+}
+
+impl fmt::Display for FormatCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} B (values {} + indices {} + pointers {})",
+            self.total(),
+            self.values,
+            self.indices,
+            self.pointers
+        )
+    }
+}
+
+/// Bytes for dense storage of an `rows × cols` f32 matrix.
+pub fn dense_bytes(rows: usize, cols: usize) -> usize {
+    FormatCost::dense(rows, cols).total()
+}
+
+/// Bytes for CSR storage of an `rows × cols` matrix with `nnz` stored
+/// entries.
+///
+/// # Panics
+///
+/// Panics if `nnz > rows * cols`.
+pub fn csr_bytes(rows: usize, cols: usize, nnz: usize) -> usize {
+    FormatCost::csr(rows, cols, nnz).total()
+}
+
+/// The break-even *density* below which CSR storage becomes smaller than
+/// dense storage for an `rows × cols` matrix. At 8 bytes per stored
+/// non-zero (value + index) versus 4 bytes per dense element, CSR wins
+/// only below ~50 % density minus the row-pointer overhead.
+pub fn csr_breakeven_density(rows: usize, cols: usize) -> f64 {
+    let dense = dense_bytes(rows, cols) as f64;
+    let pointers = ((rows + 1) * 8) as f64;
+    // dense = pointers + nnz * 8  =>  nnz = (dense - pointers) / 8.
+    ((dense - pointers) / 8.0 / (rows * cols) as f64).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_cost_is_4_bytes_per_element() {
+        assert_eq!(dense_bytes(3, 3), 36);
+        assert_eq!(dense_bytes(512, 512), 512 * 512 * 4);
+    }
+
+    #[test]
+    fn csr_cost_formula() {
+        // 10 rows, 100 nnz: 100*4 values + 100*4 indices + 11*8 pointers.
+        assert_eq!(csr_bytes(10, 50, 100), 400 + 400 + 88);
+    }
+
+    #[test]
+    fn paper_3x3_filter_observation() {
+        // One 3x3 filter at the paper's ~77% VGG sparsity (2 of 9 kept):
+        // dense = 36 B, CSR = 2*8 + 2*8 = 32? No: 2 values*4 + 2 idx*4 +
+        // 2 pointers*8 = 8 + 8 + 16 = 32 — CSR only just wins for a single
+        // row; but per-filter-row layouts (9 rows of 1) lose badly.
+        let dense = dense_bytes(1, 9);
+        assert_eq!(dense, 36);
+        assert_eq!(csr_bytes(1, 9, 2), 8 + 8 + 16);
+        // 50% sparsity: CSR loses.
+        assert!(csr_bytes(1, 9, 5) > dense);
+        // Layer stored as [out_c rows x 9]: at 50% density CSR always loses.
+        assert!(csr_bytes(64, 9, 64 * 5) > dense_bytes(64, 9));
+    }
+
+    #[test]
+    fn breakeven_density_near_half_for_wide_rows() {
+        let be = csr_breakeven_density(64, 4608); // VGG conv matrix shape
+        assert!(be > 0.45 && be < 0.5, "breakeven {be}");
+    }
+
+    #[test]
+    fn breakeven_zero_for_tiny_matrices() {
+        // Pointer overhead alone exceeds dense cost.
+        assert_eq!(csr_breakeven_density(10, 1), 0.0);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        let c = FormatCost::csr(2, 4, 3);
+        let s = c.to_string();
+        assert!(s.contains("values") && s.contains("pointers"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds matrix capacity")]
+    fn csr_nnz_validated() {
+        let _ = csr_bytes(2, 2, 5);
+    }
+
+    #[test]
+    fn format_cost_matches_csr_matrix_storage() {
+        use crate::csr::CsrMatrix;
+        use cnn_stack_tensor::Tensor;
+        let d = Tensor::from_vec([2, 3], vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+        let m = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(m.storage_bytes(), csr_bytes(2, 3, 3));
+    }
+}

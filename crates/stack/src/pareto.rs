@@ -1,0 +1,129 @@
+//! Pareto-curve exploration and operating-point selection (Fig. 3,
+//! Tables III and V).
+
+use cnn_stack_compress::{AccuracyModel, Technique};
+use cnn_stack_models::ModelKind;
+
+/// One sampled point of an accuracy trade-off curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParetoPoint {
+    /// Operating point (sparsity %, compression %, or TTQ threshold).
+    pub x: f64,
+    /// Predicted top-1 accuracy, percent.
+    pub accuracy_pct: f64,
+}
+
+/// Samples the accuracy curve for a model × technique over the paper's
+/// plotted range.
+///
+/// # Panics
+///
+/// Panics if `points < 2`.
+pub fn pareto_curve(kind: ModelKind, technique: Technique, points: usize) -> Vec<ParetoPoint> {
+    assert!(points >= 2, "need at least two points");
+    AccuracyModel::curve(kind, technique, points)
+        .into_iter()
+        .map(|(x, accuracy_pct)| ParetoPoint { x, accuracy_pct })
+        .collect()
+}
+
+/// Detects the curve's elbow: the most aggressive operating point whose
+/// accuracy is still within `tolerance_pct` of the best accuracy on the
+/// curve. This formalises the paper's "obvious elbows on the Pareto
+/// curves" (§V-D); Table III records the authors' manual picks, which
+/// this detector approximates.
+///
+/// # Panics
+///
+/// Panics if `curve` is empty or `tolerance_pct` is negative.
+pub fn detect_elbow(curve: &[ParetoPoint], tolerance_pct: f64) -> ParetoPoint {
+    assert!(!curve.is_empty(), "curve must be non-empty");
+    assert!(tolerance_pct >= 0.0, "tolerance must be non-negative");
+    let best = curve
+        .iter()
+        .map(|p| p.accuracy_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
+    // "Most aggressive" = largest x (all of the paper's x-axes order
+    // increasing compression left to right).
+    curve
+        .iter()
+        .filter(|p| p.accuracy_pct >= best - tolerance_pct)
+        .cloned()
+        .fold(curve[0], |acc, p| if p.x > acc.x { p } else { acc })
+}
+
+/// The Table V inverse problem: the most aggressive operating point with
+/// accuracy at least `target_pct`. Returns `None` when even the
+/// uncompressed model misses the target.
+pub fn operating_point_at_accuracy(
+    kind: ModelKind,
+    technique: Technique,
+    target_pct: f64,
+) -> Option<f64> {
+    AccuracyModel::operating_point_for_accuracy(kind, technique, target_pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_span_paper_ranges() {
+        let wp = pareto_curve(ModelKind::Vgg16, Technique::WeightPruning, 101);
+        assert_eq!(wp.len(), 101);
+        assert_eq!(wp[0].x, 0.0);
+        assert_eq!(wp[100].x, 100.0);
+        let q = pareto_curve(ModelKind::MobileNet, Technique::TernaryQuantisation, 21);
+        assert!((q[20].x - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elbow_is_within_tolerance_of_best() {
+        for kind in ModelKind::all() {
+            for tech in [Technique::WeightPruning, Technique::ChannelPruning] {
+                let curve = pareto_curve(kind, tech, 201);
+                let elbow = detect_elbow(&curve, 1.0);
+                let best = curve
+                    .iter()
+                    .map(|p| p.accuracy_pct)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert!(elbow.accuracy_pct >= best - 1.0);
+                // And it is aggressive: at least as far as every other
+                // qualifying point.
+                for p in &curve {
+                    if p.accuracy_pct >= best - 1.0 {
+                        assert!(elbow.x >= p.x);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detected_elbows_approximate_table3() {
+        // The detector should land in the neighbourhood of the paper's
+        // manual picks for the models that hold accuracy (VGG/ResNet).
+        let curve = pareto_curve(ModelKind::Vgg16, Technique::WeightPruning, 401);
+        let elbow = detect_elbow(&curve, 1.0);
+        let paper = AccuracyModel::table3_operating_point(ModelKind::Vgg16, Technique::WeightPruning);
+        assert!(
+            (elbow.x - paper).abs() < 12.0,
+            "elbow {} vs paper {paper}",
+            elbow.x
+        );
+    }
+
+    #[test]
+    fn inverse_lookup_matches_target() {
+        let x = operating_point_at_accuracy(ModelKind::ResNet18, Technique::ChannelPruning, 90.0)
+            .unwrap();
+        let acc = AccuracyModel::accuracy(ModelKind::ResNet18, Technique::ChannelPruning, x);
+        assert!((acc - 90.0).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_curve_rejected() {
+        let _ = detect_elbow(&[], 1.0);
+    }
+}

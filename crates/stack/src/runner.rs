@@ -1,0 +1,143 @@
+//! End-to-end evaluation of one stack configuration: the experiment cell
+//! behind every bar of Figs. 4–6 and every entry of Tables IV/VI.
+
+use crate::build::materialise;
+use crate::config::StackConfig;
+use cnn_stack_hwsim::{network_energy, network_time, EnergyModel, SimConfig};
+use cnn_stack_nn::memory::{network_memory, MemoryBreakdown};
+use cnn_stack_nn::{ConvAlgorithm, ExecConfig, Phase};
+use cnn_stack_tensor::Tensor;
+use std::time::Instant;
+
+/// One evaluated cell of the experiment grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// Modelled inference time on the configured platform, seconds.
+    pub modelled_s: f64,
+    /// Wall-clock time of a real host execution (functional validation),
+    /// if one was requested.
+    pub measured_host_s: Option<f64>,
+    /// Runtime memory footprint (paper accounting), megabytes.
+    pub memory_mb: f64,
+    /// Modelled energy per inference on the configured platform, joules.
+    pub energy_j: f64,
+    /// Memory breakdown.
+    pub memory: MemoryBreakdown,
+    /// Predicted top-1 accuracy, percent.
+    pub accuracy_pct: f64,
+    /// Dense MAC count of the materialised network.
+    pub macs: u64,
+    /// Effective (stored-non-zero) MACs.
+    pub effective_macs: u64,
+    /// Overall weight sparsity in `[0, 1]`.
+    pub sparsity: f64,
+}
+
+/// Evaluates `cfg` with the analytic platform model only (no host
+/// execution). Uses the full-width model.
+pub fn evaluate(cfg: &StackConfig) -> CellResult {
+    evaluate_with(cfg, 1.0, false)
+}
+
+/// Evaluates `cfg` at a given width multiplier, optionally also running
+/// one real forward pass on the build host for functional validation
+/// (`measure_host`). Host measurement uses the configured thread count
+/// and convolution algorithm.
+pub fn evaluate_with(cfg: &StackConfig, width: f64, measure_host: bool) -> CellResult {
+    let mut model = materialise(cfg, width);
+    let input_shape = [1usize, 3, 32, 32];
+    let descs = model.network.descriptors(&input_shape);
+
+    let platform = cfg.platform.platform();
+    let sim = SimConfig {
+        threads: cfg.threads,
+        backend: cfg.backend,
+        im2col: matches!(cfg.algorithm, ConvAlgorithm::Im2col),
+    };
+    let (modelled_s, _) = network_time(&platform, &descs, &sim);
+    let energy = network_energy(&platform, &EnergyModel::for_platform(&platform), &descs, &sim);
+
+    let memory = network_memory(&descs, matches!(cfg.algorithm, ConvAlgorithm::Im2col));
+
+    let measured_host_s = if measure_host {
+        let exec = ExecConfig {
+            threads: cfg.threads,
+            conv_algo: cfg.algorithm,
+            ..ExecConfig::serial()
+        };
+        let input = Tensor::zeros(input_shape.to_vec());
+        // Warm once, then time one pass.
+        let _ = model.network.forward(&input, Phase::Eval, &exec);
+        let start = Instant::now();
+        let _ = model.network.forward(&input, Phase::Eval, &exec);
+        Some(start.elapsed().as_secs_f64())
+    } else {
+        None
+    };
+
+    let macs: u64 = descs.iter().map(|d| d.macs).sum();
+    let effective_macs: u64 = descs.iter().map(|d| d.effective_macs()).sum();
+
+    CellResult {
+        modelled_s,
+        measured_host_s,
+        memory_mb: memory.total_mb(),
+        energy_j: energy.total(),
+        memory,
+        accuracy_pct: cfg.predicted_accuracy(),
+        macs,
+        effective_macs,
+        sparsity: model.network.weight_sparsity(&input_shape),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CompressionChoice, PlatformChoice};
+    use cnn_stack_models::ModelKind;
+
+    #[test]
+    fn plain_cell_has_baseline_accuracy_and_positive_time() {
+        let cfg = StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7);
+        let cell = evaluate(&cfg);
+        assert!((cell.accuracy_pct - 92.20).abs() < 1e-9);
+        assert!(cell.modelled_s > 0.5 && cell.modelled_s < 3.0);
+        assert!(cell.memory_mb > 30.0);
+        assert!(cell.energy_j > 0.0);
+        assert_eq!(cell.macs, cell.effective_macs);
+        assert!(cell.measured_host_s.is_none());
+    }
+
+    #[test]
+    fn channel_pruning_cell_is_faster_and_smaller() {
+        let plain = evaluate(&StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7));
+        let cp = evaluate(
+            &StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7)
+                .compress(CompressionChoice::ChannelPruning { compression_pct: 88.48 }),
+        );
+        assert!(cp.modelled_s < plain.modelled_s * 0.5);
+        assert!(cp.memory_mb < plain.memory_mb * 0.5);
+    }
+
+    #[test]
+    fn weight_pruning_cell_is_slower_but_sparser() {
+        let plain = evaluate(&StackConfig::plain(ModelKind::ResNet18, PlatformChoice::OdroidXu4));
+        let wp = evaluate(
+            &StackConfig::plain(ModelKind::ResNet18, PlatformChoice::OdroidXu4)
+                .compress(CompressionChoice::WeightPruning { sparsity_pct: 88.92 }),
+        );
+        assert!(wp.sparsity > 0.8);
+        assert!(wp.modelled_s >= plain.modelled_s * 0.95);
+        // Per the paper's Table IV, the CSR footprint exceeds the dense one.
+        assert!(wp.memory_mb > plain.memory_mb);
+    }
+
+    #[test]
+    fn host_measurement_runs_when_requested() {
+        let cfg = StackConfig::plain(ModelKind::MobileNet, PlatformChoice::IntelI7);
+        let cell = evaluate_with(&cfg, 0.1, true);
+        let t = cell.measured_host_s.expect("host time requested");
+        assert!(t > 0.0 && t < 30.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! General matrix–matrix multiplication kernels.
+//!
+//! The paper's systems layer leans heavily on GEMM: the im2col convolution
+//! lowering (§IV-D) turns every convolution into one `M×K · K×N` product,
+//! and the CLBlast comparison in Fig. 6 is a GEMM-library study. This
+//! module provides the three CPU variants the characterisation needs:
+//!
+//! * [`GemmAlgorithm::Naive`] — triple loop in `ijk` order; the reference.
+//! * [`GemmAlgorithm::Blocked`] — cache-blocked `ikj` loops with a
+//!   fixed block size; the "hand-optimised serial C" analogue.
+//! * [`GemmAlgorithm::Tiled`] — fully parameterised tiling mirroring
+//!   CLBlast's tuning surface (used by `cnn-stack-hwsim`'s auto-tuner).
+
+use crate::tensor::Tensor;
+
+/// Which GEMM kernel to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum GemmAlgorithm {
+    /// Textbook triple loop (`ijk`). O(MNK), poor locality on large K.
+    Naive,
+    /// Cache-blocked `ikj` ordering with 64-element square blocks.
+    #[default]
+    Blocked,
+    /// Parameterised register/cache tiling; see [`TileConfig`].
+    Tiled(TileConfig),
+}
+
+/// Tiling parameters for [`GemmAlgorithm::Tiled`].
+///
+/// These mirror the subset of CLBlast's 14-parameter GEMM tuning surface
+/// that is meaningful on a CPU: tile extents in the M/N/K dimensions and
+/// an unroll factor for the innermost loop.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_tensor::TileConfig;
+///
+/// let cfg = TileConfig::new(32, 32, 64, 4);
+/// assert_eq!(cfg.tile_m, 32);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TileConfig {
+    /// Tile extent along the output-row (M) dimension.
+    pub tile_m: usize,
+    /// Tile extent along the output-column (N) dimension.
+    pub tile_n: usize,
+    /// Tile extent along the reduction (K) dimension.
+    pub tile_k: usize,
+    /// Unroll factor for the innermost loop (1, 2, 4 or 8).
+    pub unroll: usize,
+}
+
+impl TileConfig {
+    /// Creates a tile configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero or `unroll` is not in {1, 2, 4, 8}.
+    pub fn new(tile_m: usize, tile_n: usize, tile_k: usize, unroll: usize) -> Self {
+        assert!(tile_m > 0 && tile_n > 0 && tile_k > 0, "tile extents must be non-zero");
+        assert!(
+            matches!(unroll, 1 | 2 | 4 | 8),
+            "unroll must be 1, 2, 4 or 8, got {unroll}"
+        );
+        TileConfig {
+            tile_m,
+            tile_n,
+            tile_k,
+            unroll,
+        }
+    }
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig::new(32, 32, 32, 4)
+    }
+}
+
+/// Computes `C = A · B` for rank-2 tensors with the default blocked kernel.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is not rank-2 or the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec([1, 2], vec![1.0, 2.0]);
+/// let b = Tensor::from_vec([2, 1], vec![3.0, 4.0]);
+/// assert_eq!(matmul(&a, &b).data(), &[11.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_with(a, b, GemmAlgorithm::Blocked)
+}
+
+/// Computes `C = A · B` with an explicit kernel choice.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is not rank-2 or the inner dimensions disagree.
+pub fn matmul_with(a: &Tensor, b: &Tensor, algo: GemmAlgorithm) -> Tensor {
+    let (m, ka) = a.shape().matrix();
+    let (kb, n) = b.shape().matrix();
+    assert_eq!(ka, kb, "inner dimension mismatch: {ka} vs {kb}");
+    let mut c = Tensor::zeros([m, n]);
+    gemm_into(a.data(), b.data(), c.data_mut(), m, ka, n, algo);
+    c
+}
+
+/// Raw-slice GEMM: `c[m×n] += a[m×k] · b[k×n]`, row-major.
+///
+/// The accumulating (`+=`) contract lets callers fold a bias initialisation
+/// into `c` before the product.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn gemm_into(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    algo: GemmAlgorithm,
+) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+    match algo {
+        GemmAlgorithm::Naive => gemm_naive(a, b, c, m, k, n),
+        GemmAlgorithm::Blocked => gemm_tiled(a, b, c, m, k, n, TileConfig::new(64, 64, 64, 4)),
+        GemmAlgorithm::Tiled(cfg) => gemm_tiled(a, b, c, m, k, n, cfg),
+    }
+}
+
+/// GEMM over a sub-range of output rows: `c[rows, :] += a[rows, :] · b`.
+///
+/// This is the unit of work the OpenMP-style parallel executor distributes
+/// across threads (one chunk of output rows per task).
+///
+/// # Panics
+///
+/// Panics if `row_end > m` or slice lengths are inconsistent.
+// Low-level kernel signature: the argument list *is* the GEMM shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_rows_into(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+) {
+    assert!(row_start <= row_end && row_end <= m, "row range out of bounds");
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+    for i in row_start..row_end {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+fn gemm_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+fn gemm_tiled(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, cfg: TileConfig) {
+    let TileConfig {
+        tile_m,
+        tile_n,
+        tile_k,
+        unroll,
+    } = cfg;
+    let mut i0 = 0;
+    while i0 < m {
+        let i1 = (i0 + tile_m).min(m);
+        let mut p0 = 0;
+        while p0 < k {
+            let p1 = (p0 + tile_k).min(k);
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + tile_n).min(n);
+                for i in i0..i1 {
+                    for p in p0..p1 {
+                        let av = a[i * k + p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[p * n..p * n + n];
+                        let c_row = &mut c[i * n..i * n + n];
+                        let mut j = j0;
+                        // Unrolled inner loop over the N tile.
+                        while j + unroll <= j1 {
+                            for u in 0..unroll {
+                                c_row[j + u] += av * b_row[j + u];
+                            }
+                            j += unroll;
+                        }
+                        while j < j1 {
+                            c_row[j] += av * b_row[j];
+                            j += 1;
+                        }
+                    }
+                }
+                j0 = j1;
+            }
+            p0 = p1;
+        }
+        i0 = i1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_tensor(shape: [usize; 2], seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::from_fn(shape, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec([3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let a = random_tensor([5, 5], 1);
+        let id = Tensor::from_fn([5, 5], |off| if off % 6 == 0 { 1.0 } else { 0.0 });
+        assert!(matmul(&a, &id).allclose(&a, 1e-6));
+        assert!(matmul(&id, &a).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn all_algorithms_agree() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (16, 16, 16), (33, 65, 17), (64, 128, 9)] {
+            let a = random_tensor([m, k], m as u64);
+            let b = random_tensor([k, n], n as u64);
+            let naive = matmul_with(&a, &b, GemmAlgorithm::Naive);
+            let blocked = matmul_with(&a, &b, GemmAlgorithm::Blocked);
+            let tiled = matmul_with(&a, &b, GemmAlgorithm::Tiled(TileConfig::new(8, 8, 8, 2)));
+            assert!(naive.allclose(&blocked, 1e-4), "blocked mismatch {m}x{k}x{n}");
+            assert!(naive.allclose(&tiled, 1e-4), "tiled mismatch {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn gemm_rows_partition_equals_full() {
+        let (m, k, n) = (10, 12, 8);
+        let a = random_tensor([m, k], 42);
+        let b = random_tensor([k, n], 43);
+        let full = matmul_with(&a, &b, GemmAlgorithm::Naive);
+        let mut c = vec![0.0; m * n];
+        gemm_rows_into(a.data(), b.data(), &mut c, m, k, n, 0, 4);
+        gemm_rows_into(a.data(), b.data(), &mut c, m, k, n, 4, 10);
+        let part = Tensor::from_vec([m, n], c);
+        assert!(full.allclose(&part, 1e-5));
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = Tensor::ones([2, 2]);
+        let b = Tensor::ones([2, 2]);
+        let mut c = vec![10.0; 4];
+        gemm_into(a.data(), b.data(), &mut c, 2, 2, 2, GemmAlgorithm::Naive);
+        assert_eq!(c, vec![12.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unroll")]
+    fn bad_unroll_rejected() {
+        let _ = TileConfig::new(8, 8, 8, 3);
+    }
+
+    #[test]
+    fn tile_config_default_valid() {
+        let cfg = TileConfig::default();
+        assert!(cfg.tile_m > 0 && cfg.unroll == 4);
+    }
+}

@@ -1,0 +1,277 @@
+//! The `im2col`/`col2im` data-layout transformation.
+//!
+//! `im2col` rearranges image patches into matrix columns so that a
+//! convolution becomes a single GEMM (§IV-D of the paper: "the CLBlast
+//! library ... requires ... the im2col operation, which rearranges image
+//! blocks to columns"). Its inverse, `col2im`, scatter-adds columns back
+//! into an image and is the core of the convolution backward pass.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Static geometry of a 2-D convolution: input/kernel extents, stride and
+/// padding, plus the derived output extents.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_tensor::Conv2dGeometry;
+///
+/// // A CIFAR-10 3x3 "same" convolution.
+/// let g = Conv2dGeometry::new(3, 32, 32, 3, 3, 1, 1);
+/// assert_eq!((g.out_h, g.out_w), (32, 32));
+/// assert_eq!(g.patch_len(), 3 * 3 * 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all four sides).
+    pub padding: usize,
+    /// Output height, derived.
+    pub out_h: usize,
+    /// Output width, derived.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Computes the geometry for the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stride is zero or the kernel (after padding) does not
+    /// fit inside the input.
+    pub fn new(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(stride > 0, "stride must be non-zero");
+        assert!(
+            in_h + 2 * padding >= k_h && in_w + 2 * padding >= k_w,
+            "kernel {k_h}x{k_w} larger than padded input {}x{}",
+            in_h + 2 * padding,
+            in_w + 2 * padding
+        );
+        let out_h = (in_h + 2 * padding - k_h) / stride + 1;
+        let out_w = (in_w + 2 * padding - k_w) / stride + 1;
+        Conv2dGeometry {
+            in_channels,
+            in_h,
+            in_w,
+            k_h,
+            k_w,
+            stride,
+            padding,
+            out_h,
+            out_w,
+        }
+    }
+
+    /// Length of one flattened patch: `in_channels * k_h * k_w`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.k_h * self.k_w
+    }
+
+    /// Number of output spatial positions: `out_h * out_w`.
+    pub fn out_positions(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+/// Rearranges one NCHW image (`[1, C, H, W]` or `[C, H, W]` worth of data)
+/// into the im2col matrix of shape `[patch_len, out_h * out_w]`.
+///
+/// Out-of-bounds taps read as zero (zero padding).
+///
+/// # Panics
+///
+/// Panics if `image.len() != C * H * W` for the geometry.
+pub fn im2col(image: &[f32], geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(
+        image.len(),
+        geom.in_channels * geom.in_h * geom.in_w,
+        "image length does not match geometry"
+    );
+    let rows = geom.patch_len();
+    let cols = geom.out_positions();
+    let mut out = vec![0.0f32; rows * cols];
+    let mut row = 0;
+    for c in 0..geom.in_channels {
+        for kh in 0..geom.k_h {
+            for kw in 0..geom.k_w {
+                for oh in 0..geom.out_h {
+                    let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
+                    for ow in 0..geom.out_w {
+                        let iw = (ow * geom.stride + kw) as isize - geom.padding as isize;
+                        let col = oh * geom.out_w + ow;
+                        let v = if ih >= 0
+                            && iw >= 0
+                            && (ih as usize) < geom.in_h
+                            && (iw as usize) < geom.in_w
+                        {
+                            image[(c * geom.in_h + ih as usize) * geom.in_w + iw as usize]
+                        } else {
+                            0.0
+                        };
+                        out[row * cols + col] = v;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::new([rows, cols]), out)
+}
+
+/// Inverse of [`im2col`]: scatter-adds a `[patch_len, out_h*out_w]` matrix
+/// back into a `C*H*W` image buffer. Overlapping patches accumulate, which
+/// is exactly the gradient flow required by the convolution backward pass.
+///
+/// # Panics
+///
+/// Panics if the matrix or image extents do not match the geometry.
+pub fn col2im(cols_mat: &Tensor, geom: &Conv2dGeometry, image: &mut [f32]) {
+    let (rows, cols) = cols_mat.shape().matrix();
+    assert_eq!(rows, geom.patch_len(), "col matrix row mismatch");
+    assert_eq!(cols, geom.out_positions(), "col matrix column mismatch");
+    assert_eq!(
+        image.len(),
+        geom.in_channels * geom.in_h * geom.in_w,
+        "image length does not match geometry"
+    );
+    let data = cols_mat.data();
+    let mut row = 0;
+    for c in 0..geom.in_channels {
+        for kh in 0..geom.k_h {
+            for kw in 0..geom.k_w {
+                for oh in 0..geom.out_h {
+                    let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
+                    if ih < 0 || ih as usize >= geom.in_h {
+                        continue;
+                    }
+                    for ow in 0..geom.out_w {
+                        let iw = (ow * geom.stride + kw) as isize - geom.padding as isize;
+                        if iw < 0 || iw as usize >= geom.in_w {
+                            continue;
+                        }
+                        let col = oh * geom.out_w + ow;
+                        image[(c * geom.in_h + ih as usize) * geom.in_w + iw as usize] +=
+                            data[row * cols + col];
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_same_padding() {
+        let g = Conv2dGeometry::new(3, 32, 32, 3, 3, 1, 1);
+        assert_eq!((g.out_h, g.out_w), (32, 32));
+        assert_eq!(g.patch_len(), 27);
+        assert_eq!(g.out_positions(), 1024);
+    }
+
+    #[test]
+    fn geometry_stride_two() {
+        let g = Conv2dGeometry::new(16, 32, 32, 3, 3, 2, 1);
+        assert_eq!((g.out_h, g.out_w), (16, 16));
+    }
+
+    #[test]
+    fn geometry_pointwise() {
+        let g = Conv2dGeometry::new(64, 8, 8, 1, 1, 1, 0);
+        assert_eq!((g.out_h, g.out_w), (8, 8));
+        assert_eq!(g.patch_len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        let _ = Conv2dGeometry::new(1, 4, 4, 3, 3, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn oversized_kernel_rejected() {
+        let _ = Conv2dGeometry::new(1, 2, 2, 5, 5, 1, 0);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, no padding: im2col is just a reshape.
+        let g = Conv2dGeometry::new(2, 3, 3, 1, 1, 1, 0);
+        let image: Vec<f32> = (0..18).map(|v| v as f32).collect();
+        let m = im2col(&image, &g);
+        assert_eq!(m.shape().dims(), &[2, 9]);
+        assert_eq!(m.data(), image.as_slice());
+    }
+
+    #[test]
+    fn im2col_3x3_values() {
+        // Single channel 3x3 image, 3x3 kernel, pad 1 -> 9 patches.
+        let g = Conv2dGeometry::new(1, 3, 3, 3, 3, 1, 1);
+        let image: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let m = im2col(&image, &g);
+        assert_eq!(m.shape().dims(), &[9, 9]);
+        // Patch centred at (0,0): top-left tap is padding (0), centre tap
+        // row (index 4 of patch) at column 0 must equal image[0] = 1.
+        assert_eq!(m[[0, 0]], 0.0);
+        assert_eq!(m[[4, 0]], 1.0);
+        // Centre patch (column 4) sees the whole image in order.
+        for (k, want) in (1..=9).enumerate() {
+            assert_eq!(m[[k, 4]], want as f32);
+        }
+    }
+
+    #[test]
+    fn col2im_roundtrip_counts_overlap() {
+        // col2im(im2col(x)) multiplies each pixel by the number of patches
+        // covering it. For a 3x3 kernel, pad 1, stride 1 over 3x3, the
+        // centre pixel is covered 9 times and the corners 4 times.
+        let g = Conv2dGeometry::new(1, 3, 3, 3, 3, 1, 1);
+        let image = vec![1.0f32; 9];
+        let m = im2col(&image, &g);
+        let mut back = vec![0.0f32; 9];
+        col2im(&m, &g, &mut back);
+        assert_eq!(back[4], 9.0);
+        assert_eq!(back[0], 4.0);
+        assert_eq!(back[1], 6.0);
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_manual() {
+        // 1-channel 4x4 image, 2x2 kernel of ones, stride 1, no pad:
+        // each output = sum of a 2x2 window.
+        let g = Conv2dGeometry::new(1, 4, 4, 2, 2, 1, 0);
+        let image: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let m = im2col(&image, &g);
+        let w = Tensor::ones([1, 4]);
+        let out = crate::gemm::matmul(&w, &m);
+        assert_eq!(out.shape().dims(), &[1, 9]);
+        // Window at (0,0): 0+1+4+5 = 10.
+        assert_eq!(out.data()[0], 10.0);
+        // Window at (2,2): 10+11+14+15 = 50.
+        assert_eq!(out.data()[8], 50.0);
+    }
+}

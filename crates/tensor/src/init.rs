@@ -1,0 +1,152 @@
+//! Weight initialisation schemes.
+//!
+//! The paper trains all three networks from scratch (§IV-A); faithful
+//! reproduction of that pipeline needs the standard initialisers used by
+//! the reference implementations: Kaiming/He normal for convolutions
+//! feeding ReLUs, and Xavier/Glorot uniform for the final classifier.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// An initialisation scheme for a weight tensor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Init {
+    /// All zeros (biases, batch-norm shift).
+    Zeros,
+    /// All ones (batch-norm scale).
+    Ones,
+    /// Kaiming/He normal: `N(0, sqrt(2 / fan_in))`, for ReLU networks.
+    KaimingNormal,
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Uniform on a caller-supplied symmetric interval.
+    Uniform(f32),
+}
+
+/// Fan-in/fan-out of a weight shape.
+///
+/// For rank-4 `[out_c, in_c, k_h, k_w]` filters the fans include the
+/// receptive-field size; for rank-2 `[out, in]` matrices they are the
+/// matrix extents.
+///
+/// # Panics
+///
+/// Panics if the shape rank is not 2 or 4.
+pub fn fans(shape: &Shape) -> (usize, usize) {
+    match shape.rank() {
+        2 => {
+            let (out, inp) = shape.matrix();
+            (inp, out)
+        }
+        4 => {
+            let d = shape.dims();
+            let receptive = d[2] * d[3];
+            (d[1] * receptive, d[0] * receptive)
+        }
+        r => panic!("fan computation requires rank 2 or 4, got rank {r}"),
+    }
+}
+
+/// Creates a tensor of `shape` initialised according to `init`, using a
+/// deterministic stream seeded by `seed` (reproducible experiments are a
+/// hard requirement of the benchmark harness).
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_tensor::init::{initialise, Init};
+///
+/// let w = initialise([64, 3, 3, 3], Init::KaimingNormal, 0);
+/// assert_eq!(w.len(), 64 * 27);
+/// let w2 = initialise([64, 3, 3, 3], Init::KaimingNormal, 0);
+/// assert_eq!(w, w2); // deterministic
+/// ```
+pub fn initialise(shape: impl Into<Shape>, init: Init, seed: u64) -> Tensor {
+    let shape = shape.into();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    match init {
+        Init::Zeros => Tensor::zeros(shape),
+        Init::Ones => Tensor::ones(shape),
+        Init::KaimingNormal => {
+            let (fan_in, _) = fans(&shape);
+            let std = (2.0 / fan_in as f32).sqrt();
+            Tensor::from_fn(shape, |_| normal_sample(&mut rng) * std)
+        }
+        Init::XavierUniform => {
+            let (fan_in, fan_out) = fans(&shape);
+            let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+            Tensor::from_fn(shape, |_| rng.gen_range(-a..a))
+        }
+        Init::Uniform(a) => {
+            assert!(a > 0.0, "uniform bound must be positive");
+            Tensor::from_fn(shape, |_| rng.gen_range(-a..a))
+        }
+    }
+}
+
+/// One standard-normal sample via Box–Muller (avoids a distribution-crate
+/// dependency).
+fn normal_sample(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fans_for_conv_and_linear() {
+        assert_eq!(fans(&Shape::new([64, 3, 3, 3])), (27, 576));
+        assert_eq!(fans(&Shape::new([10, 512])), (512, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 or 4")]
+    fn fans_rejects_rank3() {
+        let _ = fans(&Shape::new([2, 3, 4]));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = initialise([32, 16, 3, 3], Init::KaimingNormal, 7);
+        let b = initialise([32, 16, 3, 3], Init::KaimingNormal, 7);
+        let c = initialise([32, 16, 3, 3], Init::KaimingNormal, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kaiming_std_is_plausible() {
+        let w = initialise([128, 64, 3, 3], Init::KaimingNormal, 0);
+        let n = w.len() as f32;
+        let mean = w.sum() / n;
+        let var = w.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        let want = 2.0 / (64.0 * 9.0);
+        assert!((var / want - 1.0).abs() < 0.1, "var {var} vs want {want}");
+        assert!(mean.abs() < 0.005);
+    }
+
+    #[test]
+    fn xavier_bounds_respected() {
+        let w = initialise([100, 200], Init::XavierUniform, 3);
+        let a = (6.0f32 / 300.0).sqrt();
+        assert!(w.max() <= a && w.min() >= -a);
+    }
+
+    #[test]
+    fn zeros_and_ones() {
+        assert_eq!(initialise([4], Init::Zeros, 0).sum(), 0.0);
+        assert_eq!(initialise([4], Init::Ones, 0).sum(), 4.0);
+    }
+
+    #[test]
+    fn uniform_custom_bound() {
+        let w = initialise([1000], Init::Uniform(0.5), 1);
+        assert!(w.max() <= 0.5 && w.min() >= -0.5);
+        assert!(w.max() > 0.3); // actually fills the range
+    }
+}

@@ -1,0 +1,206 @@
+//! Free-standing tensor operations shared by the higher layers.
+
+use crate::tensor::Tensor;
+
+/// Row-wise softmax of a `[batch, classes]` matrix, numerically stabilised
+/// by subtracting the row maximum.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_tensor::{ops, Tensor};
+///
+/// let p = ops::softmax_rows(&Tensor::from_vec([1, 2], vec![0.0, 0.0]));
+/// assert!((p.data()[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let (rows, cols) = logits.shape().matrix();
+    let mut out = logits.clone();
+    let data = out.data_mut();
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Row-wise argmax of a `[batch, classes]` matrix: the predicted class per
+/// batch item.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2.
+pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    let (rows, cols) = logits.shape().matrix();
+    let data = logits.data();
+    (0..rows)
+        .map(|r| {
+            let row = &data[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Mean cross-entropy of row-softmax probabilities against integer labels,
+/// the loss the paper minimises with SGD (§IV-A).
+///
+/// Returns `(loss, dlogits)` where `dlogits` is the gradient with respect
+/// to the *logits* (softmax and cross-entropy fused for stability).
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or a label is out
+/// of range.
+pub fn cross_entropy_with_grad(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (rows, cols) = logits.shape().matrix();
+    assert_eq!(labels.len(), rows, "one label per batch row required");
+    let probs = softmax_rows(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0;
+    let gdata = grad.data_mut();
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < cols, "label {label} out of range for {cols} classes");
+        let p = probs.data()[r * cols + label].max(1e-12);
+        loss -= p.ln();
+        gdata[r * cols + label] -= 1.0;
+    }
+    // Average across the batch, as the paper does ("averaged across all
+    // data items").
+    let inv = 1.0 / rows as f32;
+    for v in gdata.iter_mut() {
+        *v *= inv;
+    }
+    (loss * inv, grad)
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `m` is not rank-2.
+pub fn transpose(m: &Tensor) -> Tensor {
+    let (rows, cols) = m.shape().matrix();
+    let src = m.data();
+    Tensor::from_fn([cols, rows], |off| {
+        let r = off / rows;
+        let c = off % rows;
+        src[c * cols + r]
+    })
+}
+
+/// Top-1 accuracy of logits against labels, in `[0, 1]`.
+pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let preds = argmax_rows(logits);
+    assert_eq!(preds.len(), labels.len(), "one label per prediction required");
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let l = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let p = softmax_rows(&l);
+        for r in 0..2 {
+            let s: f32 = p.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Monotone in the logits.
+        assert!(p[[0, 2]] > p[[0, 1]] && p[[0, 1]] > p[[0, 0]]);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let l = Tensor::from_vec([1, 2], vec![1000.0, 1000.0]);
+        let p = softmax_rows(&l);
+        assert!((p.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let l = Tensor::from_vec([2, 3], vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0]);
+        assert_eq!(argmax_rows(&l), vec![1, 0]);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let l = Tensor::zeros([4, 10]);
+        let (loss, _) = cross_entropy_with_grad(&l, &[0, 1, 2, 3]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_p_minus_onehot() {
+        let l = Tensor::from_vec([1, 2], vec![0.0, 0.0]);
+        let (_, g) = cross_entropy_with_grad(&l, &[1]);
+        assert!((g.data()[0] - 0.5).abs() < 1e-6);
+        assert!((g.data()[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_check() {
+        // Finite-difference check on a random-ish logit vector.
+        let base = vec![0.3f32, -0.7, 1.2];
+        let labels = [2usize];
+        let l = Tensor::from_vec([1, 3], base.clone());
+        let (_, g) = cross_entropy_with_grad(&l, &labels);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            let (lp, _) = cross_entropy_with_grad(&Tensor::from_vec([1, 3], plus), &labels);
+            let (lm, _) = cross_entropy_with_grad(&Tensor::from_vec([1, 3], minus), &labels);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - g.data()[i]).abs() < 1e-3,
+                "grad check failed at {i}: fd={fd} analytic={}",
+                g.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn cross_entropy_label_out_of_range() {
+        let _ = cross_entropy_with_grad(&Tensor::zeros([1, 3]), &[5]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Tensor::from_fn([3, 5], |i| i as f32);
+        let tt = transpose(&transpose(&m));
+        assert_eq!(tt, m);
+        let t = transpose(&m);
+        assert_eq!(t[[4, 2]], m[[2, 4]]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let l = Tensor::from_vec([2, 2], vec![0.9, 0.1, 0.2, 0.8]);
+        assert_eq!(top1_accuracy(&l, &[0, 1]), 1.0);
+        assert_eq!(top1_accuracy(&l, &[1, 1]), 0.5);
+    }
+}

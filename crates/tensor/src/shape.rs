@@ -1,0 +1,246 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use std::fmt;
+
+/// The shape of a dense tensor: an ordered list of dimension extents.
+///
+/// Shapes are row-major ("C order"): the last dimension varies fastest in
+/// memory. Rank is bounded only by memory; in practice this workspace uses
+/// rank-1 (bias vectors), rank-2 (weight matrices) and rank-4 (NCHW
+/// activations and filters).
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_tensor::Shape;
+///
+/// let s = Shape::new([2, 3, 4, 5]);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.len(), 120);
+/// assert_eq!(s.strides(), vec![60, 20, 5, 1]);
+/// assert_eq!(s.offset(&[1, 2, 3, 4]), 119);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from any collection of dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; zero-sized tensors are not
+    /// meaningful anywhere in this workspace and are almost always a bug.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        let dims = dims.into();
+        assert!(
+            !dims.is_empty() && dims.iter().all(|&d| d > 0),
+            "shape dimensions must be non-empty and non-zero, got {dims:?}"
+        );
+        Shape { dims }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Shapes are never empty (zero dimensions are rejected at
+    /// construction), so this always returns `false`; provided for
+    /// `len`/`is_empty` pairing convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements, not bytes).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds (debug assertions only for the bounds check on the hot path).
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for axis in (0..self.dims.len()).rev() {
+            debug_assert!(
+                index[axis] < self.dims[axis],
+                "index {index:?} out of bounds for shape {:?}",
+                self.dims
+            );
+            off += index[axis] * stride;
+            stride *= self.dims[axis];
+        }
+        off
+    }
+
+    /// Inverse of [`offset`](Self::offset): the multi-index of a linear
+    /// offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len()`.
+    pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
+        assert!(offset < self.len(), "offset {offset} out of bounds");
+        let mut idx = vec![0; self.rank()];
+        for axis in (0..self.rank()).rev() {
+            idx[axis] = offset % self.dims[axis];
+            offset /= self.dims[axis];
+        }
+        idx
+    }
+
+    /// Interprets this shape as a 4-D NCHW activation shape, returning
+    /// `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4.
+    pub fn nchw(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.rank(), 4, "expected rank-4 NCHW shape, got {self:?}");
+        (self.dims[0], self.dims[1], self.dims[2], self.dims[3])
+    }
+
+    /// Interprets this shape as a 2-D matrix shape, returning `(rows, cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 2.
+    pub fn matrix(&self) -> (usize, usize) {
+        assert_eq!(self.rank(), 2, "expected rank-2 matrix shape, got {self:?}");
+        (self.dims[0], self.dims[1])
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", parts.join("x"))
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_len_dim() {
+        let s = Shape::new([4, 3, 8, 8]);
+        assert_eq!(s.rank(), 4);
+        assert_eq!(s.len(), 4 * 3 * 8 * 8);
+        assert_eq!(s.dim(1), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new([5]).strides(), vec![1]);
+        assert_eq!(Shape::new([2, 3]).strides(), vec![3, 1]);
+        assert_eq!(Shape::new([2, 3, 4]).strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new([3, 4, 5]);
+        let strides = s.strides();
+        for i in 0..3 {
+            for j in 0..4 {
+                for k in 0..5 {
+                    let expect = i * strides[0] + j * strides[1] + k * strides[2];
+                    assert_eq!(s.offset(&[i, j, k]), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unravel_roundtrip() {
+        let s = Shape::new([2, 3, 4]);
+        for off in 0..s.len() {
+            assert_eq!(s.offset(&s.unravel(off)), off);
+        }
+    }
+
+    #[test]
+    fn nchw_and_matrix_accessors() {
+        assert_eq!(Shape::new([1, 3, 32, 32]).nchw(), (1, 3, 32, 32));
+        assert_eq!(Shape::new([10, 512]).matrix(), (10, 512));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new([2, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-4")]
+    fn nchw_wrong_rank_panics() {
+        let _ = Shape::new([2, 3]).nchw();
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new([1, 3, 32, 32]).to_string(), "1x3x32x32");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Shape = [2, 3].into();
+        let b: Shape = vec![2, 3].into();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,430 @@
+//! The dense `f32` tensor type used throughout the workspace.
+
+use crate::shape::Shape;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense, row-major, heap-allocated `f32` tensor.
+///
+/// All activations, weights and gradients in the workspace are `Tensor`s.
+/// The type is deliberately simple — contiguous storage only, no views with
+/// exotic strides — because the paper's experiments are about *data format*
+/// (dense vs CSR) and *algorithm* (direct vs im2col) choices, which this
+/// crate keeps explicit rather than hiding behind a layout-polymorphic
+/// abstraction.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_tensor::Tensor;
+///
+/// let mut t = Tensor::zeros([2, 2]);
+/// t[[0, 1]] = 3.5;
+/// assert_eq!(t[[0, 1]], 3.5);
+/// assert_eq!(t.sum(), 3.5);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = vec![0.0; shape.len()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor of the given shape filled with ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let data = vec![value; shape.len()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape:?}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor by evaluating `f` at every linear offset.
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(&mut f).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements. Always `false` (zero-sized
+    /// shapes are rejected at construction); provided for convention.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "cannot reshape {} elements to {shape:?}",
+            self.data.len()
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Element at a multi-index (bounds-checked in debug builds).
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element at a multi-index.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new tensor with `f` applied to every element.
+    pub fn map(&self, f: impl FnMut(f32) -> f32) -> Tensor {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Maximum element (NaN-propagating max of an f32 stream).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: tensors are non-empty by construction.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element (first occurrence).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Number of elements whose absolute value is at most `eps`.
+    ///
+    /// This is the quantity the paper calls *sparsity* when divided by
+    /// [`len`](Self::len).
+    pub fn count_zeros(&self, eps: f32) -> usize {
+        self.data.iter().filter(|v| v.abs() <= eps).count()
+    }
+
+    /// Fraction of (near-)zero elements, in `[0, 1]`.
+    pub fn sparsity(&self, eps: f32) -> f64 {
+        self.count_zeros(eps) as f64 / self.data.len() as f64
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// In-place AXPY: `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scaling: `self *= alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Fills the tensor with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// True if all pairwise element differences are within `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        assert_eq!(self.shape, other.shape, "allclose shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Exact heap bytes used by the element buffer (the dense-format
+    /// memory-footprint figure used by the paper's Tables IV and VI).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({:?}, ", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, "{:?})", self.data)
+        } else {
+            write!(
+                f,
+                "[{:.4}, {:.4}, .., {:.4}] {} elems)",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1],
+                self.data.len()
+            )
+        }
+    }
+}
+
+impl<const N: usize> std::ops::Index<[usize; N]> for Tensor {
+    type Output = f32;
+
+    fn index(&self, index: [usize; N]) -> &f32 {
+        &self.data[self.shape.offset(&index)]
+    }
+}
+
+impl<const N: usize> std::ops::IndexMut<[usize; N]> for Tensor {
+    fn index_mut(&mut self, index: [usize; N]) -> &mut f32 {
+        let off = self.shape.offset(&index);
+        &mut self.data[off]
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "add shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "sub shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+}
+
+impl Mul<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "mul shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros([2, 3]).sum(), 0.0);
+        assert_eq!(Tensor::ones([2, 3]).sum(), 6.0);
+        assert_eq!(Tensor::full([4], 2.5).sum(), 10.0);
+        let t = Tensor::from_fn([3], |i| i as f32);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_length_mismatch() {
+        let _ = Tensor::from_vec([2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut t = Tensor::zeros([2, 3]);
+        t[[1, 2]] = 7.0;
+        assert_eq!(t[[1, 2]], 7.0);
+        assert_eq!(t.at(&[1, 2]), 7.0);
+        *t.at_mut(&[0, 0]) = -1.0;
+        assert_eq!(t.data()[0], -1.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn([2, 6], |i| i as f32);
+        let r = t.reshape([3, 4]);
+        assert_eq!(r.shape().dims(), &[3, 4]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_bad_count() {
+        let _ = Tensor::zeros([2, 2]).reshape([5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec([4], vec![-2.0, 0.0, 3.0, 1.0]);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), 2);
+        assert_eq!(t.norm_sq(), 4.0 + 9.0 + 1.0);
+    }
+
+    #[test]
+    fn sparsity_counting() {
+        let t = Tensor::from_vec([5], vec![0.0, 1e-9, -0.5, 0.5, 0.0]);
+        assert_eq!(t.count_zeros(1e-6), 3);
+        assert!((t.sparsity(1e-6) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec([3], vec![4.0, 5.0, 6.0]);
+        assert_eq!((&a + &b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!((&b - &a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!((&a * &b).data(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_vec([2], vec![1.0, 2.0]);
+        let g = Tensor::from_vec([2], vec![10.0, 10.0]);
+        a.axpy(-0.1, &g);
+        assert!(a.allclose(&Tensor::from_vec([2], vec![0.0, 1.0]), 1e-6));
+        a.scale(2.0);
+        assert!(a.allclose(&Tensor::from_vec([2], vec![0.0, 2.0]), 1e-6));
+    }
+
+    #[test]
+    fn storage_bytes_is_exact() {
+        assert_eq!(Tensor::zeros([3, 3, 3]).storage_bytes(), 27 * 4);
+    }
+
+    #[test]
+    fn map_applies_everywhere() {
+        let t = Tensor::from_vec([3], vec![1.0, -2.0, 3.0]).map(f32::abs);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Tensor::zeros([2])).is_empty());
+        assert!(!format!("{:?}", Tensor::zeros([100])).is_empty());
+    }
+}

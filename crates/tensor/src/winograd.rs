@@ -1,0 +1,318 @@
+//! Winograd fast convolution, F(2×2, 3×3).
+//!
+//! The paper's "Data Formats and Algorithms" layer names the Winograd
+//! transform as one of the candidate data transformations (§II-B, item
+//! 3) but does not evaluate it; this module completes the set. For 3×3
+//! kernels at stride 1 — the dominant shape in all three models —
+//! Winograd computes each 2×2 output tile with 16 multiplies instead of
+//! the direct method's 36, a 2.25× multiply reduction, at the cost of
+//! transform overhead and extra memory traffic. The `ablate_conv_algo`
+//! bench measures where that trade pays off.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Multiplies per output element for direct 3×3 convolution vs
+/// F(2×2, 3×3) Winograd: `(36, 16)` per 2×2 tile per channel pair.
+pub const WINOGRAD_TILE_MULS: (usize, usize) = (36, 16);
+
+/// Transforms one 3×3 filter into its 4×4 Winograd domain image
+/// `U = G g Gᵀ`.
+fn transform_filter(g: &[f32]) -> [f32; 16] {
+    debug_assert_eq!(g.len(), 9);
+    // G (4x3) rows: [1,0,0], [1/2,1/2,1/2], [1/2,-1/2,1/2], [0,0,1].
+    let mut tmp = [0.0f32; 12]; // G·g → 4x3
+    for r in 0..4 {
+        for c in 0..3 {
+            tmp[r * 3 + c] = match r {
+                0 => g[c],
+                1 => 0.5 * (g[c] + g[3 + c] + g[6 + c]),
+                2 => 0.5 * (g[c] - g[3 + c] + g[6 + c]),
+                _ => g[6 + c],
+            };
+        }
+    }
+    let mut u = [0.0f32; 16]; // (G·g)·Gᵀ → 4x4
+    for r in 0..4 {
+        let row = &tmp[r * 3..r * 3 + 3];
+        u[r * 4] = row[0];
+        u[r * 4 + 1] = 0.5 * (row[0] + row[1] + row[2]);
+        u[r * 4 + 2] = 0.5 * (row[0] - row[1] + row[2]);
+        u[r * 4 + 3] = row[2];
+    }
+    u
+}
+
+/// Transforms one 4×4 input tile: `V = Bᵀ d B`.
+fn transform_input(d: &[f32; 16]) -> [f32; 16] {
+    // Bᵀ rows: [1,0,-1,0], [0,1,1,0], [0,-1,1,0], [0,1,0,-1].
+    let mut tmp = [0.0f32; 16];
+    for c in 0..4 {
+        tmp[c] = d[c] - d[8 + c];
+        tmp[4 + c] = d[4 + c] + d[8 + c];
+        tmp[8 + c] = d[8 + c] - d[4 + c];
+        tmp[12 + c] = d[4 + c] - d[12 + c];
+    }
+    let mut v = [0.0f32; 16];
+    for r in 0..4 {
+        let row = &tmp[r * 4..r * 4 + 4];
+        v[r * 4] = row[0] - row[2];
+        v[r * 4 + 1] = row[1] + row[2];
+        v[r * 4 + 2] = row[2] - row[1];
+        v[r * 4 + 3] = row[1] - row[3];
+    }
+    v
+}
+
+/// Inverse transform of one 4×4 accumulator to a 2×2 output tile:
+/// `Y = Aᵀ m A`.
+fn transform_output(m: &[f32; 16]) -> [f32; 4] {
+    // Aᵀ rows: [1,1,1,0], [0,1,-1,-1].
+    let mut tmp = [0.0f32; 8];
+    for c in 0..4 {
+        tmp[c] = m[c] + m[4 + c] + m[8 + c];
+        tmp[4 + c] = m[4 + c] - m[8 + c] - m[12 + c];
+    }
+    [
+        tmp[0] + tmp[1] + tmp[2],
+        tmp[1] - tmp[2] - tmp[3],
+        tmp[4] + tmp[5] + tmp[6],
+        tmp[5] - tmp[6] - tmp[7],
+    ]
+}
+
+/// F(2×2, 3×3) Winograd convolution for a `[n, c, h, w]` input and
+/// `[out_c, c, 3, 3]` filters at stride 1.
+///
+/// Results match direct convolution to floating-point tolerance; odd
+/// output extents are handled by edge tiles that read zero padding and
+/// write only their valid quadrant.
+///
+/// # Panics
+///
+/// Panics if the filter tensor is not `[out_c, in_c, 3, 3]`, channels
+/// disagree, or `bias` (when given) has the wrong length.
+pub fn winograd_conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    padding: usize,
+) -> Tensor {
+    let (n, in_c, h, w) = input.shape().nchw();
+    let wd = weights.shape().dims();
+    assert_eq!(wd.len(), 4, "weights must be rank-4");
+    assert_eq!(wd[2], 3, "Winograd F(2x2,3x3) requires 3x3 kernels");
+    assert_eq!(wd[3], 3, "Winograd F(2x2,3x3) requires 3x3 kernels");
+    assert_eq!(wd[1], in_c, "channel mismatch");
+    let out_c = wd[0];
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_c, "bias length mismatch");
+    }
+    let out_h = h + 2 * padding - 2;
+    let out_w = w + 2 * padding - 2;
+    assert!(out_h > 0 && out_w > 0, "output collapses to zero extent");
+
+    // Pre-transform all filters: [out_c, in_c, 16].
+    let mut u = vec![0.0f32; out_c * in_c * 16];
+    for o in 0..out_c {
+        for c in 0..in_c {
+            let g = &weights.data()[(o * in_c + c) * 9..(o * in_c + c) * 9 + 9];
+            u[(o * in_c + c) * 16..(o * in_c + c + 1) * 16].copy_from_slice(&transform_filter(g));
+        }
+    }
+
+    let tiles_y = out_h.div_ceil(2);
+    let tiles_x = out_w.div_ceil(2);
+    let mut out = Tensor::zeros([n, out_c, out_h, out_w]);
+    let odata = out.data_mut();
+    let idata = input.data();
+
+    for img in 0..n {
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                // Gather and transform the input tile for every channel.
+                let mut vs = vec![[0.0f32; 16]; in_c];
+                for (c, v) in vs.iter_mut().enumerate() {
+                    let mut d = [0.0f32; 16];
+                    for dy in 0..4 {
+                        let iy = (ty * 2 + dy) as isize - padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for dx in 0..4 {
+                            let ix = (tx * 2 + dx) as isize - padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            d[dy * 4 + dx] =
+                                idata[((img * in_c + c) * h + iy as usize) * w + ix as usize];
+                        }
+                    }
+                    *v = transform_input(&d);
+                }
+                // Per output channel: elementwise accumulate + inverse.
+                for o in 0..out_c {
+                    let mut m = [0.0f32; 16];
+                    for (c, v) in vs.iter().enumerate() {
+                        let uf = &u[(o * in_c + c) * 16..(o * in_c + c + 1) * 16];
+                        for k in 0..16 {
+                            m[k] += uf[k] * v[k];
+                        }
+                    }
+                    let y = transform_output(&m);
+                    let b = bias.map_or(0.0, |b| b[o]);
+                    for dy in 0..2 {
+                        let oy = ty * 2 + dy;
+                        if oy >= out_h {
+                            continue;
+                        }
+                        for dx in 0..2 {
+                            let ox = tx * 2 + dx;
+                            if ox >= out_w {
+                                continue;
+                            }
+                            odata[((img * out_c + o) * out_h + oy) * out_w + ox] =
+                                y[dy * 2 + dx] + b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Multiply counts for a 3×3/stride-1 convolution at the given extents:
+/// `(direct, winograd)` — the algorithmic saving the paper's layer-3
+/// choices trade against transform overhead.
+pub fn multiply_counts(
+    in_channels: usize,
+    out_channels: usize,
+    out_h: usize,
+    out_w: usize,
+) -> (u64, u64) {
+    let tiles = (out_h.div_ceil(2) * out_w.div_ceil(2)) as u64;
+    let pairs = (in_channels * out_channels) as u64;
+    let direct = pairs * (out_h * out_w) as u64 * 9;
+    let winograd = pairs * tiles * 16;
+    (direct, winograd)
+}
+
+/// Reshapes a `[out_c, in_c*9]` matrix back to rank-4 filters (helper for
+/// callers holding flattened weights).
+///
+/// # Panics
+///
+/// Panics if the width is not a multiple of 9.
+pub fn filters_from_matrix(matrix: &Tensor) -> Tensor {
+    let (out_c, width) = matrix.shape().matrix();
+    assert_eq!(width % 9, 0, "filter matrix width must be in_c * 9");
+    matrix.reshape(Shape::new([out_c, width / 9, 3, 3]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::im2col::{im2col, Conv2dGeometry};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random(shape: impl Into<Shape>, seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::from_fn(shape.into(), |_| rng.gen_range(-1.0..1.0))
+    }
+
+    fn reference(input: &Tensor, weights: &Tensor, bias: Option<&[f32]>, padding: usize) -> Tensor {
+        let (n, in_c, h, w) = input.shape().nchw();
+        let out_c = weights.shape().dims()[0];
+        let geom = Conv2dGeometry::new(in_c, h, w, 3, 3, 1, padding);
+        let wmat = weights.reshape([out_c, in_c * 9]);
+        let mut out = Tensor::zeros([n, out_c, geom.out_h, geom.out_w]);
+        let plane = geom.out_positions();
+        for img in 0..n {
+            let cols = im2col(&input.data()[img * in_c * h * w..(img + 1) * in_c * h * w], &geom);
+            let prod = matmul(&wmat, &cols);
+            let dst = &mut out.data_mut()[img * out_c * plane..(img + 1) * out_c * plane];
+            dst.copy_from_slice(prod.data());
+            if let Some(b) = bias {
+                for o in 0..out_c {
+                    for p in &mut dst[o * plane..(o + 1) * plane] {
+                        *p += b[o];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_direct_even_extents() {
+        let input = random([2, 3, 8, 8], 1);
+        let weights = random([4, 3, 3, 3], 2);
+        let want = reference(&input, &weights, None, 1);
+        let got = winograd_conv2d(&input, &weights, None, 1);
+        assert!(want.allclose(&got, 1e-3));
+    }
+
+    #[test]
+    fn matches_direct_odd_extents_and_no_padding() {
+        let input = random([1, 2, 9, 7], 3);
+        let weights = random([3, 2, 3, 3], 4);
+        let want = reference(&input, &weights, None, 0);
+        let got = winograd_conv2d(&input, &weights, None, 0);
+        assert_eq!(got.shape().dims(), want.shape().dims());
+        assert!(want.allclose(&got, 1e-3));
+    }
+
+    #[test]
+    fn matches_direct_with_bias() {
+        let input = random([1, 3, 6, 6], 5);
+        let weights = random([2, 3, 3, 3], 6);
+        let bias = vec![0.7f32, -0.3];
+        let want = reference(&input, &weights, Some(&bias), 1);
+        let got = winograd_conv2d(&input, &weights, Some(&bias), 1);
+        assert!(want.allclose(&got, 1e-3));
+    }
+
+    #[test]
+    fn cifar_layer_shape_agrees() {
+        // A real VGG layer shape: 32x32, 16->16 channels (scaled).
+        let input = random([1, 16, 32, 32], 7);
+        let weights = random([16, 16, 3, 3], 8);
+        let want = reference(&input, &weights, None, 1);
+        let got = winograd_conv2d(&input, &weights, None, 1);
+        assert!(want.allclose(&got, 5e-3));
+    }
+
+    #[test]
+    fn multiply_savings_are_2_25x_for_even_tiles() {
+        let (direct, wino) = multiply_counts(64, 64, 32, 32);
+        let ratio = direct as f64 / wino as f64;
+        assert!((ratio - 2.25).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn identity_filter_reproduces_input() {
+        // Filter = delta at centre: convolution is the identity.
+        let input = random([1, 1, 6, 6], 9);
+        let mut weights = Tensor::zeros([1, 1, 3, 3]);
+        weights.data_mut()[4] = 1.0;
+        let got = winograd_conv2d(&input, &weights, None, 1);
+        assert!(got.allclose(&input, 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn non_3x3_rejected() {
+        let _ = winograd_conv2d(&Tensor::zeros([1, 1, 8, 8]), &Tensor::zeros([1, 1, 5, 5]), None, 1);
+    }
+
+    #[test]
+    fn filters_from_matrix_roundtrip() {
+        let m = random([4, 18], 10);
+        let f = filters_from_matrix(&m);
+        assert_eq!(f.shape().dims(), &[4, 2, 3, 3]);
+        assert_eq!(f.data(), m.data());
+    }
+}

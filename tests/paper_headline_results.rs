@@ -1,0 +1,216 @@
+//! The paper's headline findings, asserted as executable claims against
+//! the full reproduction pipeline (modelled platforms, real surgery).
+//! Each test names the artefact it guards.
+
+use cnn_stack::compress::{AccuracyModel, Technique};
+use cnn_stack::hwsim::Backend;
+use cnn_stack::models::ModelKind;
+use cnn_stack::stack::{evaluate, CompressionChoice, PlatformChoice, StackConfig};
+
+fn table3(kind: ModelKind, technique: Technique) -> CompressionChoice {
+    let x = AccuracyModel::table3_operating_point(kind, technique);
+    match technique {
+        Technique::WeightPruning => CompressionChoice::WeightPruning { sparsity_pct: x },
+        Technique::ChannelPruning => CompressionChoice::ChannelPruning { compression_pct: x },
+        Technique::TernaryQuantisation => CompressionChoice::TernaryQuantisation { threshold: x },
+    }
+}
+
+#[test]
+fn figure1_actual_time_defies_expected_speedup() {
+    // Fig. 1: at 80% pruning the expected time is ~5x lower than actual.
+    let base = StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7);
+    let dense = evaluate(&base);
+    let pruned = evaluate(&base.compress(CompressionChoice::WeightPruning { sparsity_pct: 80.0 }));
+    let expected = dense.modelled_s * pruned.effective_macs as f64 / dense.macs as f64;
+    assert!(
+        pruned.modelled_s > 3.0 * expected,
+        "actual {} vs expected {expected}",
+        pruned.modelled_s
+    );
+    // And actual never beats the dense baseline at this sparsity.
+    assert!(pruned.modelled_s >= dense.modelled_s * 0.95);
+}
+
+#[test]
+fn figure4_channel_pruning_wins_every_setup() {
+    // §V-D: "channel pruning significantly outperforms the other
+    // compression techniques in every setup considered."
+    for kind in ModelKind::all() {
+        for platform in PlatformChoice::all() {
+            for &threads in &platform.platform().paper_thread_counts() {
+                let base = StackConfig::plain(kind, platform).threads(threads);
+                let cp = evaluate(&base.compress(table3(kind, Technique::ChannelPruning)));
+                let wp = evaluate(&base.compress(table3(kind, Technique::WeightPruning)));
+                let q = evaluate(&base.compress(table3(kind, Technique::TernaryQuantisation)));
+                let plain = evaluate(&base);
+                assert!(
+                    cp.modelled_s < wp.modelled_s
+                        && cp.modelled_s < q.modelled_s
+                        && cp.modelled_s < plain.modelled_s,
+                    "{kind} on {platform:?} at {threads}t: cp={} wp={} q={} plain={}",
+                    cp.modelled_s,
+                    wp.modelled_s,
+                    q.modelled_s,
+                    plain.modelled_s
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn figure4_sparse_methods_hurt_vgg_and_resnet() {
+    // §V-D: sparse methods (WP, TTQ) never beat plain for VGG/ResNet.
+    for kind in [ModelKind::Vgg16, ModelKind::ResNet18] {
+        for platform in PlatformChoice::all() {
+            for &threads in &platform.platform().paper_thread_counts() {
+                let base = StackConfig::plain(kind, platform).threads(threads);
+                let plain = evaluate(&base);
+                for technique in [Technique::WeightPruning, Technique::TernaryQuantisation] {
+                    let sparse = evaluate(&base.compress(table3(kind, technique)));
+                    assert!(
+                        sparse.modelled_s >= plain.modelled_s * 0.98,
+                        "{kind}/{technique} beat plain on {platform:?}@{threads}t"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn figure4_mobilenet_does_not_scale_but_its_sparse_variants_catch_up() {
+    for platform in PlatformChoice::all() {
+        let max_t = platform.platform().max_threads();
+        let base = StackConfig::plain(ModelKind::MobileNet, platform);
+        let plain_1 = evaluate(&base.threads(1));
+        let plain_max = evaluate(&base.threads(max_t));
+        // No meaningful speedup from threads (§V-D).
+        assert!(
+            plain_max.modelled_s > plain_1.modelled_s * 0.85,
+            "MobileNet sped up too much on {platform:?}"
+        );
+        // The quantised variant overtakes plain at max threads.
+        let q = evaluate(
+            &base
+                .threads(max_t)
+                .compress(table3(ModelKind::MobileNet, Technique::TernaryQuantisation)),
+        );
+        assert!(
+            q.modelled_s < plain_max.modelled_s,
+            "quantised MobileNet should beat plain at {max_t} threads on {platform:?}"
+        );
+    }
+}
+
+#[test]
+fn table4_sparse_formats_cost_memory_channel_pruning_saves_it() {
+    for kind in ModelKind::all() {
+        let base = StackConfig::plain(kind, PlatformChoice::OdroidXu4);
+        let plain = evaluate(&base);
+        let wp = evaluate(&base.compress(table3(kind, Technique::WeightPruning)));
+        let cp = evaluate(&base.compress(table3(kind, Technique::ChannelPruning)));
+        let q = evaluate(&base.compress(table3(kind, Technique::TernaryQuantisation)));
+        assert!(wp.memory_mb > plain.memory_mb, "{kind}: WP should inflate memory");
+        assert!(q.memory_mb > plain.memory_mb, "{kind}: TTQ should inflate memory");
+        assert!(cp.memory_mb < plain.memory_mb * 0.6, "{kind}: CP should shrink memory");
+    }
+}
+
+#[test]
+fn table4_memory_ratios_track_paper_within_2x() {
+    // Absolute MB differ (our accounting is a model), but the
+    // technique/plain ratios should be in the paper's ballpark.
+    let paper: [(ModelKind, [f64; 4]); 3] = [
+        (ModelKind::Vgg16, [111.4, 144.4, 17.9, 130.3]),
+        (ModelKind::ResNet18, [89.0, 99.4, 31.6, 100.8]),
+        (ModelKind::MobileNet, [69.1, 188.5, 10.8, 201.1]),
+    ];
+    for (kind, mb) in paper {
+        let base = StackConfig::plain(kind, PlatformChoice::OdroidXu4);
+        let ours = [
+            evaluate(&base).memory_mb,
+            evaluate(&base.compress(table3(kind, Technique::WeightPruning))).memory_mb,
+            evaluate(&base.compress(table3(kind, Technique::ChannelPruning))).memory_mb,
+            evaluate(&base.compress(table3(kind, Technique::TernaryQuantisation))).memory_mb,
+        ];
+        for i in 1..4 {
+            let ours_ratio = ours[i] / ours[0];
+            let paper_ratio = mb[i] / mb[0];
+            assert!(
+                ours_ratio / paper_ratio < 2.6 && paper_ratio / ours_ratio < 2.6,
+                "{kind} col {i}: ratio {ours_ratio:.2} vs paper {paper_ratio:.2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure5_compressed_big_nets_beat_mobilenet_on_the_odroid() {
+    // §V-E: at fixed 90% accuracy, channel-pruned VGG-16/ResNet-18
+    // outperform (even channel-pruned) MobileNet's *plain* baseline on
+    // the Odroid with 8 threads.
+    let plain_mobilenet = evaluate(
+        &StackConfig::plain(ModelKind::MobileNet, PlatformChoice::OdroidXu4).threads(8),
+    );
+    for kind in [ModelKind::Vgg16, ModelKind::ResNet18] {
+        let x = AccuracyModel::table5_operating_point(kind, Technique::ChannelPruning);
+        let cfg = StackConfig::plain(kind, PlatformChoice::OdroidXu4)
+            .threads(8)
+            .compress(CompressionChoice::ChannelPruning { compression_pct: x });
+        let cell = evaluate(&cfg);
+        assert!(cell.accuracy_pct >= 89.0);
+        assert!(
+            cell.modelled_s < plain_mobilenet.modelled_s,
+            "{kind} at 90% should beat plain MobileNet: {} vs {}",
+            cell.modelled_s,
+            plain_mobilenet.modelled_s
+        );
+    }
+}
+
+#[test]
+fn figure6_backend_ordering_and_imagenet_inversion() {
+    // Fig. 6: hand OpenCL < OpenMP(8) < CLBlast at CIFAR scale.
+    for kind in ModelKind::all() {
+        let base = StackConfig::plain(kind, PlatformChoice::OdroidXu4);
+        let omp = evaluate(&base.threads(8));
+        let hand = evaluate(&base.backend(Backend::OpenClHandTuned));
+        let blast = evaluate(&base.backend(Backend::OpenClClblast));
+        assert!(hand.modelled_s < omp.modelled_s, "{kind}: hand OpenCL should win");
+        assert!(blast.modelled_s > omp.modelled_s, "{kind}: CLBlast should lose at 32x32");
+    }
+    // §V-F: the "up to 10x" CLBlast slowdown happens on ResNet-18.
+    let base = StackConfig::plain(ModelKind::ResNet18, PlatformChoice::OdroidXu4);
+    let hand = evaluate(&base.backend(Backend::OpenClHandTuned));
+    let blast = evaluate(&base.backend(Backend::OpenClClblast));
+    let ratio = blast.modelled_s / hand.modelled_s;
+    assert!(ratio > 5.0 && ratio < 20.0, "CLBlast/hand = {ratio}");
+}
+
+#[test]
+fn table5_accuracy_contract_holds_end_to_end() {
+    // Every Table V cell evaluates to ~90% predicted accuracy.
+    for kind in ModelKind::all() {
+        for technique in Technique::all() {
+            let x = AccuracyModel::table5_operating_point(kind, technique);
+            let choice = match technique {
+                Technique::WeightPruning => CompressionChoice::WeightPruning { sparsity_pct: x },
+                Technique::ChannelPruning => {
+                    CompressionChoice::ChannelPruning { compression_pct: x }
+                }
+                Technique::TernaryQuantisation => {
+                    CompressionChoice::TernaryQuantisation { threshold: x }
+                }
+            };
+            let cfg = StackConfig::plain(kind, PlatformChoice::IntelI7).compress(choice);
+            let cell = evaluate(&cfg);
+            assert!(
+                (cell.accuracy_pct - 90.0).abs() < 1.0,
+                "{kind}/{technique}: {}",
+                cell.accuracy_pct
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Property-based tests (proptest) over the core data structures and
+//! kernels: layout transforms, sparse formats, GEMM variants, pruning
+//! invariants and scheduling coverage.
+
+use cnn_stack::compress::huffman::HuffmanCode;
+use cnn_stack::compress::magnitude;
+use cnn_stack::compress::packed::PackedTernaryMatrix;
+use cnn_stack::parallel::{parallel_for, Schedule};
+use cnn_stack::sparse::{CscMatrix, CsrMatrix};
+use cnn_stack::tensor::{col2im, gemm, im2col, ops, Conv2dGeometry, Shape, Tensor};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c).prop_map(move |data| (r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shape_offset_unravel_roundtrip(dims in proptest::collection::vec(1usize..6, 1..4)) {
+        let shape = Shape::new(dims);
+        for off in 0..shape.len() {
+            prop_assert_eq!(shape.offset(&shape.unravel(off)), off);
+        }
+    }
+
+    #[test]
+    fn csr_roundtrips_any_matrix((r, c, data) in small_matrix()) {
+        let dense = Tensor::from_vec([r, c], data);
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        prop_assert!(csr.to_dense().allclose(&dense, 0.0));
+        prop_assert_eq!(csr.nnz(), dense.len() - dense.count_zeros(0.0));
+    }
+
+    #[test]
+    fn csc_roundtrips_any_matrix((r, c, data) in small_matrix()) {
+        let dense = Tensor::from_vec([r, c], data);
+        let csc = CscMatrix::from_dense(&dense, 0.0);
+        prop_assert!(csc.to_dense().allclose(&dense, 0.0));
+    }
+
+    #[test]
+    fn csr_transpose_is_involution((r, c, data) in small_matrix()) {
+        let dense = Tensor::from_vec([r, c], data);
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        prop_assert!(csr.transpose().transpose().to_dense().allclose(&dense, 0.0));
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm(
+        (r, k, data) in small_matrix(),
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let a = Tensor::from_vec([r, k], data);
+        // Sparsify a: zero every third element for structure.
+        let a = Tensor::from_fn([r, k], |i| if i % 3 == 0 { 0.0 } else { a.data()[i] });
+        let b = Tensor::from_fn([k, cols], |i| ((i as u64 * 7 + seed) % 13) as f32 - 6.0);
+        let want = gemm::matmul(&a, &b);
+        let got = CsrMatrix::from_dense(&a, 0.0).spmm(&b);
+        prop_assert!(want.allclose(&got, 1e-3));
+    }
+
+    #[test]
+    fn gemm_algorithms_agree(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        tile in 1usize..9,
+    ) {
+        let a = Tensor::from_fn([m, k], |i| ((i * 31 % 17) as f32) * 0.25 - 2.0);
+        let b = Tensor::from_fn([k, n], |i| ((i * 13 % 11) as f32) * 0.5 - 2.5);
+        let naive = gemm::matmul_with(&a, &b, gemm::GemmAlgorithm::Naive);
+        let blocked = gemm::matmul_with(&a, &b, gemm::GemmAlgorithm::Blocked);
+        let cfg = cnn_stack::tensor::TileConfig::new(tile, tile, tile, 2);
+        let tiled = gemm::matmul_with(&a, &b, gemm::GemmAlgorithm::Tiled(cfg));
+        prop_assert!(naive.allclose(&blocked, 1e-3));
+        prop_assert!(naive.allclose(&tiled, 1e-3));
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_property(
+        c in 1usize..3, h in 3usize..7, w in 3usize..7,
+        stride in 1usize..3, pad in 0usize..2,
+    ) {
+        // <im2col(x), y> == <x, col2im(y)> — the transpose relation the
+        // conv backward pass relies on.
+        prop_assume!(h + 2 * pad >= 3 && w + 2 * pad >= 3);
+        let geom = Conv2dGeometry::new(c, h, w, 3, 3, stride, pad);
+        let x = Tensor::from_fn([1, c, h, w], |i| ((i * 7 % 5) as f32) - 2.0);
+        let y = Tensor::from_fn(
+            [geom.patch_len(), geom.out_positions()],
+            |i| ((i * 11 % 7) as f32) - 3.0,
+        );
+        let cols = im2col(x.data(), &geom);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0f32; c * h * w];
+        col2im(&y, &geom, &mut back);
+        let rhs: f32 = x.data().iter().zip(&back).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        rows in 1usize..5, cols in 1usize..8, seed in 0u64..100,
+    ) {
+        let logits = Tensor::from_fn([rows, cols], |i| {
+            (((i as u64 + seed) * 2654435761 % 100) as f32) / 10.0 - 5.0
+        });
+        let p = ops::softmax_rows(&logits);
+        for r in 0..rows {
+            let row = &p.data()[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn magnitude_threshold_prunes_exactly_the_target(
+        n in 10usize..200, sparsity in 0.0f64..0.95,
+    ) {
+        // Distinct magnitudes so the quantile is exact.
+        let w = Tensor::from_fn([1, n], |i| (i + 1) as f32 * if i % 2 == 0 { 1.0 } else { -1.0 });
+        let t = magnitude::magnitude_threshold(&w, sparsity);
+        let pruned = w.data().iter().filter(|v| v.abs() <= t).count();
+        let expect = (n as f64 * sparsity) as usize;
+        prop_assert_eq!(pruned, expect);
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once(
+        threads in 1usize..6,
+        total in 0usize..200,
+        chunk in 1usize..16,
+    ) {
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk },
+            Schedule::Guided { min_chunk: chunk },
+        ] {
+            let hits = Mutex::new(vec![0u8; total]);
+            parallel_for(threads, total, schedule, |range| {
+                let mut h = hits.lock().unwrap();
+                for i in range {
+                    h[i] += 1;
+                }
+            });
+            let h = hits.into_inner().unwrap();
+            prop_assert!(h.iter().all(|&x| x == 1), "{:?}", schedule);
+        }
+    }
+
+    #[test]
+    fn winograd_matches_im2col_reference(
+        c in 1usize..4, out_c in 1usize..4,
+        h in 4usize..9, w in 4usize..9,
+        pad in 0usize..2, seed in 0u64..50,
+    ) {
+        prop_assume!(h + 2 * pad > 2 && w + 2 * pad > 2);
+        let input = Tensor::from_fn([1, c, h, w], |i| {
+            (((i as u64 + seed) * 2654435761) % 97) as f32 * 0.02 - 1.0
+        });
+        let weights = Tensor::from_fn([out_c, c, 3, 3], |i| {
+            (((i as u64 + seed) * 40503) % 31) as f32 * 0.05 - 0.75
+        });
+        let got = cnn_stack::tensor::winograd_conv2d(&input, &weights, None, pad);
+        // Reference via im2col + GEMM.
+        let geom = Conv2dGeometry::new(c, h, w, 3, 3, 1, pad);
+        let wmat = weights.reshape([out_c, c * 9]);
+        let cols = im2col(input.data(), &geom);
+        let want = gemm::matmul(&wmat, &cols)
+            .reshape([1, out_c, geom.out_h, geom.out_w]);
+        prop_assert!(want.allclose(&got, 1e-2));
+    }
+
+    #[test]
+    fn huffman_roundtrips_any_stream(
+        stream in proptest::collection::vec(0u16..12, 1..400),
+    ) {
+        let code = HuffmanCode::build(&stream);
+        let enc = code.encode(&stream);
+        prop_assert_eq!(code.decode(&enc), stream);
+    }
+
+    #[test]
+    fn packed_ternary_roundtrips(
+        r in 1usize..8, c in 1usize..20, seed in 0u64..100,
+    ) {
+        let t = Tensor::from_fn([r, c], |i| {
+            match ((i as u64 + seed) * 2654435761) % 4 {
+                0 => 0.5,
+                1 => -0.75,
+                _ => 0.0,
+            }
+        });
+        let m = PackedTernaryMatrix::from_dense_ternary(&t).expect("ternary");
+        prop_assert!(m.to_dense().allclose(&t, 0.0));
+        let b = Tensor::from_fn([c, 3], |i| i as f32 * 0.1);
+        prop_assert!(gemm::matmul(&t, &b).allclose(&m.spmm(&b), 1e-4));
+    }
+
+    #[test]
+    fn csr_memory_accounting_is_consistent((r, c, data) in small_matrix()) {
+        let dense = Tensor::from_vec([r, c], data);
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        prop_assert_eq!(
+            csr.storage_bytes(),
+            cnn_stack::sparse::csr_bytes(r, c, csr.nnz())
+        );
+    }
+}
+
+#[test]
+fn pruned_masks_survive_arbitrary_updates() {
+    // Deterministic companion: a masked Param clamps any update pattern.
+    use cnn_stack::nn::Param;
+    let mut p = Param::new(Tensor::from_fn([64], |i| i as f32 - 31.5));
+    let mask = Tensor::from_fn([64], |i| if i % 5 == 0 { 0.0 } else { 1.0 });
+    p.set_mask(mask);
+    for step in 0..10 {
+        for (i, v) in p.value.data_mut().iter_mut().enumerate() {
+            *v += (step * i) as f32 * 0.1;
+        }
+        p.apply_mask();
+        for (i, v) in p.value.data().iter().enumerate() {
+            if i % 5 == 0 {
+                assert_eq!(*v, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+# The workspace builds against the vendored dependency stubs in vendor/,
+# so CI never needs the network.
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --all -- --check
+
+echo "ci: all green"

@@ -2,9 +2,9 @@
 //! experiment: GEMM variants, the im2col lowering, and dense vs sparse
 //! convolution at the paper's layer shapes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cnn_stack_sparse::{sparse_conv2d, CsrMatrix};
-use cnn_stack_tensor::{gemm, im2col, Conv2dGeometry, TileConfig, Tensor};
+use cnn_stack_tensor::{gemm, im2col, Conv2dGeometry, Tensor, TileConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::time::Duration;
@@ -24,13 +24,18 @@ fn random(shape: impl Into<cnn_stack_tensor::Shape>, density: f64, seed: u64) ->
 /// ([256 x 2304] . [2304 x 64], the 8x8 stage).
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_256x2304x64");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let a = random([256, 2304], 1.0, 1);
     let b = random([2304, 64], 1.0, 2);
     for (label, algo) in [
         ("naive", gemm::GemmAlgorithm::Naive),
         ("blocked", gemm::GemmAlgorithm::Blocked),
-        ("tiled_32x32x32u4", gemm::GemmAlgorithm::Tiled(TileConfig::default())),
+        (
+            "tiled_32x32x32u4",
+            gemm::GemmAlgorithm::Tiled(TileConfig::default()),
+        ),
     ] {
         group.bench_function(label, |bencher| {
             bencher.iter(|| gemm::matmul_with(&a, &b, algo))
@@ -42,7 +47,9 @@ fn bench_gemm(c: &mut Criterion) {
 /// The im2col lowering for a CIFAR 3x3 "same" convolution input.
 fn bench_im2col(c: &mut Criterion) {
     let mut group = c.benchmark_group("im2col");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let geom = Conv2dGeometry::new(64, 32, 32, 3, 3, 1, 1);
     let image: Vec<f32> = (0..64 * 1024).map(|i| (i as f32 * 0.01).sin()).collect();
     group.bench_function("64ch_32x32_k3", |bencher| {
@@ -55,7 +62,9 @@ fn bench_im2col(c: &mut Criterion) {
 /// the kernel-level version of Fig. 1's expected-vs-actual gap.
 fn bench_sparse_conv(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv_64to64_16x16");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let geom = Conv2dGeometry::new(64, 16, 16, 3, 3, 1, 1);
     let input = random([1, 64, 16, 16], 1.0, 3);
 
@@ -66,7 +75,11 @@ fn bench_sparse_conv(c: &mut Criterion) {
     });
 
     for sparsity in [50u64, 80, 95] {
-        let w = random([64, geom.patch_len()], 1.0 - sparsity as f64 / 100.0, sparsity);
+        let w = random(
+            [64, geom.patch_len()],
+            1.0 - sparsity as f64 / 100.0,
+            sparsity,
+        );
         let csr = CsrMatrix::from_dense(&w, 0.0);
         group.bench_with_input(
             BenchmarkId::new("csr", format!("{sparsity}pct")),
@@ -80,7 +93,9 @@ fn bench_sparse_conv(c: &mut Criterion) {
 /// SpMM vs dense matmul at a linear-layer shape.
 fn bench_spmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmm_512x512x64");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let b = random([512, 64], 1.0, 7);
     let dense = random([512, 512], 1.0, 8);
     group.bench_function("dense_gemm", |bencher| {
@@ -98,5 +113,11 @@ fn bench_spmm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_im2col, bench_sparse_conv, bench_spmm);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_im2col,
+    bench_sparse_conv,
+    bench_spmm
+);
 criterion_main!(benches);

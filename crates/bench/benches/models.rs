@@ -2,18 +2,20 @@
 //! the three architectures (width-scaled for tractable runtimes) under
 //! dense-direct, dense-im2col, and CSR execution.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cnn_stack_models::ModelKind;
 use cnn_stack_nn::network::set_network_format;
 use cnn_stack_nn::{ConvAlgorithm, ExecConfig, Phase, WeightFormat};
 use cnn_stack_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 fn bench_model_variants(c: &mut Criterion) {
     let input = Tensor::zeros([1, 3, 32, 32]);
     for kind in ModelKind::all() {
         let mut group = c.benchmark_group(format!("forward_{}_w0.25", kind.name()));
-        group.sample_size(10).measurement_time(Duration::from_secs(2));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2));
 
         let mut dense = kind.build_width(10, 0.25);
         let direct = ExecConfig {

@@ -1,0 +1,91 @@
+//! Plan-compiled session execution vs the allocating `Network::forward`
+//! path: wall-clock through criterion, plus a heap-allocation count per
+//! inference pass (the arena should bring the session's steady-state
+//! count to zero for fully supported layer stacks).
+
+use cnn_stack_models::ModelKind;
+use cnn_stack_nn::{ExecConfig, InferencePlan, InferenceSession, Phase};
+use cnn_stack_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// System allocator wrapper that counts every allocation, so the bench
+/// can report allocations-per-pass next to the timings.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn bench_session_vs_forward(c: &mut Criterion) {
+    let input = Tensor::zeros([4, 3, 32, 32]);
+    let cfg = ExecConfig::serial();
+    for kind in [ModelKind::Vgg16, ModelKind::MobileNet] {
+        let mut group = c.benchmark_group(format!("engine_{}_w0.25_b4", kind.name()));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2));
+
+        let mut baseline = kind.build_width(10, 0.25);
+        group.bench_function("network_forward", |b| {
+            b.iter(|| baseline.network.forward(&input, Phase::Eval, &cfg))
+        });
+
+        let mut compiled = kind.build_width(10, 0.25);
+        let plan = InferencePlan::compile(&compiled.network, input.shape().dims(), &cfg)
+            .expect("paper models accept CIFAR-shaped input");
+        let mut session =
+            InferenceSession::new(&mut compiled.network, plan).expect("plan matches this network");
+        let mut out = Tensor::zeros(session.plan().output_shape().to_vec());
+        // Warm once so arena setup is excluded from the steady state.
+        session
+            .run_into(&input, &mut out)
+            .expect("shape matches plan");
+        group.bench_function("session_run_into", |b| {
+            b.iter(|| {
+                session
+                    .run_into(&input, &mut out)
+                    .expect("shape matches plan")
+            })
+        });
+        group.finish();
+
+        let session_allocs = allocations_during(|| {
+            session
+                .run_into(&input, &mut out)
+                .expect("shape matches plan")
+        });
+        drop(session);
+        let forward_allocs = allocations_during(|| {
+            let _ = baseline.network.forward(&input, Phase::Eval, &cfg);
+        });
+        println!(
+            "{} allocations/pass: Network::forward = {forward_allocs}, \
+             InferenceSession::run_into = {session_allocs}",
+            kind.name()
+        );
+    }
+}
+
+criterion_group!(benches, bench_session_vs_forward);
+criterion_main!(benches);

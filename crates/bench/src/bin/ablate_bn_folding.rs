@@ -28,7 +28,9 @@ fn main() {
         // Warm the running statistics so folding is non-trivial.
         let exec = ExecConfig::default();
         for seed in 0..2 {
-            let x = Tensor::from_fn([4, 3, 32, 32], |i| ((i as u64 * 37 + seed) % 19) as f32 * 0.1);
+            let x = Tensor::from_fn([4, 3, 32, 32], |i| {
+                ((i as u64 * 37 + seed) % 19) as f32 * 0.1
+            });
             let _ = model.network.forward(&x, Phase::Train, &exec);
         }
         let before = measure(&mut model.network);
@@ -50,7 +52,14 @@ fn main() {
         "{}",
         render_table(
             "Ablation: batch-norm folding (host-measured, width 0.25, 1 thread)",
-            &["Model", "BNs folded", "Primitive layers", "Before", "After", "Speedup"],
+            &[
+                "Model",
+                "BNs folded",
+                "Primitive layers",
+                "Before",
+                "After",
+                "Speedup"
+            ],
             &rows,
         )
     );

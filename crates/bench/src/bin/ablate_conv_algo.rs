@@ -53,7 +53,14 @@ fn main() {
         "{}",
         render_table(
             "Ablation: convolution algorithm x weight format (host-measured, width 0.25, 1 thread)",
-            &["Model", "Weights", "Direct", "im2col+GEMM", "Winograd", "im2col/direct"],
+            &[
+                "Model",
+                "Weights",
+                "Direct",
+                "im2col+GEMM",
+                "Winograd",
+                "im2col/direct"
+            ],
             &rows,
         )
     );

@@ -24,7 +24,9 @@ fn unstructured(rows: usize, cols: usize, density: f64, seed: u64) -> Tensor {
 fn block_structured(rows: usize, cols: usize, block: usize, density: f64, seed: u64) -> Tensor {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let bc = cols / block;
-    let keep: Vec<bool> = (0..(rows / block) * bc).map(|_| rng.gen_bool(density)).collect();
+    let keep: Vec<bool> = (0..(rows / block) * bc)
+        .map(|_| rng.gen_bool(density))
+        .collect();
     Tensor::from_fn([rows, cols], |i| {
         let (r, c) = (i / cols, i % cols);
         if keep[(r / block) * bc + c / block] {
@@ -82,7 +84,11 @@ fn compare(title: &str, a: &Tensor) {
     ];
     println!(
         "{}",
-        render_table(title, &["Format", "Bytes", "SpMM time (measured)"], &rows_out)
+        render_table(
+            title,
+            &["Format", "Bytes", "SpMM time (measured)"],
+            &rows_out
+        )
     );
 }
 

@@ -4,7 +4,7 @@
 
 use cnn_stack_bench::{fmt_seconds, render_table};
 use cnn_stack_hwsim::{tune_gemm, TunedGemm};
-use cnn_stack_tensor::{TileConfig, Tensor};
+use cnn_stack_tensor::{Tensor, TileConfig};
 use std::time::Instant;
 
 fn time_config(cfg: TileConfig, m: usize, k: usize, n: usize) -> f64 {
@@ -21,7 +21,12 @@ fn time_config(cfg: TileConfig, m: usize, k: usize, n: usize) -> f64 {
 fn main() {
     // VGG-16 layer 3 at CIFAR scale: [128 x 576] . [576 x 256].
     let shapes = [
-        ("CIFAR conv (128x576 . 576x256)", 128usize, 576usize, 256usize),
+        (
+            "CIFAR conv (128x576 . 576x256)",
+            128usize,
+            576usize,
+            256usize,
+        ),
         ("ImageNet conv (128x576 . 576x3136)", 128, 576, 3136),
     ];
     for (label, m, k, n) in shapes {
@@ -58,10 +63,7 @@ fn main() {
                 &rows,
             )
         );
-        println!(
-            "worst/best spread: {:.2}x\n",
-            worst.1 / result.best_seconds
-        );
+        println!("worst/best spread: {:.2}x\n", worst.1 / result.best_seconds);
     }
     println!(
         "This is the CLTune mechanism in miniature: the tuning surface matters\n\

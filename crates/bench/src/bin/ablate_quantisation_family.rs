@@ -107,7 +107,13 @@ fn main() {
         "{}",
         render_table(
             "Quantisation family (SIII-C): projection only, no fine-tuning (width-0.125 VGG)",
-            &["Method", "Weight storage", "bits/w", "Sparsity", "Accuracy (no fine-tune)"],
+            &[
+                "Method",
+                "Weight storage",
+                "bits/w",
+                "Sparsity",
+                "Accuracy (no fine-tune)"
+            ],
             &rows,
         )
     );

@@ -19,7 +19,9 @@ fn main() {
         let cell = if step == 0 {
             dense.clone()
         } else {
-            evaluate(&base.compress(CompressionChoice::WeightPruning { sparsity_pct: sparsity }))
+            evaluate(&base.compress(CompressionChoice::WeightPruning {
+                sparsity_pct: sparsity,
+            }))
         };
         if cell.modelled_s < dense.modelled_s && crossover.is_none() && step > 0 {
             crossover = Some(sparsity);

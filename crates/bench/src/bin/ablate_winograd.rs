@@ -55,7 +55,13 @@ fn main() {
         "{}",
         render_table(
             "Winograd F(2x2,3x3) vs im2col+GEMM (host-measured, 1 thread)",
-            &["Layer", "Multiply saving", "im2col+GEMM", "Winograd", "Speedup"],
+            &[
+                "Layer",
+                "Multiply saving",
+                "im2col+GEMM",
+                "Winograd",
+                "Speedup"
+            ],
             &rows,
         )
     );

@@ -27,7 +27,14 @@ fn main() -> std::io::Result<()> {
     for kind in ModelKind::all() {
         for technique in Technique::all() {
             for p in pareto_curve(kind, technique, 101) {
-                writeln!(f, "{},{},{:.4},{:.4}", kind.name(), technique.name(), p.x, p.accuracy_pct)?;
+                writeln!(
+                    f,
+                    "{},{},{:.4},{:.4}",
+                    kind.name(),
+                    technique.name(),
+                    p.x,
+                    p.accuracy_pct
+                )?;
             }
         }
     }

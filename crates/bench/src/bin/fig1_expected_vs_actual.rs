@@ -19,7 +19,9 @@ fn main() {
         let cell = if step == 0 {
             dense.clone()
         } else {
-            evaluate(&base.compress(CompressionChoice::WeightPruning { sparsity_pct: sparsity }))
+            evaluate(&base.compress(CompressionChoice::WeightPruning {
+                sparsity_pct: sparsity,
+            }))
         };
         let expected = dense.modelled_s * cell.effective_macs as f64 / dense.macs as f64;
         rows.push(vec![

@@ -7,7 +7,13 @@ use cnn_stack_compress::Technique;
 use cnn_stack_core::pareto::pareto_curve;
 use cnn_stack_models::ModelKind;
 
-fn print_panel(title: &str, technique: Technique, xs: &[f64], x_label: &str, x_fmt: fn(f64) -> String) {
+fn print_panel(
+    title: &str,
+    technique: Technique,
+    xs: &[f64],
+    x_label: &str,
+    x_fmt: fn(f64) -> String,
+) {
     let curves: Vec<Vec<_>> = ModelKind::all()
         .iter()
         .map(|&kind| pareto_curve(kind, technique, 201))
@@ -21,7 +27,10 @@ fn print_panel(title: &str, technique: Technique, xs: &[f64], x_label: &str, x_f
                 let p = curve
                     .iter()
                     .min_by(|a, b| {
-                        (a.x - x).abs().partial_cmp(&(b.x - x).abs()).expect("finite")
+                        (a.x - x)
+                            .abs()
+                            .partial_cmp(&(b.x - x).abs())
+                            .expect("finite")
                     })
                     .expect("non-empty curve");
                 row.push(format!("{:.2}%", p.accuracy_pct));

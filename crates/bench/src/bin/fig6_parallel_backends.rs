@@ -43,7 +43,11 @@ fn main() {
          OpenMP (8 threads): {}   CLBlast: {}   -> CLBlast {}",
         fmt_seconds(omp),
         fmt_seconds(blast),
-        if blast < omp { "wins (as the paper reports)" } else { "loses (MISMATCH)" },
+        if blast < omp {
+            "wins (as the paper reports)"
+        } else {
+            "loses (MISMATCH)"
+        },
     );
     println!(
         "\nShape to check: hand-tuned OpenCL fastest, OpenMP second, CLBlast\n\

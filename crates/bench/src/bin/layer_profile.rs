@@ -1,13 +1,17 @@
 //! Per-layer characterisation profile: where each model spends its
 //! modelled time on each platform, decomposed into the timing model's
 //! compute / memory / overhead terms — the drill-down view behind the
-//! Fig. 4 bars.
+//! Fig. 4 bars. A final "Host ms" column shows where the build host
+//! actually spends its time, measured through the arena-backed
+//! inference session's per-layer counters.
 
 use cnn_stack_bench::render_table;
 use cnn_stack_core::PlatformChoice;
 use cnn_stack_hwsim::timing::layer_time;
 use cnn_stack_hwsim::SimConfig;
 use cnn_stack_models::ModelKind;
+use cnn_stack_nn::{ExecConfig, InferencePlan, InferenceSession};
+use cnn_stack_tensor::Tensor;
 
 fn main() {
     let kind = std::env::args()
@@ -19,8 +23,55 @@ fn main() {
         })
         .unwrap_or(ModelKind::MobileNet);
 
-    let model = kind.build(10);
-    let descs = model.network.descriptors(&[1, 3, 32, 32]);
+    let input_shape = [1usize, 3, 32, 32];
+    let mut model = kind.build(10);
+    let descs = model.network.descriptors(&input_shape);
+    // Descriptors expand composites (a residual block contributes one row
+    // per inner conv) while the session profiles whole top-level layers,
+    // so record how many descriptor rows each profiled layer spans.
+    let child_counts: Vec<usize> = {
+        let mut shape = input_shape.to_vec();
+        model
+            .network
+            .layers()
+            .iter()
+            .map(|l| {
+                let n = l.child_descriptors(&shape).len();
+                shape = l.descriptor(&shape).output_shape;
+                n
+            })
+            .collect()
+    };
+
+    // One serial host run per layer through the compiled session; the
+    // profile rows are index-aligned with the top-level layers.
+    let exec = ExecConfig::serial();
+    let plan = InferencePlan::compile(&model.network, &input_shape, &exec)
+        .expect("paper models accept CIFAR-shaped input");
+    let mut session =
+        InferenceSession::new(&mut model.network, plan).expect("plan matches this network");
+    let input = Tensor::zeros(input_shape.to_vec());
+    let mut out = Tensor::zeros(session.plan().output_shape().to_vec());
+    session
+        .run_into(&input, &mut out)
+        .expect("shape matches plan");
+    session.reset_profile(); // discard the warm-up pass
+    session
+        .run_into(&input, &mut out)
+        .expect("shape matches plan");
+    let host = session.profile().mean_layer_times();
+    // Per-descriptor host column: a composite's measured time goes on its
+    // first descriptor row; the remaining rows are covered by that figure.
+    let mut host_col = Vec::with_capacity(descs.len());
+    for (li, &k) in child_counts.iter().enumerate() {
+        for j in 0..k {
+            host_col.push(if j == 0 {
+                format!("{:.2}", host[li].1.as_secs_f64() * 1e3)
+            } else {
+                "—".to_string()
+            });
+        }
+    }
 
     for platform_choice in PlatformChoice::all() {
         let platform = platform_choice.platform();
@@ -28,14 +79,18 @@ fn main() {
         let sim = SimConfig::cpu(threads);
         let mut rows = Vec::new();
         let mut total = 0.0;
-        for d in &descs {
+        for (i, d) in descs.iter().enumerate() {
             let t = layer_time(&platform, d, &sim);
             total += t.seconds();
             // Skip sub-microsecond layers to keep the table readable.
             if t.seconds() < 1e-5 {
                 continue;
             }
-            let bound = if t.compute_s >= t.memory_s { "compute" } else { "memory" };
+            let bound = if t.compute_s >= t.memory_s {
+                "compute"
+            } else {
+                "memory"
+            };
             rows.push(vec![
                 d.name.clone(),
                 format!("{:.0}", d.macs as f64 / 1e6),
@@ -43,6 +98,7 @@ fn main() {
                 format!("{:.2}", t.memory_s * 1e3),
                 format!("{:.2}", t.overhead_s * 1e3),
                 bound.to_string(),
+                host_col[i].clone(),
             ]);
         }
         print!(
@@ -55,7 +111,15 @@ fn main() {
                     threads,
                     total * 1e3
                 ),
-                &["Layer", "MMACs", "Compute ms", "Memory ms", "Overhead ms", "Bound"],
+                &[
+                    "Layer",
+                    "MMACs",
+                    "Compute ms",
+                    "Memory ms",
+                    "Overhead ms",
+                    "Bound",
+                    "Host ms"
+                ],
                 &rows,
             )
         );

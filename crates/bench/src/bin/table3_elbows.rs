@@ -41,7 +41,12 @@ fn main() {
         "{}",
         render_table(
             "Table III: elbow operating points (detected vs paper)",
-            &["Model", "W. Pruning sparsity", "C. Pruning compression", "TTQ thr / sparsity"],
+            &[
+                "Model",
+                "W. Pruning sparsity",
+                "C. Pruning compression",
+                "TTQ thr / sparsity"
+            ],
             &rows,
         )
     );

@@ -37,7 +37,12 @@ fn main() {
         "{}",
         render_table(
             "Table V: operating points at a fixed 90% accuracy (derived vs paper)",
-            &["Model", "W. Pruning sparsity", "C. Pruning compression", "TTQ threshold"],
+            &[
+                "Model",
+                "W. Pruning sparsity",
+                "C. Pruning compression",
+                "TTQ threshold"
+            ],
             &rows,
         )
     );

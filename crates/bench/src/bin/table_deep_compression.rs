@@ -50,7 +50,14 @@ fn main() {
         "{}",
         render_table(
             "Deep Compression storage pipeline: prune -> quantise -> Huffman",
-            &["Model", "Dense", "Pruned (CSR)", "Huffman", "Rate", "Total compression"],
+            &[
+                "Model",
+                "Dense",
+                "Pruned (CSR)",
+                "Huffman",
+                "Rate",
+                "Total compression"
+            ],
             &rows,
         )
     );

@@ -21,8 +21,16 @@ fn main() {
             let mut row = vec![kind.name().to_string()];
             let configs = [
                 base,
-                base.compress(compression_at(kind, Technique::WeightPruning, OperatingPoints::Table3)),
-                base.compress(compression_at(kind, Technique::ChannelPruning, OperatingPoints::Table3)),
+                base.compress(compression_at(
+                    kind,
+                    Technique::WeightPruning,
+                    OperatingPoints::Table3,
+                )),
+                base.compress(compression_at(
+                    kind,
+                    Technique::ChannelPruning,
+                    OperatingPoints::Table3,
+                )),
                 base.compress(compression_at(
                     kind,
                     Technique::TernaryQuantisation,

@@ -119,8 +119,17 @@ mod tests {
 
     #[test]
     fn table3_points_round_trip() {
-        let c = compression_at(ModelKind::Vgg16, Technique::WeightPruning, OperatingPoints::Table3);
-        assert_eq!(c, CompressionChoice::WeightPruning { sparsity_pct: 76.54 });
+        let c = compression_at(
+            ModelKind::Vgg16,
+            Technique::WeightPruning,
+            OperatingPoints::Table3,
+        );
+        assert_eq!(
+            c,
+            CompressionChoice::WeightPruning {
+                sparsity_pct: 76.54
+            }
+        );
         let c = compression_at(
             ModelKind::MobileNet,
             Technique::TernaryQuantisation,
@@ -131,7 +140,11 @@ mod tests {
 
     #[test]
     fn figure4_has_four_legend_entries() {
-        let cfgs = figure4_configs(ModelKind::ResNet18, PlatformChoice::OdroidXu4, OperatingPoints::Table3);
+        let cfgs = figure4_configs(
+            ModelKind::ResNet18,
+            PlatformChoice::OdroidXu4,
+            OperatingPoints::Table3,
+        );
         assert_eq!(cfgs.len(), 4);
         assert_eq!(cfgs[0].0, "Plain");
         assert_eq!(cfgs[2].0, "Channel Pruning");

@@ -301,8 +301,10 @@ mod tests {
     #[test]
     fn mobilenet_ttq_improves_with_threshold() {
         // Fig. 3(c): MobileNet needs a larger threshold.
-        let low = AccuracyModel::accuracy(ModelKind::MobileNet, Technique::TernaryQuantisation, 0.01);
-        let high = AccuracyModel::accuracy(ModelKind::MobileNet, Technique::TernaryQuantisation, 0.20);
+        let low =
+            AccuracyModel::accuracy(ModelKind::MobileNet, Technique::TernaryQuantisation, 0.01);
+        let high =
+            AccuracyModel::accuracy(ModelKind::MobileNet, Technique::TernaryQuantisation, 0.20);
         assert!(high > low + 5.0);
     }
 
@@ -350,7 +352,10 @@ mod tests {
                 AccuracyModel::operating_point_for_accuracy(kind, Technique::WeightPruning, 90.0)
                     .unwrap();
             let paper = AccuracyModel::table5_operating_point(kind, Technique::WeightPruning);
-            assert!((x - paper).abs() < 6.0, "{kind}: bisected {x} vs paper {paper}");
+            assert!(
+                (x - paper).abs() < 6.0,
+                "{kind}: bisected {x} vs paper {paper}"
+            );
         }
     }
 

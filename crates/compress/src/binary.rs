@@ -8,7 +8,8 @@
 //! XNOR-Net scaling). Binary weights have *no* zeros, so unlike TTQ they
 //! gain nothing from sparse formats — but they pack at 1 bit/weight.
 
-use cnn_stack_nn::{Conv2d, DepthwiseConv2d, Linear, Network, Param, ResidualBlock};
+use crate::visit::for_each_weight_param;
+use cnn_stack_nn::{Network, Param};
 use cnn_stack_tensor::Tensor;
 
 /// Summary of a binarisation pass.
@@ -43,35 +44,15 @@ fn binarise_param(param: &mut Param) -> f32 {
 pub fn binarise_network(net: &mut Network) -> BinaryReport {
     let mut total = 0usize;
     let mut per_layer = Vec::new();
-    for i in 0..net.len() {
-        let layer = net.layer_mut(i);
-        if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
-            total += conv.weight().value.len();
-            let a = binarise_param(conv.weight_mut());
-            per_layer.push((format!("layer{i}:conv"), a));
-        } else if let Some(fc) = layer.as_any_mut().downcast_mut::<Linear>() {
-            total += fc.weight().value.len();
-            let a = binarise_param(fc.weight_mut());
-            per_layer.push((format!("layer{i}:linear"), a));
-        } else if let Some(dw) = layer.as_any_mut().downcast_mut::<DepthwiseConv2d>() {
-            total += dw.weight().value.len();
-            let a = binarise_param(dw.weight_mut());
-            per_layer.push((format!("layer{i}:dwconv"), a));
-        } else if let Some(block) = layer.as_any_mut().downcast_mut::<ResidualBlock>() {
-            total += block.conv1().weight().value.len();
-            let a1 = binarise_param(block.conv1_mut().weight_mut());
-            per_layer.push((format!("layer{i}:resblock.conv1"), a1));
-            total += block.conv2().weight().value.len();
-            let a2 = binarise_param(block.conv2_mut().weight_mut());
-            per_layer.push((format!("layer{i}:resblock.conv2"), a2));
-            if let Some(sc) = block.shortcut_conv_mut() {
-                total += sc.weight().value.len();
-                let a3 = binarise_param(sc.weight_mut());
-                per_layer.push((format!("layer{i}:resblock.shortcut"), a3));
-            }
-        }
+    for_each_weight_param(net, |label, param| {
+        total += param.value.len();
+        let a = binarise_param(param);
+        per_layer.push((label.to_string(), a));
+    });
+    BinaryReport {
+        total_weights: total,
+        per_layer,
     }
-    BinaryReport { total_weights: total, per_layer }
 }
 
 /// Storage bytes for a binarised layer of `elems` weights: 1 bit per

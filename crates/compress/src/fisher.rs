@@ -111,7 +111,7 @@ impl FisherPruner {
     /// `s̄_c + β · FLOPs_c` and resets the accumulators. Returns the
     /// `(group, channel)` pruned, or `None` if no group can lose another
     /// channel.
-#[allow(clippy::needless_range_loop)]
+    #[allow(clippy::needless_range_loop)]
     pub fn prune_one(
         &mut self,
         net: &mut Network,
@@ -165,11 +165,7 @@ mod tests {
         (x, labels)
     }
 
-    fn accumulate_once(
-        pruner: &mut FisherPruner,
-        model: &mut cnn_stack_models::Model,
-        seed: u64,
-    ) {
+    fn accumulate_once(pruner: &mut FisherPruner, model: &mut cnn_stack_models::Model, seed: u64) {
         let (x, labels) = random_batch(seed);
         let cfg = ExecConfig::default();
         model.network.zero_grad();
@@ -207,7 +203,9 @@ mod tests {
         let mut model = vgg16_width(10, 0.1);
         let mut pruner = FisherPruner::new(&model.network, &model.plan, 1.0);
         accumulate_once(&mut pruner, &mut model, 0);
-        let flops = model.plan.flops_per_channel(&model.network, &[1, 3, 32, 32]);
+        let flops = model
+            .plan
+            .flops_per_channel(&model.network, &[1, 3, 32, 32]);
         let max_g = (0..flops.len()).max_by_key(|&g| flops[g]).unwrap();
         let (g, _) = pruner
             .prune_one(&mut model.network, &model.plan, &[1, 3, 32, 32])

@@ -10,7 +10,8 @@
 //! the storage accounting: `buckets` floats per layer regardless of the
 //! virtual weight count.
 
-use cnn_stack_nn::{Conv2d, DepthwiseConv2d, Linear, Network, Param, ResidualBlock};
+use crate::visit::for_each_weight_param;
+use cnn_stack_nn::{Network, Param};
 use cnn_stack_tensor::Tensor;
 
 /// Summary of a hashing pass.
@@ -84,43 +85,16 @@ pub fn hash_network(net: &mut Network, compression: f64) -> HashedReport {
     let mut virtual_weights = 0usize;
     let mut real_parameters = 0usize;
     let mut err = 0.0f64;
-    let mut salt = 0x5EED;
-    let apply = |p: &mut Param, salt: u64| {
-        let (n, b, e) = hash_param(p, compression, salt);
-        (n, b, e)
-    };
-    for i in 0..net.len() {
-        let layer = net.layer_mut(i);
-        let results: Vec<(usize, usize, f64)> =
-            if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
-                salt += 1;
-                vec![apply(conv.weight_mut(), salt)]
-            } else if let Some(fc) = layer.as_any_mut().downcast_mut::<Linear>() {
-                salt += 1;
-                vec![apply(fc.weight_mut(), salt)]
-            } else if let Some(dw) = layer.as_any_mut().downcast_mut::<DepthwiseConv2d>() {
-                salt += 1;
-                vec![apply(dw.weight_mut(), salt)]
-            } else if let Some(block) = layer.as_any_mut().downcast_mut::<ResidualBlock>() {
-                let mut rs = Vec::new();
-                salt += 1;
-                rs.push(apply(block.conv1_mut().weight_mut(), salt));
-                salt += 1;
-                rs.push(apply(block.conv2_mut().weight_mut(), salt));
-                if let Some(sc) = block.shortcut_conv_mut() {
-                    salt += 1;
-                    rs.push(apply(sc.weight_mut(), salt));
-                }
-                rs
-            } else {
-                Vec::new()
-            };
-        for (n, b, e) in results {
-            virtual_weights += n;
-            real_parameters += b;
-            err += e;
-        }
-    }
+    // One salt per weight tensor, advanced in visit order, so every
+    // tensor gets an independent hash stream.
+    let mut salt: u64 = 0x5EED;
+    for_each_weight_param(net, |_, param| {
+        salt += 1;
+        let (n, b, e) = hash_param(param, compression, salt);
+        virtual_weights += n;
+        real_parameters += b;
+        err += e;
+    });
     HashedReport {
         virtual_weights,
         real_parameters,

@@ -43,7 +43,10 @@ impl HuffmanCode {
     ///
     /// Panics if `stream` is empty.
     pub fn build(stream: &[u16]) -> Self {
-        assert!(!stream.is_empty(), "cannot build a code from an empty stream");
+        assert!(
+            !stream.is_empty(),
+            "cannot build a code from an empty stream"
+        );
         let mut freq: HashMap<u16, u64> = HashMap::new();
         for &s in stream {
             *freq.entry(s).or_insert(0) += 1;
@@ -226,11 +229,17 @@ pub fn code_ternary_network(net: &mut Network) -> HuffmanReport {
             let s = if v == 0.0 {
                 1
             } else if v > 0.0 {
-                assert!(pos.is_nan() || pos == v, "network is not ternary (positive)");
+                assert!(
+                    pos.is_nan() || pos == v,
+                    "network is not ternary (positive)"
+                );
                 pos = v;
                 2
             } else {
-                assert!(neg.is_nan() || neg == v, "network is not ternary (negative)");
+                assert!(
+                    neg.is_nan() || neg == v,
+                    "network is not ternary (negative)"
+                );
                 neg = v;
                 0
             };
@@ -306,7 +315,9 @@ mod tests {
 
     #[test]
     fn roundtrip_long_random_stream() {
-        let stream: Vec<u16> = (0..5000).map(|i| ((i * 2654435761u64) % 17) as u16).collect();
+        let stream: Vec<u16> = (0..5000)
+            .map(|i| ((i * 2654435761u64) % 17) as u16)
+            .collect();
         let code = HuffmanCode::build(&stream);
         let enc = code.encode(&stream);
         assert_eq!(code.decode(&enc), stream);

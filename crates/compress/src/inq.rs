@@ -10,7 +10,8 @@
 //! the mask-free convention of keeping them fixed points of the
 //! projection); [`inq_quantise`] runs the schedule to completion.
 
-use cnn_stack_nn::{Conv2d, DepthwiseConv2d, Linear, Network, ResidualBlock};
+use crate::visit::for_each_weight_param;
+use cnn_stack_nn::Network;
 use cnn_stack_tensor::Tensor;
 
 /// Summary of an INQ pass.
@@ -66,7 +67,10 @@ fn quantise_value(v: f32, e_lo: i32, e_hi: i32) -> f32 {
 ///
 /// Panics if `fraction` is outside `[0, 1]` or `levels == 0`.
 pub fn inq_step_tensor(weights: &mut Tensor, fraction: f64, levels: u32) -> (usize, f64) {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     assert!(levels > 0, "at least one magnitude level required");
     let n = weights.len();
     let k = ((n as f64) * fraction).round() as usize;
@@ -93,22 +97,7 @@ pub fn inq_step_tensor(weights: &mut Tensor, fraction: f64, levels: u32) -> (usi
 }
 
 fn for_each_weight_tensor(net: &mut Network, mut f: impl FnMut(&mut Tensor)) {
-    for i in 0..net.len() {
-        let layer = net.layer_mut(i);
-        if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
-            f(&mut conv.weight_mut().value);
-        } else if let Some(fc) = layer.as_any_mut().downcast_mut::<Linear>() {
-            f(&mut fc.weight_mut().value);
-        } else if let Some(dw) = layer.as_any_mut().downcast_mut::<DepthwiseConv2d>() {
-            f(&mut dw.weight_mut().value);
-        } else if let Some(block) = layer.as_any_mut().downcast_mut::<ResidualBlock>() {
-            f(&mut block.conv1_mut().weight_mut().value);
-            f(&mut block.conv2_mut().weight_mut().value);
-            if let Some(sc) = block.shortcut_conv_mut() {
-                f(&mut sc.weight_mut().value);
-            }
-        }
-    }
+    for_each_weight_param(net, |_, param| f(&mut param.value));
 }
 
 /// One INQ round over the whole network: quantises the top `fraction` of
@@ -130,7 +119,11 @@ pub fn inq_step(net: &mut Network, fraction: f64, levels: u32) -> InqReport {
         total_weights: total,
         // levels magnitudes + sign + zero: ceil(log2(2*levels + 1)).
         bits: (2 * levels + 1).next_power_of_two().trailing_zeros(),
-        mse: if quantised == 0 { 0.0 } else { err / quantised as f64 },
+        mse: if quantised == 0 {
+            0.0
+        } else {
+            err / quantised as f64
+        },
     }
 }
 

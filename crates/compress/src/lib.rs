@@ -46,6 +46,7 @@ pub mod magnitude;
 pub mod packed;
 pub mod random;
 pub mod ttq;
+pub mod visit;
 
 pub use accuracy::{AccuracyModel, Technique};
 pub use binary::{binarise_network, BinaryReport};
@@ -56,3 +57,4 @@ pub use inq::{inq_quantise, inq_step, InqReport};
 pub use magnitude::{prune_network, PruneReport};
 pub use packed::PackedTernaryMatrix;
 pub use ttq::{ttq_quantise, TtqReport};
+pub use visit::for_each_weight_param;

@@ -7,7 +7,8 @@
 //! masks installed here pin pruned weights to zero so SGD fine-tuning
 //! cannot revive them (see [`cnn_stack_nn::Param::set_mask`]).
 
-use cnn_stack_nn::{Conv2d, DepthwiseConv2d, Linear, Network, ResidualBlock};
+use crate::visit::for_each_weight_param;
+use cnn_stack_nn::Network;
 use cnn_stack_tensor::Tensor;
 
 /// Summary of one pruning pass.
@@ -41,38 +42,12 @@ pub fn prune_network(net: &mut Network, sparsity: f64) -> PruneReport {
     let mut pruned = 0usize;
     let mut per_layer = Vec::new();
 
-    for i in 0..net.len() {
-        let layer = net.layer_mut(i);
-        if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
-            let (t, p, s) = prune_param_tensor(conv.weight_mut(), sparsity);
-            per_layer.push((format!("layer{i}:conv"), s));
-            total += t;
-            pruned += p;
-        } else if let Some(fc) = layer.as_any_mut().downcast_mut::<Linear>() {
-            let (t, p, s) = prune_param_tensor(fc.weight_mut(), sparsity);
-            per_layer.push((format!("layer{i}:linear"), s));
-            total += t;
-            pruned += p;
-        } else if let Some(dw) = layer.as_any_mut().downcast_mut::<DepthwiseConv2d>() {
-            let (t, p, s) = prune_param_tensor(dw.weight_mut(), sparsity);
-            per_layer.push((format!("layer{i}:dwconv"), s));
-            total += t;
-            pruned += p;
-        } else if let Some(block) = layer.as_any_mut().downcast_mut::<ResidualBlock>() {
-            let (t1, p1, s1) = prune_param_tensor(block.conv1_mut().weight_mut(), sparsity);
-            let (t2, p2, s2) = prune_param_tensor(block.conv2_mut().weight_mut(), sparsity);
-            per_layer.push((format!("layer{i}:resblock.conv1"), s1));
-            per_layer.push((format!("layer{i}:resblock.conv2"), s2));
-            total += t1 + t2;
-            pruned += p1 + p2;
-            if let Some(sc) = block.shortcut_conv_mut() {
-                let (t3, p3, s3) = prune_param_tensor(sc.weight_mut(), sparsity);
-                per_layer.push((format!("layer{i}:resblock.shortcut"), s3));
-                total += t3;
-                pruned += p3;
-            }
-        }
-    }
+    for_each_weight_param(net, |label, param| {
+        let (t, p, s) = prune_param_tensor(param, sparsity);
+        per_layer.push((label.to_string(), s));
+        total += t;
+        pruned += p;
+    });
 
     PruneReport {
         total_weights: total,
@@ -275,6 +250,7 @@ mod tests {
         let conv = model
             .network
             .layer_mut(0)
+            .unwrap()
             .as_any_mut()
             .downcast_mut::<cnn_stack_nn::Conv2d>()
             .unwrap();

@@ -198,7 +198,9 @@ mod tests {
         let a = ternary(6, 10, 2);
         let b = Tensor::from_fn([10, 4], |i| i as f32 * 0.3 - 1.5);
         let want = matmul(&a, &b);
-        let got = PackedTernaryMatrix::from_dense_ternary(&a).unwrap().spmm(&b);
+        let got = PackedTernaryMatrix::from_dense_ternary(&a)
+            .unwrap()
+            .spmm(&b);
         assert!(want.allclose(&got, 1e-4));
     }
 

@@ -11,7 +11,8 @@
 //! straight-through estimator in expectation — documented substitution,
 //! `DESIGN.md` §5).
 
-use cnn_stack_nn::{Conv2d, DepthwiseConv2d, Linear, Network, Param, ResidualBlock};
+use crate::visit::for_each_weight_param;
+use cnn_stack_nn::{Network, Param};
 use cnn_stack_tensor::Tensor;
 
 /// Summary of a ternarisation pass.
@@ -46,7 +47,10 @@ pub struct TernaryScales {
 ///
 /// Panics if `t` is not in `[0, 1)`.
 pub fn ternarise_tensor(weights: &mut Tensor, t: f64) -> (TernaryScales, f64) {
-    assert!((0.0..1.0).contains(&t), "threshold must be in [0, 1), got {t}");
+    assert!(
+        (0.0..1.0).contains(&t),
+        "threshold must be in [0, 1), got {t}"
+    );
     let max_mag = weights.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
     let delta = (t as f32) * max_mag;
     let mut pos_sum = 0.0f64;
@@ -63,8 +67,16 @@ pub fn ternarise_tensor(weights: &mut Tensor, t: f64) -> (TernaryScales, f64) {
         }
     }
     let scales = TernaryScales {
-        positive: if pos_n > 0 { (pos_sum / pos_n as f64) as f32 } else { 0.0 },
-        negative: if neg_n > 0 { (neg_sum / neg_n as f64) as f32 } else { 0.0 },
+        positive: if pos_n > 0 {
+            (pos_sum / pos_n as f64) as f32
+        } else {
+            0.0
+        },
+        negative: if neg_n > 0 {
+            (neg_sum / neg_n as f64) as f32
+        } else {
+            0.0
+        },
     };
     let mut zeroed = 0usize;
     for v in weights.data_mut() {
@@ -103,61 +115,32 @@ fn ternarise_param(param: &mut Param, t: f64) -> (TernaryScales, usize, usize) {
 ///
 /// Panics if `t` is not in `[0, 1)`.
 pub fn ttq_quantise(net: &mut Network, t: f64) -> TtqReport {
-    assert!((0.0..1.0).contains(&t), "threshold must be in [0, 1), got {t}");
+    assert!(
+        (0.0..1.0).contains(&t),
+        "threshold must be in [0, 1), got {t}"
+    );
     let mut total = 0usize;
     let mut zeroed = 0usize;
     let mut per_layer = Vec::new();
-    for i in 0..net.len() {
-        let layer = net.layer_mut(i);
-        if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
-            let (s, t_n, z) = ternarise_param(conv.weight_mut(), t);
-            per_layer.push((format!("layer{i}:conv"), s.positive, s.negative, z as f64 / t_n as f64));
-            total += t_n;
-            zeroed += z;
-        } else if let Some(fc) = layer.as_any_mut().downcast_mut::<Linear>() {
-            let (s, t_n, z) = ternarise_param(fc.weight_mut(), t);
-            per_layer.push((format!("layer{i}:linear"), s.positive, s.negative, z as f64 / t_n as f64));
-            total += t_n;
-            zeroed += z;
-        } else if let Some(dw) = layer.as_any_mut().downcast_mut::<DepthwiseConv2d>() {
-            let (s, t_n, z) = ternarise_param(dw.weight_mut(), t);
-            per_layer.push((format!("layer{i}:dwconv"), s.positive, s.negative, z as f64 / t_n as f64));
-            total += t_n;
-            zeroed += z;
-        } else if let Some(block) = layer.as_any_mut().downcast_mut::<ResidualBlock>() {
-            let (s1, t1, z1) = ternarise_param(block.conv1_mut().weight_mut(), t);
-            per_layer.push((
-                format!("layer{i}:resblock.conv1"),
-                s1.positive,
-                s1.negative,
-                z1 as f64 / t1 as f64,
-            ));
-            let (s2, t2, z2) = ternarise_param(block.conv2_mut().weight_mut(), t);
-            per_layer.push((
-                format!("layer{i}:resblock.conv2"),
-                s2.positive,
-                s2.negative,
-                z2 as f64 / t2 as f64,
-            ));
-            total += t1 + t2;
-            zeroed += z1 + z2;
-            if let Some(sc) = block.shortcut_conv_mut() {
-                let (s3, t3, z3) = ternarise_param(sc.weight_mut(), t);
-                per_layer.push((
-                    format!("layer{i}:resblock.shortcut"),
-                    s3.positive,
-                    s3.negative,
-                    z3 as f64 / t3 as f64,
-                ));
-                total += t3;
-                zeroed += z3;
-            }
-        }
-    }
+    for_each_weight_param(net, |label, param| {
+        let (s, t_n, z) = ternarise_param(param, t);
+        per_layer.push((
+            label.to_string(),
+            s.positive,
+            s.negative,
+            z as f64 / t_n as f64,
+        ));
+        total += t_n;
+        zeroed += z;
+    });
     TtqReport {
         total_weights: total,
         zeroed_weights: zeroed,
-        sparsity: if total == 0 { 0.0 } else { zeroed as f64 / total as f64 },
+        sparsity: if total == 0 {
+            0.0
+        } else {
+            zeroed as f64 / total as f64
+        },
         per_layer,
     }
 }
@@ -173,7 +156,7 @@ pub fn reproject(net: &mut Network, t: f64) -> TtqReport {
 mod tests {
     use super::*;
     use cnn_stack_models::{resnet18_width, vgg16_width};
-    use cnn_stack_nn::{ExecConfig, Phase};
+    use cnn_stack_nn::{Conv2d, ExecConfig, Phase};
 
     #[test]
     fn tensor_becomes_ternary() {
@@ -212,6 +195,7 @@ mod tests {
         let conv = model
             .network
             .layer_mut(0)
+            .unwrap()
             .as_any_mut()
             .downcast_mut::<Conv2d>()
             .unwrap();

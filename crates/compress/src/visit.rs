@@ -1,0 +1,103 @@
+//! The shared weight-parameter walk behind every compression pass.
+//!
+//! Each technique in this crate — pruning, ternarisation, binarisation,
+//! hashing, INQ — visits the same set of parameters: the convolution,
+//! linear and depthwise weight tensors, including those nested inside
+//! residual blocks, and labels them identically in its report.
+//! [`for_each_weight_param`] centralises that walk on
+//! [`Layer::visit_mut`], so the passes no longer each maintain a
+//! downcast-if chain and automatically cover any future composite layer
+//! that implements `visit_mut`.
+
+use cnn_stack_nn::{Conv2d, DepthwiseConv2d, Layer, Linear, Network, Param, ResidualBlock};
+
+/// Visits every compressible weight parameter of `net` in layer order,
+/// paired with the stable label the compression reports use
+/// (`layer3:conv`, `layer5:linear`, `layer7:resblock.conv2`, …).
+///
+/// Built on [`Layer::visit_mut`], which yields composites parent-first:
+/// a residual block's convolutions therefore arrive in `conv1`, `conv2`,
+/// shortcut order, matching the report layout every pass pins in its
+/// tests. Bias and batch-norm parameters are deliberately excluded — the
+/// paper's techniques compress weight tensors only.
+pub fn for_each_weight_param(net: &mut Network, mut f: impl FnMut(&str, &mut Param)) {
+    for (i, layer) in net.layers_mut().iter_mut().enumerate() {
+        let mut in_block = false;
+        let mut block_convs = 0usize;
+        layer.visit_mut(&mut |l: &mut dyn Layer| {
+            if l.as_any_mut().downcast_mut::<ResidualBlock>().is_some() {
+                in_block = true;
+            } else if let Some(conv) = l.as_any_mut().downcast_mut::<Conv2d>() {
+                let label = if in_block {
+                    block_convs += 1;
+                    match block_convs {
+                        1 => format!("layer{i}:resblock.conv1"),
+                        2 => format!("layer{i}:resblock.conv2"),
+                        _ => format!("layer{i}:resblock.shortcut"),
+                    }
+                } else {
+                    format!("layer{i}:conv")
+                };
+                f(&label, conv.weight_mut());
+            } else if let Some(fc) = l.as_any_mut().downcast_mut::<Linear>() {
+                f(&format!("layer{i}:linear"), fc.weight_mut());
+            } else if let Some(dw) = l.as_any_mut().downcast_mut::<DepthwiseConv2d>() {
+                f(&format!("layer{i}:dwconv"), dw.weight_mut());
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_follow_layer_order_and_block_structure() {
+        let mut net = Network::new(vec![
+            Box::new(Conv2d::new(3, 4, 3, 1, 1, 1)),
+            Box::new(cnn_stack_nn::ReLU::new()),
+            Box::new(ResidualBlock::new(4, 8, 2, 2)),
+            Box::new(DepthwiseConv2d::new(8, 3, 1, 1, 3)),
+            Box::new(cnn_stack_nn::Flatten::new()),
+            Box::new(Linear::new(8, 2, 4)),
+        ])
+        .unwrap();
+        let mut labels = Vec::new();
+        for_each_weight_param(&mut net, |label, _| labels.push(label.to_string()));
+        assert_eq!(
+            labels,
+            vec![
+                "layer0:conv",
+                "layer2:resblock.conv1",
+                "layer2:resblock.conv2",
+                "layer2:resblock.shortcut",
+                "layer3:dwconv",
+                "layer5:linear",
+            ]
+        );
+    }
+
+    #[test]
+    fn identity_shortcut_block_yields_two_convs() {
+        let mut net = Network::new(vec![Box::new(ResidualBlock::new(4, 4, 1, 7))]).unwrap();
+        let mut labels = Vec::new();
+        for_each_weight_param(&mut net, |label, _| labels.push(label.to_string()));
+        assert_eq!(
+            labels,
+            vec!["layer0:resblock.conv1", "layer0:resblock.conv2"]
+        );
+    }
+
+    #[test]
+    fn visits_grant_mutable_param_access() {
+        let mut net = Network::new(vec![Box::new(Conv2d::new(1, 1, 3, 1, 1, 0))]).unwrap();
+        for_each_weight_param(&mut net, |_, p| {
+            for v in p.value.data_mut() {
+                *v = 2.5;
+            }
+        });
+        let conv = net.layers()[0].as_any().downcast_ref::<Conv2d>().unwrap();
+        assert!(conv.weight().value.data().iter().all(|&v| v == 2.5));
+    }
+}

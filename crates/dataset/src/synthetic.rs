@@ -157,7 +157,12 @@ impl SyntheticCifar {
     ///
     /// Panics if `batch_size == 0` or larger than the test split.
     pub fn test_batch(&self, batch_index: usize, batch_size: usize) -> (Tensor, Vec<usize>) {
-        self.batch_from(&self.test_images, &self.test_labels, batch_index, batch_size)
+        self.batch_from(
+            &self.test_images,
+            &self.test_labels,
+            batch_index,
+            batch_size,
+        )
     }
 
     /// The whole test split as one tensor (use for final accuracy).
@@ -179,7 +184,10 @@ impl SyntheticCifar {
         batch_size: usize,
     ) -> (Tensor, Vec<usize>) {
         let n = labels.len();
-        assert!(batch_size > 0 && batch_size <= n, "bad batch size {batch_size}");
+        assert!(
+            batch_size > 0 && batch_size <= n,
+            "bad batch size {batch_size}"
+        );
         let mut data = Vec::with_capacity(batch_size * IMAGE_ELEMS);
         let mut out_labels = Vec::with_capacity(batch_size);
         for i in 0..batch_size {
@@ -215,7 +223,8 @@ fn make_prototypes(rng: &mut ChaCha8Rng) -> Vec<f32> {
                         + coarse[y0 * GRID + x1] * (1.0 - dy) * dx
                         + coarse[y1 * GRID + x0] * dy * (1.0 - dx)
                         + coarse[y1 * GRID + x1] * dy * dx;
-                    protos[(class * CHANNELS + ch) * IMAGE_SIZE * IMAGE_SIZE + y * IMAGE_SIZE + x] =
+                    protos
+                        [(class * CHANNELS + ch) * IMAGE_SIZE * IMAGE_SIZE + y * IMAGE_SIZE + x] =
                         v;
                 }
             }

@@ -101,7 +101,10 @@ pub fn tune_gemm(
     seed: u64,
 ) -> TuneResult {
     assert!(m > 0 && k > 0 && n > 0, "dimensions must be non-zero");
-    assert!(budget > 0 && repeats > 0, "budget and repeats must be non-zero");
+    assert!(
+        budget > 0 && repeats > 0,
+        "budget and repeats must be non-zero"
+    );
     let a = cnn_stack_tensor::Tensor::from_fn([m, k], |i| ((i % 17) as f32) * 0.1 - 0.8);
     let b = cnn_stack_tensor::Tensor::from_fn([k, n], |i| ((i % 13) as f32) * 0.1 - 0.6);
 

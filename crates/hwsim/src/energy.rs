@@ -20,10 +20,9 @@ use crate::platform::Platform;
 use crate::timing::{network_time, SimConfig};
 use cnn_stack_nn::memory::layer_weight_bytes;
 use cnn_stack_nn::LayerDescriptor;
-use serde::{Deserialize, Serialize};
 
 /// Per-event energy costs of a platform.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyModel {
     /// Energy per dense multiply-accumulate, picojoules.
     pub pj_per_mac: f64,
@@ -176,7 +175,12 @@ mod tests {
         let descs = vgg_descs(false);
         let odroid = odroid_xu4();
         let i7 = intel_i7();
-        let e_odroid = network_energy(&odroid, &EnergyModel::odroid_xu4(), &descs, &SimConfig::cpu(8));
+        let e_odroid = network_energy(
+            &odroid,
+            &EnergyModel::odroid_xu4(),
+            &descs,
+            &SimConfig::cpu(8),
+        );
         let e_i7 = network_energy(&i7, &EnergyModel::intel_i7(), &descs, &SimConfig::cpu(4));
         // The i7 finishes faster but its 35 W floor dominates: static
         // energy per inference is still higher than the Odroid's.

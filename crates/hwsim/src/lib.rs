@@ -32,7 +32,7 @@ pub mod ocl;
 pub mod platform;
 pub mod timing;
 
-pub use clblast::{tune_gemm, TunedGemm, TuneResult};
+pub use clblast::{tune_gemm, TuneResult, TunedGemm};
 pub use energy::{network_energy, EnergyBreakdown, EnergyModel};
 pub use ocl::{OclDevice, OclRun};
 pub use platform::{intel_i7, odroid_xu4, CpuCluster, GpuDevice, Platform};

@@ -106,8 +106,16 @@ impl OclDevice {
         workgroup: (usize, usize),
         vector_width: usize,
     ) -> BufferId {
-        let image = self.buffers.get(input.0).expect("stale input handle").clone();
-        let wdata = self.buffers.get(weights.0).expect("stale weight handle").clone();
+        let image = self
+            .buffers
+            .get(input.0)
+            .expect("stale input handle")
+            .clone();
+        let wdata = self
+            .buffers
+            .get(weights.0)
+            .expect("stale weight handle")
+            .clone();
         assert_eq!(
             image.len(),
             geom.in_channels * geom.in_h * geom.in_w,
@@ -260,10 +268,7 @@ mod tests {
         let gemm_cost = dev.elapsed_s() - before;
         assert!(gemm_cost >= dev.gpu.gemm_call_overhead_s);
         let got = dev.read_buffer(cb).to_vec();
-        let want = matmul(
-            &Tensor::from_vec([2, 3], a),
-            &Tensor::from_vec([3, 2], b),
-        );
+        let want = matmul(&Tensor::from_vec([2, 3], a), &Tensor::from_vec([3, 2], b));
         assert_eq!(got, want.data());
     }
 

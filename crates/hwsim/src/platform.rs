@@ -7,10 +7,8 @@
 //! ≈ 1.3 s on the i7) and all relative effects follow from the model
 //! structure rather than per-experiment fudging.
 
-use serde::{Deserialize, Serialize};
-
 /// A homogeneous group of CPU cores.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CpuCluster {
     /// Cluster name, e.g. `"Cortex-A15"`.
     pub name: String,
@@ -22,7 +20,7 @@ pub struct CpuCluster {
 }
 
 /// A GPU as the paper's OpenCL backend sees it.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GpuDevice {
     /// Device name, e.g. `"Mali-T628 MP6"`.
     pub name: String,
@@ -51,7 +49,7 @@ pub struct GpuDevice {
 
 /// A complete platform: CPU clusters, memory system, threading costs and
 /// (optionally) a GPU.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Platform {
     /// Platform name as the paper prints it.
     pub name: String,
@@ -141,7 +139,11 @@ impl Platform {
     /// (Odroid: 1/2/4/8; i7: 1/2/4).
     pub fn paper_thread_counts(&self) -> Vec<usize> {
         let max = self.max_threads();
-        [1usize, 2, 4, 8].iter().copied().filter(|&t| t <= max).collect()
+        [1usize, 2, 4, 8]
+            .iter()
+            .copied()
+            .filter(|&t| t <= max)
+            .collect()
     }
 }
 

@@ -146,9 +146,7 @@ fn effective_work(platform: &Platform, desc: &LayerDescriptor) -> f64 {
 fn streamed_weight_bytes(desc: &LayerDescriptor) -> f64 {
     match desc.format {
         WeightFormat::Dense => desc.weight_elems as f64 * 4.0,
-        WeightFormat::Csr => {
-            desc.weight_nnz as f64 * 8.0 + (desc.parallel_grains + 1) as f64 * 8.0
-        }
+        WeightFormat::Csr => desc.weight_nnz as f64 * 8.0 + (desc.parallel_grains + 1) as f64 * 8.0,
     }
 }
 
@@ -188,8 +186,8 @@ fn cpu_layer_time(platform: &Platform, desc: &LayerDescriptor, cfg: &SimConfig) 
         let eff = 1.0 / (1.0 + platform.mem_contention * (t - 1) as f64 * ratio * ratio);
         // A thread team degenerates to near-serial execution at worst; it
         // never livelocks (see `Platform::parallel_thrash`).
-        let serial_floor = work / platform.single_core_rate()
-            * (1.0 + platform.parallel_thrash * (t - 1) as f64);
+        let serial_floor =
+            work / platform.single_core_rate() * (1.0 + platform.parallel_thrash * (t - 1) as f64);
         let compute = (work / (platform.aggregate_rate(t) * eff)).min(serial_floor);
         let dispatch = desc.parallel_grains as f64
             * platform.dispatch_s
@@ -237,7 +235,10 @@ fn gpu_layer_time(platform: &Platform, desc: &LayerDescriptor, backend: Backend)
             } else {
                 0.0
             };
-            (macs / rate + lower_s, gpu.gemm_call_overhead_s + gpu.kernel_launch_s)
+            (
+                macs / rate + lower_s,
+                gpu.gemm_call_overhead_s + gpu.kernel_launch_s,
+            )
         }
         // Non-convolution layers run as plain hand-written kernels even
         // under the CLBlast pipeline.
@@ -281,12 +282,12 @@ pub fn network_time(
     descs: &[LayerDescriptor],
     cfg: &SimConfig,
 ) -> (f64, Vec<LayerTime>) {
-    let per_layer: Vec<LayerTime> = descs
-        .iter()
-        .map(|d| layer_time(platform, d, cfg))
-        .collect();
+    let per_layer: Vec<LayerTime> = descs.iter().map(|d| layer_time(platform, d, cfg)).collect();
     let mut total: f64 = per_layer.iter().map(LayerTime::seconds).sum();
-    if matches!(cfg.backend, Backend::OpenClHandTuned | Backend::OpenClClblast) {
+    if matches!(
+        cfg.backend,
+        Backend::OpenClHandTuned | Backend::OpenClClblast
+    ) {
         let gpu = platform.gpu.as_ref().expect("platform has no GPU");
         let weight_bytes: usize = descs.iter().map(layer_weight_bytes).sum();
         let input_bytes = descs.first().map_or(0, |d| d.input_elems * 4);
@@ -362,8 +363,7 @@ mod tests {
         for platform in [odroid_xu4(), intel_i7()] {
             let d = descs(ModelKind::MobileNet, false);
             let t1 = network_time(&platform, &d, &SimConfig::cpu(1)).0;
-            let tmax =
-                network_time(&platform, &d, &SimConfig::cpu(platform.max_threads())).0;
+            let tmax = network_time(&platform, &d, &SimConfig::cpu(platform.max_threads())).0;
             assert!(
                 tmax > t1 * 0.9,
                 "MobileNet speedup too large on {}: {t1} -> {tmax}",

@@ -74,7 +74,12 @@ pub fn mobilenet_width(classes: usize, width: f64) -> Model {
         let pw_bn = layers.len();
         layers.push(Box::new(BatchNorm2d::new(out_c)));
         layers.push(Box::new(ReLU::new()));
-        idx.push(StageIdx { dw, dw_bn, pw, pw_bn });
+        idx.push(StageIdx {
+            dw,
+            dw_bn,
+            pw,
+            pw_bn,
+        });
         seed += 10;
         in_c = out_c;
     }
@@ -115,7 +120,7 @@ pub fn mobilenet_width(classes: usize, width: f64) -> Model {
 
     Model {
         kind: ModelKind::MobileNet,
-        network: Network::new(layers),
+        network: Network::new(layers).expect("model layer list is non-empty"),
         plan: PruningPlan::new(groups),
     }
 }
@@ -129,9 +134,11 @@ mod tests {
     #[test]
     fn forward_shape() {
         let mut m = mobilenet(10);
-        let y = m
-            .network
-            .forward(&Tensor::zeros([1, 3, 32, 32]), Phase::Eval, &ExecConfig::default());
+        let y = m.network.forward(
+            &Tensor::zeros([1, 3, 32, 32]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[1, 10]);
     }
 
@@ -143,7 +150,10 @@ mod tests {
             .iter()
             .filter(|d| d.name.starts_with("conv") || d.name.starts_with("dwconv"))
             .count();
-        let fcs = descs.iter().filter(|d| d.name.starts_with("linear")).count();
+        let fcs = descs
+            .iter()
+            .filter(|d| d.name.starts_with("linear"))
+            .count();
         assert_eq!(convs, 27, "paper: 27 convolutional layers");
         assert_eq!(fcs, 1, "paper: a single fully connected layer");
     }

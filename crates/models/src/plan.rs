@@ -112,7 +112,11 @@ impl PruningPlan {
     /// left, or the plan does not match the network.
     pub fn prune(&self, net: &mut Network, g: usize, c: usize) {
         match self.groups[g] {
-            PruneGroup::ConvToConv { conv, bn, next_conv } => {
+            PruneGroup::ConvToConv {
+                conv,
+                bn,
+                next_conv,
+            } => {
                 as_conv_mut(net, conv).remove_out_channel(c);
                 as_bn_mut(net, bn).remove_channel(c);
                 as_conv_mut(net, next_conv).remove_in_channel(c);
@@ -178,16 +182,18 @@ impl PruningPlan {
         let mut shape = input_shape.to_vec();
         for i in 0..net.len() {
             shapes.push(shape.clone());
-            shape = net.layer(i).descriptor(&shape).output_shape;
+            shape = net.layers()[i].descriptor(&shape).output_shape;
         }
         shapes.push(shape);
 
         self.groups
             .iter()
             .map(|group| match *group {
-                PruneGroup::ConvToConv { conv, next_conv, .. } => {
-                    let d1 = net.layer(conv).descriptor(&shapes[conv]);
-                    let d2 = net.layer(next_conv).descriptor(&shapes[next_conv]);
+                PruneGroup::ConvToConv {
+                    conv, next_conv, ..
+                } => {
+                    let d1 = net.layers()[conv].descriptor(&shapes[conv]);
+                    let d2 = net.layers()[next_conv].descriptor(&shapes[next_conv]);
                     let out_c = as_conv(net, conv).out_channels() as u64;
                     let in_c = as_conv(net, next_conv).in_channels() as u64;
                     d1.macs / out_c + d2.macs / in_c
@@ -198,9 +204,9 @@ impl PruningPlan {
                     next_conv,
                     ..
                 } => {
-                    let d1 = net.layer(conv).descriptor(&shapes[conv]);
-                    let ddw = net.layer(dw).descriptor(&shapes[dw]);
-                    let d2 = net.layer(next_conv).descriptor(&shapes[next_conv]);
+                    let d1 = net.layers()[conv].descriptor(&shapes[conv]);
+                    let ddw = net.layers()[dw].descriptor(&shapes[dw]);
+                    let d2 = net.layers()[next_conv].descriptor(&shapes[next_conv]);
                     let out_c = as_conv(net, conv).out_channels() as u64;
                     let dw_c = as_dw(net, dw).channels() as u64;
                     let in_c = as_conv(net, next_conv).in_channels() as u64;
@@ -212,7 +218,7 @@ impl PruningPlan {
                     positions,
                     ..
                 } => {
-                    let d1 = net.layer(conv).descriptor(&shapes[conv]);
+                    let d1 = net.layers()[conv].descriptor(&shapes[conv]);
                     let out_c = as_conv(net, conv).out_channels() as u64;
                     let fc = as_linear(net, linear);
                     d1.macs / out_c + (positions * fc.out_features()) as u64
@@ -231,63 +237,63 @@ impl PruningPlan {
 }
 
 fn as_conv(net: &Network, idx: usize) -> &Conv2d {
-    net.layer(idx)
+    net.layers()[idx]
         .as_any()
         .downcast_ref::<Conv2d>()
         .unwrap_or_else(|| panic!("layer {idx} is not a Conv2d"))
 }
 
 fn as_conv_mut(net: &mut Network, idx: usize) -> &mut Conv2d {
-    net.layer_mut(idx)
+    net.layers_mut()[idx]
         .as_any_mut()
         .downcast_mut::<Conv2d>()
         .unwrap_or_else(|| panic!("layer {idx} is not a Conv2d"))
 }
 
 fn as_bn_mut(net: &mut Network, idx: usize) -> &mut BatchNorm2d {
-    net.layer_mut(idx)
+    net.layers_mut()[idx]
         .as_any_mut()
         .downcast_mut::<BatchNorm2d>()
         .unwrap_or_else(|| panic!("layer {idx} is not a BatchNorm2d"))
 }
 
 fn as_dw(net: &Network, idx: usize) -> &DepthwiseConv2d {
-    net.layer(idx)
+    net.layers()[idx]
         .as_any()
         .downcast_ref::<DepthwiseConv2d>()
         .unwrap_or_else(|| panic!("layer {idx} is not a DepthwiseConv2d"))
 }
 
 fn as_dw_mut(net: &mut Network, idx: usize) -> &mut DepthwiseConv2d {
-    net.layer_mut(idx)
+    net.layers_mut()[idx]
         .as_any_mut()
         .downcast_mut::<DepthwiseConv2d>()
         .unwrap_or_else(|| panic!("layer {idx} is not a DepthwiseConv2d"))
 }
 
 fn as_linear(net: &Network, idx: usize) -> &Linear {
-    net.layer(idx)
+    net.layers()[idx]
         .as_any()
         .downcast_ref::<Linear>()
         .unwrap_or_else(|| panic!("layer {idx} is not a Linear"))
 }
 
 fn as_linear_mut(net: &mut Network, idx: usize) -> &mut Linear {
-    net.layer_mut(idx)
+    net.layers_mut()[idx]
         .as_any_mut()
         .downcast_mut::<Linear>()
         .unwrap_or_else(|| panic!("layer {idx} is not a Linear"))
 }
 
 fn as_block(net: &Network, idx: usize) -> &ResidualBlock {
-    net.layer(idx)
+    net.layers()[idx]
         .as_any()
         .downcast_ref::<ResidualBlock>()
         .unwrap_or_else(|| panic!("layer {idx} is not a ResidualBlock"))
 }
 
 fn as_block_mut(net: &mut Network, idx: usize) -> &mut ResidualBlock {
-    net.layer_mut(idx)
+    net.layers_mut()[idx]
         .as_any_mut()
         .downcast_mut::<ResidualBlock>()
         .unwrap_or_else(|| panic!("layer {idx} is not a ResidualBlock"))
@@ -366,7 +372,11 @@ mod tests {
         // additionally includes the pruned batch-norm/activation work, so
         // allow a small relative gap.
         let rel = (delta as f64 - per[g] as f64).abs() / delta as f64;
-        assert!(rel < 0.02, "delta {delta} vs estimate {} (rel {rel})", per[g]);
+        assert!(
+            rel < 0.02,
+            "delta {delta} vs estimate {} (rel {rel})",
+            per[g]
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub fn resnet18_width(classes: usize, width: f64) -> Model {
         let out_c = scale(base_c, width);
         for b in 0..2 {
             let s = if b == 0 { stride } else { 1 };
-            groups.push(PruneGroup::ResidualInner { block: layers.len() });
+            groups.push(PruneGroup::ResidualInner {
+                block: layers.len(),
+            });
             layers.push(Box::new(ResidualBlock::new(in_c, out_c, s, seed)));
             seed += 10;
             in_c = out_c;
@@ -52,7 +54,7 @@ pub fn resnet18_width(classes: usize, width: f64) -> Model {
 
     Model {
         kind: ModelKind::ResNet18,
-        network: Network::new(layers),
+        network: Network::new(layers).expect("model layer list is non-empty"),
         plan: PruningPlan::new(groups),
     }
 }
@@ -66,9 +68,11 @@ mod tests {
     #[test]
     fn forward_shape() {
         let mut m = resnet18(10);
-        let y = m
-            .network
-            .forward(&Tensor::zeros([1, 3, 32, 32]), Phase::Eval, &ExecConfig::default());
+        let y = m.network.forward(
+            &Tensor::zeros([1, 3, 32, 32]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[1, 10]);
     }
 

@@ -12,7 +12,9 @@ use crate::plan::{PruneGroup, PruningPlan};
 use cnn_stack_nn::{BatchNorm2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, Network, ReLU};
 
 /// The 13 convolution widths of VGG-16.
-const VGG16_CHANNELS: [usize; 13] = [64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512];
+const VGG16_CHANNELS: [usize; 13] = [
+    64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512,
+];
 /// 1-based conv indices followed by a max-pool (paper: {2, 4, 7, 10, 13}).
 const POOL_AFTER: [usize; 5] = [2, 4, 7, 10, 13];
 
@@ -76,7 +78,7 @@ pub fn vgg16_width(classes: usize, width: f64) -> Model {
 
     Model {
         kind: ModelKind::Vgg16,
-        network: Network::new(layers),
+        network: Network::new(layers).expect("model layer list is non-empty"),
         plan: PruningPlan::new(groups),
     }
 }
@@ -90,9 +92,11 @@ mod tests {
     #[test]
     fn forward_shape_full_width() {
         let mut m = vgg16(10);
-        let y = m
-            .network
-            .forward(&Tensor::zeros([1, 3, 32, 32]), Phase::Eval, &ExecConfig::default());
+        let y = m.network.forward(
+            &Tensor::zeros([1, 3, 32, 32]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[1, 10]);
     }
 
@@ -101,7 +105,10 @@ mod tests {
         let m = vgg16(10);
         let descs = m.network.descriptors(&[1, 3, 32, 32]);
         let convs = descs.iter().filter(|d| d.name.starts_with("conv")).count();
-        let pools = descs.iter().filter(|d| d.name.starts_with("maxpool")).count();
+        let pools = descs
+            .iter()
+            .filter(|d| d.name.starts_with("maxpool"))
+            .count();
         assert_eq!(convs, 13);
         assert_eq!(pools, 5);
     }

@@ -68,6 +68,27 @@ impl Layer for ReLU {
         Vec::new()
     }
 
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn forward_into_supported(&self, _cfg: &ExecConfig) -> bool {
+        true
+    }
+
+    fn forward_into(
+        &self,
+        input: &[f32],
+        _input_shape: &[usize],
+        out: &mut [f32],
+        _scratch: &mut [f32],
+        _cfg: &ExecConfig,
+    ) {
+        for (o, &v) in out.iter_mut().zip(input) {
+            *o = v.max(0.0);
+        }
+    }
+
     fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {
         let elems: usize = input_shape.iter().product();
         LayerDescriptor {

@@ -125,6 +125,34 @@ impl BatchNorm2d {
         scale_ok && shift_ok
     }
 
+    /// Inference-mode scale/shift for channel `ch`, folded from the
+    /// running statistics: `y = x * scale + shift`.
+    fn eval_scale_shift(&self, ch: usize) -> (f32, f32) {
+        let inv_std = 1.0 / (self.running_var[ch] + self.eps).sqrt();
+        let mean = self.running_mean[ch];
+        let scale = self.gamma.value.data()[ch] * inv_std;
+        let shift = self.beta.value.data()[ch] - mean * scale;
+        (scale, shift)
+    }
+
+    /// Applies the inference-mode transform in place over a `[n, c, h, w]`
+    /// activation slice with `plane = h * w`. Shared by
+    /// [`Layer::forward_into`] and the residual block's fused path; kept
+    /// loop-for-loop identical to the `Phase::Eval` branch of
+    /// [`Layer::forward`] so both produce bit-equal results.
+    pub(crate) fn eval_inplace(&self, data: &mut [f32], n: usize, plane: usize) {
+        let c = self.channels;
+        for ch in 0..c {
+            let (scale, shift) = self.eval_scale_shift(ch);
+            for img in 0..n {
+                let base = (img * c + ch) * plane;
+                for v in &mut data[base..base + plane] {
+                    *v = *v * scale + shift;
+                }
+            }
+        }
+    }
+
     /// Removes channel `c` from all per-channel state. Channel-pruning
     /// surgery.
     ///
@@ -147,6 +175,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn min_input_rank(&self) -> usize {
+        4
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -208,24 +240,13 @@ impl Layer for BatchNorm2d {
                 self.cached_inv_std = Some(inv_stds);
             }
             Phase::Eval => {
-                for ch in 0..c {
-                    let inv_std = 1.0 / (self.running_var[ch] + self.eps).sqrt();
-                    let mean = self.running_mean[ch];
-                    let scale = gamma[ch] * inv_std;
-                    let shift = beta[ch] - mean * scale;
-                    for img in 0..n {
-                        let base = (img * c + ch) * plane;
-                        for v in &mut out.data_mut()[base..base + plane] {
-                            *v = *v * scale + shift;
-                        }
-                    }
-                }
+                self.eval_inplace(out.data_mut(), n, plane);
             }
         }
         out
     }
 
-#[allow(clippy::needless_range_loop)]
+    #[allow(clippy::needless_range_loop)]
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let xhat = self
             .cached_xhat
@@ -255,8 +276,8 @@ impl Layer for BatchNorm2d {
             for img in 0..n {
                 let base = (img * c + ch) * plane;
                 for i in base..base + plane {
-                    grad_in.data_mut()[i] = k
-                        * (grad_out.data()[i] - dbeta / m - xhat.data()[i] * dgamma / m);
+                    grad_in.data_mut()[i] =
+                        k * (grad_out.data()[i] - dbeta / m - xhat.data()[i] * dgamma / m);
                 }
             }
         }
@@ -265,6 +286,33 @@ impl Layer for BatchNorm2d {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn forward_into_supported(&self, _cfg: &ExecConfig) -> bool {
+        true
+    }
+
+    fn forward_into(
+        &self,
+        input: &[f32],
+        input_shape: &[usize],
+        out: &mut [f32],
+        _scratch: &mut [f32],
+        _cfg: &ExecConfig,
+    ) {
+        let (n, c, h, w) = (
+            input_shape[0],
+            input_shape[1],
+            input_shape[2],
+            input_shape[3],
+        );
+        assert_eq!(c, self.channels, "{}: channel mismatch", self.name());
+        out.copy_from_slice(input);
+        self.eval_inplace(out, n, h * w);
     }
 
     fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {
@@ -391,7 +439,11 @@ mod tests {
         bn.remove_channel(1);
         assert_eq!(bn.channels(), 2);
         assert_eq!(bn.gamma.value.data(), &[1.0, 3.0]);
-        let y = bn.forward(&Tensor::zeros([1, 2, 2, 2]), Phase::Eval, &ExecConfig::default());
+        let y = bn.forward(
+            &Tensor::zeros([1, 2, 2, 2]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[1, 2, 2, 2]);
     }
 

@@ -6,7 +6,9 @@ use crate::par::DisjointWriter;
 use cnn_stack_parallel::parallel_for;
 use cnn_stack_sparse::CsrMatrix;
 use cnn_stack_tensor::init::{initialise, Init};
-use cnn_stack_tensor::{col2im, gemm, im2col, ops, winograd_conv2d, Conv2dGeometry, Tensor};
+use cnn_stack_tensor::{
+    col2im, gemm, im2col, im2col_into, ops, winograd_conv2d, Conv2dGeometry, Tensor,
+};
 
 /// A standard (grouped-by-1) 2-D convolution layer.
 ///
@@ -135,9 +137,10 @@ impl Conv2d {
     /// The weights viewed as a `[out_c, in_c*k*k]` matrix (same memory
     /// order).
     pub fn weight_matrix(&self) -> Tensor {
-        self.weight
-            .value
-            .reshape([self.out_channels, self.in_channels * self.kernel * self.kernel])
+        self.weight.value.reshape([
+            self.out_channels,
+            self.in_channels * self.kernel * self.kernel,
+        ])
     }
 
     /// Convolution geometry for an input of spatial extent `h × w`.
@@ -161,7 +164,10 @@ impl Conv2d {
     /// Panics if `o` is out of range or only one channel remains.
     pub fn remove_out_channel(&mut self, o: usize) {
         assert!(o < self.out_channels, "output channel {o} out of range");
-        assert!(self.out_channels > 1, "cannot remove the last output channel");
+        assert!(
+            self.out_channels > 1,
+            "cannot remove the last output channel"
+        );
         let row = self.in_channels * self.kernel * self.kernel;
         let mut w = self.weight.value.data().to_vec();
         w.drain(o * row..(o + 1) * row);
@@ -169,7 +175,12 @@ impl Conv2d {
         b.remove(o);
         self.out_channels -= 1;
         self.weight = Param::new(Tensor::from_vec(
-            [self.out_channels, self.in_channels, self.kernel, self.kernel],
+            [
+                self.out_channels,
+                self.in_channels,
+                self.kernel,
+                self.kernel,
+            ],
             w,
         ));
         self.bias = Param::new(Tensor::from_vec([self.out_channels], b));
@@ -196,158 +207,208 @@ impl Conv2d {
         }
         self.in_channels -= 1;
         self.weight = Param::new(Tensor::from_vec(
-            [self.out_channels, self.in_channels, self.kernel, self.kernel],
+            [
+                self.out_channels,
+                self.in_channels,
+                self.kernel,
+                self.kernel,
+            ],
             w,
         ));
         self.csr = None;
     }
 
-    fn forward_dense_direct(&self, input: &Tensor, geom: &Conv2dGeometry, cfg: &ExecConfig) -> Tensor {
-        let (n, _, h, w) = input.shape().nchw();
-        let mut out = Tensor::zeros([n, self.out_channels, geom.out_h, geom.out_w]);
+    /// Scratch floats the im2col lowering needs for one image at the
+    /// given spatial extent (zero for the direct/sparse kernels).
+    fn im2col_scratch_elems(&self, geom: &Conv2dGeometry) -> usize {
+        geom.patch_len() * geom.out_positions()
+    }
+
+    /// Direct (7-loop) dense kernel over raw slices. All `eval_*_into`
+    /// kernels are shared verbatim by [`Layer::forward`] and
+    /// [`Layer::forward_into`], so the arena engine is bit-identical to
+    /// the tensor path.
+    fn eval_dense_direct_into(
+        &self,
+        in_data: &[f32],
+        n: usize,
+        geom: &Conv2dGeometry,
+        out: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        let (h, w) = (geom.in_h, geom.in_w);
         let plane = geom.out_h * geom.out_w;
         let in_img = self.in_channels * h * w;
         let out_img = self.out_channels * plane;
         let wdata = self.weight.value.data();
         let bdata = self.bias.value.data();
-        let in_data = input.data();
         let k = self.kernel;
         let row = self.in_channels * k * k;
-        {
-            let writer = DisjointWriter::new(out.data_mut());
-            let writer = &writer;
-            for img in 0..n {
-                let x = &in_data[img * in_img..(img + 1) * in_img];
-                parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
-                    for o in range {
-                        // SAFETY: each grain `o` owns exactly one output
-                        // plane; planes never overlap across grains.
-                        let dst = unsafe {
-                            writer.slice_mut(
-                                img * out_img + o * plane,
-                                img * out_img + (o + 1) * plane,
-                            )
-                        };
-                        dst.fill(bdata[o]);
-                        let filter = &wdata[o * row..(o + 1) * row];
-                        direct_channel_conv(x, filter, dst, geom, h, w, k);
-                    }
-                });
-            }
+        let writer = DisjointWriter::new(out);
+        let writer = &writer;
+        for img in 0..n {
+            let x = &in_data[img * in_img..(img + 1) * in_img];
+            parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
+                for o in range {
+                    // SAFETY: each grain `o` owns exactly one output
+                    // plane; planes never overlap across grains.
+                    let dst = unsafe {
+                        writer.slice_mut(img * out_img + o * plane, img * out_img + (o + 1) * plane)
+                    };
+                    dst.fill(bdata[o]);
+                    let filter = &wdata[o * row..(o + 1) * row];
+                    direct_channel_conv(x, filter, dst, geom, h, w, k);
+                }
+            });
         }
-        out
     }
 
-    fn forward_dense_im2col(&self, input: &Tensor, geom: &Conv2dGeometry, cfg: &ExecConfig) -> Tensor {
-        let (n, _, h, w) = input.shape().nchw();
-        let mut out = Tensor::zeros([n, self.out_channels, geom.out_h, geom.out_w]);
+    /// im2col + GEMM dense kernel over raw slices; `scratch` holds the
+    /// per-image column matrix ([`Self::im2col_scratch_elems`] floats).
+    #[allow(clippy::too_many_arguments)]
+    fn eval_dense_im2col_into(
+        &self,
+        in_data: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        geom: &Conv2dGeometry,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
         let plane = geom.out_positions();
         let in_img = self.in_channels * h * w;
         let out_img = self.out_channels * plane;
         let wmat = self.weight_matrix();
         let k_dim = wmat.shape().dims()[1];
         let bdata = self.bias.value.data();
-        {
-            let writer = DisjointWriter::new(out.data_mut());
-            let writer = &writer;
-            for img in 0..n {
-                let cols = im2col(&input.data()[img * in_img..(img + 1) * in_img], geom);
-                let cols = &cols;
-                parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
-                    // SAFETY: grain range covers whole output rows
-                    // [start*plane, end*plane) of this image — disjoint.
-                    let dst = unsafe {
-                        writer.slice_mut(
-                            img * out_img + range.start * plane,
-                            img * out_img + range.end * plane,
-                        )
-                    };
-                    for (local, o) in range.clone().enumerate() {
-                        dst[local * plane..(local + 1) * plane].fill(bdata[o]);
-                    }
-                    // One GEMM over the claimed row block.
-                    let wslice =
-                        &wmat.data()[range.start * k_dim..range.end * k_dim];
-                    gemm::gemm_into(
-                        wslice,
-                        cols.data(),
-                        dst,
-                        range.end - range.start,
-                        k_dim,
-                        plane,
-                        gemm::GemmAlgorithm::Blocked,
-                    );
-                });
-            }
+        let cols_len = self.im2col_scratch_elems(geom);
+        let writer = DisjointWriter::new(out);
+        let writer = &writer;
+        for img in 0..n {
+            im2col_into(
+                &in_data[img * in_img..(img + 1) * in_img],
+                geom,
+                &mut scratch[..cols_len],
+            );
+            let cols: &[f32] = &scratch[..cols_len];
+            parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
+                // SAFETY: grain range covers whole output rows
+                // [start*plane, end*plane) of this image — disjoint.
+                let dst = unsafe {
+                    writer.slice_mut(
+                        img * out_img + range.start * plane,
+                        img * out_img + range.end * plane,
+                    )
+                };
+                for (local, o) in range.clone().enumerate() {
+                    dst[local * plane..(local + 1) * plane].fill(bdata[o]);
+                }
+                // One GEMM over the claimed row block.
+                let wslice = &wmat.data()[range.start * k_dim..range.end * k_dim];
+                gemm::gemm_into(
+                    wslice,
+                    cols,
+                    dst,
+                    range.end - range.start,
+                    k_dim,
+                    plane,
+                    gemm::GemmAlgorithm::Blocked,
+                );
+            });
         }
-        out
     }
 
-    fn forward_csr(&self, input: &Tensor, geom: &Conv2dGeometry, cfg: &ExecConfig) -> Tensor {
+    /// CSR kernel over raw slices; `scratch` is only read by the im2col
+    /// lowering (empty slice is fine for direct).
+    #[allow(clippy::too_many_arguments)]
+    fn eval_csr_into(
+        &self,
+        in_data: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        geom: &Conv2dGeometry,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
         let csr = self
             .csr
             .as_ref()
             .expect("CSR snapshot missing; call set_format(WeightFormat::Csr)");
-        let (n, _, h, w) = input.shape().nchw();
-        let mut out = Tensor::zeros([n, self.out_channels, geom.out_h, geom.out_w]);
         let plane = geom.out_positions();
         let in_img = self.in_channels * h * w;
         let out_img = self.out_channels * plane;
         let bdata = self.bias.value.data();
         let k = self.kernel;
-        {
-            let writer = DisjointWriter::new(out.data_mut());
-            let writer = &writer;
-            for img in 0..n {
-                match cfg.conv_algo {
-                    // Winograd applies to dense weights only; CSR falls
-                    // back to the direct sparse kernel.
-                    ConvAlgorithm::Direct | ConvAlgorithm::Winograd => {
-                        let x = &input.data()[img * in_img..(img + 1) * in_img];
-                        parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
-                            for o in range {
-                                // SAFETY: one output plane per grain.
-                                let dst = unsafe {
-                                    writer.slice_mut(
-                                        img * out_img + o * plane,
-                                        img * out_img + (o + 1) * plane,
-                                    )
-                                };
-                                dst.fill(bdata[o]);
-                                let (idx, val) = csr.row(o);
-                                sparse_channel_conv(x, idx, val, dst, geom, h, w, k);
-                            }
-                        });
-                    }
-                    ConvAlgorithm::Im2col => {
-                        let cols = im2col(&input.data()[img * in_img..(img + 1) * in_img], geom);
-                        let cols = &cols;
-                        parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
-                            // SAFETY: whole-row block per grain range.
+        let cols_len = self.im2col_scratch_elems(geom);
+        let writer = DisjointWriter::new(out);
+        let writer = &writer;
+        for img in 0..n {
+            match cfg.conv_algo {
+                // Winograd applies to dense weights only; CSR falls
+                // back to the direct sparse kernel.
+                ConvAlgorithm::Direct | ConvAlgorithm::Winograd => {
+                    let x = &in_data[img * in_img..(img + 1) * in_img];
+                    parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
+                        for o in range {
+                            // SAFETY: one output plane per grain.
                             let dst = unsafe {
                                 writer.slice_mut(
-                                    img * out_img + range.start * plane,
-                                    img * out_img + range.end * plane,
+                                    img * out_img + o * plane,
+                                    img * out_img + (o + 1) * plane,
                                 )
                             };
-                            for (local, o) in range.clone().enumerate() {
-                                dst[local * plane..(local + 1) * plane].fill(bdata[o]);
-                                let (idx, val) = csr.row(o);
-                                let drow = &mut dst[local * plane..(local + 1) * plane];
-                                for (&col, &v) in idx.iter().zip(val) {
-                                    let brow =
-                                        &cols.data()[col as usize * plane..(col as usize + 1) * plane];
-                                    for (d, &b) in drow.iter_mut().zip(brow) {
-                                        *d += v * b;
-                                    }
+                            dst.fill(bdata[o]);
+                            let (idx, val) = csr.row(o);
+                            sparse_channel_conv(x, idx, val, dst, geom, h, w, k);
+                        }
+                    });
+                }
+                ConvAlgorithm::Im2col => {
+                    im2col_into(
+                        &in_data[img * in_img..(img + 1) * in_img],
+                        geom,
+                        &mut scratch[..cols_len],
+                    );
+                    let cols: &[f32] = &scratch[..cols_len];
+                    parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
+                        // SAFETY: whole-row block per grain range.
+                        let dst = unsafe {
+                            writer.slice_mut(
+                                img * out_img + range.start * plane,
+                                img * out_img + range.end * plane,
+                            )
+                        };
+                        for (local, o) in range.clone().enumerate() {
+                            dst[local * plane..(local + 1) * plane].fill(bdata[o]);
+                            let (idx, val) = csr.row(o);
+                            let drow = &mut dst[local * plane..(local + 1) * plane];
+                            for (&col, &v) in idx.iter().zip(val) {
+                                let brow = &cols[col as usize * plane..(col as usize + 1) * plane];
+                                for (d, &b) in drow.iter_mut().zip(brow) {
+                                    *d += v * b;
                                 }
                             }
-                        });
-                    }
+                        }
+                    });
                 }
             }
         }
-        out
+    }
+
+    /// Whether a dense-weights Winograd execution would take the true
+    /// Winograd transform (3×3, stride 1) rather than the direct
+    /// fallback. The transform allocates internally and rounds
+    /// differently, so the engine routes such layers through
+    /// [`Layer::forward`] to stay bit-identical.
+    fn takes_winograd_transform(&self, cfg: &ExecConfig) -> bool {
+        self.format == WeightFormat::Dense
+            && cfg.conv_algo == ConvAlgorithm::Winograd
+            && self.kernel == 3
+            && self.stride == 1
     }
 }
 
@@ -430,6 +491,10 @@ fn accumulate_tap(
 }
 
 impl Layer for Conv2d {
+    fn min_input_rank(&self) -> usize {
+        4
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -448,31 +513,65 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, phase: Phase, cfg: &ExecConfig) -> Tensor {
-        let (_, in_c, h, w) = input.shape().nchw();
-        assert_eq!(in_c, self.in_channels, "{}: input channel mismatch", self.name());
+        let (n, in_c, h, w) = input.shape().nchw();
+        assert_eq!(
+            in_c,
+            self.in_channels,
+            "{}: input channel mismatch",
+            self.name()
+        );
         let geom = self.geometry(h, w);
         if phase == Phase::Train {
             self.cached_input = Some(input.clone());
         }
+        if self.takes_winograd_transform(cfg) {
+            return winograd_conv2d(
+                input,
+                &self.weight.value,
+                Some(self.bias.value.data()),
+                self.padding,
+            );
+        }
+        let mut out = Tensor::zeros([n, self.out_channels, geom.out_h, geom.out_w]);
+        let needs_cols = cfg.conv_algo == ConvAlgorithm::Im2col;
+        let mut scratch = vec![
+            0.0f32;
+            if needs_cols {
+                self.im2col_scratch_elems(&geom)
+            } else {
+                0
+            }
+        ];
         match self.format {
             WeightFormat::Dense => match cfg.conv_algo {
-                ConvAlgorithm::Direct => self.forward_dense_direct(input, &geom, cfg),
-                ConvAlgorithm::Im2col => self.forward_dense_im2col(input, &geom, cfg),
-                ConvAlgorithm::Winograd => {
-                    if self.kernel == 3 && self.stride == 1 {
-                        winograd_conv2d(
-                            input,
-                            &self.weight.value,
-                            Some(self.bias.value.data()),
-                            self.padding,
-                        )
-                    } else {
-                        self.forward_dense_direct(input, &geom, cfg)
-                    }
+                ConvAlgorithm::Im2col => self.eval_dense_im2col_into(
+                    input.data(),
+                    n,
+                    h,
+                    w,
+                    &geom,
+                    out.data_mut(),
+                    &mut scratch,
+                    cfg,
+                ),
+                // Winograd on a non-3x3/stride-1 layer falls back to the
+                // direct kernel.
+                ConvAlgorithm::Direct | ConvAlgorithm::Winograd => {
+                    self.eval_dense_direct_into(input.data(), n, &geom, out.data_mut(), cfg)
                 }
             },
-            WeightFormat::Csr => self.forward_csr(input, &geom, cfg),
+            WeightFormat::Csr => self.eval_csr_into(
+                input.data(),
+                n,
+                h,
+                w,
+                &geom,
+                out.data_mut(),
+                &mut scratch,
+                cfg,
+            ),
         }
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -502,7 +601,12 @@ impl Layer for Conv2d {
             debug_assert_eq!(dw.len(), self.out_channels * row);
             self.weight.grad.axpy(
                 1.0,
-                &dw.reshape([self.out_channels, self.in_channels, self.kernel, self.kernel]),
+                &dw.reshape([
+                    self.out_channels,
+                    self.in_channels,
+                    self.kernel,
+                    self.kernel,
+                ]),
             );
             // db += rowsum(dY)
             for o in 0..self.out_channels {
@@ -511,7 +615,11 @@ impl Layer for Conv2d {
             }
             // dX = col2im(Wᵀ · dY)
             let dcols = cnn_stack_tensor::matmul(&wmat_t, &dy);
-            col2im(&dcols, &geom, &mut grad_input.data_mut()[img * in_img..(img + 1) * in_img]);
+            col2im(
+                &dcols,
+                &geom,
+                &mut grad_input.data_mut()[img * in_img..(img + 1) * in_img],
+            );
         }
         grad_input
     }
@@ -546,6 +654,62 @@ impl Layer for Conv2d {
             output_shape: vec![n, self.out_channels, geom.out_h, geom.out_w],
             scratch_elems: self.in_channels * (h + 2 * self.padding) * (w + 2 * self.padding),
             parallel_grains: self.out_channels,
+        }
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn forward_into_supported(&self, cfg: &ExecConfig) -> bool {
+        // The true Winograd transform allocates internally and rounds
+        // differently; the engine falls back to `forward` for it.
+        !self.takes_winograd_transform(cfg)
+    }
+
+    fn forward_scratch_elems(&self, input_shape: &[usize], cfg: &ExecConfig) -> usize {
+        if cfg.conv_algo == ConvAlgorithm::Im2col {
+            let geom = self.geometry(input_shape[2], input_shape[3]);
+            self.im2col_scratch_elems(&geom)
+        } else {
+            0
+        }
+    }
+
+    fn forward_into(
+        &self,
+        input: &[f32],
+        input_shape: &[usize],
+        out: &mut [f32],
+        scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        let (n, in_c, h, w) = (
+            input_shape[0],
+            input_shape[1],
+            input_shape[2],
+            input_shape[3],
+        );
+        assert_eq!(
+            in_c,
+            self.in_channels,
+            "{}: input channel mismatch",
+            self.name()
+        );
+        let geom = self.geometry(h, w);
+        match self.format {
+            WeightFormat::Dense => match cfg.conv_algo {
+                ConvAlgorithm::Im2col => {
+                    self.eval_dense_im2col_into(input, n, h, w, &geom, out, scratch, cfg)
+                }
+                // The Winograd arm only sees non-eligible layers here
+                // (`forward_into_supported` gates the rest) — direct
+                // fallback, same as `forward`.
+                ConvAlgorithm::Direct | ConvAlgorithm::Winograd => {
+                    self.eval_dense_direct_into(input, n, &geom, out, cfg)
+                }
+            },
+            WeightFormat::Csr => self.eval_csr_into(input, n, h, w, &geom, out, scratch, cfg),
         }
     }
 }
@@ -583,10 +747,18 @@ mod tests {
     #[test]
     fn output_shape() {
         let mut conv = Conv2d::new(3, 8, 3, 1, 1, 0);
-        let y = conv.forward(&Tensor::zeros([2, 3, 16, 16]), Phase::Eval, &ExecConfig::default());
+        let y = conv.forward(
+            &Tensor::zeros([2, 3, 16, 16]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[2, 8, 16, 16]);
         let mut strided = Conv2d::new(3, 8, 3, 2, 1, 0);
-        let y = strided.forward(&Tensor::zeros([1, 3, 16, 16]), Phase::Eval, &ExecConfig::default());
+        let y = strided.forward(
+            &Tensor::zeros([1, 3, 16, 16]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[1, 8, 8, 8]);
     }
 
@@ -599,7 +771,10 @@ mod tests {
         let x = random([2, 3, 7, 7], 1);
         let outs = all_paths(&mut conv, &x);
         for (i, o) in outs.iter().enumerate().skip(1) {
-            assert!(outs[0].allclose(o, 1e-4), "path {i} disagrees with reference");
+            assert!(
+                outs[0].allclose(o, 1e-4),
+                "path {i} disagrees with reference"
+            );
         }
     }
 
@@ -648,7 +823,11 @@ mod tests {
         let mut conv = Conv2d::new(1, 1, 3, 1, 1, 0);
         conv.weight_mut().value.fill(1.0);
         conv.bias.value.fill(1.0);
-        let y = conv.forward(&Tensor::ones([1, 1, 3, 3]), Phase::Eval, &ExecConfig::default());
+        let y = conv.forward(
+            &Tensor::ones([1, 1, 3, 3]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y[[0, 0, 1, 1]], 10.0);
         assert_eq!(y[[0, 0, 0, 0]], 5.0);
     }
@@ -745,7 +924,11 @@ mod tests {
             }
         }
         // Forward still works at the new shape.
-        let y = conv.forward(&Tensor::zeros([1, 2, 4, 4]), Phase::Eval, &ExecConfig::default());
+        let y = conv.forward(
+            &Tensor::zeros([1, 2, 4, 4]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[1, 2, 4, 4]);
     }
 

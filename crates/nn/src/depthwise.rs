@@ -45,13 +45,20 @@ impl DepthwiseConv2d {
     ///
     /// Panics if any extent is zero.
     pub fn new(channels: usize, kernel: usize, stride: usize, padding: usize, seed: u64) -> Self {
-        assert!(channels > 0 && kernel > 0 && stride > 0, "extents must be non-zero");
+        assert!(
+            channels > 0 && kernel > 0 && stride > 0,
+            "extents must be non-zero"
+        );
         DepthwiseConv2d {
             channels,
             kernel,
             stride,
             padding,
-            weight: Param::new(initialise([channels, 1, kernel, kernel], Init::KaimingNormal, seed)),
+            weight: Param::new(initialise(
+                [channels, 1, kernel, kernel],
+                Init::KaimingNormal,
+                seed,
+            )),
             bias: Param::new(Tensor::zeros([channels])),
             cached_input: None,
         }
@@ -96,16 +103,88 @@ impl DepthwiseConv2d {
         let mut b = self.bias.value.data().to_vec();
         b.remove(c);
         self.channels -= 1;
-        self.weight = Param::new(Tensor::from_vec([self.channels, 1, self.kernel, self.kernel], w));
+        self.weight = Param::new(Tensor::from_vec(
+            [self.channels, 1, self.kernel, self.kernel],
+            w,
+        ));
         self.bias = Param::new(Tensor::from_vec([self.channels], b));
     }
 
     fn geometry(&self, h: usize, w: usize) -> Conv2dGeometry {
         Conv2dGeometry::new(1, h, w, self.kernel, self.kernel, self.stride, self.padding)
     }
+
+    /// The shared inference kernel over raw slices. Both
+    /// [`Layer::forward`] and [`Layer::forward_into`] funnel through
+    /// this, so the arena engine is bit-identical to the tensor path.
+    #[allow(clippy::needless_range_loop)]
+    fn eval_into(
+        &self,
+        in_data: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        let geom = self.geometry(h, w);
+        let plane_in = h * w;
+        let plane_out = geom.out_h * geom.out_w;
+        let k = self.kernel;
+        let kk = k * k;
+        let wdata = self.weight.value.data();
+        let bdata = self.bias.value.data();
+        let writer = DisjointWriter::new(out);
+        let writer = &writer;
+        for img in 0..n {
+            parallel_for(cfg.threads, self.channels, cfg.schedule, |range| {
+                for c in range {
+                    // SAFETY: one output plane per grain.
+                    let dst = unsafe {
+                        writer.slice_mut(
+                            (img * self.channels + c) * plane_out,
+                            (img * self.channels + c + 1) * plane_out,
+                        )
+                    };
+                    dst.fill(bdata[c]);
+                    let x_plane = &in_data[(img * self.channels + c) * plane_in
+                        ..(img * self.channels + c + 1) * plane_in];
+                    let filter = &wdata[c * kk..(c + 1) * kk];
+                    for kh in 0..k {
+                        for kw in 0..k {
+                            let wv = filter[kh * k + kw];
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            for oh in 0..geom.out_h {
+                                let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
+                                if ih < 0 || ih as usize >= h {
+                                    continue;
+                                }
+                                let x_row = &x_plane[ih as usize * w..(ih as usize + 1) * w];
+                                let d_row = &mut dst[oh * geom.out_w..(oh + 1) * geom.out_w];
+                                for ow in 0..geom.out_w {
+                                    let iw =
+                                        (ow * geom.stride + kw) as isize - geom.padding as isize;
+                                    if iw < 0 || iw as usize >= w {
+                                        continue;
+                                    }
+                                    d_row[ow] += wv * x_row[iw as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
 }
 
 impl Layer for DepthwiseConv2d {
+    fn min_input_rank(&self) -> usize {
+        4
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -114,10 +193,14 @@ impl Layer for DepthwiseConv2d {
         self
     }
     fn name(&self) -> String {
-        format!("dwconv{k}x{k}(c={c})/s{s}", k = self.kernel, c = self.channels, s = self.stride)
+        format!(
+            "dwconv{k}x{k}(c={c})/s{s}",
+            k = self.kernel,
+            c = self.channels,
+            s = self.stride
+        )
     }
 
-#[allow(clippy::needless_range_loop)]
     fn forward(&mut self, input: &Tensor, phase: Phase, cfg: &ExecConfig) -> Tensor {
         let (n, in_c, h, w) = input.shape().nchw();
         assert_eq!(in_c, self.channels, "{}: channel mismatch", self.name());
@@ -126,58 +209,7 @@ impl Layer for DepthwiseConv2d {
             self.cached_input = Some(input.clone());
         }
         let mut out = Tensor::zeros([n, self.channels, geom.out_h, geom.out_w]);
-        let plane_in = h * w;
-        let plane_out = geom.out_h * geom.out_w;
-        let k = self.kernel;
-        let kk = k * k;
-        let wdata = self.weight.value.data();
-        let bdata = self.bias.value.data();
-        let in_data = input.data();
-        {
-            let writer = DisjointWriter::new(out.data_mut());
-            let writer = &writer;
-            for img in 0..n {
-                parallel_for(cfg.threads, self.channels, cfg.schedule, |range| {
-                    for c in range {
-                        // SAFETY: one output plane per grain.
-                        let dst = unsafe {
-                            writer.slice_mut(
-                                (img * self.channels + c) * plane_out,
-                                (img * self.channels + c + 1) * plane_out,
-                            )
-                        };
-                        dst.fill(bdata[c]);
-                        let x_plane =
-                            &in_data[(img * self.channels + c) * plane_in..(img * self.channels + c + 1) * plane_in];
-                        let filter = &wdata[c * kk..(c + 1) * kk];
-                        for kh in 0..k {
-                            for kw in 0..k {
-                                let wv = filter[kh * k + kw];
-                                if wv == 0.0 {
-                                    continue;
-                                }
-                                for oh in 0..geom.out_h {
-                                    let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
-                                    if ih < 0 || ih as usize >= h {
-                                        continue;
-                                    }
-                                    let x_row = &x_plane[ih as usize * w..(ih as usize + 1) * w];
-                                    let d_row = &mut dst[oh * geom.out_w..(oh + 1) * geom.out_w];
-                                    for ow in 0..geom.out_w {
-                                        let iw =
-                                            (ow * geom.stride + kw) as isize - geom.padding as isize;
-                                        if iw < 0 || iw as usize >= w {
-                                            continue;
-                                        }
-                                        d_row[ow] += wv * x_row[iw as usize];
-                                    }
-                                }
-                            }
-                        }
-                    }
-                });
-            }
-        }
+        self.eval_into(input.data(), n, h, w, out.data_mut(), cfg);
         out
     }
 
@@ -217,8 +249,7 @@ impl Layer for DepthwiseConv2d {
                                 }
                                 let g = dy[oh * geom.out_w + ow];
                                 dw += g * x_plane[ih as usize * w + iw as usize];
-                                grad_input.data_mut()
-                                    [base_in + ih as usize * w + iw as usize] +=
+                                grad_input.data_mut()[base_in + ih as usize * w + iw as usize] +=
                                     g * wdata[c * kk + kh * k + kw];
                             }
                         }
@@ -232,6 +263,32 @@ impl Layer for DepthwiseConv2d {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn forward_into_supported(&self, _cfg: &ExecConfig) -> bool {
+        true
+    }
+
+    fn forward_into(
+        &self,
+        input: &[f32],
+        input_shape: &[usize],
+        out: &mut [f32],
+        _scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        let (n, in_c, h, w) = (
+            input_shape[0],
+            input_shape[1],
+            input_shape[2],
+            input_shape[3],
+        );
+        assert_eq!(in_c, self.channels, "{}: channel mismatch", self.name());
+        self.eval_into(input, n, h, w, out, cfg);
     }
 
     fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {
@@ -273,7 +330,11 @@ mod tests {
     #[test]
     fn shape_and_stride() {
         let mut dw = DepthwiseConv2d::new(4, 3, 2, 1, 0);
-        let y = dw.forward(&Tensor::zeros([1, 4, 8, 8]), Phase::Eval, &ExecConfig::default());
+        let y = dw.forward(
+            &Tensor::zeros([1, 4, 8, 8]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[1, 4, 4, 4]);
     }
 
@@ -346,7 +407,11 @@ mod tests {
         dw.remove_channel(0);
         assert_eq!(dw.channels(), 2);
         assert_eq!(dw.weight.value.data()[0], before.data()[9]);
-        let y = dw.forward(&Tensor::zeros([1, 2, 4, 4]), Phase::Eval, &ExecConfig::default());
+        let y = dw.forward(
+            &Tensor::zeros([1, 2, 4, 4]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[1, 2, 4, 4]);
     }
 

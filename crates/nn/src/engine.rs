@@ -1,0 +1,771 @@
+//! The arena-backed inference engine.
+//!
+//! [`Network::forward`] allocates a fresh activation tensor per layer,
+//! which is exactly the per-inference heap traffic the paper's embedded
+//! targets cannot afford (§IV-B measures whole-network memory footprints
+//! for this reason). This module compiles a network once into an
+//! [`InferencePlan`] — every layer's output shape, its scratch
+//! requirement, and whether its allocation-free kernel applies — and then
+//! executes it through an [`InferenceSession`] that ping-pongs activations
+//! between two pre-sized arena buffers, so steady-state inference performs
+//! **zero** per-layer heap allocations.
+//!
+//! When every layer supports the arena path and the configuration asks
+//! for more than one thread, the session switches to data-parallel batch
+//! execution: the batch dimension is split into chunks, each chunk runs
+//! the whole layer pipeline on its own arena pair with one thread, and a
+//! persistent [`ThreadPool`] drives the chunks concurrently. Because each
+//! output element is computed by exactly the same loop nest either way,
+//! the result is bit-identical to the sequential path.
+//!
+//! # Example
+//!
+//! ```
+//! use cnn_stack_nn::{
+//!     Conv2d, ExecConfig, Flatten, InferencePlan, InferenceSession, Linear, Network, Phase, ReLU,
+//! };
+//! use cnn_stack_tensor::Tensor;
+//!
+//! let mut net = Network::new(vec![
+//!     Box::new(Conv2d::new(3, 4, 3, 1, 1, 0)),
+//!     Box::new(ReLU::new()),
+//!     Box::new(Flatten::new()),
+//!     Box::new(Linear::new(4 * 8 * 8, 10, 1)),
+//! ])
+//! .unwrap();
+//! let cfg = ExecConfig::serial();
+//! let plan = InferencePlan::compile(&net, &[2, 3, 8, 8], &cfg).unwrap();
+//! assert_eq!(plan.output_shape(), &[2, 10]);
+//! let mut session = InferenceSession::new(&mut net, plan).unwrap();
+//! let y = session.run(&Tensor::zeros([2, 3, 8, 8])).unwrap();
+//! assert_eq!(y.shape().dims(), &[2, 10]);
+//! assert_eq!(session.profile().runs(), 1);
+//! ```
+
+use crate::error::Error;
+use crate::layer::{ExecConfig, Layer, Phase};
+use crate::network::Network;
+use cnn_stack_parallel::ThreadPool;
+use cnn_stack_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// One compiled top-level layer: shapes, costs, and how the engine will
+/// execute it.
+#[derive(Clone, Debug)]
+pub struct PlanStep {
+    /// Layer name, as reported by [`Layer::name`].
+    pub name: String,
+    /// Activation shape entering the layer (full batch).
+    pub input_shape: Vec<usize>,
+    /// Activation shape leaving the layer (full batch).
+    pub output_shape: Vec<usize>,
+    /// Elements entering the layer.
+    pub input_elems: usize,
+    /// Elements leaving the layer.
+    pub output_elems: usize,
+    /// Scratch floats the arena kernel needs (0 when unsupported).
+    pub scratch_elems: usize,
+    /// Whether [`Layer::forward_into`] executes this step; `false` routes
+    /// it through the allocating [`Layer::forward`] fallback (e.g. the
+    /// true Winograd transform).
+    pub supported: bool,
+    /// Dense multiply-accumulates for the step.
+    pub macs: u64,
+    /// Approximate bytes moved: activations in and out plus stored
+    /// non-zero weights, at 4 bytes per element.
+    pub bytes: u64,
+}
+
+/// A network compiled for one input shape and one [`ExecConfig`]:
+/// per-layer shapes and costs plus the arena sizing, computed once so
+/// that every subsequent [`InferenceSession::run`] is allocation-free.
+#[derive(Clone, Debug)]
+pub struct InferencePlan {
+    input_shape: Vec<usize>,
+    output_shape: Vec<usize>,
+    cfg: ExecConfig,
+    steps: Vec<PlanStep>,
+    buf_elems: usize,
+    scratch_elems: usize,
+    all_supported: bool,
+}
+
+impl InferencePlan {
+    /// Walks the network's [`Layer::descriptor`] chain at `input_shape`,
+    /// recording every layer's output shape, scratch requirement, and
+    /// arena eligibility under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `cfg.threads == 0` or the
+    /// input shape is empty / has a zero extent.
+    pub fn compile(net: &Network, input_shape: &[usize], cfg: &ExecConfig) -> Result<Self, Error> {
+        if cfg.threads == 0 {
+            return Err(Error::InvalidConfig(
+                "at least one thread required".to_string(),
+            ));
+        }
+        if input_shape.is_empty() || input_shape.contains(&0) {
+            return Err(Error::InvalidConfig(format!(
+                "input shape {input_shape:?} must be non-empty with non-zero extents"
+            )));
+        }
+        let mut shape = input_shape.to_vec();
+        let mut steps = Vec::with_capacity(net.len());
+        let mut buf_elems = 0;
+        let mut scratch_elems = 0;
+        let mut all_supported = true;
+        for layer in net.layers() {
+            // Catch wrong-rank inputs before `descriptor` would index
+            // past the shape — compile errors, never panics.
+            if shape.len() < layer.min_input_rank() {
+                return Err(Error::InvalidConfig(format!(
+                    "layer {} needs a rank-{} input, got shape {shape:?}",
+                    layer.name(),
+                    layer.min_input_rank()
+                )));
+            }
+            let d = layer.descriptor(&shape);
+            let supported = layer.forward_into_supported(cfg);
+            let scratch = if supported {
+                layer.forward_scratch_elems(&shape, cfg)
+            } else {
+                0
+            };
+            all_supported &= supported;
+            buf_elems = buf_elems.max(d.output_elems);
+            scratch_elems = scratch_elems.max(scratch);
+            steps.push(PlanStep {
+                name: d.name,
+                input_shape: shape.clone(),
+                output_shape: d.output_shape.clone(),
+                input_elems: d.input_elems,
+                output_elems: d.output_elems,
+                scratch_elems: scratch,
+                supported,
+                macs: d.macs,
+                bytes: 4 * (d.input_elems + d.output_elems + d.weight_nnz) as u64,
+            });
+            shape = d.output_shape;
+        }
+        Ok(InferencePlan {
+            input_shape: input_shape.to_vec(),
+            output_shape: shape,
+            cfg: *cfg,
+            steps,
+            buf_elems,
+            scratch_elems,
+            all_supported,
+        })
+    }
+
+    /// The input shape the plan was compiled for.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// The network output shape at the compiled input shape.
+    pub fn output_shape(&self) -> &[usize] {
+        &self.output_shape
+    }
+
+    /// The execution configuration baked into the plan.
+    pub fn cfg(&self) -> &ExecConfig {
+        &self.cfg
+    }
+
+    /// The compiled steps, one per top-level layer.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// Elements of each of the two ping-pong arena buffers (the largest
+    /// single-layer output).
+    pub fn buf_elems(&self) -> usize {
+        self.buf_elems
+    }
+
+    /// Elements of the shared scratch buffer (the largest single-layer
+    /// scratch requirement).
+    pub fn scratch_elems(&self) -> usize {
+        self.scratch_elems
+    }
+
+    /// Whether every step runs through the allocation-free arena path.
+    pub fn fully_supported(&self) -> bool {
+        self.all_supported
+    }
+}
+
+/// Cumulative per-layer execution counters, one row per plan step.
+#[derive(Clone, Debug)]
+pub struct ProfileRow {
+    /// Layer name.
+    pub name: String,
+    /// Cumulative wall-clock time across runs (sequential mode only;
+    /// batch-parallel runs overlap layers across threads, so per-layer
+    /// times are not attributable and only the profile total advances).
+    pub time: Duration,
+    /// Cumulative dense multiply-accumulates.
+    pub macs: u64,
+    /// Cumulative approximate bytes moved.
+    pub bytes: u64,
+}
+
+/// Per-layer cumulative time/MAC/byte counters carried by an
+/// [`InferenceSession`] across runs. Supersedes
+/// [`Network::forward_timed`] for repeated measurement.
+#[derive(Clone, Debug)]
+pub struct SessionProfile {
+    rows: Vec<ProfileRow>,
+    runs: u64,
+    total_time: Duration,
+}
+
+impl SessionProfile {
+    fn new(steps: &[PlanStep]) -> Self {
+        SessionProfile {
+            rows: steps
+                .iter()
+                .map(|s| ProfileRow {
+                    name: s.name.clone(),
+                    time: Duration::ZERO,
+                    macs: 0,
+                    bytes: 0,
+                })
+                .collect(),
+            runs: 0,
+            total_time: Duration::ZERO,
+        }
+    }
+
+    /// One row per top-level plan step, in execution order.
+    pub fn rows(&self) -> &[ProfileRow] {
+        &self.rows
+    }
+
+    /// Number of completed runs.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Total wall-clock time across all runs.
+    pub fn total_time(&self) -> Duration {
+        self.total_time
+    }
+
+    /// Per-layer `(name, mean time)` across runs — the drop-in shape of
+    /// the old `forward_timed` output.
+    pub fn mean_layer_times(&self) -> Vec<(String, Duration)> {
+        let runs = self.runs.max(1) as u32;
+        self.rows
+            .iter()
+            .map(|r| (r.name.clone(), r.time / runs))
+            .collect()
+    }
+}
+
+/// Which buffer currently holds the live activation.
+#[derive(Clone, Copy)]
+enum Loc {
+    Input,
+    A,
+    B,
+}
+
+/// A per-chunk view of the plan: the same steps re-shaped to the chunk's
+/// batch size, plus the chunk's own arena buffers.
+#[derive(Debug)]
+struct ChunkStep {
+    input_shape: Vec<usize>,
+    input_elems: usize,
+    output_elems: usize,
+    supported: bool,
+}
+
+#[derive(Debug)]
+struct ChunkArena {
+    /// Images in this chunk.
+    len: usize,
+    steps: Vec<ChunkStep>,
+    buf_a: Vec<f32>,
+    buf_b: Vec<f32>,
+    scratch: Vec<f32>,
+}
+
+/// Executes an [`InferencePlan`] against its network with pre-allocated
+/// activation arenas; see the [module docs](crate::engine).
+#[derive(Debug)]
+pub struct InferenceSession<'n> {
+    net: &'n mut Network,
+    plan: InferencePlan,
+    chunks: Vec<ChunkArena>,
+    pool: Option<ThreadPool>,
+    profile: SessionProfile,
+}
+
+impl<'n> InferenceSession<'n> {
+    /// Binds a compiled plan to its network, allocating every buffer the
+    /// session will ever need (arenas, scratch, profile rows, worker
+    /// pool), so that [`run_into`](Self::run_into) is allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the plan's step count does not
+    /// match the network's layer count (the plan was compiled against a
+    /// different network).
+    pub fn new(net: &'n mut Network, plan: InferencePlan) -> Result<Self, Error> {
+        if plan.steps.len() != net.len() {
+            return Err(Error::InvalidConfig(format!(
+                "plan has {} steps but the network has {} layers",
+                plan.steps.len(),
+                net.len()
+            )));
+        }
+        let n = plan.input_shape[0];
+        let chunk_count = if plan.all_supported && plan.cfg.threads > 1 && n > 1 {
+            plan.cfg.threads.min(n)
+        } else {
+            1
+        };
+        let base = n / chunk_count;
+        let extra = n % chunk_count;
+        let mut chunks = Vec::with_capacity(chunk_count);
+        for c in 0..chunk_count {
+            let m = base + usize::from(c < extra);
+            let mut steps = Vec::with_capacity(plan.steps.len());
+            let mut buf_elems = 0;
+            let mut scratch_elems = 0;
+            for (i, ps) in plan.steps.iter().enumerate() {
+                let mut input_shape = ps.input_shape.clone();
+                input_shape[0] = m;
+                let input_elems = ps.input_elems / n * m;
+                let output_elems = ps.output_elems / n * m;
+                buf_elems = buf_elems.max(output_elems);
+                if ps.supported {
+                    scratch_elems = scratch_elems
+                        .max(net.layers()[i].forward_scratch_elems(&input_shape, &plan.cfg));
+                }
+                steps.push(ChunkStep {
+                    input_shape,
+                    input_elems,
+                    output_elems,
+                    supported: ps.supported,
+                });
+            }
+            chunks.push(ChunkArena {
+                len: m,
+                steps,
+                buf_a: vec![0.0; buf_elems],
+                buf_b: vec![0.0; buf_elems],
+                scratch: vec![0.0; scratch_elems],
+            });
+        }
+        let pool = (chunk_count > 1).then(|| ThreadPool::new(chunk_count));
+        let profile = SessionProfile::new(&plan.steps);
+        Ok(InferenceSession {
+            net,
+            plan,
+            chunks,
+            pool,
+            profile,
+        })
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &InferencePlan {
+        &self.plan
+    }
+
+    /// Cumulative execution counters.
+    pub fn profile(&self) -> &SessionProfile {
+        &self.profile
+    }
+
+    /// Resets the cumulative counters (e.g. after warm-up runs).
+    pub fn reset_profile(&mut self) {
+        for row in &mut self.profile.rows {
+            row.time = Duration::ZERO;
+            row.macs = 0;
+            row.bytes = 0;
+        }
+        self.profile.runs = 0;
+        self.profile.total_time = Duration::ZERO;
+    }
+
+    /// Runs one inference, allocating only the output tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `input` does not match the
+    /// plan's compiled input shape.
+    pub fn run(&mut self, input: &Tensor) -> Result<Tensor, Error> {
+        let mut out = Tensor::zeros(self.plan.output_shape.clone());
+        self.run_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Runs one inference into a caller-provided output tensor with zero
+    /// heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `input` or `out` does not
+    /// match the plan's compiled input/output shape.
+    pub fn run_into(&mut self, input: &Tensor, out: &mut Tensor) -> Result<(), Error> {
+        if input.shape().dims() != self.plan.input_shape {
+            return Err(Error::ShapeMismatch {
+                expected: self.plan.input_shape.clone(),
+                actual: input.shape().dims().to_vec(),
+            });
+        }
+        if out.shape().dims() != self.plan.output_shape {
+            return Err(Error::ShapeMismatch {
+                expected: self.plan.output_shape.clone(),
+                actual: out.shape().dims().to_vec(),
+            });
+        }
+        let start = Instant::now();
+        if self.chunks.len() == 1 {
+            let chunk = &mut self.chunks[0];
+            run_steps_mixed(
+                self.net.layers_mut(),
+                chunk,
+                input.data(),
+                out.data_mut(),
+                &self.plan.cfg,
+                &mut self.profile.rows,
+            );
+        } else {
+            let n = self.plan.input_shape[0];
+            let in_per_image = self.plan.steps[0].input_elems / n;
+            let out_per_image = self.plan.steps.last().expect("non-empty plan").output_elems / n;
+            let chunk_cfg = ExecConfig {
+                threads: 1,
+                ..self.plan.cfg
+            };
+            let layers: &[Box<dyn Layer>] = self.net.layers();
+            let mut in_rest = input.data();
+            let mut out_rest = out.data_mut();
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                Vec::with_capacity(self.chunks.len());
+            for chunk in self.chunks.iter_mut() {
+                let (in_c, rest) = in_rest.split_at(chunk.len * in_per_image);
+                in_rest = rest;
+                let (out_c, rest) = out_rest.split_at_mut(chunk.len * out_per_image);
+                out_rest = rest;
+                tasks.push(Box::new(move || {
+                    run_steps_supported(layers, chunk, in_c, out_c, &chunk_cfg);
+                }));
+            }
+            self.pool
+                .as_ref()
+                .expect("parallel sessions own a pool")
+                .scope(tasks);
+        }
+        self.profile.total_time += start.elapsed();
+        self.profile.runs += 1;
+        for (row, step) in self.profile.rows.iter_mut().zip(&self.plan.steps) {
+            row.macs += step.macs;
+            row.bytes += step.bytes;
+        }
+        Ok(())
+    }
+}
+
+/// Sequential execution of every step over one arena pair, timing each
+/// step and routing unsupported steps through the allocating
+/// [`Layer::forward`] fallback.
+fn run_steps_mixed(
+    layers: &mut [Box<dyn Layer>],
+    chunk: &mut ChunkArena,
+    input: &[f32],
+    out: &mut [f32],
+    cfg: &ExecConfig,
+    rows: &mut [ProfileRow],
+) {
+    let last = chunk.steps.len() - 1;
+    let mut src = Loc::Input;
+    let ChunkArena {
+        steps,
+        buf_a,
+        buf_b,
+        scratch,
+        ..
+    } = chunk;
+    for (i, step) in steps.iter().enumerate() {
+        let started = Instant::now();
+        let (src_slice, dst_slice): (&[f32], &mut [f32]) = match (src, i == last) {
+            (Loc::Input, true) => (&input[..step.input_elems], &mut out[..]),
+            (Loc::Input, false) => (&input[..step.input_elems], &mut buf_a[..step.output_elems]),
+            (Loc::A, true) => (&buf_a[..step.input_elems], &mut out[..]),
+            (Loc::A, false) => (&buf_a[..step.input_elems], &mut buf_b[..step.output_elems]),
+            (Loc::B, true) => (&buf_b[..step.input_elems], &mut out[..]),
+            (Loc::B, false) => (&buf_b[..step.input_elems], &mut buf_a[..step.output_elems]),
+        };
+        if step.supported {
+            layers[i].forward_into(src_slice, &step.input_shape, dst_slice, scratch, cfg);
+        } else {
+            let x = Tensor::from_vec(step.input_shape.clone(), src_slice.to_vec());
+            let y = layers[i].forward(&x, Phase::Eval, cfg);
+            dst_slice.copy_from_slice(y.data());
+        }
+        rows[i].time += started.elapsed();
+        src = match (src, i == last) {
+            (_, true) => src,
+            (Loc::Input | Loc::B, false) => Loc::A,
+            (Loc::A, false) => Loc::B,
+        };
+    }
+}
+
+/// Allocation-free execution of an all-supported step list over one
+/// chunk's arena pair (the batch-parallel worker body).
+fn run_steps_supported(
+    layers: &[Box<dyn Layer>],
+    chunk: &mut ChunkArena,
+    input: &[f32],
+    out: &mut [f32],
+    cfg: &ExecConfig,
+) {
+    let last = chunk.steps.len() - 1;
+    let mut src = Loc::Input;
+    let ChunkArena {
+        steps,
+        buf_a,
+        buf_b,
+        scratch,
+        ..
+    } = chunk;
+    for (i, step) in steps.iter().enumerate() {
+        debug_assert!(step.supported, "parallel chunks require full support");
+        let (src_slice, dst_slice): (&[f32], &mut [f32]) = match (src, i == last) {
+            (Loc::Input, true) => (&input[..step.input_elems], &mut out[..]),
+            (Loc::Input, false) => (&input[..step.input_elems], &mut buf_a[..step.output_elems]),
+            (Loc::A, true) => (&buf_a[..step.input_elems], &mut out[..]),
+            (Loc::A, false) => (&buf_a[..step.input_elems], &mut buf_b[..step.output_elems]),
+            (Loc::B, true) => (&buf_b[..step.input_elems], &mut out[..]),
+            (Loc::B, false) => (&buf_b[..step.input_elems], &mut buf_a[..step.output_elems]),
+        };
+        layers[i].forward_into(src_slice, &step.input_shape, dst_slice, scratch, cfg);
+        src = match (src, i == last) {
+            (_, true) => src,
+            (Loc::Input | Loc::B, false) => Loc::A,
+            (Loc::A, false) => Loc::B,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvAlgorithm, WeightFormat};
+    use crate::network::set_network_format;
+    use crate::{Conv2d, Flatten, Linear, MaxPool2d, ReLU, ResidualBlock};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random(shape: impl Into<cnn_stack_tensor::Shape>, seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::from_fn(shape.into(), |_| rng.gen_range(-1.0..1.0))
+    }
+
+    fn conv_net() -> Network {
+        Network::new(vec![
+            Box::new(Conv2d::new(3, 6, 3, 1, 1, 1)),
+            Box::new(ReLU::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Conv2d::new(6, 4, 3, 1, 1, 2)),
+            Box::new(ReLU::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4 * 4 * 4, 5, 3)),
+        ])
+        .unwrap()
+    }
+
+    fn resblock_net() -> Network {
+        Network::new(vec![
+            Box::new(Conv2d::new(3, 8, 3, 1, 1, 4)),
+            Box::new(ResidualBlock::new(8, 16, 2, 5)),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(16 * 4 * 4, 3, 6)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_walks_shapes_and_sizes_arena() {
+        let net = conv_net();
+        let cfg = ExecConfig::serial();
+        let plan = InferencePlan::compile(&net, &[2, 3, 8, 8], &cfg).unwrap();
+        assert_eq!(plan.steps().len(), 7);
+        assert_eq!(plan.output_shape(), &[2, 5]);
+        assert_eq!(plan.steps()[0].output_shape, vec![2, 6, 8, 8]);
+        // Largest activation: the first conv output, 2*6*8*8.
+        assert_eq!(plan.buf_elems(), 2 * 6 * 8 * 8);
+        assert!(plan.fully_supported());
+        // Direct convolutions need no scratch.
+        assert_eq!(plan.scratch_elems(), 0);
+    }
+
+    #[test]
+    fn plan_rejects_bad_inputs() {
+        let net = conv_net();
+        assert!(matches!(
+            InferencePlan::compile(&net, &[], &ExecConfig::serial()),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            InferencePlan::compile(&net, &[0, 3, 8, 8], &ExecConfig::serial()),
+            Err(Error::InvalidConfig(_))
+        ));
+        let zero_threads = ExecConfig {
+            threads: 0,
+            ..ExecConfig::serial()
+        };
+        assert!(matches!(
+            InferencePlan::compile(&net, &[1, 3, 8, 8], &zero_threads),
+            Err(Error::InvalidConfig(_))
+        ));
+        // Wrong-rank inputs error instead of panicking inside a layer's
+        // descriptor indexing.
+        assert!(matches!(
+            InferencePlan::compile(&net, &[3, 8, 8], &ExecConfig::serial()),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn plan_im2col_sizes_scratch() {
+        let net = conv_net();
+        let cfg = ExecConfig {
+            conv_algo: ConvAlgorithm::Im2col,
+            ..ExecConfig::serial()
+        };
+        let plan = InferencePlan::compile(&net, &[1, 3, 8, 8], &cfg).unwrap();
+        // First conv: patch 3*3*3=27, 64 positions -> 1728 floats.
+        assert_eq!(plan.scratch_elems(), 27 * 64);
+    }
+
+    #[test]
+    fn session_bit_matches_forward_across_configs() {
+        let x = random([3, 3, 8, 8], 7);
+        for algo in [ConvAlgorithm::Direct, ConvAlgorithm::Im2col] {
+            for format in [WeightFormat::Dense, WeightFormat::Csr] {
+                for threads in [1, 4] {
+                    let mut net = conv_net();
+                    set_network_format(&mut net, format);
+                    let cfg = ExecConfig {
+                        threads,
+                        conv_algo: algo,
+                        ..ExecConfig::serial()
+                    };
+                    let expected = net.forward(&x, Phase::Eval, &cfg);
+                    let plan = InferencePlan::compile(&net, x.shape().dims(), &cfg).unwrap();
+                    let mut session = InferenceSession::new(&mut net, plan).unwrap();
+                    let got = session.run(&x).unwrap();
+                    assert_eq!(
+                        got.data(),
+                        expected.data(),
+                        "mismatch for {algo:?}/{format:?}/{threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_bit_matches_forward_with_residual_blocks() {
+        let x = random([2, 3, 8, 8], 9);
+        for threads in [1, 3] {
+            let mut net = resblock_net();
+            let cfg = ExecConfig {
+                threads,
+                ..ExecConfig::serial()
+            };
+            let expected = net.forward(&x, Phase::Eval, &cfg);
+            let plan = InferencePlan::compile(&net, x.shape().dims(), &cfg).unwrap();
+            let mut session = InferenceSession::new(&mut net, plan).unwrap();
+            let got = session.run(&x).unwrap();
+            assert_eq!(got.data(), expected.data(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn winograd_layers_fall_back_and_still_match() {
+        let x = random([2, 3, 8, 8], 11);
+        let mut net = conv_net();
+        let cfg = ExecConfig {
+            conv_algo: ConvAlgorithm::Winograd,
+            ..ExecConfig::serial()
+        };
+        let expected = net.forward(&x, Phase::Eval, &cfg);
+        let plan = InferencePlan::compile(&net, x.shape().dims(), &cfg).unwrap();
+        assert!(!plan.fully_supported());
+        let mut session = InferenceSession::new(&mut net, plan).unwrap();
+        let got = session.run(&x).unwrap();
+        assert_eq!(got.data(), expected.data());
+    }
+
+    #[test]
+    fn run_rejects_mismatched_shapes() {
+        let mut net = conv_net();
+        let plan = InferencePlan::compile(&net, &[2, 3, 8, 8], &ExecConfig::serial()).unwrap();
+        let mut session = InferenceSession::new(&mut net, plan).unwrap();
+        assert!(matches!(
+            session.run(&Tensor::zeros([1, 3, 8, 8])),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        let mut wrong_out = Tensor::zeros([2, 4]);
+        assert!(matches!(
+            session.run_into(&Tensor::zeros([2, 3, 8, 8]), &mut wrong_out),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn session_rejects_plan_for_other_network() {
+        let net = conv_net();
+        let plan = InferencePlan::compile(&net, &[1, 3, 8, 8], &ExecConfig::serial()).unwrap();
+        let mut other = resblock_net();
+        assert!(matches!(
+            InferenceSession::new(&mut other, plan),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn profile_accumulates_across_runs() {
+        let mut net = conv_net();
+        let x = random([1, 3, 8, 8], 13);
+        let plan = InferencePlan::compile(&net, x.shape().dims(), &ExecConfig::serial()).unwrap();
+        let step_macs: Vec<u64> = plan.steps().iter().map(|s| s.macs).collect();
+        let mut session = InferenceSession::new(&mut net, plan).unwrap();
+        session.run(&x).unwrap();
+        session.run(&x).unwrap();
+        let profile = session.profile();
+        assert_eq!(profile.runs(), 2);
+        assert_eq!(profile.rows().len(), 7);
+        for (row, macs) in profile.rows().iter().zip(step_macs) {
+            assert_eq!(row.macs, 2 * macs);
+            assert!(row.bytes > 0);
+        }
+        assert_eq!(profile.mean_layer_times().len(), 7);
+        session.reset_profile();
+        assert_eq!(session.profile().runs(), 0);
+        assert_eq!(session.profile().rows()[0].macs, 0);
+    }
+
+    #[test]
+    fn run_into_reuses_caller_output() {
+        let mut net = conv_net();
+        let x = random([2, 3, 8, 8], 17);
+        let cfg = ExecConfig::serial();
+        let expected = net.forward(&x, Phase::Eval, &cfg);
+        let plan = InferencePlan::compile(&net, x.shape().dims(), &cfg).unwrap();
+        let mut session = InferenceSession::new(&mut net, plan).unwrap();
+        let mut out = Tensor::from_vec([2, 5], vec![f32::NAN; 10]);
+        session.run_into(&x, &mut out).unwrap();
+        assert_eq!(out.data(), expected.data());
+    }
+}

@@ -87,8 +87,8 @@ pub fn fold_batchnorm(net: &mut Network) -> usize {
         }
     }
     // Residual blocks fold internally.
-    for i in 0..net.len() {
-        if let Some(block) = net.layer_mut(i).as_any_mut().downcast_mut::<ResidualBlock>() {
+    for layer in net.layers_mut() {
+        if let Some(block) = layer.as_any_mut().downcast_mut::<ResidualBlock>() {
             folded += block.fold_batchnorm();
         }
     }
@@ -106,13 +106,12 @@ pub fn strip_identity_batchnorms(net: &mut Network) -> usize {
     let mut removed = 0;
     let mut i = 0;
     while i < net.len() {
-        let is_identity_bn = net
-            .layer(i)
+        let is_identity_bn = net.layers()[i]
             .as_any()
             .downcast_ref::<BatchNorm2d>()
             .is_some_and(BatchNorm2d::is_inference_identity);
         if is_identity_bn && net.len() > 1 {
-            net.remove_layer(i);
+            net.remove_layer(i).expect("index and length checked above");
             removed += 1;
         } else {
             i += 1;
@@ -124,9 +123,7 @@ pub fn strip_identity_batchnorms(net: &mut Network) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        Conv2d, DepthwiseConv2d, ExecConfig, Flatten, Linear, MaxPool2d, Phase, ReLU,
-    };
+    use crate::{Conv2d, DepthwiseConv2d, ExecConfig, Flatten, Linear, MaxPool2d, Phase, ReLU};
     use cnn_stack_tensor::Tensor;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
@@ -149,6 +146,7 @@ mod tests {
             Box::new(Flatten::new()),
             Box::new(Linear::new(8 * 16, 4, 3)),
         ])
+        .unwrap()
     }
 
     /// A MobileNet-flavoured chain with a depthwise stage.
@@ -161,6 +159,7 @@ mod tests {
             Box::new(BatchNorm2d::new(6)),
             Box::new(ReLU::new()),
         ])
+        .unwrap()
     }
 
     /// Trains batch statistics away from the identity so folding is
@@ -198,7 +197,7 @@ mod tests {
 
     #[test]
     fn residual_block_folds_internally() {
-        let mut net = Network::new(vec![Box::new(ResidualBlock::new(4, 8, 2, 9))]);
+        let mut net = Network::new(vec![Box::new(ResidualBlock::new(4, 8, 2, 9))]).unwrap();
         warm_batchnorms(&mut net, 4);
         let x = random_input(4, 3);
         let cfg = ExecConfig::default();
@@ -231,11 +230,10 @@ mod tests {
         let after = net.forward(&x, Phase::Eval, &cfg);
         assert!(before.allclose(&after, 1e-4));
         // No batch norms remain.
-        assert!((0..net.len()).all(|i| net
-            .layer(i)
-            .as_any()
-            .downcast_ref::<BatchNorm2d>()
-            .is_none()));
+        assert!(net
+            .layers()
+            .iter()
+            .all(|l| l.as_any().downcast_ref::<BatchNorm2d>().is_none()));
     }
 
     #[test]

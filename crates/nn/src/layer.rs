@@ -2,6 +2,7 @@
 //! layers.
 
 use crate::descriptor::LayerDescriptor;
+use crate::error::Error;
 use cnn_stack_parallel::Schedule;
 use cnn_stack_tensor::Tensor;
 
@@ -73,6 +74,10 @@ impl ExecConfig {
 
     /// Direct convolutions on `threads` workers with dynamic scheduling.
     ///
+    /// This is the panicking shim kept for tests and quick scripts;
+    /// prefer [`ExecConfig::builder`], which reports invalid
+    /// configurations as [`Error`] values instead.
+    ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
@@ -82,6 +87,78 @@ impl ExecConfig {
             threads,
             ..ExecConfig::serial()
         }
+    }
+
+    /// Starts a validating builder seeded with the serial defaults.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cnn_stack_nn::{ConvAlgorithm, ExecConfig};
+    ///
+    /// let cfg = ExecConfig::builder()
+    ///     .threads(8)
+    ///     .conv_algo(ConvAlgorithm::Im2col)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.threads, 8);
+    /// assert!(ExecConfig::builder().threads(0).build().is_err());
+    /// ```
+    pub fn builder() -> ExecConfigBuilder {
+        ExecConfigBuilder {
+            config: ExecConfig::serial(),
+        }
+    }
+}
+
+/// Validating builder for [`ExecConfig`]; see [`ExecConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct ExecConfigBuilder {
+    config: ExecConfig,
+}
+
+impl ExecConfigBuilder {
+    /// Sets the worker thread count (validated at [`build`](Self::build)).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the parallel loop schedule.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Sets the convolution lowering algorithm.
+    pub fn conv_algo(mut self, algo: ConvAlgorithm) -> Self {
+        self.config.conv_algo = algo;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `threads == 0` or the chunk
+    /// size of a static/dynamic schedule is zero.
+    pub fn build(self) -> Result<ExecConfig, Error> {
+        if self.config.threads == 0 {
+            return Err(Error::InvalidConfig(
+                "at least one thread required".to_string(),
+            ));
+        }
+        let chunk = match self.config.schedule {
+            Schedule::Static => 1,
+            Schedule::Dynamic { chunk } => chunk,
+            Schedule::Guided { min_chunk } => min_chunk,
+        };
+        if chunk == 0 {
+            return Err(Error::InvalidConfig(
+                "schedule chunk size must be positive".to_string(),
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -150,8 +227,11 @@ impl Param {
 ///
 /// Layers own their backward-pass caches, so `forward` takes `&mut self`;
 /// calling [`backward`](Layer::backward) is only valid after a
-/// [`Phase::Train`] forward.
-pub trait Layer: std::fmt::Debug + std::any::Any {
+/// [`Phase::Train`] forward. [`Phase::Eval`] forwards never mutate the
+/// layer, which is what lets [`forward_into`](Layer::forward_into) take
+/// `&self` and the engine share a network across batch-parallel workers
+/// (hence the `Send + Sync` bound).
+pub trait Layer: std::fmt::Debug + std::any::Any + Send + Sync {
     /// Short human-readable layer name, e.g. `"conv3x3(64->128)"`.
     fn name(&self) -> String;
 
@@ -184,11 +264,66 @@ pub trait Layer: std::fmt::Debug + std::any::Any {
     /// platform timing model.
     fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor;
 
+    /// The minimum input rank [`descriptor`](Layer::descriptor) and the
+    /// forward paths accept. Spatial (NCHW) layers need 4, `Linear`
+    /// needs 2; rank-agnostic layers keep the default of 1. The engine
+    /// validates shapes against this before walking descriptors, so
+    /// plan compilation returns [`crate::Error::ShapeMismatch`] instead
+    /// of panicking on a wrong-rank input.
+    fn min_input_rank(&self) -> usize {
+        1
+    }
+
     /// Flat descriptors of the primitive layers this layer comprises.
     /// Composite layers (residual blocks) override this to expose their
     /// children; primitives return just their own descriptor.
     fn child_descriptors(&self, input_shape: &[usize]) -> Vec<LayerDescriptor> {
         vec![self.descriptor(input_shape)]
+    }
+
+    /// Visits this layer and (for composites) every descendant layer,
+    /// depth-first with the parent before its children. This is the
+    /// dynamic-dispatch alternative to the downcast-if chains the
+    /// transformation passes used to carry: a pass hands in one closure
+    /// and downcasts inside it.
+    ///
+    /// Primitive layers implement this as `f(self)`; composites call
+    /// `f(self)` and then forward to each child.
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer));
+
+    /// Whether [`forward_into`](Layer::forward_into) can execute this
+    /// layer under `cfg`. The default is `false`, routing the layer
+    /// through the allocating [`forward`](Layer::forward) fallback in
+    /// [`crate::engine::InferenceSession`].
+    fn forward_into_supported(&self, _cfg: &ExecConfig) -> bool {
+        false
+    }
+
+    /// Scratch floats [`forward_into`](Layer::forward_into) needs for
+    /// the given input shape (0 for layers that need none). The engine
+    /// sizes one shared scratch buffer to the maximum over all layers.
+    fn forward_scratch_elems(&self, _input_shape: &[usize], _cfg: &ExecConfig) -> usize {
+        0
+    }
+
+    /// Inference forward into a caller-provided output buffer, with no
+    /// heap allocation. `input` holds an activation tensor of shape
+    /// `input_shape` (row-major), `out` has exactly the layer's output
+    /// element count, and `scratch` has at least
+    /// [`forward_scratch_elems`](Layer::forward_scratch_elems) floats.
+    ///
+    /// Only called when [`forward_into_supported`](Layer::forward_into_supported)
+    /// returned `true` for the same `cfg`; the default implementation
+    /// (never reached through [`crate::engine`]) panics.
+    fn forward_into(
+        &self,
+        _input: &[f32],
+        _input_shape: &[usize],
+        _out: &mut [f32],
+        _scratch: &mut [f32],
+        _cfg: &ExecConfig,
+    ) {
+        unreachable!("forward_into called on a layer that does not support it");
     }
 }
 
@@ -207,6 +342,33 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = ExecConfig::with_threads(0);
+    }
+
+    #[test]
+    fn builder_accepts_valid_config() {
+        let cfg = ExecConfig::builder()
+            .threads(4)
+            .schedule(Schedule::Dynamic { chunk: 2 })
+            .conv_algo(ConvAlgorithm::Im2col)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.schedule, Schedule::Dynamic { chunk: 2 });
+        assert_eq!(cfg.conv_algo, ConvAlgorithm::Im2col);
+    }
+
+    #[test]
+    fn builder_rejects_zero_threads_and_zero_chunk() {
+        assert!(matches!(
+            ExecConfig::builder().threads(0).build(),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ExecConfig::builder()
+                .schedule(Schedule::Dynamic { chunk: 0 })
+                .build(),
+            Err(Error::InvalidConfig(_))
+        ));
     }
 
     #[test]

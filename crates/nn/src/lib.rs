@@ -26,17 +26,26 @@
 //! let mut net = Network::new(vec![
 //!     Box::new(Conv2d::new(3, 8, 3, 1, 1, 0)),
 //!     Box::new(ReLU::new()),
-//! ]);
+//! ])
+//! .unwrap();
 //! let x = Tensor::zeros([1, 3, 32, 32]);
 //! let y = net.forward(&x, Phase::Eval, &ExecConfig::default());
 //! assert_eq!(y.shape().dims(), &[1, 8, 32, 32]);
 //! ```
+//!
+//! For repeated inference, compile the network once into an
+//! [`engine::InferencePlan`] and execute it through an
+//! [`engine::InferenceSession`]: activations ping-pong between two
+//! arena buffers sized at compile time, so steady-state forward passes
+//! allocate nothing.
 
 pub mod activations;
 pub mod batchnorm;
 pub mod conv;
 pub mod depthwise;
 pub mod descriptor;
+pub mod engine;
+pub mod error;
 pub mod fold;
 pub mod layer;
 pub mod linear;
@@ -53,8 +62,10 @@ pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
 pub use depthwise::DepthwiseConv2d;
 pub use descriptor::{LayerDescriptor, LayerKind};
+pub use engine::{InferencePlan, InferenceSession, SessionProfile};
+pub use error::Error;
 pub use fold::{fold_batchnorm, strip_identity_batchnorms};
-pub use layer::{ConvAlgorithm, ExecConfig, Layer, Param, Phase, WeightFormat};
+pub use layer::{ConvAlgorithm, ExecConfig, ExecConfigBuilder, Layer, Param, Phase, WeightFormat};
 pub use linear::Linear;
 pub use memory::{network_memory, MemoryBreakdown};
 pub use network::Network;

@@ -43,11 +43,18 @@ impl Linear {
     ///
     /// Panics if either feature count is zero.
     pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
-        assert!(in_features > 0 && out_features > 0, "feature counts must be non-zero");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "feature counts must be non-zero"
+        );
         Linear {
             in_features,
             out_features,
-            weight: Param::new(initialise([out_features, in_features], Init::XavierUniform, seed)),
+            weight: Param::new(initialise(
+                [out_features, in_features],
+                Init::XavierUniform,
+                seed,
+            )),
             bias: Param::new(Tensor::zeros([out_features])),
             format: WeightFormat::Dense,
             csr: None,
@@ -95,6 +102,56 @@ impl Linear {
         };
     }
 
+    /// The shared inference kernel: `out = in · Wᵀ + b` over raw slices.
+    /// Both [`Layer::forward`] and [`Layer::forward_into`] funnel through
+    /// this, so the arena engine is bit-identical to the tensor path.
+    fn eval_into(&self, in_data: &[f32], batch: usize, out: &mut [f32], cfg: &ExecConfig) {
+        let feat = self.in_features;
+        let bdata = self.bias.value.data();
+        let out_f = self.out_features;
+        let writer = DisjointWriter::new(out);
+        let writer = &writer;
+        match (self.format, &self.csr) {
+            (WeightFormat::Csr, Some(csr)) => {
+                parallel_for(cfg.threads, out_f, cfg.schedule, |range| {
+                    for o in range {
+                        let (idx, val) = csr.row(o);
+                        for b in 0..batch {
+                            let x = &in_data[b * feat..(b + 1) * feat];
+                            let mut acc = bdata[o];
+                            for (&c, &v) in idx.iter().zip(val) {
+                                acc += v * x[c as usize];
+                            }
+                            // SAFETY: element (b, o) is owned by grain o.
+                            unsafe {
+                                writer.slice_mut(b * out_f + o, b * out_f + o + 1)[0] = acc;
+                            }
+                        }
+                    }
+                });
+            }
+            _ => {
+                let wdata = self.weight.value.data();
+                parallel_for(cfg.threads, out_f, cfg.schedule, |range| {
+                    for o in range {
+                        let w_row = &wdata[o * feat..(o + 1) * feat];
+                        for b in 0..batch {
+                            let x = &in_data[b * feat..(b + 1) * feat];
+                            let mut acc = bdata[o];
+                            for (wv, xv) in w_row.iter().zip(x) {
+                                acc += wv * xv;
+                            }
+                            // SAFETY: element (b, o) is owned by grain o.
+                            unsafe {
+                                writer.slice_mut(b * out_f + o, b * out_f + o + 1)[0] = acc;
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    }
+
     /// Removes a contiguous block of input features (used when channel
     /// pruning deletes a channel feeding the flattened classifier input).
     ///
@@ -102,7 +159,10 @@ impl Linear {
     ///
     /// Panics if the range is out of bounds or would empty the layer.
     pub fn remove_in_features(&mut self, start: usize, len: usize) {
-        assert!(start + len <= self.in_features, "feature range out of bounds");
+        assert!(
+            start + len <= self.in_features,
+            "feature range out of bounds"
+        );
         assert!(len < self.in_features, "cannot remove every input feature");
         let old_in = self.in_features;
         let src = self.weight.value.data();
@@ -119,6 +179,10 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn min_input_rank(&self) -> usize {
+        2
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -137,52 +201,7 @@ impl Layer for Linear {
             self.cached_input = Some(input.clone());
         }
         let mut out = Tensor::zeros([batch, self.out_features]);
-        let bdata = self.bias.value.data();
-        let in_data = input.data();
-        let out_f = self.out_features;
-        {
-            let writer = DisjointWriter::new(out.data_mut());
-            let writer = &writer;
-            match (self.format, &self.csr) {
-                (WeightFormat::Csr, Some(csr)) => {
-                    parallel_for(cfg.threads, out_f, cfg.schedule, |range| {
-                        for o in range {
-                            let (idx, val) = csr.row(o);
-                            for b in 0..batch {
-                                let x = &in_data[b * feat..(b + 1) * feat];
-                                let mut acc = bdata[o];
-                                for (&c, &v) in idx.iter().zip(val) {
-                                    acc += v * x[c as usize];
-                                }
-                                // SAFETY: element (b, o) is owned by grain o.
-                                unsafe {
-                                    writer.slice_mut(b * out_f + o, b * out_f + o + 1)[0] = acc;
-                                }
-                            }
-                        }
-                    });
-                }
-                _ => {
-                    let wdata = self.weight.value.data();
-                    parallel_for(cfg.threads, out_f, cfg.schedule, |range| {
-                        for o in range {
-                            let w_row = &wdata[o * feat..(o + 1) * feat];
-                            for b in 0..batch {
-                                let x = &in_data[b * feat..(b + 1) * feat];
-                                let mut acc = bdata[o];
-                                for (wv, xv) in w_row.iter().zip(x) {
-                                    acc += wv * xv;
-                                }
-                                // SAFETY: element (b, o) is owned by grain o.
-                                unsafe {
-                                    writer.slice_mut(b * out_f + o, b * out_f + o + 1)[0] = acc;
-                                }
-                            }
-                        }
-                    });
-                }
-            }
-        }
+        self.eval_into(input.data(), batch, out.data_mut(), cfg);
         out
     }
 
@@ -206,6 +225,32 @@ impl Layer for Linear {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn forward_into_supported(&self, _cfg: &ExecConfig) -> bool {
+        true
+    }
+
+    fn forward_into(
+        &self,
+        input: &[f32],
+        input_shape: &[usize],
+        out: &mut [f32],
+        _scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        let batch = input_shape[0];
+        assert_eq!(
+            input_shape[1..].iter().product::<usize>(),
+            self.in_features,
+            "{}: feature mismatch",
+            self.name()
+        );
+        self.eval_into(input, batch, out, cfg);
     }
 
     fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {

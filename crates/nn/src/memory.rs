@@ -81,8 +81,7 @@ pub fn layer_weight_bytes(desc: &LayerDescriptor) -> usize {
 pub fn network_memory(descs: &[LayerDescriptor], use_im2col: bool) -> MemoryBreakdown {
     let weight_bytes = descs.iter().map(layer_weight_bytes).sum();
     let input_bytes = descs.first().map_or(0, |d| d.input_elems * 4);
-    let activation_bytes =
-        input_bytes + descs.iter().map(|d| d.output_elems * 4).sum::<usize>();
+    let activation_bytes = input_bytes + descs.iter().map(|d| d.output_elems * 4).sum::<usize>();
     let scratch_bytes = descs
         .iter()
         .map(|d| {
@@ -185,7 +184,8 @@ mod tests {
         let net = Network::new(vec![
             Box::new(Conv2d::new(3, 8, 3, 1, 1, 0)),
             Box::new(ReLU::new()),
-        ]);
+        ])
+        .unwrap();
         let descs = net.descriptors(&[1, 3, 32, 32]);
         let m = network_memory(&descs, false);
         // Weights: 8*3*9*4 + bias excluded from descriptor weight_elems?
@@ -195,13 +195,16 @@ mod tests {
         assert_eq!(m.activation_bytes, (3 * 1024 + 8 * 1024 + 8 * 1024) * 4);
         // Scratch: padded input copy 3*34*34 floats.
         assert_eq!(m.scratch_bytes, 3 * 34 * 34 * 4);
-        assert_eq!(m.total(), m.weight_bytes + m.activation_bytes + m.scratch_bytes);
+        assert_eq!(
+            m.total(),
+            m.weight_bytes + m.activation_bytes + m.scratch_bytes
+        );
         assert!(m.total_mb() > 0.0);
     }
 
     #[test]
     fn im2col_scratch_exceeds_padding_scratch() {
-        let net = Network::new(vec![Box::new(Conv2d::new(3, 8, 3, 1, 1, 0))]);
+        let net = Network::new(vec![Box::new(Conv2d::new(3, 8, 3, 1, 1, 0))]).unwrap();
         let descs = net.descriptors(&[1, 3, 32, 32]);
         let direct = network_memory(&descs, false);
         let im2col = network_memory(&descs, true);

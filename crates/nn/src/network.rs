@@ -1,6 +1,7 @@
 //! A sequential network container.
 
 use crate::descriptor::LayerDescriptor;
+use crate::error::Error;
 use crate::layer::{ExecConfig, Layer, Param, Phase, WeightFormat};
 use cnn_stack_tensor::Tensor;
 use std::time::{Duration, Instant};
@@ -24,7 +25,8 @@ use std::time::{Duration, Instant};
 ///     Box::new(ReLU::new()),
 ///     Box::new(Flatten::new()),
 ///     Box::new(Linear::new(4 * 32 * 32, 10, 1)),
-/// ]);
+/// ])
+/// .unwrap();
 /// let logits = net.forward(&Tensor::zeros([2, 3, 32, 32]), Phase::Eval, &ExecConfig::default());
 /// assert_eq!(logits.shape().dims(), &[2, 10]);
 /// ```
@@ -36,12 +38,14 @@ pub struct Network {
 impl Network {
     /// Builds a network from an ordered layer list.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `layers` is empty.
-    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
-        assert!(!layers.is_empty(), "a network needs at least one layer");
-        Network { layers }
+    /// Returns [`Error::EmptyNetwork`] if `layers` is empty.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Result<Self, Error> {
+        if layers.is_empty() {
+            return Err(Error::EmptyNetwork);
+        }
+        Ok(Network { layers })
     }
 
     /// Number of top-level layers (composites count as one).
@@ -56,21 +60,42 @@ impl Network {
 
     /// Immutable access to a layer by index.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if out of range.
-    pub fn layer(&self, idx: usize) -> &dyn Layer {
-        self.layers[idx].as_ref()
+    /// Returns [`Error::IndexOutOfRange`] if `idx >= len()`.
+    pub fn layer(&self, idx: usize) -> Result<&dyn Layer, Error> {
+        self.layers
+            .get(idx)
+            .map(|l| l.as_ref())
+            .ok_or(Error::IndexOutOfRange {
+                index: idx,
+                len: self.layers.len(),
+            })
     }
 
     /// Mutable access to a layer by index (used by compression passes to
     /// downcast to concrete layer types).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if out of range.
-    pub fn layer_mut(&mut self, idx: usize) -> &mut Box<dyn Layer> {
-        &mut self.layers[idx]
+    /// Returns [`Error::IndexOutOfRange`] if `idx >= len()`.
+    pub fn layer_mut(&mut self, idx: usize) -> Result<&mut Box<dyn Layer>, Error> {
+        let len = self.layers.len();
+        self.layers
+            .get_mut(idx)
+            .ok_or(Error::IndexOutOfRange { index: idx, len })
+    }
+
+    /// The full layer list. Infallible counterpart of
+    /// [`layer`](Self::layer) for callers that iterate or index with
+    /// known-good bounds.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable view of the full layer list; see [`layers`](Self::layers).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
     }
 
     /// Splits the layer list at `mid`, allowing two layers to be borrowed
@@ -92,34 +117,58 @@ impl Network {
     /// index-based metadata (pruning plans) built against the old
     /// numbering is invalidated.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if out of range or if it would leave the network empty.
-    pub fn remove_layer(&mut self, idx: usize) -> Box<dyn Layer> {
-        assert!(self.layers.len() > 1, "cannot remove the last layer");
-        self.layers.remove(idx)
+    /// Returns [`Error::IndexOutOfRange`] if out of range, or
+    /// [`Error::EmptyNetwork`] if removal would leave the network empty.
+    pub fn remove_layer(&mut self, idx: usize) -> Result<Box<dyn Layer>, Error> {
+        if idx >= self.layers.len() {
+            return Err(Error::IndexOutOfRange {
+                index: idx,
+                len: self.layers.len(),
+            });
+        }
+        if self.layers.len() == 1 {
+            return Err(Error::EmptyNetwork);
+        }
+        Ok(self.layers.remove(idx))
     }
 
     /// Runs the network forward.
     pub fn forward(&mut self, input: &Tensor, phase: Phase, cfg: &ExecConfig) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
+        // The first layer reads the caller's tensor directly; cloning it
+        // here would double the input's memory traffic for nothing.
+        let (first, rest) = self
+            .layers
+            .split_first_mut()
+            .expect("networks are non-empty by construction");
+        let mut x = first.forward(input, phase, cfg);
+        for layer in rest {
             x = layer.forward(&x, phase, cfg);
         }
         x
     }
 
     /// Runs the network forward, returning per-layer wall-clock times
-    /// alongside the output. This is the measured-mode instrument behind
-    /// the timing experiments.
+    /// alongside the output.
+    ///
+    /// [`crate::engine::InferenceSession`] supersedes this for repeated
+    /// measurement: its [`crate::engine::SessionProfile`] accumulates the
+    /// same per-layer times across runs without reallocating activations.
     pub fn forward_timed(
         &mut self,
         input: &Tensor,
         cfg: &ExecConfig,
     ) -> (Tensor, Vec<(String, Duration)>) {
-        let mut x = input.clone();
         let mut times = Vec::with_capacity(self.layers.len());
-        for layer in &mut self.layers {
+        let (first, rest) = self
+            .layers
+            .split_first_mut()
+            .expect("networks are non-empty by construction");
+        let start = Instant::now();
+        let mut x = first.forward(input, Phase::Eval, cfg);
+        times.push((first.name(), start.elapsed()));
+        for layer in rest {
             let start = Instant::now();
             x = layer.forward(&x, Phase::Eval, cfg);
             times.push((layer.name(), start.elapsed()));
@@ -143,7 +192,10 @@ impl Network {
 
     /// All trainable parameters, in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Zeroes every parameter gradient.
@@ -215,18 +267,17 @@ impl Network {
 }
 
 /// Applies a weight format to every `Conv2d` and `Linear` in the network
-/// (descending into residual blocks). Convenience wrapper used by the
-/// format layer of the stack.
+/// (descending into residual blocks via [`Layer::visit_mut`]).
+/// Convenience wrapper used by the format layer of the stack.
 pub fn set_network_format(net: &mut Network, format: WeightFormat) {
-    for i in 0..net.len() {
-        let layer = net.layer_mut(i);
-        if let Some(conv) = layer.as_any_mut().downcast_mut::<crate::Conv2d>() {
-            conv.set_format(format);
-        } else if let Some(fc) = layer.as_any_mut().downcast_mut::<crate::Linear>() {
-            fc.set_format(format);
-        } else if let Some(block) = layer.as_any_mut().downcast_mut::<crate::ResidualBlock>() {
-            block.set_format(format);
-        }
+    for layer in net.layers_mut() {
+        layer.visit_mut(&mut |l| {
+            if let Some(conv) = l.as_any_mut().downcast_mut::<crate::Conv2d>() {
+                conv.set_format(format);
+            } else if let Some(fc) = l.as_any_mut().downcast_mut::<crate::Linear>() {
+                fc.set_format(format);
+            }
+        });
     }
 }
 
@@ -246,6 +297,7 @@ mod tests {
             Box::new(Flatten::new()),
             Box::new(Linear::new(4 * 4 * 4, 3, 1)),
         ])
+        .unwrap()
     }
 
     fn random(shape: impl Into<cnn_stack_tensor::Shape>, seed: u64) -> Tensor {
@@ -256,14 +308,22 @@ mod tests {
     #[test]
     fn forward_shape() {
         let mut net = tiny_net();
-        let y = net.forward(&Tensor::zeros([2, 1, 8, 8]), Phase::Eval, &ExecConfig::default());
+        let y = net.forward(
+            &Tensor::zeros([2, 1, 8, 8]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[2, 3]);
     }
 
     #[test]
     fn output_shape_matches_forward() {
         let mut net = tiny_net();
-        let y = net.forward(&Tensor::zeros([2, 1, 8, 8]), Phase::Eval, &ExecConfig::default());
+        let y = net.forward(
+            &Tensor::zeros([2, 1, 8, 8]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(net.output_shape(&[2, 1, 8, 8]), y.shape().dims());
     }
 
@@ -326,7 +386,7 @@ mod tests {
     #[test]
     fn sparsity_reflects_zeroed_weights() {
         let mut net = tiny_net();
-        if let Some(conv) = net.layer_mut(0).as_any_mut().downcast_mut::<Conv2d>() {
+        if let Some(conv) = net.layers_mut()[0].as_any_mut().downcast_mut::<Conv2d>() {
             conv.weight_mut().value.fill(0.0);
         }
         let s = net.weight_sparsity(&[1, 1, 8, 8]);
@@ -343,8 +403,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one layer")]
     fn empty_network_rejected() {
-        let _ = Network::new(Vec::new());
+        assert!(matches!(Network::new(Vec::new()), Err(Error::EmptyNetwork)));
+    }
+
+    #[test]
+    fn layer_access_reports_range() {
+        let mut net = tiny_net();
+        assert!(net.layer(4).is_ok());
+        assert!(matches!(
+            net.layer(5),
+            Err(Error::IndexOutOfRange { index: 5, len: 5 })
+        ));
+        assert!(matches!(
+            net.layer_mut(9),
+            Err(Error::IndexOutOfRange { index: 9, len: 5 })
+        ));
+    }
+
+    #[test]
+    fn remove_layer_guards_emptiness() {
+        let mut net = tiny_net();
+        assert!(net.remove_layer(7).is_err());
+        assert!(net.remove_layer(1).is_ok());
+        assert_eq!(net.len(), 4);
+        let mut single = Network::new(vec![Box::new(ReLU::new()) as Box<dyn Layer>]).unwrap();
+        assert!(matches!(single.remove_layer(0), Err(Error::EmptyNetwork)));
     }
 }

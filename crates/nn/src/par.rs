@@ -37,7 +37,10 @@ impl DisjointWriter {
     /// call site).
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn slice_mut(&self, start: usize, end: usize) -> &mut [f32] {
-        debug_assert!(start <= end && end <= self.len, "disjoint write out of bounds");
+        debug_assert!(
+            start <= end && end <= self.len,
+            "disjoint write out of bounds"
+        );
         std::slice::from_raw_parts_mut(self.ptr.add(start), end - start)
     }
 }

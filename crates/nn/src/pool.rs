@@ -42,6 +42,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn min_input_rank(&self) -> usize {
+        4
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -111,6 +115,59 @@ impl Layer for MaxPool2d {
         grad_in
     }
 
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn forward_into_supported(&self, _cfg: &ExecConfig) -> bool {
+        true
+    }
+
+    fn forward_into(
+        &self,
+        input: &[f32],
+        input_shape: &[usize],
+        out: &mut [f32],
+        _scratch: &mut [f32],
+        _cfg: &ExecConfig,
+    ) {
+        let (n, c, h, w) = (
+            input_shape[0],
+            input_shape[1],
+            input_shape[2],
+            input_shape[3],
+        );
+        assert!(
+            h % self.window == 0 && w % self.window == 0,
+            "{}: input {h}x{w} not divisible by window {}",
+            self.name(),
+            self.window
+        );
+        let oh = h / self.window;
+        let ow = w / self.window;
+        for img in 0..n {
+            for ch in 0..c {
+                let in_base = (img * c + ch) * h * w;
+                let out_base = (img * c + ch) * oh * ow;
+                for py in 0..oh {
+                    for px in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for dy in 0..self.window {
+                            for dx in 0..self.window {
+                                let idx =
+                                    in_base + (py * self.window + dy) * w + px * self.window + dx;
+                                if input[idx] > best {
+                                    best = input[idx];
+                                }
+                            }
+                        }
+                        out[out_base + py * ow + px] = best;
+                    }
+                }
+            }
+        }
+    }
+
     fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {
         let elems: usize = input_shape.iter().product();
         LayerDescriptor {
@@ -122,7 +179,12 @@ impl Layer for MaxPool2d {
             format: WeightFormat::Dense,
             input_elems: elems,
             output_elems: elems / (self.window * self.window),
-            output_shape: vec![input_shape[0], input_shape[1], input_shape[2] / self.window, input_shape[3] / self.window],
+            output_shape: vec![
+                input_shape[0],
+                input_shape[1],
+                input_shape[2] / self.window,
+                input_shape[3] / self.window,
+            ],
             scratch_elems: 0,
             parallel_grains: 1,
         }
@@ -145,6 +207,10 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
+    fn min_input_rank(&self) -> usize {
+        4
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -193,6 +259,38 @@ impl Layer for GlobalAvgPool {
         grad_in
     }
 
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn forward_into_supported(&self, _cfg: &ExecConfig) -> bool {
+        true
+    }
+
+    fn forward_into(
+        &self,
+        input: &[f32],
+        input_shape: &[usize],
+        out: &mut [f32],
+        _scratch: &mut [f32],
+        _cfg: &ExecConfig,
+    ) {
+        let (n, c, h, w) = (
+            input_shape[0],
+            input_shape[1],
+            input_shape[2],
+            input_shape[3],
+        );
+        let plane = h * w;
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                let s: f32 = input[base..base + plane].iter().sum();
+                out[img * c + ch] = s / plane as f32;
+            }
+        }
+    }
+
     fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {
         let elems: usize = input_shape.iter().product();
         LayerDescriptor {
@@ -227,6 +325,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn min_input_rank(&self) -> usize {
+        4
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -254,6 +356,26 @@ impl Layer for Flatten {
             .take()
             .expect("backward without a Train-phase forward");
         grad_out.reshape(shape)
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn forward_into_supported(&self, _cfg: &ExecConfig) -> bool {
+        true
+    }
+
+    fn forward_into(
+        &self,
+        input: &[f32],
+        _input_shape: &[usize],
+        out: &mut [f32],
+        _scratch: &mut [f32],
+        _cfg: &ExecConfig,
+    ) {
+        // Row-major flatten is a straight copy.
+        out.copy_from_slice(input);
     }
 
     fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {
@@ -307,13 +429,20 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn maxpool_rejects_ragged_input() {
         let mut pool = MaxPool2d::new(2);
-        let _ = pool.forward(&Tensor::zeros([1, 1, 5, 5]), Phase::Eval, &ExecConfig::default());
+        let _ = pool.forward(
+            &Tensor::zeros([1, 1, 5, 5]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
     }
 
     #[test]
     fn gap_averages_planes() {
         let mut gap = GlobalAvgPool::new();
-        let x = Tensor::from_vec([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let x = Tensor::from_vec(
+            [1, 2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+        );
         let y = gap.forward(&x, Phase::Eval, &ExecConfig::default());
         assert_eq!(y.shape().dims(), &[1, 2, 1, 1]);
         assert_eq!(y.data(), &[2.5, 10.0]);
@@ -342,7 +471,10 @@ mod tests {
     #[test]
     fn descriptors() {
         assert_eq!(MaxPool2d::new(2).descriptor(&[1, 4, 8, 8]).output_elems, 64);
-        assert_eq!(GlobalAvgPool::new().descriptor(&[2, 16, 4, 4]).output_elems, 32);
+        assert_eq!(
+            GlobalAvgPool::new().descriptor(&[2, 16, 4, 4]).output_elems,
+            32
+        );
         assert_eq!(Flatten::new().descriptor(&[1, 2, 3, 3]).output_elems, 18);
     }
 }

@@ -56,7 +56,14 @@ impl ResidualBlock {
         let bn2 = BatchNorm2d::new(out_channels);
         let shortcut = if stride != 1 || in_channels != out_channels {
             Some((
-                Conv2d::new(in_channels, out_channels, 1, stride, 0, seed.wrapping_add(2)),
+                Conv2d::new(
+                    in_channels,
+                    out_channels,
+                    1,
+                    stride,
+                    0,
+                    seed.wrapping_add(2),
+                ),
                 BatchNorm2d::new(out_channels),
             ))
         } else {
@@ -154,6 +161,10 @@ impl ResidualBlock {
 }
 
 impl Layer for ResidualBlock {
+    fn min_input_rank(&self) -> usize {
+        4
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -166,7 +177,11 @@ impl Layer for ResidualBlock {
             "resblock({}->{}{})",
             self.conv1.in_channels(),
             self.conv2.out_channels(),
-            if self.shortcut.is_some() { ", proj" } else { "" }
+            if self.shortcut.is_some() {
+                ", proj"
+            } else {
+                ""
+            }
         )
     }
 
@@ -250,6 +265,102 @@ impl Layer for ResidualBlock {
         }
     }
 
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+        self.conv1.visit_mut(f);
+        self.bn1.visit_mut(f);
+        self.relu1.visit_mut(f);
+        self.conv2.visit_mut(f);
+        self.bn2.visit_mut(f);
+        if let Some((conv, bn)) = &mut self.shortcut {
+            conv.visit_mut(f);
+            bn.visit_mut(f);
+        }
+    }
+
+    fn forward_into_supported(&self, cfg: &ExecConfig) -> bool {
+        self.conv1.forward_into_supported(cfg)
+            && self.conv2.forward_into_supported(cfg)
+            && self
+                .shortcut
+                .as_ref()
+                .is_none_or(|(conv, _)| conv.forward_into_supported(cfg))
+    }
+
+    fn forward_scratch_elems(&self, input_shape: &[usize], cfg: &ExecConfig) -> usize {
+        let (n, h, w) = (input_shape[0], input_shape[2], input_shape[3]);
+        let geom1 = self.conv1.geometry(h, w);
+        let main_elems = n * self.conv1.out_channels() * geom1.out_h * geom1.out_w;
+        let shape1 = [n, self.conv1.out_channels(), geom1.out_h, geom1.out_w];
+        let geom2 = self.conv2.geometry(geom1.out_h, geom1.out_w);
+        let out_elems = n * self.conv2.out_channels() * geom2.out_h * geom2.out_w;
+        let skip_elems = if self.shortcut.is_some() {
+            out_elems
+        } else {
+            0
+        };
+        let mut child = self
+            .conv1
+            .forward_scratch_elems(input_shape, cfg)
+            .max(self.conv2.forward_scratch_elems(&shape1, cfg));
+        if let Some((conv, _)) = &self.shortcut {
+            child = child.max(conv.forward_scratch_elems(input_shape, cfg));
+        }
+        main_elems + skip_elems + child
+    }
+
+    fn forward_into(
+        &self,
+        input: &[f32],
+        input_shape: &[usize],
+        out: &mut [f32],
+        scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        let (n, h, w) = (input_shape[0], input_shape[2], input_shape[3]);
+        let geom1 = self.conv1.geometry(h, w);
+        let plane1 = geom1.out_h * geom1.out_w;
+        let main_elems = n * self.conv1.out_channels() * plane1;
+        let shape1 = [n, self.conv1.out_channels(), geom1.out_h, geom1.out_w];
+        let geom2 = self.conv2.geometry(geom1.out_h, geom1.out_w);
+        let plane2 = geom2.out_h * geom2.out_w;
+        let skip_elems = if self.shortcut.is_some() {
+            out.len()
+        } else {
+            0
+        };
+        // Scratch layout: [conv1 output | skip buffer | child scratch].
+        let (buf_a, rest) = scratch.split_at_mut(main_elems);
+        let (skip_buf, child_scratch) = rest.split_at_mut(skip_elems);
+
+        // Main path: conv1 -> bn1 -> relu -> conv2 -> bn2 (into `out`).
+        self.conv1
+            .forward_into(input, input_shape, buf_a, child_scratch, cfg);
+        self.bn1.eval_inplace(buf_a, n, plane1);
+        for v in buf_a.iter_mut() {
+            *v = v.max(0.0);
+        }
+        self.conv2
+            .forward_into(buf_a, &shape1, out, child_scratch, cfg);
+        self.bn2.eval_inplace(out, n, plane2);
+
+        // Skip path, then the fused residual add + final ReLU.
+        match &self.shortcut {
+            Some((conv, bn)) => {
+                conv.forward_into(input, input_shape, skip_buf, child_scratch, cfg);
+                bn.eval_inplace(skip_buf, n, plane2);
+                for (o, &s) in out.iter_mut().zip(skip_buf.iter()) {
+                    *o = (*o + s).max(0.0);
+                }
+            }
+            None => {
+                for (o, &s) in out.iter_mut().zip(input.iter()) {
+                    *o = (*o + s).max(0.0);
+                }
+            }
+        }
+    }
+
     fn child_descriptors(&self, input_shape: &[usize]) -> Vec<LayerDescriptor> {
         let mut out = Vec::new();
         let d1 = self.conv1.descriptor(input_shape);
@@ -285,7 +396,11 @@ mod tests {
     #[test]
     fn identity_shortcut_shape() {
         let mut b = ResidualBlock::new(8, 8, 1, 0);
-        let y = b.forward(&Tensor::zeros([1, 8, 8, 8]), Phase::Eval, &ExecConfig::default());
+        let y = b.forward(
+            &Tensor::zeros([1, 8, 8, 8]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[1, 8, 8, 8]);
         assert!(b.shortcut.is_none());
     }
@@ -293,7 +408,11 @@ mod tests {
     #[test]
     fn projection_shortcut_shape() {
         let mut b = ResidualBlock::new(8, 16, 2, 0);
-        let y = b.forward(&Tensor::zeros([1, 8, 8, 8]), Phase::Eval, &ExecConfig::default());
+        let y = b.forward(
+            &Tensor::zeros([1, 8, 8, 8]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[1, 16, 4, 4]);
         assert!(b.shortcut.is_some());
     }
@@ -356,7 +475,11 @@ mod tests {
         b.prune_inner_channel(0);
         assert_eq!(b.inner_channels(), 6);
         // Output channel count is unchanged (skip arithmetic preserved).
-        let y = b.forward(&Tensor::zeros([1, 4, 6, 6]), Phase::Eval, &ExecConfig::default());
+        let y = b.forward(
+            &Tensor::zeros([1, 4, 6, 6]),
+            Phase::Eval,
+            &ExecConfig::default(),
+        );
         assert_eq!(y.shape().dims(), &[1, 8, 6, 6]);
     }
 

@@ -166,7 +166,11 @@ pub fn load_params(net: &mut Network, bytes: &[u8]) -> Result<(), LoadParamsErro
     }
     let mut masks = Vec::with_capacity(count);
     for &present in &has_mask {
-        masks.push(if present { Some(r.read_tensor()?) } else { None });
+        masks.push(if present {
+            Some(r.read_tensor()?)
+        } else {
+            None
+        });
     }
     // Validate shapes before touching the network.
     {
@@ -199,6 +203,7 @@ mod tests {
             Box::new(Flatten::new()),
             Box::new(Linear::new(4 * 16, 3, seed + 1)),
         ])
+        .unwrap()
     }
 
     #[test]
@@ -243,7 +248,10 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let mut n = net(5);
-        assert_eq!(load_params(&mut n, b"NOTAMAGICBLOB"), Err(LoadParamsError::BadMagic));
+        assert_eq!(
+            load_params(&mut n, b"NOTAMAGICBLOB"),
+            Err(LoadParamsError::BadMagic)
+        );
     }
 
     #[test]
@@ -261,7 +269,7 @@ mod tests {
     fn architecture_mismatch_rejected() {
         let mut src = net(8);
         let blob = save_params(&mut src);
-        let mut other = Network::new(vec![Box::new(Linear::new(4, 2, 0))]);
+        let mut other = Network::new(vec![Box::new(Linear::new(4, 2, 0))]).unwrap();
         assert!(matches!(
             load_params(&mut other, &blob),
             Err(LoadParamsError::ParamCountMismatch { .. })
@@ -271,7 +279,8 @@ mod tests {
             Box::new(ReLU::new()),
             Box::new(Flatten::new()),
             Box::new(Linear::new(8 * 16, 3, 10)),
-        ]);
+        ])
+        .unwrap();
         assert!(matches!(
             load_params(&mut wrong_shape, &blob),
             Err(LoadParamsError::ShapeMismatch { .. })

@@ -199,6 +199,7 @@ mod tests {
             Box::new(Flatten::new()),
             Box::new(Linear::new(4 * 6 * 6, 2, 4)),
         ])
+        .unwrap()
     }
 
     fn batch(seed: u64) -> (Tensor, Vec<usize>) {
@@ -214,7 +215,7 @@ mod tests {
                 for x in 0..6 {
                     let bright = if class == 0 { x < 3 } else { x >= 3 };
                     data[img * 36 + y * 6 + x] =
-                        if bright { 1.0 } else { 0.0 } + rng.gen_range(-0.1..0.1);
+                        if bright { 1.0 } else { 0.0 } + rng.gen_range(-0.1f32..0.1);
                 }
             }
         }
@@ -266,7 +267,12 @@ mod tests {
     fn masked_weights_stay_zero_through_training() {
         let mut n = net();
         // Mask half of the conv weights.
-        if let Some(conv) = n.layer_mut(0).as_any_mut().downcast_mut::<Conv2d>() {
+        if let Some(conv) = n
+            .layer_mut(0)
+            .unwrap()
+            .as_any_mut()
+            .downcast_mut::<Conv2d>()
+        {
             let len = conv.weight().value.len();
             let mask = Tensor::from_fn([4, 1, 3, 3], |i| if i % 2 == 0 { 0.0 } else { 1.0 });
             assert_eq!(mask.len(), len);
@@ -278,7 +284,12 @@ mod tests {
         for _ in 0..10 {
             train_batch(&mut n, &mut sgd, &x, &labels, &cfg);
         }
-        if let Some(conv) = n.layer_mut(0).as_any_mut().downcast_mut::<Conv2d>() {
+        if let Some(conv) = n
+            .layer_mut(0)
+            .unwrap()
+            .as_any_mut()
+            .downcast_mut::<Conv2d>()
+        {
             for (i, v) in conv.weight().value.data().iter().enumerate() {
                 if i % 2 == 0 {
                     assert_eq!(*v, 0.0, "masked weight {i} revived");

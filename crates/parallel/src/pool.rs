@@ -92,6 +92,50 @@ impl ThreadPool {
             .expect("worker channel closed");
     }
 
+    /// Runs a batch of borrowing tasks to completion before returning.
+    ///
+    /// Unlike [`execute`](ThreadPool::execute), the closures may borrow
+    /// from the caller's stack frame (lifetime `'env`): the call does not
+    /// return until every task has finished, so the borrows cannot
+    /// outlive their referents. This is what the inference engine uses to
+    /// run batch chunks against per-chunk arena slices without cloning.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cnn_stack_parallel::ThreadPool;
+    ///
+    /// let pool = ThreadPool::new(2);
+    /// let mut halves = [vec![0u32; 4], vec![0u32; 4]];
+    /// let [a, b] = &mut halves;
+    /// pool.scope(vec![
+    ///     Box::new(|| a.fill(1)),
+    ///     Box::new(|| b.fill(2)),
+    /// ]);
+    /// assert_eq!(halves[0], [1, 1, 1, 1]);
+    /// ```
+    pub fn scope<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let wg = WaitGroup::new();
+        for task in tasks {
+            let guard = wg.clone();
+            // SAFETY: the transmute only erases the `'env` lifetime. Every
+            // task's WaitGroup guard is dropped when the task finishes, and
+            // `wg.wait()` below blocks until all guards are gone, so no
+            // task (or its borrows) outlives this stack frame.
+            let task: Box<dyn FnOnce() + Send + 'static> =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, _>(task) };
+            self.sender
+                .as_ref()
+                .expect("pool is shutting down")
+                .send(Box::new(move || {
+                    task();
+                    drop(guard);
+                }))
+                .expect("worker channel closed");
+        }
+        wg.wait();
+    }
+
     /// Blocks until every task submitted so far has finished.
     pub fn wait(&self) {
         let mut slot = self.pending.lock();
@@ -177,6 +221,32 @@ mod tests {
             pool.wait();
         }
         assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn scope_allows_stack_borrows() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 64];
+        {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                tasks.push(Box::new(move || {
+                    for v in chunk.iter_mut() {
+                        *v = i + 1;
+                    }
+                }));
+            }
+            pool.scope(tasks);
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 16 + 1);
+        }
+    }
+
+    #[test]
+    fn scope_returns_with_no_tasks() {
+        let pool = ThreadPool::new(2);
+        pool.scope(Vec::new());
     }
 
     #[test]

@@ -71,6 +71,16 @@ pub fn parallel_for<F>(threads: usize, total: usize, schedule: Schedule, body: F
 where
     F: Fn(Range<usize>) + Sync,
 {
+    // Inline serial fast path: no thread scope and, unlike the stats
+    // variant, no per-thread bookkeeping allocation — this keeps
+    // arena-backed inference at zero heap allocations per pass.
+    assert!(threads > 0, "at least one thread required");
+    if threads == 1 {
+        if total > 0 {
+            body(0..total);
+        }
+        return;
+    }
     let _ = parallel_for_stats(threads, total, schedule, body);
 }
 
@@ -175,7 +185,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     RegionStats {
@@ -198,7 +211,10 @@ mod tests {
             }
         });
         let h = hits.into_inner().unwrap();
-        assert!(h.iter().all(|&c| c == 1), "{schedule:?} t={threads} n={total}: {h:?}");
+        assert!(
+            h.iter().all(|&c| c == 1),
+            "{schedule:?} t={threads} n={total}: {h:?}"
+        );
     }
 
     #[test]

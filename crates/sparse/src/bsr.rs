@@ -161,13 +161,15 @@ impl BsrMatrix {
                 let bc = self.indices[p] as usize;
                 let payload = &self.values[p * bb..(p + 1) * bb];
                 for dy in 0..self.block {
-                    let orow = &mut odata[(br * self.block + dy) * bn..(br * self.block + dy + 1) * bn];
+                    let orow =
+                        &mut odata[(br * self.block + dy) * bn..(br * self.block + dy + 1) * bn];
                     for dx in 0..self.block {
                         let v = payload[dy * self.block + dx];
                         if v == 0.0 {
                             continue;
                         }
-                        let brow = &b.data()[(bc * self.block + dx) * bn..(bc * self.block + dx + 1) * bn];
+                        let brow =
+                            &b.data()[(bc * self.block + dx) * bn..(bc * self.block + dx + 1) * bn];
                         for (o, &bv) in orow.iter_mut().zip(brow) {
                             *o += v * bv;
                         }

@@ -58,7 +58,8 @@ pub fn sparse_conv2d(
         let input_img = &in_data[img * in_img..(img + 1) * in_img];
         let output_img = &mut out_data[img * out_img..(img + 1) * out_img];
         for o in 0..out_c {
-            let plane = &mut output_img[o * geom.out_h * geom.out_w..(o + 1) * geom.out_h * geom.out_w];
+            let plane =
+                &mut output_img[o * geom.out_h * geom.out_w..(o + 1) * geom.out_h * geom.out_w];
             if let Some(b) = bias {
                 plane.fill(b[o]);
             }
@@ -148,14 +149,22 @@ mod tests {
     }
 
     /// Dense reference convolution via im2col + GEMM.
-    fn reference_conv(input: &Tensor, wmat: &Tensor, bias: Option<&[f32]>, geom: &Conv2dGeometry) -> Tensor {
+    fn reference_conv(
+        input: &Tensor,
+        wmat: &Tensor,
+        bias: Option<&[f32]>,
+        geom: &Conv2dGeometry,
+    ) -> Tensor {
         let (n, in_c, h, w) = input.shape().nchw();
         let out_c = wmat.shape().dims()[0];
         let positions = geom.out_positions();
         let mut out = Tensor::zeros([n, out_c, geom.out_h, geom.out_w]);
         let od = out.data_mut();
         for img in 0..n {
-            let cols = im2col(&input.data()[img * in_c * h * w..(img + 1) * in_c * h * w], geom);
+            let cols = im2col(
+                &input.data()[img * in_c * h * w..(img + 1) * in_c * h * w],
+                geom,
+            );
             let prod = matmul(wmat, &cols);
             let dst = &mut od[img * out_c * positions..(img + 1) * out_c * positions];
             dst.copy_from_slice(prod.data());

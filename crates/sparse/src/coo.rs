@@ -83,8 +83,9 @@ impl CooMatrix {
     pub fn to_dense(&self) -> Tensor {
         let mut out = Tensor::zeros([self.rows, self.cols]);
         for i in 0..self.nnz() {
-            out.data_mut()[self.row_indices[i] as usize * self.cols
-                + self.col_indices[i] as usize] = self.values[i];
+            out.data_mut()
+                [self.row_indices[i] as usize * self.cols + self.col_indices[i] as usize] =
+                self.values[i];
         }
         out
     }
@@ -141,7 +142,13 @@ impl CooMatrix {
 
 impl fmt::Debug for CooMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CooMatrix({}x{}, nnz={})", self.rows, self.cols, self.nnz())
+        write!(
+            f,
+            "CooMatrix({}x{}, nnz={})",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
     }
 }
 

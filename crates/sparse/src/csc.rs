@@ -167,7 +167,13 @@ impl CscMatrix {
 
 impl fmt::Debug for CscMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CscMatrix({}x{}, nnz={})", self.rows, self.cols, self.nnz())
+        write!(
+            f,
+            "CscMatrix({}x{}, nnz={})",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
     }
 }
 

@@ -51,14 +51,25 @@ impl CsrMatrix {
         values: Vec<f32>,
     ) -> Self {
         assert_eq!(indptr.len(), rows + 1, "indptr must have rows+1 entries");
-        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
-        assert_eq!(*indptr.last().unwrap(), values.len(), "indptr must end at nnz");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert_eq!(
+            *indptr.last().unwrap(),
+            values.len(),
+            "indptr must end at nnz"
+        );
         assert_eq!(indptr[0], 0, "indptr must start at 0");
         for r in 0..rows {
             assert!(indptr[r] <= indptr[r + 1], "indptr must be non-decreasing");
             let row = &indices[indptr[r]..indptr[r + 1]];
             for w in row.windows(2) {
-                assert!(w[0] < w[1], "column indices must be strictly increasing per row");
+                assert!(
+                    w[0] < w[1],
+                    "column indices must be strictly increasing per row"
+                );
             }
             if let Some(&last) = row.last() {
                 assert!((last as usize) < cols, "column index {last} out of bounds");
@@ -189,7 +200,11 @@ impl CsrMatrix {
     /// Panics if `b` is not rank-2 or its row count differs from `cols()`.
     pub fn spmm(&self, b: &Tensor) -> Tensor {
         let (bk, bn) = b.shape().matrix();
-        assert_eq!(bk, self.cols, "inner dimension mismatch: {} vs {bk}", self.cols);
+        assert_eq!(
+            bk, self.cols,
+            "inner dimension mismatch: {} vs {bk}",
+            self.cols
+        );
         let mut out = Tensor::zeros([self.rows, bn]);
         self.spmm_rows_into(b.data(), out.data_mut(), bn, 0, self.rows);
         out
@@ -209,7 +224,10 @@ impl CsrMatrix {
         row_start: usize,
         row_end: usize,
     ) {
-        assert!(row_start <= row_end && row_end <= self.rows, "row range out of bounds");
+        assert!(
+            row_start <= row_end && row_end <= self.rows,
+            "row range out of bounds"
+        );
         assert_eq!(b.len(), self.cols * n, "B length mismatch");
         assert_eq!(c.len(), self.rows * n, "C length mismatch");
         for r in row_start..row_end {
@@ -230,7 +248,7 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `x.len() != cols()`.
-#[allow(clippy::needless_range_loop)]
+    #[allow(clippy::needless_range_loop)]
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "vector length mismatch");
         let mut y = vec![0.0; self.rows];
@@ -436,10 +454,7 @@ mod tests {
     fn csr_costs_more_than_dense_for_3x3() {
         // The paper's §V-D observation: a 3x3 filter (9 floats = 36 bytes
         // dense) in CSR needs more bytes once it is less than ~half empty.
-        let filter = Tensor::from_vec(
-            [1, 9],
-            vec![0.5, 0.0, -0.3, 0.0, 0.8, 0.0, 0.1, 0.0, -0.2],
-        );
+        let filter = Tensor::from_vec([1, 9], vec![0.5, 0.0, -0.3, 0.0, 0.8, 0.0, 0.1, 0.0, -0.2]);
         let dense_bytes = filter.storage_bytes();
         let csr = CsrMatrix::from_dense(&filter, 0.0);
         assert!(csr.storage_bytes() > dense_bytes);

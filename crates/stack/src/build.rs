@@ -85,8 +85,8 @@ pub fn channel_prune_to(model: &mut Model, target: f64) {
         // Recomputing descriptors per channel is quadratic; prune a small
         // batch between recomputes (slight overshoot is fine — the
         // paper's compression rates are themselves one-decimal figures).
-        let batch = ((remaining * model.plan.total_channels(&model.network) as f64 / 2.0)
-            .ceil() as usize)
+        let batch = ((remaining * model.plan.total_channels(&model.network) as f64 / 2.0).ceil()
+            as usize)
             .clamp(1, 64);
         for _ in 0..batch {
             // Pick the (group, channel) with the smallest producer-filter
@@ -122,7 +122,7 @@ fn group_channel_norms(model: &mut Model, g: usize) -> Vec<f64> {
         PruneGroup::ConvToConv { conv, .. }
         | PruneGroup::ConvToDepthwise { conv, .. }
         | PruneGroup::ConvToLinear { conv, .. } => {
-            let layer = model.network.layer(conv);
+            let layer = &model.network.layers()[conv];
             let conv = layer
                 .as_any()
                 .downcast_ref::<Conv2d>()
@@ -130,7 +130,7 @@ fn group_channel_norms(model: &mut Model, g: usize) -> Vec<f64> {
             conv_row_norms(conv)
         }
         PruneGroup::ResidualInner { block } => {
-            let layer = model.network.layer(block);
+            let layer = &model.network.layers()[block];
             let block = layer
                 .as_any()
                 .downcast_ref::<ResidualBlock>()
@@ -189,8 +189,11 @@ mod tests {
 
     #[test]
     fn channel_pruning_hits_compression_target() {
-        let cfg = StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7)
-            .compress(CompressionChoice::ChannelPruning { compression_pct: 60.0 });
+        let cfg = StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7).compress(
+            CompressionChoice::ChannelPruning {
+                compression_pct: 60.0,
+            },
+        );
         let mut model = materialise(&cfg, 0.2);
         let mut full = ModelKind::Vgg16.build_width(10, 0.2);
         let now = model.network.num_params();
@@ -228,6 +231,7 @@ mod tests {
             let conv = model
                 .network
                 .layer_mut(0)
+                .unwrap()
                 .as_any_mut()
                 .downcast_mut::<Conv2d>()
                 .unwrap();

@@ -3,7 +3,7 @@
 use cnn_stack_compress::Technique;
 use cnn_stack_hwsim::{intel_i7, odroid_xu4, Backend, Platform};
 use cnn_stack_models::ModelKind;
-use cnn_stack_nn::{ConvAlgorithm, WeightFormat};
+use cnn_stack_nn::{ConvAlgorithm, Error, WeightFormat};
 
 /// Layer 2 of the stack: the compression technique and its operating
 /// point.
@@ -35,9 +35,7 @@ impl CompressionChoice {
             CompressionChoice::Plain => None,
             CompressionChoice::WeightPruning { .. } => Some(Technique::WeightPruning),
             CompressionChoice::ChannelPruning { .. } => Some(Technique::ChannelPruning),
-            CompressionChoice::TernaryQuantisation { .. } => {
-                Some(Technique::TernaryQuantisation)
-            }
+            CompressionChoice::TernaryQuantisation { .. } => Some(Technique::TernaryQuantisation),
         }
     }
 
@@ -161,6 +159,36 @@ impl StackConfig {
         self
     }
 
+    /// Starts a validating builder seeded with the plain dense
+    /// single-threaded baseline on `platform`.
+    ///
+    /// Unlike the panicking [`threads`](Self::threads) shim, the builder
+    /// defers every check to [`build`](StackConfigBuilder::build), which
+    /// reports bad combinations — zero threads, CSR weights with the
+    /// Winograd lowering — as [`Error::InvalidConfig`] values.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cnn_stack_core::config::{PlatformChoice, StackConfig};
+    /// use cnn_stack_models::ModelKind;
+    ///
+    /// let cfg = StackConfig::builder(ModelKind::Vgg16, PlatformChoice::IntelI7)
+    ///     .threads(4)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.threads, 4);
+    /// assert!(StackConfig::builder(ModelKind::Vgg16, PlatformChoice::IntelI7)
+    ///     .threads(0)
+    ///     .build()
+    ///     .is_err());
+    /// ```
+    pub fn builder(model: ModelKind, platform: PlatformChoice) -> StackConfigBuilder {
+        StackConfigBuilder {
+            config: StackConfig::plain(model, platform),
+        }
+    }
+
     /// Predicted top-1 accuracy (percent) of this configuration, from the
     /// calibrated response curves.
     pub fn predicted_accuracy(&self) -> f64 {
@@ -169,6 +197,74 @@ impl StackConfig {
             None => AccuracyModel::baseline(self.model),
             Some(t) => AccuracyModel::accuracy(self.model, t, self.compression.operating_point()),
         }
+    }
+}
+
+/// Validating builder for [`StackConfig`]; see [`StackConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct StackConfigBuilder {
+    config: StackConfig,
+}
+
+impl StackConfigBuilder {
+    /// Applies a compression choice, also selecting the paper's format
+    /// for that technique.
+    pub fn compress(mut self, choice: CompressionChoice) -> Self {
+        self.config = self.config.compress(choice);
+        self
+    }
+
+    /// Sets the thread count (validated at [`build`](Self::build)).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the execution backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Overrides the weight format (validated against the convolution
+    /// algorithm at [`build`](Self::build)).
+    pub fn format(mut self, format: WeightFormat) -> Self {
+        self.config.format = format;
+        self
+    }
+
+    /// Sets the convolution lowering algorithm (validated against the
+    /// weight format at [`build`](Self::build)).
+    pub fn algorithm(mut self, algorithm: ConvAlgorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `threads == 0`, or if the
+    /// weight format is CSR while the algorithm is Winograd — the
+    /// Winograd transform needs dense filter taps, so that combination
+    /// has no execution path (the paper pairs Winograd with dense
+    /// formats only, §V-C).
+    pub fn build(self) -> Result<StackConfig, Error> {
+        if self.config.threads == 0 {
+            return Err(Error::InvalidConfig(
+                "at least one thread required".to_string(),
+            ));
+        }
+        if self.config.format == WeightFormat::Csr
+            && self.config.algorithm == ConvAlgorithm::Winograd
+        {
+            return Err(Error::InvalidConfig(
+                "CSR weight format cannot be combined with the Winograd \
+                 algorithm: the transform needs dense filter taps"
+                    .to_string(),
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -187,10 +283,15 @@ mod tests {
 
     #[test]
     fn compress_assigns_paper_format() {
-        let cfg = StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7)
-            .compress(CompressionChoice::WeightPruning { sparsity_pct: 76.54 });
+        let cfg = StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7).compress(
+            CompressionChoice::WeightPruning {
+                sparsity_pct: 76.54,
+            },
+        );
         assert_eq!(cfg.format, WeightFormat::Csr);
-        let cfg = cfg.compress(CompressionChoice::ChannelPruning { compression_pct: 88.48 });
+        let cfg = cfg.compress(CompressionChoice::ChannelPruning {
+            compression_pct: 88.48,
+        });
         assert_eq!(cfg.format, WeightFormat::Dense);
     }
 
@@ -212,5 +313,45 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7).threads(0);
+    }
+
+    #[test]
+    fn builder_accepts_valid_config() {
+        let cfg = StackConfig::builder(ModelKind::ResNet18, PlatformChoice::OdroidXu4)
+            .compress(CompressionChoice::WeightPruning { sparsity_pct: 70.0 })
+            .threads(4)
+            .backend(Backend::OpenMp)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.format, WeightFormat::Csr);
+        assert_eq!(cfg.model, ModelKind::ResNet18);
+    }
+
+    #[test]
+    fn builder_rejects_zero_threads() {
+        let err = StackConfig::builder(ModelKind::Vgg16, PlatformChoice::IntelI7)
+            .threads(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn builder_rejects_csr_winograd() {
+        let err = StackConfig::builder(ModelKind::Vgg16, PlatformChoice::IntelI7)
+            .compress(CompressionChoice::WeightPruning { sparsity_pct: 70.0 })
+            .algorithm(ConvAlgorithm::Winograd)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+        assert!(err.to_string().contains("Winograd"));
+        // Dense + Winograd is a supported point.
+        assert!(
+            StackConfig::builder(ModelKind::Vgg16, PlatformChoice::IntelI7)
+                .algorithm(ConvAlgorithm::Winograd)
+                .build()
+                .is_ok()
+        );
     }
 }

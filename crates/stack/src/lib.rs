@@ -37,6 +37,6 @@ pub mod pareto;
 pub mod runner;
 
 pub use build::materialise;
-pub use config::{CompressionChoice, PlatformChoice, StackConfig};
+pub use config::{CompressionChoice, PlatformChoice, StackConfig, StackConfigBuilder};
 pub use pareto::{detect_elbow, pareto_curve, ParetoPoint};
 pub use runner::{evaluate, CellResult};

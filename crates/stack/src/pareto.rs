@@ -105,7 +105,8 @@ mod tests {
         // manual picks for the models that hold accuracy (VGG/ResNet).
         let curve = pareto_curve(ModelKind::Vgg16, Technique::WeightPruning, 401);
         let elbow = detect_elbow(&curve, 1.0);
-        let paper = AccuracyModel::table3_operating_point(ModelKind::Vgg16, Technique::WeightPruning);
+        let paper =
+            AccuracyModel::table3_operating_point(ModelKind::Vgg16, Technique::WeightPruning);
         assert!(
             (elbow.x - paper).abs() < 12.0,
             "elbow {} vs paper {paper}",

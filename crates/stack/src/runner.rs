@@ -5,7 +5,7 @@ use crate::build::materialise;
 use crate::config::StackConfig;
 use cnn_stack_hwsim::{network_energy, network_time, EnergyModel, SimConfig};
 use cnn_stack_nn::memory::{network_memory, MemoryBreakdown};
-use cnn_stack_nn::{ConvAlgorithm, ExecConfig, Phase};
+use cnn_stack_nn::{ConvAlgorithm, ExecConfig, InferencePlan, InferenceSession};
 use cnn_stack_tensor::Tensor;
 use std::time::Instant;
 
@@ -55,7 +55,12 @@ pub fn evaluate_with(cfg: &StackConfig, width: f64, measure_host: bool) -> CellR
         im2col: matches!(cfg.algorithm, ConvAlgorithm::Im2col),
     };
     let (modelled_s, _) = network_time(&platform, &descs, &sim);
-    let energy = network_energy(&platform, &EnergyModel::for_platform(&platform), &descs, &sim);
+    let energy = network_energy(
+        &platform,
+        &EnergyModel::for_platform(&platform),
+        &descs,
+        &sim,
+    );
 
     let memory = network_memory(&descs, matches!(cfg.algorithm, ConvAlgorithm::Im2col));
 
@@ -65,11 +70,22 @@ pub fn evaluate_with(cfg: &StackConfig, width: f64, measure_host: bool) -> CellR
             conv_algo: cfg.algorithm,
             ..ExecConfig::serial()
         };
+        // Compile once, execute via the arena-backed session: the timed
+        // pass then measures arithmetic, not per-layer allocation.
+        let plan = InferencePlan::compile(&model.network, &input_shape, &exec)
+            .expect("materialised network accepts the cell's input shape");
+        let mut session = InferenceSession::new(&mut model.network, plan)
+            .expect("plan was compiled against this network");
         let input = Tensor::zeros(input_shape.to_vec());
+        let mut out = Tensor::zeros(session.plan().output_shape().to_vec());
         // Warm once, then time one pass.
-        let _ = model.network.forward(&input, Phase::Eval, &exec);
+        session
+            .run_into(&input, &mut out)
+            .expect("shapes match the plan");
         let start = Instant::now();
-        let _ = model.network.forward(&input, Phase::Eval, &exec);
+        session
+            .run_into(&input, &mut out)
+            .expect("shapes match the plan");
         Some(start.elapsed().as_secs_f64())
     } else {
         None
@@ -111,10 +127,16 @@ mod tests {
 
     #[test]
     fn channel_pruning_cell_is_faster_and_smaller() {
-        let plain = evaluate(&StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7));
+        let plain = evaluate(&StackConfig::plain(
+            ModelKind::Vgg16,
+            PlatformChoice::IntelI7,
+        ));
         let cp = evaluate(
-            &StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7)
-                .compress(CompressionChoice::ChannelPruning { compression_pct: 88.48 }),
+            &StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7).compress(
+                CompressionChoice::ChannelPruning {
+                    compression_pct: 88.48,
+                },
+            ),
         );
         assert!(cp.modelled_s < plain.modelled_s * 0.5);
         assert!(cp.memory_mb < plain.memory_mb * 0.5);
@@ -122,10 +144,16 @@ mod tests {
 
     #[test]
     fn weight_pruning_cell_is_slower_but_sparser() {
-        let plain = evaluate(&StackConfig::plain(ModelKind::ResNet18, PlatformChoice::OdroidXu4));
+        let plain = evaluate(&StackConfig::plain(
+            ModelKind::ResNet18,
+            PlatformChoice::OdroidXu4,
+        ));
         let wp = evaluate(
-            &StackConfig::plain(ModelKind::ResNet18, PlatformChoice::OdroidXu4)
-                .compress(CompressionChoice::WeightPruning { sparsity_pct: 88.92 }),
+            &StackConfig::plain(ModelKind::ResNet18, PlatformChoice::OdroidXu4).compress(
+                CompressionChoice::WeightPruning {
+                    sparsity_pct: 88.92,
+                },
+            ),
         );
         assert!(wp.sparsity > 0.8);
         assert!(wp.modelled_s >= plain.modelled_s * 0.95);

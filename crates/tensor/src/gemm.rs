@@ -58,7 +58,10 @@ impl TileConfig {
     ///
     /// Panics if any extent is zero or `unroll` is not in {1, 2, 4, 8}.
     pub fn new(tile_m: usize, tile_n: usize, tile_k: usize, unroll: usize) -> Self {
-        assert!(tile_m > 0 && tile_n > 0 && tile_k > 0, "tile extents must be non-zero");
+        assert!(
+            tile_m > 0 && tile_n > 0 && tile_k > 0,
+            "tile extents must be non-zero"
+        );
         assert!(
             matches!(unroll, 1 | 2 | 4 | 8),
             "unroll must be 1, 2, 4 or 8, got {unroll}"
@@ -158,7 +161,10 @@ pub fn gemm_rows_into(
     row_start: usize,
     row_end: usize,
 ) {
-    assert!(row_start <= row_end && row_end <= m, "row range out of bounds");
+    assert!(
+        row_start <= row_end && row_end <= m,
+        "row range out of bounds"
+    );
     assert_eq!(a.len(), m * k, "A length mismatch");
     assert_eq!(b.len(), k * n, "B length mismatch");
     assert_eq!(c.len(), m * n, "C length mismatch");
@@ -264,13 +270,22 @@ mod tests {
 
     #[test]
     fn all_algorithms_agree() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (16, 16, 16), (33, 65, 17), (64, 128, 9)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 7, 5),
+            (16, 16, 16),
+            (33, 65, 17),
+            (64, 128, 9),
+        ] {
             let a = random_tensor([m, k], m as u64);
             let b = random_tensor([k, n], n as u64);
             let naive = matmul_with(&a, &b, GemmAlgorithm::Naive);
             let blocked = matmul_with(&a, &b, GemmAlgorithm::Blocked);
             let tiled = matmul_with(&a, &b, GemmAlgorithm::Tiled(TileConfig::new(8, 8, 8, 2)));
-            assert!(naive.allclose(&blocked, 1e-4), "blocked mismatch {m}x{k}x{n}");
+            assert!(
+                naive.allclose(&blocked, 1e-4),
+                "blocked mismatch {m}x{k}x{n}"
+            );
             assert!(naive.allclose(&tiled, 1e-4), "tiled mismatch {m}x{k}x{n}");
         }
     }

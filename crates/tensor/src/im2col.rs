@@ -102,14 +102,34 @@ impl Conv2dGeometry {
 ///
 /// Panics if `image.len() != C * H * W` for the geometry.
 pub fn im2col(image: &[f32], geom: &Conv2dGeometry) -> Tensor {
+    let rows = geom.patch_len();
+    let cols = geom.out_positions();
+    let mut out = vec![0.0f32; rows * cols];
+    im2col_into(image, geom, &mut out);
+    Tensor::from_vec(Shape::new([rows, cols]), out)
+}
+
+/// Allocation-free [`im2col`]: writes the `[patch_len, out_h * out_w]`
+/// matrix into `out`, which must hold exactly
+/// `patch_len() * out_positions()` floats. Every element is overwritten,
+/// so `out` may hold stale data (the engine reuses one scratch arena
+/// across layers).
+///
+/// # Panics
+///
+/// Panics if `image` or `out` lengths do not match the geometry.
+pub fn im2col_into(image: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
     assert_eq!(
         image.len(),
         geom.in_channels * geom.in_h * geom.in_w,
         "image length does not match geometry"
     );
-    let rows = geom.patch_len();
     let cols = geom.out_positions();
-    let mut out = vec![0.0f32; rows * cols];
+    assert_eq!(
+        out.len(),
+        geom.patch_len() * cols,
+        "output length does not match geometry"
+    );
     let mut row = 0;
     for c in 0..geom.in_channels {
         for kh in 0..geom.k_h {
@@ -135,7 +155,6 @@ pub fn im2col(image: &[f32], geom: &Conv2dGeometry) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(Shape::new([rows, cols]), out)
 }
 
 /// Inverse of [`im2col`]: scatter-adds a `[patch_len, out_h*out_w]` matrix
@@ -242,6 +261,16 @@ mod tests {
         for (k, want) in (1..=9).enumerate() {
             assert_eq!(m[[k, 4]], want as f32);
         }
+    }
+
+    #[test]
+    fn im2col_into_matches_allocating_and_overwrites_stale() {
+        let g = Conv2dGeometry::new(2, 5, 5, 3, 3, 1, 1);
+        let image: Vec<f32> = (0..50).map(|v| (v as f32).sin()).collect();
+        let reference = im2col(&image, &g);
+        let mut buf = vec![f32::NAN; g.patch_len() * g.out_positions()];
+        im2col_into(&image, &g, &mut buf);
+        assert_eq!(buf.as_slice(), reference.data());
     }
 
     #[test]

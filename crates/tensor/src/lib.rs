@@ -27,7 +27,7 @@ pub mod tensor;
 pub mod winograd;
 
 pub use gemm::{matmul, GemmAlgorithm, TileConfig};
-pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use im2col::{col2im, im2col, im2col_into, Conv2dGeometry};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use winograd::winograd_conv2d;

@@ -77,7 +77,10 @@ pub fn cross_entropy_with_grad(logits: &Tensor, labels: &[usize]) -> (f32, Tenso
     let mut loss = 0.0;
     let gdata = grad.data_mut();
     for (r, &label) in labels.iter().enumerate() {
-        assert!(label < cols, "label {label} out of range for {cols} classes");
+        assert!(
+            label < cols,
+            "label {label} out of range for {cols} classes"
+        );
         let p = probs.data()[r * cols + label].max(1e-12);
         loss -= p.ln();
         gdata[r * cols + label] -= 1.0;
@@ -109,7 +112,11 @@ pub fn transpose(m: &Tensor) -> Tensor {
 /// Top-1 accuracy of logits against labels, in `[0, 1]`.
 pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
     let preds = argmax_rows(logits);
-    assert_eq!(preds.len(), labels.len(), "one label per prediction required");
+    assert_eq!(
+        preds.len(),
+        labels.len(),
+        "one label per prediction required"
+    );
     let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
     correct as f64 / labels.len() as f64
 }

@@ -287,7 +287,12 @@ impl Add<&Tensor> for &Tensor {
     /// Panics if shapes differ.
     fn add(self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Tensor {
             shape: self.shape.clone(),
             data,
@@ -305,7 +310,12 @@ impl Sub<&Tensor> for &Tensor {
     /// Panics if shapes differ.
     fn sub(self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "sub shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Tensor {
             shape: self.shape.clone(),
             data,
@@ -323,7 +333,12 @@ impl Mul<&Tensor> for &Tensor {
     /// Panics if shapes differ.
     fn mul(self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "mul shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
         Tensor {
             shape: self.shape.clone(),
             data,

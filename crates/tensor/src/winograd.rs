@@ -231,7 +231,10 @@ mod tests {
         let mut out = Tensor::zeros([n, out_c, geom.out_h, geom.out_w]);
         let plane = geom.out_positions();
         for img in 0..n {
-            let cols = im2col(&input.data()[img * in_c * h * w..(img + 1) * in_c * h * w], &geom);
+            let cols = im2col(
+                &input.data()[img * in_c * h * w..(img + 1) * in_c * h * w],
+                &geom,
+            );
             let prod = matmul(&wmat, &cols);
             let dst = &mut out.data_mut()[img * out_c * plane..(img + 1) * out_c * plane];
             dst.copy_from_slice(prod.data());
@@ -305,7 +308,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "3x3")]
     fn non_3x3_rejected() {
-        let _ = winograd_conv2d(&Tensor::zeros([1, 1, 8, 8]), &Tensor::zeros([1, 1, 5, 5]), None, 1);
+        let _ = winograd_conv2d(
+            &Tensor::zeros([1, 1, 8, 8]),
+            &Tensor::zeros([1, 1, 5, 5]),
+            None,
+            1,
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ fn main() {
         train_batch(&mut base.network, &mut sgd, &images, &labels, &exec);
     }
     let base_acc = evaluate(&mut base.network, &test_images, &test_labels, &exec);
-    println!("trained base model: {:.1}% synthetic test accuracy\n", base_acc * 100.0);
+    println!(
+        "trained base model: {:.1}% synthetic test accuracy\n",
+        base_acc * 100.0
+    );
 
     let report = |label: &str, net: &mut cnn_stack::nn::Network, acc: f64| {
         let descs = net.descriptors(&input_shape);
@@ -80,7 +83,10 @@ fn main() {
     }
     let acc = evaluate(&mut cp.network, &test_images, &test_labels, &exec);
     report("channel-pruned", &mut cp.network, acc);
-    println!("                   ({} channels removed by Fisher saliency)", pruner.pruned_channels());
+    println!(
+        "                   ({} channels removed by Fisher saliency)",
+        pruner.pruned_channels()
+    );
 
     // --- Technique 3: ternary quantisation + fine-tune-by-projection. -
     let mut q = cnn_stack::models::vgg16_width(10, 0.125);
@@ -105,7 +111,11 @@ fn main() {
 
 /// Copies parameter values between two identically shaped networks.
 fn clone_weights(dst: &mut cnn_stack::nn::Network, src: &mut cnn_stack::nn::Network) {
-    let src_params: Vec<_> = src.params_mut().into_iter().map(|p| p.value.clone()).collect();
+    let src_params: Vec<_> = src
+        .params_mut()
+        .into_iter()
+        .map(|p| p.value.clone())
+        .collect();
     for (d, s) in dst.params_mut().into_iter().zip(src_params) {
         d.value = s;
     }

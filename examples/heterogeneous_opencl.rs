@@ -39,7 +39,9 @@ fn main() {
     let (wg, vw, t) = best.expect("sweep is non-empty");
     println!(
         "  -> best: {}x{} work-group, {vw}-wide vectors ({:.2} ms) — the paper's hand-tuned pick\n",
-        wg.0, wg.1, t * 1e3
+        wg.0,
+        wg.1,
+        t * 1e3
     );
 
     // CLBlast route for the same convolution: im2col on host, GEMM call.

@@ -55,7 +55,10 @@ fn main() {
                 CompressionChoice::ChannelPruning { compression_pct: c },
             ));
         }
-        candidates.push(("ttq 0.09".into(), CompressionChoice::TernaryQuantisation { threshold: 0.09 }));
+        candidates.push((
+            "ttq 0.09".into(),
+            CompressionChoice::TernaryQuantisation { threshold: 0.09 },
+        ));
         for (label, choice) in candidates {
             for threads in [1usize, 4, 8] {
                 let cfg = StackConfig::plain(kind, PlatformChoice::OdroidXu4)

@@ -8,7 +8,7 @@
 
 use cnn_stack::dataset::{DatasetConfig, SyntheticCifar};
 use cnn_stack::models::resnet18_width;
-use cnn_stack::nn::ExecConfig;
+use cnn_stack::nn::{ExecConfig, InferencePlan, InferenceSession};
 use cnn_stack::tensor::ops;
 
 fn main() {
@@ -26,21 +26,37 @@ fn main() {
     let data = SyntheticCifar::new(DatasetConfig::tiny(0));
     let (images, labels) = data.test_batch(0, 8);
 
+    // Compile the network once into an inference plan (shapes, conv
+    // algorithm choices, arena size), then execute through the session:
+    // repeat runs reuse the same activation arena with no per-layer
+    // allocation, and the session keeps per-layer counters.
     let exec = ExecConfig::default();
-    let (logits, times) = model.network.forward_timed(&images, &exec);
+    let plan = InferencePlan::compile(&model.network, &input_shape, &exec)
+        .expect("the model accepts CIFAR-shaped input");
+    println!(
+        "plan: {} steps, {:.1} KiB activation arena",
+        plan.steps().len(),
+        (2 * plan.buf_elems() + plan.scratch_elems()) as f64 * 4.0 / 1024.0
+    );
+    let mut session =
+        InferenceSession::new(&mut model.network, plan).expect("plan matches this network");
+    let logits = session.run(&images).expect("input matches the plan shape");
     let preds = ops::argmax_rows(&logits);
     println!("\npredictions (untrained net): {preds:?}");
     println!("labels:                      {labels:?}");
 
     println!("\nfive most expensive layers this run:");
+    let times = session.profile().mean_layer_times();
     let mut ranked: Vec<_> = times.iter().collect();
     ranked.sort_by_key(|(_, t)| std::cmp::Reverse(*t));
     for (name, t) in ranked.iter().take(5) {
         println!("  {name:<28} {:>8.2?}", t);
     }
 
-    let total: std::time::Duration = times.iter().map(|(_, t)| *t).sum();
+    let total = session.profile().total_time();
     println!("\ntotal forward time (host, 1 thread): {total:.2?}");
-    println!("\nNext: examples/train_baseline.rs trains this model; \
-              examples/compress_and_deploy.rs compresses it.");
+    println!(
+        "\nNext: examples/train_baseline.rs trains this model; \
+              examples/compress_and_deploy.rs compresses it."
+    );
 }

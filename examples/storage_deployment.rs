@@ -12,8 +12,7 @@ use cnn_stack::compress::packed::PackedTernaryMatrix;
 use cnn_stack::compress::{code_ternary_network, magnitude, ttq};
 use cnn_stack::models::vgg16_width;
 use cnn_stack::nn::{
-    fold_batchnorm, load_params, save_params, strip_identity_batchnorms, Conv2d, ExecConfig,
-    Phase,
+    fold_batchnorm, load_params, save_params, strip_identity_batchnorms, Conv2d, ExecConfig, Phase,
 };
 use cnn_stack::tensor::Tensor;
 
@@ -24,7 +23,9 @@ fn main() {
 
     // Warm the batch statistics (stands in for training).
     for seed in 0..3u64 {
-        let x = Tensor::from_fn([4, 3, 32, 32], |i| ((i as u64 * 31 + seed) % 23) as f32 * 0.08);
+        let x = Tensor::from_fn([4, 3, 32, 32], |i| {
+            ((i as u64 * 31 + seed) % 23) as f32 * 0.08
+        });
         let _ = model.network.forward(&x, Phase::Train, &exec);
     }
     let reference = model.network.forward(&probe, Phase::Eval, &exec);
@@ -71,7 +72,7 @@ fn main() {
     let mut packed_bytes = 0usize;
     let mut dense_bytes = 0usize;
     for i in 0..model.network.len() {
-        if let Some(conv) = model.network.layer(i).as_any().downcast_ref::<Conv2d>() {
+        if let Some(conv) = model.network.layers()[i].as_any().downcast_ref::<Conv2d>() {
             let m = conv.weight_matrix();
             let packed = PackedTernaryMatrix::from_dense_ternary(&m)
                 .expect("network is ternary after step 3");

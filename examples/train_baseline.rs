@@ -19,7 +19,11 @@ use cnn_stack::nn::{ExecConfig, LrSchedule, Sgd};
 fn main() {
     let data = SyntheticCifar::new(DatasetConfig::tiny(42));
     let mut model = vgg16_width(10, 0.125);
-    println!("training {} (width 0.125) on {} synthetic images", model.kind.name(), data.train_len());
+    println!(
+        "training {} (width 0.125) on {} synthetic images",
+        model.kind.name(),
+        data.train_len()
+    );
 
     // The paper's optimiser: SGD, momentum 0.9, weight decay 5e-4, LR
     // starting at 0.1 and stepping down by 10x (we step every 4 epochs at
@@ -29,7 +33,9 @@ fn main() {
         factor: 0.1,
         every: 4,
     };
-    let mut sgd = Sgd::new(schedule.at_epoch(0)).momentum(0.9).weight_decay(5e-4);
+    let mut sgd = Sgd::new(schedule.at_epoch(0))
+        .momentum(0.9)
+        .weight_decay(5e-4);
     let exec = ExecConfig::default();
 
     let batch_size = 32;
@@ -37,7 +43,10 @@ fn main() {
     let (test_images, test_labels) = data.test_set();
 
     let initial_acc = evaluate(&mut model.network, &test_images, &test_labels, &exec);
-    println!("epoch  0: test accuracy {:.1}% (untrained)", initial_acc * 100.0);
+    println!(
+        "epoch  0: test accuracy {:.1}% (untrained)",
+        initial_acc * 100.0
+    );
 
     for epoch in 0..6 {
         sgd.set_lr(schedule.at_epoch(epoch));

@@ -22,7 +22,9 @@ fn all_execution_paths_agree_for_every_model() {
         let mut model = kind.build_width(10, 0.1);
         // Introduce genuine sparsity so CSR differs structurally.
         cnn_stack::compress::magnitude::prune_network(&mut model.network, 0.5);
-        let reference = model.network.forward(&input, Phase::Eval, &ExecConfig::serial());
+        let reference = model
+            .network
+            .forward(&input, Phase::Eval, &ExecConfig::serial());
         for format in [WeightFormat::Dense, WeightFormat::Csr] {
             set_network_format(&mut model.network, format);
             for algo in [ConvAlgorithm::Direct, ConvAlgorithm::Im2col] {
@@ -53,10 +55,14 @@ fn every_stack_cell_materialises_and_evaluates() {
             for choice in [
                 CompressionChoice::Plain,
                 CompressionChoice::WeightPruning { sparsity_pct: 60.0 },
-                CompressionChoice::ChannelPruning { compression_pct: 50.0 },
+                CompressionChoice::ChannelPruning {
+                    compression_pct: 50.0,
+                },
                 CompressionChoice::TernaryQuantisation { threshold: 0.09 },
             ] {
-                let cfg = StackConfig::plain(kind, platform).compress(choice).threads(2);
+                let cfg = StackConfig::plain(kind, platform)
+                    .compress(choice)
+                    .threads(2);
                 let cell = evaluate(&cfg);
                 assert!(
                     cell.modelled_s > 0.0 && cell.modelled_s < 60.0,
@@ -77,14 +83,21 @@ fn materialised_networks_run_at_small_width() {
     for kind in ModelKind::all() {
         for choice in [
             CompressionChoice::WeightPruning { sparsity_pct: 75.0 },
-            CompressionChoice::ChannelPruning { compression_pct: 40.0 },
+            CompressionChoice::ChannelPruning {
+                compression_pct: 40.0,
+            },
             CompressionChoice::TernaryQuantisation { threshold: 0.1 },
         ] {
             let cfg = StackConfig::plain(kind, PlatformChoice::OdroidXu4).compress(choice);
             let mut model = materialise(&cfg, 0.1);
-            let out = model.network.forward(&input, Phase::Eval, &ExecConfig::default());
+            let out = model
+                .network
+                .forward(&input, Phase::Eval, &ExecConfig::default());
             assert_eq!(out.shape().dims(), &[2, 10], "{kind} {choice:?}");
-            assert!(out.data().iter().all(|v| v.is_finite()), "{kind} {choice:?}");
+            assert!(
+                out.data().iter().all(|v| v.is_finite()),
+                "{kind} {choice:?}"
+            );
         }
     }
 }
@@ -123,13 +136,19 @@ fn batchnorm_folding_preserves_every_model() {
         // Give the running statistics some life first.
         for seed in 0..2 {
             let x = random_input(50 + seed);
-            let _ = model.network.forward(&x, Phase::Train, &ExecConfig::serial());
+            let _ = model
+                .network
+                .forward(&x, Phase::Train, &ExecConfig::serial());
         }
-        let before = model.network.forward(&input, Phase::Eval, &ExecConfig::serial());
+        let before = model
+            .network
+            .forward(&input, Phase::Eval, &ExecConfig::serial());
         let folded = fold_batchnorm(&mut model.network);
         assert!(folded > 10, "{kind}: folded only {folded}");
         let stripped = strip_identity_batchnorms(&mut model.network);
-        let after = model.network.forward(&input, Phase::Eval, &ExecConfig::serial());
+        let after = model
+            .network
+            .forward(&input, Phase::Eval, &ExecConfig::serial());
         assert!(
             before.allclose(&after, 1e-2),
             "{kind}: folding changed outputs (folded {folded}, stripped {stripped})"
@@ -144,11 +163,15 @@ fn serialisation_roundtrips_every_model() {
     for kind in ModelKind::all() {
         let mut src = kind.build_width(10, 0.1);
         cnn_stack::compress::magnitude::prune_network(&mut src.network, 0.5);
-        let want = src.network.forward(&input, Phase::Eval, &ExecConfig::serial());
+        let want = src
+            .network
+            .forward(&input, Phase::Eval, &ExecConfig::serial());
         let blob = save_params(&mut src.network);
         let mut dst = kind.build_width(10, 0.1);
         load_params(&mut dst.network, &blob).expect("same architecture");
-        let got = dst.network.forward(&input, Phase::Eval, &ExecConfig::serial());
+        let got = dst
+            .network
+            .forward(&input, Phase::Eval, &ExecConfig::serial());
         assert!(want.allclose(&got, 0.0), "{kind}: blob roundtrip diverged");
         // Pruning masks came along: fine-tuning cannot revive zeros.
         let sparsity = dst.network.weight_sparsity(&[1, 3, 32, 32]);

@@ -10,12 +10,7 @@ use cnn_stack::nn::train::{evaluate, train_batch};
 use cnn_stack::nn::{ExecConfig, Phase, Sgd, WeightFormat};
 use cnn_stack::tensor::ops;
 
-fn train_for(
-    net: &mut cnn_stack::nn::Network,
-    data: &SyntheticCifar,
-    batches: usize,
-    lr: f32,
-) {
+fn train_for(net: &mut cnn_stack::nn::Network, data: &SyntheticCifar, batches: usize, lr: f32) {
     let exec = ExecConfig::default();
     let mut sgd = Sgd::new(lr).momentum(0.9);
     for b in 0..batches {

@@ -112,9 +112,18 @@ fn table4_sparse_formats_cost_memory_channel_pruning_saves_it() {
         let wp = evaluate(&base.compress(table3(kind, Technique::WeightPruning)));
         let cp = evaluate(&base.compress(table3(kind, Technique::ChannelPruning)));
         let q = evaluate(&base.compress(table3(kind, Technique::TernaryQuantisation)));
-        assert!(wp.memory_mb > plain.memory_mb, "{kind}: WP should inflate memory");
-        assert!(q.memory_mb > plain.memory_mb, "{kind}: TTQ should inflate memory");
-        assert!(cp.memory_mb < plain.memory_mb * 0.6, "{kind}: CP should shrink memory");
+        assert!(
+            wp.memory_mb > plain.memory_mb,
+            "{kind}: WP should inflate memory"
+        );
+        assert!(
+            q.memory_mb > plain.memory_mb,
+            "{kind}: TTQ should inflate memory"
+        );
+        assert!(
+            cp.memory_mb < plain.memory_mb * 0.6,
+            "{kind}: CP should shrink memory"
+        );
     }
 }
 
@@ -151,9 +160,8 @@ fn figure5_compressed_big_nets_beat_mobilenet_on_the_odroid() {
     // §V-E: at fixed 90% accuracy, channel-pruned VGG-16/ResNet-18
     // outperform (even channel-pruned) MobileNet's *plain* baseline on
     // the Odroid with 8 threads.
-    let plain_mobilenet = evaluate(
-        &StackConfig::plain(ModelKind::MobileNet, PlatformChoice::OdroidXu4).threads(8),
-    );
+    let plain_mobilenet =
+        evaluate(&StackConfig::plain(ModelKind::MobileNet, PlatformChoice::OdroidXu4).threads(8));
     for kind in [ModelKind::Vgg16, ModelKind::ResNet18] {
         let x = AccuracyModel::table5_operating_point(kind, Technique::ChannelPruning);
         let cfg = StackConfig::plain(kind, PlatformChoice::OdroidXu4)
@@ -178,8 +186,14 @@ fn figure6_backend_ordering_and_imagenet_inversion() {
         let omp = evaluate(&base.threads(8));
         let hand = evaluate(&base.backend(Backend::OpenClHandTuned));
         let blast = evaluate(&base.backend(Backend::OpenClClblast));
-        assert!(hand.modelled_s < omp.modelled_s, "{kind}: hand OpenCL should win");
-        assert!(blast.modelled_s > omp.modelled_s, "{kind}: CLBlast should lose at 32x32");
+        assert!(
+            hand.modelled_s < omp.modelled_s,
+            "{kind}: hand OpenCL should win"
+        );
+        assert!(
+            blast.modelled_s > omp.modelled_s,
+            "{kind}: CLBlast should lose at 32x32"
+        );
     }
     // §V-F: the "up to 10x" CLBlast slowdown happens on ResNet-18.
     let base = StackConfig::plain(ModelKind::ResNet18, PlatformChoice::OdroidXu4);

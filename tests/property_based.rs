@@ -5,6 +5,10 @@
 use cnn_stack::compress::huffman::HuffmanCode;
 use cnn_stack::compress::magnitude;
 use cnn_stack::compress::packed::PackedTernaryMatrix;
+use cnn_stack::nn::{
+    BatchNorm2d, Conv2d, ConvAlgorithm, DepthwiseConv2d, ExecConfig, Flatten, InferencePlan,
+    InferenceSession, Layer, Linear, MaxPool2d, Network, Phase, ReLU, ResidualBlock,
+};
 use cnn_stack::parallel::{parallel_for, Schedule};
 use cnn_stack::sparse::{CscMatrix, CsrMatrix};
 use cnn_stack::tensor::{col2im, gemm, im2col, ops, Conv2dGeometry, Shape, Tensor};
@@ -210,6 +214,75 @@ proptest! {
             csr.storage_bytes(),
             cnn_stack::sparse::csr_bytes(r, c, csr.nnz())
         );
+    }
+}
+
+/// A small randomised layer stack over an 8×8 input: conv-bn-relu, then
+/// optionally a depthwise stage and/or a strided residual block, then
+/// pool-flatten-linear. Returns the network and its final channel count.
+fn random_stack(seed: u64, c: usize, use_dw: bool, use_block: bool) -> Network {
+    let mut layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(3, c, 3, 1, 1, seed)),
+        Box::new(BatchNorm2d::new(c)),
+        Box::new(ReLU::new()),
+    ];
+    if use_dw {
+        layers.push(Box::new(DepthwiseConv2d::new(c, 3, 1, 1, seed + 1)));
+    }
+    let (out_c, spatial) = if use_block {
+        layers.push(Box::new(ResidualBlock::new(c, c + 1, 2, seed + 2)));
+        (c + 1, 2usize) // 8×8 → block stride 2 → 4×4 → pool → 2×2
+    } else {
+        (c, 4usize) // 8×8 → pool → 4×4
+    };
+    layers.push(Box::new(MaxPool2d::new(2)));
+    layers.push(Box::new(Flatten::new()));
+    layers.push(Box::new(Linear::new(
+        out_c * spatial * spatial,
+        5,
+        seed + 3,
+    )));
+    Network::new(layers).expect("stack is non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn session_bit_matches_forward_on_random_stacks(
+        seed in 0u64..10_000,
+        batch in 1usize..9,
+        c in 2usize..6,
+        use_dw in 0usize..2,
+        use_block in 0usize..2,
+        algo_idx in 0usize..3,
+        threads in 1usize..5,
+    ) {
+        let algo = [
+            ConvAlgorithm::Direct,
+            ConvAlgorithm::Im2col,
+            ConvAlgorithm::Winograd,
+        ][algo_idx];
+        let cfg = ExecConfig {
+            threads,
+            conv_algo: algo,
+            ..ExecConfig::serial()
+        };
+        let mut net = random_stack(seed, c, use_dw == 1, use_block == 1);
+        let input = Tensor::from_fn([batch, 3, 8, 8], |i| {
+            (((i as u64 + seed) * 2654435761) % 211) as f32 * 0.01 - 1.0
+        });
+        let expected = net.forward(&input, Phase::Eval, &cfg);
+        let plan = InferencePlan::compile(&net, input.shape().dims(), &cfg)
+            .expect("stack accepts its input shape");
+        let mut session =
+            InferenceSession::new(&mut net, plan).expect("plan matches network");
+        let got = session.run(&input).expect("input matches plan");
+        // Bit-identical, not just close: the engine promises exact
+        // agreement with the allocating path for every algorithm,
+        // batch size, and thread count.
+        prop_assert_eq!(got.shape().dims(), expected.shape().dims());
+        prop_assert_eq!(got.data(), expected.data());
     }
 }
 

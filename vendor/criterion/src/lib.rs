@@ -1,0 +1,230 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no registry access, so the workspace patches
+//! `criterion` to this vendored implementation. Benchmarks keep the
+//! criterion surface (`criterion_group!`/`criterion_main!`, benchmark
+//! groups with `sample_size`/`measurement_time`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`) but the statistics engine is a plain
+//! sampler: every sample times one closure call, and each benchmark
+//! prints its median / mean / min over the collected samples.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimisation barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI arguments for harness compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).run(&name, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = id.into_benchmark_id();
+        self.run(&label, f);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = id.into_benchmark_id();
+        self.run(&label, |bencher| f(bencher, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; samples print eagerly).
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{}/{}: no samples collected", self.name, label);
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{}/{}: median {:?}  mean {:?}  min {:?}  ({} samples)",
+            self.name,
+            label,
+            median,
+            mean,
+            min,
+            samples.len()
+        );
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, one sample per call, until the
+    /// configured sample count or time budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (fills caches, faults in pages).
+        black_box(f());
+        let budget_start = Instant::now();
+        self.samples.clear();
+        while self.samples.len() < self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() >= self.measurement_time && self.samples.len() >= 5 {
+                break;
+            }
+        }
+    }
+}
+
+/// A benchmark label, optionally parameterised (`name/param`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds a `name/param` label.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark label.
+pub trait IntoBenchmarkId {
+    /// Renders the label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(5).measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        group.bench_function("busy", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100).sum::<u64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+        assert!(ran >= 5);
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline, API-compatible subset of `crossbeam`: an unbounded MPMC
+//! channel and a [`sync::WaitGroup`], built on `std` primitives. Only the
+//! surface used by `cnn-stack-parallel`'s thread pool is provided.
+
+pub mod channel {
+    //! Unbounded multi-producer multi-consumer FIFO channel.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The sending half; cloning adds another producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloning adds another consumer.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent value.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // Payload may not be Debug (e.g. boxed closures); elide it.
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // Queue state stays coherent across a payload panic; ignore poison.
+        shared
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing only if all receivers dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = lock(&self.shared);
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = lock(&self.shared);
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = lock(&self.shared);
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .ready
+                    .wait(inner)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            lock(&self.shared).receivers -= 1;
+        }
+    }
+}
+
+pub mod sync {
+    //! Synchronisation primitives.
+
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct WgShared {
+        count: Mutex<usize>,
+        zero: Condvar,
+    }
+
+    /// Enables a thread to block until a set of clones has been dropped.
+    ///
+    /// Each clone represents one outstanding unit of work; [`WaitGroup::wait`]
+    /// returns once every other clone is gone.
+    pub struct WaitGroup {
+        shared: Arc<WgShared>,
+    }
+
+    impl WaitGroup {
+        /// Creates a group with a single member (the returned handle).
+        pub fn new() -> Self {
+            WaitGroup {
+                shared: Arc::new(WgShared {
+                    count: Mutex::new(1),
+                    zero: Condvar::new(),
+                }),
+            }
+        }
+
+        /// Drops this handle and blocks until all other clones are dropped.
+        pub fn wait(self) {
+            let shared = Arc::clone(&self.shared);
+            drop(self);
+            let mut count = shared
+                .count
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            while *count > 0 {
+                count = shared
+                    .zero
+                    .wait(count)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+    }
+
+    impl Default for WaitGroup {
+        fn default() -> Self {
+            WaitGroup::new()
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> Self {
+            *self
+                .shared
+                .count
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()) += 1;
+            WaitGroup {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut count = self
+                .shared
+                .count
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            *count -= 1;
+            if *count == 0 {
+                drop(count);
+                self.shared.zero.notify_all();
+            }
+        }
+    }
+
+    impl std::fmt::Debug for WaitGroup {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "WaitGroup")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use super::sync::WaitGroup;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn channel_delivers_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn recv_errors_after_last_sender_drops() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_errors_after_last_receiver_drops() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn multi_consumer_partitions_work() {
+        let (tx, rx) = unbounded();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                let hits = Arc::clone(&hits);
+                std::thread::spawn(move || {
+                    while rx.recv().is_ok() {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for i in 0..200 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn waitgroup_blocks_until_members_drop() {
+        let wg = WaitGroup::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let member = wg.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+                drop(member);
+            });
+        }
+        wg.wait();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+}

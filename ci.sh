@@ -13,6 +13,14 @@ cargo build --workspace --release
 echo "== tests =="
 cargo test --workspace -q
 
+echo "== fault-injection tests =="
+# The injector only compiles under this feature; the run above doubles
+# as the proof that the default build excludes it (the
+# `default_build_excludes_fault_injection` unit test asserts a
+# zero-sized no-op FaultPlan when the feature is off).
+cargo test -q --features fault-inject
+cargo test -q -p cnn-stack-nn --features fault-inject
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -4,7 +4,7 @@
 //! count to zero for fully supported layer stacks).
 
 use cnn_stack_models::ModelKind;
-use cnn_stack_nn::{ExecConfig, InferencePlan, InferenceSession, Phase};
+use cnn_stack_nn::{ExecConfig, GuardConfig, InferencePlan, InferenceSession, Phase};
 use cnn_stack_tensor::Tensor;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -87,5 +87,42 @@ fn bench_session_vs_forward(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_session_vs_forward);
+/// Guard overhead on VGG-16 (width 0.25, batch 8): `GuardConfig::Off`
+/// must sit within noise of the unguarded PR-1 session, and
+/// `BoundaryCheck` — one finiteness scan per layer boundary — should
+/// stay under a few percent of the pass time.
+fn bench_guard_overhead(c: &mut Criterion) {
+    let input = Tensor::zeros([8, 3, 32, 32]);
+    let cfg = ExecConfig::serial();
+    let mut group = c.benchmark_group("guard_vgg16_w0.25_b8");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    for (label, guard) in [
+        ("off", GuardConfig::Off),
+        ("boundary_check", GuardConfig::BoundaryCheck),
+        ("paranoid", GuardConfig::Paranoid),
+    ] {
+        let mut model = ModelKind::Vgg16.build_width(10, 0.25);
+        let plan = InferencePlan::compile(&model.network, input.shape().dims(), &cfg)
+            .expect("paper models accept CIFAR-shaped input");
+        let mut session = InferenceSession::with_guard(&mut model.network, plan, guard)
+            .expect("plan matches this network");
+        let mut out = Tensor::zeros(session.plan().output_shape().to_vec());
+        session
+            .run_into(&input, &mut out)
+            .expect("shape matches plan");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                session
+                    .run_into(&input, &mut out)
+                    .expect("shape matches plan")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_vs_forward, bench_guard_overhead);
 criterion_main!(benches);

@@ -18,6 +18,19 @@
 //! output element is computed by exactly the same loop nest either way,
 //! the result is bit-identical to the sequential path.
 //!
+//! # Guarded execution
+//!
+//! Every kernel invocation runs under `catch_unwind`: a panicking kernel
+//! cannot kill the process or poison the worker pool. With a
+//! [`GuardConfig`] above `Off` the session additionally scans each
+//! layer's output for non-finite values at the layer boundary, naming
+//! the first offending layer in a [`GuardReport`]. When a guard trips or
+//! a kernel panics inside a step with a safer alternative, the session
+//! *demotes* that step (Winograd→im2col, CSR→dense), records a
+//! [`DemotionRecord`] in the profile's [`HealthReport`], and re-runs —
+//! one bad kernel degrades throughput instead of killing the process.
+//! Transient [`PoolError`]s are retried up to a bounded attempt budget.
+//!
 //! # Example
 //!
 //! ```
@@ -40,14 +53,24 @@
 //! let y = session.run(&Tensor::zeros([2, 3, 8, 8])).unwrap();
 //! assert_eq!(y.shape().dims(), &[2, 10]);
 //! assert_eq!(session.profile().runs(), 1);
+//! assert!(session.health().is_clean());
 //! ```
 
 use crate::error::Error;
-use crate::layer::{ExecConfig, Layer, Phase};
+use crate::guard::{
+    scan_non_finite, DemotionAction, DemotionReason, DemotionRecord, FaultPlan, GuardConfig,
+    GuardReport, GuardViolation, HealthReport,
+};
+use crate::layer::{ConvAlgorithm, ExecConfig, Layer, Phase, WeightFormat};
 use crate::network::Network;
-use cnn_stack_parallel::ThreadPool;
+use cnn_stack_parallel::{panic_message, PoolError, ThreadPool};
 use cnn_stack_tensor::Tensor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+
+/// Bounded attempt budget per `run_into` call: the first attempt plus up
+/// to three recoveries (demotions or pool retries).
+const MAX_ATTEMPTS: u32 = 4;
 
 /// One compiled top-level layer: shapes, costs, and how the engine will
 /// execute it.
@@ -220,6 +243,7 @@ pub struct SessionProfile {
     rows: Vec<ProfileRow>,
     runs: u64,
     total_time: Duration,
+    health: HealthReport,
 }
 
 impl SessionProfile {
@@ -236,6 +260,7 @@ impl SessionProfile {
                 .collect(),
             runs: 0,
             total_time: Duration::ZERO,
+            health: HealthReport::default(),
         }
     }
 
@@ -252,6 +277,12 @@ impl SessionProfile {
     /// Total wall-clock time across all runs.
     pub fn total_time(&self) -> Duration {
         self.total_time
+    }
+
+    /// What the session survived: guards tripped, panics contained,
+    /// retries, and algorithm demotions, in order.
+    pub fn health(&self) -> &HealthReport {
+        &self.health
     }
 
     /// Per-layer `(name, mean time)` across runs — the drop-in shape of
@@ -273,6 +304,17 @@ enum Loc {
     B,
 }
 
+/// Per-step execution state the session can change at runtime (unlike
+/// the immutable compiled [`PlanStep`]): the effective configuration
+/// after demotions, its single-threaded chunk twin, and whether the
+/// arena fast path applies under that configuration.
+#[derive(Clone, Copy, Debug)]
+struct ExecStep {
+    cfg: ExecConfig,
+    chunk_cfg: ExecConfig,
+    supported: bool,
+}
+
 /// A per-chunk view of the plan: the same steps re-shaped to the chunk's
 /// batch size, plus the chunk's own arena buffers.
 #[derive(Debug)]
@@ -280,7 +322,6 @@ struct ChunkStep {
     input_shape: Vec<usize>,
     input_elems: usize,
     output_elems: usize,
-    supported: bool,
 }
 
 #[derive(Debug)]
@@ -293,21 +334,151 @@ struct ChunkArena {
     scratch: Vec<f32>,
 }
 
+/// How one execution attempt failed; drives the recovery loop in
+/// [`InferenceSession::run_into`].
+enum RunFailure {
+    Guard {
+        step: usize,
+        chunk: Option<usize>,
+        violation: GuardViolation,
+    },
+    Panic {
+        step: usize,
+        message: String,
+    },
+    Pool(PoolError),
+}
+
+impl RunFailure {
+    /// Pipeline position of the failure, for picking the earliest one
+    /// when several chunks fail in the same parallel attempt.
+    fn step(&self) -> usize {
+        match self {
+            RunFailure::Guard { step, .. } | RunFailure::Panic { step, .. } => *step,
+            RunFailure::Pool(_) => usize::MAX,
+        }
+    }
+}
+
+/// Sizes per-chunk arenas for the current execution state: one chunk
+/// (sequential) unless every step supports the arena path and the
+/// configuration asks for batch parallelism.
+fn build_chunks(net: &Network, plan: &InferencePlan, exec: &[ExecStep]) -> Vec<ChunkArena> {
+    let n = plan.input_shape()[0];
+    let all_supported = exec.iter().all(|e| e.supported);
+    let chunk_count = if all_supported && plan.cfg().threads > 1 && n > 1 {
+        plan.cfg().threads.min(n)
+    } else {
+        1
+    };
+    let base = n / chunk_count;
+    let extra = n % chunk_count;
+    let mut chunks = Vec::with_capacity(chunk_count);
+    for c in 0..chunk_count {
+        let m = base + usize::from(c < extra);
+        let mut steps = Vec::with_capacity(plan.steps().len());
+        let mut buf_elems = 0;
+        let mut scratch_elems = 0;
+        for (i, ps) in plan.steps().iter().enumerate() {
+            let mut input_shape = ps.input_shape.clone();
+            input_shape[0] = m;
+            let input_elems = ps.input_elems / n * m;
+            let output_elems = ps.output_elems / n * m;
+            buf_elems = buf_elems.max(output_elems);
+            if exec[i].supported {
+                let cfg = if chunk_count > 1 {
+                    &exec[i].chunk_cfg
+                } else {
+                    &exec[i].cfg
+                };
+                scratch_elems =
+                    scratch_elems.max(net.layers()[i].forward_scratch_elems(&input_shape, cfg));
+            }
+            steps.push(ChunkStep {
+                input_shape,
+                input_elems,
+                output_elems,
+            });
+        }
+        chunks.push(ChunkArena {
+            len: m,
+            steps,
+            buf_a: vec![0.0; buf_elems],
+            buf_b: vec![0.0; buf_elems],
+            scratch: vec![0.0; scratch_elems],
+        });
+    }
+    chunks
+}
+
+/// Whether the layer (or any nested layer) runs a convolution that
+/// responds to [`ExecConfig::conv_algo`] — the precondition for the
+/// Winograd→im2col demotion lever to change anything.
+fn layer_has_conv(layer: &mut dyn Layer) -> bool {
+    let mut found = false;
+    layer.visit_mut(&mut |l| {
+        if l.as_any_mut().downcast_mut::<crate::Conv2d>().is_some() {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Whether the layer (or any nested layer) currently evaluates CSR
+/// sparse weights — the precondition for the CSR→dense demotion lever.
+fn layer_has_csr(layer: &mut dyn Layer) -> bool {
+    let mut found = false;
+    layer.visit_mut(&mut |l| {
+        if let Some(c) = l.as_any_mut().downcast_mut::<crate::Conv2d>() {
+            if c.format() == WeightFormat::Csr {
+                found = true;
+            }
+        } else if let Some(fc) = l.as_any_mut().downcast_mut::<crate::Linear>() {
+            if fc.format() == WeightFormat::Csr {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Densifies every CSR weight in the layer (and nested layers).
+fn densify_layer(layer: &mut dyn Layer) {
+    layer.visit_mut(&mut |l| {
+        if let Some(c) = l.as_any_mut().downcast_mut::<crate::Conv2d>() {
+            if c.format() == WeightFormat::Csr {
+                c.set_format(WeightFormat::Dense);
+            }
+        } else if let Some(fc) = l.as_any_mut().downcast_mut::<crate::Linear>() {
+            if fc.format() == WeightFormat::Csr {
+                fc.set_format(WeightFormat::Dense);
+            }
+        }
+    });
+}
+
 /// Executes an [`InferencePlan`] against its network with pre-allocated
 /// activation arenas; see the [module docs](crate::engine).
 #[derive(Debug)]
 pub struct InferenceSession<'n> {
     net: &'n mut Network,
     plan: InferencePlan,
+    exec: Vec<ExecStep>,
     chunks: Vec<ChunkArena>,
     pool: Option<ThreadPool>,
     profile: SessionProfile,
+    guard: GuardConfig,
+    /// Total `run_into` calls, successful or not — the run index faults
+    /// and retries are keyed on (`profile.runs` counts only successes).
+    invocations: u64,
+    faults: FaultPlan,
 }
 
 impl<'n> InferenceSession<'n> {
-    /// Binds a compiled plan to its network, allocating every buffer the
-    /// session will ever need (arenas, scratch, profile rows, worker
-    /// pool), so that [`run_into`](Self::run_into) is allocation-free.
+    /// Binds a compiled plan to its network with guards off, allocating
+    /// every buffer the session will ever need (arenas, scratch, profile
+    /// rows, worker pool), so that [`run_into`](Self::run_into) is
+    /// allocation-free.
     ///
     /// # Errors
     ///
@@ -315,6 +486,15 @@ impl<'n> InferenceSession<'n> {
     /// match the network's layer count (the plan was compiled against a
     /// different network).
     pub fn new(net: &'n mut Network, plan: InferencePlan) -> Result<Self, Error> {
+        Self::with_guard(net, plan, GuardConfig::default())
+    }
+
+    /// Like [`new`](Self::new), with an explicit [`GuardConfig`].
+    pub fn with_guard(
+        net: &'n mut Network,
+        plan: InferencePlan,
+        guard: GuardConfig,
+    ) -> Result<Self, Error> {
         if plan.steps.len() != net.len() {
             return Err(Error::InvalidConfig(format!(
                 "plan has {} steps but the network has {} layers",
@@ -322,53 +502,32 @@ impl<'n> InferenceSession<'n> {
                 net.len()
             )));
         }
-        let n = plan.input_shape[0];
-        let chunk_count = if plan.all_supported && plan.cfg.threads > 1 && n > 1 {
-            plan.cfg.threads.min(n)
-        } else {
-            1
+        let chunk_cfg = ExecConfig {
+            threads: 1,
+            ..plan.cfg
         };
-        let base = n / chunk_count;
-        let extra = n % chunk_count;
-        let mut chunks = Vec::with_capacity(chunk_count);
-        for c in 0..chunk_count {
-            let m = base + usize::from(c < extra);
-            let mut steps = Vec::with_capacity(plan.steps.len());
-            let mut buf_elems = 0;
-            let mut scratch_elems = 0;
-            for (i, ps) in plan.steps.iter().enumerate() {
-                let mut input_shape = ps.input_shape.clone();
-                input_shape[0] = m;
-                let input_elems = ps.input_elems / n * m;
-                let output_elems = ps.output_elems / n * m;
-                buf_elems = buf_elems.max(output_elems);
-                if ps.supported {
-                    scratch_elems = scratch_elems
-                        .max(net.layers()[i].forward_scratch_elems(&input_shape, &plan.cfg));
-                }
-                steps.push(ChunkStep {
-                    input_shape,
-                    input_elems,
-                    output_elems,
-                    supported: ps.supported,
-                });
-            }
-            chunks.push(ChunkArena {
-                len: m,
-                steps,
-                buf_a: vec![0.0; buf_elems],
-                buf_b: vec![0.0; buf_elems],
-                scratch: vec![0.0; scratch_elems],
-            });
-        }
-        let pool = (chunk_count > 1).then(|| ThreadPool::new(chunk_count));
+        let exec: Vec<ExecStep> = plan
+            .steps
+            .iter()
+            .map(|s| ExecStep {
+                cfg: plan.cfg,
+                chunk_cfg,
+                supported: s.supported,
+            })
+            .collect();
+        let chunks = build_chunks(net, &plan, &exec);
+        let pool = (chunks.len() > 1).then(|| ThreadPool::new(chunks.len()));
         let profile = SessionProfile::new(&plan.steps);
         Ok(InferenceSession {
             net,
             plan,
+            exec,
             chunks,
             pool,
             profile,
+            guard,
+            invocations: 0,
+            faults: FaultPlan::default(),
         })
     }
 
@@ -382,7 +541,35 @@ impl<'n> InferenceSession<'n> {
         &self.profile
     }
 
-    /// Resets the cumulative counters (e.g. after warm-up runs).
+    /// The session's health so far (shorthand for
+    /// `profile().health()`).
+    pub fn health(&self) -> &HealthReport {
+        &self.profile.health
+    }
+
+    /// The active guard level.
+    pub fn guard(&self) -> GuardConfig {
+        self.guard
+    }
+
+    /// Changes the guard level for subsequent runs.
+    pub fn set_guard(&mut self, guard: GuardConfig) {
+        self.guard = guard;
+    }
+
+    /// Arms a deterministic fault plan (see [`crate::guard`]). Weight
+    /// bit-flip faults are applied immediately; the rest fire inside the
+    /// targeted kernel/worker invocation. Only compiled under
+    /// `--features fault-inject`.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_faults(&mut self, faults: FaultPlan) {
+        faults.apply_weight_faults(self.net);
+        self.faults = faults;
+    }
+
+    /// Resets the cumulative counters (e.g. after warm-up runs),
+    /// including the health report. Demotions already applied to the
+    /// execution state persist; only their records are cleared.
     pub fn reset_profile(&mut self) {
         for row in &mut self.profile.rows {
             row.time = Duration::ZERO;
@@ -391,6 +578,7 @@ impl<'n> InferenceSession<'n> {
         }
         self.profile.runs = 0;
         self.profile.total_time = Duration::ZERO;
+        self.profile.health = HealthReport::default();
     }
 
     /// Runs one inference, allocating only the output tensor.
@@ -398,7 +586,8 @@ impl<'n> InferenceSession<'n> {
     /// # Errors
     ///
     /// Returns [`Error::ShapeMismatch`] if `input` does not match the
-    /// plan's compiled input shape.
+    /// plan's compiled input shape, plus the failure modes of
+    /// [`run_into`](Self::run_into).
     pub fn run(&mut self, input: &Tensor) -> Result<Tensor, Error> {
         let mut out = Tensor::zeros(self.plan.output_shape.clone());
         self.run_into(input, &mut out)?;
@@ -406,12 +595,21 @@ impl<'n> InferenceSession<'n> {
     }
 
     /// Runs one inference into a caller-provided output tensor with zero
-    /// heap allocation.
+    /// heap allocation on the sequential hot path.
+    ///
+    /// Kernel panics are contained; guard trips and panics in steps with
+    /// a safer algorithm demote the step and re-run (bounded attempts);
+    /// transient pool failures are retried.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::ShapeMismatch`] if `input` or `out` does not
-    /// match the plan's compiled input/output shape.
+    /// * [`Error::ShapeMismatch`] — `input` or `out` does not match the
+    ///   plan's compiled input/output shape.
+    /// * [`Error::GuardTripped`] — a guard tripped and no demotion lever
+    ///   applied (or attempts ran out).
+    /// * [`Error::KernelPanicked`] — a kernel panicked (contained) and
+    ///   no demotion lever applied.
+    /// * [`Error::Pool`] — the worker pool failed persistently.
     pub fn run_into(&mut self, input: &Tensor, out: &mut Tensor) -> Result<(), Error> {
         if input.shape().dims() != self.plan.input_shape {
             return Err(Error::ShapeMismatch {
@@ -425,43 +623,59 @@ impl<'n> InferenceSession<'n> {
                 actual: out.shape().dims().to_vec(),
             });
         }
+        let run = self.invocations;
+        self.invocations += 1;
         let start = Instant::now();
-        if self.chunks.len() == 1 {
-            let chunk = &mut self.chunks[0];
-            run_steps_mixed(
-                self.net.layers_mut(),
-                chunk,
-                input.data(),
-                out.data_mut(),
-                &self.plan.cfg,
-                &mut self.profile.rows,
-            );
-        } else {
-            let n = self.plan.input_shape[0];
-            let in_per_image = self.plan.steps[0].input_elems / n;
-            let out_per_image = self.plan.steps.last().expect("non-empty plan").output_elems / n;
-            let chunk_cfg = ExecConfig {
-                threads: 1,
-                ..self.plan.cfg
-            };
-            let layers: &[Box<dyn Layer>] = self.net.layers();
-            let mut in_rest = input.data();
-            let mut out_rest = out.data_mut();
-            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
-                Vec::with_capacity(self.chunks.len());
-            for chunk in self.chunks.iter_mut() {
-                let (in_c, rest) = in_rest.split_at(chunk.len * in_per_image);
-                in_rest = rest;
-                let (out_c, rest) = out_rest.split_at_mut(chunk.len * out_per_image);
-                out_rest = rest;
-                tasks.push(Box::new(move || {
-                    run_steps_supported(layers, chunk, in_c, out_c, &chunk_cfg);
-                }));
+        if self.guard.checks_parameters() {
+            if let Some(report) = self.paranoid_precheck(input) {
+                self.profile.health.guards_tripped += 1;
+                return Err(Error::GuardTripped(report));
             }
-            self.pool
-                .as_ref()
-                .expect("parallel sessions own a pool")
-                .scope(tasks);
+        }
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let failure = match self.execute_attempt(input, out, run) {
+                Ok(()) => break,
+                Err(f) => f,
+            };
+            match failure {
+                RunFailure::Guard {
+                    step,
+                    chunk,
+                    violation,
+                } => {
+                    self.profile.health.guards_tripped += 1;
+                    let recovered = attempt < MAX_ATTEMPTS
+                        && self.try_demote(step, DemotionReason::GuardTripped);
+                    if !recovered {
+                        return Err(Error::GuardTripped(GuardReport {
+                            layer_index: step,
+                            layer_name: self.plan.steps[step].name.clone(),
+                            violation,
+                            chunk,
+                        }));
+                    }
+                }
+                RunFailure::Panic { step, message } => {
+                    self.profile.health.panics_contained += 1;
+                    let recovered = attempt < MAX_ATTEMPTS
+                        && self.try_demote(step, DemotionReason::KernelPanicked);
+                    if !recovered {
+                        return Err(Error::KernelPanicked {
+                            layer: step,
+                            name: self.plan.steps[step].name.clone(),
+                            message,
+                        });
+                    }
+                }
+                RunFailure::Pool(e) => {
+                    if attempt >= MAX_ATTEMPTS {
+                        return Err(Error::Pool(e));
+                    }
+                    self.profile.health.retries += 1;
+                }
+            }
         }
         self.profile.total_time += start.elapsed();
         self.profile.runs += 1;
@@ -471,19 +685,177 @@ impl<'n> InferenceSession<'n> {
         }
         Ok(())
     }
+
+    /// Paranoid-mode pre-run scan of the input tensor and every
+    /// parameter tensor.
+    fn paranoid_precheck(&mut self, input: &Tensor) -> Option<GuardReport> {
+        if let Some((first_index, _, _)) = scan_non_finite(input.data()) {
+            return Some(GuardReport {
+                layer_index: 0,
+                layer_name: "<input>".to_string(),
+                violation: GuardViolation::NonFiniteInput { first_index },
+                chunk: None,
+            });
+        }
+        for (i, layer) in self.net.layers_mut().iter_mut().enumerate() {
+            for (p, param) in layer.params_mut().into_iter().enumerate() {
+                if let Some((first_index, _, _)) = scan_non_finite(param.value.data()) {
+                    return Some(GuardReport {
+                        layer_index: i,
+                        layer_name: self.plan.steps[i].name.clone(),
+                        violation: GuardViolation::NonFiniteWeight {
+                            param: p,
+                            first_index,
+                        },
+                        chunk: None,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// One pass over the pipeline: sequential when there is a single
+    /// chunk, batch-parallel over the pool otherwise.
+    fn execute_attempt(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        run: u64,
+    ) -> Result<(), RunFailure> {
+        if self.chunks.len() == 1 {
+            let chunk = &mut self.chunks[0];
+            run_steps_sequential(
+                self.net.layers_mut(),
+                &self.exec,
+                chunk,
+                input.data(),
+                out.data_mut(),
+                self.guard,
+                &mut self.profile.rows,
+                &self.faults,
+                run,
+            )
+        } else {
+            let n = self.plan.input_shape[0];
+            let in_per_image = self.plan.steps[0].input_elems / n;
+            let out_per_image = self.plan.steps.last().expect("non-empty plan").output_elems / n;
+            let layers: &[Box<dyn Layer>] = self.net.layers();
+            let exec: &[ExecStep] = &self.exec;
+            let guard = self.guard;
+            let faults: &FaultPlan = &self.faults;
+            let mut failures: Vec<Option<RunFailure>> = Vec::new();
+            failures.resize_with(self.chunks.len(), || None);
+            let mut in_rest = input.data();
+            let mut out_rest = out.data_mut();
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                Vec::with_capacity(self.chunks.len());
+            for (ci, (chunk, failure)) in
+                self.chunks.iter_mut().zip(failures.iter_mut()).enumerate()
+            {
+                let (in_c, rest) = in_rest.split_at(chunk.len * in_per_image);
+                in_rest = rest;
+                let (out_c, rest) = out_rest.split_at_mut(chunk.len * out_per_image);
+                out_rest = rest;
+                tasks.push(Box::new(move || {
+                    *failure =
+                        run_steps_chunk(layers, exec, chunk, ci, in_c, out_c, guard, faults, run)
+                            .err();
+                }));
+            }
+            let scoped = self
+                .pool
+                .as_ref()
+                .expect("parallel sessions own a pool")
+                .scope(tasks);
+            if let Err(e) = scoped {
+                return Err(RunFailure::Pool(e));
+            }
+            // Several chunks can fail in one attempt; report the earliest
+            // pipeline position (the first offender).
+            let mut chosen: Option<RunFailure> = None;
+            for f in failures.into_iter().flatten() {
+                chosen = Some(match chosen {
+                    None => f,
+                    Some(prev) if f.step() < prev.step() => f,
+                    Some(prev) => prev,
+                });
+            }
+            match chosen {
+                None => Ok(()),
+                Some(f) => Err(f),
+            }
+        }
+    }
+
+    /// Applies the strongest available demotion lever to `step`:
+    /// CSR→dense first, then Winograd→im2col. Returns `false` when no
+    /// lever applies (the failure is not recoverable by demotion).
+    fn try_demote(&mut self, step: usize, reason: DemotionReason) -> bool {
+        if step >= self.plan.steps.len() {
+            return false;
+        }
+        let layer = self.net.layers_mut()[step].as_mut();
+        if layer_has_csr(layer) {
+            densify_layer(layer);
+            self.record_demotion(step, DemotionAction::CsrToDense, reason);
+            self.rebuild();
+            return true;
+        }
+        if self.exec[step].cfg.conv_algo == ConvAlgorithm::Winograd
+            && layer_has_conv(self.net.layers_mut()[step].as_mut())
+        {
+            self.exec[step].cfg.conv_algo = ConvAlgorithm::Im2col;
+            self.exec[step].chunk_cfg.conv_algo = ConvAlgorithm::Im2col;
+            self.record_demotion(step, DemotionAction::WinogradToIm2col, reason);
+            self.rebuild();
+            return true;
+        }
+        false
+    }
+
+    fn record_demotion(&mut self, step: usize, action: DemotionAction, reason: DemotionReason) {
+        self.profile.health.demotions.push(DemotionRecord {
+            layer_index: step,
+            layer_name: self.plan.steps[step].name.clone(),
+            action,
+            reason,
+        });
+    }
+
+    /// Re-derives arena support, chunking, and the worker pool after a
+    /// demotion changed a step's algorithm or weight format.
+    fn rebuild(&mut self) {
+        for (i, layer) in self.net.layers().iter().enumerate() {
+            self.exec[i].supported = layer.forward_into_supported(&self.exec[i].cfg);
+        }
+        self.chunks = build_chunks(self.net, &self.plan, &self.exec);
+        let needed = self.chunks.len();
+        if needed > 1 {
+            if self.pool.as_ref().map_or(0, |p| p.threads()) != needed {
+                self.pool = Some(ThreadPool::new(needed));
+            }
+        } else {
+            self.pool = None;
+        }
+    }
 }
 
 /// Sequential execution of every step over one arena pair, timing each
-/// step and routing unsupported steps through the allocating
-/// [`Layer::forward`] fallback.
-fn run_steps_mixed(
+/// step, containing kernel panics, applying boundary guards, and routing
+/// unsupported steps through the allocating [`Layer::forward`] fallback.
+#[allow(clippy::too_many_arguments)]
+fn run_steps_sequential(
     layers: &mut [Box<dyn Layer>],
+    exec: &[ExecStep],
     chunk: &mut ChunkArena,
     input: &[f32],
     out: &mut [f32],
-    cfg: &ExecConfig,
+    guard: GuardConfig,
     rows: &mut [ProfileRow],
-) {
+    faults: &FaultPlan,
+    run: u64,
+) -> Result<(), RunFailure> {
     let last = chunk.steps.len() - 1;
     let mut src = Loc::Input;
     let ChunkArena {
@@ -503,12 +875,61 @@ fn run_steps_mixed(
             (Loc::B, true) => (&buf_b[..step.input_elems], &mut out[..]),
             (Loc::B, false) => (&buf_b[..step.input_elems], &mut buf_a[..step.output_elems]),
         };
-        if step.supported {
-            layers[i].forward_into(src_slice, &step.input_shape, dst_slice, scratch, cfg);
-        } else {
-            let x = Tensor::from_vec(step.input_shape.clone(), src_slice.to_vec());
-            let y = layers[i].forward(&x, Phase::Eval, cfg);
-            dst_slice.copy_from_slice(y.data());
+        let layer = &mut layers[i];
+        let kernel = catch_unwind(AssertUnwindSafe(|| -> Result<(), GuardViolation> {
+            faults.kernel_entry(i, run);
+            if exec[i].supported {
+                layer.forward_into(
+                    src_slice,
+                    &step.input_shape,
+                    dst_slice,
+                    scratch,
+                    &exec[i].cfg,
+                );
+            } else {
+                let x = Tensor::from_vec(step.input_shape.clone(), src_slice.to_vec());
+                let y = layer.forward(&x, Phase::Eval, &exec[i].cfg);
+                if y.data().len() != dst_slice.len() {
+                    // With guards off this would panic in copy_from_slice
+                    // below; report it as a shape violation instead.
+                    return Err(GuardViolation::ShapeMismatch {
+                        expected_elems: dst_slice.len(),
+                        actual_elems: y.data().len(),
+                    });
+                }
+                dst_slice.copy_from_slice(y.data());
+            }
+            Ok(())
+        }));
+        match kernel {
+            Err(payload) => {
+                return Err(RunFailure::Panic {
+                    step: i,
+                    message: panic_message(payload),
+                })
+            }
+            Ok(Err(violation)) => {
+                return Err(RunFailure::Guard {
+                    step: i,
+                    chunk: None,
+                    violation,
+                })
+            }
+            Ok(Ok(())) => {}
+        }
+        faults.corrupt_output(i, run, 0, dst_slice);
+        if guard.checks_boundaries() {
+            if let Some((first_index, kind, count)) = scan_non_finite(dst_slice) {
+                return Err(RunFailure::Guard {
+                    step: i,
+                    chunk: None,
+                    violation: GuardViolation::NonFiniteActivation {
+                        kind,
+                        first_index,
+                        count,
+                    },
+                });
+            }
         }
         rows[i].time += started.elapsed();
         src = match (src, i == last) {
@@ -517,17 +938,25 @@ fn run_steps_mixed(
             (Loc::A, false) => Loc::B,
         };
     }
+    Ok(())
 }
 
 /// Allocation-free execution of an all-supported step list over one
-/// chunk's arena pair (the batch-parallel worker body).
-fn run_steps_supported(
+/// chunk's arena pair (the batch-parallel worker body), with per-step
+/// panic containment and boundary guards.
+#[allow(clippy::too_many_arguments)]
+fn run_steps_chunk(
     layers: &[Box<dyn Layer>],
+    exec: &[ExecStep],
     chunk: &mut ChunkArena,
+    chunk_idx: usize,
     input: &[f32],
     out: &mut [f32],
-    cfg: &ExecConfig,
-) {
+    guard: GuardConfig,
+    faults: &FaultPlan,
+    run: u64,
+) -> Result<(), RunFailure> {
+    faults.worker_entry(chunk_idx, run);
     let last = chunk.steps.len() - 1;
     let mut src = Loc::Input;
     let ChunkArena {
@@ -538,7 +967,7 @@ fn run_steps_supported(
         ..
     } = chunk;
     for (i, step) in steps.iter().enumerate() {
-        debug_assert!(step.supported, "parallel chunks require full support");
+        debug_assert!(exec[i].supported, "parallel chunks require full support");
         let (src_slice, dst_slice): (&[f32], &mut [f32]) = match (src, i == last) {
             (Loc::Input, true) => (&input[..step.input_elems], &mut out[..]),
             (Loc::Input, false) => (&input[..step.input_elems], &mut buf_a[..step.output_elems]),
@@ -547,13 +976,44 @@ fn run_steps_supported(
             (Loc::B, true) => (&buf_b[..step.input_elems], &mut out[..]),
             (Loc::B, false) => (&buf_b[..step.input_elems], &mut buf_a[..step.output_elems]),
         };
-        layers[i].forward_into(src_slice, &step.input_shape, dst_slice, scratch, cfg);
+        let layer = &layers[i];
+        let kernel = catch_unwind(AssertUnwindSafe(|| {
+            faults.kernel_entry(i, run);
+            layer.forward_into(
+                src_slice,
+                &step.input_shape,
+                dst_slice,
+                scratch,
+                &exec[i].chunk_cfg,
+            );
+        }));
+        if let Err(payload) = kernel {
+            return Err(RunFailure::Panic {
+                step: i,
+                message: panic_message(payload),
+            });
+        }
+        faults.corrupt_output(i, run, chunk_idx, dst_slice);
+        if guard.checks_boundaries() {
+            if let Some((first_index, kind, count)) = scan_non_finite(dst_slice) {
+                return Err(RunFailure::Guard {
+                    step: i,
+                    chunk: Some(chunk_idx),
+                    violation: GuardViolation::NonFiniteActivation {
+                        kind,
+                        first_index,
+                        count,
+                    },
+                });
+            }
+        }
         src = match (src, i == last) {
             (_, true) => src,
             (Loc::Input | Loc::B, false) => Loc::A,
             (Loc::A, false) => Loc::B,
         };
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -591,6 +1051,153 @@ mod tests {
             Box::new(Linear::new(16 * 4 * 4, 3, 6)),
         ])
         .unwrap()
+    }
+
+    /// Identity-shaped descriptor shared by the test layers below.
+    fn identity_descriptor(name: &str, input_shape: &[usize]) -> crate::LayerDescriptor {
+        let elems: usize = input_shape.iter().product();
+        crate::LayerDescriptor {
+            name: name.to_string(),
+            kind: crate::descriptor::LayerKind::Activation,
+            macs: 0,
+            weight_elems: 0,
+            weight_nnz: 0,
+            format: WeightFormat::Dense,
+            input_elems: elems,
+            output_elems: elems,
+            output_shape: input_shape.to_vec(),
+            scratch_elems: 0,
+            parallel_grains: 1,
+        }
+    }
+
+    /// Test-only layer that writes a NaN into one output element on
+    /// every pass, otherwise copying its input through.
+    #[derive(Debug)]
+    struct NanLayer;
+
+    impl Layer for NanLayer {
+        fn name(&self) -> String {
+            "nan-layer".to_string()
+        }
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+
+        fn forward(&mut self, x: &Tensor, _phase: Phase, _cfg: &ExecConfig) -> Tensor {
+            let mut y = x.clone();
+            y.data_mut()[0] = f32::NAN;
+            y
+        }
+
+        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+            grad_out.clone()
+        }
+
+        fn descriptor(&self, input_shape: &[usize]) -> crate::LayerDescriptor {
+            identity_descriptor(&self.name(), input_shape)
+        }
+
+        fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+            f(self);
+        }
+
+        fn forward_into_supported(&self, _cfg: &ExecConfig) -> bool {
+            true
+        }
+
+        fn forward_into(
+            &self,
+            input: &[f32],
+            _input_shape: &[usize],
+            out: &mut [f32],
+            _scratch: &mut [f32],
+            _cfg: &ExecConfig,
+        ) {
+            out.copy_from_slice(input);
+            out[0] = f32::NAN;
+        }
+    }
+
+    /// Test-only layer that panics for the first `panics` passes, then
+    /// behaves as identity.
+    #[derive(Debug)]
+    struct FlakyLayer {
+        remaining: std::sync::atomic::AtomicUsize,
+    }
+
+    impl FlakyLayer {
+        fn new(panics: usize) -> Self {
+            FlakyLayer {
+                remaining: std::sync::atomic::AtomicUsize::new(panics),
+            }
+        }
+
+        fn should_panic(&self) -> bool {
+            self.remaining
+                .fetch_update(
+                    std::sync::atomic::Ordering::AcqRel,
+                    std::sync::atomic::Ordering::Acquire,
+                    |v| v.checked_sub(1),
+                )
+                .is_ok()
+        }
+    }
+
+    impl Layer for FlakyLayer {
+        fn name(&self) -> String {
+            "flaky-layer".to_string()
+        }
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+
+        fn forward(&mut self, x: &Tensor, _phase: Phase, _cfg: &ExecConfig) -> Tensor {
+            if self.should_panic() {
+                panic!("flaky layer failure");
+            }
+            x.clone()
+        }
+
+        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+            grad_out.clone()
+        }
+
+        fn descriptor(&self, input_shape: &[usize]) -> crate::LayerDescriptor {
+            identity_descriptor(&self.name(), input_shape)
+        }
+
+        fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+            f(self);
+        }
+
+        fn forward_into_supported(&self, _cfg: &ExecConfig) -> bool {
+            true
+        }
+
+        fn forward_into(
+            &self,
+            input: &[f32],
+            _input_shape: &[usize],
+            out: &mut [f32],
+            _scratch: &mut [f32],
+            _cfg: &ExecConfig,
+        ) {
+            if self.should_panic() {
+                panic!("flaky layer failure");
+            }
+            out.copy_from_slice(input);
+        }
     }
 
     #[test]
@@ -767,5 +1374,137 @@ mod tests {
         let mut out = Tensor::from_vec([2, 5], vec![f32::NAN; 10]);
         session.run_into(&x, &mut out).unwrap();
         assert_eq!(out.data(), expected.data());
+    }
+
+    #[test]
+    fn guard_off_is_bitwise_identical_to_unguarded() {
+        let x = random([2, 3, 8, 8], 19);
+        let cfg = ExecConfig::serial();
+        let mut net = conv_net();
+        let expected = {
+            let plan = InferencePlan::compile(&net, x.shape().dims(), &cfg).unwrap();
+            let mut session = InferenceSession::new(&mut net, plan).unwrap();
+            session.run(&x).unwrap()
+        };
+        let mut net = conv_net();
+        let plan = InferencePlan::compile(&net, x.shape().dims(), &cfg).unwrap();
+        let mut session =
+            InferenceSession::with_guard(&mut net, plan, GuardConfig::BoundaryCheck).unwrap();
+        let got = session.run(&x).unwrap();
+        assert_eq!(got.data(), expected.data());
+        assert!(session.health().is_clean());
+    }
+
+    /// Boundary-check mode names the first offending layer, even though
+    /// a later ReLU would silently flush the NaN back to a finite value
+    /// (`f32::max(NaN, 0.0)` is 0.0).
+    #[test]
+    fn boundary_check_reports_first_offending_layer() {
+        let mut net = Network::new(vec![
+            Box::new(Conv2d::new(3, 4, 3, 1, 1, 0)),
+            Box::new(NanLayer),
+            Box::new(ReLU::new()),
+            Box::new(Flatten::new()),
+        ])
+        .unwrap();
+        let x = random([1, 3, 8, 8], 23);
+        let plan = InferencePlan::compile(&net, x.shape().dims(), &ExecConfig::serial()).unwrap();
+        let mut session =
+            InferenceSession::with_guard(&mut net, plan, GuardConfig::BoundaryCheck).unwrap();
+        let err = session.run(&x).expect_err("NaN must trip the guard");
+        match err {
+            Error::GuardTripped(report) => {
+                assert_eq!(report.layer_index, 1, "first offender is the NaN layer");
+                assert_eq!(report.layer_name, "nan-layer");
+                assert!(matches!(
+                    report.violation,
+                    GuardViolation::NonFiniteActivation {
+                        kind: crate::guard::NonFiniteKind::Nan,
+                        first_index: 0,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected GuardTripped, got {other:?}"),
+        }
+        assert_eq!(session.health().guards_tripped, 1);
+        // With guards off the same session semantics let the NaN pass
+        // (and the ReLU flushes it): the run succeeds.
+        session.set_guard(GuardConfig::Off);
+        session.run(&x).expect("guards off: no boundary checks");
+    }
+
+    /// A kernel panic in a step with no safer algorithm is contained:
+    /// the process stays alive, the error names the layer, and the same
+    /// session keeps working once the layer recovers.
+    #[test]
+    fn kernel_panic_is_contained_and_session_stays_usable() {
+        let mut net = Network::new(vec![
+            Box::new(Conv2d::new(3, 4, 3, 1, 1, 0)),
+            Box::new(FlakyLayer::new(MAX_ATTEMPTS as usize)),
+            Box::new(Flatten::new()),
+        ])
+        .unwrap();
+        let x = random([1, 3, 8, 8], 29);
+        let plan = InferencePlan::compile(&net, x.shape().dims(), &ExecConfig::serial()).unwrap();
+        let mut session = InferenceSession::new(&mut net, plan).unwrap();
+        let err = session.run(&x).expect_err("panicking layer must error");
+        match err {
+            Error::KernelPanicked {
+                layer,
+                name,
+                message,
+            } => {
+                assert_eq!(layer, 1);
+                assert_eq!(name, "flaky-layer");
+                assert!(message.contains("flaky layer failure"));
+            }
+            other => panic!("expected KernelPanicked, got {other:?}"),
+        }
+        assert_eq!(session.health().panics_contained, 1);
+        // The injected panic budget is spent after MAX_ATTEMPTS panics;
+        // from the second call on, the session runs clean.
+        while session.run(&x).is_err() {}
+        session.run(&x).expect("recovered layer runs clean");
+    }
+
+    /// Paranoid mode catches a non-finite weight before any kernel runs.
+    #[test]
+    fn paranoid_mode_flags_non_finite_weights() {
+        let mut net = conv_net();
+        // Poison one weight of the second conv (top-level layer 3).
+        if let Some(conv) = net.layers_mut()[3].as_any_mut().downcast_mut::<Conv2d>() {
+            conv.weight_mut().value.data_mut()[5] = f32::INFINITY;
+        } else {
+            panic!("layer 3 is the second conv");
+        }
+        let x = random([1, 3, 8, 8], 31);
+        let plan = InferencePlan::compile(&net, x.shape().dims(), &ExecConfig::serial()).unwrap();
+        let mut session =
+            InferenceSession::with_guard(&mut net, plan, GuardConfig::Paranoid).unwrap();
+        let err = session.run(&x).expect_err("poisoned weight must trip");
+        match err {
+            Error::GuardTripped(report) => {
+                assert_eq!(report.layer_index, 3);
+                assert!(matches!(
+                    report.violation,
+                    GuardViolation::NonFiniteWeight { first_index: 5, .. }
+                ));
+            }
+            other => panic!("expected GuardTripped, got {other:?}"),
+        }
+        // And a NaN input trips before the weights are even scanned.
+        let mut bad = x.clone();
+        bad.data_mut()[0] = f32::NAN;
+        match session.run(&bad) {
+            Err(Error::GuardTripped(report)) => {
+                assert!(matches!(
+                    report.violation,
+                    GuardViolation::NonFiniteInput { first_index: 0 }
+                ));
+                assert_eq!(report.layer_name, "<input>");
+            }
+            other => panic!("expected GuardTripped on input, got {other:?}"),
+        }
     }
 }

@@ -8,7 +8,9 @@
 //! aborting. Thin `expect`-based shims remain where tests and examples
 //! want the old behaviour.
 
+use crate::guard::GuardReport;
 use crate::serialize::LoadParamsError;
+use cnn_stack_parallel::PoolError;
 
 /// Errors produced by network construction, indexing, and execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,6 +38,21 @@ pub enum Error {
     InvalidConfig(String),
     /// Deserialising stored parameters failed.
     Load(LoadParamsError),
+    /// A runtime guard tripped and no safer algorithm was available to
+    /// demote to (see [`crate::GuardConfig`]).
+    GuardTripped(GuardReport),
+    /// A kernel panicked; the panic was contained but the step had no
+    /// safer algorithm to demote to.
+    KernelPanicked {
+        /// Index of the panicking top-level layer.
+        layer: usize,
+        /// Its name, as recorded in the plan.
+        name: String,
+        /// The panic payload rendered as a string.
+        message: String,
+    },
+    /// The worker pool failed persistently (retries exhausted).
+    Pool(PoolError),
 }
 
 impl std::fmt::Display for Error {
@@ -59,6 +76,16 @@ impl std::fmt::Display for Error {
             }
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Load(e) => write!(f, "parameter load failed: {e}"),
+            Error::GuardTripped(report) => write!(f, "{report}"),
+            Error::KernelPanicked {
+                layer,
+                name,
+                message,
+            } => write!(
+                f,
+                "kernel panicked in layer {layer} ({name}): {message} (contained; no safer algorithm available)"
+            ),
+            Error::Pool(e) => write!(f, "worker pool failed: {e}"),
         }
     }
 }
@@ -68,6 +95,12 @@ impl std::error::Error for Error {}
 impl From<LoadParamsError> for Error {
     fn from(e: LoadParamsError) -> Self {
         Error::Load(e)
+    }
+}
+
+impl From<PoolError> for Error {
+    fn from(e: PoolError) -> Self {
+        Error::Pool(e)
     }
 }
 

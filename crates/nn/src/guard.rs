@@ -1,0 +1,631 @@
+//! Runtime guards, health reporting, and deterministic fault injection.
+//!
+//! The paper's cross-stack argument (§V) cuts both ways: a sparse format
+//! or fast convolution that wins on paper can fail in practice —
+//! numerical blow-up from aggressively quantised weights, pathological
+//! CSR patterns, a starved pool worker. This module gives the inference
+//! engine the vocabulary to talk about those failures:
+//!
+//! * [`GuardConfig`] — how much checking an
+//!   [`InferenceSession`](crate::InferenceSession) performs at layer
+//!   boundaries (off / boundary-check / paranoid).
+//! * [`GuardReport`] / [`GuardViolation`] — what tripped, naming the
+//!   *first* offending layer.
+//! * [`HealthReport`] / [`DemotionRecord`] — what the session survived:
+//!   guards tripped, kernel panics contained, pool retries, and which
+//!   steps were demoted to a safer algorithm (Winograd→im2col,
+//!   CSR→dense).
+//! * `FaultPlan` — a deterministic fault injector, compiled only under
+//!   the `fault-inject` cargo feature, able to corrupt a chosen layer's
+//!   output with NaN/Inf, flip a weight bit, panic inside a chosen
+//!   kernel invocation, and delay or crash a chosen pool worker. The
+//!   default build compiles an inert zero-cost stand-in so the engine
+//!   hot path carries no injection code.
+
+use std::fmt;
+
+/// How much runtime checking an inference session performs.
+///
+/// * `Off` — no checks; the hot path is byte-for-byte the PR-1 engine.
+/// * `BoundaryCheck` — after every layer, scan the produced activation
+///   for non-finite values and verify the fallback path produced the
+///   planned shape; report the first offending layer.
+/// * `Paranoid` — everything `BoundaryCheck` does, plus a pre-run scan
+///   of the input tensor and of every parameter tensor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum GuardConfig {
+    /// No checks (the default): identical semantics to an unguarded run.
+    #[default]
+    Off,
+    /// Finiteness + shape checks at every layer boundary.
+    BoundaryCheck,
+    /// Boundary checks plus input and parameter scans before each run.
+    Paranoid,
+}
+
+impl GuardConfig {
+    /// Whether per-layer boundary checks run.
+    pub fn checks_boundaries(self) -> bool {
+        !matches!(self, GuardConfig::Off)
+    }
+
+    /// Whether inputs and parameters are scanned before each run.
+    pub fn checks_parameters(self) -> bool {
+        matches!(self, GuardConfig::Paranoid)
+    }
+}
+
+/// The species of non-finite value a guard found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NonFiniteKind {
+    /// A NaN.
+    Nan,
+    /// Positive infinity.
+    PosInf,
+    /// Negative infinity.
+    NegInf,
+}
+
+/// What exactly a guard observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GuardViolation {
+    /// A layer produced a non-finite activation.
+    NonFiniteActivation {
+        /// First non-finite value's species.
+        kind: NonFiniteKind,
+        /// Flat index of the first non-finite element.
+        first_index: usize,
+        /// Total non-finite elements in the activation.
+        count: usize,
+    },
+    /// A fallback-path layer produced an output whose element count does
+    /// not match the compiled plan.
+    ShapeMismatch {
+        /// Elements the plan expects the layer to produce.
+        expected_elems: usize,
+        /// Elements the layer actually produced.
+        actual_elems: usize,
+    },
+    /// A parameter tensor holds a non-finite value (paranoid mode).
+    NonFiniteWeight {
+        /// Index of the parameter within the layer's parameter list.
+        param: usize,
+        /// Flat index of the first non-finite element.
+        first_index: usize,
+    },
+    /// The input tensor holds a non-finite value (paranoid mode).
+    NonFiniteInput {
+        /// Flat index of the first non-finite element.
+        first_index: usize,
+    },
+}
+
+impl fmt::Display for GuardViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardViolation::NonFiniteActivation {
+                kind,
+                first_index,
+                count,
+            } => write!(
+                f,
+                "{count} non-finite activation(s), first {kind:?} at element {first_index}"
+            ),
+            GuardViolation::ShapeMismatch {
+                expected_elems,
+                actual_elems,
+            } => write!(
+                f,
+                "layer produced {actual_elems} elements where the plan expects {expected_elems}"
+            ),
+            GuardViolation::NonFiniteWeight { param, first_index } => write!(
+                f,
+                "parameter {param} holds a non-finite value at element {first_index}"
+            ),
+            GuardViolation::NonFiniteInput { first_index } => {
+                write!(f, "input holds a non-finite value at element {first_index}")
+            }
+        }
+    }
+}
+
+/// A tripped guard, naming the first offending layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GuardReport {
+    /// Index of the offending top-level layer (plan step).
+    pub layer_index: usize,
+    /// Its name, as recorded in the plan.
+    pub layer_name: String,
+    /// What the guard observed.
+    pub violation: GuardViolation,
+    /// The batch chunk that observed it, when the session was running
+    /// batch-parallel; `None` on the sequential path.
+    pub chunk: Option<usize>,
+}
+
+impl fmt::Display for GuardReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "guard tripped at layer {} ({}): {}",
+            self.layer_index, self.layer_name, self.violation
+        )?;
+        if let Some(c) = self.chunk {
+            write!(f, " [batch chunk {c}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The safer algorithm a step was demoted to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemotionAction {
+    /// The step's Winograd lowering was replaced with im2col+GEMM.
+    WinogradToIm2col,
+    /// The step's CSR sparse weights were densified.
+    CsrToDense,
+}
+
+/// Why a step was demoted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemotionReason {
+    /// A boundary guard tripped on the step's output.
+    GuardTripped,
+    /// The step's kernel panicked and the panic was contained.
+    KernelPanicked,
+}
+
+/// One recorded demotion: which step, what changed, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DemotionRecord {
+    /// Index of the demoted top-level layer (plan step).
+    pub layer_index: usize,
+    /// Its name, as recorded in the plan.
+    pub layer_name: String,
+    /// What the demotion changed.
+    pub action: DemotionAction,
+    /// What triggered it.
+    pub reason: DemotionReason,
+}
+
+/// What a session (or a whole stack evaluation) survived.
+///
+/// Attached to [`SessionProfile`](crate::SessionProfile) and, through
+/// the experiment runner, to every evaluated stack cell.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Boundary/paranoid guards that tripped.
+    pub guards_tripped: u64,
+    /// Kernel panics caught and contained (process kept alive).
+    pub panics_contained: u64,
+    /// Transient pool failures retried.
+    pub retries: u64,
+    /// Algorithm demotions applied, in order.
+    pub demotions: Vec<DemotionRecord>,
+}
+
+impl HealthReport {
+    /// `true` when nothing went wrong: no guards, panics, retries, or
+    /// demotions.
+    pub fn is_clean(&self) -> bool {
+        self.guards_tripped == 0
+            && self.panics_contained == 0
+            && self.retries == 0
+            && self.demotions.is_empty()
+    }
+}
+
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "health: {} guard(s) tripped, {} panic(s) contained, {} retry(ies), {} demotion(s)",
+            self.guards_tripped,
+            self.panics_contained,
+            self.retries,
+            self.demotions.len()
+        )
+    }
+}
+
+/// Scans an activation slice for non-finite values.
+///
+/// Returns `(first_index, kind, count)` of the non-finite population, or
+/// `None` when every element is finite. Single forward pass so the
+/// boundary-check guard costs one read per element.
+pub(crate) fn scan_non_finite(data: &[f32]) -> Option<(usize, NonFiniteKind, usize)> {
+    // Fast path: almost every slab is clean. An early-exit `any` defeats
+    // auto-vectorisation, so reduce fixed-size chunks branch-free (the
+    // `|=` over the finiteness test compiles to SIMD compares) and take
+    // one branch per chunk instead of one per element.
+    const CHUNK: usize = 512;
+    let mut start = data.len();
+    for (ci, chunk) in data.chunks(CHUNK).enumerate() {
+        let mut dirty = false;
+        for v in chunk {
+            dirty |= !v.is_finite();
+        }
+        if dirty {
+            start = ci * CHUNK;
+            break;
+        }
+    }
+    if start == data.len() {
+        return None;
+    }
+    // Slow path, only on a tripped guard: locate and classify the first
+    // offender and count the whole non-finite population.
+    let mut first: Option<(usize, NonFiniteKind)> = None;
+    let mut count = 0usize;
+    for (i, &v) in data[start..].iter().enumerate() {
+        if !v.is_finite() {
+            count += 1;
+            if first.is_none() {
+                let kind = if v.is_nan() {
+                    NonFiniteKind::Nan
+                } else if v > 0.0 {
+                    NonFiniteKind::PosInf
+                } else {
+                    NonFiniteKind::NegInf
+                };
+                first = Some((start + i, kind));
+            }
+        }
+    }
+    first.map(|(i, k)| (i, k, count))
+}
+
+/// Deterministic fault injection, compiled under `--features fault-inject`.
+#[cfg(feature = "fault-inject")]
+mod inject {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// One deterministic fault. `run` counts `run_into` invocations on
+    /// the session (0-based), so faults target a specific pass.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Fault {
+        /// Overwrite element 0 of layer `layer`'s output with NaN on
+        /// invocation `run`.
+        NanOutput {
+            /// Target top-level layer index.
+            layer: usize,
+            /// Target session invocation.
+            run: u64,
+        },
+        /// Overwrite element 0 of layer `layer`'s output with +∞ on
+        /// invocation `run`.
+        InfOutput {
+            /// Target top-level layer index.
+            layer: usize,
+            /// Target session invocation.
+            run: u64,
+        },
+        /// Flip bit `bit` of element `elem` of parameter `param` in
+        /// layer `layer` (applied once, when the plan is installed).
+        BitFlipWeight {
+            /// Target top-level layer index.
+            layer: usize,
+            /// Parameter index within the layer.
+            param: usize,
+            /// Flat element index within the parameter tensor.
+            elem: usize,
+            /// Bit to flip (0–31 of the f32's IEEE-754 representation).
+            bit: u8,
+        },
+        /// Panic inside layer `layer`'s kernel on invocation `run`.
+        PanicInKernel {
+            /// Target top-level layer index.
+            layer: usize,
+            /// Target session invocation.
+            run: u64,
+        },
+        /// Sleep `millis` at the start of batch chunk `chunk`'s worker
+        /// task on invocation `run`.
+        DelayWorker {
+            /// Target batch chunk index.
+            chunk: usize,
+            /// Target session invocation.
+            run: u64,
+            /// Delay in milliseconds.
+            millis: u64,
+        },
+        /// Panic at the start of batch chunk `chunk`'s worker task on
+        /// invocation `run` — outside the per-step containment, so it
+        /// exercises the pool-level catch and the session's retry path.
+        CrashWorker {
+            /// Target batch chunk index.
+            chunk: usize,
+            /// Target session invocation.
+            run: u64,
+        },
+    }
+
+    #[derive(Debug)]
+    struct Slot {
+        fault: Fault,
+        fired: AtomicBool,
+    }
+
+    /// An ordered set of one-shot faults armed on a session via
+    /// [`InferenceSession::inject_faults`](crate::InferenceSession::inject_faults).
+    ///
+    /// Every fault fires at most once: after the engine demotes a step
+    /// and re-runs, the retry executes clean, which is exactly the
+    /// recovery the harness exists to prove.
+    #[derive(Debug, Default)]
+    pub struct FaultPlan {
+        slots: Vec<Slot>,
+    }
+
+    impl FaultPlan {
+        /// An empty plan.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        fn with(mut self, fault: Fault) -> Self {
+            self.slots.push(Slot {
+                fault,
+                fired: AtomicBool::new(false),
+            });
+            self
+        }
+
+        /// Adds a [`Fault::NanOutput`].
+        pub fn nan_output(self, layer: usize, run: u64) -> Self {
+            self.with(Fault::NanOutput { layer, run })
+        }
+
+        /// Adds a [`Fault::InfOutput`].
+        pub fn inf_output(self, layer: usize, run: u64) -> Self {
+            self.with(Fault::InfOutput { layer, run })
+        }
+
+        /// Adds a [`Fault::BitFlipWeight`].
+        pub fn bit_flip_weight(self, layer: usize, param: usize, elem: usize, bit: u8) -> Self {
+            assert!(bit < 32, "f32 has 32 bits");
+            self.with(Fault::BitFlipWeight {
+                layer,
+                param,
+                elem,
+                bit,
+            })
+        }
+
+        /// Adds a [`Fault::PanicInKernel`].
+        pub fn panic_in_kernel(self, layer: usize, run: u64) -> Self {
+            self.with(Fault::PanicInKernel { layer, run })
+        }
+
+        /// Adds a [`Fault::DelayWorker`].
+        pub fn delay_worker(self, chunk: usize, run: u64, millis: u64) -> Self {
+            self.with(Fault::DelayWorker { chunk, run, millis })
+        }
+
+        /// Adds a [`Fault::CrashWorker`].
+        pub fn crash_worker(self, chunk: usize, run: u64) -> Self {
+            self.with(Fault::CrashWorker { chunk, run })
+        }
+
+        /// Fires (at most once) the first un-fired fault matching `pred`.
+        fn fire(&self, pred: impl Fn(&Fault) -> bool) -> Option<Fault> {
+            for slot in &self.slots {
+                if pred(&slot.fault) && !slot.fired.swap(true, Ordering::AcqRel) {
+                    return Some(slot.fault);
+                }
+            }
+            None
+        }
+
+        /// Applies every `BitFlipWeight` fault to the network, then
+        /// refreshes CSR snapshots so sparse kernels see the flip too.
+        pub(crate) fn apply_weight_faults(&self, net: &mut crate::network::Network) {
+            use crate::layer::WeightFormat;
+            let mut flipped = false;
+            for slot in &self.slots {
+                let Fault::BitFlipWeight {
+                    layer,
+                    param,
+                    elem,
+                    bit,
+                } = slot.fault
+                else {
+                    continue;
+                };
+                if slot.fired.swap(true, Ordering::AcqRel) {
+                    continue;
+                }
+                let layers = net.layers_mut();
+                assert!(layer < layers.len(), "bit-flip target layer out of range");
+                let mut params = layers[layer].params_mut();
+                assert!(param < params.len(), "bit-flip target param out of range");
+                let data = params[param].value.data_mut();
+                assert!(elem < data.len(), "bit-flip target element out of range");
+                data[elem] = f32::from_bits(data[elem].to_bits() ^ (1u32 << bit));
+                flipped = true;
+            }
+            if flipped {
+                // `set_format(Csr)` re-snapshots the dense master, so the
+                // flipped bit reaches the sparse kernels as well.
+                for layer in net.layers_mut() {
+                    layer.visit_mut(&mut |l| {
+                        if let Some(c) = l.as_any_mut().downcast_mut::<crate::Conv2d>() {
+                            if c.format() == WeightFormat::Csr {
+                                c.set_format(WeightFormat::Csr);
+                            }
+                        } else if let Some(fc) = l.as_any_mut().downcast_mut::<crate::Linear>() {
+                            if fc.format() == WeightFormat::Csr {
+                                fc.set_format(WeightFormat::Csr);
+                            }
+                        }
+                    });
+                }
+            }
+        }
+
+        /// Kernel-entry hook: panics if a `PanicInKernel` fault targets
+        /// this layer and invocation.
+        pub(crate) fn kernel_entry(&self, layer: usize, run: u64) {
+            if self
+                .fire(|f| matches!(f, Fault::PanicInKernel { layer: l, run: r } if *l == layer && *r == run))
+                .is_some()
+            {
+                panic!("fault-inject: kernel panic in layer {layer} (run {run})");
+            }
+        }
+
+        /// Output hook: corrupts element 0 of the produced activation
+        /// (chunk 0 only, so parallel runs corrupt exactly one chunk).
+        pub(crate) fn corrupt_output(&self, layer: usize, run: u64, chunk: usize, out: &mut [f32]) {
+            if chunk != 0 || out.is_empty() {
+                return;
+            }
+            let hit = self.fire(|f| {
+                matches!(
+                    f,
+                    Fault::NanOutput { layer: l, run: r } | Fault::InfOutput { layer: l, run: r }
+                        if *l == layer && *r == run
+                )
+            });
+            match hit {
+                Some(Fault::NanOutput { .. }) => out[0] = f32::NAN,
+                Some(Fault::InfOutput { .. }) => out[0] = f32::INFINITY,
+                _ => {}
+            }
+        }
+
+        /// Worker-entry hook: applies `DelayWorker` / `CrashWorker`
+        /// faults targeting this chunk and invocation.
+        pub(crate) fn worker_entry(&self, chunk: usize, run: u64) {
+            if let Some(Fault::DelayWorker { millis, .. }) = self.fire(
+                |f| matches!(f, Fault::DelayWorker { chunk: c, run: r, .. } if *c == chunk && *r == run),
+            ) {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            if self
+                .fire(|f| matches!(f, Fault::CrashWorker { chunk: c, run: r } if *c == chunk && *r == run))
+                .is_some()
+            {
+                panic!("fault-inject: worker crash on chunk {chunk} (run {run})");
+            }
+        }
+    }
+}
+
+/// Inert stand-in compiled when `fault-inject` is off: every hook is an
+/// empty `#[inline(always)]` body, so the default engine carries no
+/// injection code and no runtime cost.
+#[cfg(not(feature = "fault-inject"))]
+mod inject {
+    /// Zero-sized placeholder for the fault injector; the real type
+    /// exists only under `--features fault-inject`. Braced (not a unit
+    /// struct) so the engine constructs it via `Default` under both
+    /// cfgs.
+    #[derive(Debug, Default)]
+    pub struct FaultPlan {}
+
+    impl FaultPlan {
+        // Only `inject_faults` (feature-gated) calls this; the stand-in
+        // keeps the signature so the engine compiles identically.
+        #[allow(dead_code)]
+        #[inline(always)]
+        pub(crate) fn apply_weight_faults(&self, _net: &mut crate::network::Network) {}
+
+        #[inline(always)]
+        pub(crate) fn kernel_entry(&self, _layer: usize, _run: u64) {}
+
+        #[inline(always)]
+        pub(crate) fn corrupt_output(
+            &self,
+            _layer: usize,
+            _run: u64,
+            _chunk: usize,
+            _out: &mut [f32],
+        ) {
+        }
+
+        #[inline(always)]
+        pub(crate) fn worker_entry(&self, _chunk: usize, _run: u64) {}
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub use inject::{Fault, FaultPlan};
+
+#[cfg(not(feature = "fault-inject"))]
+pub use inject::FaultPlan;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_finds_first_offender_and_counts() {
+        let data = [1.0, f32::NEG_INFINITY, f32::NAN, 2.0];
+        let (idx, kind, count) = scan_non_finite(&data).expect("two non-finite values");
+        assert_eq!(idx, 1);
+        assert_eq!(kind, NonFiniteKind::NegInf);
+        assert_eq!(count, 2);
+        assert_eq!(scan_non_finite(&[0.0, -5.0, f32::MAX]), None);
+        let (idx, kind, _) = scan_non_finite(&[f32::INFINITY]).expect("inf");
+        assert_eq!((idx, kind), (0, NonFiniteKind::PosInf));
+    }
+
+    #[test]
+    fn guard_config_levels_nest() {
+        assert!(!GuardConfig::Off.checks_boundaries());
+        assert!(GuardConfig::BoundaryCheck.checks_boundaries());
+        assert!(!GuardConfig::BoundaryCheck.checks_parameters());
+        assert!(GuardConfig::Paranoid.checks_boundaries());
+        assert!(GuardConfig::Paranoid.checks_parameters());
+        assert_eq!(GuardConfig::default(), GuardConfig::Off);
+    }
+
+    #[test]
+    fn health_report_clean_and_display() {
+        let mut h = HealthReport::default();
+        assert!(h.is_clean());
+        h.guards_tripped = 1;
+        h.demotions.push(DemotionRecord {
+            layer_index: 3,
+            layer_name: "conv3".to_string(),
+            action: DemotionAction::WinogradToIm2col,
+            reason: DemotionReason::GuardTripped,
+        });
+        assert!(!h.is_clean());
+        let s = h.to_string();
+        assert!(s.contains("1 guard"));
+        assert!(s.contains("1 demotion"));
+    }
+
+    #[test]
+    fn guard_report_display_names_layer() {
+        let r = GuardReport {
+            layer_index: 4,
+            layer_name: "conv2d(64->128)".to_string(),
+            violation: GuardViolation::NonFiniteActivation {
+                kind: NonFiniteKind::Nan,
+                first_index: 17,
+                count: 2,
+            },
+            chunk: Some(1),
+        };
+        let s = r.to_string();
+        assert!(s.contains("layer 4"));
+        assert!(s.contains("conv2d(64->128)"));
+        assert!(s.contains("element 17"));
+        assert!(s.contains("chunk 1"));
+    }
+
+    /// The CI satellite: the default build must not compile injection
+    /// code in. This test is itself compiled only without the feature,
+    /// and asserts the cfg really is off.
+    #[cfg(not(feature = "fault-inject"))]
+    #[test]
+    fn default_build_excludes_fault_injection() {
+        // Compiling this test at all proves the cfg is off; the
+        // stand-in FaultPlan must be a zero-sized type: no slots, no
+        // cost. (The real injector holds fault slots and is never ZST.)
+        assert_eq!(std::mem::size_of::<FaultPlan>(), 0);
+    }
+}

@@ -47,6 +47,7 @@ pub mod descriptor;
 pub mod engine;
 pub mod error;
 pub mod fold;
+pub mod guard;
 pub mod layer;
 pub mod linear;
 pub mod memory;
@@ -65,6 +66,12 @@ pub use descriptor::{LayerDescriptor, LayerKind};
 pub use engine::{InferencePlan, InferenceSession, SessionProfile};
 pub use error::Error;
 pub use fold::{fold_batchnorm, strip_identity_batchnorms};
+#[cfg(feature = "fault-inject")]
+pub use guard::Fault;
+pub use guard::{
+    DemotionAction, DemotionReason, DemotionRecord, FaultPlan, GuardConfig, GuardReport,
+    GuardViolation, HealthReport, NonFiniteKind,
+};
 pub use layer::{ConvAlgorithm, ExecConfig, ExecConfigBuilder, Layer, Param, Phase, WeightFormat};
 pub use linear::Linear;
 pub use memory::{network_memory, MemoryBreakdown};

@@ -25,6 +25,13 @@ pub enum LoadParamsError {
     BadMagic,
     /// The blob ended mid-structure.
     Truncated,
+    /// A structural header holds an impossible value (zero/oversized
+    /// rank, a dimension product overflowing `usize`, or a payload
+    /// length that cannot be addressed).
+    CorruptHeader {
+        /// Byte offset of the offending header field.
+        offset: usize,
+    },
     /// Tensor count differs from the destination network's.
     ParamCountMismatch {
         /// Tensors in the blob.
@@ -44,6 +51,9 @@ impl fmt::Display for LoadParamsError {
         match self {
             LoadParamsError::BadMagic => f.write_str("not a cnn-stack parameter blob"),
             LoadParamsError::Truncated => f.write_str("parameter blob is truncated"),
+            LoadParamsError::CorruptHeader { offset } => {
+                write!(f, "corrupt structural header at byte offset {offset}")
+            }
             LoadParamsError::ParamCountMismatch { stored, expected } => write!(
                 f,
                 "blob holds {stored} tensors but the network has {expected} parameters"
@@ -78,34 +88,56 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], LoadParamsError> {
-        if self.pos + n > self.bytes.len() {
+        // Checked: a corrupt length header can make `pos + n` overflow,
+        // which must read as truncation, not a panic.
+        let end = self.pos.checked_add(n).ok_or(LoadParamsError::Truncated)?;
+        if end > self.bytes.len() {
             return Err(LoadParamsError::Truncated);
         }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
     fn read_usize(&mut self) -> Result<usize, LoadParamsError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")) as usize)
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| LoadParamsError::Truncated)?;
+        Ok(u64::from_le_bytes(b) as usize)
     }
 
     fn read_tensor(&mut self) -> Result<cnn_stack_tensor::Tensor, LoadParamsError> {
+        let rank_offset = self.pos;
         let rank = self.read_usize()?;
         if rank == 0 || rank > 8 {
-            return Err(LoadParamsError::Truncated);
+            return Err(LoadParamsError::CorruptHeader {
+                offset: rank_offset,
+            });
         }
+        let dims_offset = self.pos;
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
             dims.push(self.read_usize()?);
         }
-        let len: usize = dims.iter().product();
-        let raw = self.take(len * 4)?;
-        let data: Vec<f32> = raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect();
+        // A corrupted dimension header can claim astronomically large
+        // extents; checked arithmetic turns those into errors instead of
+        // multiply-overflow panics (or absurd allocations).
+        let len = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or(LoadParamsError::CorruptHeader {
+                offset: dims_offset,
+            })?;
+        let byte_len = len.checked_mul(4).ok_or(LoadParamsError::CorruptHeader {
+            offset: dims_offset,
+        })?;
+        let raw = self.take(byte_len)?;
+        let mut data = Vec::with_capacity(len);
+        for c in raw.chunks_exact(4) {
+            let b: [u8; 4] = c.try_into().map_err(|_| LoadParamsError::Truncated)?;
+            data.push(f32::from_le_bytes(b));
+        }
         Ok(cnn_stack_tensor::Tensor::from_vec(dims, data))
     }
 }
@@ -263,6 +295,66 @@ mod tests {
             load_params(&mut dst, &blob[..blob.len() / 2]),
             Err(LoadParamsError::Truncated)
         );
+        // Every possible truncation point errors cleanly — none panics
+        // or is accepted (a shorter prefix can never be a valid blob).
+        for cut in 0..blob.len() {
+            assert!(
+                load_params(&mut dst, &blob[..cut]).is_err(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_length_blob_rejected() {
+        let mut dst = net(11);
+        assert_eq!(load_params(&mut dst, b""), Err(LoadParamsError::Truncated));
+    }
+
+    #[test]
+    fn corrupted_length_header_rejected() {
+        let mut src = net(12);
+        let blob = save_params(&mut src);
+        let mut dst = net(13);
+
+        // The first tensor's rank field sits right after the magic (8
+        // bytes) and the tensor count (8 bytes). Overwrite it with an
+        // impossible rank: must error, not panic.
+        let mut bad_rank = blob.clone();
+        bad_rank[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            load_params(&mut dst, &bad_rank),
+            Err(LoadParamsError::CorruptHeader { offset: 16 })
+        );
+        let mut zero_rank = blob.clone();
+        zero_rank[16..24].copy_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            load_params(&mut dst, &zero_rank),
+            Err(LoadParamsError::CorruptHeader { offset: 16 })
+        );
+
+        // Corrupt the first dimension instead: a huge extent must be
+        // rejected by the checked size computation (`4 * 2^62` overflows
+        // usize) rather than overflowing or trying to allocate.
+        let mut bad_dim = blob.clone();
+        bad_dim[24..32].copy_from_slice(&(1u64 << 62).to_le_bytes());
+        assert_eq!(
+            load_params(&mut dst, &bad_dim),
+            Err(LoadParamsError::CorruptHeader { offset: 24 })
+        );
+
+        // A merely-too-large (but non-overflowing) dimension reads as
+        // truncation: the payload it promises is not there.
+        let mut long_dim = blob.clone();
+        long_dim[24..32].copy_from_slice(&(1u64 << 20).to_le_bytes());
+        assert_eq!(
+            load_params(&mut dst, &long_dim),
+            Err(LoadParamsError::Truncated)
+        );
+
+        // The untouched original still loads, so the corruptions above
+        // are what tripped the checks.
+        load_params(&mut dst, &blob).expect("pristine blob loads");
     }
 
     #[test]

@@ -29,5 +29,5 @@
 pub mod pool;
 pub mod schedule;
 
-pub use pool::ThreadPool;
+pub use pool::{panic_message, PoolError, ThreadPool};
 pub use schedule::{parallel_for, parallel_for_stats, RegionStats, Schedule};

@@ -1,11 +1,88 @@
-//! A persistent worker thread pool.
+//! A persistent worker thread pool with panic containment.
 
 use crossbeam::channel::{unbounded, Sender};
 use crossbeam::sync::WaitGroup;
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a pool operation could not complete.
+///
+/// A panicking task never kills a worker thread (bodies run under
+/// [`std::panic::catch_unwind`]); instead the panic is recorded and
+/// surfaced as [`PoolError::WorkerPanicked`] from the pool operation that
+/// observes it — `scope` reports panics from its own batch, and panics
+/// from fire-and-forget `execute` tasks surface on the *next* pool
+/// operation. The pool itself is never poisoned: after the error is
+/// returned the pool accepts new work.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// The submission channel is closed: the pool is shutting down.
+    ShuttingDown,
+    /// `count` tasks panicked since the last pool operation; `first`
+    /// carries the first panic's payload rendered as a string.
+    WorkerPanicked { count: usize, first: String },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::ShuttingDown => write!(f, "thread pool is shutting down"),
+            PoolError::WorkerPanicked { count, first } => {
+                write!(f, "{count} pool task(s) panicked; first payload: {first}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Renders a panic payload (`Box<dyn Any + Send>`) as a string.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Shared record of panics caught on worker threads.
+#[derive(Default)]
+struct PanicSink {
+    count: AtomicUsize,
+    first: Mutex<Option<String>>,
+}
+
+impl PanicSink {
+    fn record(&self, payload: Box<dyn std::any::Any + Send>) {
+        let msg = panic_message(payload);
+        {
+            let mut slot = self.first.lock();
+            if slot.is_none() {
+                *slot = Some(msg);
+            }
+        }
+        // Incremented after the payload is stored so a drain that sees
+        // count > 0 also sees a payload.
+        self.count.fetch_add(1, Ordering::Release);
+    }
+
+    /// Takes all recorded panics, resetting the sink.
+    fn drain(&self) -> Result<(), PoolError> {
+        let count = self.count.swap(0, Ordering::Acquire);
+        if count == 0 {
+            return Ok(());
+        }
+        let first = self.first.lock().take().unwrap_or_default();
+        Err(PoolError::WorkerPanicked { count, first })
+    }
+}
 
 /// A fixed-size pool of worker threads executing `'static` tasks.
 ///
@@ -15,6 +92,9 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 /// and loops scheduling", §IV-D). `ThreadPool` is the amortised
 /// alternative used by the experiment runner for coarse-grained jobs such
 /// as running independent experiment cells concurrently.
+///
+/// Task bodies run under `catch_unwind`: a panicking task cannot kill a
+/// worker or poison the pool. See [`PoolError`] for how panics surface.
 ///
 /// # Example
 ///
@@ -29,15 +109,17 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 ///     let c = Arc::clone(&counter);
 ///     pool.execute(move || {
 ///         c.fetch_add(1, Ordering::Relaxed);
-///     });
+///     })
+///     .expect("pool is live");
 /// }
-/// pool.wait();
+/// pool.wait().expect("no task panicked");
 /// assert_eq!(counter.load(Ordering::Relaxed), 10);
 /// ```
 pub struct ThreadPool {
     sender: Option<Sender<Task>>,
     workers: Vec<JoinHandle<()>>,
     pending: Mutex<Option<WaitGroup>>,
+    panics: Arc<PanicSink>,
 }
 
 impl ThreadPool {
@@ -66,6 +148,7 @@ impl ThreadPool {
             sender: Some(sender),
             workers,
             pending: Mutex::new(Some(WaitGroup::new())),
+            panics: Arc::new(PanicSink::default()),
         }
     }
 
@@ -74,22 +157,38 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// Wraps a task so its panics are caught and recorded, and `guard`
+    /// is released even when the body unwinds (so waiters cannot hang).
+    fn contain(&self, task: impl FnOnce() + Send + 'static, guard: WaitGroup) -> Task {
+        let sink = Arc::clone(&self.panics);
+        Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                sink.record(payload);
+            }
+            drop(guard);
+        })
+    }
+
     /// Submits a task for execution on some worker.
-    pub fn execute(&self, task: impl FnOnce() + Send + 'static) {
+    ///
+    /// Returns [`PoolError::WorkerPanicked`] if previously submitted
+    /// tasks panicked since the last pool operation (the new task is
+    /// *not* submitted in that case), or [`PoolError::ShuttingDown`] if
+    /// the pool is tearing down.
+    pub fn execute(&self, task: impl FnOnce() + Send + 'static) -> Result<(), PoolError> {
+        self.panics.drain()?;
         let guard = self
             .pending
             .lock()
             .as_ref()
-            .expect("pool is shutting down")
+            .ok_or(PoolError::ShuttingDown)?
             .clone();
+        let task = self.contain(task, guard);
         self.sender
             .as_ref()
-            .expect("pool is shutting down")
-            .send(Box::new(move || {
-                task();
-                drop(guard);
-            }))
-            .expect("worker channel closed");
+            .ok_or(PoolError::ShuttingDown)?
+            .send(task)
+            .map_err(|_| PoolError::ShuttingDown)
     }
 
     /// Runs a batch of borrowing tasks to completion before returning.
@@ -99,6 +198,12 @@ impl ThreadPool {
     /// return until every task has finished, so the borrows cannot
     /// outlive their referents. This is what the inference engine uses to
     /// run batch chunks against per-chunk arena slices without cloning.
+    ///
+    /// If any task in the batch panics, the panic is contained and the
+    /// call returns [`PoolError::WorkerPanicked`] *after* every task has
+    /// finished — the pool stays usable and subsequent `scope` calls
+    /// work. Panics left over from earlier `execute` tasks also surface
+    /// here, before the batch is submitted.
     ///
     /// # Example
     ///
@@ -111,46 +216,61 @@ impl ThreadPool {
     /// pool.scope(vec![
     ///     Box::new(|| a.fill(1)),
     ///     Box::new(|| b.fill(2)),
-    /// ]);
+    /// ])
+    /// .expect("no task panicked");
     /// assert_eq!(halves[0], [1, 1, 1, 1]);
     /// ```
-    pub fn scope<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+    pub fn scope<'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+    ) -> Result<(), PoolError> {
+        self.panics.drain()?;
         let wg = WaitGroup::new();
+        let mut submit_failed = false;
         for task in tasks {
             let guard = wg.clone();
             // SAFETY: the transmute only erases the `'env` lifetime. Every
-            // task's WaitGroup guard is dropped when the task finishes, and
-            // `wg.wait()` below blocks until all guards are gone, so no
-            // task (or its borrows) outlives this stack frame.
+            // task's WaitGroup guard is dropped when the task finishes
+            // (even on panic, via `contain`), and `wg.wait()` below blocks
+            // until all guards are gone, so no task (or its borrows)
+            // outlives this stack frame. The wait happens on every path
+            // out of this function, including submission failure.
             let task: Box<dyn FnOnce() + Send + 'static> =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, _>(task) };
-            self.sender
-                .as_ref()
-                .expect("pool is shutting down")
-                .send(Box::new(move || {
-                    task();
-                    drop(guard);
-                }))
-                .expect("worker channel closed");
+            let task = self.contain(task, guard);
+            match self.sender.as_ref() {
+                Some(sender) if sender.send(task).is_ok() => {}
+                _ => {
+                    submit_failed = true;
+                    break;
+                }
+            }
         }
         wg.wait();
+        if submit_failed {
+            return Err(PoolError::ShuttingDown);
+        }
+        self.panics.drain()
     }
 
     /// Blocks until every task submitted so far has finished.
-    pub fn wait(&self) {
+    ///
+    /// Returns [`PoolError::WorkerPanicked`] if any of them panicked.
+    pub fn wait(&self) -> Result<(), PoolError> {
         let mut slot = self.pending.lock();
-        let wg = slot.take().expect("pool is shutting down");
+        let wg = slot.take().ok_or(PoolError::ShuttingDown)?;
         *slot = Some(WaitGroup::new());
         drop(slot);
         wg.wait();
+        self.panics.drain()
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         // Close the channel so workers drain and exit, then join them.
-        // Destructors must not fail: join errors (worker panics) are
-        // ignored here — the panic has already been reported on stderr.
+        // Task panics are caught inside the task wrapper, so workers only
+        // die if the runtime itself is unwinding; ignore those joins.
         self.sender.take();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -178,9 +298,10 @@ mod tests {
             let c = Arc::clone(&counter);
             pool.execute(move || {
                 c.fetch_add(1, Ordering::Relaxed);
-            });
+            })
+            .expect("pool is live");
         }
-        pool.wait();
+        pool.wait().expect("no panics");
         assert_eq!(counter.load(Ordering::Relaxed), 100);
     }
 
@@ -193,9 +314,10 @@ mod tests {
                 let c = Arc::clone(&counter);
                 pool.execute(move || {
                     c.fetch_add(1, Ordering::Relaxed);
-                });
+                })
+                .expect("pool is live");
             }
-            pool.wait();
+            pool.wait().expect("no panics");
             assert_eq!(counter.load(Ordering::Relaxed), round * 10);
         }
     }
@@ -203,8 +325,8 @@ mod tests {
     #[test]
     fn wait_with_no_tasks_returns() {
         let pool = ThreadPool::new(2);
-        pool.wait();
-        pool.wait();
+        pool.wait().expect("no panics");
+        pool.wait().expect("no panics");
     }
 
     #[test]
@@ -216,9 +338,10 @@ mod tests {
                 let c = Arc::clone(&counter);
                 pool.execute(move || {
                     c.fetch_add(1, Ordering::Relaxed);
-                });
+                })
+                .expect("pool is live");
             }
-            pool.wait();
+            pool.wait().expect("no panics");
         }
         assert_eq!(counter.load(Ordering::Relaxed), 20);
     }
@@ -236,7 +359,7 @@ mod tests {
                     }
                 }));
             }
-            pool.scope(tasks);
+            pool.scope(tasks).expect("no panics");
         }
         for (i, &v) in data.iter().enumerate() {
             assert_eq!(v, i / 16 + 1);
@@ -246,7 +369,85 @@ mod tests {
     #[test]
     fn scope_returns_with_no_tasks() {
         let pool = ThreadPool::new(2);
-        pool.scope(Vec::new());
+        pool.scope(Vec::new()).expect("no panics");
+    }
+
+    /// The satellite regression test: a panicking closure inside `scope`
+    /// neither hangs nor aborts the process; the panic is reported as an
+    /// error; and the same pool keeps working afterwards.
+    #[test]
+    fn scope_survives_panicking_task() {
+        let pool = ThreadPool::new(4);
+        let mut data = [0u32; 3];
+        {
+            let [a, b, c] = &mut data;
+            let err = pool
+                .scope(vec![
+                    Box::new(|| *a = 1),
+                    Box::new(|| panic!("injected task failure")),
+                    Box::new(|| *c = 3),
+                ])
+                .expect_err("the panicking task must surface as an error");
+            match err {
+                PoolError::WorkerPanicked { count, first } => {
+                    assert_eq!(count, 1);
+                    assert!(first.contains("injected task failure"), "payload: {first}");
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+            let _ = b;
+        }
+        assert_eq!(data[0], 1, "non-panicking siblings still ran");
+        assert_eq!(data[2], 3, "non-panicking siblings still ran");
+
+        // No poisoned state: the pool accepts and completes new batches.
+        let mut again = [0u32; 2];
+        {
+            let [x, y] = &mut again;
+            pool.scope(vec![Box::new(|| *x = 7), Box::new(|| *y = 8)])
+                .expect("pool recovered after a panicking task");
+        }
+        assert_eq!(again, [7, 8]);
+    }
+
+    /// Panics from fire-and-forget `execute` tasks surface on the next
+    /// pool operation instead of being swallowed by the destructor.
+    #[test]
+    fn execute_panic_surfaces_on_next_operation() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| panic!("background failure"))
+            .expect("submission itself succeeds");
+        let err = pool.wait().expect_err("the panic must be reported");
+        assert!(matches!(err, PoolError::WorkerPanicked { count: 1, .. }));
+        // Drained: the next operation starts clean.
+        pool.wait().expect("sink was drained by the previous wait");
+    }
+
+    /// Multiple panics aggregate into a single error with a count.
+    #[test]
+    fn multiple_panics_are_counted() {
+        let pool = ThreadPool::new(4);
+        let err = pool
+            .scope(vec![
+                Box::new(|| panic!("first")),
+                Box::new(|| panic!("second")),
+                Box::new(|| panic!("third")),
+            ])
+            .expect_err("panics must be reported");
+        match err {
+            PoolError::WorkerPanicked { count, .. } => assert_eq!(count, 3),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    /// Dropping a pool with an unobserved panic must not abort: the
+    /// worker threads survived the panic, so the joins succeed.
+    #[test]
+    fn drop_with_unobserved_panic_is_quiet() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| panic!("never observed"))
+            .expect("submission succeeds");
+        drop(pool);
     }
 
     #[test]

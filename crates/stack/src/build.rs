@@ -5,7 +5,7 @@ use crate::config::{CompressionChoice, StackConfig};
 use cnn_stack_compress::{magnitude, ttq};
 use cnn_stack_models::Model;
 use cnn_stack_nn::network::set_network_format;
-use cnn_stack_nn::{Conv2d, ResidualBlock};
+use cnn_stack_nn::{Conv2d, Error, ResidualBlock};
 
 /// Builds the configured model and applies the configured compression
 /// for real: weight pruning installs magnitude masks, channel pruning
@@ -17,20 +17,32 @@ use cnn_stack_nn::{Conv2d, ResidualBlock};
 /// models; smaller values build proportionally thinner networks for fast
 /// functional runs).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if an operating point is out of range (e.g. sparsity ≥ 100 %).
-pub fn materialise(cfg: &StackConfig, width: f64) -> Model {
+/// Returns [`Error::InvalidConfig`] if an operating point is out of
+/// range (e.g. weight sparsity outside `[0, 100)` or a channel
+/// compression target outside `[0, 100)`).
+pub fn try_materialise(cfg: &StackConfig, width: f64) -> Result<Model, Error> {
     let mut model = cfg.model.build_width(10, width);
     match cfg.compression {
         CompressionChoice::Plain => {}
         CompressionChoice::WeightPruning { sparsity_pct } => {
+            if !(0.0..100.0).contains(&sparsity_pct) {
+                return Err(Error::InvalidConfig(format!(
+                    "weight-pruning sparsity {sparsity_pct}% must be in [0, 100)"
+                )));
+            }
             magnitude::prune_network(&mut model.network, sparsity_pct / 100.0);
         }
         CompressionChoice::ChannelPruning { compression_pct } => {
-            channel_prune_to(&mut model, compression_pct / 100.0);
+            try_channel_prune_to(&mut model, compression_pct / 100.0)?;
         }
         CompressionChoice::TernaryQuantisation { threshold } => {
+            if !threshold.is_finite() || threshold < 0.0 {
+                return Err(Error::InvalidConfig(format!(
+                    "TTQ threshold {threshold} must be finite and non-negative"
+                )));
+            }
             // Trained TTQ's sparsity is a property of the fine-tuned
             // weight distribution, not of the raw threshold on untrained
             // weights; hit the calibrated sparsity for this model and
@@ -43,7 +55,17 @@ pub fn materialise(cfg: &StackConfig, width: f64) -> Model {
         }
     }
     set_network_format(&mut model.network, cfg.format);
-    model
+    Ok(model)
+}
+
+/// Builds the configured model (panicking shim over
+/// [`try_materialise`]).
+///
+/// # Panics
+///
+/// Panics if an operating point is out of range (e.g. sparsity ≥ 100 %).
+pub fn materialise(cfg: &StackConfig, width: f64) -> Model {
+    try_materialise(cfg, width).expect("stack configuration is valid")
 }
 
 /// Structurally prunes channels (lowest weight-magnitude saliency first,
@@ -51,12 +73,17 @@ pub fn materialise(cfg: &StackConfig, width: f64) -> Model {
 /// parameter compression target is reached or nothing more can be
 /// removed.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `target` is not in `[0, 1)`.
+/// Returns [`Error::InvalidConfig`] if `target` is not in `[0, 1)`, or
+/// an error from the pruning plan if it does not match the network.
 #[allow(clippy::needless_range_loop)]
-pub fn channel_prune_to(model: &mut Model, target: f64) {
-    assert!((0.0..1.0).contains(&target), "target must be in [0, 1)");
+pub fn try_channel_prune_to(model: &mut Model, target: f64) -> Result<(), Error> {
+    if !(0.0..1.0).contains(&target) {
+        return Err(Error::InvalidConfig(format!(
+            "channel-pruning target {target} must be in [0, 1)"
+        )));
+    }
     let shape = [1usize, 3, 32, 32];
     let original: usize = model
         .network
@@ -68,9 +95,10 @@ pub fn channel_prune_to(model: &mut Model, target: f64) {
     // one row of group g's producer and one input-channel slice of its
     // consumer; in the chain-structured plans the consumer is group
     // g+1's producer, so only norms[g] and norms[g+1] change.
-    let mut norms: Vec<Vec<f64>> = (0..model.plan.group_count())
-        .map(|g| group_channel_norms(model, g))
-        .collect();
+    let mut norms: Vec<Vec<f64>> = Vec::with_capacity(model.plan.group_count());
+    for g in 0..model.plan.group_count() {
+        norms.push(group_channel_norms(model, g)?);
+    }
     'outer: loop {
         let now: usize = model
             .network
@@ -85,15 +113,15 @@ pub fn channel_prune_to(model: &mut Model, target: f64) {
         // Recomputing descriptors per channel is quadratic; prune a small
         // batch between recomputes (slight overshoot is fine — the
         // paper's compression rates are themselves one-decimal figures).
-        let batch = ((remaining * model.plan.total_channels(&model.network) as f64 / 2.0).ceil()
-            as usize)
+        let batch = ((remaining * model.plan.try_total_channels(&model.network)? as f64 / 2.0)
+            .ceil() as usize)
             .clamp(1, 64);
         for _ in 0..batch {
             // Pick the (group, channel) with the smallest producer-filter
             // L2 norm among groups that can still shrink.
             let mut best: Option<(usize, usize, f64)> = None;
             for g in 0..model.plan.group_count() {
-                if !model.plan.can_prune(&model.network, g) {
+                if !model.plan.try_can_prune(&model.network, g)? {
                     continue;
                 }
                 for (c, &n) in norms[g].iter().enumerate() {
@@ -105,39 +133,54 @@ pub fn channel_prune_to(model: &mut Model, target: f64) {
             let Some((g, c, _)) = best else {
                 break 'outer; // nothing prunable remains
             };
-            model.plan.prune(&mut model.network, g, c);
+            model.plan.try_prune(&mut model.network, g, c)?;
             norms[g].remove(c);
             if g + 1 < norms.len() {
-                norms[g + 1] = group_channel_norms(model, g + 1);
+                norms[g + 1] = group_channel_norms(model, g + 1)?;
             }
         }
     }
+    Ok(())
+}
+
+/// Structurally prunes channels to a parameter compression target
+/// (panicking shim over [`try_channel_prune_to`]).
+///
+/// # Panics
+///
+/// Panics if `target` is not in `[0, 1)`.
+pub fn channel_prune_to(model: &mut Model, target: f64) {
+    try_channel_prune_to(model, target).expect("channel-pruning target is valid");
 }
 
 /// L2 norms of each producer-filter row in a prune group.
-fn group_channel_norms(model: &mut Model, g: usize) -> Vec<f64> {
+fn group_channel_norms(model: &mut Model, g: usize) -> Result<Vec<f64>, Error> {
     use cnn_stack_models::PruneGroup;
     let group = model.plan.groups()[g];
-    match group {
+    Ok(match group {
         PruneGroup::ConvToConv { conv, .. }
         | PruneGroup::ConvToDepthwise { conv, .. }
         | PruneGroup::ConvToLinear { conv, .. } => {
-            let layer = &model.network.layers()[conv];
-            let conv = layer
+            let conv = model
+                .network
+                .layer(conv)?
                 .as_any()
                 .downcast_ref::<Conv2d>()
-                .expect("plan points at a Conv2d");
+                .ok_or_else(|| Error::InvalidConfig(format!("layer {conv} is not a Conv2d")))?;
             conv_row_norms(conv)
         }
         PruneGroup::ResidualInner { block } => {
-            let layer = &model.network.layers()[block];
-            let block = layer
+            let block = model
+                .network
+                .layer(block)?
                 .as_any()
                 .downcast_ref::<ResidualBlock>()
-                .expect("plan points at a ResidualBlock");
+                .ok_or_else(|| {
+                    Error::InvalidConfig(format!("layer {block} is not a ResidualBlock"))
+                })?;
             conv_row_norms(block.conv1())
         }
-    }
+    })
 }
 
 fn conv_row_norms(conv: &Conv2d) -> Vec<f64> {
@@ -247,9 +290,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "target must be in")]
+    #[should_panic(expected = "must be in [0, 1)")]
     fn bad_target_rejected() {
         let mut model = ModelKind::Vgg16.build_width(10, 0.1);
         channel_prune_to(&mut model, 1.0);
+    }
+
+    #[test]
+    fn try_apis_reject_bad_operating_points() {
+        let mut model = ModelKind::Vgg16.build_width(10, 0.1);
+        assert!(matches!(
+            try_channel_prune_to(&mut model, 1.0),
+            Err(cnn_stack_nn::Error::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            try_channel_prune_to(&mut model, -0.1),
+            Err(cnn_stack_nn::Error::InvalidConfig(_))
+        ));
+
+        let cfg = StackConfig::plain(ModelKind::MobileNet, PlatformChoice::OdroidXu4).compress(
+            CompressionChoice::WeightPruning {
+                sparsity_pct: 120.0,
+            },
+        );
+        assert!(matches!(
+            try_materialise(&cfg, 0.1),
+            Err(cnn_stack_nn::Error::InvalidConfig(_))
+        ));
+
+        let cfg = StackConfig::plain(ModelKind::MobileNet, PlatformChoice::OdroidXu4).compress(
+            CompressionChoice::TernaryQuantisation {
+                threshold: f64::NAN,
+            },
+        );
+        assert!(matches!(
+            try_materialise(&cfg, 0.1),
+            Err(cnn_stack_nn::Error::InvalidConfig(_))
+        ));
+
+        // A valid point still materialises through the fallible path.
+        let cfg = StackConfig::plain(ModelKind::MobileNet, PlatformChoice::OdroidXu4);
+        assert!(try_materialise(&cfg, 0.1).is_ok());
     }
 }

@@ -3,7 +3,7 @@
 use cnn_stack_compress::Technique;
 use cnn_stack_hwsim::{intel_i7, odroid_xu4, Backend, Platform};
 use cnn_stack_models::ModelKind;
-use cnn_stack_nn::{ConvAlgorithm, Error, WeightFormat};
+use cnn_stack_nn::{ConvAlgorithm, Error, GuardConfig, WeightFormat};
 
 /// Layer 2 of the stack: the compression technique and its operating
 /// point.
@@ -112,6 +112,11 @@ pub struct StackConfig {
     pub threads: usize,
     /// Layer 5: target hardware.
     pub platform: PlatformChoice,
+    /// Runtime guard level for host executions: [`GuardConfig::Off`]
+    /// (the default) runs at full speed, `BoundaryCheck` validates
+    /// activations at layer boundaries, `Paranoid` additionally scans
+    /// inputs and weights before every run.
+    pub guard: GuardConfig,
 }
 
 impl StackConfig {
@@ -125,6 +130,7 @@ impl StackConfig {
             backend: Backend::OpenMp,
             threads: 1,
             platform,
+            guard: GuardConfig::Off,
         }
     }
 
@@ -156,6 +162,12 @@ impl StackConfig {
     /// Overrides the weight format (builder style).
     pub fn format(mut self, format: WeightFormat) -> Self {
         self.format = format;
+        self
+    }
+
+    /// Sets the runtime guard level for host executions (builder style).
+    pub fn guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
         self
     }
 
@@ -237,6 +249,12 @@ impl StackConfigBuilder {
     /// weight format at [`build`](Self::build)).
     pub fn algorithm(mut self, algorithm: ConvAlgorithm) -> Self {
         self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the runtime guard level for host executions.
+    pub fn guard(mut self, guard: GuardConfig) -> Self {
+        self.config.guard = guard;
         self
     }
 
@@ -335,6 +353,19 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, Error::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn guard_level_defaults_off_and_is_configurable() {
+        let cfg = StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7);
+        assert_eq!(cfg.guard, GuardConfig::Off);
+        let cfg = cfg.guard(GuardConfig::BoundaryCheck);
+        assert_eq!(cfg.guard, GuardConfig::BoundaryCheck);
+        let cfg = StackConfig::builder(ModelKind::Vgg16, PlatformChoice::IntelI7)
+            .guard(GuardConfig::Paranoid)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.guard, GuardConfig::Paranoid);
     }
 
     #[test]

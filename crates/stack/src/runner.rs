@@ -1,11 +1,13 @@
 //! End-to-end evaluation of one stack configuration: the experiment cell
 //! behind every bar of Figs. 4–6 and every entry of Tables IV/VI.
 
-use crate::build::materialise;
+use crate::build::try_materialise;
 use crate::config::StackConfig;
 use cnn_stack_hwsim::{network_energy, network_time, EnergyModel, SimConfig};
 use cnn_stack_nn::memory::{network_memory, MemoryBreakdown};
-use cnn_stack_nn::{ConvAlgorithm, ExecConfig, InferencePlan, InferenceSession};
+use cnn_stack_nn::{
+    ConvAlgorithm, Error, ExecConfig, HealthReport, InferencePlan, InferenceSession,
+};
 use cnn_stack_tensor::Tensor;
 use std::time::Instant;
 
@@ -31,6 +33,10 @@ pub struct CellResult {
     pub effective_macs: u64,
     /// Overall weight sparsity in `[0, 1]`.
     pub sparsity: f64,
+    /// Runtime health of the host execution: guards tripped, panics
+    /// contained, retries, and kernel demotions. Always clean for
+    /// modelled-only evaluations (no host run happens).
+    pub health: HealthReport,
 }
 
 /// Evaluates `cfg` with the analytic platform model only (no host
@@ -39,12 +45,35 @@ pub fn evaluate(cfg: &StackConfig) -> CellResult {
     evaluate_with(cfg, 1.0, false)
 }
 
+/// Evaluates `cfg` at a given width multiplier (panicking shim over
+/// [`try_evaluate_with`]).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the host execution fails
+/// even after guarded recovery.
+pub fn evaluate_with(cfg: &StackConfig, width: f64, measure_host: bool) -> CellResult {
+    try_evaluate_with(cfg, width, measure_host).expect("stack configuration is valid")
+}
+
 /// Evaluates `cfg` at a given width multiplier, optionally also running
 /// one real forward pass on the build host for functional validation
-/// (`measure_host`). Host measurement uses the configured thread count
-/// and convolution algorithm.
-pub fn evaluate_with(cfg: &StackConfig, width: f64, measure_host: bool) -> CellResult {
-    let mut model = materialise(cfg, width);
+/// (`measure_host`). Host measurement uses the configured thread count,
+/// convolution algorithm and guard level; the session's
+/// [`HealthReport`] — guard trips, contained panics, retries, kernel
+/// demotions — is attached to the returned cell.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for out-of-range operating points,
+/// or the session error if the host execution fails beyond what guarded
+/// degradation can recover.
+pub fn try_evaluate_with(
+    cfg: &StackConfig,
+    width: f64,
+    measure_host: bool,
+) -> Result<CellResult, Error> {
+    let mut model = try_materialise(cfg, width)?;
     let input_shape = [1usize, 3, 32, 32];
     let descs = model.network.descriptors(&input_shape);
 
@@ -64,7 +93,7 @@ pub fn evaluate_with(cfg: &StackConfig, width: f64, measure_host: bool) -> CellR
 
     let memory = network_memory(&descs, matches!(cfg.algorithm, ConvAlgorithm::Im2col));
 
-    let measured_host_s = if measure_host {
+    let (measured_host_s, health) = if measure_host {
         let exec = ExecConfig {
             threads: cfg.threads,
             conv_algo: cfg.algorithm,
@@ -72,29 +101,24 @@ pub fn evaluate_with(cfg: &StackConfig, width: f64, measure_host: bool) -> CellR
         };
         // Compile once, execute via the arena-backed session: the timed
         // pass then measures arithmetic, not per-layer allocation.
-        let plan = InferencePlan::compile(&model.network, &input_shape, &exec)
-            .expect("materialised network accepts the cell's input shape");
-        let mut session = InferenceSession::new(&mut model.network, plan)
-            .expect("plan was compiled against this network");
+        let plan = InferencePlan::compile(&model.network, &input_shape, &exec)?;
+        let mut session = InferenceSession::with_guard(&mut model.network, plan, cfg.guard)?;
         let input = Tensor::zeros(input_shape.to_vec());
         let mut out = Tensor::zeros(session.plan().output_shape().to_vec());
         // Warm once, then time one pass.
-        session
-            .run_into(&input, &mut out)
-            .expect("shapes match the plan");
+        session.run_into(&input, &mut out)?;
         let start = Instant::now();
-        session
-            .run_into(&input, &mut out)
-            .expect("shapes match the plan");
-        Some(start.elapsed().as_secs_f64())
+        session.run_into(&input, &mut out)?;
+        let elapsed = start.elapsed().as_secs_f64();
+        (Some(elapsed), session.health().clone())
     } else {
-        None
+        (None, HealthReport::default())
     };
 
     let macs: u64 = descs.iter().map(|d| d.macs).sum();
     let effective_macs: u64 = descs.iter().map(|d| d.effective_macs()).sum();
 
-    CellResult {
+    Ok(CellResult {
         modelled_s,
         measured_host_s,
         memory_mb: memory.total_mb(),
@@ -104,7 +128,8 @@ pub fn evaluate_with(cfg: &StackConfig, width: f64, measure_host: bool) -> CellR
         macs,
         effective_macs,
         sparsity: model.network.weight_sparsity(&input_shape),
-    }
+        health,
+    })
 }
 
 #[cfg(test)]
@@ -167,5 +192,27 @@ mod tests {
         let cell = evaluate_with(&cfg, 0.1, true);
         let t = cell.measured_host_s.expect("host time requested");
         assert!(t > 0.0 && t < 30.0);
+        assert!(cell.health.is_clean());
+    }
+
+    #[test]
+    fn guarded_host_run_attaches_clean_health_report() {
+        use cnn_stack_nn::GuardConfig;
+        let cfg = StackConfig::plain(ModelKind::MobileNet, PlatformChoice::IntelI7)
+            .guard(GuardConfig::BoundaryCheck);
+        let cell = try_evaluate_with(&cfg, 0.1, true).unwrap();
+        assert!(cell.measured_host_s.is_some());
+        assert!(cell.health.is_clean());
+        assert_eq!(cell.health.demotions, vec![]);
+    }
+
+    #[test]
+    fn invalid_operating_point_is_an_error_not_a_panic() {
+        let cfg = StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7).compress(
+            CompressionChoice::WeightPruning {
+                sparsity_pct: 150.0,
+            },
+        );
+        assert!(try_evaluate_with(&cfg, 0.1, false).is_err());
     }
 }

@@ -1,0 +1,344 @@
+//! Fault-injection tests for the guarded inference runtime: injected
+//! kernel panics, worker crashes, and corrupted activations/weights must
+//! be contained, reported, and — where a safer kernel exists — recovered
+//! from by demotion, without killing the process or poisoning the pool.
+//!
+//! The whole suite only exists under `--features fault-inject`; the
+//! default build compiles the injector down to a zero-sized no-op.
+#![cfg(feature = "fault-inject")]
+
+use cnn_stack::nn::network::set_network_format;
+use cnn_stack::nn::{
+    Conv2d, ConvAlgorithm, DemotionAction, DemotionReason, Error, ExecConfig, FaultPlan, Flatten,
+    GuardConfig, GuardViolation, InferencePlan, InferenceSession, Layer, Linear, Network,
+    NonFiniteKind, ReLU, WeightFormat,
+};
+use cnn_stack::tensor::Tensor;
+use proptest::prelude::*;
+
+/// A Winograd-eligible conv stack (3×3, stride 1) over an 8×8 input.
+fn conv_stack(seed: u64) -> Network {
+    Network::new(vec![
+        Box::new(Conv2d::new(3, 6, 3, 1, 1, seed)),
+        Box::new(ReLU::new()),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(6 * 8 * 8, 10, seed + 1)),
+    ])
+    .expect("stack is non-empty")
+}
+
+fn ramp_input(batch: usize) -> Tensor {
+    Tensor::from_fn([batch, 3, 8, 8], |i| {
+        ((i as u64 * 2654435761) % 211) as f32 * 0.01 - 1.0
+    })
+}
+
+fn cfg_with(algo: ConvAlgorithm, threads: usize) -> ExecConfig {
+    ExecConfig {
+        threads,
+        conv_algo: algo,
+        ..ExecConfig::serial()
+    }
+}
+
+fn run_reference(seed: u64, cfg: &ExecConfig, input: &Tensor) -> Tensor {
+    let mut net = conv_stack(seed);
+    let plan = InferencePlan::compile(&net, input.shape().dims(), cfg).unwrap();
+    let mut session = InferenceSession::new(&mut net, plan).unwrap();
+    session.run(input).unwrap()
+}
+
+/// The headline containment scenario: one Winograd conv invocation
+/// panics on a 4-thread session. The session must contain the panic,
+/// demote the step to im2col, re-run, and hand back a result
+/// bit-identical to an all-im2col session — with the process alive and
+/// the pool reusable afterwards.
+#[test]
+fn winograd_kernel_panic_demotes_to_im2col_bit_identically() {
+    let seed = 42;
+    let input = ramp_input(8);
+    let mut net = conv_stack(seed);
+    let cfg = cfg_with(ConvAlgorithm::Winograd, 4);
+    let plan = InferencePlan::compile(&net, input.shape().dims(), &cfg).unwrap();
+    let mut session = InferenceSession::new(&mut net, plan).unwrap();
+    session.inject_faults(FaultPlan::new().panic_in_kernel(0, 0));
+
+    let got = session.run(&input).expect("session recovers by demotion");
+
+    let health = session.health().clone();
+    assert_eq!(health.panics_contained, 1);
+    assert_eq!(health.demotions.len(), 1);
+    assert_eq!(health.demotions[0].layer_index, 0);
+    assert_eq!(health.demotions[0].action, DemotionAction::WinogradToIm2col);
+    assert_eq!(health.demotions[0].reason, DemotionReason::KernelPanicked);
+
+    // Bit-identical to a session that ran im2col from the start.
+    let want = run_reference(seed, &cfg_with(ConvAlgorithm::Im2col, 4), &input);
+    assert_eq!(got.shape().dims(), want.shape().dims());
+    let got_bits: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+    let want_bits: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got_bits, want_bits);
+
+    // The pool is reusable: a second (fault-free) run still works and
+    // still matches, and no new demotions are recorded.
+    let again = session
+        .run(&input)
+        .expect("pool survives the contained panic");
+    assert_eq!(again.data(), want.data());
+    assert_eq!(session.health().demotions.len(), 1);
+    assert_eq!(session.profile().runs(), 2);
+}
+
+/// A guard trip on a CSR conv densifies the step and retries.
+#[test]
+fn guard_trip_on_csr_conv_demotes_to_dense() {
+    let input = ramp_input(2);
+    let mut net = conv_stack(7);
+    set_network_format(&mut net, WeightFormat::Csr);
+    let cfg = cfg_with(ConvAlgorithm::Im2col, 1);
+    let plan = InferencePlan::compile(&net, input.shape().dims(), &cfg).unwrap();
+    let mut session =
+        InferenceSession::with_guard(&mut net, plan, GuardConfig::BoundaryCheck).unwrap();
+    session.inject_faults(FaultPlan::new().nan_output(0, 0));
+
+    let got = session.run(&input).expect("session recovers by densifying");
+
+    let health = session.health();
+    assert_eq!(health.guards_tripped, 1);
+    assert_eq!(health.demotions.len(), 1);
+    assert_eq!(health.demotions[0].layer_index, 0);
+    assert_eq!(health.demotions[0].action, DemotionAction::CsrToDense);
+    assert_eq!(health.demotions[0].reason, DemotionReason::GuardTripped);
+    assert!(got.data().iter().all(|v| v.is_finite()));
+}
+
+/// Without a demotion lever the guard trip is a hard, named error: the
+/// report points at exactly the injected layer, and the session stays
+/// usable afterwards.
+#[test]
+fn nan_without_lever_names_first_offending_layer() {
+    let input = Tensor::from_fn([2, 16], |i| i as f32 * 0.25 - 2.0);
+    let mut net = Network::new(vec![
+        Box::new(ReLU::new()) as Box<dyn Layer>,
+        Box::new(ReLU::new()),
+        Box::new(ReLU::new()),
+    ])
+    .unwrap();
+    let cfg = ExecConfig::serial();
+    let plan = InferencePlan::compile(&net, input.shape().dims(), &cfg).unwrap();
+    let mut session =
+        InferenceSession::with_guard(&mut net, plan, GuardConfig::BoundaryCheck).unwrap();
+    session.inject_faults(FaultPlan::new().nan_output(1, 0));
+
+    let err = session.run(&input).unwrap_err();
+    match err {
+        Error::GuardTripped(report) => {
+            assert_eq!(report.layer_index, 1);
+            assert!(matches!(
+                report.violation,
+                GuardViolation::NonFiniteActivation {
+                    kind: NonFiniteKind::Nan,
+                    first_index: 0,
+                    ..
+                }
+            ));
+        }
+        other => panic!("expected GuardTripped, got {other:?}"),
+    }
+    assert_eq!(session.health().guards_tripped, 1);
+
+    // The fault was one-shot; the session is not poisoned.
+    let y = session
+        .run(&input)
+        .expect("session survives the guard trip");
+    assert!(y.data().iter().all(|v| v.is_finite()));
+}
+
+/// Injected infinities are classified separately from NaNs.
+#[test]
+fn inf_injection_is_reported_as_positive_infinity() {
+    let input = Tensor::from_fn([1, 8], |i| i as f32);
+    let mut net = Network::new(vec![Box::new(ReLU::new()) as Box<dyn Layer>]).unwrap();
+    let plan = InferencePlan::compile(&net, input.shape().dims(), &ExecConfig::serial()).unwrap();
+    let mut session =
+        InferenceSession::with_guard(&mut net, plan, GuardConfig::BoundaryCheck).unwrap();
+    session.inject_faults(FaultPlan::new().inf_output(0, 0));
+
+    match session.run(&input).unwrap_err() {
+        Error::GuardTripped(report) => {
+            assert_eq!(report.layer_index, 0);
+            assert!(matches!(
+                report.violation,
+                GuardViolation::NonFiniteActivation {
+                    kind: NonFiniteKind::PosInf,
+                    ..
+                }
+            ));
+        }
+        other => panic!("expected GuardTripped, got {other:?}"),
+    }
+}
+
+/// A crashed batch worker surfaces as a pool error, is counted as a
+/// retry, and the re-run still matches the serial reference bitwise.
+#[test]
+fn crashed_worker_is_retried_and_result_matches_serial() {
+    let seed = 11;
+    let input = ramp_input(8);
+    let mut net = conv_stack(seed);
+    let cfg = cfg_with(ConvAlgorithm::Im2col, 4);
+    let plan = InferencePlan::compile(&net, input.shape().dims(), &cfg).unwrap();
+    let mut session = InferenceSession::new(&mut net, plan).unwrap();
+    session.inject_faults(FaultPlan::new().crash_worker(1, 0));
+
+    let got = session.run(&input).expect("pool retry recovers the run");
+    assert_eq!(session.health().retries, 1);
+    assert!(session.health().demotions.is_empty());
+
+    let want = run_reference(seed, &cfg_with(ConvAlgorithm::Im2col, 1), &input);
+    assert_eq!(got.data(), want.data());
+}
+
+/// A delayed (straggler) worker is benign: the run completes, matches
+/// the serial reference, and leaves a clean health report.
+#[test]
+fn delayed_worker_is_harmless() {
+    let seed = 13;
+    let input = ramp_input(8);
+    let mut net = conv_stack(seed);
+    let cfg = cfg_with(ConvAlgorithm::Im2col, 4);
+    let plan = InferencePlan::compile(&net, input.shape().dims(), &cfg).unwrap();
+    let mut session = InferenceSession::new(&mut net, plan).unwrap();
+    session.inject_faults(FaultPlan::new().delay_worker(0, 0, 30));
+
+    let got = session.run(&input).expect("a slow worker is not a fault");
+    assert!(session.health().is_clean());
+
+    let want = run_reference(seed, &cfg_with(ConvAlgorithm::Im2col, 1), &input);
+    assert_eq!(got.data(), want.data());
+}
+
+/// Flipping the sign bit of one weight perturbs exactly that weight (the
+/// injector writes through the same parameter path real corruption
+/// would take) and changes the output.
+#[test]
+fn weight_bit_flip_perturbs_the_network() {
+    let seed = 5;
+    let input = ramp_input(1);
+    let clean = run_reference(seed, &ExecConfig::serial(), &input);
+
+    let mut net = conv_stack(seed);
+    let w_before = net.layers()[0]
+        .as_any()
+        .downcast_ref::<Conv2d>()
+        .unwrap()
+        .weight()
+        .value
+        .data()[3];
+    assert!(w_before != 0.0, "seeded weight should be non-zero");
+
+    let plan = InferencePlan::compile(&net, input.shape().dims(), &ExecConfig::serial()).unwrap();
+    let mut session = InferenceSession::new(&mut net, plan).unwrap();
+    session.inject_faults(FaultPlan::new().bit_flip_weight(0, 0, 3, 31));
+    let corrupted = session.run(&input).unwrap();
+    assert_ne!(corrupted.data(), clean.data());
+    drop(session);
+
+    let w_after = net.layers()[0]
+        .as_any()
+        .downcast_ref::<Conv2d>()
+        .unwrap()
+        .weight()
+        .value
+        .data()[3];
+    assert_eq!(w_after, -w_before, "bit 31 is the sign bit");
+}
+
+/// Paranoid mode catches a bit-flip that lands in the exponent and
+/// produces a non-finite weight, before any kernel consumes it.
+#[test]
+fn paranoid_mode_catches_weight_corruption_before_running() {
+    let input = ramp_input(1);
+    let mut net = conv_stack(3);
+    // Force a weight whose exponent flip turns it non-finite: f32::MAX
+    // has exponent 0xFE, so flipping the exponent's low bit (bit 23)
+    // yields exponent 0xFF — a NaN/Inf encoding.
+    {
+        let conv = net.layers_mut()[0]
+            .as_any_mut()
+            .downcast_mut::<Conv2d>()
+            .unwrap();
+        conv.weight_mut().value.data_mut()[0] = f32::MAX;
+    }
+    let plan = InferencePlan::compile(&net, input.shape().dims(), &ExecConfig::serial()).unwrap();
+    let mut session = InferenceSession::with_guard(&mut net, plan, GuardConfig::Paranoid).unwrap();
+    session.inject_faults(FaultPlan::new().bit_flip_weight(0, 0, 0, 23));
+
+    match session.run(&input).unwrap_err() {
+        Error::GuardTripped(report) => {
+            assert_eq!(report.layer_index, 0);
+            assert!(matches!(
+                report.violation,
+                GuardViolation::NonFiniteWeight {
+                    param: 0,
+                    first_index: 0
+                }
+            ));
+        }
+        other => panic!("expected GuardTripped, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under boundary checking, a NaN injected at layer `k` of a random
+    /// elementwise stack is always attributed to layer `k` — never to a
+    /// downstream consumer that happens to propagate (or flush) it.
+    #[test]
+    fn injected_nan_is_always_attributed_to_its_layer(
+        (depth, k) in (1usize..6).prop_flat_map(|d| (Just(d), 0..d)),
+        elems in 1usize..64,
+        batch in 1usize..4,
+    ) {
+        let layers: Vec<Box<dyn Layer>> =
+            (0..depth).map(|_| Box::new(ReLU::new()) as Box<dyn Layer>).collect();
+        let mut net = Network::new(layers).unwrap();
+        let input = Tensor::from_fn([batch, elems], |i| i as f32 * 0.5 - 4.0);
+        let plan =
+            InferencePlan::compile(&net, input.shape().dims(), &ExecConfig::serial()).unwrap();
+        let mut session =
+            InferenceSession::with_guard(&mut net, plan, GuardConfig::BoundaryCheck).unwrap();
+        session.inject_faults(FaultPlan::new().nan_output(k, 0));
+
+        match session.run(&input).unwrap_err() {
+            Error::GuardTripped(report) => prop_assert_eq!(report.layer_index, k),
+            other => prop_assert!(false, "expected GuardTripped, got {:?}", other),
+        }
+    }
+
+    /// With guards off (and no faults), the guarded session's output is
+    /// bitwise identical to the raw allocating forward pass; boundary
+    /// checking observes without perturbing.
+    #[test]
+    fn guard_levels_never_change_the_output(
+        seed in 0u64..1000,
+        batch in 1usize..5,
+        threads in 1usize..4,
+    ) {
+        use cnn_stack::nn::Phase;
+        let cfg = cfg_with(ConvAlgorithm::Im2col, threads);
+        let input = ramp_input(batch);
+        let mut net = conv_stack(seed);
+        let expected = net.forward(&input, Phase::Eval, &cfg);
+        for guard in [GuardConfig::Off, GuardConfig::BoundaryCheck, GuardConfig::Paranoid] {
+            let plan = InferencePlan::compile(&net, input.shape().dims(), &cfg).unwrap();
+            let mut session = InferenceSession::with_guard(&mut net, plan, guard).unwrap();
+            let got = session.run(&input).unwrap();
+            prop_assert!(session.health().is_clean());
+            let got_bits: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = expected.data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got_bits, want_bits);
+        }
+    }
+}

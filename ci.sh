@@ -21,6 +21,16 @@ echo "== fault-injection tests =="
 cargo test -q --features fault-inject
 cargo test -q -p cnn-stack-nn --features fault-inject
 
+echo "== gemm equivalence (proptest) =="
+# The packed/SIMD GEMM engine must agree with the naive reference on
+# arbitrary shapes, including non-finite propagation.
+cargo test -q --test gemm_equivalence
+
+echo "== gemm bench smoke =="
+# Exercises the benchmark harness end to end on a tiny shape; the full
+# sweep (which regenerates BENCH_gemm.json) is run manually.
+GEMM_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench gemm
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -2,12 +2,13 @@
 
 use crate::descriptor::{LayerDescriptor, LayerKind};
 use crate::layer::{ConvAlgorithm, ExecConfig, Layer, Param, Phase, WeightFormat};
-use crate::par::DisjointWriter;
 use cnn_stack_parallel::parallel_for;
+use cnn_stack_parallel::DisjointWriter;
 use cnn_stack_sparse::CsrMatrix;
 use cnn_stack_tensor::init::{initialise, Init};
 use cnn_stack_tensor::{
-    col2im, gemm, im2col, im2col_into, ops, winograd_conv2d, Conv2dGeometry, Tensor,
+    col2im, gemm, im2col, im2col_into, ops, pack_b_im2col_into, winograd_conv2d, Conv2dGeometry,
+    GemmAlgorithm, GemmPlan, Tensor,
 };
 
 /// A standard (grouped-by-1) 2-D convolution layer.
@@ -40,6 +41,11 @@ pub struct Conv2d {
     format: WeightFormat,
     /// CSR snapshot of the weights, rebuilt lazily when `format == Csr`.
     csr: Option<CsrMatrix>,
+    /// Plan-time packed GEMM A-panels of `weight_matrix()` (MR-row
+    /// panels), built by [`Layer::prepare`] for the packed im2col path
+    /// and reused by every `forward_into` run. Like `csr`, any weight
+    /// mutation invalidates it.
+    packed_weights: Option<Vec<f32>>,
     /// Cached training-forward input.
     cached_input: Option<Tensor>,
 }
@@ -78,6 +84,7 @@ impl Conv2d {
             bias,
             format: WeightFormat::Dense,
             csr: None,
+            packed_weights: None,
             cached_input: None,
         }
     }
@@ -106,6 +113,7 @@ impl Conv2d {
     /// calling [`set_format`](Conv2d::set_format) again if needed.
     pub fn weight_mut(&mut self) -> &mut Param {
         self.csr = None;
+        self.packed_weights = None;
         &mut self.weight
     }
 
@@ -128,6 +136,7 @@ impl Conv2d {
     /// dense weights into CSR.
     pub fn set_format(&mut self, format: WeightFormat) {
         self.format = format;
+        self.packed_weights = None;
         self.csr = match format {
             WeightFormat::Dense => None,
             WeightFormat::Csr => Some(CsrMatrix::from_dense(&self.weight_matrix(), 0.0)),
@@ -185,6 +194,7 @@ impl Conv2d {
         ));
         self.bias = Param::new(Tensor::from_vec([self.out_channels], b));
         self.csr = None;
+        self.packed_weights = None;
     }
 
     /// Removes input channel `c`: drops that slice from every filter.
@@ -216,12 +226,27 @@ impl Conv2d {
             w,
         ));
         self.csr = None;
+        self.packed_weights = None;
     }
 
     /// Scratch floats the im2col lowering needs for one image at the
     /// given spatial extent (zero for the direct/sparse kernels).
     fn im2col_scratch_elems(&self, geom: &Conv2dGeometry) -> usize {
         geom.patch_len() * geom.out_positions()
+    }
+
+    /// Whether `cfg` routes this layer through the packed GEMM engine
+    /// (dense weights lowered to im2col with the packed kernel).
+    pub(crate) fn uses_packed_gemm(&self, cfg: &ExecConfig) -> bool {
+        self.format == WeightFormat::Dense
+            && cfg.conv_algo == ConvAlgorithm::Im2col
+            && cfg.gemm_algo == GemmAlgorithm::Packed
+    }
+
+    /// Blocking plan of the packed per-image GEMM: `[out_c × patch_len]`
+    /// weights times the `[patch_len × out_positions]` column matrix.
+    fn packed_plan(&self, geom: &Conv2dGeometry) -> GemmPlan {
+        GemmPlan::new(self.out_channels, geom.patch_len(), geom.out_positions())
     }
 
     /// Direct (7-loop) dense kernel over raw slices. All `eval_*_into`
@@ -305,7 +330,14 @@ impl Conv2d {
                 for (local, o) in range.clone().enumerate() {
                     dst[local * plane..(local + 1) * plane].fill(bdata[o]);
                 }
-                // One GEMM over the claimed row block.
+                // One GEMM over the claimed row block. `Packed` is routed
+                // through `eval_dense_im2col_packed_into`, so this arm only
+                // sees the row-splittable kernels (it also serves as the
+                // degradation target when packed demotes to blocked).
+                let algo = match cfg.gemm_algo {
+                    GemmAlgorithm::Packed => GemmAlgorithm::Blocked,
+                    other => other,
+                };
                 let wslice = &wmat.data()[range.start * k_dim..range.end * k_dim];
                 gemm::gemm_into(
                     wslice,
@@ -314,9 +346,54 @@ impl Conv2d {
                     range.end - range.start,
                     k_dim,
                     plane,
-                    gemm::GemmAlgorithm::Blocked,
+                    algo,
                 );
             });
+        }
+    }
+
+    /// Packed-GEMM im2col kernel: column panels are packed straight from
+    /// the image (fused im2col→pack, the `[patch_len × out_positions]`
+    /// matrix is never materialised) and multiplied against the
+    /// plan-time packed weight panels in one whole-layer GEMM whose
+    /// panel grid is distributed over the pool. `scratch` holds the
+    /// packed-B region plus a packed-A region used only when the
+    /// plan-time panels are absent or stale.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_dense_im2col_packed_into(
+        &self,
+        in_data: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        geom: &Conv2dGeometry,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        let plane = geom.out_positions();
+        let in_img = self.in_channels * h * w;
+        let out_img = self.out_channels * plane;
+        let bdata = self.bias.value.data();
+        let plan = self.packed_plan(geom);
+        let (b_buf, a_buf) = scratch[..plan.packed_b_elems() + plan.packed_a_elems()]
+            .split_at_mut(plan.packed_b_elems());
+        let packed_a: &[f32] = match &self.packed_weights {
+            Some(panels) if panels.len() == plan.packed_a_elems() => panels,
+            // No plan-time panels (plain `forward`, or a cache dropped by
+            // weight surgery/fault injection): pack into scratch.
+            _ => {
+                gemm::pack_a_into(&plan, self.weight.value.data(), a_buf);
+                a_buf
+            }
+        };
+        for img in 0..n {
+            pack_b_im2col_into(&in_data[img * in_img..(img + 1) * in_img], geom, b_buf);
+            let dst = &mut out[img * out_img..(img + 1) * out_img];
+            for (o, chunk) in dst.chunks_exact_mut(plane).enumerate() {
+                chunk.fill(bdata[o]);
+            }
+            gemm::gemm_prepacked(&plan, packed_a, b_buf, dst, cfg.threads, cfg.schedule);
         }
     }
 
@@ -533,17 +610,20 @@ impl Layer for Conv2d {
             );
         }
         let mut out = Tensor::zeros([n, self.out_channels, geom.out_h, geom.out_w]);
-        let needs_cols = cfg.conv_algo == ConvAlgorithm::Im2col;
-        let mut scratch = vec![
-            0.0f32;
-            if needs_cols {
-                self.im2col_scratch_elems(&geom)
-            } else {
-                0
-            }
-        ];
+        let mut scratch = vec![0.0f32; self.forward_scratch_elems(&[n, in_c, h, w], cfg)];
         match self.format {
             WeightFormat::Dense => match cfg.conv_algo {
+                ConvAlgorithm::Im2col if cfg.gemm_algo == gemm::GemmAlgorithm::Packed => self
+                    .eval_dense_im2col_packed_into(
+                        input.data(),
+                        n,
+                        h,
+                        w,
+                        &geom,
+                        out.data_mut(),
+                        &mut scratch,
+                        cfg,
+                    ),
                 ConvAlgorithm::Im2col => self.eval_dense_im2col_into(
                     input.data(),
                     n,
@@ -670,9 +750,40 @@ impl Layer for Conv2d {
     fn forward_scratch_elems(&self, input_shape: &[usize], cfg: &ExecConfig) -> usize {
         if cfg.conv_algo == ConvAlgorithm::Im2col {
             let geom = self.geometry(input_shape[2], input_shape[3]);
-            self.im2col_scratch_elems(&geom)
+            if self.uses_packed_gemm(cfg) {
+                // Packed-B panels per image, plus a packed-A region so the
+                // `&self` run path can repack weights even when the
+                // plan-time panels have been dropped.
+                let plan = self.packed_plan(&geom);
+                plan.packed_b_elems() + plan.packed_a_elems()
+            } else {
+                self.im2col_scratch_elems(&geom)
+            }
         } else {
             0
+        }
+    }
+
+    fn prepare(&mut self, cfg: &ExecConfig) {
+        if self.uses_packed_gemm(cfg) {
+            let k_dim = self.in_channels * self.kernel * self.kernel;
+            // A-panel layout depends only on (out_c, patch_len), not on
+            // the output extent, so the panels serve every input shape.
+            let plan = GemmPlan::new(self.out_channels, k_dim, 1);
+            let mut panels = vec![0.0f32; plan.packed_a_elems()];
+            gemm::pack_a_into(&plan, self.weight.value.data(), &mut panels);
+            self.packed_weights = Some(panels);
+        } else {
+            self.packed_weights = None;
+        }
+    }
+
+    fn gemm_plan(&self, input_shape: &[usize], cfg: &ExecConfig) -> Option<GemmPlan> {
+        if self.uses_packed_gemm(cfg) {
+            let geom = self.geometry(input_shape[2], input_shape[3]);
+            Some(self.packed_plan(&geom))
+        } else {
+            None
         }
     }
 
@@ -699,6 +810,9 @@ impl Layer for Conv2d {
         let geom = self.geometry(h, w);
         match self.format {
             WeightFormat::Dense => match cfg.conv_algo {
+                ConvAlgorithm::Im2col if cfg.gemm_algo == gemm::GemmAlgorithm::Packed => {
+                    self.eval_dense_im2col_packed_into(input, n, h, w, &geom, out, scratch, cfg)
+                }
                 ConvAlgorithm::Im2col => {
                     self.eval_dense_im2col_into(input, n, h, w, &geom, out, scratch, cfg)
                 }
@@ -730,13 +844,18 @@ mod tests {
         for format in [WeightFormat::Dense, WeightFormat::Csr] {
             conv.set_format(format);
             for algo in [ConvAlgorithm::Direct, ConvAlgorithm::Im2col] {
-                for threads in [1, 3] {
-                    let cfg = ExecConfig {
-                        threads,
-                        conv_algo: algo,
-                        ..ExecConfig::serial()
-                    };
-                    outs.push(conv.forward(x, Phase::Eval, &cfg));
+                // Both GEMM engines: packed (panels + micro-kernel) and the
+                // blocked fallback that the guard demotes to.
+                for gemm_algo in [gemm::GemmAlgorithm::Packed, gemm::GemmAlgorithm::Blocked] {
+                    for threads in [1, 3] {
+                        let cfg = ExecConfig {
+                            threads,
+                            conv_algo: algo,
+                            gemm_algo,
+                            ..ExecConfig::serial()
+                        };
+                        outs.push(conv.forward(x, Phase::Eval, &cfg));
+                    }
                 }
             }
         }
@@ -776,6 +895,28 @@ mod tests {
                 "path {i} disagrees with reference"
             );
         }
+    }
+
+    #[test]
+    fn prepared_panels_bit_match_cacheless_run() {
+        let mut conv = Conv2d::new(3, 6, 3, 1, 1, 9);
+        let x = random([2, 3, 8, 8], 11);
+        let cfg = ExecConfig {
+            conv_algo: ConvAlgorithm::Im2col,
+            ..ExecConfig::serial()
+        };
+        let cacheless = conv.forward(&x, Phase::Eval, &cfg);
+        conv.prepare(&cfg);
+        assert!(conv.packed_weights.is_some());
+        let shape = [2, 3, 8, 8];
+        let mut out = vec![0.0f32; cacheless.len()];
+        let mut scratch = vec![0.0f32; conv.forward_scratch_elems(&shape, &cfg)];
+        conv.forward_into(x.data(), &shape, &mut out, &mut scratch, &cfg);
+        // Same plan, same kernel, same panel layout -> bit-identical.
+        assert_eq!(out.as_slice(), cacheless.data());
+        // Touching the weights drops the cache.
+        let _ = conv.weight_mut();
+        assert!(conv.packed_weights.is_none());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::descriptor::{LayerDescriptor, LayerKind};
 use crate::layer::{ExecConfig, Layer, Param, Phase, WeightFormat};
-use crate::par::DisjointWriter;
 use cnn_stack_parallel::parallel_for;
+use cnn_stack_parallel::DisjointWriter;
 use cnn_stack_tensor::init::{initialise, Init};
 use cnn_stack_tensor::{Conv2dGeometry, Tensor};
 

@@ -64,7 +64,7 @@ use crate::guard::{
 use crate::layer::{ConvAlgorithm, ExecConfig, Layer, Phase, WeightFormat};
 use crate::network::Network;
 use cnn_stack_parallel::{panic_message, PoolError, ThreadPool};
-use cnn_stack_tensor::Tensor;
+use cnn_stack_tensor::{GemmAlgorithm, GemmPlan, Tensor};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -92,6 +92,10 @@ pub struct PlanStep {
     /// it through the allocating [`Layer::forward`] fallback (e.g. the
     /// true Winograd transform).
     pub supported: bool,
+    /// Blocking plan of the step's packed GEMM, when the step routes
+    /// through the packed engine under the compiled configuration
+    /// (conv-im2col and linear layers with dense weights).
+    pub gemm: Option<GemmPlan>,
     /// Dense multiply-accumulates for the step.
     pub macs: u64,
     /// Approximate bytes moved: activations in and out plus stored
@@ -166,6 +170,7 @@ impl InferencePlan {
                 output_elems: d.output_elems,
                 scratch_elems: scratch,
                 supported,
+                gemm: layer.gemm_plan(&shape, cfg),
                 macs: d.macs,
                 bytes: 4 * (d.input_elems + d.output_elems + d.weight_nnz) as u64,
             });
@@ -442,6 +447,21 @@ fn layer_has_csr(layer: &mut dyn Layer) -> bool {
     found
 }
 
+/// Whether the layer (or any nested layer) would route through the
+/// packed GEMM engine under `cfg` — the precondition for the
+/// packed→blocked demotion lever to change anything.
+fn layer_uses_packed_gemm(layer: &mut dyn Layer, cfg: &ExecConfig) -> bool {
+    let mut found = false;
+    layer.visit_mut(&mut |l| {
+        if let Some(c) = l.as_any_mut().downcast_mut::<crate::Conv2d>() {
+            found |= c.uses_packed_gemm(cfg);
+        } else if let Some(fc) = l.as_any_mut().downcast_mut::<crate::Linear>() {
+            found |= fc.uses_packed_gemm(cfg);
+        }
+    });
+    found
+}
+
 /// Densifies every CSR weight in the layer (and nested layers).
 fn densify_layer(layer: &mut dyn Layer) {
     layer.visit_mut(&mut |l| {
@@ -518,7 +538,7 @@ impl<'n> InferenceSession<'n> {
         let chunks = build_chunks(net, &plan, &exec);
         let pool = (chunks.len() > 1).then(|| ThreadPool::new(chunks.len()));
         let profile = SessionProfile::new(&plan.steps);
-        Ok(InferenceSession {
+        let mut session = InferenceSession {
             net,
             plan,
             exec,
@@ -528,7 +548,9 @@ impl<'n> InferenceSession<'n> {
             guard,
             invocations: 0,
             faults: FaultPlan::default(),
-        })
+        };
+        session.reprepare();
+        Ok(session)
     }
 
     /// The compiled plan.
@@ -564,6 +586,9 @@ impl<'n> InferenceSession<'n> {
     #[cfg(feature = "fault-inject")]
     pub fn inject_faults(&mut self, faults: FaultPlan) {
         faults.apply_weight_faults(self.net);
+        // Bit-flips bypass `weight_mut`, so plan-time packed panels
+        // would otherwise keep the pre-fault weights.
+        self.reprepare();
         self.faults = faults;
     }
 
@@ -789,8 +814,9 @@ impl<'n> InferenceSession<'n> {
     }
 
     /// Applies the strongest available demotion lever to `step`:
-    /// CSR→dense first, then Winograd→im2col. Returns `false` when no
-    /// lever applies (the failure is not recoverable by demotion).
+    /// CSR→dense first, then Winograd→im2col, then packed→blocked GEMM.
+    /// Returns `false` when no lever applies (the failure is not
+    /// recoverable by demotion).
     fn try_demote(&mut self, step: usize, reason: DemotionReason) -> bool {
         if step >= self.plan.steps.len() {
             return false;
@@ -811,6 +837,16 @@ impl<'n> InferenceSession<'n> {
             self.rebuild();
             return true;
         }
+        let cfg = self.exec[step].cfg;
+        if cfg.gemm_algo == GemmAlgorithm::Packed
+            && layer_uses_packed_gemm(self.net.layers_mut()[step].as_mut(), &cfg)
+        {
+            self.exec[step].cfg.gemm_algo = GemmAlgorithm::Blocked;
+            self.exec[step].chunk_cfg.gemm_algo = GemmAlgorithm::Blocked;
+            self.record_demotion(step, DemotionAction::PackedToBlocked, reason);
+            self.rebuild();
+            return true;
+        }
         false
     }
 
@@ -823,12 +859,24 @@ impl<'n> InferenceSession<'n> {
         });
     }
 
-    /// Re-derives arena support, chunking, and the worker pool after a
-    /// demotion changed a step's algorithm or weight format.
+    /// Rebuilds every layer's plan-time caches (packed GEMM weight
+    /// panels) for its step's current effective configuration. Run at
+    /// session build, after demotions, and after weight-fault injection
+    /// so the caches never go stale against the master weights.
+    fn reprepare(&mut self) {
+        for (layer, exec) in self.net.layers_mut().iter_mut().zip(&self.exec) {
+            let cfg = exec.cfg;
+            layer.visit_mut(&mut |l| l.prepare(&cfg));
+        }
+    }
+
+    /// Re-derives arena support, chunking, layer caches, and the worker
+    /// pool after a demotion changed a step's algorithm or weight format.
     fn rebuild(&mut self) {
         for (i, layer) in self.net.layers().iter().enumerate() {
             self.exec[i].supported = layer.forward_into_supported(&self.exec[i].cfg);
         }
+        self.reprepare();
         self.chunks = build_chunks(self.net, &self.plan, &self.exec);
         let needed = self.chunks.len();
         if needed > 1 {
@@ -1211,7 +1259,16 @@ mod tests {
         // Largest activation: the first conv output, 2*6*8*8.
         assert_eq!(plan.buf_elems(), 2 * 6 * 8 * 8);
         assert!(plan.fully_supported());
-        // Direct convolutions need no scratch.
+        // Direct convolutions need no scratch, but the final Linear layer
+        // runs the packed GEMM and needs room for its A/B panels.
+        let linear_plan = cnn_stack_tensor::GemmPlan::new(2, 4 * 4 * 4, 5);
+        assert_eq!(plan.scratch_elems(), linear_plan.scratch_elems());
+        // With the blocked GEMM everything is scratch-free.
+        let blocked = ExecConfig {
+            gemm_algo: cnn_stack_tensor::GemmAlgorithm::Blocked,
+            ..ExecConfig::serial()
+        };
+        let plan = InferencePlan::compile(&net, &[2, 3, 8, 8], &blocked).unwrap();
         assert_eq!(plan.scratch_elems(), 0);
     }
 
@@ -1245,13 +1302,29 @@ mod tests {
     #[test]
     fn plan_im2col_sizes_scratch() {
         let net = conv_net();
+        // Blocked GEMM: scratch is the materialised im2col matrix.
         let cfg = ExecConfig {
             conv_algo: ConvAlgorithm::Im2col,
+            gemm_algo: cnn_stack_tensor::GemmAlgorithm::Blocked,
             ..ExecConfig::serial()
         };
         let plan = InferencePlan::compile(&net, &[1, 3, 8, 8], &cfg).unwrap();
         // First conv: patch 3*3*3=27, 64 positions -> 1728 floats.
         assert_eq!(plan.scratch_elems(), 27 * 64);
+        // Packed GEMM: scratch is the packed panel buffers instead; the
+        // im2col matrix is never materialised.
+        let cfg = ExecConfig {
+            conv_algo: ConvAlgorithm::Im2col,
+            ..ExecConfig::serial()
+        };
+        let plan = InferencePlan::compile(&net, &[1, 3, 8, 8], &cfg).unwrap();
+        // First conv dominates: A = 6x27 weights, B = 27x64 columns.
+        let conv_plan = cnn_stack_tensor::GemmPlan::new(6, 27, 64);
+        let linear_plan = cnn_stack_tensor::GemmPlan::new(1, 4 * 4 * 4, 5);
+        assert_eq!(
+            plan.scratch_elems(),
+            conv_plan.scratch_elems().max(linear_plan.scratch_elems())
+        );
     }
 
     #[test]

@@ -164,6 +164,9 @@ pub enum DemotionAction {
     WinogradToIm2col,
     /// The step's CSR sparse weights were densified.
     CsrToDense,
+    /// The step's packed micro-kernel GEMM was replaced with the
+    /// scalar blocked GEMM.
+    PackedToBlocked,
 }
 
 /// Why a step was demoted.

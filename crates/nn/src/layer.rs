@@ -4,7 +4,7 @@
 use crate::descriptor::LayerDescriptor;
 use crate::error::Error;
 use cnn_stack_parallel::Schedule;
-use cnn_stack_tensor::Tensor;
+use cnn_stack_tensor::{GemmAlgorithm, GemmPlan, Tensor};
 
 /// Whether a forward pass is part of training (caches activations for the
 /// backward pass, uses batch statistics) or pure inference.
@@ -59,6 +59,11 @@ pub struct ExecConfig {
     pub schedule: Schedule,
     /// Convolution lowering.
     pub conv_algo: ConvAlgorithm,
+    /// GEMM kernel for the im2col-convolution and linear layers. The
+    /// default is [`GemmAlgorithm::Packed`], the BLIS-style packed
+    /// micro-kernel engine; [`GemmAlgorithm::Blocked`] is the scalar
+    /// fallback the degradation ladder demotes to.
+    pub gemm_algo: GemmAlgorithm,
 }
 
 impl ExecConfig {
@@ -69,6 +74,7 @@ impl ExecConfig {
             threads: 1,
             schedule: Schedule::Dynamic { chunk: 1 },
             conv_algo: ConvAlgorithm::Direct,
+            gemm_algo: GemmAlgorithm::Packed,
         }
     }
 
@@ -133,6 +139,12 @@ impl ExecConfigBuilder {
     /// Sets the convolution lowering algorithm.
     pub fn conv_algo(mut self, algo: ConvAlgorithm) -> Self {
         self.config.conv_algo = algo;
+        self
+    }
+
+    /// Sets the GEMM kernel used by im2col convolutions and linear layers.
+    pub fn gemm_algo(mut self, algo: GemmAlgorithm) -> Self {
+        self.config.gemm_algo = algo;
         self
     }
 
@@ -297,6 +309,24 @@ pub trait Layer: std::fmt::Debug + std::any::Any + Send + Sync {
     /// [`crate::engine::InferenceSession`].
     fn forward_into_supported(&self, _cfg: &ExecConfig) -> bool {
         false
+    }
+
+    /// One-time plan-level preparation for repeated inference under
+    /// `cfg` — e.g. packing weight panels for the packed GEMM engine.
+    /// The engine calls this (through [`visit_mut`](Layer::visit_mut))
+    /// when a session is built and after every demotion rebuild, so the
+    /// per-run [`forward_into`](Layer::forward_into) path can reuse the
+    /// prepared state instead of re-deriving it. Layers with nothing to
+    /// prepare keep the default no-op.
+    fn prepare(&mut self, _cfg: &ExecConfig) {}
+
+    /// The packed-GEMM blocking plan this layer would execute for the
+    /// given input shape, if its `cfg` routes it through
+    /// [`GemmAlgorithm::Packed`]; `None` otherwise. `InferencePlan`
+    /// records this per step so the chosen MC/KC/NC blocking and the
+    /// packed-buffer sizes are inspectable.
+    fn gemm_plan(&self, _input_shape: &[usize], _cfg: &ExecConfig) -> Option<GemmPlan> {
+        None
     }
 
     /// Scratch floats [`forward_into`](Layer::forward_into) needs for

@@ -52,7 +52,7 @@ pub mod layer;
 pub mod linear;
 pub mod memory;
 pub mod network;
-pub(crate) mod par;
+
 pub mod pool;
 pub mod residual;
 pub mod serialize;

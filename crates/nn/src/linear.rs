@@ -2,11 +2,11 @@
 
 use crate::descriptor::{LayerDescriptor, LayerKind};
 use crate::layer::{ExecConfig, Layer, Param, Phase, WeightFormat};
-use crate::par::DisjointWriter;
 use cnn_stack_parallel::parallel_for;
+use cnn_stack_parallel::DisjointWriter;
 use cnn_stack_sparse::CsrMatrix;
 use cnn_stack_tensor::init::{initialise, Init};
-use cnn_stack_tensor::{ops, Tensor};
+use cnn_stack_tensor::{gemm, ops, GemmAlgorithm, GemmPlan, Tensor};
 
 /// A fully connected layer `y = x · Wᵀ + b` over `[batch, in]` inputs.
 ///
@@ -33,6 +33,11 @@ pub struct Linear {
     bias: Param,
     format: WeightFormat,
     csr: Option<CsrMatrix>,
+    /// Plan-time packed GEMM B-panels of `Wᵀ` (NR-column panels packed
+    /// straight from the `[out, in]` weights), built by
+    /// [`Layer::prepare`] and reused by every `forward_into` run. Any
+    /// weight mutation invalidates it.
+    packed_weights: Option<Vec<f32>>,
     cached_input: Option<Tensor>,
 }
 
@@ -58,6 +63,7 @@ impl Linear {
             bias: Param::new(Tensor::zeros([out_features])),
             format: WeightFormat::Dense,
             csr: None,
+            packed_weights: None,
             cached_input: None,
         }
     }
@@ -80,6 +86,7 @@ impl Linear {
     /// Mutable weight parameter (invalidates any CSR snapshot).
     pub fn weight_mut(&mut self) -> &mut Param {
         self.csr = None;
+        self.packed_weights = None;
         &mut self.weight
     }
 
@@ -96,14 +103,59 @@ impl Linear {
     /// Selects the inference weight format.
     pub fn set_format(&mut self, format: WeightFormat) {
         self.format = format;
+        self.packed_weights = None;
         self.csr = match format {
             WeightFormat::Dense => None,
             WeightFormat::Csr => Some(CsrMatrix::from_dense(&self.weight.value, 0.0)),
         };
     }
 
-    /// The shared inference kernel: `out = in · Wᵀ + b` over raw slices.
-    /// Both [`Layer::forward`] and [`Layer::forward_into`] funnel through
+    /// Whether `cfg` routes this layer through the packed GEMM engine.
+    pub(crate) fn uses_packed_gemm(&self, cfg: &ExecConfig) -> bool {
+        self.format == WeightFormat::Dense && cfg.gemm_algo == GemmAlgorithm::Packed
+    }
+
+    /// Blocking plan of the packed product `X[batch×in] · Wᵀ[in×out]`.
+    fn packed_plan(&self, batch: usize) -> GemmPlan {
+        GemmPlan::new(batch, self.in_features, self.out_features)
+    }
+
+    /// Packed-GEMM dense kernel: the activations are packed into MR-row
+    /// A-panels per run (`scratch`), the `Wᵀ` B-panels come from the
+    /// plan-time cache (or are packed into scratch when absent), and one
+    /// whole-layer GEMM runs over the pool. Shared by
+    /// [`Layer::forward`] and [`Layer::forward_into`], so the arena
+    /// engine is bit-identical to the tensor path.
+    fn eval_dense_packed_into(
+        &self,
+        in_data: &[f32],
+        batch: usize,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        let plan = self.packed_plan(batch);
+        let (a_buf, b_buf) = scratch[..plan.scratch_elems()].split_at_mut(plan.packed_a_elems());
+        gemm::pack_a_into(&plan, in_data, a_buf);
+        let packed_b: &[f32] = match &self.packed_weights {
+            Some(panels) if panels.len() == plan.packed_b_elems() => panels,
+            // No plan-time panels (plain `forward`, or a cache dropped by
+            // weight surgery/fault injection): pack into scratch.
+            _ => {
+                gemm::pack_b_transposed_into(&plan, self.weight.value.data(), b_buf);
+                b_buf
+            }
+        };
+        let bdata = self.bias.value.data();
+        for row in out.chunks_exact_mut(self.out_features) {
+            row.copy_from_slice(bdata);
+        }
+        gemm::gemm_prepacked(&plan, a_buf, packed_b, out, cfg.threads, cfg.schedule);
+    }
+
+    /// The shared scalar inference kernel: `out = in · Wᵀ + b` over raw
+    /// slices (CSR, and the non-packed dense kernels). Both
+    /// [`Layer::forward`] and [`Layer::forward_into`] funnel through
     /// this, so the arena engine is bit-identical to the tensor path.
     fn eval_into(&self, in_data: &[f32], batch: usize, out: &mut [f32], cfg: &ExecConfig) {
         let feat = self.in_features;
@@ -175,6 +227,7 @@ impl Linear {
         self.in_features -= len;
         self.weight = Param::new(Tensor::from_vec([self.out_features, self.in_features], w));
         self.csr = None;
+        self.packed_weights = None;
     }
 }
 
@@ -201,7 +254,12 @@ impl Layer for Linear {
             self.cached_input = Some(input.clone());
         }
         let mut out = Tensor::zeros([batch, self.out_features]);
-        self.eval_into(input.data(), batch, out.data_mut(), cfg);
+        if self.uses_packed_gemm(cfg) {
+            let mut scratch = vec![0.0f32; self.packed_plan(batch).scratch_elems()];
+            self.eval_dense_packed_into(input.data(), batch, out.data_mut(), &mut scratch, cfg);
+        } else {
+            self.eval_into(input.data(), batch, out.data_mut(), cfg);
+        }
         out
     }
 
@@ -235,12 +293,43 @@ impl Layer for Linear {
         true
     }
 
+    fn forward_scratch_elems(&self, input_shape: &[usize], cfg: &ExecConfig) -> usize {
+        if self.uses_packed_gemm(cfg) {
+            // A-panels for the activations plus a B-panel region so the
+            // `&self` run path can repack weights even when the plan-time
+            // panels have been dropped.
+            self.packed_plan(input_shape[0]).scratch_elems()
+        } else {
+            0
+        }
+    }
+
+    fn prepare(&mut self, cfg: &ExecConfig) {
+        if self.uses_packed_gemm(cfg) {
+            // B-panel layout depends only on (in, out), not on the batch.
+            let plan = self.packed_plan(1);
+            let mut panels = vec![0.0f32; plan.packed_b_elems()];
+            gemm::pack_b_transposed_into(&plan, self.weight.value.data(), &mut panels);
+            self.packed_weights = Some(panels);
+        } else {
+            self.packed_weights = None;
+        }
+    }
+
+    fn gemm_plan(&self, input_shape: &[usize], cfg: &ExecConfig) -> Option<GemmPlan> {
+        if self.uses_packed_gemm(cfg) {
+            Some(self.packed_plan(input_shape[0]))
+        } else {
+            None
+        }
+    }
+
     fn forward_into(
         &self,
         input: &[f32],
         input_shape: &[usize],
         out: &mut [f32],
-        _scratch: &mut [f32],
+        scratch: &mut [f32],
         cfg: &ExecConfig,
     ) {
         let batch = input_shape[0];
@@ -250,7 +339,11 @@ impl Layer for Linear {
             "{}: feature mismatch",
             self.name()
         );
-        self.eval_into(input, batch, out, cfg);
+        if self.uses_packed_gemm(cfg) {
+            self.eval_dense_packed_into(input, batch, out, scratch, cfg);
+        } else {
+            self.eval_into(input, batch, out, cfg);
+        }
     }
 
     fn descriptor(&self, input_shape: &[usize]) -> LayerDescriptor {
@@ -297,6 +390,38 @@ mod tests {
         let y = fc.forward(&x, Phase::Eval, &ExecConfig::default());
         let want = cnn_stack_tensor::matmul(&x, &ops::transpose(&fc.weight.value));
         assert!(y.allclose(&want, 1e-5)); // bias is zero at init
+    }
+
+    #[test]
+    fn packed_and_blocked_gemm_agree() {
+        let mut fc = Linear::new(19, 7, 9);
+        let x = random([4, 19], 10);
+        let packed = fc.forward(&x, Phase::Eval, &ExecConfig::serial());
+        let blocked_cfg = ExecConfig {
+            gemm_algo: GemmAlgorithm::Blocked,
+            ..ExecConfig::serial()
+        };
+        let blocked = fc.forward(&x, Phase::Eval, &blocked_cfg);
+        assert!(packed.allclose(&blocked, 1e-5));
+    }
+
+    #[test]
+    fn prepared_panels_bit_match_cacheless_run() {
+        let mut fc = Linear::new(13, 5, 8);
+        let x = random([3, 13], 9);
+        let cfg = ExecConfig::serial();
+        let cacheless = fc.forward(&x, Phase::Eval, &cfg);
+        fc.prepare(&cfg);
+        assert!(fc.packed_weights.is_some());
+        let shape = [3, 13];
+        let mut out = vec![0.0f32; cacheless.len()];
+        let mut scratch = vec![0.0f32; fc.forward_scratch_elems(&shape, &cfg)];
+        fc.forward_into(x.data(), &shape, &mut out, &mut scratch, &cfg);
+        // Same plan, same kernel, same panel layout -> bit-identical.
+        assert_eq!(out.as_slice(), cacheless.data());
+        // Touching the weights drops the cache.
+        let _ = fc.weight_mut();
+        assert!(fc.packed_weights.is_none());
     }
 
     #[test]

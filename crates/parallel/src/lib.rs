@@ -26,8 +26,10 @@
 //! assert_eq!(sum.load(Ordering::Relaxed), 100);
 //! ```
 
+pub mod panel;
 pub mod pool;
 pub mod schedule;
 
+pub use panel::{parallel_tiles, DisjointWriter};
 pub use pool::{panic_message, PoolError, ThreadPool};
 pub use schedule::{parallel_for, parallel_for_stats, RegionStats, Schedule};

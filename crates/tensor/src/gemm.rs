@@ -3,15 +3,44 @@
 //! The paper's systems layer leans heavily on GEMM: the im2col convolution
 //! lowering (§IV-D) turns every convolution into one `M×K · K×N` product,
 //! and the CLBlast comparison in Fig. 6 is a GEMM-library study. This
-//! module provides the three CPU variants the characterisation needs:
+//! module provides the CPU variants the characterisation needs:
 //!
 //! * [`GemmAlgorithm::Naive`] — triple loop in `ijk` order; the reference.
 //! * [`GemmAlgorithm::Blocked`] — cache-blocked `ikj` loops with a
 //!   fixed block size; the "hand-optimised serial C" analogue.
 //! * [`GemmAlgorithm::Tiled`] — fully parameterised tiling mirroring
 //!   CLBlast's tuning surface (used by `cnn-stack-hwsim`'s auto-tuner).
+//! * [`GemmAlgorithm::Packed`] — the tuned-BLAS analogue: a BLIS-style
+//!   packed engine that copies A into `MR`-row panels and B into
+//!   `NR`-column panels, then drives an `MR×NR` register-tiled
+//!   micro-kernel (scalar autovectorised, or AVX2/FMA when the CPU
+//!   supports it — detected at runtime) over the panel grid, with the
+//!   grid distributed across the `cnn-stack-parallel` pool.
+//!
+//! # Packed engine layout
+//!
+//! [`GemmPlan`] fixes the blocking parameters for a shape. A is packed
+//! so panel `ip` holds rows `[ip·MR, ip·MR+MR)` in k-major order
+//! (`packed_a[ip·MR·k + p·MR + r]`); B so panel `jp` holds columns
+//! `[jp·NR, jp·NR+NR)` (`packed_b[jp·NR·k + p·NR + c]`). Ragged edges
+//! are zero-padded inside the panels (the reduction dimension `k` is
+//! never padded, so padding can never contaminate valid outputs). The
+//! micro-kernel then streams both panels with unit stride: one `MR×NR`
+//! tile costs `kc` contiguous loads of `MR` A-values and `NR` B-values
+//! and `MR·NR` fused multiply-adds per step.
 
 use crate::tensor::Tensor;
+use cnn_stack_parallel::{parallel_tiles, DisjointWriter, Schedule};
+use std::sync::OnceLock;
+
+/// Micro-kernel tile height: rows of A (and C) per register tile.
+pub const MR: usize = 6;
+/// Micro-kernel tile width: columns of B (and C) per register tile.
+///
+/// Two 8-lane AVX2 vectors; with `MR = 6` the kernel holds 12 YMM
+/// accumulators plus two B loads and one A broadcast — 15 of the 16
+/// architectural YMM registers.
+pub const NR: usize = 16;
 
 /// Which GEMM kernel to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -19,10 +48,13 @@ pub enum GemmAlgorithm {
     /// Textbook triple loop (`ijk`). O(MNK), poor locality on large K.
     Naive,
     /// Cache-blocked `ikj` ordering with 64-element square blocks.
-    #[default]
     Blocked,
     /// Parameterised register/cache tiling; see [`TileConfig`].
     Tiled(TileConfig),
+    /// BLIS-style packed panels + `MR×NR` micro-kernel (AVX2/FMA when
+    /// available). The fast path for conv-im2col and linear layers.
+    #[default]
+    Packed,
 }
 
 /// Tiling parameters for [`GemmAlgorithm::Tiled`].
@@ -81,7 +113,472 @@ impl Default for TileConfig {
     }
 }
 
-/// Computes `C = A · B` for rank-2 tensors with the default blocked kernel.
+/// Blocking plan for one packed GEMM shape: the `MC/KC/NC/MR/NR`
+/// parameters plus the packed-buffer sizes they imply.
+///
+/// `InferencePlan` compiles one of these per conv-im2col / linear layer
+/// so weight panels can be packed once at plan time and packing scratch
+/// can be sized into the session arena.
+///
+/// # Example
+///
+/// ```
+/// use cnn_stack_tensor::{GemmPlan, MR, NR};
+///
+/// let plan = GemmPlan::new(512, 4608, 196);
+/// assert_eq!(plan.packed_a_elems(), 512usize.div_ceil(MR) * MR * 4608);
+/// assert_eq!(plan.packed_b_elems(), 196usize.div_ceil(NR) * NR * 4608);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GemmPlan {
+    /// Output rows (rows of A).
+    pub m: usize,
+    /// Reduction extent (columns of A, rows of B).
+    pub k: usize,
+    /// Output columns (columns of B).
+    pub n: usize,
+    /// Rows per parallel row-chunk (multiple of [`MR`]); bounds the A
+    /// working set of one grain to `mc × kc` floats (L2-resident).
+    pub mc: usize,
+    /// Reduction block: the micro-kernel walks K in `kc` steps so one
+    /// `kc×NR` B block (64 KiB at `kc = 1024`... sized to 16 KiB here)
+    /// stays L1-resident while it is reused across a whole row-chunk.
+    pub kc: usize,
+    /// Columns per parallel column-grain (multiple of [`NR`]).
+    pub nc: usize,
+}
+
+impl GemmPlan {
+    /// Chooses blocking parameters for an `m×k · k×n` product.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        // kc = 256: one NR-wide B block is 256·16·4 = 16 KiB — half of a
+        // typical 32 KiB L1D, leaving room for the 6 KiB A block and the
+        // C tile.
+        let kc = k.clamp(1, 256);
+        // mc = 96 rows = 16 MR-panels: the A working set of a grain is
+        // mc·kc·4 ≈ 96 KiB, comfortably L2-resident.
+        let mc = (MR * 16).min(m.div_ceil(MR) * MR).max(MR);
+        // nc = 64 cols = 4 NR-panels per grain: coarse enough that grain
+        // dispatch is amortised, fine enough that row_chunks × col_chunks
+        // exceeds the pool size for every conv shape in the paper models.
+        let nc = (NR * 4).min(n.div_ceil(NR) * NR).max(NR);
+        GemmPlan {
+            m,
+            k,
+            n,
+            mc,
+            kc,
+            nc,
+        }
+    }
+
+    /// Number of MR-row panels A packs into.
+    pub fn m_panels(&self) -> usize {
+        self.m.div_ceil(MR)
+    }
+
+    /// Number of NR-column panels B packs into.
+    pub fn n_panels(&self) -> usize {
+        self.n.div_ceil(NR)
+    }
+
+    /// Elements in the packed-A buffer (rows zero-padded to a multiple
+    /// of [`MR`]).
+    pub fn packed_a_elems(&self) -> usize {
+        self.m_panels() * MR * self.k
+    }
+
+    /// Elements in the packed-B buffer (columns zero-padded to a
+    /// multiple of [`NR`]).
+    pub fn packed_b_elems(&self) -> usize {
+        self.n_panels() * NR * self.k
+    }
+
+    /// Scratch elements needed to pack both operands.
+    pub fn scratch_elems(&self) -> usize {
+        self.packed_a_elems() + self.packed_b_elems()
+    }
+
+    /// Parallel grains along M (row-chunks of `mc` rows).
+    pub fn row_chunks(&self) -> usize {
+        self.m_panels().div_ceil(self.mc / MR)
+    }
+
+    /// Parallel grains along N (column-grains of `nc` columns).
+    pub fn col_chunks(&self) -> usize {
+        self.n_panels().div_ceil(self.nc / NR)
+    }
+}
+
+/// Packs `a[m×k]` (row-major) into MR-row panels: panel `ip` holds rows
+/// `[ip·MR, ip·MR+MR)` k-major, i.e. `buf[ip·MR·k + p·MR + r]`. Rows
+/// beyond `m` are zero-filled. Writes every element of the panel region,
+/// so `buf` may hold arbitrary garbage on entry.
+///
+/// # Panics
+///
+/// Panics if `a` or `buf` is shorter than the plan requires.
+pub fn pack_a_into(plan: &GemmPlan, a: &[f32], buf: &mut [f32]) {
+    let (m, k) = (plan.m, plan.k);
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert!(
+        buf.len() >= plan.packed_a_elems(),
+        "packed-A buffer too small"
+    );
+    for ip in 0..plan.m_panels() {
+        let dst = &mut buf[ip * MR * k..(ip + 1) * MR * k];
+        for r in 0..MR {
+            let row = ip * MR + r;
+            if row < m {
+                let src = &a[row * k..row * k + k];
+                for (p, &v) in src.iter().enumerate() {
+                    dst[p * MR + r] = v;
+                }
+            } else {
+                for p in 0..k {
+                    dst[p * MR + r] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Packs `b[k×n]` (row-major) into NR-column panels: panel `jp` holds
+/// columns `[jp·NR, jp·NR+NR)`, i.e. `buf[jp·NR·k + p·NR + c]`. Columns
+/// beyond `n` are zero-filled.
+///
+/// # Panics
+///
+/// Panics if `b` or `buf` is shorter than the plan requires.
+pub fn pack_b_into(plan: &GemmPlan, b: &[f32], buf: &mut [f32]) {
+    let (k, n) = (plan.k, plan.n);
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert!(
+        buf.len() >= plan.packed_b_elems(),
+        "packed-B buffer too small"
+    );
+    for jp in 0..plan.n_panels() {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let dst = &mut buf[jp * NR * k..(jp + 1) * NR * k];
+        for p in 0..k {
+            let src = &b[p * n + j0..p * n + j0 + cols];
+            let d = &mut dst[p * NR..p * NR + NR];
+            d[..cols].copy_from_slice(src);
+            d[cols..].fill(0.0);
+        }
+    }
+}
+
+/// Packs `Wᵀ` into NR-column panels directly from `w[n×k]` (row-major),
+/// without materialising the transpose: the packed B is the `k×n`
+/// matrix with `B[p][j] = w[j·k + p]`. This is the linear layer's
+/// weight layout (`W[out, in]`, `B = Wᵀ`).
+///
+/// # Panics
+///
+/// Panics if `w` or `buf` is shorter than the plan requires.
+pub fn pack_b_transposed_into(plan: &GemmPlan, w: &[f32], buf: &mut [f32]) {
+    let (k, n) = (plan.k, plan.n);
+    assert_eq!(w.len(), n * k, "W length mismatch");
+    assert!(
+        buf.len() >= plan.packed_b_elems(),
+        "packed-B buffer too small"
+    );
+    for jp in 0..plan.n_panels() {
+        let j0 = jp * NR;
+        let dst = &mut buf[jp * NR * k..(jp + 1) * NR * k];
+        for c in 0..NR {
+            let col = j0 + c;
+            if col < n {
+                let src = &w[col * k..col * k + k];
+                for (p, &v) in src.iter().enumerate() {
+                    dst[p * NR + c] = v;
+                }
+            } else {
+                for p in 0..k {
+                    dst[p * NR + c] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Which micro-kernel the packed engine dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MicroKernel {
+    Scalar,
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    Avx2Fma,
+}
+
+/// Runtime kernel selection, resolved once per process. Set
+/// `CNN_STACK_GEMM_FORCE_SCALAR=1` (before the first GEMM) to pin the
+/// portable kernel for A/B comparisons.
+fn active_kernel() -> MicroKernel {
+    static KERNEL: OnceLock<MicroKernel> = OnceLock::new();
+    *KERNEL.get_or_init(|| {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        {
+            if std::env::var_os("CNN_STACK_GEMM_FORCE_SCALAR").is_none()
+                && is_x86_feature_detected!("avx2")
+                && is_x86_feature_detected!("fma")
+            {
+                return MicroKernel::Avx2Fma;
+            }
+        }
+        MicroKernel::Scalar
+    })
+}
+
+/// Name of the micro-kernel the packed engine will use on this host
+/// (`"avx2+fma"` or `"scalar"`). Benchmarks record it next to their
+/// numbers.
+pub fn gemm_kernel_name() -> &'static str {
+    match active_kernel() {
+        MicroKernel::Scalar => "scalar",
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        MicroKernel::Avx2Fma => "avx2+fma",
+    }
+}
+
+/// Portable micro-kernel: `acc[MR][NR] += A-panel-block · B-panel-block`
+/// over `a.len()/MR` reduction steps. Written so the inner loop
+/// autovectorises: fixed-width rows, `chunks_exact`, no bounds checks in
+/// the hot loop.
+fn microkernel_scalar(a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (ap, bp) in a.chunks_exact(MR).zip(b.chunks_exact(NR)) {
+        let ap: &[f32; MR] = ap.try_into().expect("chunks_exact yields MR");
+        let bp: &[f32; NR] = bp.try_into().expect("chunks_exact yields NR");
+        for r in 0..MR {
+            let ar = ap[r];
+            let row = &mut acc[r];
+            for c in 0..NR {
+                row[c] += ar * bp[c];
+            }
+        }
+    }
+}
+
+/// AVX2/FMA micro-kernel: 12 YMM accumulators (6 rows × 2 vectors of 8
+/// lanes), one broadcast per A value, two loads per B step.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA (checked once in
+/// [`active_kernel`]). `a.len()` must be a multiple of `MR` and
+/// `b.len()/NR` must equal `a.len()/MR`.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_avx2(a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86")]
+    use core::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    debug_assert_eq!(a.len() % MR, 0);
+    debug_assert_eq!(b.len() % NR, 0);
+    debug_assert_eq!(a.len() / MR, b.len() / NR);
+    let kc = a.len() / MR;
+
+    // SAFETY (all intrinsics below): loads/stores stay inside `a`, `b`
+    // and `acc`, whose lengths are checked above; alignment is not
+    // required by the unaligned (`_mm256_loadu_ps`/`_mm256_storeu_ps`)
+    // forms.
+    let mut c00 = _mm256_loadu_ps(acc[0].as_ptr());
+    let mut c01 = _mm256_loadu_ps(acc[0].as_ptr().add(8));
+    let mut c10 = _mm256_loadu_ps(acc[1].as_ptr());
+    let mut c11 = _mm256_loadu_ps(acc[1].as_ptr().add(8));
+    let mut c20 = _mm256_loadu_ps(acc[2].as_ptr());
+    let mut c21 = _mm256_loadu_ps(acc[2].as_ptr().add(8));
+    let mut c30 = _mm256_loadu_ps(acc[3].as_ptr());
+    let mut c31 = _mm256_loadu_ps(acc[3].as_ptr().add(8));
+    let mut c40 = _mm256_loadu_ps(acc[4].as_ptr());
+    let mut c41 = _mm256_loadu_ps(acc[4].as_ptr().add(8));
+    let mut c50 = _mm256_loadu_ps(acc[5].as_ptr());
+    let mut c51 = _mm256_loadu_ps(acc[5].as_ptr().add(8));
+
+    let mut ap = a.as_ptr();
+    let mut bp = b.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        let a0 = _mm256_set1_ps(*ap);
+        c00 = _mm256_fmadd_ps(a0, b0, c00);
+        c01 = _mm256_fmadd_ps(a0, b1, c01);
+        let a1 = _mm256_set1_ps(*ap.add(1));
+        c10 = _mm256_fmadd_ps(a1, b0, c10);
+        c11 = _mm256_fmadd_ps(a1, b1, c11);
+        let a2 = _mm256_set1_ps(*ap.add(2));
+        c20 = _mm256_fmadd_ps(a2, b0, c20);
+        c21 = _mm256_fmadd_ps(a2, b1, c21);
+        let a3 = _mm256_set1_ps(*ap.add(3));
+        c30 = _mm256_fmadd_ps(a3, b0, c30);
+        c31 = _mm256_fmadd_ps(a3, b1, c31);
+        let a4 = _mm256_set1_ps(*ap.add(4));
+        c40 = _mm256_fmadd_ps(a4, b0, c40);
+        c41 = _mm256_fmadd_ps(a4, b1, c41);
+        let a5 = _mm256_set1_ps(*ap.add(5));
+        c50 = _mm256_fmadd_ps(a5, b0, c50);
+        c51 = _mm256_fmadd_ps(a5, b1, c51);
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+
+    _mm256_storeu_ps(acc[0].as_mut_ptr(), c00);
+    _mm256_storeu_ps(acc[0].as_mut_ptr().add(8), c01);
+    _mm256_storeu_ps(acc[1].as_mut_ptr(), c10);
+    _mm256_storeu_ps(acc[1].as_mut_ptr().add(8), c11);
+    _mm256_storeu_ps(acc[2].as_mut_ptr(), c20);
+    _mm256_storeu_ps(acc[2].as_mut_ptr().add(8), c21);
+    _mm256_storeu_ps(acc[3].as_mut_ptr(), c30);
+    _mm256_storeu_ps(acc[3].as_mut_ptr().add(8), c31);
+    _mm256_storeu_ps(acc[4].as_mut_ptr(), c40);
+    _mm256_storeu_ps(acc[4].as_mut_ptr().add(8), c41);
+    _mm256_storeu_ps(acc[5].as_mut_ptr(), c50);
+    _mm256_storeu_ps(acc[5].as_mut_ptr().add(8), c51);
+}
+
+/// Dispatches one `MR×NR` reduction block to the active micro-kernel.
+#[inline]
+fn microkernel(kernel: MicroKernel, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    match kernel {
+        MicroKernel::Scalar => microkernel_scalar(a, b, acc),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: `Avx2Fma` is only ever selected by `active_kernel`
+        // after `is_x86_feature_detected!` confirmed AVX2 and FMA; the
+        // slice-length contract is upheld by the panel driver.
+        MicroKernel::Avx2Fma => unsafe { microkernel_avx2(a, b, acc) },
+    }
+}
+
+/// Packed GEMM over pre-packed operands: `c[m×n] += packed_a · packed_b`.
+///
+/// Both operands must be packed with this `plan`'s shape (see
+/// [`pack_a_into`] / [`pack_b_into`]). The `(row-chunk, column-grain)`
+/// grid is distributed over `threads` workers via
+/// `cnn_stack_parallel::parallel_tiles`; each grain walks K in `kc`
+/// blocks so the active B block stays cache-resident while it is reused
+/// across the row-chunk. Never allocates.
+///
+/// # Panics
+///
+/// Panics if a buffer is shorter than the plan requires.
+pub fn gemm_prepacked(
+    plan: &GemmPlan,
+    packed_a: &[f32],
+    packed_b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    schedule: Schedule,
+) {
+    let GemmPlan { m, k, n, .. } = *plan;
+    assert!(
+        packed_a.len() >= plan.packed_a_elems(),
+        "packed-A too small"
+    );
+    assert!(
+        packed_b.len() >= plan.packed_b_elems(),
+        "packed-B too small"
+    );
+    assert_eq!(c.len(), m * n, "C length mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        // k == 0 is an empty reduction: C += 0, exactly like the naive loop.
+        return;
+    }
+    let kernel = active_kernel();
+    let m_panels = plan.m_panels();
+    let n_panels = plan.n_panels();
+    let panels_per_row_chunk = plan.mc / MR;
+    let panels_per_col_chunk = plan.nc / NR;
+    let kc = plan.kc;
+
+    let writer = DisjointWriter::new(c);
+    let writer = &writer;
+    parallel_tiles(
+        threads,
+        plan.row_chunks(),
+        plan.col_chunks(),
+        schedule,
+        |rc, cc| {
+            let ip0 = rc * panels_per_row_chunk;
+            let ip1 = (ip0 + panels_per_row_chunk).min(m_panels);
+            let jp0 = cc * panels_per_col_chunk;
+            let jp1 = (jp0 + panels_per_col_chunk).min(n_panels);
+            // K-blocked panel walk: the kc×NR B block loaded for `jp`
+            // stays L1-resident while every row panel of the chunk
+            // streams past it.
+            let mut pc = 0;
+            while pc < k {
+                let kc_eff = kc.min(k - pc);
+                for jp in jp0..jp1 {
+                    let b_block =
+                        &packed_b[jp * NR * k + pc * NR..jp * NR * k + (pc + kc_eff) * NR];
+                    let j0 = jp * NR;
+                    let cols = NR.min(n - j0);
+                    for ip in ip0..ip1 {
+                        let a_block =
+                            &packed_a[ip * MR * k + pc * MR..ip * MR * k + (pc + kc_eff) * MR];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        microkernel(kernel, a_block, b_block, &mut acc);
+                        let i0 = ip * MR;
+                        let rows = MR.min(m - i0);
+                        for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                            let row = i0 + r;
+                            // SAFETY: grain (rc, cc) exclusively owns
+                            // rows [ip0·MR, ip1·MR) × cols [jp0·NR,
+                            // jp1·NR) of C; ranges from distinct grains
+                            // never overlap, and the buffer outlives
+                            // the parallel region.
+                            let dst =
+                                unsafe { writer.slice_mut(row * n + j0, row * n + j0 + cols) };
+                            for (d, &v) in dst.iter_mut().zip(&acc_row[..cols]) {
+                                *d += v;
+                            }
+                        }
+                    }
+                }
+                pc += kc_eff;
+            }
+        },
+    );
+}
+
+/// Packed GEMM from unpacked operands: packs A and B into `scratch`
+/// (sized by [`GemmPlan::scratch_elems`]), then runs [`gemm_prepacked`].
+/// `c[m×n] += a[m×k] · b[k×n]`; never allocates.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions or
+/// `scratch` is too small.
+#[allow(clippy::too_many_arguments)] // low-level kernel: the argument list *is* the GEMM shape
+pub fn gemm_packed_into(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut [f32],
+    threads: usize,
+    schedule: Schedule,
+) {
+    let plan = GemmPlan::new(m, k, n);
+    assert!(
+        scratch.len() >= plan.scratch_elems(),
+        "packing scratch too small: {} < {}",
+        scratch.len(),
+        plan.scratch_elems()
+    );
+    let (pa, pb) = scratch.split_at_mut(plan.packed_a_elems());
+    pack_a_into(&plan, a, pa);
+    pack_b_into(&plan, b, pb);
+    gemm_prepacked(&plan, pa, pb, c, threads, schedule);
+}
+
+/// Computes `C = A · B` for rank-2 tensors with the default packed
+/// kernel.
 ///
 /// # Panics
 ///
@@ -97,7 +594,7 @@ impl Default for TileConfig {
 /// assert_eq!(matmul(&a, &b).data(), &[11.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    matmul_with(a, b, GemmAlgorithm::Blocked)
+    matmul_with(a, b, GemmAlgorithm::Packed)
 }
 
 /// Computes `C = A · B` with an explicit kernel choice.
@@ -119,6 +616,10 @@ pub fn matmul_with(a: &Tensor, b: &Tensor, algo: GemmAlgorithm) -> Tensor {
 /// The accumulating (`+=`) contract lets callers fold a bias initialisation
 /// into `c` before the product.
 ///
+/// [`GemmAlgorithm::Packed`] allocates a packing-scratch vector here for
+/// convenience; allocation-free callers should hold their own scratch
+/// and use [`gemm_packed_into`] / [`gemm_prepacked`].
+///
 /// # Panics
 ///
 /// Panics if slice lengths do not match the given dimensions.
@@ -138,6 +639,11 @@ pub fn gemm_into(
         GemmAlgorithm::Naive => gemm_naive(a, b, c, m, k, n),
         GemmAlgorithm::Blocked => gemm_tiled(a, b, c, m, k, n, TileConfig::new(64, 64, 64, 4)),
         GemmAlgorithm::Tiled(cfg) => gemm_tiled(a, b, c, m, k, n, cfg),
+        GemmAlgorithm::Packed => {
+            let plan = GemmPlan::new(m, k, n);
+            let mut scratch = vec![0.0f32; plan.scratch_elems()];
+            gemm_packed_into(a, b, c, m, k, n, &mut scratch, 1, Schedule::Static);
+        }
     }
 }
 
@@ -171,10 +677,9 @@ pub fn gemm_rows_into(
     for i in row_start..row_end {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
+        // No zero-value skip here: `0 · NaN` must stay NaN, exactly as in
+        // `gemm_naive` — sparsity exploitation belongs to the CSR path.
         for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
             let b_row = &b[p * n..(p + 1) * n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                 *cv += av * bv;
@@ -213,10 +718,9 @@ fn gemm_tiled(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize,
                 let j1 = (j0 + tile_n).min(n);
                 for i in i0..i1 {
                     for p in p0..p1 {
+                        // No zero-value skip: `0 · NaN` must stay NaN to
+                        // match `gemm_naive` on non-finite inputs.
                         let av = a[i * k + p];
-                        if av == 0.0 {
-                            continue;
-                        }
                         let b_row = &b[p * n..p * n + n];
                         let c_row = &mut c[i * n..i * n + n];
                         let mut j = j0;
@@ -282,12 +786,177 @@ mod tests {
             let naive = matmul_with(&a, &b, GemmAlgorithm::Naive);
             let blocked = matmul_with(&a, &b, GemmAlgorithm::Blocked);
             let tiled = matmul_with(&a, &b, GemmAlgorithm::Tiled(TileConfig::new(8, 8, 8, 2)));
+            let packed = matmul_with(&a, &b, GemmAlgorithm::Packed);
             assert!(
                 naive.allclose(&blocked, 1e-4),
                 "blocked mismatch {m}x{k}x{n}"
             );
             assert!(naive.allclose(&tiled, 1e-4), "tiled mismatch {m}x{k}x{n}");
+            assert!(naive.allclose(&packed, 1e-4), "packed mismatch {m}x{k}x{n}");
         }
+    }
+
+    #[test]
+    fn packed_degenerate_shapes_match_naive() {
+        // Shapes the panel edges must handle: single row/col, m < MR,
+        // n not a multiple of NR, k smaller and larger than kc.
+        for &(m, k, n) in &[
+            (1, 9, 1),
+            (1, 1, 1),
+            (MR - 1, 13, NR - 1),
+            (MR + 1, 300, NR + 1),
+            (2 * MR, 17, 3 * NR),
+            (97, 260, 33),
+        ] {
+            let a = random_tensor([m, k], (m + k) as u64);
+            let b = random_tensor([k, n], (k + n) as u64);
+            let naive = matmul_with(&a, &b, GemmAlgorithm::Naive);
+            let packed = matmul_with(&a, &b, GemmAlgorithm::Packed);
+            assert!(naive.allclose(&packed, 1e-4), "packed mismatch {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn packed_parallel_matches_serial() {
+        let (m, k, n) = (41, 129, 53);
+        let a = random_tensor([m, k], 7);
+        let b = random_tensor([k, n], 8);
+        let serial = matmul_with(&a, &b, GemmAlgorithm::Packed);
+        let plan = GemmPlan::new(m, k, n);
+        let mut scratch = vec![0.0f32; plan.scratch_elems()];
+        for threads in [2, 4] {
+            let mut c = vec![0.0f32; m * n];
+            gemm_packed_into(
+                a.data(),
+                b.data(),
+                &mut c,
+                m,
+                k,
+                n,
+                &mut scratch,
+                threads,
+                Schedule::Dynamic { chunk: 1 },
+            );
+            let c = Tensor::from_vec([m, n], c);
+            assert!(serial.allclose(&c, 1e-5), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scalar_and_simd_kernels_agree() {
+        // Drive both micro-kernels directly over the same packed panels;
+        // on non-x86 hosts this degenerates to scalar-vs-scalar.
+        let (m, k, n) = (MR, 37, NR);
+        let a = random_tensor([m, k], 21);
+        let b = random_tensor([k, n], 22);
+        let plan = GemmPlan::new(m, k, n);
+        let mut pa = vec![0.0f32; plan.packed_a_elems()];
+        let mut pb = vec![0.0f32; plan.packed_b_elems()];
+        pack_a_into(&plan, a.data(), &mut pa);
+        pack_b_into(&plan, b.data(), &mut pb);
+        let mut scalar = [[0.0f32; NR]; MR];
+        microkernel_scalar(&pa, &pb, &mut scalar);
+        let mut other = [[0.0f32; NR]; MR];
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            // SAFETY: AVX2+FMA presence just checked; panel lengths are
+            // plan-consistent by construction.
+            unsafe { microkernel_avx2(&pa, &pb, &mut other) };
+        } else {
+            microkernel_scalar(&pa, &pb, &mut other);
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        microkernel_scalar(&pa, &pb, &mut other);
+        for r in 0..MR {
+            for c in 0..NR {
+                assert!(
+                    (scalar[r][c] - other[r][c]).abs() <= 1e-4,
+                    "kernel mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_weights_reusable_across_calls() {
+        // Pack B once, run two products against different A operands —
+        // the plan-time weight-packing pattern the engine relies on.
+        let (m, k, n) = (10, 24, 20);
+        let b = random_tensor([k, n], 31);
+        let plan = GemmPlan::new(m, k, n);
+        let mut pb = vec![0.0f32; plan.packed_b_elems()];
+        pack_b_into(&plan, b.data(), &mut pb);
+        let mut pa = vec![0.0f32; plan.packed_a_elems()];
+        for seed in [1u64, 2] {
+            let a = random_tensor([m, k], seed);
+            pack_a_into(&plan, a.data(), &mut pa);
+            let mut c = vec![0.0f32; m * n];
+            gemm_prepacked(&plan, &pa, &pb, &mut c, 1, Schedule::Static);
+            let reference = matmul_with(&a, &b, GemmAlgorithm::Naive);
+            let c = Tensor::from_vec([m, n], c);
+            assert!(reference.allclose(&c, 1e-4), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pack_b_transposed_matches_explicit_transpose() {
+        let (n, k) = (23, 17); // W is [n × k]; B = Wᵀ is [k × n].
+        let w = random_tensor([n, k], 77);
+        let mut bt = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bt[p * n + j] = w.data()[j * k + p];
+            }
+        }
+        let plan = GemmPlan::new(4, k, n);
+        let mut direct = vec![0.0f32; plan.packed_b_elems()];
+        let mut via_transpose = vec![0.0f32; plan.packed_b_elems()];
+        pack_b_transposed_into(&plan, w.data(), &mut direct);
+        pack_b_into(&plan, &bt, &mut via_transpose);
+        assert_eq!(direct, via_transpose);
+    }
+
+    #[test]
+    fn non_finite_b_propagates_through_all_kernels() {
+        // Regression for the old `av == 0.0 { continue }` skip: a zero in
+        // A must still multiply a NaN in B (0 · NaN = NaN). Row 0 of A is
+        // all zeros; B has a NaN and an Inf column.
+        let (m, k, n) = (4, 5, 6);
+        let mut a = vec![0.5f32; m * k];
+        a[..k].fill(0.0); // row 0 ≡ 0
+        let mut b = vec![1.0f32; k * n];
+        b[2 * n + 1] = f32::NAN; // column 1 sees a NaN at k-step 2
+        b[3 * n + 4] = f32::INFINITY; // column 4 sees +Inf (all products ≥ 0)
+        for algo in [
+            GemmAlgorithm::Naive,
+            GemmAlgorithm::Blocked,
+            GemmAlgorithm::Tiled(TileConfig::new(8, 8, 8, 2)),
+            GemmAlgorithm::Packed,
+        ] {
+            let mut c = vec![0.0f32; m * n];
+            gemm_into(&a, &b, &mut c, m, k, n, algo);
+            for i in 0..m {
+                assert!(
+                    c[i * n + 1].is_nan(),
+                    "row {i} col 1 must be NaN under {algo:?}, got {}",
+                    c[i * n + 1]
+                );
+            }
+            // The all-zero A row turns +Inf into 0 · Inf = NaN; other rows
+            // accumulate +Inf.
+            assert!(c[4].is_nan(), "0 · Inf must be NaN under {algo:?}");
+            for i in 1..m {
+                assert!(
+                    c[i * n + 4] == f32::INFINITY,
+                    "row {i} col 4 must be +Inf under {algo:?}"
+                );
+            }
+        }
+        // And through the row-partitioned kernel the parallel executor uses.
+        let mut c = vec![0.0f32; m * n];
+        gemm_rows_into(&a, &b, &mut c, m, k, n, 0, 2);
+        gemm_rows_into(&a, &b, &mut c, m, k, n, 2, m);
+        assert!(c[n + 1].is_nan() && c[4].is_nan());
     }
 
     #[test]
@@ -307,9 +976,30 @@ mod tests {
     fn accumulates_into_c() {
         let a = Tensor::ones([2, 2]);
         let b = Tensor::ones([2, 2]);
-        let mut c = vec![10.0; 4];
-        gemm_into(a.data(), b.data(), &mut c, 2, 2, 2, GemmAlgorithm::Naive);
-        assert_eq!(c, vec![12.0; 4]);
+        for algo in [GemmAlgorithm::Naive, GemmAlgorithm::Packed] {
+            let mut c = vec![10.0; 4];
+            gemm_into(a.data(), b.data(), &mut c, 2, 2, 2, algo);
+            assert_eq!(c, vec![12.0; 4], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn plan_sizes_are_consistent() {
+        let plan = GemmPlan::new(512, 4608, 196);
+        assert_eq!(plan.m_panels(), 512usize.div_ceil(MR));
+        assert_eq!(plan.n_panels(), 196usize.div_ceil(NR));
+        assert_eq!(
+            plan.scratch_elems(),
+            plan.packed_a_elems() + plan.packed_b_elems()
+        );
+        assert_eq!(plan.mc % MR, 0);
+        assert_eq!(plan.nc % NR, 0);
+        assert!(plan.kc >= 1 && plan.kc <= 4608);
+        assert!(plan.row_chunks() * plan.col_chunks() >= 4);
+        // Tiny shapes still produce valid (non-zero) blocking.
+        let tiny = GemmPlan::new(1, 1, 1);
+        assert_eq!(tiny.row_chunks(), 1);
+        assert_eq!(tiny.col_chunks(), 1);
     }
 
     #[test]

@@ -157,6 +157,69 @@ pub fn im2col_into(image: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
     }
 }
 
+/// Fused im2col → pack-B: writes the NR-column GEMM panels of the im2col
+/// matrix directly from the NCHW image, without materialising the
+/// `[patch_len, out_positions]` column matrix in between.
+///
+/// The output layout is identical to
+/// [`pack_b_into`](crate::gemm::pack_b_into) applied to the [`im2col`]
+/// matrix with `k = patch_len()` and `n = out_positions()`: panel `jp`
+/// holds output positions `[jp·NR, jp·NR+NR)` at
+/// `buf[jp·NR·k + p·NR + c]`, with out-of-range positions zero-filled.
+/// Out-of-bounds image taps read as zero (zero padding). Every element
+/// of the panel region is written, so `buf` may hold arbitrary scratch
+/// garbage on entry.
+///
+/// # Panics
+///
+/// Panics if `image` or `buf` lengths do not match the geometry.
+pub fn pack_b_im2col_into(image: &[f32], geom: &Conv2dGeometry, buf: &mut [f32]) {
+    use crate::gemm::NR;
+    assert_eq!(
+        image.len(),
+        geom.in_channels * geom.in_h * geom.in_w,
+        "image length does not match geometry"
+    );
+    let k = geom.patch_len();
+    let n = geom.out_positions();
+    let n_panels = n.div_ceil(NR);
+    assert!(
+        buf.len() >= n_panels * NR * k,
+        "packed-B buffer does not match geometry"
+    );
+    for jp in 0..n_panels {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let dst = &mut buf[jp * NR * k..(jp + 1) * NR * k];
+        let mut row = 0;
+        for c in 0..geom.in_channels {
+            let plane = &image[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+            for kh in 0..geom.k_h {
+                for kw in 0..geom.k_w {
+                    let d = &mut dst[row * NR..row * NR + NR];
+                    for (ci, v) in d.iter_mut().enumerate().take(cols) {
+                        let col = j0 + ci;
+                        let (oh, ow) = (col / geom.out_w, col % geom.out_w);
+                        let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
+                        let iw = (ow * geom.stride + kw) as isize - geom.padding as isize;
+                        *v = if ih >= 0
+                            && iw >= 0
+                            && (ih as usize) < geom.in_h
+                            && (iw as usize) < geom.in_w
+                        {
+                            plane[ih as usize * geom.in_w + iw as usize]
+                        } else {
+                            0.0
+                        };
+                    }
+                    d[cols..].fill(0.0);
+                    row += 1;
+                }
+            }
+        }
+    }
+}
+
 /// Inverse of [`im2col`]: scatter-adds a `[patch_len, out_h*out_w]` matrix
 /// back into a `C*H*W` image buffer. Overlapping patches accumulate, which
 /// is exactly the gradient flow required by the convolution backward pass.
@@ -286,6 +349,27 @@ mod tests {
         assert_eq!(back[4], 9.0);
         assert_eq!(back[0], 4.0);
         assert_eq!(back[1], 6.0);
+    }
+
+    #[test]
+    fn fused_pack_matches_im2col_then_pack() {
+        use crate::gemm::{pack_b_into, GemmPlan};
+        for (geom, name) in [
+            (Conv2dGeometry::new(3, 8, 8, 3, 3, 1, 1), "same-3x3"),
+            (Conv2dGeometry::new(2, 9, 7, 3, 3, 2, 1), "stride-2"),
+            (Conv2dGeometry::new(4, 5, 5, 1, 1, 1, 0), "pointwise"),
+            (Conv2dGeometry::new(1, 4, 4, 2, 2, 1, 0), "2x2-nopad"),
+        ] {
+            let len = geom.in_channels * geom.in_h * geom.in_w;
+            let image: Vec<f32> = (0..len).map(|v| (v as f32 * 0.7).sin()).collect();
+            let cols_mat = im2col(&image, &geom);
+            let plan = GemmPlan::new(1, geom.patch_len(), geom.out_positions());
+            let mut via_matrix = vec![f32::NAN; plan.packed_b_elems()];
+            pack_b_into(&plan, cols_mat.data(), &mut via_matrix);
+            let mut fused = vec![f32::NAN; plan.packed_b_elems()];
+            pack_b_im2col_into(&image, &geom, &mut fused);
+            assert_eq!(fused, via_matrix, "{name}");
+        }
     }
 
     #[test]

@@ -26,8 +26,11 @@ pub mod shape;
 pub mod tensor;
 pub mod winograd;
 
-pub use gemm::{matmul, GemmAlgorithm, TileConfig};
-pub use im2col::{col2im, im2col, im2col_into, Conv2dGeometry};
+pub use gemm::{
+    gemm_kernel_name, gemm_packed_into, gemm_prepacked, matmul, pack_a_into, pack_b_into,
+    pack_b_transposed_into, GemmAlgorithm, GemmPlan, TileConfig, MR, NR,
+};
+pub use im2col::{col2im, im2col, im2col_into, pack_b_im2col_into, Conv2dGeometry};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use winograd::winograd_conv2d;

@@ -89,6 +89,66 @@ fn winograd_kernel_panic_demotes_to_im2col_bit_identically() {
     assert_eq!(session.profile().runs(), 2);
 }
 
+/// A panic inside the packed GEMM micro-kernel path demotes the step to
+/// the scalar blocked GEMM and re-runs, bit-identical to a session that
+/// ran the blocked GEMM from the start.
+#[test]
+fn packed_gemm_panic_demotes_to_blocked_bit_identically() {
+    use cnn_stack::tensor::GemmAlgorithm;
+    let seed = 23;
+    let input = ramp_input(4);
+    let mut net = conv_stack(seed);
+    // Default gemm_algo is Packed; the conv runs im2col + packed panels.
+    let cfg = cfg_with(ConvAlgorithm::Im2col, 1);
+    assert_eq!(cfg.gemm_algo, GemmAlgorithm::Packed);
+    let plan = InferencePlan::compile(&net, input.shape().dims(), &cfg).unwrap();
+    assert!(
+        plan.steps()[0].gemm.is_some(),
+        "the conv step compiles a packed GEMM plan"
+    );
+    let mut session = InferenceSession::new(&mut net, plan).unwrap();
+    session.inject_faults(FaultPlan::new().panic_in_kernel(0, 0));
+
+    let got = session.run(&input).expect("session recovers by demotion");
+
+    let health = session.health().clone();
+    assert_eq!(health.panics_contained, 1);
+    assert_eq!(health.demotions.len(), 1);
+    assert_eq!(health.demotions[0].layer_index, 0);
+    assert_eq!(health.demotions[0].action, DemotionAction::PackedToBlocked);
+    assert_eq!(health.demotions[0].reason, DemotionReason::KernelPanicked);
+
+    // Bit-identical to the demoted configuration run layer by layer:
+    // only the conv fell back to the blocked GEMM, the linear stays
+    // packed. All `eval_*_into` kernels are shared verbatim between
+    // `forward` and the arena engine, so this reference is exact.
+    let want = {
+        use cnn_stack::nn::Phase;
+        let mut rnet = conv_stack(seed);
+        let blocked_cfg = ExecConfig {
+            gemm_algo: GemmAlgorithm::Blocked,
+            ..cfg
+        };
+        let layers = rnet.layers_mut();
+        let mut x = layers[0].forward(&input, Phase::Eval, &blocked_cfg);
+        for layer in &mut layers[1..] {
+            x = layer.forward(&x, Phase::Eval, &cfg);
+        }
+        x
+    };
+    assert_eq!(got.shape().dims(), want.shape().dims());
+    let got_bits: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+    let want_bits: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got_bits, want_bits);
+
+    // A second fault-free run stays on the demoted configuration with no
+    // new demotions.
+    let again = session.run(&input).expect("demoted session is stable");
+    let again_bits: Vec<u32> = again.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got_bits, again_bits);
+    assert_eq!(session.health().demotions.len(), 1);
+}
+
 /// A guard trip on a CSR conv densifies the step and retries.
 #[test]
 fn guard_trip_on_csr_conv_demotes_to_dense() {

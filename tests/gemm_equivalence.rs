@@ -1,0 +1,269 @@
+//! Property-based equivalence suite for the packed GEMM engine: the
+//! packed panels + micro-kernel path (whatever kernel the host
+//! dispatches to) must agree with the naive triple loop on arbitrary
+//! shapes — including the MR/NR/KC boundary cases, degenerate extents,
+//! accumulation into a non-zero C, row-partitioned execution, and
+//! non-finite inputs.
+
+use cnn_stack::parallel::Schedule;
+use cnn_stack::tensor::{gemm, GemmPlan, Tensor, MR, NR};
+use proptest::prelude::*;
+
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i as u64 * 2654435761 + seed * 97) % 251) as f32 * 0.01 - 1.25)
+        .collect()
+}
+
+fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    gemm::gemm_into(a, b, &mut c, m, k, n, gemm::GemmAlgorithm::Naive);
+    c
+}
+
+fn packed(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, threads: usize) -> Vec<f32> {
+    let plan = GemmPlan::new(m, k, n);
+    let mut scratch = vec![0.0f32; plan.scratch_elems()];
+    let mut c = vec![0.0f32; m * n];
+    gemm::gemm_packed_into(
+        a,
+        b,
+        &mut c,
+        m,
+        k,
+        n,
+        &mut scratch,
+        threads,
+        Schedule::Static,
+    );
+    c
+}
+
+fn max_abs_diff(x: &[f32], y: &[f32]) -> f32 {
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packed agrees with naive on arbitrary shapes, including extents
+    /// that straddle the MR-row and NR-column panel boundaries.
+    #[test]
+    fn packed_matches_naive(
+        m in 1usize..40,
+        k in 1usize..70,
+        n in 1usize..50,
+        seed in 0u64..1000,
+    ) {
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed + 1);
+        let want = naive(&a, &b, m, k, n);
+        let got = packed(&a, &b, m, k, n, 1);
+        prop_assert!(max_abs_diff(&want, &got) <= 1e-4,
+            "m={} k={} n={} diff={}", m, k, n, max_abs_diff(&want, &got));
+    }
+
+    /// Exact panel-multiple shapes (no edge tiles) agree too — the
+    /// full-tile fast path writes every lane it computed.
+    #[test]
+    fn packed_matches_naive_at_panel_multiples(
+        mp in 1usize..5,
+        k in 1usize..40,
+        np in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (m, n) = (mp * MR, np * NR);
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed + 2);
+        prop_assert!(max_abs_diff(&naive(&a, &b, m, k, n), &packed(&a, &b, m, k, n, 1)) <= 1e-4);
+    }
+
+    /// The parallel panel grid computes exactly what the serial run
+    /// does: every (tile, KC-block) accumulation is identical work, so
+    /// the outputs are bitwise equal regardless of thread count.
+    #[test]
+    fn packed_parallel_is_bitwise_serial(
+        m in 1usize..30,
+        k in 1usize..40,
+        n in 1usize..40,
+        threads in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed + 3);
+        let serial = packed(&a, &b, m, k, n, 1);
+        let parallel = packed(&a, &b, m, k, n, threads);
+        let s_bits: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+        let p_bits: Vec<u32> = parallel.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(s_bits, p_bits);
+    }
+
+    /// The accumulate (`+=`) contract: a pre-initialised C (bias fill)
+    /// ends up with exactly `C0 + A·B`, matching naive accumulation.
+    #[test]
+    fn packed_accumulates_into_c(
+        m in 1usize..20,
+        k in 1usize..30,
+        n in 1usize..25,
+        seed in 0u64..1000,
+    ) {
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed + 4);
+        let c0 = fill(m * n, seed + 5);
+        let mut want = c0.clone();
+        gemm::gemm_into(&a, &b, &mut want, m, k, n, gemm::GemmAlgorithm::Naive);
+        let plan = GemmPlan::new(m, k, n);
+        let mut scratch = vec![0.0f32; plan.scratch_elems()];
+        let mut got = c0;
+        gemm::gemm_packed_into(&a, &b, &mut got, m, k, n, &mut scratch, 1, Schedule::Static);
+        prop_assert!(max_abs_diff(&want, &got) <= 1e-4);
+    }
+
+    /// Weight panels packed once serve any number of products against
+    /// different A matrices, bitwise identical to packing per call.
+    #[test]
+    fn prepacked_b_panels_are_reusable(
+        m1 in 1usize..15,
+        m2 in 1usize..15,
+        k in 1usize..30,
+        n in 1usize..30,
+        seed in 0u64..1000,
+    ) {
+        let b = fill(k * n, seed);
+        for m in [m1, m2] {
+            let plan = GemmPlan::new(m, k, n);
+            let mut packed_a = vec![0.0f32; plan.packed_a_elems()];
+            let mut packed_b = vec![0.0f32; plan.packed_b_elems()];
+            gemm::pack_b_into(&plan, &b, &mut packed_b);
+            let a = fill(m * k, seed + m as u64);
+            gemm::pack_a_into(&plan, &a, &mut packed_a);
+            let mut got = vec![0.0f32; m * n];
+            gemm::gemm_prepacked(&plan, &packed_a, &packed_b, &mut got, 1, Schedule::Static);
+            let want = packed(&a, &b, m, k, n, 1);
+            let w_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            let g_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(w_bits, g_bits);
+        }
+    }
+
+    /// `gemm_rows_into` over an arbitrary 3-way row partition assembles
+    /// the same C as one full blocked GEMM — the contract the batch
+    /// row-split drivers rely on.
+    #[test]
+    fn row_partition_assembles_full_product(
+        m in 1usize..24,
+        k in 1usize..20,
+        n in 1usize..20,
+        cut_a in 0usize..25,
+        cut_b in 0usize..25,
+        seed in 0u64..1000,
+    ) {
+        let (cut1, cut2) = {
+            let x = cut_a % (m + 1);
+            let y = cut_b % (m + 1);
+            (x.min(y), x.max(y))
+        };
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed + 6);
+        let mut got = vec![0.0f32; m * n];
+        for w in [0..cut1, cut1..cut2, cut2..m] {
+            gemm::gemm_rows_into(&a, &b, &mut got, m, k, n, w.start, w.end);
+        }
+        let mut want = vec![0.0f32; m * n];
+        gemm::gemm_into(&a, &b, &mut want, m, k, n, gemm::GemmAlgorithm::Blocked);
+        let w_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        let g_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(w_bits, g_bits);
+    }
+
+    /// A NaN planted anywhere in B lands in exactly the C entries whose
+    /// dot products consume it — no kernel may skip it (the old
+    /// zero-skip bug), and no other entry may be contaminated by panel
+    /// padding.
+    #[test]
+    fn non_finite_propagation_matches_naive(
+        m in 1usize..18,
+        k in 1usize..25,
+        n in 1usize..20,
+        pos in 0usize..500,
+        use_inf in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let a = fill(m * k, seed);
+        let mut b = fill(k * n, seed + 7);
+        b[pos % (k * n)] = if use_inf == 1 { f32::INFINITY } else { f32::NAN };
+        let want = naive(&a, &b, m, k, n);
+        for (label, got) in [
+            ("packed", packed(&a, &b, m, k, n, 1)),
+            ("packed_mt", packed(&a, &b, m, k, n, 3)),
+            ("blocked", {
+                let mut c = vec![0.0f32; m * n];
+                gemm::gemm_into(&a, &b, &mut c, m, k, n, gemm::GemmAlgorithm::Blocked);
+                c
+            }),
+        ] {
+            for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+                if w.is_nan() {
+                    prop_assert!(g.is_nan(), "{}: C[{}] lost a NaN (m={} k={} n={})", label, i, m, k, n);
+                } else if w.is_infinite() {
+                    prop_assert_eq!(*g, *w, "{}: C[{}] lost an infinity", label, i);
+                } else {
+                    prop_assert!((w - g).abs() <= 1e-3 + 1e-4 * w.abs(),
+                        "{}: C[{}] = {} vs naive {}", label, i, g, w);
+                }
+            }
+        }
+    }
+}
+
+/// Zero-extent reductions leave C exactly as initialised (the
+/// accumulate contract with nothing to add): the packed driver must not
+/// touch C when k == 0, and empty A/B slices must not panic.
+#[test]
+fn zero_k_leaves_c_untouched() {
+    let (m, n) = (5, 9);
+    let plan = GemmPlan::new(m, 0, n);
+    let mut scratch = vec![0.0f32; plan.scratch_elems()];
+    let c0 = fill(m * n, 3);
+    let mut c = c0.clone();
+    gemm::gemm_packed_into(&[], &[], &mut c, m, 0, n, &mut scratch, 2, Schedule::Static);
+    assert_eq!(c, c0);
+}
+
+/// Single-element and single-lane extents exercise every edge-masking
+/// branch of the micro-kernel write-back.
+#[test]
+fn minimal_extents_match_naive() {
+    for (m, k, n) in [
+        (1, 1, 1),
+        (1, 1, NR + 1),
+        (MR + 1, 1, 1),
+        (1, 300, 1),
+        (MR, 1, NR),
+        (2 * MR - 1, 257, 2 * NR - 1),
+    ] {
+        let a = fill(m * k, 42);
+        let b = fill(k * n, 43);
+        let want = naive(&a, &b, m, k, n);
+        let got = packed(&a, &b, m, k, n, 1);
+        assert!(
+            max_abs_diff(&want, &got) <= 1e-4,
+            "({m},{k},{n}) diverged by {}",
+            max_abs_diff(&want, &got)
+        );
+    }
+}
+
+/// The tensor-level entry point (`matmul`) routes through the packed
+/// engine and agrees with an explicit naive product.
+#[test]
+fn matmul_default_is_packed_and_correct() {
+    let a = Tensor::from_fn([23, 37], |i| (i as f32 * 0.37).sin());
+    let b = Tensor::from_fn([37, 19], |i| (i as f32 * 0.21).cos());
+    let want = gemm::matmul_with(&a, &b, gemm::GemmAlgorithm::Naive);
+    let got = gemm::matmul(&a, &b);
+    assert!(want.allclose(&got, 1e-4));
+}

@@ -31,6 +31,20 @@ echo "== gemm bench smoke =="
 # sweep (which regenerates BENCH_gemm.json) is run manually.
 GEMM_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench gemm
 
+echo "== plan-passes =="
+# Pass-based plan compiler: fusion equivalence (property-based, incl.
+# non-finite inputs), pointwise fast path, residual cache invalidation,
+# and a deterministic autotune smoke with the cache pinned to a temp
+# dir so the runner's real cache is never touched.
+cargo test -q --test plan_passes
+cargo test -q -p cnn-stack-nn passes::
+TUNE_DIR="$(mktemp -d)"
+CNN_STACK_TUNE_CACHE="$TUNE_DIR/tune.tsv" cargo test -q -p cnn-stack-nn passes::tests::autotune
+rm -rf "$TUNE_DIR"
+# End-to-end plan bench harness on a tiny width (full run regenerates
+# BENCH_plan.json manually).
+PLAN_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench plan
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,7 +1,7 @@
 //! The `Model` bundle: a network plus its pruning metadata and identity.
 
 use crate::plan::PruningPlan;
-use cnn_stack_nn::Network;
+use cnn_stack_nn::{Error, ExecConfig, InferencePlan, Network, PlanCompiler};
 
 /// Which of the paper's three architectures a [`Model`] instantiates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -81,6 +81,24 @@ impl Model {
     pub fn input_shape(&self, n: usize) -> Vec<usize> {
         vec![n, 3, 32, 32]
     }
+
+    /// Compiles the network into an inference plan at batch size `n`
+    /// through `compiler`'s pass pipeline. Passes may rewrite the
+    /// network in place (batch-norm folding, per-layer weight-format
+    /// switches), which is why this takes `&mut self`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::InvalidConfig`] from plan compilation.
+    pub fn compile_plan(
+        &mut self,
+        n: usize,
+        cfg: &ExecConfig,
+        compiler: &PlanCompiler,
+    ) -> Result<InferencePlan, Error> {
+        let shape = self.input_shape(n);
+        compiler.run(&mut self.network, &shape, cfg)
+    }
 }
 
 /// Scales a channel count by a width multiplier, flooring at 2 so
@@ -99,6 +117,21 @@ mod tests {
         assert!((ModelKind::ResNet18.paper_baseline_accuracy() - 0.9432).abs() < 1e-9);
         assert_eq!(ModelKind::all().len(), 3);
         assert_eq!(ModelKind::MobileNet.to_string(), "MobileNet");
+    }
+
+    #[test]
+    fn compile_plan_fuses_model_steps() {
+        let mut model = ModelKind::Vgg16.build_width(10, 0.1);
+        let layers = model.network.len();
+        let plan = model
+            .compile_plan(1, &ExecConfig::serial(), &PlanCompiler::standard())
+            .unwrap();
+        // Fold-and-fuse absorbs the conv/bn/relu triples: fewer steps
+        // than layers, but the spans still tile the whole network.
+        assert!(plan.steps().len() < layers);
+        let covered: usize = plan.steps().iter().map(|s| s.span).sum();
+        assert_eq!(covered, layers);
+        assert!(plan.steps().iter().any(|s| s.cfg.fused_relu));
     }
 
     #[test]

@@ -125,6 +125,21 @@ impl BatchNorm2d {
         scale_ok && shift_ok
     }
 
+    /// Whether the inference transform is *exactly* `y = x * 1.0 + 0.0`
+    /// for every channel — the bar for the fold-and-fuse plan pass to
+    /// skip the layer entirely (bit-preserving up to the sign of
+    /// negative zero). The tolerance-based
+    /// [`is_inference_identity`](Self::is_inference_identity) is not
+    /// sufficient: skipping a *near*-identity (e.g. a freshly
+    /// initialised layer, whose scale is `1/sqrt(1 + eps)`) would
+    /// perturb outputs.
+    pub fn is_exact_inference_identity(&self) -> bool {
+        (0..self.channels).all(|ch| {
+            let (scale, shift) = self.eval_scale_shift(ch);
+            scale == 1.0 && shift == 0.0
+        })
+    }
+
     /// Inference-mode scale/shift for channel `ch`, folded from the
     /// running statistics: `y = x * scale + shift`.
     fn eval_scale_shift(&self, ch: usize) -> (f32, f32) {
@@ -282,6 +297,10 @@ impl Layer for BatchNorm2d {
             }
         }
         grad_in
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

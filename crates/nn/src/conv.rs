@@ -283,6 +283,11 @@ impl Conv2d {
                     dst.fill(bdata[o]);
                     let filter = &wdata[o * row..(o + 1) * row];
                     direct_channel_conv(x, filter, dst, geom, h, w, k);
+                    if cfg.fused_relu {
+                        for d in dst.iter_mut() {
+                            *d = d.max(0.0);
+                        }
+                    }
                 }
             });
         }
@@ -348,6 +353,11 @@ impl Conv2d {
                     plane,
                     algo,
                 );
+                if cfg.fused_relu {
+                    for d in dst.iter_mut() {
+                        *d = d.max(0.0);
+                    }
+                }
             });
         }
     }
@@ -388,12 +398,28 @@ impl Conv2d {
             }
         };
         for img in 0..n {
-            pack_b_im2col_into(&in_data[img * in_img..(img + 1) * in_img], geom, b_buf);
+            let image = &in_data[img * in_img..(img + 1) * in_img];
+            if geom.is_pointwise_identity() {
+                // Pointwise (1×1/s1/p0) convolution is a plain GEMM: the
+                // im2col matrix *is* the image, so skip the per-tap
+                // gather and pack the image rows straight into B panels.
+                gemm::pack_b_into(&plan, image, b_buf);
+            } else {
+                pack_b_im2col_into(image, geom, b_buf);
+            }
             let dst = &mut out[img * out_img..(img + 1) * out_img];
             for (o, chunk) in dst.chunks_exact_mut(plane).enumerate() {
                 chunk.fill(bdata[o]);
             }
-            gemm::gemm_prepacked(&plan, packed_a, b_buf, dst, cfg.threads, cfg.schedule);
+            gemm::gemm_prepacked_epilogue(
+                &plan,
+                packed_a,
+                b_buf,
+                dst,
+                cfg.threads,
+                cfg.schedule,
+                cfg.epilogue(),
+            );
         }
     }
 
@@ -441,6 +467,11 @@ impl Conv2d {
                             dst.fill(bdata[o]);
                             let (idx, val) = csr.row(o);
                             sparse_channel_conv(x, idx, val, dst, geom, h, w, k);
+                            if cfg.fused_relu {
+                                for d in dst.iter_mut() {
+                                    *d = d.max(0.0);
+                                }
+                            }
                         }
                     });
                 }
@@ -467,6 +498,11 @@ impl Conv2d {
                                 let brow = &cols[col as usize * plane..(col as usize + 1) * plane];
                                 for (d, &b) in drow.iter_mut().zip(brow) {
                                     *d += v * b;
+                                }
+                            }
+                            if cfg.fused_relu {
+                                for d in dst[local * plane..(local + 1) * plane].iter_mut() {
+                                    *d = d.max(0.0);
                                 }
                             }
                         }
@@ -602,12 +638,18 @@ impl Layer for Conv2d {
             self.cached_input = Some(input.clone());
         }
         if self.takes_winograd_transform(cfg) {
-            return winograd_conv2d(
+            let mut out = winograd_conv2d(
                 input,
                 &self.weight.value,
                 Some(self.bias.value.data()),
                 self.padding,
             );
+            if cfg.fused_relu {
+                for v in out.data_mut().iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            return out;
         }
         let mut out = Tensor::zeros([n, self.out_channels, geom.out_h, geom.out_w]);
         let mut scratch = vec![0.0f32; self.forward_scratch_elems(&[n, in_c, h, w], cfg)];
@@ -704,7 +746,16 @@ impl Layer for Conv2d {
         grad_input
     }
 
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // The caller may rewrite the weights (masked pruning does), which
+        // would leave plan-time packed panels stale — drop them; the
+        // next `prepare` or scratch-path run repacks. The CSR snapshot is
+        // left alone: its refresh contract is an explicit `set_format`.
+        self.packed_weights = None;
         vec![&mut self.weight, &mut self.bias]
     }
 

@@ -261,6 +261,10 @@ impl Layer for DepthwiseConv2d {
         grad_input
     }
 
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
     }

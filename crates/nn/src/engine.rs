@@ -76,8 +76,23 @@ const MAX_ATTEMPTS: u32 = 4;
 /// execute it.
 #[derive(Clone, Debug)]
 pub struct PlanStep {
-    /// Layer name, as reported by [`Layer::name`].
+    /// Layer name, as reported by [`Layer::name`] (fused steps append
+    /// the absorbed layers, e.g. `"conv3x3(3->8)/s1 + bn + relu"`).
     pub name: String,
+    /// Index of the step's *primary* network layer — the one whose
+    /// kernel executes. [`InferencePlan::compile`] maps step `i` to
+    /// layer `i`; the fold-and-fuse pass produces fewer steps than
+    /// layers, so the mapping is explicit.
+    pub layer: usize,
+    /// Consecutive network layers this step covers, starting at
+    /// [`layer`](PlanStep::layer) (1 for an unfused step; >1 when
+    /// following identity-BN/ReLU layers were absorbed into this
+    /// kernel). The spans of a plan's steps tile the network exactly.
+    pub span: usize,
+    /// Effective execution configuration for this step. Uniform (the
+    /// plan's global config) under [`InferencePlan::compile`]; the
+    /// algorithm-selection pass sets it per step.
+    pub cfg: ExecConfig,
     /// Activation shape entering the layer (full batch).
     pub input_shape: Vec<usize>,
     /// Activation shape leaving the layer (full batch).
@@ -139,52 +154,38 @@ impl InferencePlan {
         }
         let mut shape = input_shape.to_vec();
         let mut steps = Vec::with_capacity(net.len());
-        let mut buf_elems = 0;
-        let mut scratch_elems = 0;
-        let mut all_supported = true;
-        for layer in net.layers() {
-            // Catch wrong-rank inputs before `descriptor` would index
-            // past the shape — compile errors, never panics.
-            if shape.len() < layer.min_input_rank() {
-                return Err(Error::InvalidConfig(format!(
-                    "layer {} needs a rank-{} input, got shape {shape:?}",
-                    layer.name(),
-                    layer.min_input_rank()
-                )));
-            }
-            let d = layer.descriptor(&shape);
-            let supported = layer.forward_into_supported(cfg);
-            let scratch = if supported {
-                layer.forward_scratch_elems(&shape, cfg)
-            } else {
-                0
-            };
-            all_supported &= supported;
-            buf_elems = buf_elems.max(d.output_elems);
-            scratch_elems = scratch_elems.max(scratch);
-            steps.push(PlanStep {
-                name: d.name,
-                input_shape: shape.clone(),
-                output_shape: d.output_shape.clone(),
-                input_elems: d.input_elems,
-                output_elems: d.output_elems,
-                scratch_elems: scratch,
-                supported,
-                gemm: layer.gemm_plan(&shape, cfg),
-                macs: d.macs,
-                bytes: 4 * (d.input_elems + d.output_elems + d.weight_nnz) as u64,
-            });
-            shape = d.output_shape;
+        for (li, layer) in net.layers().iter().enumerate() {
+            let step = compile_step(layer.as_ref(), li, &shape, cfg)?;
+            shape = step.output_shape.clone();
+            steps.push(step);
         }
-        Ok(InferencePlan {
-            input_shape: input_shape.to_vec(),
-            output_shape: shape,
-            cfg: *cfg,
+        Ok(Self::from_parts(input_shape.to_vec(), *cfg, steps))
+    }
+
+    /// Assembles a plan from pre-built steps, re-deriving the arena
+    /// sizing. Used by the pass compiler (`passes.rs`), whose steps may
+    /// span several layers and carry per-step configurations.
+    pub(crate) fn from_parts(
+        input_shape: Vec<usize>,
+        cfg: ExecConfig,
+        steps: Vec<PlanStep>,
+    ) -> Self {
+        let output_shape = steps
+            .last()
+            .map(|s| s.output_shape.clone())
+            .unwrap_or_else(|| input_shape.clone());
+        let buf_elems = steps.iter().map(|s| s.output_elems).max().unwrap_or(0);
+        let scratch_elems = steps.iter().map(|s| s.scratch_elems).max().unwrap_or(0);
+        let all_supported = steps.iter().all(|s| s.supported);
+        InferencePlan {
+            input_shape,
+            output_shape,
+            cfg,
             steps,
             buf_elems,
             scratch_elems,
             all_supported,
-        })
+        }
     }
 
     /// The input shape the plan was compiled for.
@@ -223,6 +224,48 @@ impl InferencePlan {
     pub fn fully_supported(&self) -> bool {
         self.all_supported
     }
+}
+
+/// Compiles one layer at one input shape under one configuration into an
+/// unfused (`span == 1`) [`PlanStep`]. Shared by [`InferencePlan::compile`]
+/// and the pass compiler.
+pub(crate) fn compile_step(
+    layer: &dyn Layer,
+    layer_idx: usize,
+    shape: &[usize],
+    cfg: &ExecConfig,
+) -> Result<PlanStep, Error> {
+    // Catch wrong-rank inputs before `descriptor` would index past the
+    // shape — compile errors, never panics.
+    if shape.len() < layer.min_input_rank() {
+        return Err(Error::InvalidConfig(format!(
+            "layer {} needs a rank-{} input, got shape {shape:?}",
+            layer.name(),
+            layer.min_input_rank()
+        )));
+    }
+    let d = layer.descriptor(shape);
+    let supported = layer.forward_into_supported(cfg);
+    let scratch = if supported {
+        layer.forward_scratch_elems(shape, cfg)
+    } else {
+        0
+    };
+    Ok(PlanStep {
+        name: d.name,
+        layer: layer_idx,
+        span: 1,
+        cfg: *cfg,
+        input_shape: shape.to_vec(),
+        output_shape: d.output_shape,
+        input_elems: d.input_elems,
+        output_elems: d.output_elems,
+        scratch_elems: scratch,
+        supported,
+        gemm: layer.gemm_plan(shape, cfg),
+        macs: d.macs,
+        bytes: 4 * (d.input_elems + d.output_elems + d.weight_nnz) as u64,
+    })
 }
 
 /// Cumulative per-layer execution counters, one row per plan step.
@@ -324,6 +367,7 @@ struct ExecStep {
 /// batch size, plus the chunk's own arena buffers.
 #[derive(Debug)]
 struct ChunkStep {
+    layer: usize,
     input_shape: Vec<usize>,
     input_elems: usize,
     output_elems: usize,
@@ -396,10 +440,11 @@ fn build_chunks(net: &Network, plan: &InferencePlan, exec: &[ExecStep]) -> Vec<C
                 } else {
                     &exec[i].cfg
                 };
-                scratch_elems =
-                    scratch_elems.max(net.layers()[i].forward_scratch_elems(&input_shape, cfg));
+                scratch_elems = scratch_elems
+                    .max(net.layers()[ps.layer].forward_scratch_elems(&input_shape, cfg));
             }
             steps.push(ChunkStep {
+                layer: ps.layer,
                 input_shape,
                 input_elems,
                 output_elems,
@@ -502,9 +547,9 @@ impl<'n> InferenceSession<'n> {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidConfig`] if the plan's step count does not
-    /// match the network's layer count (the plan was compiled against a
-    /// different network).
+    /// Returns [`Error::InvalidConfig`] if the plan's step spans do not
+    /// tile the network's layers exactly (the plan was compiled against
+    /// a different network).
     pub fn new(net: &'n mut Network, plan: InferencePlan) -> Result<Self, Error> {
         Self::with_guard(net, plan, GuardConfig::default())
     }
@@ -515,23 +560,33 @@ impl<'n> InferenceSession<'n> {
         plan: InferencePlan,
         guard: GuardConfig,
     ) -> Result<Self, Error> {
-        if plan.steps.len() != net.len() {
+        // The step spans must tile the network's layers exactly — a
+        // plan compiled against a different network (or a stale fused
+        // plan after the network changed) is rejected here.
+        let covered: usize = plan.steps.iter().map(|s| s.span).sum();
+        let mut at = 0usize;
+        let contiguous = plan.steps.iter().all(|s| {
+            let ok = s.layer == at;
+            at += s.span;
+            ok
+        });
+        if covered != net.len() || !contiguous {
             return Err(Error::InvalidConfig(format!(
-                "plan has {} steps but the network has {} layers",
+                "plan covers {} layers ({} steps) but the network has {} layers",
+                covered,
                 plan.steps.len(),
                 net.len()
             )));
         }
-        let chunk_cfg = ExecConfig {
-            threads: 1,
-            ..plan.cfg
-        };
         let exec: Vec<ExecStep> = plan
             .steps
             .iter()
             .map(|s| ExecStep {
-                cfg: plan.cfg,
-                chunk_cfg,
+                cfg: s.cfg,
+                chunk_cfg: ExecConfig {
+                    threads: 1,
+                    ..s.cfg
+                },
                 supported: s.supported,
             })
             .collect();
@@ -722,12 +777,14 @@ impl<'n> InferenceSession<'n> {
                 chunk: None,
             });
         }
-        for (i, layer) in self.net.layers_mut().iter_mut().enumerate() {
-            for (p, param) in layer.params_mut().into_iter().enumerate() {
+        // Read-only parameter walk: `params_mut` would drop plan-time
+        // packed panels on every guarded run.
+        for (i, layer) in self.net.layers().iter().enumerate() {
+            for (p, param) in layer.params().into_iter().enumerate() {
                 if let Some((first_index, _, _)) = scan_non_finite(param.value.data()) {
                     return Some(GuardReport {
                         layer_index: i,
-                        layer_name: self.plan.steps[i].name.clone(),
+                        layer_name: layer.name(),
                         violation: GuardViolation::NonFiniteWeight {
                             param: p,
                             first_index,
@@ -821,7 +878,8 @@ impl<'n> InferenceSession<'n> {
         if step >= self.plan.steps.len() {
             return false;
         }
-        let layer = self.net.layers_mut()[step].as_mut();
+        let li = self.plan.steps[step].layer;
+        let layer = self.net.layers_mut()[li].as_mut();
         if layer_has_csr(layer) {
             densify_layer(layer);
             self.record_demotion(step, DemotionAction::CsrToDense, reason);
@@ -829,7 +887,7 @@ impl<'n> InferenceSession<'n> {
             return true;
         }
         if self.exec[step].cfg.conv_algo == ConvAlgorithm::Winograd
-            && layer_has_conv(self.net.layers_mut()[step].as_mut())
+            && layer_has_conv(self.net.layers_mut()[li].as_mut())
         {
             self.exec[step].cfg.conv_algo = ConvAlgorithm::Im2col;
             self.exec[step].chunk_cfg.conv_algo = ConvAlgorithm::Im2col;
@@ -839,7 +897,7 @@ impl<'n> InferenceSession<'n> {
         }
         let cfg = self.exec[step].cfg;
         if cfg.gemm_algo == GemmAlgorithm::Packed
-            && layer_uses_packed_gemm(self.net.layers_mut()[step].as_mut(), &cfg)
+            && layer_uses_packed_gemm(self.net.layers_mut()[li].as_mut(), &cfg)
         {
             self.exec[step].cfg.gemm_algo = GemmAlgorithm::Blocked;
             self.exec[step].chunk_cfg.gemm_algo = GemmAlgorithm::Blocked;
@@ -864,17 +922,19 @@ impl<'n> InferenceSession<'n> {
     /// session build, after demotions, and after weight-fault injection
     /// so the caches never go stale against the master weights.
     fn reprepare(&mut self) {
-        for (layer, exec) in self.net.layers_mut().iter_mut().zip(&self.exec) {
+        let layers = self.net.layers_mut();
+        for (ps, exec) in self.plan.steps.iter().zip(&self.exec) {
             let cfg = exec.cfg;
-            layer.visit_mut(&mut |l| l.prepare(&cfg));
+            layers[ps.layer].visit_mut(&mut |l| l.prepare(&cfg));
         }
     }
 
     /// Re-derives arena support, chunking, layer caches, and the worker
     /// pool after a demotion changed a step's algorithm or weight format.
     fn rebuild(&mut self) {
-        for (i, layer) in self.net.layers().iter().enumerate() {
-            self.exec[i].supported = layer.forward_into_supported(&self.exec[i].cfg);
+        let layers = self.net.layers();
+        for (i, ps) in self.plan.steps.iter().enumerate() {
+            self.exec[i].supported = layers[ps.layer].forward_into_supported(&self.exec[i].cfg);
         }
         self.reprepare();
         self.chunks = build_chunks(self.net, &self.plan, &self.exec);
@@ -923,7 +983,7 @@ fn run_steps_sequential(
             (Loc::B, true) => (&buf_b[..step.input_elems], &mut out[..]),
             (Loc::B, false) => (&buf_b[..step.input_elems], &mut buf_a[..step.output_elems]),
         };
-        let layer = &mut layers[i];
+        let layer = &mut layers[step.layer];
         let kernel = catch_unwind(AssertUnwindSafe(|| -> Result<(), GuardViolation> {
             faults.kernel_entry(i, run);
             if exec[i].supported {
@@ -1024,7 +1084,7 @@ fn run_steps_chunk(
             (Loc::B, true) => (&buf_b[..step.input_elems], &mut out[..]),
             (Loc::B, false) => (&buf_b[..step.input_elems], &mut buf_a[..step.output_elems]),
         };
-        let layer = &layers[i];
+        let layer = &layers[step.layer];
         let kernel = catch_unwind(AssertUnwindSafe(|| {
             faults.kernel_entry(i, run);
             layer.forward_into(

@@ -95,6 +95,44 @@ pub fn fold_batchnorm(net: &mut Network) -> usize {
     folded
 }
 
+/// Like [`fold_batchnorm`], but folds every top-level pair whose batch
+/// norm is not already an *exact* identity — including near-identities
+/// (e.g. freshly initialised layers, whose inference scale is
+/// `1/sqrt(1 + eps)`) that [`fold_batchnorm`] skips as within tolerance.
+/// After this, every foldable top-level batch norm is bit-exactly
+/// `y = x * 1.0 + 0.0` and the plan compiler's fold-and-fuse pass can
+/// absorb it. Returns the number folded.
+pub(crate) fn fold_batchnorm_exact(net: &mut Network) -> usize {
+    let mut folded = 0;
+    for i in 0..net.len().saturating_sub(1) {
+        let (left, right) = net.layers_split_at_mut(i + 1);
+        let producer = left[i].as_any_mut();
+        let Some(bn) = right[0].as_any_mut().downcast_mut::<BatchNorm2d>() else {
+            continue;
+        };
+        if bn.is_exact_inference_identity() {
+            continue;
+        }
+        if let Some(conv) = producer.downcast_mut::<Conv2d>() {
+            if conv.out_channels() == bn.channels() {
+                fold_conv_bn_pair(conv, bn);
+                folded += 1;
+            }
+        } else if let Some(dw) = producer.downcast_mut::<DepthwiseConv2d>() {
+            if dw.channels() == bn.channels() {
+                fold_dw_bn(dw, bn);
+                folded += 1;
+            }
+        }
+    }
+    for layer in net.layers_mut() {
+        if let Some(block) = layer.as_any_mut().downcast_mut::<ResidualBlock>() {
+            folded += block.fold_batchnorm();
+        }
+    }
+    folded
+}
+
 /// Removes top-level batch-norm layers that are exact inference
 /// identities (as left behind by [`fold_batchnorm`]). Returns the number
 /// removed.

@@ -1,0 +1,288 @@
+//! Typed layer IR for the pass-based plan compiler.
+//!
+//! [`lower`] walks a [`Network`] at one input shape and produces one
+//! [`IrOp`] per top-level layer: the shape-resolved facts a plan pass
+//! needs (what kind of computation it is, its geometry, its *measured*
+//! weight sparsity) plus the mutable decisions a pass makes (the op's
+//! effective [`ExecConfig`] and how many following layers it absorbs).
+//! The pass pipeline in [`crate::passes`] rewrites this op list and then
+//! lowers it to [`crate::engine::PlanStep`]s.
+//!
+//! The IR is derived from [`Layer::descriptor`] plus `as_any` downcasts
+//! for the facts descriptors do not carry (is this activation a ReLU?
+//! is this batch norm an inference identity? how sparse are the weights
+//! *really*?).
+
+use crate::batchnorm::BatchNorm2d;
+use crate::conv::Conv2d;
+use crate::descriptor::LayerKind;
+use crate::error::Error;
+use crate::layer::{ExecConfig, Layer, WeightFormat};
+use crate::linear::Linear;
+use crate::network::Network;
+use crate::ReLU;
+use cnn_stack_sparse::SparsityStats;
+use cnn_stack_tensor::Conv2dGeometry;
+
+/// What an [`IrOp`] computes, with the facts algorithm selection prices.
+#[derive(Clone, Debug)]
+pub enum OpKind {
+    /// Standard convolution (`groups == 1`).
+    Conv {
+        /// Shape-resolved spatial geometry.
+        geom: Conv2dGeometry,
+        /// Output channels.
+        out_channels: usize,
+        /// Current weight storage format.
+        format: WeightFormat,
+        /// Measured (exact-zero) weight sparsity in `[0, 1]`.
+        sparsity: f64,
+    },
+    /// Depthwise convolution.
+    DepthwiseConv {
+        /// Shape-resolved per-channel geometry.
+        geom: Conv2dGeometry,
+        /// Channel count (input == output).
+        channels: usize,
+    },
+    /// Fully connected layer.
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Current weight storage format.
+        format: WeightFormat,
+        /// Measured (exact-zero) weight sparsity in `[0, 1]`.
+        sparsity: f64,
+    },
+    /// Batch normalisation over channels.
+    BatchNorm {
+        /// Channel count.
+        channels: usize,
+        /// Whether the layer is an *exact* inference identity (scale
+        /// bit-equal to 1, shift bit-equal to 0, as left by
+        /// [`crate::fold_batchnorm`]) so the fold-and-fuse pass may skip
+        /// it. A freshly initialised batch norm is only a
+        /// near-identity (`scale = 1/sqrt(1 + eps)`) and stays `false`.
+        identity: bool,
+    },
+    /// The ReLU activation specifically — fusable into a preceding
+    /// conv/linear kernel.
+    Relu,
+    /// Anything else (pooling, reshapes, composites, other activations);
+    /// passes leave these alone.
+    Other,
+}
+
+impl OpKind {
+    /// Whether this op's kernel can absorb a trailing ReLU via
+    /// [`ExecConfig::fused_relu`] (every Conv2d and Linear evaluation
+    /// path honours the flag; depthwise does not implement it).
+    pub fn fuses_relu(&self) -> bool {
+        matches!(self, OpKind::Conv { .. } | OpKind::Linear { .. })
+    }
+
+    /// Whether this op produces a channel-major activation an identity
+    /// batch norm could be absorbed into.
+    pub fn absorbs_identity_bn(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Conv { .. } | OpKind::DepthwiseConv { .. } | OpKind::Linear { .. }
+        )
+    }
+}
+
+/// One plan-compiler op: a primary network layer plus the decisions the
+/// passes have made about it so far.
+#[derive(Clone, Debug)]
+pub struct IrOp {
+    /// Index of the primary network layer.
+    pub layer: usize,
+    /// Consecutive network layers this op covers (absorbed followers are
+    /// skipped at execution).
+    pub span: usize,
+    /// Step name; fusion appends the absorbed layers.
+    pub name: String,
+    /// What the op computes.
+    pub kind: OpKind,
+    /// Activation shape entering the op.
+    pub input_shape: Vec<usize>,
+    /// Activation shape leaving the op (the last covered layer's output).
+    pub output_shape: Vec<usize>,
+    /// Dense multiply-accumulates across the covered layers.
+    pub macs: u64,
+    /// Effective execution configuration; starts at the base config,
+    /// rewritten by fusion (`fused_relu`) and algorithm selection.
+    pub cfg: ExecConfig,
+}
+
+/// Lowers a network at `input_shape` into one [`IrOp`] per top-level
+/// layer, each with `span == 1` and `cfg == *cfg`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when a layer's minimum input rank
+/// exceeds the incoming shape (same contract as plan compilation).
+pub fn lower(net: &Network, input_shape: &[usize], cfg: &ExecConfig) -> Result<Vec<IrOp>, Error> {
+    let mut shape = input_shape.to_vec();
+    let mut ops = Vec::with_capacity(net.len());
+    for (i, layer) in net.layers().iter().enumerate() {
+        if shape.len() < layer.min_input_rank() {
+            return Err(Error::InvalidConfig(format!(
+                "layer {} needs a rank-{} input, got shape {shape:?}",
+                layer.name(),
+                layer.min_input_rank()
+            )));
+        }
+        let d = layer.descriptor(&shape);
+        let kind = match d.kind {
+            LayerKind::Conv { geom, out_channels } => OpKind::Conv {
+                geom,
+                out_channels,
+                format: d.format,
+                sparsity: measured_sparsity(layer.as_ref()),
+            },
+            LayerKind::DepthwiseConv { geom, channels } => OpKind::DepthwiseConv { geom, channels },
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => OpKind::Linear {
+                in_features,
+                out_features,
+                format: d.format,
+                sparsity: measured_sparsity(layer.as_ref()),
+            },
+            LayerKind::BatchNorm { channels } => OpKind::BatchNorm {
+                channels,
+                identity: layer
+                    .as_any()
+                    .downcast_ref::<BatchNorm2d>()
+                    .is_some_and(|bn| bn.is_exact_inference_identity()),
+            },
+            LayerKind::Activation => {
+                if layer.as_any().downcast_ref::<ReLU>().is_some() {
+                    OpKind::Relu
+                } else {
+                    OpKind::Other
+                }
+            }
+            LayerKind::Pool | LayerKind::Reshape | LayerKind::Composite => OpKind::Other,
+        };
+        ops.push(IrOp {
+            layer: i,
+            span: 1,
+            name: d.name,
+            kind,
+            input_shape: shape.clone(),
+            output_shape: d.output_shape.clone(),
+            macs: d.macs,
+            cfg: *cfg,
+        });
+        shape = d.output_shape;
+    }
+    Ok(ops)
+}
+
+/// Measured exact-zero sparsity of the layer's first (weight) parameter;
+/// 0 for layers without parameters.
+fn measured_sparsity(layer: &dyn Layer) -> f64 {
+    // Downcast so composites are not mis-measured by their first child.
+    if let Some(c) = layer.as_any().downcast_ref::<Conv2d>() {
+        SparsityStats::measure(c.weight().value.data()).sparsity()
+    } else if let Some(fc) = layer.as_any().downcast_ref::<Linear>() {
+        SparsityStats::measure(fc.weight().value.data()).sparsity()
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Network, ReLU};
+
+    fn demo_net() -> Network {
+        Network::new(vec![
+            Box::new(Conv2d::new(3, 4, 3, 1, 1, 1)),
+            Box::new(BatchNorm2d::new(4)),
+            Box::new(ReLU::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4 * 4 * 4, 5, 2)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lowering_walks_shapes_and_kinds() {
+        let net = demo_net();
+        let ops = lower(&net, &[1, 3, 8, 8], &ExecConfig::serial()).unwrap();
+        assert_eq!(ops.len(), 6);
+        assert!(matches!(ops[0].kind, OpKind::Conv { .. }));
+        assert!(matches!(
+            ops[1].kind,
+            OpKind::BatchNorm {
+                identity: false,
+                ..
+            }
+        ));
+        assert!(matches!(ops[2].kind, OpKind::Relu));
+        assert!(matches!(ops[3].kind, OpKind::Other));
+        assert!(matches!(ops[4].kind, OpKind::Other));
+        assert!(matches!(ops[5].kind, OpKind::Linear { .. }));
+        for op in &ops {
+            assert_eq!(op.span, 1);
+        }
+        assert_eq!(ops[5].output_shape, vec![1, 5]);
+        // Ops chain: each input shape is the previous output shape.
+        for pair in ops.windows(2) {
+            assert_eq!(pair[0].output_shape, pair[1].input_shape);
+        }
+    }
+
+    #[test]
+    fn identity_bn_is_flagged() {
+        let mut net = demo_net();
+        // Perturb the batch norm so folding does real work (a fresh
+        // near-identity is skipped by `fold_batchnorm`).
+        net.layers_mut()[1]
+            .as_any_mut()
+            .downcast_mut::<BatchNorm2d>()
+            .unwrap()
+            .gamma_mut()
+            .value
+            .data_mut()
+            .fill(1.5);
+        let folded = crate::fold_batchnorm(&mut net);
+        assert_eq!(folded, 1);
+        let ops = lower(&net, &[1, 3, 8, 8], &ExecConfig::serial()).unwrap();
+        assert!(matches!(
+            ops[1].kind,
+            OpKind::BatchNorm { identity: true, .. }
+        ));
+    }
+
+    #[test]
+    fn measured_sparsity_sees_pruned_zeros() {
+        let mut net = demo_net();
+        // Zero half of the conv weights in place (dense format keeps
+        // nnz == elems at the descriptor level).
+        {
+            let conv = net.layers_mut()[0]
+                .as_any_mut()
+                .downcast_mut::<Conv2d>()
+                .unwrap();
+            let data = conv.weight_mut().value.data_mut();
+            let half = data.len() / 2;
+            for v in &mut data[..half] {
+                *v = 0.0;
+            }
+        }
+        let ops = lower(&net, &[1, 3, 8, 8], &ExecConfig::serial()).unwrap();
+        match ops[0].kind {
+            OpKind::Conv { sparsity, .. } => assert!((sparsity - 0.5).abs() < 0.02),
+            _ => panic!("expected conv op"),
+        }
+    }
+}

@@ -4,7 +4,7 @@
 use crate::descriptor::LayerDescriptor;
 use crate::error::Error;
 use cnn_stack_parallel::Schedule;
-use cnn_stack_tensor::{GemmAlgorithm, GemmPlan, Tensor};
+use cnn_stack_tensor::{GemmAlgorithm, GemmEpilogue, GemmPlan, Tensor};
 
 /// Whether a forward pass is part of training (caches activations for the
 /// backward pass, uses batch statistics) or pure inference.
@@ -64,6 +64,15 @@ pub struct ExecConfig {
     /// micro-kernel engine; [`GemmAlgorithm::Blocked`] is the scalar
     /// fallback the degradation ladder demotes to.
     pub gemm_algo: GemmAlgorithm,
+    /// Fuse a trailing ReLU into this layer's kernel (set by the
+    /// fold-and-fuse plan pass when a `conv → [identity BN] → ReLU` or
+    /// `linear → ReLU` chain collapses into one step). Every conv/linear
+    /// evaluation path honours it — the packed engine via the GEMM
+    /// write-back epilogue, the scalar paths by clamping each finished
+    /// output block — so a demoted fused step stays correct. The
+    /// activation is `max(x, 0)`, bit-identical to the standalone
+    /// [`crate::ReLU`] layer (including the NaN-flush).
+    pub fused_relu: bool,
 }
 
 impl ExecConfig {
@@ -75,6 +84,7 @@ impl ExecConfig {
             schedule: Schedule::Dynamic { chunk: 1 },
             conv_algo: ConvAlgorithm::Direct,
             gemm_algo: GemmAlgorithm::Packed,
+            fused_relu: false,
         }
     }
 
@@ -92,6 +102,16 @@ impl ExecConfig {
         ExecConfig {
             threads,
             ..ExecConfig::serial()
+        }
+    }
+
+    /// The GEMM write-back epilogue this config implies (the packed
+    /// engine applies [`fused_relu`](ExecConfig::fused_relu) there).
+    pub fn epilogue(&self) -> GemmEpilogue {
+        if self.fused_relu {
+            GemmEpilogue::Relu
+        } else {
+            GemmEpilogue::None
         }
     }
 
@@ -265,8 +285,19 @@ pub trait Layer: std::fmt::Debug + std::any::Any + Send + Sync {
     /// Panics if no [`Phase::Train`] forward pass preceded this call.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
+    /// Read-only access to the layer's trainable parameters (empty for
+    /// stateless layers). Unlike [`params_mut`](Layer::params_mut) this
+    /// never invalidates plan-time caches, so scans that only *inspect*
+    /// weights (e.g. the paranoid guard's per-run parameter check) go
+    /// through here.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
     /// Mutable access to the layer's trainable parameters (empty for
-    /// stateless layers).
+    /// stateless layers). Layers that cache derived weight state (packed
+    /// GEMM panels) drop those caches here, since the caller may mutate
+    /// any returned value — masked pruning reaches weights this way.
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
     }

@@ -48,10 +48,12 @@ pub mod engine;
 pub mod error;
 pub mod fold;
 pub mod guard;
+pub mod ir;
 pub mod layer;
 pub mod linear;
 pub mod memory;
 pub mod network;
+pub mod passes;
 
 pub mod pool;
 pub mod residual;
@@ -63,7 +65,7 @@ pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
 pub use depthwise::DepthwiseConv2d;
 pub use descriptor::{LayerDescriptor, LayerKind};
-pub use engine::{InferencePlan, InferenceSession, SessionProfile};
+pub use engine::{InferencePlan, InferenceSession, PlanStep, SessionProfile};
 pub use error::Error;
 pub use fold::{fold_batchnorm, strip_identity_batchnorms};
 #[cfg(feature = "fault-inject")]
@@ -72,10 +74,14 @@ pub use guard::{
     DemotionAction, DemotionReason, DemotionRecord, FaultPlan, GuardConfig, GuardReport,
     GuardViolation, HealthReport, NonFiniteKind,
 };
+pub use ir::{IrOp, OpKind};
 pub use layer::{ConvAlgorithm, ExecConfig, ExecConfigBuilder, Layer, Param, Phase, WeightFormat};
 pub use linear::Linear;
 pub use memory::{network_memory, MemoryBreakdown};
 pub use network::Network;
+pub use passes::{
+    AlgoChoice, Autotune, FoldAndFuse, PassContext, PlanCompiler, PlanPass, SelectAlgorithms,
+};
 pub use pool::{Flatten, GlobalAvgPool, MaxPool2d};
 pub use residual::ResidualBlock;
 pub use serialize::{load_params, save_params, LoadParamsError};

@@ -150,7 +150,15 @@ impl Linear {
         for row in out.chunks_exact_mut(self.out_features) {
             row.copy_from_slice(bdata);
         }
-        gemm::gemm_prepacked(&plan, a_buf, packed_b, out, cfg.threads, cfg.schedule);
+        gemm::gemm_prepacked_epilogue(
+            &plan,
+            a_buf,
+            packed_b,
+            out,
+            cfg.threads,
+            cfg.schedule,
+            cfg.epilogue(),
+        );
     }
 
     /// The shared scalar inference kernel: `out = in · Wᵀ + b` over raw
@@ -174,6 +182,9 @@ impl Linear {
                             for (&c, &v) in idx.iter().zip(val) {
                                 acc += v * x[c as usize];
                             }
+                            if cfg.fused_relu {
+                                acc = acc.max(0.0);
+                            }
                             // SAFETY: element (b, o) is owned by grain o.
                             unsafe {
                                 writer.slice_mut(b * out_f + o, b * out_f + o + 1)[0] = acc;
@@ -192,6 +203,9 @@ impl Linear {
                             let mut acc = bdata[o];
                             for (wv, xv) in w_row.iter().zip(x) {
                                 acc += wv * xv;
+                            }
+                            if cfg.fused_relu {
+                                acc = acc.max(0.0);
                             }
                             // SAFETY: element (b, o) is owned by grain o.
                             unsafe {
@@ -281,7 +295,16 @@ impl Layer for Linear {
         cnn_stack_tensor::matmul(grad_out, &self.weight.value)
     }
 
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // The caller may rewrite the weights (masked pruning does), which
+        // would leave plan-time packed panels stale — drop them; the
+        // next `prepare` or scratch-path run repacks. The CSR snapshot is
+        // left alone: its refresh contract is an explicit `set_format`.
+        self.packed_weights = None;
         vec![&mut self.weight, &mut self.bias]
     }
 

@@ -1,0 +1,933 @@
+//! The pass-based plan compiler.
+//!
+//! [`InferencePlan::compile`] maps every layer to one step under one
+//! global [`ExecConfig`] — the paper's "pick a configuration for the
+//! whole network" baseline. This module replaces that construction with
+//! a compilation pipeline: the network is lowered to a typed op list
+//! ([`crate::ir`]), a sequence of [`PlanPass`]es rewrites it, and the
+//! result is lowered to [`PlanStep`](crate::engine::PlanStep)s with
+//! per-step spans and per-step configurations.
+//!
+//! The three shipped passes implement the paper's across-stack levers:
+//!
+//! * [`FoldAndFuse`] — folds batch norms into their producing
+//!   convolutions ([`crate::fold_batchnorm`]), then absorbs the exact
+//!   identity batch norms and trailing ReLUs into the producing step, so
+//!   `conv → BN → ReLU` executes as **one kernel** (the ReLU runs in the
+//!   packed GEMM write-back epilogue — no extra sweep over the output).
+//! * [`SelectAlgorithms`] — a per-layer cost model (FLOPs, im2col
+//!   footprint, *measured* weight sparsity) choosing direct /
+//!   im2col+packed / Winograd / CSR per layer. The global
+//!   `conv_algo`/`gemm_algo` knobs remain available as overrides: a
+//!   non-default base value wins over the model.
+//! * [`Autotune`] — opt-in empirical refinement: micro-benchmarks the
+//!   top-2 cost-model candidates per layer shape and persists winners to
+//!   a tuning cache keyed by shape and thread count, reused across
+//!   sessions (`CNN_STACK_TUNE_CACHE`, then `~/.cache/cnn-stack/`).
+//!
+//! Compilation mutates the network (folding rewrites weights, selection
+//! may switch weight formats) — it is a deployment-time transformation,
+//! like calling [`crate::fold_batchnorm`] by hand. Pass order matters:
+//! fusion first (it re-lowers after folding), selection second (it keeps
+//! fusion's `fused_relu` flags), autotune last.
+//!
+//! # Example
+//!
+//! ```
+//! use cnn_stack_nn::{
+//!     BatchNorm2d, Conv2d, ExecConfig, Flatten, InferencePlan, InferenceSession, Linear,
+//!     MaxPool2d, Network, PlanCompiler, ReLU,
+//! };
+//! use cnn_stack_tensor::Tensor;
+//!
+//! let mut net = Network::new(vec![
+//!     Box::new(Conv2d::new(3, 8, 3, 1, 1, 1)),
+//!     Box::new(BatchNorm2d::new(8)),
+//!     Box::new(ReLU::new()),
+//!     Box::new(MaxPool2d::new(2)),
+//!     Box::new(Flatten::new()),
+//!     Box::new(Linear::new(8 * 4 * 4, 10, 2)),
+//! ])
+//! .unwrap();
+//! let cfg = ExecConfig::serial();
+//! let plan = PlanCompiler::standard()
+//!     .run(&mut net, &[1, 3, 8, 8], &cfg)
+//!     .unwrap();
+//! // conv+bn+relu collapsed into one step; 6 layers, 4 steps.
+//! assert_eq!(plan.steps().len(), 4);
+//! assert_eq!(plan.steps()[0].span, 3);
+//! let mut session = InferenceSession::new(&mut net, plan).unwrap();
+//! let y = session.run(&Tensor::zeros([1, 3, 8, 8])).unwrap();
+//! assert_eq!(y.shape().dims(), &[1, 10]);
+//! ```
+
+use crate::engine::{compile_step, InferencePlan, PlanStep};
+use crate::error::Error;
+use crate::fold;
+use crate::ir::{self, IrOp, OpKind};
+use crate::layer::{ConvAlgorithm, ExecConfig, Phase, WeightFormat};
+use crate::network::Network;
+use cnn_stack_tensor::{GemmAlgorithm, Tensor};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Mutable compilation state handed to each [`PlanPass`]: the network,
+/// the base configuration, and the op list being rewritten.
+pub struct PassContext<'a> {
+    net: &'a mut Network,
+    input_shape: Vec<usize>,
+    base_cfg: ExecConfig,
+    /// The op list; passes rewrite it in place.
+    pub ops: Vec<IrOp>,
+}
+
+impl PassContext<'_> {
+    /// The network under compilation.
+    pub fn net(&mut self) -> &mut Network {
+        self.net
+    }
+
+    /// The compilation input shape.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// The base (global) configuration compilation started from.
+    pub fn base_cfg(&self) -> &ExecConfig {
+        &self.base_cfg
+    }
+
+    /// Re-lowers the network into a fresh op list, discarding all spans
+    /// and per-op configuration decisions made so far. Passes that
+    /// mutate network weights (e.g. batch-norm folding) call this before
+    /// making structural decisions.
+    pub fn relower(&mut self) -> Result<(), Error> {
+        self.ops = ir::lower(self.net, &self.input_shape, &self.base_cfg)?;
+        Ok(())
+    }
+}
+
+/// One rewrite of the op list; see the [module docs](self) for the
+/// shipped passes and their ordering contract.
+pub trait PlanPass {
+    /// Pass name, for diagnostics.
+    fn name(&self) -> &'static str;
+    /// Rewrites `ctx.ops` (and possibly the network).
+    fn run(&self, ctx: &mut PassContext) -> Result<(), Error>;
+}
+
+/// An ordered pass pipeline that compiles a network into an
+/// [`InferencePlan`]; see the [module docs](self).
+#[derive(Default)]
+pub struct PlanCompiler {
+    passes: Vec<Box<dyn PlanPass>>,
+}
+
+impl PlanCompiler {
+    /// An empty pipeline — [`run`](Self::run) then matches
+    /// [`InferencePlan::compile`] step for step.
+    pub fn new() -> Self {
+        PlanCompiler { passes: Vec::new() }
+    }
+
+    /// The default deployment pipeline: [`FoldAndFuse`] then
+    /// [`SelectAlgorithms`].
+    pub fn standard() -> Self {
+        Self::new()
+            .with_pass(FoldAndFuse)
+            .with_pass(SelectAlgorithms::new())
+    }
+
+    /// [`standard`](Self::standard) plus the opt-in [`Autotune`] pass
+    /// with its default cache location.
+    pub fn autotuned() -> Self {
+        Self::standard().with_pass(Autotune::new())
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn with_pass(mut self, pass: impl PlanPass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Runs the pipeline: lower, apply every pass in order, lower the
+    /// final op list to plan steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on a zero thread count, an
+    /// empty/zero-extent input shape, or a layer/shape rank mismatch —
+    /// the same contract as [`InferencePlan::compile`].
+    pub fn run(
+        &self,
+        net: &mut Network,
+        input_shape: &[usize],
+        cfg: &ExecConfig,
+    ) -> Result<InferencePlan, Error> {
+        if cfg.threads == 0 {
+            return Err(Error::InvalidConfig(
+                "at least one thread required".to_string(),
+            ));
+        }
+        if input_shape.is_empty() || input_shape.contains(&0) {
+            return Err(Error::InvalidConfig(format!(
+                "input shape {input_shape:?} must be non-empty with non-zero extents"
+            )));
+        }
+        let mut ctx = PassContext {
+            ops: ir::lower(net, input_shape, cfg)?,
+            net,
+            input_shape: input_shape.to_vec(),
+            base_cfg: *cfg,
+        };
+        for pass in &self.passes {
+            pass.run(&mut ctx)?;
+        }
+        let mut steps: Vec<PlanStep> = Vec::with_capacity(ctx.ops.len());
+        for op in &ctx.ops {
+            let layer = ctx.net.layers()[op.layer].as_ref();
+            let mut step = compile_step(layer, op.layer, &op.input_shape, &op.cfg)?;
+            step.span = op.span;
+            step.name = op.name.clone();
+            step.macs = op.macs;
+            steps.push(step);
+        }
+        Ok(InferencePlan::from_parts(input_shape.to_vec(), *cfg, steps))
+    }
+}
+
+impl InferencePlan {
+    /// Compiles `net` through `compiler`'s pass pipeline — the pass-based
+    /// successor of [`compile`](InferencePlan::compile). Mutates the
+    /// network (folding, weight-format switches); see the
+    /// [`passes`](self) module docs.
+    pub fn build(
+        net: &mut Network,
+        input_shape: &[usize],
+        cfg: &ExecConfig,
+        compiler: &PlanCompiler,
+    ) -> Result<InferencePlan, Error> {
+        compiler.run(net, input_shape, cfg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: fold-and-fuse
+// ---------------------------------------------------------------------
+
+/// Folds batch norms into their producers, then absorbs exact-identity
+/// batch norms and trailing ReLUs into the producing conv/linear step;
+/// see the [module docs](self).
+pub struct FoldAndFuse;
+
+impl PlanPass for FoldAndFuse {
+    fn name(&self) -> &'static str {
+        "fold-and-fuse"
+    }
+
+    fn run(&self, ctx: &mut PassContext) -> Result<(), Error> {
+        // The exact variant also folds near-identity batch norms
+        // (`scale = 1/sqrt(1 + eps)`), which must execute if kept but
+        // become absorbable exact identities once folded.
+        fold::fold_batchnorm_exact(ctx.net);
+        // Folding rewrote weights and turned batch norms into exact
+        // identities — re-derive the op facts before fusing.
+        ctx.relower()?;
+        let ops = std::mem::take(&mut ctx.ops);
+        let mut fused: Vec<IrOp> = Vec::with_capacity(ops.len());
+        let mut iter = ops.into_iter().peekable();
+        while let Some(mut op) = iter.next() {
+            // conv/dw/linear + exact-identity BN → skip the BN.
+            if op.kind.absorbs_identity_bn()
+                && matches!(
+                    iter.peek().map(|n| &n.kind),
+                    Some(OpKind::BatchNorm { identity: true, .. })
+                )
+            {
+                let bn = iter.next().expect("peeked");
+                op.span += bn.span;
+                op.macs += bn.macs;
+                op.output_shape = bn.output_shape;
+                op.name.push_str(" + bn");
+            }
+            // conv/linear + ReLU → one kernel via the write-back epilogue.
+            if op.kind.fuses_relu() && matches!(iter.peek().map(|n| &n.kind), Some(OpKind::Relu)) {
+                let relu = iter.next().expect("peeked");
+                op.span += relu.span;
+                op.macs += relu.macs;
+                op.output_shape = relu.output_shape;
+                op.cfg.fused_relu = true;
+                op.name.push_str(" + relu");
+            }
+            fused.push(op);
+        }
+        ctx.ops = fused;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: algorithm selection
+// ---------------------------------------------------------------------
+
+/// A per-layer execution strategy the cost model can pick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgoChoice {
+    /// Direct 7-loop dense convolution.
+    DirectConv,
+    /// im2col lowering into the packed GEMM engine.
+    Im2colPacked,
+    /// F(2×2, 3×3) Winograd (3×3 stride-1 dense convolutions only).
+    Winograd,
+    /// CSR sparse-direct convolution.
+    CsrConv,
+    /// Packed GEMM linear layer.
+    PackedLinear,
+    /// Scalar row-loop linear layer.
+    ScalarLinear,
+    /// CSR sparse linear layer.
+    CsrLinear,
+}
+
+impl AlgoChoice {
+    /// Stable tag used in the tuning cache.
+    fn tag(self) -> &'static str {
+        match self {
+            AlgoChoice::DirectConv => "direct",
+            AlgoChoice::Im2colPacked => "im2col-packed",
+            AlgoChoice::Winograd => "winograd",
+            AlgoChoice::CsrConv => "csr",
+            AlgoChoice::PackedLinear => "gemm-packed",
+            AlgoChoice::ScalarLinear => "gemm-scalar",
+            AlgoChoice::CsrLinear => "gemm-csr",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "direct" => AlgoChoice::DirectConv,
+            "im2col-packed" => AlgoChoice::Im2colPacked,
+            "winograd" => AlgoChoice::Winograd,
+            "csr" => AlgoChoice::CsrConv,
+            "gemm-packed" => AlgoChoice::PackedLinear,
+            "gemm-scalar" => AlgoChoice::ScalarLinear,
+            "gemm-csr" => AlgoChoice::CsrLinear,
+            _ => return None,
+        })
+    }
+}
+
+// Cost-model throughput anchors, measured on this crate's own kernels
+// (BENCH_gemm.json, 512³ single-thread): the packed micro-kernel engine
+// sustains ~54 GFLOP/s where the scalar blocked/naive kernels sustain
+// ~1.8. CSR pays per-nonzero index chasing (~1.2 GFLOP/s dense-equivalent
+// on its stored nonzeros), which reproduces the paper's §V finding that
+// sparse formats only win at extreme sparsity: against the packed engine
+// the crossover density is ≈ 1.2/54 ≈ 2%. The Winograd number prices the
+// current naive, allocating transform — the 2.25× MAC reduction does not
+// survive it, so the model never picks it unasked.
+const PACKED_GFLOPS: f64 = 54.0;
+const SCALAR_GFLOPS: f64 = 1.8;
+const SPARSE_GFLOPS: f64 = 1.2;
+const WINOGRAD_GFLOPS: f64 = 0.9;
+/// Streaming bandwidth charged for building/packing the im2col matrix.
+const PACK_BYTES_PER_SEC: f64 = 4.0e9;
+
+/// Predicted seconds for one single-thread forward of `op` under
+/// `choice`. Relative accuracy is all that matters: every path
+/// parallelises over the same outer loop, so thread count scales all
+/// candidates alike.
+fn predicted_seconds(op: &IrOp, choice: AlgoChoice) -> f64 {
+    let flops = 2.0 * op.macs as f64;
+    let batch = op.input_shape.first().copied().unwrap_or(1) as f64;
+    match choice {
+        AlgoChoice::DirectConv | AlgoChoice::ScalarLinear => flops / (SCALAR_GFLOPS * 1e9),
+        AlgoChoice::Im2colPacked => {
+            let pack = match &op.kind {
+                OpKind::Conv { geom, .. } => {
+                    let footprint = (geom.patch_len() * geom.out_positions() * 4) as f64 * batch;
+                    // Pointwise stride-1 convolutions skip the im2col
+                    // indirection entirely (the image is the column
+                    // matrix) — only the panel repack remains.
+                    if geom.is_pointwise_identity() {
+                        footprint * 0.5
+                    } else {
+                        footprint
+                    }
+                }
+                _ => 0.0,
+            };
+            flops / (PACKED_GFLOPS * 1e9) + pack / PACK_BYTES_PER_SEC
+        }
+        AlgoChoice::PackedLinear => flops / (PACKED_GFLOPS * 1e9),
+        AlgoChoice::Winograd => flops / 2.25 / (WINOGRAD_GFLOPS * 1e9),
+        AlgoChoice::CsrConv | AlgoChoice::CsrLinear => {
+            let density = match &op.kind {
+                OpKind::Conv { sparsity, .. } | OpKind::Linear { sparsity, .. } => 1.0 - sparsity,
+                _ => 1.0,
+            };
+            flops * density / (SPARSE_GFLOPS * 1e9)
+        }
+    }
+}
+
+/// Valid candidates for `op`, cheapest predicted first; empty for ops
+/// the selector does not touch.
+fn candidates(op: &IrOp) -> Vec<(AlgoChoice, f64)> {
+    let mut c: Vec<AlgoChoice> = match &op.kind {
+        OpKind::Conv { geom, .. } => {
+            let mut v = vec![
+                AlgoChoice::DirectConv,
+                AlgoChoice::Im2colPacked,
+                AlgoChoice::CsrConv,
+            ];
+            if geom.k_h == 3 && geom.k_w == 3 && geom.stride == 1 {
+                v.push(AlgoChoice::Winograd);
+            }
+            v
+        }
+        OpKind::Linear { .. } => vec![
+            AlgoChoice::PackedLinear,
+            AlgoChoice::ScalarLinear,
+            AlgoChoice::CsrLinear,
+        ],
+        _ => Vec::new(),
+    };
+    c.sort_by(|a, b| predicted_seconds(op, *a).total_cmp(&predicted_seconds(op, *b)));
+    c.into_iter()
+        .map(|ch| (ch, predicted_seconds(op, ch)))
+        .collect()
+}
+
+/// Applies `choice` to the op's config and, when the choice implies a
+/// weight-format switch, to the layer itself.
+fn apply_choice(net: &mut Network, op: &mut IrOp, choice: AlgoChoice) {
+    let layers = net.layers_mut();
+    match choice {
+        AlgoChoice::DirectConv => {
+            op.cfg.conv_algo = ConvAlgorithm::Direct;
+            set_layer_format(layers, op.layer, WeightFormat::Dense);
+        }
+        AlgoChoice::Im2colPacked => {
+            op.cfg.conv_algo = ConvAlgorithm::Im2col;
+            op.cfg.gemm_algo = GemmAlgorithm::Packed;
+            set_layer_format(layers, op.layer, WeightFormat::Dense);
+        }
+        AlgoChoice::Winograd => {
+            op.cfg.conv_algo = ConvAlgorithm::Winograd;
+            set_layer_format(layers, op.layer, WeightFormat::Dense);
+        }
+        AlgoChoice::CsrConv => {
+            op.cfg.conv_algo = ConvAlgorithm::Direct;
+            set_layer_format(layers, op.layer, WeightFormat::Csr);
+        }
+        AlgoChoice::PackedLinear => {
+            op.cfg.gemm_algo = GemmAlgorithm::Packed;
+            set_layer_format(layers, op.layer, WeightFormat::Dense);
+        }
+        AlgoChoice::ScalarLinear => {
+            op.cfg.gemm_algo = GemmAlgorithm::Blocked;
+            set_layer_format(layers, op.layer, WeightFormat::Dense);
+        }
+        AlgoChoice::CsrLinear => {
+            set_layer_format(layers, op.layer, WeightFormat::Csr);
+        }
+    }
+    // Keep the IR's format fact in sync for later passes.
+    if let OpKind::Conv { format, .. } | OpKind::Linear { format, .. } = &mut op.kind {
+        *format = match choice {
+            AlgoChoice::CsrConv | AlgoChoice::CsrLinear => WeightFormat::Csr,
+            _ => WeightFormat::Dense,
+        };
+    }
+    // Tag the step name with the winning algorithm so plan reports show
+    // per-layer choices. Replace any tag from an earlier pass (autotune
+    // re-applies on top of cost-model selection).
+    if op.name.ends_with(']') {
+        if let Some(pos) = op.name.rfind(" [") {
+            op.name.truncate(pos);
+        }
+    }
+    let _ = write!(op.name, " [{}]", choice.tag());
+}
+
+fn set_layer_format(layers: &mut [Box<dyn crate::layer::Layer>], idx: usize, format: WeightFormat) {
+    let layer = layers[idx].as_any_mut();
+    if let Some(c) = layer.downcast_mut::<crate::Conv2d>() {
+        if c.format() != format {
+            c.set_format(format);
+        }
+    } else if let Some(fc) = layer.downcast_mut::<crate::Linear>() {
+        if fc.format() != format {
+            fc.set_format(format);
+        }
+    }
+}
+
+/// Chooses an execution strategy per conv/linear op from the cost model;
+/// see the [module docs](self). A non-default `conv_algo` or `gemm_algo`
+/// in the base config is treated as a user override and left untouched
+/// (use [`SelectAlgorithms::forced`] to select regardless).
+pub struct SelectAlgorithms {
+    honor_overrides: bool,
+}
+
+impl SelectAlgorithms {
+    /// Selector that honours non-default base knobs as overrides.
+    pub fn new() -> Self {
+        SelectAlgorithms {
+            honor_overrides: true,
+        }
+    }
+
+    /// Selector that always applies the cost model, ignoring the base
+    /// `conv_algo`/`gemm_algo`.
+    pub fn forced() -> Self {
+        SelectAlgorithms {
+            honor_overrides: false,
+        }
+    }
+}
+
+impl Default for SelectAlgorithms {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanPass for SelectAlgorithms {
+    fn name(&self) -> &'static str {
+        "select-algorithms"
+    }
+
+    fn run(&self, ctx: &mut PassContext) -> Result<(), Error> {
+        let defaults = ExecConfig::serial();
+        if self.honor_overrides
+            && (ctx.base_cfg.conv_algo != defaults.conv_algo
+                || ctx.base_cfg.gemm_algo != defaults.gemm_algo)
+        {
+            return Ok(());
+        }
+        let mut ops = std::mem::take(&mut ctx.ops);
+        for op in &mut ops {
+            if let Some(&(best, _)) = candidates(op).first() {
+                apply_choice(ctx.net, op, best);
+            }
+        }
+        ctx.ops = ops;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: empirical autotune
+// ---------------------------------------------------------------------
+
+/// Opt-in empirical refinement of the cost model: micro-benchmarks the
+/// top-2 predicted candidates per conv/linear op and applies the
+/// measured winner, persisting it to a tuning cache so later
+/// compilations of the same shape skip the measurement.
+///
+/// Cache resolution order: an explicit [`with_cache_path`]
+/// (Autotune::with_cache_path) argument, the `CNN_STACK_TUNE_CACHE`
+/// environment variable, then `~/.cache/cnn-stack/tune.tsv`. Entries are
+/// keyed by op kind, GEMM dimensions, batch, measured-sparsity bucket,
+/// and thread count. Cache I/O is best-effort: an unreadable or
+/// unwritable cache degrades to measuring every compilation.
+pub struct Autotune {
+    cache_path: Option<PathBuf>,
+    samples: u32,
+}
+
+impl Autotune {
+    /// Autotuner with the default cache resolution.
+    pub fn new() -> Self {
+        Autotune {
+            cache_path: None,
+            samples: 3,
+        }
+    }
+
+    /// Autotuner writing to an explicit cache file (tests point this at
+    /// a temp dir for determinism).
+    pub fn with_cache_path(path: impl Into<PathBuf>) -> Self {
+        Autotune {
+            cache_path: Some(path.into()),
+            samples: 3,
+        }
+    }
+
+    fn resolve_cache_path(&self) -> Option<PathBuf> {
+        if let Some(p) = &self.cache_path {
+            return Some(p.clone());
+        }
+        if let Ok(p) = std::env::var("CNN_STACK_TUNE_CACHE") {
+            if !p.is_empty() {
+                return Some(PathBuf::from(p));
+            }
+        }
+        std::env::var_os("HOME").map(|h| PathBuf::from(h).join(".cache/cnn-stack/tune.tsv"))
+    }
+
+    /// Best-of-`samples` wall-clock seconds for one forward of the op's
+    /// primary layer under `cfg`, after a warm-up run (which also packs
+    /// any plan-time panels via `prepare`).
+    fn measure(net: &mut Network, op: &IrOp, cfg: &ExecConfig, samples: u32) -> f64 {
+        let layer = &mut net.layers_mut()[op.layer];
+        layer.visit_mut(&mut |l| l.prepare(cfg));
+        let x = Tensor::from_fn(op.input_shape.clone(), |i| ((i % 23) as f32 - 11.0) * 0.05);
+        let _ = layer.forward(&x, Phase::Eval, cfg);
+        let mut best = f64::INFINITY;
+        for _ in 0..samples.max(1) {
+            let t = Instant::now();
+            let _ = layer.forward(&x, Phase::Eval, cfg);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    }
+}
+
+impl Default for Autotune {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Stable cache key for an op at one shape and thread count.
+fn tune_key(op: &IrOp, threads: usize) -> Option<String> {
+    let batch = op.input_shape.first().copied().unwrap_or(1);
+    match &op.kind {
+        OpKind::Conv {
+            geom,
+            out_channels,
+            sparsity,
+            ..
+        } => Some(format!(
+            "conv:m{}k{}n{}:b{batch}:sp{:.2}:t{threads}",
+            out_channels,
+            geom.patch_len(),
+            geom.out_positions(),
+            sparsity,
+        )),
+        OpKind::Linear {
+            in_features,
+            out_features,
+            sparsity,
+            ..
+        } => Some(format!(
+            "linear:m{batch}k{in_features}n{out_features}:sp{:.2}:t{threads}",
+            sparsity,
+        )),
+        _ => None,
+    }
+}
+
+fn load_cache(path: &Path) -> Vec<(String, AlgoChoice)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let (key, tag) = line.split_once('\t')?;
+            Some((key.to_string(), AlgoChoice::from_tag(tag)?))
+        })
+        .collect()
+}
+
+fn store_cache(path: &Path, entries: &[(String, AlgoChoice)]) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut text = String::new();
+    for (key, choice) in entries {
+        text.push_str(key);
+        text.push('\t');
+        text.push_str(choice.tag());
+        text.push('\n');
+    }
+    let _ = std::fs::write(path, text);
+}
+
+impl PlanPass for Autotune {
+    fn name(&self) -> &'static str {
+        "autotune"
+    }
+
+    fn run(&self, ctx: &mut PassContext) -> Result<(), Error> {
+        let cache_path = self.resolve_cache_path();
+        let mut cache = cache_path.as_deref().map(load_cache).unwrap_or_default();
+        let mut dirty = false;
+        let threads = ctx.base_cfg.threads;
+        let mut ops = std::mem::take(&mut ctx.ops);
+        for op in &mut ops {
+            let Some(key) = tune_key(op, threads) else {
+                continue;
+            };
+            if let Some((_, cached)) = cache.iter().find(|(k, _)| *k == key) {
+                apply_choice(ctx.net, op, *cached);
+                continue;
+            }
+            let top: Vec<AlgoChoice> = candidates(op).into_iter().take(2).map(|(c, _)| c).collect();
+            if top.len() < 2 {
+                continue; // nothing to compare; keep the selector's pick
+            }
+            let mut winner = top[0];
+            let mut best = f64::INFINITY;
+            for &choice in &top {
+                apply_choice(ctx.net, op, choice);
+                let t = Self::measure(ctx.net, op, &op.cfg, self.samples);
+                if t < best {
+                    best = t;
+                    winner = choice;
+                }
+            }
+            apply_choice(ctx.net, op, winner);
+            cache.push((key, winner));
+            dirty = true;
+        }
+        ctx.ops = ops;
+        if dirty {
+            if let Some(path) = &cache_path {
+                store_cache(path, &cache);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BatchNorm2d, Conv2d, Flatten, InferenceSession, Linear, MaxPool2d, Network, ReLU};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random(shape: impl Into<cnn_stack_tensor::Shape>, seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::from_fn(shape.into(), |_| rng.gen_range(-1.0..1.0))
+    }
+
+    fn fusable_net(seed: u64) -> Network {
+        let mut net = Network::new(vec![
+            Box::new(Conv2d::new(3, 6, 3, 1, 1, seed)),
+            Box::new(BatchNorm2d::new(6)),
+            Box::new(ReLU::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(6 * 4 * 4, 5, seed + 1)),
+            Box::new(ReLU::new()),
+        ])
+        .unwrap();
+        // Give the batch norm non-trivial statistics so folding does
+        // real work.
+        let bn = net.layers_mut()[1]
+            .as_any_mut()
+            .downcast_mut::<BatchNorm2d>()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed + 7);
+        for g in bn.gamma_mut().value.data_mut() {
+            *g = rng.gen_range(0.5..1.5);
+        }
+        net
+    }
+
+    #[test]
+    fn empty_pipeline_matches_compile() {
+        let mut net = fusable_net(11);
+        let cfg = ExecConfig::serial();
+        let direct = InferencePlan::compile(&net, &[2, 3, 8, 8], &cfg).unwrap();
+        let built = PlanCompiler::new()
+            .run(&mut net, &[2, 3, 8, 8], &cfg)
+            .unwrap();
+        assert_eq!(built.steps().len(), direct.steps().len());
+        for (a, b) in built.steps().iter().zip(direct.steps()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.span, 1);
+            assert_eq!(a.output_shape, b.output_shape);
+        }
+    }
+
+    #[test]
+    fn fold_and_fuse_collapses_conv_bn_relu() {
+        let mut net = fusable_net(3);
+        let cfg = ExecConfig::serial();
+        let plan = PlanCompiler::new()
+            .with_pass(FoldAndFuse)
+            .run(&mut net, &[2, 3, 8, 8], &cfg)
+            .unwrap();
+        // 7 layers → 4 steps: [conv+bn+relu][pool][flatten][linear+relu].
+        assert_eq!(plan.steps().len(), 4);
+        assert_eq!(plan.steps()[0].span, 3);
+        assert!(plan.steps()[0].cfg.fused_relu);
+        assert_eq!(plan.steps()[3].span, 2);
+        assert!(plan.steps()[3].cfg.fused_relu);
+        let covered: usize = plan.steps().iter().map(|s| s.span).sum();
+        assert_eq!(covered, 7);
+    }
+
+    #[test]
+    fn fused_plan_matches_unfused_execution() {
+        let x = random([2, 3, 8, 8], 42);
+        let cfg = ExecConfig::serial();
+        // Reference: unfused network, uniform plan (folding is applied
+        // to both networks first so the weights are identical).
+        let mut reference = fusable_net(3);
+        crate::fold_batchnorm(&mut reference);
+        let ref_plan = InferencePlan::compile(&reference, &[2, 3, 8, 8], &cfg).unwrap();
+        let mut ref_session = InferenceSession::new(&mut reference, ref_plan).unwrap();
+        let want = ref_session.run(&x).unwrap();
+
+        let mut net = fusable_net(3);
+        let plan = PlanCompiler::new()
+            .with_pass(FoldAndFuse)
+            .run(&mut net, &[2, 3, 8, 8], &cfg)
+            .unwrap();
+        let mut session = InferenceSession::new(&mut net, plan).unwrap();
+        let got = session.run(&x).unwrap();
+        assert_eq!(got.shape().dims(), want.shape().dims());
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert_eq!(g, w, "fused and unfused outputs must agree exactly");
+        }
+    }
+
+    #[test]
+    fn near_identity_batchnorm_is_not_absorbed() {
+        // A fresh (unfolded, never-folded) batch norm scales by
+        // 1/sqrt(1+eps) — skipping it would change outputs, so the
+        // fuser must keep it when folding cannot run (e.g. after a
+        // non-conv producer).
+        let mut net = Network::new(vec![
+            Box::new(MaxPool2d::new(2)),
+            Box::new(BatchNorm2d::new(3)),
+        ])
+        .unwrap();
+        let cfg = ExecConfig::serial();
+        let plan = PlanCompiler::new()
+            .with_pass(FoldAndFuse)
+            .run(&mut net, &[1, 3, 8, 8], &cfg)
+            .unwrap();
+        assert_eq!(plan.steps().len(), 2);
+    }
+
+    #[test]
+    fn selection_picks_packed_for_dense_and_csr_for_extreme_sparsity() {
+        let mut net = Network::new(vec![
+            Box::new(Conv2d::new(3, 8, 3, 1, 1, 2)),
+            Box::new(Conv2d::new(8, 8, 3, 1, 1, 3)),
+        ])
+        .unwrap();
+        // Prune the second conv to ~99% sparsity: CSR beats packed
+        // only beyond the ≈98% crossover.
+        {
+            let conv = net.layers_mut()[1]
+                .as_any_mut()
+                .downcast_mut::<Conv2d>()
+                .unwrap();
+            let data = conv.weight_mut().value.data_mut();
+            let keep = data.len() / 100;
+            for v in data.iter_mut().skip(keep) {
+                *v = 0.0;
+            }
+        }
+        let cfg = ExecConfig::serial();
+        let plan = PlanCompiler::standard()
+            .run(&mut net, &[1, 3, 16, 16], &cfg)
+            .unwrap();
+        assert_eq!(plan.steps()[0].cfg.conv_algo, ConvAlgorithm::Im2col);
+        assert_eq!(plan.steps()[0].cfg.gemm_algo, GemmAlgorithm::Packed);
+        // The sparse layer went CSR + direct.
+        assert_eq!(plan.steps()[1].cfg.conv_algo, ConvAlgorithm::Direct);
+        let sparse_layer = net.layers_mut()[1]
+            .as_any_mut()
+            .downcast_mut::<Conv2d>()
+            .unwrap();
+        assert_eq!(sparse_layer.format(), WeightFormat::Csr);
+    }
+
+    #[test]
+    fn selection_honours_global_override() {
+        let mut net = Network::new(vec![Box::new(Conv2d::new(3, 8, 3, 1, 1, 2))]).unwrap();
+        let cfg = ExecConfig {
+            conv_algo: ConvAlgorithm::Im2col,
+            gemm_algo: GemmAlgorithm::Blocked,
+            ..ExecConfig::serial()
+        };
+        let plan = PlanCompiler::standard()
+            .run(&mut net, &[1, 3, 8, 8], &cfg)
+            .unwrap();
+        // Non-default base knobs are a user override: kept verbatim.
+        assert_eq!(plan.steps()[0].cfg.conv_algo, ConvAlgorithm::Im2col);
+        assert_eq!(plan.steps()[0].cfg.gemm_algo, GemmAlgorithm::Blocked);
+    }
+
+    #[test]
+    fn selected_plan_executes_and_matches_reference() {
+        let x = random([2, 3, 8, 8], 9);
+        let cfg = ExecConfig::serial();
+        let mut reference = fusable_net(5);
+        let want = reference.forward(&x, Phase::Eval, &cfg);
+
+        let mut net = fusable_net(5);
+        let plan = PlanCompiler::standard()
+            .run(&mut net, &[2, 3, 8, 8], &cfg)
+            .unwrap();
+        let mut session = InferenceSession::new(&mut net, plan).unwrap();
+        let got = session.run(&x).unwrap();
+        assert_eq!(got.shape().dims(), want.shape().dims());
+        for (g, w) in got.data().iter().zip(want.data()) {
+            let err = (g - w).abs();
+            // Folding changes the arithmetic (BN absorbed into the
+            // weights), so exact equality is not expected — agreement
+            // to folding tolerance is.
+            assert!(err <= 1e-4 * w.abs().max(1.0), "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn autotune_persists_and_reuses_cache() {
+        let dir = std::env::temp_dir().join(format!("cnn-stack-tune-test-{}", std::process::id()));
+        let path = dir.join("tune.tsv");
+        let _ = std::fs::remove_file(&path);
+        let cfg = ExecConfig::serial();
+
+        let mut net = fusable_net(13);
+        let plan_a = PlanCompiler::standard()
+            .with_pass(Autotune::with_cache_path(path.clone()))
+            .run(&mut net, &[1, 3, 8, 8], &cfg)
+            .unwrap();
+        let text = std::fs::read_to_string(&path).expect("cache written");
+        assert!(text.lines().count() >= 2, "conv and linear entries: {text}");
+
+        // Second compilation replays the cache: identical selections,
+        // no re-measurement dependence.
+        let mut net_b = fusable_net(13);
+        let plan_b = PlanCompiler::standard()
+            .with_pass(Autotune::with_cache_path(path.clone()))
+            .run(&mut net_b, &[1, 3, 8, 8], &cfg)
+            .unwrap();
+        for (a, b) in plan_a.steps().iter().zip(plan_b.steps()) {
+            assert_eq!(a.cfg.conv_algo, b.cfg.conv_algo, "step {}", a.name);
+            assert_eq!(a.cfg.gemm_algo, b.cfg.gemm_algo, "step {}", a.name);
+        }
+        let text_b = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, text_b, "cache hit must not rewrite the file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_round_trips_tags() {
+        for choice in [
+            AlgoChoice::DirectConv,
+            AlgoChoice::Im2colPacked,
+            AlgoChoice::Winograd,
+            AlgoChoice::CsrConv,
+            AlgoChoice::PackedLinear,
+            AlgoChoice::ScalarLinear,
+            AlgoChoice::CsrLinear,
+        ] {
+            assert_eq!(AlgoChoice::from_tag(choice.tag()), Some(choice));
+        }
+        assert_eq!(AlgoChoice::from_tag("nonsense"), None);
+    }
+}

@@ -234,6 +234,19 @@ impl Layer for ResidualBlock {
         &gm + &gs
     }
 
+    fn params(&self) -> Vec<&Param> {
+        let mut params = Vec::new();
+        params.extend(self.conv1.params());
+        params.extend(self.bn1.params());
+        params.extend(self.conv2.params());
+        params.extend(self.bn2.params());
+        if let Some((conv, bn)) = &self.shortcut {
+            params.extend(conv.params());
+            params.extend(bn.params());
+        }
+        params
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         let mut params = Vec::new();
         params.extend(self.conv1.params_mut());

@@ -26,6 +26,7 @@ pub mod coo;
 pub mod csc;
 pub mod csr;
 pub mod memory;
+pub mod stats;
 
 pub use bsr::BsrMatrix;
 pub use conv::sparse_conv2d;
@@ -33,3 +34,4 @@ pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use memory::{csr_bytes, dense_bytes, FormatCost};
+pub use stats::SparsityStats;

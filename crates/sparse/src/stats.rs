@@ -1,0 +1,71 @@
+//! Measured weight-tensor sparsity.
+//!
+//! The descriptor-level `weight_nnz` reports the *stored* non-zero count,
+//! which equals the element count for a dense tensor even when pruning
+//! has zeroed most of it. Algorithm selection (the plan compiler's
+//! per-layer cost model) needs the *measured* sparsity of the actual
+//! values — the quantity the paper's Fig. 1 expected-speedup dashed line
+//! is parameterised on — so it can price the CSR kernels by the work
+//! they really do.
+
+/// Exact-zero census of a weight slice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SparsityStats {
+    /// Total elements inspected.
+    pub elems: usize,
+    /// Elements that are exactly `0.0` (the value magnitude pruning
+    /// writes; denormals and negative zero count as zero).
+    pub zeros: usize,
+}
+
+impl SparsityStats {
+    /// Counts exact zeros in `data`.
+    pub fn measure(data: &[f32]) -> Self {
+        let zeros = data.iter().filter(|v| **v == 0.0).count();
+        SparsityStats {
+            elems: data.len(),
+            zeros,
+        }
+    }
+
+    /// Stored non-zero count.
+    pub fn nnz(&self) -> usize {
+        self.elems - self.zeros
+    }
+
+    /// Fraction of zero elements in `[0, 1]` (0 for an empty slice).
+    pub fn sparsity(&self) -> f64 {
+        if self.elems == 0 {
+            0.0
+        } else {
+            self.zeros as f64 / self.elems as f64
+        }
+    }
+
+    /// Fraction of non-zero elements in `[0, 1]` (1 for an empty slice).
+    pub fn density(&self) -> f64 {
+        1.0 - self.sparsity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_exact_zeros() {
+        let s = SparsityStats::measure(&[0.0, 1.0, -0.0, 2.5]);
+        assert_eq!(s.elems, 4);
+        assert_eq!(s.zeros, 2);
+        assert_eq!(s.nnz(), 2);
+        assert!((s.sparsity() - 0.5).abs() < 1e-12);
+        assert!((s.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slice_is_dense() {
+        let s = SparsityStats::measure(&[]);
+        assert_eq!(s.sparsity(), 0.0);
+        assert_eq!(s.density(), 1.0);
+    }
+}

@@ -94,6 +94,23 @@ impl PlatformChoice {
     }
 }
 
+/// How the host-execution inference plan is constructed (the layer 3/4
+/// boundary of the stack).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PlanMode {
+    /// One global algorithm/format choice applied to every layer
+    /// (`InferencePlan::compile`); this is the paper's sweep regime,
+    /// where each grid cell fixes a single stack-wide option.
+    #[default]
+    Global,
+    /// Pass-based plan compilation (`PlanCompiler::standard`):
+    /// batch-norm fold + conv/linear+ReLU fusion, then a per-layer
+    /// algorithm/format choice from the cost model. When [`StackConfig`]
+    /// carries a non-default `algorithm` or `format`, those act as
+    /// global overrides and the selection pass stands down.
+    Selection,
+}
+
 /// A complete across-stack configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct StackConfig {
@@ -117,6 +134,10 @@ pub struct StackConfig {
     /// activations at layer boundaries, `Paranoid` additionally scans
     /// inputs and weights before every run.
     pub guard: GuardConfig,
+    /// How the host-execution plan is built: [`PlanMode::Global`] (the
+    /// default, one algorithm everywhere) or [`PlanMode::Selection`]
+    /// (fused, per-layer choices from the pass compiler).
+    pub plan: PlanMode,
 }
 
 impl StackConfig {
@@ -131,6 +152,7 @@ impl StackConfig {
             threads: 1,
             platform,
             guard: GuardConfig::Off,
+            plan: PlanMode::Global,
         }
     }
 
@@ -168,6 +190,12 @@ impl StackConfig {
     /// Sets the runtime guard level for host executions (builder style).
     pub fn guard(mut self, guard: GuardConfig) -> Self {
         self.guard = guard;
+        self
+    }
+
+    /// Sets the host plan-construction mode (builder style).
+    pub fn plan(mut self, plan: PlanMode) -> Self {
+        self.plan = plan;
         self
     }
 
@@ -255,6 +283,12 @@ impl StackConfigBuilder {
     /// Sets the runtime guard level for host executions.
     pub fn guard(mut self, guard: GuardConfig) -> Self {
         self.config.guard = guard;
+        self
+    }
+
+    /// Sets the host plan-construction mode.
+    pub fn plan(mut self, plan: PlanMode) -> Self {
+        self.config.plan = plan;
         self
     }
 
@@ -366,6 +400,19 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.guard, GuardConfig::Paranoid);
+    }
+
+    #[test]
+    fn plan_mode_defaults_global_and_is_configurable() {
+        let cfg = StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7);
+        assert_eq!(cfg.plan, PlanMode::Global);
+        let cfg = cfg.plan(PlanMode::Selection);
+        assert_eq!(cfg.plan, PlanMode::Selection);
+        let cfg = StackConfig::builder(ModelKind::Vgg16, PlatformChoice::IntelI7)
+            .plan(PlanMode::Selection)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.plan, PlanMode::Selection);
     }
 
     #[test]

@@ -2,11 +2,11 @@
 //! behind every bar of Figs. 4–6 and every entry of Tables IV/VI.
 
 use crate::build::try_materialise;
-use crate::config::StackConfig;
+use crate::config::{PlanMode, StackConfig};
 use cnn_stack_hwsim::{network_energy, network_time, EnergyModel, SimConfig};
 use cnn_stack_nn::memory::{network_memory, MemoryBreakdown};
 use cnn_stack_nn::{
-    ConvAlgorithm, Error, ExecConfig, HealthReport, InferencePlan, InferenceSession,
+    ConvAlgorithm, Error, ExecConfig, HealthReport, InferencePlan, InferenceSession, PlanCompiler,
 };
 use cnn_stack_tensor::Tensor;
 use std::time::Instant;
@@ -37,6 +37,11 @@ pub struct CellResult {
     /// contained, retries, and kernel demotions. Always clean for
     /// modelled-only evaluations (no host run happens).
     pub health: HealthReport,
+    /// One line per compiled host-plan step — `name [span] conv/gemm`
+    /// with a `+relu` suffix for fused epilogues. Empty when no host run
+    /// was requested. Under [`PlanMode::Selection`] this is where the
+    /// per-layer choices of the pass compiler become visible.
+    pub plan_steps: Vec<String>,
 }
 
 /// Evaluates `cfg` with the analytic platform model only (no host
@@ -93,7 +98,7 @@ pub fn try_evaluate_with(
 
     let memory = network_memory(&descs, matches!(cfg.algorithm, ConvAlgorithm::Im2col));
 
-    let (measured_host_s, health) = if measure_host {
+    let (measured_host_s, health, plan_steps) = if measure_host {
         let exec = ExecConfig {
             threads: cfg.threads,
             conv_algo: cfg.algorithm,
@@ -101,7 +106,26 @@ pub fn try_evaluate_with(
         };
         // Compile once, execute via the arena-backed session: the timed
         // pass then measures arithmetic, not per-layer allocation.
-        let plan = InferencePlan::compile(&model.network, &input_shape, &exec)?;
+        let plan = match cfg.plan {
+            PlanMode::Global => InferencePlan::compile(&model.network, &input_shape, &exec)?,
+            PlanMode::Selection => {
+                PlanCompiler::standard().run(&mut model.network, &input_shape, &exec)?
+            }
+        };
+        let plan_steps = plan
+            .steps()
+            .iter()
+            .map(|s| {
+                format!(
+                    "{} [span {}] {:?}/{:?}{}",
+                    s.name,
+                    s.span,
+                    s.cfg.conv_algo,
+                    s.cfg.gemm_algo,
+                    if s.cfg.fused_relu { " +relu" } else { "" }
+                )
+            })
+            .collect();
         let mut session = InferenceSession::with_guard(&mut model.network, plan, cfg.guard)?;
         let input = Tensor::zeros(input_shape.to_vec());
         let mut out = Tensor::zeros(session.plan().output_shape().to_vec());
@@ -110,9 +134,9 @@ pub fn try_evaluate_with(
         let start = Instant::now();
         session.run_into(&input, &mut out)?;
         let elapsed = start.elapsed().as_secs_f64();
-        (Some(elapsed), session.health().clone())
+        (Some(elapsed), session.health().clone(), plan_steps)
     } else {
-        (None, HealthReport::default())
+        (None, HealthReport::default(), Vec::new())
     };
 
     let macs: u64 = descs.iter().map(|d| d.macs).sum();
@@ -129,6 +153,7 @@ pub fn try_evaluate_with(
         effective_macs,
         sparsity: model.network.weight_sparsity(&input_shape),
         health,
+        plan_steps,
     })
 }
 
@@ -204,6 +229,24 @@ mod tests {
         assert!(cell.measured_host_s.is_some());
         assert!(cell.health.is_clean());
         assert_eq!(cell.health.demotions, vec![]);
+    }
+
+    #[test]
+    fn selection_plan_mode_fuses_and_reports_steps() {
+        use crate::config::PlanMode;
+        let global = StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7);
+        let selected = global.plan(PlanMode::Selection);
+        let g = try_evaluate_with(&global, 0.1, true).unwrap();
+        let s = try_evaluate_with(&selected, 0.1, true).unwrap();
+        // Global planning: one step per layer, nothing fused.
+        assert!(g.plan_steps.iter().all(|l| l.contains("[span 1]")));
+        // Selection planning: conv+bn+relu triples collapse, the fused
+        // epilogue is reported, and dense convs move off Direct.
+        assert!(s.plan_steps.len() < g.plan_steps.len());
+        assert!(s.plan_steps.iter().any(|l| l.contains("+relu")));
+        assert!(s.plan_steps.iter().any(|l| l.contains("Im2col")));
+        assert!(s.health.is_clean());
+        assert!(s.measured_host_s.is_some());
     }
 
     #[test]

@@ -57,6 +57,37 @@ pub enum GemmAlgorithm {
     Packed,
 }
 
+/// Element-wise epilogue fused into the packed engine's write-back.
+///
+/// The fold-and-fuse plan pass collapses `conv → BN → ReLU` chains into a
+/// single kernel; the activation then runs here, applied to each output
+/// tile as it is stored (no second sweep over `C`). The epilogue fires
+/// only on the **final** `kc` reduction block, when the accumulator for a
+/// tile is complete — earlier blocks hold partial sums that must not be
+/// clamped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum GemmEpilogue {
+    /// Plain accumulate: `C += A·B`.
+    #[default]
+    None,
+    /// `C = max(C + A·B, 0)`. `max` flushes NaN to zero exactly like the
+    /// standalone ReLU layer (`f32::max(NaN, 0.0) == 0.0`), so a fused
+    /// plan stays bit-identical to the unfused reference even on
+    /// non-finite inputs.
+    Relu,
+}
+
+impl GemmEpilogue {
+    /// Applies the epilogue to a finished output value.
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            GemmEpilogue::None => v,
+            GemmEpilogue::Relu => v.max(0.0),
+        }
+    }
+}
+
 /// Tiling parameters for [`GemmAlgorithm::Tiled`].
 ///
 /// These mirror the subset of CLBlast's 14-parameter GEMM tuning surface
@@ -472,6 +503,34 @@ pub fn gemm_prepacked(
     threads: usize,
     schedule: Schedule,
 ) {
+    gemm_prepacked_epilogue(
+        plan,
+        packed_a,
+        packed_b,
+        c,
+        threads,
+        schedule,
+        GemmEpilogue::None,
+    );
+}
+
+/// [`gemm_prepacked`] with a fused [`GemmEpilogue`]: the activation is
+/// applied in the micro-kernel's write-back on the final `kc` reduction
+/// block, so a fused conv/linear + ReLU costs zero extra passes over `C`.
+///
+/// # Panics
+///
+/// Panics if a buffer is shorter than the plan requires.
+#[allow(clippy::too_many_arguments)] // low-level kernel: the argument list *is* the GEMM shape
+pub fn gemm_prepacked_epilogue(
+    plan: &GemmPlan,
+    packed_a: &[f32],
+    packed_b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    schedule: Schedule,
+    epilogue: GemmEpilogue,
+) {
     let GemmPlan { m, k, n, .. } = *plan;
     assert!(
         packed_a.len() >= plan.packed_a_elems(),
@@ -483,7 +542,13 @@ pub fn gemm_prepacked(
     );
     assert_eq!(c.len(), m * n, "C length mismatch");
     if m == 0 || n == 0 || k == 0 {
-        // k == 0 is an empty reduction: C += 0, exactly like the naive loop.
+        // k == 0 is an empty reduction: C += 0, exactly like the naive
+        // loop — but a fused epilogue still applies to the finished C.
+        if k == 0 && epilogue == GemmEpilogue::Relu {
+            for v in c.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
         return;
     }
     let kernel = active_kernel();
@@ -511,6 +576,9 @@ pub fn gemm_prepacked(
             let mut pc = 0;
             while pc < k {
                 let kc_eff = kc.min(k - pc);
+                // The epilogue may only clamp completed accumulators:
+                // every earlier block writes raw partial sums.
+                let last_block = pc + kc_eff >= k;
                 for jp in jp0..jp1 {
                     let b_block =
                         &packed_b[jp * NR * k + pc * NR..jp * NR * k + (pc + kc_eff) * NR];
@@ -532,8 +600,14 @@ pub fn gemm_prepacked(
                             // the parallel region.
                             let dst =
                                 unsafe { writer.slice_mut(row * n + j0, row * n + j0 + cols) };
-                            for (d, &v) in dst.iter_mut().zip(&acc_row[..cols]) {
-                                *d += v;
+                            if last_block && epilogue == GemmEpilogue::Relu {
+                                for (d, &v) in dst.iter_mut().zip(&acc_row[..cols]) {
+                                    *d = (*d + v).max(0.0);
+                                }
+                            } else {
+                                for (d, &v) in dst.iter_mut().zip(&acc_row[..cols]) {
+                                    *d += v;
+                                }
                             }
                         }
                     }
@@ -1020,5 +1094,100 @@ mod tests {
     fn tile_config_default_valid() {
         let cfg = TileConfig::default();
         assert!(cfg.tile_m > 0 && cfg.unroll == 4);
+    }
+
+    /// Runs a packed product with and without the fused ReLU epilogue and
+    /// returns both C buffers (bias-initialised so the `+=` contract is
+    /// exercised too).
+    fn fused_vs_sweep(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let plan = GemmPlan::new(m, k, n);
+        let mut scratch = vec![f32::NAN; plan.scratch_elems()];
+        let (pa, pb) = scratch.split_at_mut(plan.packed_a_elems());
+        pack_a_into(&plan, a, pa);
+        pack_b_into(&plan, b, pb);
+        let bias: Vec<f32> = (0..m * n).map(|i| (i as f32 * 0.3).cos()).collect();
+        let mut fused = bias.clone();
+        gemm_prepacked_epilogue(
+            &plan,
+            pa,
+            pb,
+            &mut fused,
+            1,
+            Schedule::Static,
+            GemmEpilogue::Relu,
+        );
+        let mut swept = bias;
+        gemm_prepacked(&plan, pa, pb, &mut swept, 1, Schedule::Static);
+        for v in swept.iter_mut() {
+            *v = v.max(0.0);
+        }
+        (fused, swept)
+    }
+
+    #[test]
+    fn relu_epilogue_bit_matches_separate_sweep() {
+        // k = 300 > kc forces multiple reduction blocks: the epilogue must
+        // fire only once the accumulator is complete.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (MR - 1, 13, NR - 1),
+            (MR + 1, 300, NR + 1),
+            (7, 256, 16),
+        ] {
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| ((i * 7 + 3) as f32 * 0.11).sin())
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| ((i * 5 + 1) as f32 * 0.13).sin())
+                .collect();
+            let (fused, swept) = fused_vs_sweep(m, k, n, &a, &b);
+            // Bit-identical, not just allclose: same adds, same max.
+            assert_eq!(
+                fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                swept.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_epilogue_flushes_non_finite_like_relu_layer() {
+        let (m, k, n) = (4, 40, 20);
+        let mut a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.17).sin()).collect();
+        a[3] = f32::NAN;
+        a[41] = f32::INFINITY;
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.19).cos()).collect();
+        let (fused, swept) = fused_vs_sweep(m, k, n, &a, &b);
+        assert_eq!(
+            fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            swept.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // max(NaN, 0) == 0: no NaN survives the fused epilogue either.
+        assert!(fused.iter().all(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn relu_epilogue_applies_on_empty_reduction() {
+        // k == 0: C += 0, but the fused activation still clamps C.
+        let plan = GemmPlan::new(2, 0, 3);
+        let mut c = vec![-1.0, 2.0, -3.0, 4.0, -5.0, 6.0];
+        gemm_prepacked_epilogue(
+            &plan,
+            &[],
+            &[],
+            &mut c,
+            1,
+            Schedule::Static,
+            GemmEpilogue::Relu,
+        );
+        assert_eq!(c, vec![0.0, 2.0, 0.0, 4.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn pointwise_geometry_is_identity() {
+        use crate::im2col::Conv2dGeometry;
+        assert!(Conv2dGeometry::new(64, 8, 8, 1, 1, 1, 0).is_pointwise_identity());
+        assert!(!Conv2dGeometry::new(64, 8, 8, 1, 1, 2, 0).is_pointwise_identity());
+        assert!(!Conv2dGeometry::new(64, 8, 8, 3, 3, 1, 1).is_pointwise_identity());
     }
 }

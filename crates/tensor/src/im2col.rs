@@ -91,6 +91,16 @@ impl Conv2dGeometry {
     pub fn out_positions(&self) -> usize {
         self.out_h * self.out_w
     }
+
+    /// True when the im2col matrix of this geometry **is** the input
+    /// image: a pointwise (1×1) kernel with stride 1 and no padding maps
+    /// patch row `c` / output column `p` straight to `image[c][p]`, so
+    /// the `[patch_len, out_positions]` column matrix and the `C×H·W`
+    /// image are the same row-major buffer. Callers use this to skip the
+    /// im2col gather and feed the image directly to the GEMM packer.
+    pub fn is_pointwise_identity(&self) -> bool {
+        self.k_h == 1 && self.k_w == 1 && self.stride == 1 && self.padding == 0
+    }
 }
 
 /// Rearranges one NCHW image (`[1, C, H, W]` or `[C, H, W]` worth of data)

@@ -27,8 +27,9 @@ pub mod tensor;
 pub mod winograd;
 
 pub use gemm::{
-    gemm_kernel_name, gemm_packed_into, gemm_prepacked, matmul, pack_a_into, pack_b_into,
-    pack_b_transposed_into, GemmAlgorithm, GemmPlan, TileConfig, MR, NR,
+    gemm_kernel_name, gemm_packed_into, gemm_prepacked, gemm_prepacked_epilogue, matmul,
+    pack_a_into, pack_b_into, pack_b_transposed_into, GemmAlgorithm, GemmEpilogue, GemmPlan,
+    TileConfig, MR, NR,
 };
 pub use im2col::{col2im, im2col, im2col_into, pack_b_im2col_into, Conv2dGeometry};
 pub use shape::Shape;

@@ -1,0 +1,67 @@
+//! Prints the pass-compiled execution plan — fusion spans and per-layer
+//! algorithm choices — for the paper's three models, plain and with the
+//! large layers magnitude-pruned to 99.5% sparsity. This regenerates the
+//! per-layer selection table in EXPERIMENTS.md (the paper's Fig. 7
+//! "which algorithm wins where" analogue).
+//!
+//! ```bash
+//! cargo run --release --example plan_compiler
+//! ```
+
+use cnn_stack::models::ModelKind;
+use cnn_stack::nn::{Conv2d, ExecConfig, Linear, PlanCompiler};
+
+/// Magnitude-prunes a weight slice in place to the target sparsity.
+fn prune_to(data: &mut [f32], sparsity: f64) {
+    let mut mags: Vec<f32> = data.iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).expect("weights are finite"));
+    let cut = mags[((data.len() as f64 * sparsity) as usize).min(data.len() - 1)];
+    for v in data.iter_mut() {
+        if v.abs() <= cut {
+            *v = 0.0;
+        }
+    }
+}
+
+fn main() {
+    for kind in ModelKind::all() {
+        for pruned in [false, true] {
+            let mut model = kind.build(10);
+            if pruned {
+                // The weight-pruning deployment regime: every layer big
+                // enough to matter is pushed past the CSR crossover.
+                for layer in model.network.layers_mut() {
+                    if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
+                        if conv.weight().value.len() >= 32_768 {
+                            prune_to(conv.weight_mut().value.data_mut(), 0.995);
+                        }
+                    } else if let Some(fc) = layer.as_any_mut().downcast_mut::<Linear>() {
+                        if fc.weight().value.len() >= 32_768 {
+                            prune_to(fc.weight_mut().value.data_mut(), 0.995);
+                        }
+                    }
+                }
+            }
+            let layers = model.network.len();
+            let plan = model
+                .compile_plan(1, &ExecConfig::serial(), &PlanCompiler::standard())
+                .expect("plan compiles");
+            println!(
+                "## {} ({}): {} layers -> {} steps",
+                kind.name(),
+                if pruned { "pruned 99.5%" } else { "plain" },
+                layers,
+                plan.steps().len()
+            );
+            for s in plan.steps() {
+                println!(
+                    "  {:<58} span {} {:>9.3} MMACs",
+                    s.name,
+                    s.span,
+                    s.macs as f64 / 1e6
+                );
+            }
+            println!();
+        }
+    }
+}

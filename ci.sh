@@ -45,6 +45,24 @@ rm -rf "$TUNE_DIR"
 # BENCH_plan.json manually).
 PLAN_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench plan
 
+echo "== obs-golden =="
+# Golden-trace harness: serial traced sessions must reproduce the
+# checked-in deterministic text traces (regenerate intentionally with
+# CNN_STACK_BLESS=1).
+cargo test -q --test trace_golden
+
+echo "== kernel-proptest =="
+# Kernels vs naive references (depthwise, pooling, ReLU — incl. the
+# NaN/Inf corners) and metrics-vs-truth (gemm.flops == analytic MACs,
+# clean runs never trip the guard, pool runs what it queues).
+cargo test -q --test kernel_proptest
+cargo test -q --test obs_metrics
+
+echo "== obs bench smoke =="
+# Tracing-off must stay within 5% of the frozen PR 4 baseline (the full
+# run, which regenerates BENCH_obs.json, enforces the 1% gate manually).
+OBS_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench obs
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -294,8 +294,27 @@ pub fn network_time(
         let output_bytes = descs.last().map_or(0, |d| d.output_elems * 4);
         total += (weight_bytes + input_bytes + output_bytes) as f64 / gpu.transfer_bytes_per_sec;
     }
+    // When an observer is installed, lay the modelled per-layer times
+    // out as spans on a dedicated "modelled" track: the trace then shows
+    // the analytic prediction next to the measured host spans.
+    cnn_stack_obs::with_current(|o| {
+        let mut t_ns = 0u64;
+        for lt in &per_layer {
+            let dur = ((lt.seconds() * 1e9) as u64).max(1);
+            let id = o.intern(&format!("model:{}", lt.name));
+            o.span(id, t_ns, dur, MODELLED_TRACK);
+            t_ns += dur;
+        }
+        let id = o.intern("model:network");
+        o.span(id, 0, t_ns.max(1), MODELLED_TRACK);
+    });
     (total, per_layer)
 }
+
+/// Trace track (`tid`) that modelled spans are recorded on, keeping the
+/// analytic timeline visually separate from measured host spans
+/// (track 0) and batch chunks (1..).
+pub const MODELLED_TRACK: u32 = 90;
 
 /// The paper's Fig. 1 "expected" time: the measured dense baseline scaled
 /// by the surviving fraction of MACs.

@@ -152,10 +152,10 @@ impl DepthwiseConv2d {
                     let filter = &wdata[c * kk..(c + 1) * kk];
                     for kh in 0..k {
                         for kw in 0..k {
+                            // No zero-tap skip: `0.0 * NaN` must stay NaN
+                            // (same policy as the GEMM kernels), and
+                            // pruned depthwise weights are exactly zero.
                             let wv = filter[kh * k + kw];
-                            if wv == 0.0 {
-                                continue;
-                            }
                             for oh in 0..geom.out_h {
                                 let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
                                 if ih < 0 || ih as usize >= h {

@@ -63,9 +63,11 @@ use crate::guard::{
 };
 use crate::layer::{ConvAlgorithm, ExecConfig, Layer, Phase, WeightFormat};
 use crate::network::Network;
+use cnn_stack_obs::{Metric, NameId, Observer};
 use cnn_stack_parallel::{panic_message, PoolError, ThreadPool};
 use cnn_stack_tensor::{GemmAlgorithm, GemmPlan, Tensor};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Bounded attempt budget per `run_into` call: the first attempt plus up
@@ -273,9 +275,10 @@ pub(crate) fn compile_step(
 pub struct ProfileRow {
     /// Layer name.
     pub name: String,
-    /// Cumulative wall-clock time across runs (sequential mode only;
-    /// batch-parallel runs overlap layers across threads, so per-layer
-    /// times are not attributable and only the profile total advances).
+    /// Cumulative wall-clock time across runs. Sequential runs time each
+    /// step in-line; batch-parallel runs time every step inside each
+    /// chunk worker and attribute the slowest chunk's time — the step's
+    /// critical path — so rows advance in both modes.
     pub time: Duration,
     /// Cumulative dense multiply-accumulates.
     pub macs: u64,
@@ -381,6 +384,22 @@ struct ChunkArena {
     buf_a: Vec<f32>,
     buf_b: Vec<f32>,
     scratch: Vec<f32>,
+    /// Wall-clock nanoseconds per step on the most recent attempt,
+    /// written by the chunk worker so the session can attribute
+    /// per-layer time (max over chunks) after a parallel run.
+    step_ns: Vec<u64>,
+}
+
+/// Observability wiring carried by a session whose plan was compiled
+/// with [`cnn_stack_obs::ObsLevel`] above `Off`: the observer plus the
+/// pre-interned span names (one per plan step, in the same
+/// `"name [span n] conv/gemm"` format the stack runner reports), so the
+/// hot path never formats or allocates.
+#[derive(Debug)]
+struct ObsWiring {
+    observer: Arc<Observer>,
+    step_names: Vec<NameId>,
+    run_name: NameId,
 }
 
 /// How one execution attempt failed; drives the recovery loop in
@@ -456,6 +475,7 @@ fn build_chunks(net: &Network, plan: &InferencePlan, exec: &[ExecStep]) -> Vec<C
             buf_a: vec![0.0; buf_elems],
             buf_b: vec![0.0; buf_elems],
             scratch: vec![0.0; scratch_elems],
+            step_ns: vec![0; plan.steps().len()],
         });
     }
     chunks
@@ -537,6 +557,7 @@ pub struct InferenceSession<'n> {
     /// and retries are keyed on (`profile.runs` counts only successes).
     invocations: u64,
     faults: FaultPlan,
+    obs: Option<ObsWiring>,
 }
 
 impl<'n> InferenceSession<'n> {
@@ -593,6 +614,11 @@ impl<'n> InferenceSession<'n> {
         let chunks = build_chunks(net, &plan, &exec);
         let pool = (chunks.len() > 1).then(|| ThreadPool::new(chunks.len()));
         let profile = SessionProfile::new(&plan.steps);
+        let obs = Observer::for_level(plan.cfg().observer).map(|observer| ObsWiring {
+            run_name: observer.intern("run"),
+            observer,
+            step_names: Vec::new(),
+        });
         let mut session = InferenceSession {
             net,
             plan,
@@ -603,14 +629,65 @@ impl<'n> InferenceSession<'n> {
             guard,
             invocations: 0,
             faults: FaultPlan::default(),
+            obs,
         };
         session.reprepare();
+        session.sync_obs();
         Ok(session)
     }
 
     /// The compiled plan.
     pub fn plan(&self) -> &InferencePlan {
         &self.plan
+    }
+
+    /// The session's observer, when the plan was compiled with an
+    /// [`cnn_stack_obs::ObsLevel`] above `Off` (see
+    /// [`ExecConfig::observer`]). Snapshot its metrics or export its
+    /// events after a run.
+    pub fn observer(&self) -> Option<&Arc<Observer>> {
+        self.obs.as_ref().map(|w| &w.observer)
+    }
+
+    /// Re-derives the observer-facing state from the current execution
+    /// state: span names (step algorithms change under demotion), the
+    /// arena-footprint gauge, and the worker pool's observer hook. Cold
+    /// path — run at session build and after every rebuild.
+    fn sync_obs(&mut self) {
+        let Some(w) = &mut self.obs else { return };
+        let names: Vec<NameId> = self
+            .plan
+            .steps
+            .iter()
+            .zip(&self.exec)
+            .map(|(s, e)| {
+                let relu = if e.cfg.fused_relu { " +relu" } else { "" };
+                w.observer.intern(&format!(
+                    "{} [span {}] {:?}/{:?}{}",
+                    s.name, s.span, e.cfg.conv_algo, e.cfg.gemm_algo, relu
+                ))
+            })
+            .collect();
+        w.step_names = names;
+        let arena_bytes: usize = self
+            .chunks
+            .iter()
+            .map(|c| (c.buf_a.len() + c.buf_b.len() + c.scratch.len()) * std::mem::size_of::<f32>())
+            .sum();
+        w.observer
+            .metrics()
+            .set(Metric::ArenaBytes, arena_bytes as i64);
+        if let Some(pool) = &self.pool {
+            pool.set_observer(Some(w.observer.clone()));
+        }
+    }
+
+    /// Adds `n` to counter `m` on the session's observer, if any.
+    #[inline]
+    fn obs_count(&self, m: Metric, n: u64) {
+        if let Some(w) = &self.obs {
+            w.observer.metrics().add(m, n);
+        }
     }
 
     /// Cumulative execution counters.
@@ -705,10 +782,19 @@ impl<'n> InferenceSession<'n> {
         }
         let run = self.invocations;
         self.invocations += 1;
+        // Make the observer current for the whole run so kernel-level
+        // instruments (GEMM, im2col) record without plumbing; the pool
+        // re-installs it inside each worker task.
+        let _tls = self
+            .obs
+            .as_ref()
+            .map(|w| cnn_stack_obs::install(w.observer.clone()));
+        let run_ts = self.obs.as_ref().map(|w| w.observer.now_ns());
         let start = Instant::now();
         if self.guard.checks_parameters() {
             if let Some(report) = self.paranoid_precheck(input) {
                 self.profile.health.guards_tripped += 1;
+                self.obs_count(Metric::GuardTrips, 1);
                 return Err(Error::GuardTripped(report));
             }
         }
@@ -726,6 +812,7 @@ impl<'n> InferenceSession<'n> {
                     violation,
                 } => {
                     self.profile.health.guards_tripped += 1;
+                    self.obs_count(Metric::GuardTrips, 1);
                     let recovered = attempt < MAX_ATTEMPTS
                         && self.try_demote(step, DemotionReason::GuardTripped);
                     if !recovered {
@@ -754,6 +841,7 @@ impl<'n> InferenceSession<'n> {
                         return Err(Error::Pool(e));
                     }
                     self.profile.health.retries += 1;
+                    self.obs_count(Metric::GuardRetries, 1);
                 }
             }
         }
@@ -763,12 +851,20 @@ impl<'n> InferenceSession<'n> {
             row.macs += step.macs;
             row.bytes += step.bytes;
         }
+        if let Some(w) = &self.obs {
+            w.observer.metrics().add(Metric::RunsCompleted, 1);
+            if let Some(ts) = run_ts {
+                let dur = w.observer.now_ns().saturating_sub(ts).max(1);
+                w.observer.span(w.run_name, ts, dur, 0);
+            }
+        }
         Ok(())
     }
 
     /// Paranoid-mode pre-run scan of the input tensor and every
     /// parameter tensor.
     fn paranoid_precheck(&mut self, input: &Tensor) -> Option<GuardReport> {
+        self.obs_count(Metric::GuardScans, 1);
         if let Some((first_index, _, _)) = scan_non_finite(input.data()) {
             return Some(GuardReport {
                 layer_index: 0,
@@ -781,6 +877,9 @@ impl<'n> InferenceSession<'n> {
         // packed panels on every guarded run.
         for (i, layer) in self.net.layers().iter().enumerate() {
             for (p, param) in layer.params().into_iter().enumerate() {
+                if let Some(w) = &self.obs {
+                    w.observer.metrics().add(Metric::GuardScans, 1);
+                }
                 if let Some((first_index, _, _)) = scan_non_finite(param.value.data()) {
                     return Some(GuardReport {
                         layer_index: i,
@@ -817,6 +916,7 @@ impl<'n> InferenceSession<'n> {
                 &mut self.profile.rows,
                 &self.faults,
                 run,
+                self.obs.as_ref(),
             )
         } else {
             let n = self.plan.input_shape[0];
@@ -826,6 +926,7 @@ impl<'n> InferenceSession<'n> {
             let exec: &[ExecStep] = &self.exec;
             let guard = self.guard;
             let faults: &FaultPlan = &self.faults;
+            let obs: Option<&ObsWiring> = self.obs.as_ref();
             let mut failures: Vec<Option<RunFailure>> = Vec::new();
             failures.resize_with(self.chunks.len(), || None);
             let mut in_rest = input.data();
@@ -840,9 +941,10 @@ impl<'n> InferenceSession<'n> {
                 let (out_c, rest) = out_rest.split_at_mut(chunk.len * out_per_image);
                 out_rest = rest;
                 tasks.push(Box::new(move || {
-                    *failure =
-                        run_steps_chunk(layers, exec, chunk, ci, in_c, out_c, guard, faults, run)
-                            .err();
+                    *failure = run_steps_chunk(
+                        layers, exec, chunk, ci, in_c, out_c, guard, faults, run, obs,
+                    )
+                    .err();
                 }));
             }
             let scoped = self
@@ -864,7 +966,16 @@ impl<'n> InferenceSession<'n> {
                 });
             }
             match chosen {
-                None => Ok(()),
+                None => {
+                    // Attribute per-layer time for the parallel run: the
+                    // chunks execute step i concurrently, so the slowest
+                    // chunk is the step's critical-path contribution.
+                    for (i, row) in self.profile.rows.iter_mut().enumerate() {
+                        let ns = self.chunks.iter().map(|c| c.step_ns[i]).max().unwrap_or(0);
+                        row.time += Duration::from_nanos(ns);
+                    }
+                    Ok(())
+                }
                 Some(f) => Err(f),
             }
         }
@@ -909,6 +1020,7 @@ impl<'n> InferenceSession<'n> {
     }
 
     fn record_demotion(&mut self, step: usize, action: DemotionAction, reason: DemotionReason) {
+        self.obs_count(Metric::GuardDemotions, 1);
         self.profile.health.demotions.push(DemotionRecord {
             layer_index: step,
             layer_name: self.plan.steps[step].name.clone(),
@@ -946,6 +1058,7 @@ impl<'n> InferenceSession<'n> {
         } else {
             self.pool = None;
         }
+        self.sync_obs();
     }
 }
 
@@ -963,6 +1076,7 @@ fn run_steps_sequential(
     rows: &mut [ProfileRow],
     faults: &FaultPlan,
     run: u64,
+    obs: Option<&ObsWiring>,
 ) -> Result<(), RunFailure> {
     let last = chunk.steps.len() - 1;
     let mut src = Loc::Input;
@@ -974,6 +1088,9 @@ fn run_steps_sequential(
         ..
     } = chunk;
     for (i, step) in steps.iter().enumerate() {
+        // Span start is taken before `started` so `ts + dur` never spills
+        // past the next step's start (keeps the exported nesting exact).
+        let obs_ts = obs.map(|w| w.observer.now_ns());
         let started = Instant::now();
         let (src_slice, dst_slice): (&[f32], &mut [f32]) = match (src, i == last) {
             (Loc::Input, true) => (&input[..step.input_elems], &mut out[..]),
@@ -1027,6 +1144,9 @@ fn run_steps_sequential(
         }
         faults.corrupt_output(i, run, 0, dst_slice);
         if guard.checks_boundaries() {
+            if let Some(w) = obs {
+                w.observer.metrics().add(Metric::GuardScans, 1);
+            }
             if let Some((first_index, kind, count)) = scan_non_finite(dst_slice) {
                 return Err(RunFailure::Guard {
                     step: i,
@@ -1039,7 +1159,16 @@ fn run_steps_sequential(
                 });
             }
         }
-        rows[i].time += started.elapsed();
+        let elapsed = started.elapsed();
+        rows[i].time += elapsed;
+        if let Some(w) = obs {
+            let ns = elapsed.as_nanos() as u64;
+            let m = w.observer.metrics();
+            m.add(Metric::StepsExecuted, 1);
+            m.observe(Metric::StepNs, ns);
+            w.observer
+                .span(w.step_names[i], obs_ts.unwrap_or(0), ns.max(1), 0);
+        }
         src = match (src, i == last) {
             (_, true) => src,
             (Loc::Input | Loc::B, false) => Loc::A,
@@ -1063,6 +1192,7 @@ fn run_steps_chunk(
     guard: GuardConfig,
     faults: &FaultPlan,
     run: u64,
+    obs: Option<&ObsWiring>,
 ) -> Result<(), RunFailure> {
     faults.worker_entry(chunk_idx, run);
     let last = chunk.steps.len() - 1;
@@ -1072,10 +1202,13 @@ fn run_steps_chunk(
         buf_a,
         buf_b,
         scratch,
+        step_ns,
         ..
     } = chunk;
     for (i, step) in steps.iter().enumerate() {
         debug_assert!(exec[i].supported, "parallel chunks require full support");
+        let obs_ts = obs.map(|w| w.observer.now_ns());
+        let started = Instant::now();
         let (src_slice, dst_slice): (&[f32], &mut [f32]) = match (src, i == last) {
             (Loc::Input, true) => (&input[..step.input_elems], &mut out[..]),
             (Loc::Input, false) => (&input[..step.input_elems], &mut buf_a[..step.output_elems]),
@@ -1103,6 +1236,9 @@ fn run_steps_chunk(
         }
         faults.corrupt_output(i, run, chunk_idx, dst_slice);
         if guard.checks_boundaries() {
+            if let Some(w) = obs {
+                w.observer.metrics().add(Metric::GuardScans, 1);
+            }
             if let Some((first_index, kind, count)) = scan_non_finite(dst_slice) {
                 return Err(RunFailure::Guard {
                     step: i,
@@ -1114,6 +1250,19 @@ fn run_steps_chunk(
                     },
                 });
             }
+        }
+        let ns = started.elapsed().as_nanos() as u64;
+        step_ns[i] = ns;
+        if let Some(w) = obs {
+            let m = w.observer.metrics();
+            m.add(Metric::StepsExecuted, 1);
+            m.observe(Metric::StepNs, ns);
+            w.observer.span(
+                w.step_names[i],
+                obs_ts.unwrap_or(0),
+                ns.max(1),
+                chunk_idx as u32 + 1,
+            );
         }
         src = match (src, i == last) {
             (_, true) => src,
@@ -1638,6 +1787,101 @@ mod tests {
                 assert_eq!(report.layer_name, "<input>");
             }
             other => panic!("expected GuardTripped on input, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observer_absent_unless_requested() {
+        let mut net = conv_net();
+        let plan = InferencePlan::compile(&net, &[1, 3, 8, 8], &ExecConfig::serial()).unwrap();
+        let session = InferenceSession::new(&mut net, plan).unwrap();
+        assert!(session.observer().is_none());
+    }
+
+    #[test]
+    fn observer_records_run_metrics_and_step_spans() {
+        use cnn_stack_obs::ObsLevel;
+        let mut net = conv_net();
+        let cfg = ExecConfig {
+            observer: ObsLevel::Trace,
+            ..ExecConfig::serial()
+        };
+        let x = random([1, 3, 8, 8], 37);
+        let plan = InferencePlan::compile(&net, x.shape().dims(), &cfg).unwrap();
+        let steps = plan.steps().len() as u64;
+        let mut session = InferenceSession::new(&mut net, plan).unwrap();
+        session.run(&x).unwrap();
+        session.run(&x).unwrap();
+        let obs = session
+            .observer()
+            .expect("trace level installs an observer");
+        let m = obs.metrics();
+        assert_eq!(m.counter(Metric::RunsCompleted), 2);
+        assert_eq!(m.counter(Metric::StepsExecuted), 2 * steps);
+        assert!(m.counter(Metric::GemmCalls) > 0);
+        assert!(m.gauge(Metric::ArenaBytes) > 0);
+        // One span per step plus one run span, per run.
+        let events = obs.events();
+        assert_eq!(events.len() as u64, 2 * (steps + 1));
+        let names = obs.names();
+        assert!(names.iter().any(|n| n == "run"));
+        assert!(names.iter().any(|n| n.contains("[span 1]")));
+        // Metrics level counts but records no events.
+        let mut net = conv_net();
+        let cfg = ExecConfig {
+            observer: ObsLevel::Metrics,
+            ..ExecConfig::serial()
+        };
+        let plan = InferencePlan::compile(&net, x.shape().dims(), &cfg).unwrap();
+        let mut session = InferenceSession::new(&mut net, plan).unwrap();
+        session.run(&x).unwrap();
+        let obs = session.observer().unwrap();
+        assert_eq!(obs.metrics().counter(Metric::RunsCompleted), 1);
+        assert!(obs.events().is_empty());
+    }
+
+    #[test]
+    fn observer_counts_boundary_scans_and_parallel_pool_tasks() {
+        use cnn_stack_obs::ObsLevel;
+        let mut net = conv_net();
+        let cfg = ExecConfig {
+            observer: ObsLevel::Metrics,
+            ..ExecConfig::with_threads(2)
+        };
+        let x = random([4, 3, 8, 8], 41);
+        let plan = InferencePlan::compile(&net, x.shape().dims(), &cfg).unwrap();
+        let steps = plan.steps().len() as u64;
+        let mut session =
+            InferenceSession::with_guard(&mut net, plan, GuardConfig::BoundaryCheck).unwrap();
+        session.run(&x).unwrap();
+        let m = session.observer().unwrap().metrics();
+        // Two chunks, each scanning every step boundary.
+        assert_eq!(m.counter(Metric::GuardScans), 2 * steps);
+        assert_eq!(m.counter(Metric::GuardTrips), 0);
+        assert_eq!(m.gauge(Metric::PoolWorkers), 2);
+        assert_eq!(m.counter(Metric::PoolTasksQueued), 2);
+        assert_eq!(m.counter(Metric::PoolTasksRun), 2);
+        assert_eq!(m.counter(Metric::PoolPanicsContained), 0);
+    }
+
+    /// Batch-parallel runs used to advance only the profile total; the
+    /// per-step chunk timings now attribute each row's critical path.
+    #[test]
+    fn parallel_runs_attribute_per_layer_time() {
+        let mut net = conv_net();
+        let cfg = ExecConfig::with_threads(2);
+        let x = random([4, 3, 8, 8], 43);
+        let plan = InferencePlan::compile(&net, x.shape().dims(), &cfg).unwrap();
+        let mut session = InferenceSession::new(&mut net, plan).unwrap();
+        session.run(&x).unwrap();
+        let profile = session.profile();
+        assert_eq!(profile.runs(), 1);
+        for row in profile.rows() {
+            assert!(
+                row.time > Duration::ZERO,
+                "step {:?} got no time attributed under batch parallelism",
+                row.name
+            );
         }
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::descriptor::LayerDescriptor;
 use crate::error::Error;
+use cnn_stack_obs::ObsLevel;
 use cnn_stack_parallel::Schedule;
 use cnn_stack_tensor::{GemmAlgorithm, GemmEpilogue, GemmPlan, Tensor};
 
@@ -73,6 +74,12 @@ pub struct ExecConfig {
     /// activation is `max(x, 0)`, bit-identical to the standalone
     /// [`crate::ReLU`] layer (including the NaN-flush).
     pub fused_relu: bool,
+    /// Observability level for sessions compiled from this config:
+    /// [`ObsLevel::Off`] (default) pays one relaxed atomic load per
+    /// disabled instrument, [`ObsLevel::Metrics`] counts into the
+    /// session's registry, [`ObsLevel::Trace`] additionally records
+    /// per-step spans into a bounded ring for Chrome-trace export.
+    pub observer: ObsLevel,
 }
 
 impl ExecConfig {
@@ -85,6 +92,7 @@ impl ExecConfig {
             conv_algo: ConvAlgorithm::Direct,
             gemm_algo: GemmAlgorithm::Packed,
             fused_relu: false,
+            observer: ObsLevel::Off,
         }
     }
 
@@ -165,6 +173,12 @@ impl ExecConfigBuilder {
     /// Sets the GEMM kernel used by im2col convolutions and linear layers.
     pub fn gemm_algo(mut self, algo: GemmAlgorithm) -> Self {
         self.config.gemm_algo = algo;
+        self
+    }
+
+    /// Sets the observability level for sessions built from this config.
+    pub fn observer(mut self, level: ObsLevel) -> Self {
+        self.config.observer = level;
         self
     }
 

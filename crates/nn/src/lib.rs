@@ -62,6 +62,7 @@ pub mod train;
 
 pub use activations::ReLU;
 pub use batchnorm::BatchNorm2d;
+pub use cnn_stack_obs::ObsLevel;
 pub use conv::Conv2d;
 pub use depthwise::DepthwiseConv2d;
 pub use descriptor::{LayerDescriptor, LayerKind};

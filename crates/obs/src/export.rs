@@ -1,0 +1,192 @@
+//! Trace exporters: Chrome `trace_event` JSON for humans (load in
+//! `chrome://tracing` or Perfetto) and a deterministic text format for
+//! golden-file tests (stable ordering, no timestamps, no thread ids).
+
+use crate::trace::{EventKind, Observer, TraceEvent};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the observer's recorded events as Chrome `trace_event` JSON
+/// (the "JSON object" flavour: `{"traceEvents": [...]}`).
+///
+/// Spans become complete events (`ph:"X"`), instants `ph:"i"`;
+/// timestamps are microseconds with nanosecond precision, one `pid`,
+/// and the event's logical track as `tid` (0 = calling thread,
+/// 1.. = batch chunks).
+pub fn chrome_trace_json(obs: &Observer) -> String {
+    use std::fmt::Write as _;
+    let names = obs.names();
+    let name_of = |ev: &TraceEvent| {
+        names
+            .get(ev.name.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
+    };
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let events = obs.events();
+    for (i, ev) in events.iter().enumerate() {
+        let name = json_escape(name_of(ev));
+        let ts = ev.ts_ns as f64 / 1_000.0;
+        match ev.kind {
+            EventKind::Span => {
+                let dur = ev.dur_ns as f64 / 1_000.0;
+                let _ = write!(
+                    out,
+                    "  {{\"name\": \"{name}\", \"cat\": \"cnn-stack\", \"ph\": \"X\", \
+                     \"ts\": {ts:.3}, \"dur\": {dur:.3}, \"pid\": 1, \"tid\": {}}}",
+                    ev.tid
+                );
+            }
+            EventKind::Instant => {
+                let _ = write!(
+                    out,
+                    "  {{\"name\": \"{name}\", \"cat\": \"cnn-stack\", \"ph\": \"i\", \
+                     \"s\": \"t\", \"ts\": {ts:.3}, \"pid\": 1, \"tid\": {}}}",
+                    ev.tid
+                );
+            }
+        }
+        out.push_str(if i + 1 == events.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+/// Renders the observer's recorded events as the deterministic golden
+/// text format: one line per event, nesting shown by indentation,
+/// **no timestamps and no thread ids**, ordered by span start (ties:
+/// longer span first, then name), so a serial run produces the same
+/// bytes every time.
+///
+/// ```text
+/// trace-text v1
+/// span session.run
+///   span conv3x3(3->16) [span 3] Im2col/Packed +relu
+///   span maxpool2
+/// mark guard.trip
+/// ```
+pub fn text_trace(obs: &Observer) -> String {
+    let names = obs.names();
+    let mut events = obs.events();
+    events.sort_by(|a, b| {
+        a.ts_ns
+            .cmp(&b.ts_ns)
+            .then(b.dur_ns.cmp(&a.dur_ns))
+            .then(a.name.0.cmp(&b.name.0))
+    });
+    let mut out = String::from("trace-text v1\n");
+    // Stack of span end-times drives the indentation depth.
+    let mut open_ends: Vec<u64> = Vec::new();
+    for ev in &events {
+        while let Some(&end) = open_ends.last() {
+            if ev.ts_ns >= end {
+                open_ends.pop();
+            } else {
+                break;
+            }
+        }
+        for _ in 0..open_ends.len() {
+            out.push_str("  ");
+        }
+        let name = names
+            .get(ev.name.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown>");
+        match ev.kind {
+            EventKind::Span => {
+                out.push_str("span ");
+                out.push_str(name);
+                out.push('\n');
+                open_ends.push(ev.ts_ns + ev.dur_ns);
+            }
+            EventKind::Instant => {
+                out.push_str("mark ");
+                out.push_str(name);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{NameId, ObsLevel};
+
+    fn demo_observer() -> std::sync::Arc<Observer> {
+        let obs = Observer::for_level(ObsLevel::Trace).unwrap();
+        let run = obs.intern("session.run");
+        let s1 = obs.intern("conv [span 1]");
+        let s2 = obs.intern("relu [span 1]");
+        let trip = obs.intern("guard.trip");
+        // Children recorded before the parent (spans are recorded at
+        // their *end*), exporters must still nest them correctly.
+        obs.span(s1, 10, 50, 0);
+        obs.instant(trip, 40, 0);
+        obs.span(s2, 60, 30, 0);
+        obs.span(run, 0, 100, 0);
+        obs
+    }
+
+    #[test]
+    fn text_trace_nests_and_orders() {
+        let obs = demo_observer();
+        let text = text_trace(&obs);
+        assert_eq!(
+            text,
+            "trace-text v1\n\
+             span session.run\n\
+             \x20 span conv [span 1]\n\
+             \x20   mark guard.trip\n\
+             \x20 span relu [span 1]\n"
+        );
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed() {
+        let obs = demo_observer();
+        let json = chrome_trace_json(&obs);
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\": \"ms\"}"));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 3);
+        assert_eq!(json.matches("\"ph\": \"i\"").count(), 1);
+        assert!(json.contains("\"name\": \"session.run\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let obs = Observer::for_level(ObsLevel::Trace).unwrap();
+        let id = obs.intern("a\"b\\c\nd");
+        obs.span(id, 0, 1, 0);
+        let json = chrome_trace_json(&obs);
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn unknown_name_id_does_not_panic() {
+        let obs = Observer::for_level(ObsLevel::Trace).unwrap();
+        obs.span(NameId(999), 0, 1, 0);
+        assert!(text_trace(&obs).contains("<unknown>"));
+    }
+}

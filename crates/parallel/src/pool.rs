@@ -1,5 +1,6 @@
 //! A persistent worker thread pool with panic containment.
 
+use cnn_stack_obs::{Metric, Observer};
 use crossbeam::channel::{unbounded, Sender};
 use crossbeam::sync::WaitGroup;
 use parking_lot::Mutex;
@@ -120,6 +121,7 @@ pub struct ThreadPool {
     workers: Vec<JoinHandle<()>>,
     pending: Mutex<Option<WaitGroup>>,
     panics: Arc<PanicSink>,
+    observer: Mutex<Option<Arc<Observer>>>,
 }
 
 impl ThreadPool {
@@ -149,6 +151,7 @@ impl ThreadPool {
             workers,
             pending: Mutex::new(Some(WaitGroup::new())),
             panics: Arc::new(PanicSink::default()),
+            observer: Mutex::new(None),
         }
     }
 
@@ -157,13 +160,46 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// Attaches (or detaches, with `None`) an observer: every task
+    /// submitted afterwards counts `pool.tasks_queued` / `pool.tasks_run`
+    /// / `pool.worker_busy_ns` / `pool.panics_contained` into its
+    /// registry, and the observer is installed as the worker's
+    /// thread-local current observer for the duration of each task, so
+    /// kernels running inside pool tasks record too.
+    pub fn set_observer(&self, obs: Option<Arc<Observer>>) {
+        if let Some(o) = &obs {
+            o.metrics()
+                .set(Metric::PoolWorkers, self.workers.len() as i64);
+        }
+        *self.observer.lock() = obs;
+    }
+
     /// Wraps a task so its panics are caught and recorded, and `guard`
     /// is released even when the body unwinds (so waiters cannot hang).
     fn contain(&self, task: impl FnOnce() + Send + 'static, guard: WaitGroup) -> Task {
         let sink = Arc::clone(&self.panics);
+        let obs = self.observer.lock().clone();
+        if let Some(o) = &obs {
+            o.metrics().add(Metric::PoolTasksQueued, 1);
+        }
         Box::new(move || {
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                sink.record(payload);
+            let started = obs.as_ref().map(|_| std::time::Instant::now());
+            {
+                // Make the observer current on the worker for the task's
+                // duration, so kernel instruments inside the task record.
+                let _tls = obs.as_ref().map(|o| cnn_stack_obs::install(o.clone()));
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                    if let Some(o) = &obs {
+                        o.metrics().add(Metric::PoolPanicsContained, 1);
+                    }
+                    sink.record(payload);
+                }
+            }
+            if let (Some(o), Some(t)) = (&obs, started) {
+                let ns = t.elapsed().as_nanos() as u64;
+                o.metrics().add(Metric::PoolTasksRun, 1);
+                o.metrics().add(Metric::PoolWorkerBusyNs, ns);
+                o.metrics().observe(Metric::PoolTaskNs, ns);
             }
             drop(guard);
         })
@@ -464,5 +500,37 @@ mod tests {
     #[test]
     fn debug_nonempty() {
         assert!(format!("{:?}", ThreadPool::new(1)).contains("workers"));
+    }
+
+    /// The observer sees every task exactly once — queued == run even
+    /// when a task panics — and detaching stops the counting.
+    #[test]
+    fn observer_counts_tasks_and_panics() {
+        use cnn_stack_obs::{Metric, ObsLevel, Observer};
+        let pool = ThreadPool::new(2);
+        let obs = Observer::for_level(ObsLevel::Metrics).expect("metrics level");
+        pool.set_observer(Some(obs.clone()));
+        for _ in 0..5 {
+            pool.execute(|| {}).expect("pool is live");
+        }
+        pool.wait().expect("no panics yet");
+        let err = pool
+            .scope(vec![Box::new(|| panic!("observed failure"))])
+            .expect_err("panic surfaces");
+        assert!(matches!(err, PoolError::WorkerPanicked { .. }));
+        let m = obs.metrics();
+        assert_eq!(m.counter(Metric::PoolTasksQueued), 6);
+        assert_eq!(m.counter(Metric::PoolTasksRun), 6);
+        assert_eq!(m.counter(Metric::PoolPanicsContained), 1);
+        assert_eq!(m.gauge(Metric::PoolWorkers), 2);
+
+        pool.set_observer(None);
+        pool.execute(|| {}).expect("pool is live");
+        pool.wait().expect("no panics");
+        assert_eq!(
+            m.counter(Metric::PoolTasksRun),
+            6,
+            "detached pool stops counting"
+        );
     }
 }

@@ -4,6 +4,7 @@ use cnn_stack_compress::Technique;
 use cnn_stack_hwsim::{intel_i7, odroid_xu4, Backend, Platform};
 use cnn_stack_models::ModelKind;
 use cnn_stack_nn::{ConvAlgorithm, Error, GuardConfig, WeightFormat};
+use cnn_stack_obs::ObsLevel;
 
 /// Layer 2 of the stack: the compression technique and its operating
 /// point.
@@ -138,6 +139,13 @@ pub struct StackConfig {
     /// default, one algorithm everywhere) or [`PlanMode::Selection`]
     /// (fused, per-layer choices from the pass compiler).
     pub plan: PlanMode,
+    /// Observability level for the cell's evaluation:
+    /// [`ObsLevel::Off`] (the default) records nothing,
+    /// [`ObsLevel::Metrics`] attaches a metrics snapshot to the
+    /// [`CellResult`](crate::runner::CellResult), [`ObsLevel::Trace`]
+    /// additionally records spans for the modelled timing and every
+    /// host-execution step.
+    pub obs: ObsLevel,
 }
 
 impl StackConfig {
@@ -153,6 +161,7 @@ impl StackConfig {
             platform,
             guard: GuardConfig::Off,
             plan: PlanMode::Global,
+            obs: ObsLevel::Off,
         }
     }
 
@@ -196,6 +205,12 @@ impl StackConfig {
     /// Sets the host plan-construction mode (builder style).
     pub fn plan(mut self, plan: PlanMode) -> Self {
         self.plan = plan;
+        self
+    }
+
+    /// Sets the observability level for evaluations (builder style).
+    pub fn obs(mut self, obs: ObsLevel) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -289,6 +304,12 @@ impl StackConfigBuilder {
     /// Sets the host plan-construction mode.
     pub fn plan(mut self, plan: PlanMode) -> Self {
         self.config.plan = plan;
+        self
+    }
+
+    /// Sets the observability level for evaluations.
+    pub fn obs(mut self, obs: ObsLevel) -> Self {
+        self.config.obs = obs;
         self
     }
 
@@ -413,6 +434,19 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.plan, PlanMode::Selection);
+    }
+
+    #[test]
+    fn obs_level_defaults_off_and_is_configurable() {
+        let cfg = StackConfig::plain(ModelKind::Vgg16, PlatformChoice::IntelI7);
+        assert_eq!(cfg.obs, ObsLevel::Off);
+        let cfg = cfg.obs(ObsLevel::Metrics);
+        assert_eq!(cfg.obs, ObsLevel::Metrics);
+        let cfg = StackConfig::builder(ModelKind::Vgg16, PlatformChoice::IntelI7)
+            .obs(ObsLevel::Trace)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.obs, ObsLevel::Trace);
     }
 
     #[test]

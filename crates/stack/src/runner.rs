@@ -8,7 +8,9 @@ use cnn_stack_nn::memory::{network_memory, MemoryBreakdown};
 use cnn_stack_nn::{
     ConvAlgorithm, Error, ExecConfig, HealthReport, InferencePlan, InferenceSession, PlanCompiler,
 };
+use cnn_stack_obs::{self as obs, MetricsSnapshot, Observer};
 use cnn_stack_tensor::Tensor;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One evaluated cell of the experiment grid.
@@ -42,6 +44,11 @@ pub struct CellResult {
     /// was requested. Under [`PlanMode::Selection`] this is where the
     /// per-layer choices of the pass compiler become visible.
     pub plan_steps: Vec<String>,
+    /// Snapshot of every observability instrument recorded during the
+    /// evaluation (GEMM calls/FLOPs, im2col traffic, pool activity,
+    /// guard scans, engine steps), when [`StackConfig::obs`] was above
+    /// `Off`. `None` with observability off.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Evaluates `cfg` with the analytic platform model only (no host
@@ -88,7 +95,6 @@ pub fn try_evaluate_with(
         backend: cfg.backend,
         im2col: matches!(cfg.algorithm, ConvAlgorithm::Im2col),
     };
-    let (modelled_s, _) = network_time(&platform, &descs, &sim);
     let energy = network_energy(
         &platform,
         &EnergyModel::for_platform(&platform),
@@ -98,10 +104,15 @@ pub fn try_evaluate_with(
 
     let memory = network_memory(&descs, matches!(cfg.algorithm, ConvAlgorithm::Im2col));
 
+    // One observer covers the whole cell: the host session's (so kernel
+    // metrics, engine spans, and the modelled-timing spans land in the
+    // same registry/ring), or a standalone one for modelled-only cells.
+    let observer: Option<Arc<Observer>>;
     let (measured_host_s, health, plan_steps) = if measure_host {
         let exec = ExecConfig {
             threads: cfg.threads,
             conv_algo: cfg.algorithm,
+            observer: cfg.obs,
             ..ExecConfig::serial()
         };
         // Compile once, execute via the arena-backed session: the timed
@@ -127,6 +138,7 @@ pub fn try_evaluate_with(
             })
             .collect();
         let mut session = InferenceSession::with_guard(&mut model.network, plan, cfg.guard)?;
+        observer = session.observer().cloned();
         let input = Tensor::zeros(input_shape.to_vec());
         let mut out = Tensor::zeros(session.plan().output_shape().to_vec());
         // Warm once, then time one pass.
@@ -136,8 +148,17 @@ pub fn try_evaluate_with(
         let elapsed = start.elapsed().as_secs_f64();
         (Some(elapsed), session.health().clone(), plan_steps)
     } else {
+        observer = Observer::for_level(cfg.obs);
         (None, HealthReport::default(), Vec::new())
     };
+
+    // The modelled timing records its per-layer spans through the
+    // thread-local observer, so install ours for the call's duration.
+    let (modelled_s, _) = {
+        let _tls = observer.as_ref().map(|o| obs::install(o.clone()));
+        network_time(&platform, &descs, &sim)
+    };
+    let metrics = observer.as_ref().map(|o| o.snapshot());
 
     let macs: u64 = descs.iter().map(|d| d.macs).sum();
     let effective_macs: u64 = descs.iter().map(|d| d.effective_macs()).sum();
@@ -154,6 +175,7 @@ pub fn try_evaluate_with(
         sparsity: model.network.weight_sparsity(&input_shape),
         health,
         plan_steps,
+        metrics,
     })
 }
 
@@ -247,6 +269,25 @@ mod tests {
         assert!(s.plan_steps.iter().any(|l| l.contains("Im2col")));
         assert!(s.health.is_clean());
         assert!(s.measured_host_s.is_some());
+    }
+
+    #[test]
+    fn obs_metrics_snapshot_attaches_when_requested() {
+        use cnn_stack_obs::ObsLevel;
+        let base = StackConfig::plain(ModelKind::MobileNet, PlatformChoice::IntelI7);
+        // Off: no snapshot.
+        let off = try_evaluate_with(&base, 0.1, true).unwrap();
+        assert!(off.metrics.is_none());
+        // Metrics on a host run: kernel and engine instruments advance.
+        let cell = try_evaluate_with(&base.obs(ObsLevel::Metrics), 0.1, true).unwrap();
+        let m = cell.metrics.expect("metrics requested");
+        assert!(m.counter("engine.runs_completed").unwrap() >= 2); // warm-up + timed
+        assert!(m.counter("engine.steps_executed").unwrap() > 0);
+        assert!(m.counter("gemm.calls").unwrap() > 0);
+        // Modelled-only cells still carry a (quiet) snapshot.
+        let modelled = try_evaluate_with(&base.obs(ObsLevel::Metrics), 0.1, false).unwrap();
+        let m = modelled.metrics.expect("metrics requested");
+        assert_eq!(m.counter("engine.runs_completed"), Some(0));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! and `MR·NR` fused multiply-adds per step.
 
 use crate::tensor::Tensor;
+use cnn_stack_obs::{self as obs, Metric};
 use cnn_stack_parallel::{parallel_tiles, DisjointWriter, Schedule};
 use std::sync::OnceLock;
 
@@ -272,6 +273,10 @@ pub fn pack_a_into(plan: &GemmPlan, a: &[f32], buf: &mut [f32]) {
             }
         }
     }
+    obs::count(
+        Metric::GemmBytesPacked,
+        (plan.packed_a_elems() * std::mem::size_of::<f32>()) as u64,
+    );
 }
 
 /// Packs `b[k×n]` (row-major) into NR-column panels: panel `jp` holds
@@ -299,6 +304,10 @@ pub fn pack_b_into(plan: &GemmPlan, b: &[f32], buf: &mut [f32]) {
             d[cols..].fill(0.0);
         }
     }
+    obs::count(
+        Metric::GemmBytesPacked,
+        (plan.packed_b_elems() * std::mem::size_of::<f32>()) as u64,
+    );
 }
 
 /// Packs `Wᵀ` into NR-column panels directly from `w[n×k]` (row-major),
@@ -333,6 +342,10 @@ pub fn pack_b_transposed_into(plan: &GemmPlan, w: &[f32], buf: &mut [f32]) {
             }
         }
     }
+    obs::count(
+        Metric::GemmBytesPacked,
+        (plan.packed_b_elems() * std::mem::size_of::<f32>()) as u64,
+    );
 }
 
 /// Which micro-kernel the packed engine dispatches to.
@@ -557,6 +570,25 @@ pub fn gemm_prepacked_epilogue(
     let panels_per_row_chunk = plan.mc / MR;
     let panels_per_col_chunk = plan.nc / NR;
     let kc = plan.kc;
+
+    // One batched registry update per call (the panel/k-block counts are
+    // known analytically); the logical m·k·n — not the padded panel work
+    // — so `gemm.flops` matches the IR's analytic FLOP count exactly.
+    obs::with_current(|o| {
+        let metrics = o.metrics();
+        metrics.add(Metric::GemmCalls, 1);
+        metrics.add(Metric::GemmFlops, 2 * (m * k * n) as u64);
+        metrics.add(
+            Metric::GemmPanels,
+            (m_panels * n_panels * k.div_ceil(kc)) as u64,
+        );
+        let kernel_metric = match kernel {
+            MicroKernel::Scalar => Metric::GemmKernelScalar,
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            MicroKernel::Avx2Fma => Metric::GemmKernelAvx2,
+        };
+        metrics.add(kernel_metric, 1);
+    });
 
     let writer = DisjointWriter::new(c);
     let writer = &writer;

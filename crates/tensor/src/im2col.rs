@@ -8,6 +8,7 @@
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+use cnn_stack_obs::{self as obs, Metric};
 
 /// Static geometry of a 2-D convolution: input/kernel extents, stride and
 /// padding, plus the derived output extents.
@@ -165,6 +166,13 @@ pub fn im2col_into(image: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
             }
         }
     }
+    obs::with_current(|o| {
+        o.metrics().add(Metric::Im2colCalls, 1);
+        o.metrics().add(
+            Metric::Im2colBytesLowered,
+            std::mem::size_of_val(out) as u64,
+        );
+    });
 }
 
 /// Fused im2col → pack-B: writes the NR-column GEMM panels of the im2col
@@ -228,6 +236,14 @@ pub fn pack_b_im2col_into(image: &[f32], geom: &Conv2dGeometry, buf: &mut [f32])
             }
         }
     }
+    // The fused path both lowers (im2col) and packs (B panels) in one
+    // sweep, so it feeds both instrument families.
+    obs::with_current(|o| {
+        let bytes = (n_panels * NR * k * std::mem::size_of::<f32>()) as u64;
+        o.metrics().add(Metric::Im2colCalls, 1);
+        o.metrics().add(Metric::Im2colBytesLowered, bytes);
+        o.metrics().add(Metric::GemmBytesPacked, bytes);
+    });
 }
 
 /// Inverse of [`im2col`]: scatter-adds a `[patch_len, out_h*out_w]` matrix

@@ -1,0 +1,62 @@
+//! Traces one VGG-16 inference end to end and dumps the result in both
+//! exporter formats:
+//!
+//! * `target/vgg16_trace.json` — Chrome `trace_event` JSON. Open it in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`: one
+//!   row per logical track, a `run` span covering the whole forward
+//!   pass, and one child span per fused plan step named like
+//!   `conv3x3(3->64)/s1 + bn + relu [im2col-packed] [span 3]
+//!   Im2col/Packed +relu` — the fusion span and the chosen
+//!   convolution/GEMM algorithms are right there in the timeline.
+//! * stdout — the deterministic text trace (what the golden tests pin)
+//!   plus the metrics registry rendering: GEMM FLOPs, im2col bytes
+//!   lowered, per-step latency histogram and friends.
+//!
+//! ```bash
+//! cargo run --release --example trace_inference
+//! ```
+
+use cnn_stack::models::ModelKind;
+use cnn_stack::nn::{ExecConfig, GuardConfig, InferenceSession, ObsLevel, PlanCompiler};
+use cnn_stack::obs::{chrome_trace_json, text_trace};
+use cnn_stack::tensor::Tensor;
+
+fn main() {
+    let mut model = ModelKind::Vgg16.build_width(10, 0.5);
+    let cfg = ExecConfig {
+        observer: ObsLevel::Trace,
+        ..ExecConfig::serial()
+    };
+    let plan = model
+        .compile_plan(1, &cfg, &PlanCompiler::standard())
+        .expect("VGG-16 compiles at CIFAR shape");
+    let mut session = InferenceSession::with_guard(&mut model.network, plan, GuardConfig::Off)
+        .expect("plan matches the network");
+
+    let input = Tensor::from_fn([1, 3, 32, 32], |i| ((i * 13 % 31) as f32) * 0.1 - 1.5);
+    let mut out = Tensor::zeros(session.plan().output_shape().to_vec());
+    session.run_into(&input, &mut out).expect("clean inference");
+
+    let observer = session
+        .observer()
+        .expect("ObsLevel::Trace attaches an observer");
+
+    let json = chrome_trace_json(observer);
+    let path = std::path::Path::new("target").join("vgg16_trace.json");
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write(&path, &json).expect("write trace JSON");
+
+    println!("=== text trace (deterministic golden format) ===");
+    print!("{}", text_trace(observer));
+    println!();
+    println!("=== metrics ===");
+    print!("{}", observer.snapshot().render());
+    println!();
+    println!(
+        "Chrome trace written to {} ({} events, {} dropped) — load it in \
+         https://ui.perfetto.dev or chrome://tracing",
+        path.display(),
+        observer.events().len(),
+        observer.dropped()
+    );
+}

@@ -14,6 +14,7 @@
 //! * [`compress`] — weight pruning, Fisher channel pruning, TTQ.
 //! * [`parallel`] — OpenMP-style thread pool and loop scheduling.
 //! * [`hwsim`] — platform timing models and the simulated OpenCL device.
+//! * [`obs`] — metrics registry, span tracer, Chrome-trace export.
 //! * [`stack`] — the five-layer Deep Learning Inference Stack itself.
 //!
 //! ## Quickstart
@@ -35,6 +36,7 @@ pub use cnn_stack_dataset as dataset;
 pub use cnn_stack_hwsim as hwsim;
 pub use cnn_stack_models as models;
 pub use cnn_stack_nn as nn;
+pub use cnn_stack_obs as obs;
 pub use cnn_stack_parallel as parallel;
 pub use cnn_stack_sparse as sparse;
 pub use cnn_stack_tensor as tensor;

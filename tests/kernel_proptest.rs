@@ -1,0 +1,349 @@
+//! Property tests pinning the stand-alone kernels to naive reference
+//! implementations: depthwise convolution, max/average pooling and ReLU.
+//!
+//! Besides the finite-value equivalence, these deliberately exercise the
+//! IEEE-754 corners the kernels commit to:
+//!
+//! * depthwise propagates NaN/Inf — there is no zero-tap skip, so
+//!   `0.0 * NaN` stays NaN (same policy as the GEMM kernels);
+//! * `MaxPool2d` *flushes* NaN — the `>` comparison never lets NaN win,
+//!   and an all-NaN window collapses to `-inf`;
+//! * `GlobalAvgPool` propagates NaN/Inf through the plane sum;
+//! * `ReLU` flushes NaN to `0.0` (`f32::max` returns the non-NaN arm)
+//!   and maps `-inf` to `0.0`, `+inf` to `+inf`.
+
+use cnn_stack::nn::{DepthwiseConv2d, ExecConfig, GlobalAvgPool, Layer, MaxPool2d, Phase, ReLU};
+use cnn_stack::tensor::Tensor;
+use proptest::prelude::*;
+
+/// Bitwise-ish f32 equality: NaN matches NaN, everything else must
+/// compare equal (covers ±inf; treats -0.0 == 0.0, which is fine here).
+fn same_f32(a: f32, b: f32) -> bool {
+    (a.is_nan() && b.is_nan()) || a == b
+}
+
+fn assert_tensors_match(actual: &Tensor, expected: &[f32]) {
+    assert_eq!(actual.data().len(), expected.len());
+    for (i, (&a, &e)) in actual.data().iter().zip(expected).enumerate() {
+        assert!(
+            same_f32(a, e),
+            "element {} differs: kernel={}, reference={}",
+            i,
+            a,
+            e
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Depthwise convolution
+// ---------------------------------------------------------------------------
+
+/// Naive per-output-element depthwise convolution, accumulating taps in
+/// the same ascending (kh, kw) order as the kernel so results are
+/// bit-identical, NaN included.
+#[allow(clippy::too_many_arguments)]
+fn naive_depthwise(
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+) -> Vec<f32> {
+    let out_h = (h + 2 * padding - k) / stride + 1;
+    let out_w = (w + 2 * padding - k) / stride + 1;
+    let mut out = vec![0.0f32; n * c * out_h * out_w];
+    for img in 0..n {
+        for ch in 0..c {
+            let x = &input[(img * c + ch) * h * w..(img * c + ch + 1) * h * w];
+            let f = &weight[ch * k * k..(ch + 1) * k * k];
+            for oh in 0..out_h {
+                for ow in 0..out_w {
+                    let mut acc = bias[ch];
+                    for kh in 0..k {
+                        for kw in 0..k {
+                            let ih = (oh * stride + kh) as isize - padding as isize;
+                            let iw = (ow * stride + kw) as isize - padding as isize;
+                            if ih < 0 || ih as usize >= h || iw < 0 || iw as usize >= w {
+                                continue;
+                            }
+                            acc += f[kh * k + kw] * x[ih as usize * w + iw as usize];
+                        }
+                    }
+                    out[((img * c + ch) * out_h + oh) * out_w + ow] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// ((n, c, h, w), (k, stride, padding), input values, weight values).
+/// Nested tuples keep each tuple within the 6-element `Strategy` impls.
+type DwCase = (
+    (usize, usize, usize, usize),
+    (usize, usize, usize),
+    Vec<f32>,
+    Vec<f32>,
+);
+
+fn depthwise_case() -> impl Strategy<Value = DwCase> {
+    (
+        (1usize..3, 1usize..4, 3usize..8, 3usize..8),
+        (0usize..2, 1usize..3, 0usize..3),
+    )
+        .prop_flat_map(|((n, c, h, w), (k_pick, stride, padding))| {
+            let k = if k_pick == 0 { 1 } else { 3 };
+            let input = proptest::collection::vec(-4.0f32..4.0, n * c * h * w);
+            let weight = proptest::collection::vec(-2.0f32..2.0, c * k * k);
+            (
+                Just((n, c, h, w)),
+                Just((k, stride, padding)),
+                input,
+                weight,
+            )
+        })
+}
+
+fn build_depthwise(
+    c: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    weight: &[f32],
+) -> DepthwiseConv2d {
+    let mut layer = DepthwiseConv2d::new(c, k, stride, padding, 42);
+    layer.weight_mut().value.data_mut().copy_from_slice(weight);
+    layer
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn depthwise_matches_naive_reference(
+        ((n, c, h, w), (k, stride, padding), input, weight) in depthwise_case()
+    ) {
+        prop_assume!(h + 2 * padding >= k && w + 2 * padding >= k);
+        let mut layer = build_depthwise(c, k, stride, padding, &weight);
+        let bias: Vec<f32> = layer.bias().value.data().to_vec();
+        let x = Tensor::from_vec([n, c, h, w], input.clone());
+        let y = layer.forward(&x, Phase::Eval, &ExecConfig::serial());
+        let expected = naive_depthwise(&input, &weight, &bias, n, c, h, w, k, stride, padding);
+        assert_tensors_match(&y, &expected);
+    }
+
+    #[test]
+    fn depthwise_propagates_nan_and_inf(
+        ((n, c, h, w), (k, stride, padding), input, weight) in depthwise_case(),
+        poison in 0usize..2,
+    ) {
+        prop_assume!(h + 2 * padding >= k && w + 2 * padding >= k);
+        // Poison one in-bounds input element with NaN or +inf; the
+        // reference and the kernel must agree on exactly which outputs
+        // it reaches.
+        let mut input = input;
+        let idx = input.len() / 2;
+        input[idx] = if poison == 0 { f32::NAN } else { f32::INFINITY };
+        let mut layer = build_depthwise(c, k, stride, padding, &weight);
+        let bias: Vec<f32> = layer.bias().value.data().to_vec();
+        let x = Tensor::from_vec([n, c, h, w], input.clone());
+        let y = layer.forward(&x, Phase::Eval, &ExecConfig::serial());
+        let expected = naive_depthwise(&input, &weight, &bias, n, c, h, w, k, stride, padding);
+        assert_tensors_match(&y, &expected);
+    }
+}
+
+/// Regression for the removed zero-tap skip: a zero weight times a NaN
+/// input must still produce NaN, exactly like the GEMM kernels.
+#[test]
+fn depthwise_zero_weight_times_nan_is_nan() {
+    let mut layer = DepthwiseConv2d::new(1, 1, 1, 0, 7);
+    layer.weight_mut().value.data_mut()[0] = 0.0;
+    layer.bias_mut().value.data_mut()[0] = 0.0;
+    let x = Tensor::from_vec([1, 1, 2, 2], vec![f32::NAN, 1.0, -1.0, f32::NAN]);
+    let y = layer.forward(&x, Phase::Eval, &ExecConfig::serial());
+    assert!(y.data()[0].is_nan(), "0.0 * NaN must stay NaN");
+    assert_eq!(y.data()[1], 0.0);
+    assert_eq!(y.data()[2], 0.0);
+    assert!(y.data()[3].is_nan());
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2d
+// ---------------------------------------------------------------------------
+
+/// Reference max-pool using `f32::max`, which matches the kernel's
+/// NaN-flush: NaN never wins, an all-NaN window yields `-inf`.
+fn naive_maxpool(input: &[f32], n: usize, c: usize, h: usize, w: usize, window: usize) -> Vec<f32> {
+    let out_h = h / window;
+    let out_w = w / window;
+    let mut out = Vec::with_capacity(n * c * out_h * out_w);
+    for img in 0..n {
+        for ch in 0..c {
+            let plane = &input[(img * c + ch) * h * w..(img * c + ch + 1) * h * w];
+            for oh in 0..out_h {
+                for ow in 0..out_w {
+                    let mut best = f32::NEG_INFINITY;
+                    for dh in 0..window {
+                        for dw in 0..window {
+                            best = best.max(plane[(oh * window + dh) * w + ow * window + dw]);
+                        }
+                    }
+                    out.push(best);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// (n, c, h, w, window, values) with h and w divisible by window — the
+/// kernel asserts divisibility.
+fn maxpool_case() -> impl Strategy<Value = (usize, usize, usize, usize, usize, Vec<f32>)> {
+    (1usize..3, 1usize..4, 1usize..4, 1usize..4, 2usize..4).prop_flat_map(
+        |(n, c, bh, bw, window)| {
+            let (h, w) = (bh * window, bw * window);
+            let values = proptest::collection::vec(-8.0f32..8.0, n * c * h * w);
+            (Just(n), Just(c), Just(h), Just(w), Just(window), values)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn maxpool_matches_naive_reference((n, c, h, w, window, values) in maxpool_case()) {
+        let mut layer = MaxPool2d::new(window);
+        let x = Tensor::from_vec([n, c, h, w], values.clone());
+        let y = layer.forward(&x, Phase::Eval, &ExecConfig::serial());
+        let expected = naive_maxpool(&values, n, c, h, w, window);
+        assert_tensors_match(&y, &expected);
+    }
+
+    #[test]
+    fn maxpool_flushes_nan((n, c, h, w, window, values) in maxpool_case()) {
+        // Scatter NaN over some elements; the `>` comparison must never
+        // let NaN win, so the result equals the reference on the same
+        // NaN-poisoned input.
+        let mut values = values;
+        for i in (0..values.len()).step_by(3) {
+            values[i] = f32::NAN;
+        }
+        let mut layer = MaxPool2d::new(window);
+        let x = Tensor::from_vec([n, c, h, w], values.clone());
+        let y = layer.forward(&x, Phase::Eval, &ExecConfig::serial());
+        let expected = naive_maxpool(&values, n, c, h, w, window);
+        assert_tensors_match(&y, &expected);
+        prop_assert!(y.data().iter().all(|v| !v.is_nan()), "max-pool must flush NaN");
+    }
+}
+
+/// An all-NaN window has no winner under `>`, so the initial `-inf`
+/// survives — the documented flush-to-`-inf` corner.
+#[test]
+fn maxpool_all_nan_window_yields_neg_infinity() {
+    let mut layer = MaxPool2d::new(2);
+    let x = Tensor::from_vec([1, 1, 2, 2], vec![f32::NAN; 4]);
+    let y = layer.forward(&x, Phase::Eval, &ExecConfig::serial());
+    assert_eq!(y.data(), &[f32::NEG_INFINITY]);
+}
+
+/// The kernel refuses ragged shapes outright rather than silently
+/// truncating the border.
+#[test]
+fn maxpool_rejects_non_divisible_shapes() {
+    let result = std::panic::catch_unwind(|| {
+        let mut layer = MaxPool2d::new(2);
+        let x = Tensor::zeros([1, 1, 5, 4]);
+        layer.forward(&x, Phase::Eval, &ExecConfig::serial())
+    });
+    assert!(result.is_err(), "5x4 input with window 2 must panic");
+}
+
+// ---------------------------------------------------------------------------
+// GlobalAvgPool
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn global_avg_pool_matches_plane_mean(
+        (n, c, h, w) in (1usize..3, 1usize..5, 1usize..6, 1usize..6),
+        seed in 0u64..1000,
+    ) {
+        let x = Tensor::from_fn([n, c, h, w], |i| {
+            ((i as u64 * 31 + seed) % 17) as f32 * 0.5 - 4.0
+        });
+        let mut layer = GlobalAvgPool::new();
+        let y = layer.forward(&x, Phase::Eval, &ExecConfig::serial());
+        prop_assert_eq!(y.shape().dims(), &[n, c, 1, 1]);
+        let plane = h * w;
+        for img in 0..n {
+            for ch in 0..c {
+                let slice = &x.data()[(img * c + ch) * plane..(img * c + ch + 1) * plane];
+                let mean: f32 = slice.iter().sum::<f32>() / plane as f32;
+                prop_assert!(same_f32(y.data()[img * c + ch], mean));
+            }
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_propagates_specials(
+        (h, w) in (1usize..6, 1usize..6),
+        poison in 0usize..2,
+    ) {
+        // Channel 0 poisoned, channel 1 clean: the plane sum must carry
+        // NaN/Inf through channel 0 and leave channel 1 untouched.
+        let plane = h * w;
+        let mut values = vec![1.0f32; 2 * plane];
+        values[plane / 2] = if poison == 0 { f32::NAN } else { f32::INFINITY };
+        let x = Tensor::from_vec([1, 2, h, w], values);
+        let mut layer = GlobalAvgPool::new();
+        let y = layer.forward(&x, Phase::Eval, &ExecConfig::serial());
+        if poison == 0 {
+            prop_assert!(y.data()[0].is_nan(), "NaN must propagate through the mean");
+        } else {
+            prop_assert_eq!(y.data()[0], f32::INFINITY);
+        }
+        prop_assert_eq!(y.data()[1], 1.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn relu_matches_reference_and_flushes_nan(
+        values in proptest::collection::vec(-8.0f32..8.0, 1..64),
+        special in 0usize..4,
+    ) {
+        let mut values = values;
+        // Splice one special into every case so the corners are always hit.
+        let idx = values.len() / 2;
+        values[idx] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0][special];
+        let x = Tensor::from_vec([values.len()], values.clone());
+        let mut layer = ReLU::new();
+        let y = layer.forward(&x, Phase::Eval, &ExecConfig::serial());
+        for (&out, &inp) in y.data().iter().zip(&values) {
+            if inp.is_nan() {
+                // f32::max returns the non-NaN argument: NaN flushes to 0.
+                prop_assert_eq!(out, 0.0, "ReLU must flush NaN to 0.0");
+            } else {
+                prop_assert!(same_f32(out, inp.max(0.0)));
+            }
+            prop_assert!(out >= 0.0 || out == 0.0);
+        }
+    }
+}

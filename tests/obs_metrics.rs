@@ -1,0 +1,145 @@
+//! Metrics-vs-truth property tests: the observability registry must
+//! report numbers that match what the engine *analytically* did, not
+//! just plausible-looking counters.
+//!
+//! * `gemm.flops` equals `2 x` the plan's analytic MAC count when every
+//!   mac-bearing step routes through the packed GEMM engine;
+//! * a clean run never trips the guard, and boundary-mode scan counts
+//!   equal one scan per step per run;
+//! * the worker pool runs exactly the tasks it queued — nothing lost,
+//!   nothing duplicated, no contained panics.
+
+use cnn_stack::nn::{
+    Conv2d, ConvAlgorithm, ExecConfig, Flatten, GuardConfig, InferencePlan, InferenceSession,
+    Linear, MaxPool2d, Network, ObsLevel, ReLU,
+};
+use cnn_stack::obs::MetricsSnapshot;
+use cnn_stack::tensor::Tensor;
+use proptest::prelude::*;
+
+/// A conv -> relu -> pool -> flatten -> linear network whose only
+/// mac-bearing steps are the conv and the linear layer.
+fn small_net(in_c: usize, out_c: usize, classes: usize, hw: usize) -> Network {
+    Network::new(vec![
+        Box::new(Conv2d::new(in_c, out_c, 3, 1, 1, 11)),
+        Box::new(ReLU::new()),
+        Box::new(MaxPool2d::new(2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(out_c * (hw / 2) * (hw / 2), classes, 13)),
+    ])
+    .expect("valid network")
+}
+
+fn run_and_snapshot(
+    net: &mut Network,
+    cfg: &ExecConfig,
+    guard: GuardConfig,
+    input: &Tensor,
+    runs: usize,
+) -> MetricsSnapshot {
+    let plan = InferencePlan::compile(net, input.shape().dims(), cfg).expect("plan compiles");
+    let mut session = InferenceSession::with_guard(net, plan, guard).expect("session builds");
+    let mut out = Tensor::zeros(session.plan().output_shape().to_vec());
+    for _ in 0..runs {
+        session.run_into(input, &mut out).expect("clean run");
+    }
+    session
+        .observer()
+        .expect("Metrics level attaches an observer")
+        .snapshot()
+}
+
+fn counter(m: &MetricsSnapshot, name: &str) -> u64 {
+    m.counter(name)
+        .unwrap_or_else(|| panic!("counter {name} missing from snapshot"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `gemm.flops` must equal `2 x` the analytic MAC count from the
+    /// plan's IR geometry when the conv lowers through im2col into the
+    /// packed GEMM engine (the linear layer always routes through it).
+    #[test]
+    fn gemm_flops_match_analytic_macs(
+        (batch, out_c, hw) in (1usize..4, 2usize..6, (2usize..5).prop_map(|b| 2 * b)),
+        runs in 1usize..3,
+    ) {
+        let cfg = ExecConfig {
+            conv_algo: ConvAlgorithm::Im2col,
+            observer: ObsLevel::Metrics,
+            ..ExecConfig::serial()
+        };
+        let mut net = small_net(3, out_c, 4, hw);
+        let input = Tensor::from_fn([batch, 3, hw, hw], |i| ((i * 7 % 13) as f32) * 0.25 - 1.5);
+        let plan = InferencePlan::compile(&net, input.shape().dims(), &cfg).expect("plan");
+        let analytic_macs: u64 = plan.steps().iter().map(|s| s.macs).sum();
+        prop_assert!(analytic_macs > 0);
+        let m = run_and_snapshot(&mut net, &cfg, GuardConfig::Off, &input, runs);
+        prop_assert_eq!(
+            counter(&m, "gemm.flops"),
+            2 * analytic_macs * runs as u64,
+            "gemm.flops must equal 2x the plan's MAC count per run"
+        );
+        // One packed-GEMM call per image for the conv plus one for the
+        // whole linear layer, each run.
+        prop_assert_eq!(counter(&m, "gemm.calls"), (batch as u64 + 1) * runs as u64);
+        prop_assert_eq!(counter(&m, "im2col.calls"), batch as u64 * runs as u64);
+    }
+
+    /// Clean inputs and healthy weights: the guard scans every step
+    /// boundary but never trips, retries or demotes.
+    #[test]
+    fn clean_runs_never_trip_the_guard(
+        batch in 1usize..4,
+        runs in 1usize..4,
+    ) {
+        let cfg = ExecConfig {
+            observer: ObsLevel::Metrics,
+            ..ExecConfig::serial()
+        };
+        let mut net = small_net(3, 4, 4, 8);
+        let input = Tensor::from_fn([batch, 3, 8, 8], |i| ((i * 5 % 11) as f32) * 0.5 - 2.0);
+        let plan = InferencePlan::compile(&net, input.shape().dims(), &cfg).expect("plan");
+        let steps = plan.steps().len() as u64;
+        let m = run_and_snapshot(&mut net, &cfg, GuardConfig::BoundaryCheck, &input, runs);
+        prop_assert_eq!(counter(&m, "guard.trips"), 0, "clean run must not trip");
+        prop_assert_eq!(counter(&m, "guard.retries"), 0);
+        prop_assert_eq!(counter(&m, "guard.demotions"), 0);
+        prop_assert_eq!(
+            counter(&m, "guard.scans"),
+            steps * runs as u64,
+            "boundary mode scans once per step per run"
+        );
+    }
+
+    /// Batch-parallel execution: every queued chunk task ran, none
+    /// panicked, and the pool gauge reflects the worker count.
+    #[test]
+    fn pool_runs_exactly_the_tasks_it_queued(
+        threads in 2usize..5,
+        extra in 0usize..3,
+        runs in 1usize..3,
+    ) {
+        let batch = threads + extra;
+        let cfg = ExecConfig {
+            threads,
+            observer: ObsLevel::Metrics,
+            ..ExecConfig::serial()
+        };
+        let mut net = small_net(3, 4, 4, 8);
+        let input = Tensor::from_fn([batch, 3, 8, 8], |i| ((i * 3 % 7) as f32) * 0.5 - 1.0);
+        let m = run_and_snapshot(&mut net, &cfg, GuardConfig::Off, &input, runs);
+        let queued = counter(&m, "pool.tasks_queued");
+        let ran = counter(&m, "pool.tasks_run");
+        prop_assert_eq!(queued, ran, "every queued task must run");
+        // One task per batch chunk per run; chunk count = min(threads, batch).
+        let chunks = threads.min(batch) as u64;
+        prop_assert_eq!(queued, chunks * runs as u64);
+        prop_assert_eq!(counter(&m, "pool.panics_contained"), 0);
+        prop_assert_eq!(
+            m.gauge("pool.workers").expect("worker gauge registered"),
+            threads as i64
+        );
+    }
+}

@@ -63,6 +63,21 @@ echo "== obs bench smoke =="
 # run, which regenerates BENCH_obs.json, enforces the 1% gate manually).
 OBS_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench obs
 
+echo "== serve-tests =="
+# Serving layer: deterministic ManualClock batching/shedding semantics,
+# the fault-injected co-batch integrity proof, the serve crate's own
+# unit + doc tests, and the deprecated-path compatibility shims.
+cargo test -q --test serve_batching
+cargo test -q --test serve_batching --features fault-inject
+cargo test -q -p cnn-stack-serve
+cargo test -q --test deprecated_shims
+
+echo "== serve-bench-smoke =="
+# Tiny open-loop run through the real threaded server (width 0.25,
+# max-batch 4) with a loose 5% batching gate; the full run (which
+# regenerates BENCH_serve.json and enforces the 2x gate) is manual.
+SERVE_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench serve
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

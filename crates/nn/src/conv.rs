@@ -7,9 +7,10 @@ use cnn_stack_parallel::DisjointWriter;
 use cnn_stack_sparse::CsrMatrix;
 use cnn_stack_tensor::init::{initialise, Init};
 use cnn_stack_tensor::{
-    col2im, gemm, im2col, im2col_into, ops, pack_b_im2col_into, winograd_conv2d, Conv2dGeometry,
-    GemmAlgorithm, GemmPlan, Tensor,
+    col2im, gemm, im2col, im2col_into, ops, pack_b_im2col_batch_into, pack_b_im2col_into,
+    winograd_conv2d, Conv2dGeometry, GemmAlgorithm, GemmPlan, Tensor,
 };
+use std::sync::Arc;
 
 /// A standard (grouped-by-1) 2-D convolution layer.
 ///
@@ -45,7 +46,15 @@ pub struct Conv2d {
     /// panels), built by [`Layer::prepare`] for the packed im2col path
     /// and reused by every `forward_into` run. Like `csr`, any weight
     /// mutation invalidates it.
-    packed_weights: Option<Vec<f32>>,
+    ///
+    /// The panels are behind an [`Arc`] so pre-warmed serving sessions
+    /// can share one prepack across many identical model replicas
+    /// (compile once, serve many). The buffer is **never mutated through
+    /// the `Arc`**: `prepare` always builds a fresh `Vec` and wraps it,
+    /// and every invalidation site merely drops this handle — so a peer
+    /// holding a clone of the old `Arc` keeps a fully consistent panel
+    /// set and can never observe a half-invalidated cache.
+    packed_weights: Option<Arc<Vec<f32>>>,
     /// Cached training-forward input.
     cached_input: Option<Tensor>,
 }
@@ -249,6 +258,35 @@ impl Conv2d {
         GemmPlan::new(self.out_channels, geom.patch_len(), geom.out_positions())
     }
 
+    /// Blocking plan of the batch-merged packed GEMM: `group` images'
+    /// column matrices concatenated into one `[patch_len × g·positions]`
+    /// operand. `kc` depends only on `patch_len`, so per-output
+    /// accumulation order — and therefore every output bit — matches the
+    /// per-image product.
+    fn packed_batch_plan(&self, geom: &Conv2dGeometry, group: usize) -> GemmPlan {
+        GemmPlan::new(
+            self.out_channels,
+            geom.patch_len(),
+            group * geom.out_positions(),
+        )
+    }
+
+    /// How many images of a batch the packed path merges into one GEMM.
+    ///
+    /// Merging pays exactly when the per-image column count is below one
+    /// column-grain (`nc = 4·NR = 64`): micro-kernel lanes stop being
+    /// zero-padded (a 2×2 output plane uses 4 of `NR = 16` lanes alone)
+    /// and the weight A-panels stream from memory once per grain instead
+    /// of once per image. Beyond one grain per group the A-traffic is
+    /// invariant in the group size, while the merged B/C working set
+    /// keeps growing past cache — measured on VGG-16, whole-batch
+    /// merging *slows* the wide early layers. So: the largest group
+    /// whose merged columns still fit one grain, at least 1.
+    fn packed_group(&self, geom: &Conv2dGeometry, n: usize) -> usize {
+        let plane = geom.out_positions().max(1);
+        ((4 * cnn_stack_tensor::NR) / plane).clamp(1, n.max(1))
+    }
+
     /// Direct (7-loop) dense kernel over raw slices. All `eval_*_into`
     /// kernels are shared verbatim by [`Layer::forward`] and
     /// [`Layer::forward_into`], so the arena engine is bit-identical to
@@ -385,11 +423,18 @@ impl Conv2d {
         let in_img = self.in_channels * h * w;
         let out_img = self.out_channels * plane;
         let bdata = self.bias.value.data();
-        let plan = self.packed_plan(geom);
-        let (b_buf, a_buf) = scratch[..plan.packed_b_elems() + plan.packed_a_elems()]
+        let group = self.packed_group(geom, n);
+        let plan = self.packed_batch_plan(geom, group);
+        let c_elems = if group > 1 {
+            self.out_channels * group * plane
+        } else {
+            0
+        };
+        let (b_buf, rest) = scratch[..plan.packed_b_elems() + c_elems + plan.packed_a_elems()]
             .split_at_mut(plan.packed_b_elems());
+        let (c_buf, a_buf) = rest.split_at_mut(c_elems);
         let packed_a: &[f32] = match &self.packed_weights {
-            Some(panels) if panels.len() == plan.packed_a_elems() => panels,
+            Some(panels) if panels.len() == plan.packed_a_elems() => panels.as_slice(),
             // No plan-time panels (plain `forward`, or a cache dropped by
             // weight surgery/fault injection): pack into scratch.
             _ => {
@@ -397,29 +442,74 @@ impl Conv2d {
                 a_buf
             }
         };
-        for img in 0..n {
-            let image = &in_data[img * in_img..(img + 1) * in_img];
-            if geom.is_pointwise_identity() {
-                // Pointwise (1×1/s1/p0) convolution is a plain GEMM: the
-                // im2col matrix *is* the image, so skip the per-tap
-                // gather and pack the image rows straight into B panels.
-                gemm::pack_b_into(&plan, image, b_buf);
-            } else {
-                pack_b_im2col_into(image, geom, b_buf);
+        let mut img = 0;
+        while img < n {
+            let g = group.min(n - img);
+            let images = &in_data[img * in_img..(img + g) * in_img];
+            if g == 1 {
+                // Ungrouped: GEMM straight into the image's output planes,
+                // no merged-C scatter.
+                if geom.is_pointwise_identity() {
+                    // Pointwise (1×1/s1/p0) convolution is a plain GEMM:
+                    // the im2col matrix *is* the image, so skip the
+                    // per-tap gather and pack the image rows straight
+                    // into B panels.
+                    gemm::pack_b_into(&self.packed_plan(geom), images, b_buf);
+                } else {
+                    pack_b_im2col_into(images, geom, b_buf);
+                }
+                let dst = &mut out[img * out_img..(img + 1) * out_img];
+                for (o, chunk) in dst.chunks_exact_mut(plane).enumerate() {
+                    chunk.fill(bdata[o]);
+                }
+                gemm::gemm_prepacked_epilogue(
+                    &self.packed_plan(geom),
+                    packed_a,
+                    b_buf,
+                    dst,
+                    cfg.threads,
+                    cfg.schedule,
+                    cfg.epilogue(),
+                );
+                img += 1;
+                continue;
             }
-            let dst = &mut out[img * out_img..(img + 1) * out_img];
-            for (o, chunk) in dst.chunks_exact_mut(plane).enumerate() {
-                chunk.fill(bdata[o]);
+            // Batch-merged GEMM over this group's columns — the serving
+            // layer's single-core batching win: micro-kernel lanes that a
+            // small output plane would leave zero-padded are filled by
+            // co-batched images, and the weight A-panels stream through
+            // cache once per group instead of once per image. `kc` is
+            // unchanged, so per-output accumulation order — and every
+            // output bit — matches the ungrouped product.
+            let merged = g * plane;
+            let gplan = self.packed_batch_plan(geom, g);
+            pack_b_im2col_batch_into(images, g, geom, b_buf);
+            // Merged C is `[out_c × g·plane]`: bias-prefill each output
+            // row, run the product with the fused epilogue, then scatter
+            // each row's per-image segment into its NCHW plane
+            // (contiguous copies, cheap next to the saved panel traffic).
+            let c_buf = &mut c_buf[..self.out_channels * merged];
+            for (o, row) in c_buf.chunks_exact_mut(merged).enumerate() {
+                row.fill(bdata[o]);
             }
             gemm::gemm_prepacked_epilogue(
-                &plan,
+                &gplan,
                 packed_a,
                 b_buf,
-                dst,
+                c_buf,
                 cfg.threads,
                 cfg.schedule,
                 cfg.epilogue(),
             );
+            for gi in 0..g {
+                let dst = &mut out[(img + gi) * out_img..(img + gi + 1) * out_img];
+                for (o, chunk) in dst.chunks_exact_mut(plane).enumerate() {
+                    chunk.copy_from_slice(
+                        &c_buf[o * merged + gi * plane..o * merged + (gi + 1) * plane],
+                    );
+                }
+            }
+            img += g;
         }
     }
 
@@ -802,11 +892,19 @@ impl Layer for Conv2d {
         if cfg.conv_algo == ConvAlgorithm::Im2col {
             let geom = self.geometry(input_shape[2], input_shape[3]);
             if self.uses_packed_gemm(cfg) {
-                // Packed-B panels per image, plus a packed-A region so the
-                // `&self` run path can repack weights even when the
-                // plan-time panels have been dropped.
-                let plan = self.packed_plan(&geom);
-                plan.packed_b_elems() + plan.packed_a_elems()
+                // Packed-B panels (group-merged when the group is > 1), a
+                // merged-C region for the grouped product, plus a
+                // packed-A region so the `&self` run path can repack
+                // weights even when the plan-time panels have been
+                // dropped.
+                let group = self.packed_group(&geom, input_shape[0]);
+                let plan = self.packed_batch_plan(&geom, group);
+                let c_elems = if group > 1 {
+                    self.out_channels * group * geom.out_positions()
+                } else {
+                    0
+                };
+                plan.packed_b_elems() + c_elems + plan.packed_a_elems()
             } else {
                 self.im2col_scratch_elems(&geom)
             }
@@ -821,18 +919,40 @@ impl Layer for Conv2d {
             // A-panel layout depends only on (out_c, patch_len), not on
             // the output extent, so the panels serve every input shape.
             let plan = GemmPlan::new(self.out_channels, k_dim, 1);
+            // A still-valid cache (own or adopted from a donor session)
+            // is kept as-is: every weight mutation drops the handle, so
+            // `Some` + matching length implies the panels are fresh.
+            if matches!(&self.packed_weights, Some(p) if p.len() == plan.packed_a_elems()) {
+                return;
+            }
             let mut panels = vec![0.0f32; plan.packed_a_elems()];
             gemm::pack_a_into(&plan, self.weight.value.data(), &mut panels);
-            self.packed_weights = Some(panels);
+            // Fresh Vec, then Arc::new — never mutate through the Arc.
+            self.packed_weights = Some(Arc::new(panels));
         } else {
             self.packed_weights = None;
+        }
+    }
+
+    fn packed_panels(&self) -> Option<Arc<Vec<f32>>> {
+        self.packed_weights.clone()
+    }
+
+    fn install_packed_panels(&mut self, panels: Arc<Vec<f32>>) -> bool {
+        let k_dim = self.in_channels * self.kernel * self.kernel;
+        let want = GemmPlan::new(self.out_channels, k_dim, 1).packed_a_elems();
+        if panels.len() == want {
+            self.packed_weights = Some(panels);
+            true
+        } else {
+            false
         }
     }
 
     fn gemm_plan(&self, input_shape: &[usize], cfg: &ExecConfig) -> Option<GemmPlan> {
         if self.uses_packed_gemm(cfg) {
             let geom = self.geometry(input_shape[2], input_shape[3]);
-            Some(self.packed_plan(&geom))
+            Some(self.packed_batch_plan(&geom, self.packed_group(&geom, input_shape[0])))
         } else {
             None
         }
@@ -968,6 +1088,58 @@ mod tests {
         // Touching the weights drops the cache.
         let _ = conv.weight_mut();
         assert!(conv.packed_weights.is_none());
+    }
+
+    #[test]
+    fn batched_packed_gemm_bit_matches_per_image() {
+        // The n > 1 packed path merges every image's columns into one
+        // GEMM; `kc` is unchanged so it must be *bit*-identical to
+        // running each image alone. Odd batches and planes that are not
+        // NR-multiples make merged panels straddle image boundaries.
+        for &(in_c, out_c, k, stride, pad, hw) in &[
+            (3usize, 6usize, 3usize, 1usize, 1usize, 8usize), // plane 64
+            (8, 4, 1, 1, 0, 5),                               // pointwise, plane 25
+            (4, 5, 3, 2, 1, 6),                               // strided, plane 9
+        ] {
+            let mut conv = Conv2d::new(in_c, out_c, k, stride, pad, 13);
+            let cfg = ExecConfig {
+                conv_algo: ConvAlgorithm::Im2col,
+                ..ExecConfig::serial()
+            };
+            conv.prepare(&cfg);
+            let n = 5;
+            let x = random([n, in_c, hw, hw], 99);
+            let shape = [n, in_c, hw, hw];
+            let geom = conv.geometry(hw, hw);
+            let out_img = out_c * geom.out_positions();
+            let mut batched = vec![0.0f32; n * out_img];
+            // NaN scratch: any read of an unwritten packing slot poisons
+            // the output and fails the comparison below.
+            let mut scratch = vec![f32::NAN; conv.forward_scratch_elems(&shape, &cfg)];
+            conv.forward_into(x.data(), &shape, &mut batched, &mut scratch, &cfg);
+            let single_shape = [1, in_c, hw, hw];
+            let mut single = vec![0.0f32; out_img];
+            let mut single_scratch =
+                vec![f32::NAN; conv.forward_scratch_elems(&single_shape, &cfg)];
+            for img in 0..n {
+                single_scratch.fill(f32::NAN);
+                conv.forward_into(
+                    &x.data()[img * in_c * hw * hw..(img + 1) * in_c * hw * hw],
+                    &single_shape,
+                    &mut single,
+                    &mut single_scratch,
+                    &cfg,
+                );
+                assert_eq!(
+                    batched[img * out_img..(img + 1) * out_img]
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "image {img} of {in_c}->{out_c} k{k}/s{stride}/p{pad}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -542,11 +542,44 @@ fn densify_layer(layer: &mut dyn Layer) {
     });
 }
 
+/// Owned-or-borrowed network binding for a session.
+///
+/// The classic constructors ([`InferenceSession::new`] /
+/// [`InferenceSession::with_guard`]) borrow the caller's network, which
+/// ties the session to the caller's stack frame. A serving pool instead
+/// needs sessions that *own* their network replica and live for the
+/// lifetime of the server ([`InferenceSession::owned`]), so the binding
+/// is an enum behind `Deref`/`DerefMut` and the engine body is agnostic.
+#[derive(Debug)]
+enum NetHandle<'n> {
+    Borrowed(&'n mut Network),
+    Owned(Box<Network>),
+}
+
+impl std::ops::Deref for NetHandle<'_> {
+    type Target = Network;
+    fn deref(&self) -> &Network {
+        match self {
+            NetHandle::Borrowed(n) => n,
+            NetHandle::Owned(n) => n,
+        }
+    }
+}
+
+impl std::ops::DerefMut for NetHandle<'_> {
+    fn deref_mut(&mut self) -> &mut Network {
+        match self {
+            NetHandle::Borrowed(n) => n,
+            NetHandle::Owned(n) => n,
+        }
+    }
+}
+
 /// Executes an [`InferencePlan`] against its network with pre-allocated
 /// activation arenas; see the [module docs](crate::engine).
 #[derive(Debug)]
 pub struct InferenceSession<'n> {
-    net: &'n mut Network,
+    net: NetHandle<'n>,
     plan: InferencePlan,
     exec: Vec<ExecStep>,
     chunks: Vec<ChunkArena>,
@@ -581,6 +614,24 @@ impl<'n> InferenceSession<'n> {
         plan: InferencePlan,
         guard: GuardConfig,
     ) -> Result<Self, Error> {
+        Self::build(NetHandle::Borrowed(net), plan, guard)
+    }
+
+    /// Like [`with_guard`](Self::with_guard), but the session takes
+    /// ownership of the network, so it has no borrowed lifetime
+    /// (`InferenceSession<'static>`) and can be stored in long-lived
+    /// structures — this is the constructor the serving session pool
+    /// uses for its pre-warmed replicas. Recover the network with
+    /// [`into_network`](Self::into_network).
+    pub fn owned(
+        net: Network,
+        plan: InferencePlan,
+        guard: GuardConfig,
+    ) -> Result<InferenceSession<'static>, Error> {
+        InferenceSession::build(NetHandle::Owned(Box::new(net)), plan, guard)
+    }
+
+    fn build(net: NetHandle<'n>, plan: InferencePlan, guard: GuardConfig) -> Result<Self, Error> {
         // The step spans must tile the network's layers exactly — a
         // plan compiled against a different network (or a stale fused
         // plan after the network changed) is rejected here.
@@ -611,7 +662,7 @@ impl<'n> InferenceSession<'n> {
                 supported: s.supported,
             })
             .collect();
-        let chunks = build_chunks(net, &plan, &exec);
+        let chunks = build_chunks(&net, &plan, &exec);
         let pool = (chunks.len() > 1).then(|| ThreadPool::new(chunks.len()));
         let profile = SessionProfile::new(&plan.steps);
         let obs = Observer::for_level(plan.cfg().observer).map(|observer| ObsWiring {
@@ -639,6 +690,42 @@ impl<'n> InferenceSession<'n> {
     /// The compiled plan.
     pub fn plan(&self) -> &InferencePlan {
         &self.plan
+    }
+
+    /// The bound network (borrowed or owned).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Recovers the network from a session built with
+    /// [`owned`](Self::owned); `None` for borrowing sessions (the
+    /// network lives with the caller).
+    pub fn into_network(self) -> Option<Network> {
+        match self.net {
+            NetHandle::Owned(n) => Some(*n),
+            NetHandle::Borrowed(_) => None,
+        }
+    }
+
+    /// Exports every (nested) layer's prepacked weight-panel handle in
+    /// `visit_mut` order — `None` entries for layers without a panel
+    /// cache. A serving pool calls this once on a fully-prepared donor
+    /// session and feeds the result to
+    /// [`adopt_packed_panels`](Self::adopt_packed_panels) on each
+    /// replica, so the whole pool shares one prepack per model
+    /// (compile once, serve many).
+    pub fn export_packed_panels(&mut self) -> Vec<Option<Arc<Vec<f32>>>> {
+        crate::network::export_packed_panels(&mut self.net)
+    }
+
+    /// Installs panel handles exported from an identically-built donor
+    /// session, returning how many layers accepted a shared handle.
+    /// Layers whose expected panel length differs (a mismatched donor)
+    /// keep their own cache, and the run path would fall back to
+    /// scratch repacking regardless — adoption can degrade sharing but
+    /// never correctness.
+    pub fn adopt_packed_panels(&mut self, panels: &[Option<Arc<Vec<f32>>>]) -> usize {
+        crate::network::adopt_packed_panels(&mut self.net, panels)
     }
 
     /// The session's observer, when the plan was compiled with an
@@ -717,7 +804,7 @@ impl<'n> InferenceSession<'n> {
     /// `--features fault-inject`.
     #[cfg(feature = "fault-inject")]
     pub fn inject_faults(&mut self, faults: FaultPlan) {
-        faults.apply_weight_faults(self.net);
+        faults.apply_weight_faults(&mut self.net);
         // Bit-flips bypass `weight_mut`, so plan-time packed panels
         // would otherwise keep the pre-fault weights.
         self.reprepare();
@@ -1049,7 +1136,7 @@ impl<'n> InferenceSession<'n> {
             self.exec[i].supported = layers[ps.layer].forward_into_supported(&self.exec[i].cfg);
         }
         self.reprepare();
-        self.chunks = build_chunks(self.net, &self.plan, &self.exec);
+        self.chunks = build_chunks(&self.net, &self.plan, &self.exec);
         let needed = self.chunks.len();
         if needed > 1 {
             if self.pool.as_ref().map_or(0, |p| p.threads()) != needed {
@@ -1862,6 +1949,120 @@ mod tests {
         assert_eq!(m.counter(Metric::PoolTasksQueued), 2);
         assert_eq!(m.counter(Metric::PoolTasksRun), 2);
         assert_eq!(m.counter(Metric::PoolPanicsContained), 0);
+    }
+
+    /// Packed-GEMM config for the panel-sharing tests (serial `Direct`
+    /// convs have no panel cache to share).
+    fn packed_cfg() -> ExecConfig {
+        ExecConfig {
+            conv_algo: ConvAlgorithm::Im2col,
+            ..ExecConfig::serial()
+        }
+    }
+
+    /// Builds an owned session over a fresh `conv_net` replica.
+    fn owned_session(cfg: &ExecConfig, shape: &[usize]) -> InferenceSession<'static> {
+        let net = conv_net();
+        let plan = InferencePlan::compile(&net, shape, cfg).unwrap();
+        InferenceSession::owned(net, plan, GuardConfig::Off).unwrap()
+    }
+
+    /// An owned session has no borrowed lifetime, can hand its panels to
+    /// a replica (which then physically shares the same `Arc` buffers),
+    /// and gives the network back via `into_network`.
+    #[test]
+    fn owned_sessions_share_arc_panels_across_replicas() {
+        let cfg = packed_cfg();
+        let shape = [2usize, 3, 8, 8];
+        let x = random(shape, 7);
+
+        let mut donor = owned_session(&cfg, &shape);
+        let panels = donor.export_packed_panels();
+        // conv_net has two convs + one linear with panel caches.
+        assert_eq!(panels.iter().flatten().count(), 3);
+        let y_donor = donor.run(&x).unwrap();
+
+        let mut replica = owned_session(&cfg, &shape);
+        assert_eq!(replica.adopt_packed_panels(&panels), 3);
+        // The replica's handles are the donor's buffers, not copies.
+        for (a, b) in panels.iter().zip(replica.export_packed_panels()) {
+            match (a, b) {
+                (Some(a), Some(b)) => assert!(Arc::ptr_eq(a, &b)),
+                (None, None) => {}
+                _ => panic!("panel export order diverged between replicas"),
+            }
+        }
+        let y_replica = replica.run(&x).unwrap();
+        assert_eq!(y_donor.data(), y_replica.data());
+        assert!(replica.into_network().is_some());
+    }
+
+    /// The half-invalidation regression (ISSUE 6 satellite): weight
+    /// surgery on one network drops only that network's `Arc` handle —
+    /// a peer session sharing the panels keeps a complete, consistent
+    /// prepack and its outputs stay bit-identical.
+    #[test]
+    fn shared_panels_survive_peer_weight_surgery() {
+        let cfg = packed_cfg();
+        let shape = [2usize, 3, 8, 8];
+        let x = random(shape, 11);
+
+        let mut donor = owned_session(&cfg, &shape);
+        let panels = donor.export_packed_panels();
+        let mut replica = owned_session(&cfg, &shape);
+        assert_eq!(replica.adopt_packed_panels(&panels), 3);
+        let before = replica.run(&x).unwrap();
+
+        // Surgery on the donor's network: zero the first conv's weights.
+        // `weight_mut` must drop (not mutate) the donor's panel handle.
+        let mut net = donor.into_network().unwrap();
+        net.layers_mut()[0]
+            .as_any_mut()
+            .downcast_mut::<Conv2d>()
+            .unwrap()
+            .weight_mut()
+            .value
+            .fill(0.0);
+        let plan = InferencePlan::compile(&net, &shape, &cfg).unwrap();
+        let mut donor = InferenceSession::owned(net, plan, GuardConfig::Off).unwrap();
+        let y_mutated = donor.run(&x).unwrap();
+        assert_ne!(y_mutated.data(), before.data());
+
+        // The replica still holds the original buffers and is unaffected.
+        let after = replica.run(&x).unwrap();
+        for (a, b) in before.data().iter().zip(after.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Panels from a differently-shaped donor are rejected layer-by-layer
+    /// (length check), leaving the replica's own prepack intact.
+    #[test]
+    fn mismatched_panel_adoption_is_rejected() {
+        let cfg = packed_cfg();
+        let shape = [2usize, 3, 8, 8];
+        let mut donor = {
+            let net = resblock_net();
+            let plan = InferencePlan::compile(&net, &shape, &cfg).unwrap();
+            InferenceSession::owned(net, plan, GuardConfig::Off).unwrap()
+        };
+        let foreign = donor.export_packed_panels();
+        let mut replica = owned_session(&cfg, &shape);
+        let own = replica.export_packed_panels();
+        assert_eq!(replica.adopt_packed_panels(&foreign), 0);
+        // Own panels untouched by the failed adoption.
+        for (a, b) in own.iter().zip(replica.export_packed_panels()) {
+            match (a, b) {
+                (Some(a), Some(b)) => assert!(Arc::ptr_eq(a, &b)),
+                (None, None) => {}
+                _ => panic!("panel export order changed"),
+            }
+        }
+        let x = random(shape, 13);
+        let mut fresh = owned_session(&cfg, &shape);
+        let want = fresh.run(&x).unwrap();
+        let got = replica.run(&x).unwrap();
+        assert_eq!(want.data(), got.data());
     }
 
     /// Batch-parallel runs used to advance only the profile total; the

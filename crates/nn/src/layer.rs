@@ -365,6 +365,28 @@ pub trait Layer: std::fmt::Debug + std::any::Any + Send + Sync {
     /// prepare keep the default no-op.
     fn prepare(&mut self, _cfg: &ExecConfig) {}
 
+    /// Shared handle to the plan-time prepacked weight panels built by
+    /// [`prepare`](Layer::prepare), if this layer has any. Serving
+    /// session pools clone this `Arc` into replica layers so many
+    /// pre-warmed sessions of one model share a single prepack
+    /// (compile once, serve many). The panel buffer is immutable for
+    /// the lifetime of the handle: invalidation drops the `Arc`, never
+    /// mutates through it.
+    fn packed_panels(&self) -> Option<std::sync::Arc<Vec<f32>>> {
+        None
+    }
+
+    /// Installs a shared prepacked panel handle exported from an
+    /// identically-shaped donor layer via
+    /// [`packed_panels`](Layer::packed_panels). Returns `false` (leaving
+    /// the cache untouched) when the panel length does not match what
+    /// this layer's `prepare` would build — the run path then falls back
+    /// to scratch repacking, so a mismatched install is safe, just
+    /// wasted. Layers without a panel cache keep the default no-op.
+    fn install_packed_panels(&mut self, _panels: std::sync::Arc<Vec<f32>>) -> bool {
+        false
+    }
+
     /// The packed-GEMM blocking plan this layer would execute for the
     /// given input shape, if its `cfg` routes it through
     /// [`GemmAlgorithm::Packed`]; `None` otherwise. `InferencePlan`

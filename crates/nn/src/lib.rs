@@ -79,7 +79,7 @@ pub use ir::{IrOp, OpKind};
 pub use layer::{ConvAlgorithm, ExecConfig, ExecConfigBuilder, Layer, Param, Phase, WeightFormat};
 pub use linear::Linear;
 pub use memory::{network_memory, MemoryBreakdown};
-pub use network::Network;
+pub use network::{adopt_packed_panels, export_packed_panels, Network};
 pub use passes::{
     AlgoChoice, Autotune, FoldAndFuse, PassContext, PlanCompiler, PlanPass, SelectAlgorithms,
 };

@@ -7,6 +7,7 @@ use cnn_stack_parallel::DisjointWriter;
 use cnn_stack_sparse::CsrMatrix;
 use cnn_stack_tensor::init::{initialise, Init};
 use cnn_stack_tensor::{gemm, ops, GemmAlgorithm, GemmPlan, Tensor};
+use std::sync::Arc;
 
 /// A fully connected layer `y = x · Wᵀ + b` over `[batch, in]` inputs.
 ///
@@ -36,8 +37,11 @@ pub struct Linear {
     /// Plan-time packed GEMM B-panels of `Wᵀ` (NR-column panels packed
     /// straight from the `[out, in]` weights), built by
     /// [`Layer::prepare`] and reused by every `forward_into` run. Any
-    /// weight mutation invalidates it.
-    packed_weights: Option<Vec<f32>>,
+    /// weight mutation invalidates it. Shared across serving replicas
+    /// via `Arc` (see [`Conv2d`](crate::Conv2d) for the immutability
+    /// invariant: fresh `Vec` then `Arc::new`, never mutated through
+    /// the handle).
+    packed_weights: Option<Arc<Vec<f32>>>,
     cached_input: Option<Tensor>,
 }
 
@@ -138,7 +142,7 @@ impl Linear {
         let (a_buf, b_buf) = scratch[..plan.scratch_elems()].split_at_mut(plan.packed_a_elems());
         gemm::pack_a_into(&plan, in_data, a_buf);
         let packed_b: &[f32] = match &self.packed_weights {
-            Some(panels) if panels.len() == plan.packed_b_elems() => panels,
+            Some(panels) if panels.len() == plan.packed_b_elems() => panels.as_slice(),
             // No plan-time panels (plain `forward`, or a cache dropped by
             // weight surgery/fault injection): pack into scratch.
             _ => {
@@ -331,11 +335,30 @@ impl Layer for Linear {
         if self.uses_packed_gemm(cfg) {
             // B-panel layout depends only on (in, out), not on the batch.
             let plan = self.packed_plan(1);
+            // Keep a still-valid cache (own or adopted) — `Some` +
+            // matching length implies fresh, since mutation drops it.
+            if matches!(&self.packed_weights, Some(p) if p.len() == plan.packed_b_elems()) {
+                return;
+            }
             let mut panels = vec![0.0f32; plan.packed_b_elems()];
             gemm::pack_b_transposed_into(&plan, self.weight.value.data(), &mut panels);
-            self.packed_weights = Some(panels);
+            // Fresh Vec, then Arc::new — never mutate through the Arc.
+            self.packed_weights = Some(Arc::new(panels));
         } else {
             self.packed_weights = None;
+        }
+    }
+
+    fn packed_panels(&self) -> Option<Arc<Vec<f32>>> {
+        self.packed_weights.clone()
+    }
+
+    fn install_packed_panels(&mut self, panels: Arc<Vec<f32>>) -> bool {
+        if panels.len() == self.packed_plan(1).packed_b_elems() {
+            self.packed_weights = Some(panels);
+            true
+        } else {
+            false
         }
     }
 

@@ -281,6 +281,45 @@ pub fn set_network_format(net: &mut Network, format: WeightFormat) {
     }
 }
 
+/// Exports every (nested) layer's prepacked weight-panel handle in
+/// [`Layer::visit_mut`] order — `None` entries for layers without a
+/// panel cache. Feed the result to [`adopt_packed_panels`] on an
+/// identically-built network so replicas share one prepack
+/// (compile once, serve many).
+pub fn export_packed_panels(net: &mut Network) -> Vec<Option<std::sync::Arc<Vec<f32>>>> {
+    let mut out = Vec::new();
+    for layer in net.layers_mut() {
+        layer.visit_mut(&mut |l| out.push(l.packed_panels()));
+    }
+    out
+}
+
+/// Installs panel handles exported from an identically-built donor
+/// network, returning how many layers accepted a shared handle. A layer
+/// whose expected panel length differs rejects the handle and keeps its
+/// own cache, so a mismatched donor degrades sharing, never correctness.
+/// Because [`Layer::prepare`] keeps a cache that is already valid,
+/// adopting before the session is built means its prepack step packs
+/// nothing at all.
+pub fn adopt_packed_panels(
+    net: &mut Network,
+    panels: &[Option<std::sync::Arc<Vec<f32>>>],
+) -> usize {
+    let mut i = 0usize;
+    let mut adopted = 0usize;
+    for layer in net.layers_mut() {
+        layer.visit_mut(&mut |l| {
+            if let Some(Some(p)) = panels.get(i) {
+                if l.install_packed_panels(std::sync::Arc::clone(p)) {
+                    adopted += 1;
+                }
+            }
+            i += 1;
+        });
+    }
+    adopted
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -83,6 +83,17 @@ metrics! {
     RunsCompleted => ("engine.runs_completed", Counter),
     ArenaBytes => ("engine.arena_bytes", Gauge),
     StepNs => ("engine.step_ns", Histogram),
+    // Serving layer (serve::Server): admission, batching, shedding.
+    ServeSubmitted => ("serve.submitted", Counter),
+    ServeServed => ("serve.served", Counter),
+    ServeShedQueueFull => ("serve.shed_queue_full", Counter),
+    ServeShedDeadline => ("serve.shed_deadline", Counter),
+    ServeFailed => ("serve.failed", Counter),
+    ServeBatches => ("serve.batches", Counter),
+    ServeQueueDepth => ("serve.queue_depth", Gauge),
+    ServeBatchOccupancy => ("serve.batch_occupancy", Histogram),
+    ServeQueueWaitNs => ("serve.queue_wait_ns", Histogram),
+    ServeLatencyNs => ("serve.latency_ns", Histogram),
 }
 
 /// Number of log₂ buckets per histogram: bucket `i` counts samples in

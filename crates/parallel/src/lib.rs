@@ -31,5 +31,5 @@ pub mod pool;
 pub mod schedule;
 
 pub use panel::{parallel_tiles, DisjointWriter};
-pub use pool::{panic_message, PoolError, ThreadPool};
+pub use pool::{panic_message, spawn_worker, PoolError, ThreadPool};
 pub use schedule::{parallel_for, parallel_for_stats, RegionStats, Schedule};

@@ -116,6 +116,26 @@ impl PanicSink {
 /// pool.wait().expect("no task panicked");
 /// assert_eq!(counter.load(Ordering::Relaxed), 10);
 /// ```
+/// Spawns a named, long-lived worker thread and hands back its join
+/// handle. Unlike [`ThreadPool`] tasks — which are short-lived closures
+/// drained from a shared queue — a worker owns its loop for the life of
+/// the thread; the serving layer uses this for its batch workers, where
+/// each thread owns a session ladder that cannot be shared. The name
+/// shows up in panic messages and debuggers, which is the whole point.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn the thread.
+pub fn spawn_worker<F>(name: &str, f: F) -> JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .unwrap_or_else(|e| panic!("failed to spawn worker thread {name}: {e}"))
+}
+
 pub struct ThreadPool {
     sender: Option<Sender<Task>>,
     workers: Vec<JoinHandle<()>>,

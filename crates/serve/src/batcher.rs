@@ -1,0 +1,70 @@
+//! Dynamic batching: coalesce queued requests into one session run.
+
+use crate::clock::{Clock, WaitError};
+use crate::ticket::Request;
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// When to close a batch: at `max_batch` requests, or `max_delay` after
+/// the batch was opened, whichever comes first.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Largest batch one session run carries.
+    pub max_batch: usize,
+    /// Longest the first request in a batch waits for company.
+    pub max_delay: Duration,
+}
+
+/// Pulls requests off the shared queue and shapes them into batches.
+#[derive(Debug)]
+pub(crate) struct Batcher {
+    rx: Receiver<Request>,
+    clock: Arc<dyn Clock>,
+    policy: BatchPolicy,
+}
+
+/// Why `next_batch` returned no batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BatchEnd {
+    /// Non-blocking call found the queue empty.
+    Empty,
+    /// All submitters are gone and the queue is drained.
+    Disconnected,
+}
+
+impl Batcher {
+    pub(crate) fn new(rx: Receiver<Request>, clock: Arc<dyn Clock>, policy: BatchPolicy) -> Self {
+        Batcher { rx, clock, policy }
+    }
+
+    /// Assembles the next batch: takes one request (blocking for it
+    /// when `block`), then keeps the batch open until it is full or the
+    /// policy's delay window — measured on the server clock from the
+    /// moment the batch opened — runs out. A `max_batch` of 1 never
+    /// opens a window at all, so batch-size-1 serving pays no added
+    /// latency.
+    pub(crate) fn next_batch(&mut self, block: bool) -> Result<Vec<Request>, BatchEnd> {
+        let first = if block {
+            self.rx.recv().map_err(|_| BatchEnd::Disconnected)?
+        } else {
+            self.rx.try_recv().map_err(|e| match e {
+                TryRecvError::Empty => BatchEnd::Empty,
+                TryRecvError::Disconnected => BatchEnd::Disconnected,
+            })?
+        };
+        let mut batch = vec![first];
+        if self.policy.max_batch <= 1 {
+            return Ok(batch);
+        }
+        let opened = self.clock.now_ns();
+        let deadline = opened.saturating_add(self.policy.max_delay.as_nanos() as u64);
+        while batch.len() < self.policy.max_batch {
+            match self.clock.recv_deadline(&self.rx, deadline) {
+                Ok(r) => batch.push(r),
+                Err(WaitError::Timeout) | Err(WaitError::Disconnected) => break,
+            }
+        }
+        Ok(batch)
+    }
+}

@@ -1,0 +1,144 @@
+//! Time sources for the serving layer.
+//!
+//! Every time-dependent decision in the server — max-delay batching,
+//! deadline shedding, latency measurement — goes through the [`Clock`]
+//! trait, so the same batching code runs against wall time in
+//! production ([`MonotonicClock`]) and against a test-controlled
+//! timeline in the deterministic integration tests ([`ManualClock`]).
+
+use crate::ticket::Request;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a clocked receive returned without a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitError {
+    /// The deadline passed with nothing queued.
+    Timeout,
+    /// Every sender is gone; no request can ever arrive again.
+    Disconnected,
+}
+
+/// A monotonic nanosecond timeline plus a clocked channel receive.
+///
+/// `recv_deadline` exists on the trait (rather than the batcher calling
+/// `recv_timeout` itself) because *waiting* is part of the timeline:
+/// the manual clock simulates the passage of time when the queue runs
+/// dry, which is what makes max-delay batching provable in a
+/// single-threaded test.
+pub trait Clock: std::fmt::Debug + Send + Sync + 'static {
+    /// Nanoseconds since this clock's epoch.
+    fn now_ns(&self) -> u64;
+
+    /// Receives the next request, giving up once the clock reaches
+    /// `deadline_ns`.
+    fn recv_deadline(&self, rx: &Receiver<Request>, deadline_ns: u64)
+        -> Result<Request, WaitError>;
+}
+
+/// Wall-clock time from a process-local epoch ([`Instant`]-backed).
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn recv_deadline(
+        &self,
+        rx: &Receiver<Request>,
+        deadline_ns: u64,
+    ) -> Result<Request, WaitError> {
+        let remaining = deadline_ns.saturating_sub(self.now_ns());
+        if remaining == 0 {
+            // Deadline already passed: drain anything buffered, but
+            // don't block.
+            return match rx.try_recv() {
+                Ok(r) => Ok(r),
+                Err(TryRecvError::Empty) => Err(WaitError::Timeout),
+                Err(TryRecvError::Disconnected) => Err(WaitError::Disconnected),
+            };
+        }
+        match rx.recv_timeout(Duration::from_nanos(remaining)) {
+            Ok(r) => Ok(r),
+            Err(RecvTimeoutError::Timeout) => Err(WaitError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(WaitError::Disconnected),
+        }
+    }
+}
+
+/// A simulated timeline the test advances by hand.
+///
+/// Cloning shares the underlying counter, so the copy handed to the
+/// server and the copy kept by the test read the same timeline.
+///
+/// When a clocked receive finds the queue empty before the deadline,
+/// the manual clock *jumps to the deadline* and reports a timeout —
+/// modelling "no further arrivals until the wait expired" without any
+/// real sleeping. That rule is what lets a single-threaded test prove
+/// the batcher waited out its full max-delay window: the wait is
+/// visible as exactly `max_delay` of simulated time on this clock.
+/// Because nothing ever blocks, `ManualClock` is only meaningful with
+/// manually-pumped servers (`workers == 0`); a threaded worker would
+/// spin through simulated time.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the timeline.
+    pub fn advance(&self, by: Duration) {
+        self.now.fetch_add(by.as_nanos() as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn recv_deadline(
+        &self,
+        rx: &Receiver<Request>,
+        deadline_ns: u64,
+    ) -> Result<Request, WaitError> {
+        match rx.try_recv() {
+            Ok(r) => Ok(r),
+            Err(TryRecvError::Empty) => {
+                // Simulate waiting out the rest of the window.
+                let now = self.now.load(Ordering::SeqCst);
+                if deadline_ns > now {
+                    self.now.store(deadline_ns, Ordering::SeqCst);
+                }
+                Err(WaitError::Timeout)
+            }
+            Err(TryRecvError::Disconnected) => Err(WaitError::Disconnected),
+        }
+    }
+}

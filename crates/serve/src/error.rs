@@ -1,0 +1,39 @@
+//! Serving-layer errors.
+
+use std::fmt;
+
+/// Why the server could not be configured, built, or submitted to.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A configuration knob was out of range (message names it).
+    InvalidConfig(String),
+    /// Plan compilation or session construction failed.
+    Engine(cnn_stack_nn::Error),
+    /// A submitted input did not match the configured request shape.
+    ShapeMismatch {
+        /// The shape the server was built for.
+        want: Vec<usize>,
+        /// The shape that arrived.
+        got: Vec<usize>,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::ShapeMismatch { want, got } => {
+                write!(f, "request shape {got:?} does not match served {want:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<cnn_stack_nn::Error> for ServeError {
+    fn from(e: cnn_stack_nn::Error) -> Self {
+        ServeError::Engine(e)
+    }
+}

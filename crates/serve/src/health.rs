@@ -1,0 +1,55 @@
+//! Server-level health: per-worker reports aggregated into one
+//! snapshot, extending the engine's [`HealthReport`] up the stack.
+
+use cnn_stack_nn::HealthReport;
+
+/// One batch worker's view: serving counters plus the merged engine
+/// health of its session ladder.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerHealth {
+    /// Worker index (stable across snapshots).
+    pub worker: usize,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed at batch assembly because their deadline passed.
+    pub shed_deadline: u64,
+    /// Requests that resolved to [`crate::Outcome::Failed`].
+    pub failed: u64,
+    /// Engine-level health merged across the worker's session ladder.
+    pub engine: HealthReport,
+}
+
+/// The whole server's health at a point in time.
+#[derive(Clone, Debug, Default)]
+pub struct ServerHealth {
+    /// Requests accepted by `submit` (includes later-shed ones).
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed at admission (queue full).
+    pub shed_queue_full: u64,
+    /// Requests shed at batch assembly (deadline expired).
+    pub shed_deadline: u64,
+    /// Requests that resolved to [`crate::Outcome::Failed`].
+    pub failed: u64,
+    /// Per-worker detail.
+    pub workers: Vec<WorkerHealth>,
+}
+
+impl ServerHealth {
+    /// `true` when nothing was shed or failed and every worker's
+    /// engine health is clean.
+    pub fn is_clean(&self) -> bool {
+        self.shed_queue_full == 0
+            && self.shed_deadline == 0
+            && self.failed == 0
+            && self.workers.iter().all(|w| w.engine.is_clean())
+    }
+
+    /// Total algorithm demotions across every worker's sessions.
+    pub fn total_demotions(&self) -> usize {
+        self.workers.iter().map(|w| w.engine.demotions.len()).sum()
+    }
+}

@@ -1,0 +1,84 @@
+//! Multi-tenant CNN inference serving: a bounded request queue feeding
+//! a dynamic batcher that coalesces concurrent requests into one
+//! batched session run.
+//!
+//! The paper's batching result (throughput grows with batch size until
+//! cache pressure bites) only pays off in a *serving* context if
+//! independent requests can actually share a batch. This crate is that
+//! missing layer:
+//!
+//! ```text
+//!   submit() ──try_send──▶ [bounded queue] ──▶ Batcher ──▶ SessionLadder
+//!      │   full? Shed(QueueFull)   │  max_batch / max_delay │  smallest rung ≥ n
+//!      ▼                           ▼                        ▼
+//!   Ticket ◀──────── Response {Served | Shed | Failed} ◀────┘
+//! ```
+//!
+//! * **Admission control** — the queue is a `sync_channel` of
+//!   [`ServeConfig::queue_depth`] slots; a full queue sheds at submit
+//!   time with [`ShedReason::QueueFull`] instead of queueing unbounded
+//!   work.
+//! * **Dynamic batching** — a worker takes one request, then holds the
+//!   batch open up to [`BatchPolicy::max_delay`] (or until
+//!   [`BatchPolicy::max_batch`]) so concurrent submitters share one
+//!   forward pass. `max_batch == 1` never opens a window, so
+//!   single-request serving pays no added latency.
+//! * **Deadline shedding** — a request still queued past its deadline
+//!   is shed ([`ShedReason::DeadlineExpired`]) when its batch is
+//!   assembled, rather than burning batch capacity on an answer nobody
+//!   is waiting for.
+//! * **Compile once, serve many** — each worker owns a quarter-stepped
+//!   ladder of pre-warmed [`cnn_stack_nn::InferenceSession`]s; all
+//!   sessions in the pool share one set of `Arc`'d prepacked weight
+//!   panels, so replica count scales activation memory, not weights.
+//! * **Typed outcomes** — every accepted [`Ticket`] resolves to exactly
+//!   one [`Outcome`]; shutdown resolves stragglers to
+//!   [`ShedReason::ShuttingDown`]. [`Ticket::wait`] never hangs.
+//! * **Observability** — queue depth, wait, occupancy, latency, and
+//!   shed counters land in the `serve.*` instruments of
+//!   [`cnn_stack_obs`]; [`Server::health`] aggregates per-worker
+//!   [`WorkerHealth`] (including engine guard/demotion reports).
+//!
+//! # Example
+//!
+//! ```
+//! use cnn_stack_serve::{Outcome, ServeConfig, Server};
+//! use cnn_stack_tensor::Tensor;
+//!
+//! let cfg = ServeConfig::builder([3, 32, 32]).max_batch(4).build().unwrap();
+//! let server = Server::start(cfg, || {
+//!     cnn_stack_models::mobilenet_width(10, 0.25).network
+//! })
+//! .unwrap();
+//! let ticket = server.submit(Tensor::zeros(vec![3, 32, 32])).unwrap();
+//! match ticket.wait().outcome {
+//!     Outcome::Served(s) => assert!(s.output.len() > 0),
+//!     other => panic!("not served: {other:?}"),
+//! }
+//! let health = server.shutdown();
+//! assert_eq!(health.served, 1);
+//! ```
+//!
+//! Deterministic tests replace the wall clock with a [`ManualClock`]
+//! and run the server in manual-pump mode (`workers(0)` +
+//! [`Server::pump`]); see `tests/serve_batching.rs` at the workspace
+//! root.
+
+mod batcher;
+mod clock;
+mod config;
+mod error;
+mod health;
+mod loadgen;
+mod pool;
+mod server;
+mod ticket;
+
+pub use batcher::BatchPolicy;
+pub use clock::{Clock, ManualClock, MonotonicClock, WaitError};
+pub use config::{ServeConfig, ServeConfigBuilder};
+pub use error::ServeError;
+pub use health::{ServerHealth, WorkerHealth};
+pub use loadgen::{run_open_loop, LoadReport, LoadSpec};
+pub use server::Server;
+pub use ticket::{Outcome, Response, Served, ShedReason, Ticket};

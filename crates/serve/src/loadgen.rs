@@ -1,0 +1,144 @@
+//! Open-loop synthetic load generation.
+//!
+//! Open-loop means arrivals follow a fixed schedule regardless of how
+//! the server keeps up — the generator never waits for a response
+//! before submitting the next request, so an overloaded server shows up
+//! as shed requests and climbing latency instead of (closed-loop style)
+//! silently throttled offered load. This is the traffic model behind
+//! `BENCH_serve.json`'s QPS/latency numbers.
+
+use crate::server::Server;
+use crate::ticket::{Outcome, ShedReason, Ticket};
+use cnn_stack_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// One open-loop run: fixed-rate arrivals for a fixed request count.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Offered arrival rate, requests per second.
+    pub qps: f64,
+    /// Total requests to submit.
+    pub requests: usize,
+    /// Per-request deadline budget; `None` uses the server default.
+    pub deadline: Option<Duration>,
+}
+
+/// What an open-loop run measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// The offered rate the generator was asked for.
+    pub offered_qps: f64,
+    /// Requests submitted.
+    pub submitted: usize,
+    /// Requests served to completion.
+    pub served: usize,
+    /// Requests shed at admission (queue full).
+    pub shed_queue_full: usize,
+    /// Requests shed because their deadline expired in the queue.
+    pub shed_deadline: usize,
+    /// Requests that resolved to [`Outcome::Failed`].
+    pub failed: usize,
+    /// Fraction of submitted requests that did not complete within the
+    /// deadline: every shed (queue-full or expired — a shed request
+    /// never completes) plus served-past-deadline.
+    pub deadline_miss_rate: f64,
+    /// Median served latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile served latency, milliseconds.
+    pub p99_ms: f64,
+    /// Served requests per second of wall time (first submit to last
+    /// response).
+    pub served_qps: f64,
+    /// Wall time of the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Mean co-batched request count over served requests.
+    pub mean_batch: f64,
+}
+
+/// Latency percentile (nearest-rank) over served requests, in ms.
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+/// Drives `server` with `spec`'s open-loop schedule, building request
+/// `i`'s input via `make_input(i)`, and waits for every outcome.
+///
+/// # Panics
+///
+/// Panics if a submission is rejected for shape mismatch — the
+/// generator's inputs are a caller contract, not a load condition.
+pub fn run_open_loop(
+    server: &Server,
+    spec: &LoadSpec,
+    make_input: impl Fn(usize) -> Tensor,
+) -> LoadReport {
+    assert!(spec.qps > 0.0, "offered load must be positive");
+    let interval = Duration::from_secs_f64(1.0 / spec.qps);
+    let start = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(spec.requests);
+    for i in 0..spec.requests {
+        // Fixed schedule: sleep to the i-th arrival instant, never
+        // to "interval after the previous submit returned".
+        let due = interval * i as u32;
+        let elapsed = start.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+        let input = make_input(i);
+        let ticket = match spec.deadline {
+            Some(d) => server.submit_with_deadline(input, d),
+            None => server.submit(input),
+        }
+        .expect("load generator submitted a mis-shaped input");
+        tickets.push(ticket);
+    }
+
+    let mut served = 0usize;
+    let mut shed_queue_full = 0usize;
+    let mut shed_deadline = 0usize;
+    let mut failed = 0usize;
+    let mut late = 0usize;
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut batch_sum = 0usize;
+    for ticket in tickets {
+        match ticket.wait().outcome {
+            Outcome::Served(s) => {
+                served += 1;
+                batch_sum += s.batch_size;
+                if spec.deadline.is_some_and(|d| s.latency > d) {
+                    late += 1;
+                }
+                latencies.push(s.latency);
+            }
+            Outcome::Shed(ShedReason::QueueFull) => shed_queue_full += 1,
+            Outcome::Shed(ShedReason::DeadlineExpired) => shed_deadline += 1,
+            Outcome::Shed(ShedReason::ShuttingDown) => failed += 1,
+            Outcome::Failed(_) => failed += 1,
+        }
+    }
+    let wall = start.elapsed();
+    latencies.sort_unstable();
+    LoadReport {
+        offered_qps: spec.qps,
+        submitted: spec.requests,
+        served,
+        shed_queue_full,
+        shed_deadline,
+        failed,
+        deadline_miss_rate: (shed_queue_full + shed_deadline + late) as f64
+            / spec.requests.max(1) as f64,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        served_qps: served as f64 / wall.as_secs_f64(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        mean_batch: if served > 0 {
+            batch_sum as f64 / served as f64
+        } else {
+            0.0
+        },
+    }
+}

@@ -1,0 +1,155 @@
+//! The pre-warmed session ladder: one owned [`InferenceSession`] per
+//! ladder batch size, all sharing a single set of `Arc`'d prepacked
+//! weight panels ("compile once, serve many").
+//!
+//! Each worker owns a ladder (sessions are not `Sync`). A batch of `n`
+//! requests runs on the smallest ladder rung whose batch size covers
+//! `n`, padding the tail with zero images whose outputs are discarded;
+//! the quarter-stepped rung sizes (see
+//! [`ServeConfig`](crate::ServeConfig)) bound that padding waste while
+//! keeping weight-replica memory low.
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use cnn_stack_nn::{adopt_packed_panels, InferenceSession, Network, PlanCompiler};
+use cnn_stack_tensor::Tensor;
+use std::sync::Arc;
+
+/// Shared prepack exported from the first session built for a model.
+pub(crate) type PanelSet = Vec<Option<Arc<Vec<f32>>>>;
+
+/// One rung: a pre-warmed session at a fixed batch size plus its
+/// pre-allocated input/output staging tensors (runs are allocation-free).
+struct Rung {
+    batch: usize,
+    session: InferenceSession<'static>,
+    input: Tensor,
+    output: Tensor,
+}
+
+/// What one ladder run did, beyond the outputs themselves.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RunInfo {
+    /// The guard demoted at least one step during this run.
+    pub demoted: bool,
+    /// A guard tripped (recovered or not) during this run.
+    pub guarded: bool,
+}
+
+pub(crate) struct SessionLadder {
+    rungs: Vec<Rung>,
+    request_elems: usize,
+}
+
+impl SessionLadder {
+    /// Builds, prepares, and pre-warms one session per ladder size.
+    ///
+    /// `build_net` is invoked once per rung; every replica after the
+    /// first adopts the first rung's exported panels *before* its
+    /// session is built, so its prepare pass packs nothing — the whole
+    /// ladder shares one physical prepack.
+    pub(crate) fn build(
+        cfg: &ServeConfig,
+        build_net: &(dyn Fn() -> Network + Send + Sync),
+        shared: &mut Option<PanelSet>,
+    ) -> Result<Self, ServeError> {
+        let exec = cfg.exec();
+        let request_elems: usize = cfg.input_shape().iter().product();
+        let mut rungs = Vec::new();
+        for &batch in &cfg.ladder_sizes() {
+            let mut shape = vec![batch];
+            shape.extend_from_slice(cfg.input_shape());
+            let mut net = build_net();
+            let plan = PlanCompiler::standard().run(&mut net, &shape, &exec)?;
+            if let Some(panels) = shared.as_ref() {
+                adopt_packed_panels(&mut net, panels);
+            }
+            let mut session = InferenceSession::owned(net, plan, cfg.guard())?;
+            if shared.is_none() {
+                *shared = Some(session.export_packed_panels());
+            }
+            let input = Tensor::zeros(shape);
+            let mut output = Tensor::zeros(session.plan().output_shape().to_vec());
+            // Pre-warm: the first run settles lazy state (thread pools,
+            // page faults on the arenas) off the serving path.
+            session.run_into(&input, &mut output)?;
+            rungs.push(Rung {
+                batch,
+                session,
+                input,
+                output,
+            });
+        }
+        Ok(SessionLadder {
+            rungs,
+            request_elems,
+        })
+    }
+
+    /// Runs `inputs` as one batch on the smallest covering rung and
+    /// returns each request's output (batch dimension stripped).
+    pub(crate) fn run(
+        &mut self,
+        inputs: &[&Tensor],
+    ) -> Result<(Vec<Tensor>, RunInfo), cnn_stack_nn::Error> {
+        let n = inputs.len();
+        let rung = self
+            .rungs
+            .iter_mut()
+            .find(|r| r.batch >= n)
+            .expect("batcher never exceeds max_batch, the ladder's top rung");
+        let elems = self.request_elems;
+        let staged = rung.input.data_mut();
+        for (i, t) in inputs.iter().enumerate() {
+            staged[i * elems..(i + 1) * elems].copy_from_slice(t.data());
+        }
+        // Zero the padding tail: stale images from a previous batch
+        // must not feed the guard (or the profile) garbage.
+        staged[n * elems..].fill(0.0);
+
+        let health_before = rung.session.health().clone();
+        rung.session.run_into(&rung.input, &mut rung.output)?;
+        let health = rung.session.health();
+        let info = RunInfo {
+            demoted: health.demotions.len() > health_before.demotions.len(),
+            guarded: health.guards_tripped > health_before.guards_tripped,
+        };
+
+        let out_elems = rung.output.len() / rung.batch;
+        let mut per_shape: Vec<usize> = rung.output.shape().dims()[1..].to_vec();
+        if per_shape.is_empty() {
+            per_shape.push(1);
+        }
+        let outputs = (0..n)
+            .map(|i| {
+                Tensor::from_vec(
+                    per_shape.clone(),
+                    rung.output.data()[i * out_elems..(i + 1) * out_elems].to_vec(),
+                )
+            })
+            .collect();
+        Ok((outputs, info))
+    }
+
+    /// Engine-level health, merged across the ladder's sessions.
+    pub(crate) fn health(&self) -> cnn_stack_nn::HealthReport {
+        let mut merged = cnn_stack_nn::HealthReport::default();
+        for rung in &self.rungs {
+            let h = rung.session.health();
+            merged.guards_tripped += h.guards_tripped;
+            merged.panics_contained += h.panics_contained;
+            merged.retries += h.retries;
+            merged.demotions.extend(h.demotions.iter().cloned());
+        }
+        merged
+    }
+
+    /// Forwards a deterministic fault plan to every rung's session
+    /// (the serve-level fault-injection harness).
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn inject_faults(&mut self, faults: &dyn Fn() -> cnn_stack_nn::FaultPlan) {
+        for rung in &mut self.rungs {
+            rung.session.inject_faults(faults());
+        }
+    }
+}

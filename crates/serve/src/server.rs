@@ -1,0 +1,427 @@
+//! The multi-tenant inference server: bounded queue → dynamic batcher
+//! → pre-warmed session ladder, with admission control, deadline
+//! shedding, and per-request typed outcomes.
+
+use crate::batcher::{BatchEnd, Batcher};
+use crate::clock::{Clock, MonotonicClock};
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::health::{ServerHealth, WorkerHealth};
+use crate::pool::{PanelSet, SessionLadder};
+use crate::ticket::{Outcome, Request, Served, ShedReason, Ticket};
+use cnn_stack_nn::Network;
+use cnn_stack_obs::{Metric, Observer};
+use cnn_stack_parallel::spawn_worker;
+use cnn_stack_tensor::Tensor;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// State shared between submitters and workers.
+struct ServerInner {
+    observer: Option<Arc<Observer>>,
+    /// Requests currently queued (admission gauge).
+    depth: AtomicI64,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    served: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    failed: AtomicU64,
+    worker_health: Vec<Mutex<WorkerHealth>>,
+}
+
+impl ServerInner {
+    fn count(&self, m: Metric, n: u64) {
+        if let Some(obs) = &self.observer {
+            obs.metrics().add(m, n);
+        }
+    }
+
+    fn observe(&self, m: Metric, v: u64) {
+        if let Some(obs) = &self.observer {
+            obs.metrics().observe(m, v);
+        }
+    }
+
+    fn gauge(&self, m: Metric, v: i64) {
+        if let Some(obs) = &self.observer {
+            obs.metrics().set(m, v);
+        }
+    }
+}
+
+/// One batch worker: drains the shared queue through the batcher and
+/// runs batches on its own session ladder.
+struct Worker {
+    index: usize,
+    batcher: Arc<Mutex<Batcher>>,
+    ladder: SessionLadder,
+    inner: Arc<ServerInner>,
+    clock: Arc<dyn Clock>,
+    batches: u64,
+    served: u64,
+    shed_deadline: u64,
+    failed: u64,
+}
+
+impl Worker {
+    /// Runs one batch cycle. `Some(did_work)` while the queue is live;
+    /// `None` once every submitter is gone and the queue is drained.
+    fn cycle(&mut self, block: bool) -> Option<bool> {
+        let batch = {
+            let mut batcher = self.batcher.lock().expect("batcher lock");
+            batcher.next_batch(block)
+        };
+        let batch = match batch {
+            Ok(b) => b,
+            Err(BatchEnd::Empty) => return Some(false),
+            Err(BatchEnd::Disconnected) => return None,
+        };
+        let inner = Arc::clone(&self.inner);
+        let depth = inner.depth.fetch_sub(batch.len() as i64, Ordering::Relaxed);
+        inner.gauge(Metric::ServeQueueDepth, depth - batch.len() as i64);
+
+        // Shed what can no longer meet its deadline; running it would
+        // only burn capacity the live requests need.
+        let now = self.clock.now_ns();
+        for r in &batch {
+            inner.observe(Metric::ServeQueueWaitNs, now.saturating_sub(r.submitted_ns));
+        }
+        let (live, dead): (Vec<Request>, Vec<Request>) = batch
+            .into_iter()
+            .partition(|r| r.deadline_ns.is_none_or(|d| d >= now));
+        for r in dead {
+            inner.count(Metric::ServeShedDeadline, 1);
+            inner.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            self.shed_deadline += 1;
+            r.respond(Outcome::Shed(ShedReason::DeadlineExpired));
+        }
+        if live.is_empty() {
+            self.publish_health();
+            return Some(true);
+        }
+
+        inner.count(Metric::ServeBatches, 1);
+        inner.observe(Metric::ServeBatchOccupancy, live.len() as u64);
+        let batch_size = live.len();
+        let inputs: Vec<&Tensor> = live.iter().map(|r| &r.input).collect();
+        match self.ladder.run(&inputs) {
+            Ok((outputs, info)) => {
+                let done = self.clock.now_ns();
+                for (r, output) in live.into_iter().zip(outputs) {
+                    let latency_ns = done.saturating_sub(r.submitted_ns);
+                    inner.observe(Metric::ServeLatencyNs, latency_ns);
+                    inner.count(Metric::ServeServed, 1);
+                    inner.served.fetch_add(1, Ordering::Relaxed);
+                    self.served += 1;
+                    r.respond(Outcome::Served(Served {
+                        output,
+                        latency: Duration::from_nanos(latency_ns),
+                        batch_size,
+                        demoted: info.demoted,
+                        guarded: info.guarded,
+                    }));
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for r in live {
+                    inner.count(Metric::ServeFailed, 1);
+                    inner.failed.fetch_add(1, Ordering::Relaxed);
+                    self.failed += 1;
+                    r.respond(Outcome::Failed(msg.clone()));
+                }
+            }
+        }
+        self.batches += 1;
+        self.publish_health();
+        Some(true)
+    }
+
+    fn publish_health(&self) {
+        *self.inner.worker_health[self.index]
+            .lock()
+            .expect("health lock") = WorkerHealth {
+            worker: self.index,
+            batches: self.batches,
+            served: self.served,
+            shed_deadline: self.shed_deadline,
+            failed: self.failed,
+            engine: self.ladder.health(),
+        };
+    }
+}
+
+/// The serving front end; see the [crate docs](crate) for the
+/// architecture and an end-to-end example.
+pub struct Server {
+    cfg: ServeConfig,
+    inner: Arc<ServerInner>,
+    clock: Arc<dyn Clock>,
+    tx: Mutex<Option<SyncSender<Request>>>,
+    threads: Vec<JoinHandle<()>>,
+    /// The single worker of a manually-pumped server (`workers == 0`).
+    manual: Option<Mutex<Worker>>,
+}
+
+impl Server {
+    /// Builds the session pool (one ladder per worker, all sharing one
+    /// prepack), pre-warms every session, and starts the batch workers.
+    /// `build_net` must produce identically-initialised networks — it
+    /// is called once per session replica.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-compilation or session-construction failures.
+    pub fn start<F>(cfg: ServeConfig, build_net: F) -> Result<Self, ServeError>
+    where
+        F: Fn() -> Network + Send + Sync + 'static,
+    {
+        Self::start_with_clock(cfg, Arc::new(MonotonicClock::new()), build_net)
+    }
+
+    /// Like [`start`](Self::start) with an explicit time source; the
+    /// deterministic tests pass a [`crate::ManualClock`] together with
+    /// `workers == 0` and drive batches via [`pump`](Self::pump).
+    pub fn start_with_clock<F>(
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+        build_net: F,
+    ) -> Result<Self, ServeError>
+    where
+        F: Fn() -> Network + Send + Sync + 'static,
+    {
+        let worker_count = cfg.workers().max(1);
+        let (tx, rx) = mpsc::sync_channel::<Request>(cfg.queue_depth());
+        let inner = Arc::new(ServerInner {
+            observer: Observer::for_level(cfg.observer()),
+            depth: AtomicI64::new(0),
+            next_id: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            worker_health: (0..worker_count)
+                .map(|_| Mutex::new(WorkerHealth::default()))
+                .collect(),
+        });
+        let batcher = Arc::new(Mutex::new(Batcher::new(
+            rx,
+            Arc::clone(&clock),
+            cfg.batch_policy(),
+        )));
+
+        // Build every ladder up front on this thread: the first session
+        // exports its prepacked panels and all later replicas adopt
+        // them, so the whole pool shares one prepack per model.
+        let mut shared: Option<PanelSet> = None;
+        let mut workers = Vec::new();
+        for index in 0..worker_count {
+            let ladder = SessionLadder::build(&cfg, &build_net, &mut shared)?;
+            workers.push(Worker {
+                index,
+                batcher: Arc::clone(&batcher),
+                ladder,
+                inner: Arc::clone(&inner),
+                clock: Arc::clone(&clock),
+                batches: 0,
+                served: 0,
+                shed_deadline: 0,
+                failed: 0,
+            });
+        }
+
+        let mut threads = Vec::new();
+        let mut manual = None;
+        if cfg.workers() == 0 {
+            let worker = workers.pop().expect("one manual worker");
+            manual = Some(Mutex::new(worker));
+        } else {
+            for mut worker in workers {
+                threads.push(spawn_worker(
+                    &format!("cnn-stack-serve-{}", worker.index),
+                    move || {
+                        // Drain until every submitter is gone; buffered
+                        // requests are still served after shutdown
+                        // drops the sender.
+                        while worker.cycle(true).is_some() {}
+                        worker.publish_health();
+                    },
+                ));
+            }
+        }
+        Ok(Server {
+            cfg,
+            inner,
+            clock,
+            tx: Mutex::new(Some(tx)),
+            threads,
+            manual,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The server's observer (queue/latency/shed instruments), when the
+    /// configured [`cnn_stack_obs::ObsLevel`] is above `Off`.
+    pub fn observer(&self) -> Option<&Arc<Observer>> {
+        self.inner.observer.as_ref()
+    }
+
+    /// Submits a request under the configured default deadline (if
+    /// any). Admission control answers immediately: when the bounded
+    /// queue is full the returned ticket resolves to
+    /// [`Outcome::Shed`]`(`[`ShedReason::QueueFull`]`)` without the
+    /// request ever queueing.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShapeMismatch`] when `input` is not one request of
+    /// the configured shape — that is a caller bug, not load shedding.
+    pub fn submit(&self, input: Tensor) -> Result<Ticket, ServeError> {
+        self.submit_opts(input, self.cfg.default_deadline())
+    }
+
+    /// Submits with an explicit deadline budget: if the request is
+    /// still queued when its batch is assembled `deadline` after
+    /// submission, it is shed with [`ShedReason::DeadlineExpired`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShapeMismatch`] as for [`submit`](Self::submit).
+    pub fn submit_with_deadline(
+        &self,
+        input: Tensor,
+        deadline: Duration,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_opts(input, Some(deadline))
+    }
+
+    fn submit_opts(&self, input: Tensor, deadline: Option<Duration>) -> Result<Ticket, ServeError> {
+        if input.shape().dims() != self.cfg.input_shape() {
+            return Err(ServeError::ShapeMismatch {
+                want: self.cfg.input_shape().to_vec(),
+                got: input.shape().dims().to_vec(),
+            });
+        }
+        let inner = &self.inner;
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        inner.submitted.fetch_add(1, Ordering::Relaxed);
+        inner.count(Metric::ServeSubmitted, 1);
+        let (reply, rx) = mpsc::channel();
+        let ticket = Ticket { id, rx };
+        let now = self.clock.now_ns();
+        let request = Request {
+            id,
+            input,
+            submitted_ns: now,
+            deadline_ns: deadline.map(|d| now.saturating_add(d.as_nanos() as u64)),
+            reply,
+        };
+        let tx = self.tx.lock().expect("submit lock");
+        match tx.as_ref() {
+            None => request.respond(Outcome::Shed(ShedReason::ShuttingDown)),
+            Some(tx) => match tx.try_send(request) {
+                Ok(()) => {
+                    let depth = inner.depth.fetch_add(1, Ordering::Relaxed) + 1;
+                    inner.gauge(Metric::ServeQueueDepth, depth);
+                }
+                Err(TrySendError::Full(request)) => {
+                    inner.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                    inner.count(Metric::ServeShedQueueFull, 1);
+                    request.respond(Outcome::Shed(ShedReason::QueueFull));
+                }
+                Err(TrySendError::Disconnected(request)) => {
+                    request.respond(Outcome::Shed(ShedReason::ShuttingDown));
+                }
+            },
+        }
+        Ok(ticket)
+    }
+
+    /// Runs one batch cycle on the caller's thread (manual mode,
+    /// `workers == 0`): assembles at most one batch and serves it.
+    /// Returns `true` if a batch (or a shed) was processed, `false` if
+    /// the queue was empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server was started with background workers —
+    /// pumping would race them.
+    pub fn pump(&self) -> bool {
+        let worker = self
+            .manual
+            .as_ref()
+            .expect("pump requires a manual server (workers == 0)");
+        let mut worker = worker.lock().expect("manual worker lock");
+        worker.cycle(false).unwrap_or(false)
+    }
+
+    /// Current aggregated health snapshot.
+    pub fn health(&self) -> ServerHealth {
+        let inner = &self.inner;
+        ServerHealth {
+            submitted: inner.submitted.load(Ordering::Relaxed),
+            served: inner.served.load(Ordering::Relaxed),
+            shed_queue_full: inner.shed_queue_full.load(Ordering::Relaxed),
+            shed_deadline: inner.shed_deadline.load(Ordering::Relaxed),
+            failed: inner.failed.load(Ordering::Relaxed),
+            workers: inner
+                .worker_health
+                .iter()
+                .map(|w| w.lock().expect("health lock").clone())
+                .collect(),
+        }
+    }
+
+    /// Installs a deterministic fault plan into every session of the
+    /// manual worker's ladder — the serving end of the engine's
+    /// fault-injection harness. Manual mode only.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a threaded server.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_faults(&self, faults: impl Fn() -> cnn_stack_nn::FaultPlan) {
+        let worker = self
+            .manual
+            .as_ref()
+            .expect("inject_faults requires a manual server (workers == 0)");
+        let mut worker = worker.lock().expect("manual worker lock");
+        worker.ladder.inject_faults(&faults);
+    }
+
+    /// Stops accepting work, serves everything already queued, and
+    /// joins the workers. Requests submitted afterwards resolve to
+    /// [`Outcome::Shed`]`(`[`ShedReason::ShuttingDown`]`)`.
+    pub fn shutdown(mut self) -> ServerHealth {
+        self.shutdown_in_place();
+        self.health()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        // Dropping the sender lets workers drain the buffer and exit.
+        *self.tx.lock().expect("submit lock") = None;
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(worker) = self.manual.as_ref() {
+            let mut worker = worker.lock().expect("manual worker lock");
+            while worker.cycle(false).is_some() {}
+            worker.publish_health();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}

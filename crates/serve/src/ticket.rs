@@ -1,0 +1,136 @@
+//! Request/response handles: what a client holds while the server
+//! works, and the typed outcome it eventually receives.
+
+use cnn_stack_tensor::Tensor;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::time::Duration;
+
+/// Why the server refused to run a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Admission control: the bounded request queue was full.
+    QueueFull,
+    /// The request's deadline had already passed when its batch was
+    /// assembled, so running it could only waste capacity.
+    DeadlineExpired,
+    /// The server was shutting down.
+    ShuttingDown,
+}
+
+/// A successfully served request.
+#[derive(Clone, Debug)]
+pub struct Served {
+    /// The model output for this request (no batch dimension).
+    pub output: Tensor,
+    /// End-to-end latency: submit to response, on the server's clock.
+    pub latency: Duration,
+    /// How many requests shared the session run (before padding).
+    pub batch_size: usize,
+    /// The guard demoted an algorithm during this run (the co-batched
+    /// outputs are still complete — the engine re-runs after demoting).
+    pub demoted: bool,
+    /// A guard tripped (and was recovered) during this run.
+    pub guarded: bool,
+}
+
+/// The typed terminal state of a request.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Ran to completion; the output is attached.
+    Served(Served),
+    /// Refused without running — never silently dropped.
+    Shed(ShedReason),
+    /// The engine gave up (guard exhausted its demotion ladder, or a
+    /// kernel failure was not recoverable).
+    Failed(String),
+}
+
+impl Outcome {
+    /// `true` for [`Outcome::Served`].
+    pub fn is_served(&self) -> bool {
+        matches!(self, Outcome::Served(_))
+    }
+
+    /// The served payload, if any.
+    pub fn served(&self) -> Option<&Served> {
+        match self {
+            Outcome::Served(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// The server's reply to one request.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The id [`crate::Server::submit`] returned with the ticket.
+    pub id: u64,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+/// A queued request, internal to the server.
+#[derive(Debug)]
+pub struct Request {
+    pub(crate) id: u64,
+    pub(crate) input: Tensor,
+    /// Submission instant on the server clock.
+    pub(crate) submitted_ns: u64,
+    /// Absolute shed deadline on the server clock, if any.
+    pub(crate) deadline_ns: Option<u64>,
+    pub(crate) reply: Sender<Response>,
+}
+
+impl Request {
+    pub(crate) fn respond(self, outcome: Outcome) {
+        // A dropped ticket just means nobody is listening; fine.
+        let _ = self.reply.send(Response {
+            id: self.id,
+            outcome,
+        });
+    }
+}
+
+/// The client's handle to an in-flight request.
+///
+/// Every submitted request resolves to exactly one [`Response`] — shed
+/// and failed requests included — so `wait` never hangs on a live
+/// server.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) id: u64,
+    pub(crate) rx: Receiver<Response>,
+}
+
+impl Ticket {
+    /// The request id (matches [`Response::id`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives. If the server was torn down
+    /// with the request still queued, resolves to
+    /// [`Outcome::Shed`]`(`[`ShedReason::ShuttingDown`]`)` rather than
+    /// hanging.
+    pub fn wait(self) -> Response {
+        match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => Response {
+                id: self.id,
+                outcome: Outcome::Shed(ShedReason::ShuttingDown),
+            },
+        }
+    }
+
+    /// Non-blocking poll: `Some` once the response is in.
+    pub fn try_wait(&self) -> Option<Response> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Response {
+                id: self.id,
+                outcome: Outcome::Shed(ShedReason::ShuttingDown),
+            }),
+        }
+    }
+}

@@ -35,6 +35,7 @@ pub mod build;
 pub mod config;
 pub mod pareto;
 pub mod runner;
+pub mod serve;
 
 pub use build::{materialise, try_materialise};
 pub use cnn_stack_nn::{GuardConfig, HealthReport};
@@ -42,3 +43,4 @@ pub use cnn_stack_obs::ObsLevel;
 pub use config::{CompressionChoice, PlanMode, PlatformChoice, StackConfig, StackConfigBuilder};
 pub use pareto::{detect_elbow, pareto_curve, ParetoPoint};
 pub use runner::{evaluate, try_evaluate_with, CellResult};
+pub use serve::serve_cell;

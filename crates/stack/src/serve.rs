@@ -1,0 +1,44 @@
+//! Serving a configured stack cell: the bridge from [`StackConfig`]
+//! (which model, compressed how) to a running multi-tenant
+//! [`Server`] (batched, guarded, under admission control).
+//!
+//! [`runner::evaluate`](crate::runner::evaluate) answers "how fast is
+//! one inference of this cell"; this module answers "what does this
+//! cell sustain under open-loop traffic" by materialising the cell's
+//! network once per session replica and handing it to the serving
+//! layer.
+
+use crate::build::try_materialise;
+use crate::config::StackConfig;
+use cnn_stack_serve::{ServeConfig, ServeError, Server};
+
+/// Starts a server over the network a stack cell materialises.
+///
+/// The model layer (architecture, compression surgery, weight format)
+/// comes from `cfg` at the given `width`; everything serving-side —
+/// batching policy, queue depth, deadlines, guard level, engine
+/// threads — comes from `serve_cfg`. The serving engine always runs
+/// the packed im2col path (the fastest measured host configuration),
+/// so `cfg`'s `algorithm`/`backend`/`platform` fields, which drive the
+/// *modelled* evaluation, do not apply here.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Engine`] when the cell cannot be materialised
+/// (invalid operating point), or any session/plan error from server
+/// start-up.
+pub fn serve_cell(
+    cfg: &StackConfig,
+    width: f64,
+    serve_cfg: ServeConfig,
+) -> Result<Server, ServeError> {
+    // Validate the cell once up front so a bad operating point surfaces
+    // here as an error instead of panicking inside a replica build.
+    try_materialise(cfg, width)?;
+    let cfg = *cfg;
+    Server::start(serve_cfg, move || {
+        try_materialise(&cfg, width)
+            .expect("validated above; materialisation is deterministic")
+            .network
+    })
+}

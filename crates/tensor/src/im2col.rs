@@ -143,25 +143,17 @@ pub fn im2col_into(image: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
     );
     let mut row = 0;
     for c in 0..geom.in_channels {
+        let plane = &image[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
         for kh in 0..geom.k_h {
             for kw in 0..geom.k_w {
-                for oh in 0..geom.out_h {
-                    let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
-                    for ow in 0..geom.out_w {
-                        let iw = (ow * geom.stride + kw) as isize - geom.padding as isize;
-                        let col = oh * geom.out_w + ow;
-                        let v = if ih >= 0
-                            && iw >= 0
-                            && (ih as usize) < geom.in_h
-                            && (iw as usize) < geom.in_w
-                        {
-                            image[(c * geom.in_h + ih as usize) * geom.in_w + iw as usize]
-                        } else {
-                            0.0
-                        };
-                        out[row * cols + col] = v;
-                    }
-                }
+                gather_row_segment(
+                    &mut out[row * cols..(row + 1) * cols],
+                    plane,
+                    geom,
+                    kh,
+                    kw,
+                    0,
+                );
                 row += 1;
             }
         }
@@ -191,6 +183,61 @@ pub fn im2col_into(image: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
 /// # Panics
 ///
 /// Panics if `image` or `buf` lengths do not match the geometry.
+/// Fills `d` with im2col row `(c, kh, kw)` values for the output-position
+/// range `[pos0, pos0 + d.len())` of one input-channel plane.
+///
+/// The hot path of both packers: positions sharing an output row map to
+/// *contiguous* input columns when `stride == 1`, so the run splits into
+/// a zero prefix (left padding), one `copy_from_slice` of the interior,
+/// and a zero suffix (right padding) — no per-element bounds arithmetic.
+/// Strided geometries keep the per-element gather.
+fn gather_row_segment(
+    d: &mut [f32],
+    plane: &[f32],
+    geom: &Conv2dGeometry,
+    kh: usize,
+    kw: usize,
+    pos0: usize,
+) {
+    let len = d.len();
+    let mut ci = 0;
+    while ci < len {
+        let pos = pos0 + ci;
+        let oh = pos / geom.out_w;
+        let ow0 = pos % geom.out_w;
+        let run = (geom.out_w - ow0).min(len - ci);
+        let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
+        let seg = &mut d[ci..ci + run];
+        if ih < 0 || ih as usize >= geom.in_h {
+            seg.fill(0.0);
+        } else {
+            let xrow = &plane[ih as usize * geom.in_w..(ih as usize + 1) * geom.in_w];
+            if geom.stride == 1 {
+                // iw = start + i over the run; clip to [0, in_w).
+                let start = (ow0 + kw) as isize - geom.padding as isize;
+                let lo = (-start).clamp(0, run as isize) as usize;
+                let hi = (geom.in_w as isize - start).clamp(lo as isize, run as isize) as usize;
+                seg[..lo].fill(0.0);
+                if hi > lo {
+                    let s0 = (start + lo as isize) as usize;
+                    seg[lo..hi].copy_from_slice(&xrow[s0..s0 + (hi - lo)]);
+                }
+                seg[hi..].fill(0.0);
+            } else {
+                for (i, v) in seg.iter_mut().enumerate() {
+                    let iw = ((ow0 + i) * geom.stride + kw) as isize - geom.padding as isize;
+                    *v = if iw >= 0 && (iw as usize) < geom.in_w {
+                        xrow[iw as usize]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+        ci += run;
+    }
+}
+
 pub fn pack_b_im2col_into(image: &[f32], geom: &Conv2dGeometry, buf: &mut [f32]) {
     use crate::gemm::NR;
     assert_eq!(
@@ -215,21 +262,7 @@ pub fn pack_b_im2col_into(image: &[f32], geom: &Conv2dGeometry, buf: &mut [f32])
             for kh in 0..geom.k_h {
                 for kw in 0..geom.k_w {
                     let d = &mut dst[row * NR..row * NR + NR];
-                    for (ci, v) in d.iter_mut().enumerate().take(cols) {
-                        let col = j0 + ci;
-                        let (oh, ow) = (col / geom.out_w, col % geom.out_w);
-                        let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
-                        let iw = (ow * geom.stride + kw) as isize - geom.padding as isize;
-                        *v = if ih >= 0
-                            && iw >= 0
-                            && (ih as usize) < geom.in_h
-                            && (iw as usize) < geom.in_w
-                        {
-                            plane[ih as usize * geom.in_w + iw as usize]
-                        } else {
-                            0.0
-                        };
-                    }
+                    gather_row_segment(&mut d[..cols], plane, geom, kh, kw, j0);
                     d[cols..].fill(0.0);
                     row += 1;
                 }
@@ -241,6 +274,97 @@ pub fn pack_b_im2col_into(image: &[f32], geom: &Conv2dGeometry, buf: &mut [f32])
     obs::with_current(|o| {
         let bytes = (n_panels * NR * k * std::mem::size_of::<f32>()) as u64;
         o.metrics().add(Metric::Im2colCalls, 1);
+        o.metrics().add(Metric::Im2colBytesLowered, bytes);
+        o.metrics().add(Metric::GemmBytesPacked, bytes);
+    });
+}
+
+/// Batch-merged [`pack_b_im2col_into`]: packs the im2col matrices of `n`
+/// NCHW images side by side into one NR-column panel buffer, as if the
+/// per-image `[patch_len, out_positions]` column matrices had been
+/// concatenated along the column axis into a single
+/// `[patch_len, n · out_positions]` matrix and packed with
+/// [`pack_b_into`](crate::gemm::pack_b_into).
+///
+/// Merged column `c` maps to image `c / out_positions`, output position
+/// `c % out_positions`. Because the reduction extent (`patch_len`) and
+/// therefore the `kc` blocking are unchanged, a GEMM over the merged
+/// panels accumulates every output value in exactly the same order as
+/// the per-image product — the batched path is bit-identical, it just
+/// amortises the A-panel traffic and fills the NR-column panels that a
+/// small per-image `out_positions` would leave zero-padded (the deep
+/// VGG layers at CIFAR extent have 4 output positions against `NR = 16`:
+/// three quarters of every micro-kernel tile is wasted un-merged).
+///
+/// # Panics
+///
+/// Panics if `images` is not `n` images of the geometry's extent or
+/// `buf` is shorter than the merged panel region.
+pub fn pack_b_im2col_batch_into(images: &[f32], n: usize, geom: &Conv2dGeometry, buf: &mut [f32]) {
+    use crate::gemm::NR;
+    let in_img = geom.in_channels * geom.in_h * geom.in_w;
+    assert_eq!(
+        images.len(),
+        n * in_img,
+        "images length does not match geometry × batch"
+    );
+    let k = geom.patch_len();
+    let plane = geom.out_positions();
+    let total = n * plane;
+    let n_panels = total.div_ceil(NR);
+    assert!(
+        buf.len() >= n_panels * NR * k,
+        "packed-B buffer does not match geometry × batch"
+    );
+    let pointwise = geom.is_pointwise_identity();
+    for jp in 0..n_panels {
+        let j0 = jp * NR;
+        let cols = NR.min(total - j0);
+        let dst = &mut buf[jp * NR * k..(jp + 1) * NR * k];
+        let mut row = 0;
+        for c in 0..geom.in_channels {
+            for kh in 0..geom.k_h {
+                for kw in 0..geom.k_w {
+                    let d = &mut dst[row * NR..row * NR + NR];
+                    // Walk the panel's columns in per-image runs: a panel
+                    // can straddle image boundaries when `plane % NR != 0`
+                    // (merged columns are image-major), so decode the image
+                    // once per run, not once per element.
+                    let mut ci = 0;
+                    while ci < cols {
+                        let col = j0 + ci;
+                        let img = col / plane;
+                        let pos0 = col % plane;
+                        let run = (plane - pos0).min(cols - ci);
+                        let image = &images[img * in_img..(img + 1) * in_img];
+                        if pointwise {
+                            // 1×1/s1/p0: the im2col matrix is the image —
+                            // row `c` of image `img` is contiguous.
+                            d[ci..ci + run]
+                                .copy_from_slice(&image[c * plane + pos0..c * plane + pos0 + run]);
+                        } else {
+                            let plane_data =
+                                &image[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+                            gather_row_segment(
+                                &mut d[ci..ci + run],
+                                plane_data,
+                                geom,
+                                kh,
+                                kw,
+                                pos0,
+                            );
+                        }
+                        ci += run;
+                    }
+                    d[cols..].fill(0.0);
+                    row += 1;
+                }
+            }
+        }
+    }
+    obs::with_current(|o| {
+        let bytes = (n_panels * NR * k * std::mem::size_of::<f32>()) as u64;
+        o.metrics().add(Metric::Im2colCalls, n as u64);
         o.metrics().add(Metric::Im2colBytesLowered, bytes);
         o.metrics().add(Metric::GemmBytesPacked, bytes);
     });

@@ -31,7 +31,9 @@ pub use gemm::{
     pack_a_into, pack_b_into, pack_b_transposed_into, GemmAlgorithm, GemmEpilogue, GemmPlan,
     TileConfig, MR, NR,
 };
-pub use im2col::{col2im, im2col, im2col_into, pack_b_im2col_into, Conv2dGeometry};
+pub use im2col::{
+    col2im, im2col, im2col_into, pack_b_im2col_batch_into, pack_b_im2col_into, Conv2dGeometry,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use winograd::winograd_conv2d;

@@ -1,15 +1,15 @@
 //! Quickstart: build one of the paper's models, run inference on
-//! CIFAR-10-shaped data, and inspect the workload the way the paper's
-//! characterisation does (MACs, parameters, per-layer timing).
+//! CIFAR-10-shaped data, inspect the workload the way the paper's
+//! characterisation does (MACs, parameters, per-layer timing) — then
+//! serve the same model under concurrent traffic through the serving
+//! layer.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
 use cnn_stack::dataset::{DatasetConfig, SyntheticCifar};
-use cnn_stack::models::resnet18_width;
-use cnn_stack::nn::{ExecConfig, InferencePlan, InferenceSession};
-use cnn_stack::tensor::ops;
+use cnn_stack::prelude::*;
 
 fn main() {
     // A width-scaled ResNet-18 so the example runs in seconds; pass 1.0
@@ -55,6 +55,47 @@ fn main() {
 
     let total = session.profile().total_time();
     println!("\ntotal forward time (host, 1 thread): {total:.2?}");
+
+    // --- Serving the same architecture under traffic ----------------
+    // One ServeConfig gathers the serving knobs (batching, queue,
+    // deadlines, guard, threads); the server pre-warms a ladder of
+    // sessions sharing one set of prepacked weight panels, then
+    // coalesces concurrent requests into batched runs.
+    let cfg = ServeConfig::builder([3, 32, 32])
+        .max_batch(4)
+        .build()
+        .expect("serving config is valid");
+    let server =
+        Server::start(cfg, || resnet18_width(10, 0.25).network).expect("serving sessions compile");
+
+    let elems = 3 * 32 * 32;
+    let tickets: Vec<Ticket> = (0..8)
+        .map(|i| {
+            let image = images.data()[i * elems..(i + 1) * elems].to_vec();
+            server
+                .submit(Tensor::from_vec(vec![3, 32, 32], image))
+                .expect("request shape matches the server")
+        })
+        .collect();
+    println!("\nserving 8 concurrent requests (max_batch 4):");
+    for ticket in tickets {
+        match ticket.wait().outcome {
+            Outcome::Served(s) => println!(
+                "  request served in {:>8.2?} (co-batched with {} other(s))",
+                s.latency,
+                s.batch_size - 1
+            ),
+            other => println!("  request not served: {other:?}"),
+        }
+    }
+    let health = server.shutdown();
+    println!(
+        "server health: {} served / {} submitted, {} shed",
+        health.served,
+        health.submitted,
+        health.shed_queue_full + health.shed_deadline
+    );
+
     println!(
         "\nNext: examples/train_baseline.rs trains this model; \
               examples/compress_and_deploy.rs compresses it."

@@ -16,10 +16,8 @@
 //! cargo run --release --example trace_inference
 //! ```
 
-use cnn_stack::models::ModelKind;
-use cnn_stack::nn::{ExecConfig, GuardConfig, InferenceSession, ObsLevel, PlanCompiler};
 use cnn_stack::obs::{chrome_trace_json, text_trace};
-use cnn_stack::tensor::Tensor;
+use cnn_stack::prelude::*;
 
 fn main() {
     let mut model = ModelKind::Vgg16.build_width(10, 0.5);

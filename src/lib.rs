@@ -15,14 +15,27 @@
 //! * [`parallel`] — OpenMP-style thread pool and loop scheduling.
 //! * [`hwsim`] — platform timing models and the simulated OpenCL device.
 //! * [`obs`] — metrics registry, span tracer, Chrome-trace export.
+//! * [`serve`] — multi-tenant serving: dynamic batching, session pool,
+//!   deadline shedding.
 //! * [`stack`] — the five-layer Deep Learning Inference Stack itself.
 //!
-//! ## Quickstart
+//! Most programs only need [`prelude`], which curates one coherent
+//! surface across those crates — model constructors, the engine types,
+//! and the serving layer:
 //!
 //! ```
-//! use cnn_stack::models::resnet18;
-//! use cnn_stack::nn::{ExecConfig, Phase};
-//! use cnn_stack::tensor::Tensor;
+//! use cnn_stack::prelude::*;
+//!
+//! let cfg = ServeConfig::builder([3, 32, 32]).max_batch(4).build().unwrap();
+//! let server = Server::start(cfg, || mobilenet_width(10, 0.25).network).unwrap();
+//! let ticket = server.submit(Tensor::zeros([3, 32, 32])).unwrap();
+//! assert!(matches!(ticket.wait().outcome, Outcome::Served(_)));
+//! ```
+//!
+//! ## Quickstart (engine level)
+//!
+//! ```
+//! use cnn_stack::prelude::*;
 //!
 //! let mut model = resnet18(10);
 //! let input = Tensor::zeros([1, 3, 32, 32]);
@@ -38,5 +51,63 @@ pub use cnn_stack_models as models;
 pub use cnn_stack_nn as nn;
 pub use cnn_stack_obs as obs;
 pub use cnn_stack_parallel as parallel;
+pub use cnn_stack_serve as serve;
 pub use cnn_stack_sparse as sparse;
 pub use cnn_stack_tensor as tensor;
+
+/// The curated import surface: everything a program that builds,
+/// compiles, runs, or serves one of the paper's models needs, in one
+/// `use cnn_stack::prelude::*;`.
+///
+/// Deeper or rarer items (sparse formats, the hardware simulator,
+/// training) stay behind their subsystem modules.
+pub mod prelude {
+    pub use crate::models::{
+        mobilenet, mobilenet_width, resnet18, resnet18_width, vgg16, vgg16_width, Model, ModelKind,
+    };
+    pub use crate::nn::{
+        ConvAlgorithm, ExecConfig, GuardConfig, HealthReport, InferencePlan, InferenceSession,
+        Network, Phase, PlanCompiler,
+    };
+    pub use crate::obs::ObsLevel;
+    pub use crate::serve::{
+        run_open_loop, LoadReport, LoadSpec, Outcome, ServeConfig, Served, Server, ServerHealth,
+        ShedReason, Ticket,
+    };
+    pub use crate::stack::{serve_cell, CellResult, PlatformChoice, StackConfig};
+    pub use crate::tensor::{ops, Tensor};
+}
+
+// ---------------------------------------------------------------------
+// Deprecated shims: the pre-serve import paths. The serving-relevant
+// knobs these types scattered (threads, guard level, observer) are
+// gathered by `serve::ServeConfig`; for everything else, import through
+// `prelude` (or the owning subsystem module).
+
+/// Deprecated root-level alias of [`nn::ExecConfig`].
+#[deprecated(
+    since = "0.2.0",
+    note = "import via `cnn_stack::prelude`; serving-side knobs (threads, observer) now live in `cnn_stack::serve::ServeConfig`"
+)]
+pub type ExecConfig = nn::ExecConfig;
+
+/// Deprecated root-level alias of [`nn::GuardConfig`].
+#[deprecated(
+    since = "0.2.0",
+    note = "import via `cnn_stack::prelude`; the serving guard level is set on `cnn_stack::serve::ServeConfig::builder`"
+)]
+pub type GuardConfig = nn::GuardConfig;
+
+/// Deprecated root-level alias of [`obs::ObsLevel`].
+#[deprecated(
+    since = "0.2.0",
+    note = "import via `cnn_stack::prelude`; the serving observer level is set on `cnn_stack::serve::ServeConfig::builder`"
+)]
+pub type ObsLevel = obs::ObsLevel;
+
+/// Deprecated root-level alias of [`stack::StackConfig`].
+#[deprecated(
+    since = "0.2.0",
+    note = "import via `cnn_stack::prelude`; to serve a configured cell use `cnn_stack::stack::serve_cell`"
+)]
+pub type StackConfig = stack::StackConfig;

@@ -1,0 +1,24 @@
+//! Compatibility test: the pre-prelude import paths still compile and
+//! still name the same types as the new surface. This file is the only
+//! place allowed to use them.
+#![allow(deprecated)]
+
+#[test]
+fn deprecated_root_aliases_still_name_the_same_types() {
+    // Type-identity checks: a value built through the old path is
+    // accepted where the new path's type is expected.
+    let exec: cnn_stack::ExecConfig = cnn_stack::nn::ExecConfig::serial();
+    assert_eq!(exec.threads, 1);
+
+    let guard: cnn_stack::GuardConfig = cnn_stack::nn::GuardConfig::Paranoid;
+    assert!(guard.checks_boundaries());
+
+    let obs: cnn_stack::ObsLevel = cnn_stack::obs::ObsLevel::Off;
+    assert_eq!(obs, cnn_stack::obs::ObsLevel::default());
+
+    let stack_cfg: cnn_stack::StackConfig = cnn_stack::stack::StackConfig::plain(
+        cnn_stack::models::ModelKind::MobileNet,
+        cnn_stack::stack::PlatformChoice::IntelI7,
+    );
+    assert_eq!(stack_cfg.threads, 1);
+}

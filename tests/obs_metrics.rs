@@ -81,9 +81,15 @@ proptest! {
             2 * analytic_macs * runs as u64,
             "gemm.flops must equal 2x the plan's MAC count per run"
         );
-        // One packed-GEMM call per image for the conv plus one for the
-        // whole linear layer, each run.
-        prop_assert_eq!(counter(&m, "gemm.calls"), (batch as u64 + 1) * runs as u64);
+        // The packed conv path merges images whose output plane leaves
+        // micro-kernel lanes idle (up to one column-grain of `4·NR`
+        // merged columns) into one GEMM call, so the conv issues
+        // `ceil(batch / group)` calls; the linear layer adds one more.
+        // The im2col lowering is still recorded per image.
+        let plane = hw * hw;
+        let group = ((4 * cnn_stack::tensor::NR) / plane).clamp(1, batch);
+        let conv_calls = batch.div_ceil(group) as u64;
+        prop_assert_eq!(counter(&m, "gemm.calls"), (conv_calls + 1) * runs as u64);
         prop_assert_eq!(counter(&m, "im2col.calls"), batch as u64 * runs as u64);
     }
 

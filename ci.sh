@@ -78,6 +78,18 @@ echo "== serve-bench-smoke =="
 # regenerates BENCH_serve.json and enforces the 2x gate) is manual.
 SERVE_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench serve
 
+echo "== serve-chaos =="
+# Self-healing runtime: deterministic ManualClock supervision tests
+# (worker-panic -> typed failures + respawn, hung-batch watchdog
+# failover, crash-loop backoff caps, breaker trip -> degraded ->
+# half-open recovery), then a small threaded chaos run with an injected
+# crash + hang at 1.5x capacity asserting zero lost tickets. The full
+# chaos run (which regenerates BENCH_chaos.json and enforces the
+# breaker-on < breaker-off miss-rate gate) is manual.
+cargo test -q --test serve_supervision
+cargo test -q --test serve_supervision --features fault-inject
+CHAOS_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench chaos --features fault-inject
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -104,6 +104,7 @@ fn run_policy(
         qps,
         requests,
         deadline: Some(deadline),
+        retry: None,
     };
     let report = run_open_loop(&server, &spec, request_input);
     server.shutdown();
@@ -273,12 +274,13 @@ fn main() {
         .queue_depth(8)
         .guard(guard)
         .build()
-        .unwrap();
+        .expect("overload bench config is valid");
     let server = Server::start(cfg, move || build_net(width)).expect("server starts");
     let spec = LoadSpec {
         qps: 3.0 * qps1,
         requests: overload_requests,
         deadline: Some(Duration::from_secs_f64(4.0 / qps1)),
+        retry: None,
     };
     let t0 = Instant::now();
     let mut served = 0usize;

@@ -278,6 +278,28 @@ pub(crate) fn scan_non_finite(data: &[f32]) -> Option<(usize, NonFiniteKind, usi
     first.map(|(i, k)| (i, k, count))
 }
 
+/// A serve-level batch fault, surfaced to the serving layer's batch
+/// worker via [`FaultPlan::serve_batch_entry`]. These model failures
+/// *outside* the engine's per-kernel containment — a crashed worker
+/// thread, a batch stuck in a hung kernel, a batch running pathologically
+/// slowly — which is exactly the territory the serving supervisor and
+/// hung-batch watchdog exist to survive. The enum is defined under both
+/// cfgs so the serving worker compiles identically; without
+/// `fault-inject` the hook statically returns `None`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeBatchFault {
+    /// Panic in the batch worker at batch entry, outside the engine's
+    /// `catch_unwind` containment — the supervisor must resolve the
+    /// batch's tickets and respawn the worker.
+    Crash,
+    /// Hang the worker mid-batch until the watchdog deposes it — the
+    /// batch never completes on this worker.
+    Hang,
+    /// Stall the batch for the given nanoseconds of server-clock time
+    /// before serving it (late) — the watchdog's post-hoc suspect path.
+    Slow(u64),
+}
+
 /// Deterministic fault injection, compiled under `--features fault-inject`.
 #[cfg(feature = "fault-inject")]
 mod inject {
@@ -340,6 +362,29 @@ mod inject {
             chunk: usize,
             /// Target session invocation.
             run: u64,
+        },
+        /// Panic in the *serving* batch worker at the start of its
+        /// `batch`-th assembled batch (0-based, counted per worker) —
+        /// outside every engine containment, so it kills the worker
+        /// unless the serve supervisor catches it.
+        CrashServeBatch {
+            /// Target per-worker batch index.
+            batch: u64,
+        },
+        /// Hang the serving batch worker on its `batch`-th batch: the
+        /// batch never completes until the hung-batch watchdog fails it
+        /// over and deposes the worker.
+        HangServeBatch {
+            /// Target per-worker batch index.
+            batch: u64,
+        },
+        /// Stall the serving batch worker's `batch`-th batch for
+        /// `nanos` of server-clock time before running it.
+        SlowServeBatch {
+            /// Target per-worker batch index.
+            batch: u64,
+            /// Stall length in nanoseconds of server-clock time.
+            nanos: u64,
         },
     }
 
@@ -408,6 +453,21 @@ mod inject {
         /// Adds a [`Fault::CrashWorker`].
         pub fn crash_worker(self, chunk: usize, run: u64) -> Self {
             self.with(Fault::CrashWorker { chunk, run })
+        }
+
+        /// Adds a [`Fault::CrashServeBatch`].
+        pub fn crash_serve_batch(self, batch: u64) -> Self {
+            self.with(Fault::CrashServeBatch { batch })
+        }
+
+        /// Adds a [`Fault::HangServeBatch`].
+        pub fn hang_serve_batch(self, batch: u64) -> Self {
+            self.with(Fault::HangServeBatch { batch })
+        }
+
+        /// Adds a [`Fault::SlowServeBatch`].
+        pub fn slow_serve_batch(self, batch: u64, nanos: u64) -> Self {
+            self.with(Fault::SlowServeBatch { batch, nanos })
         }
 
         /// Fires (at most once) the first un-fired fault matching `pred`.
@@ -497,6 +557,31 @@ mod inject {
             }
         }
 
+        /// Serving-layer hook, called by the batch worker once per
+        /// assembled batch (0-based per-worker index): returns the
+        /// serve-level fault armed for this batch, if any. One-shot like
+        /// every other fault, so a recycled worker's retry runs clean.
+        pub fn serve_batch_entry(&self, batch: u64) -> Option<super::ServeBatchFault> {
+            if self
+                .fire(|f| matches!(f, Fault::CrashServeBatch { batch: b } if *b == batch))
+                .is_some()
+            {
+                return Some(super::ServeBatchFault::Crash);
+            }
+            if self
+                .fire(|f| matches!(f, Fault::HangServeBatch { batch: b } if *b == batch))
+                .is_some()
+            {
+                return Some(super::ServeBatchFault::Hang);
+            }
+            if let Some(Fault::SlowServeBatch { nanos, .. }) =
+                self.fire(|f| matches!(f, Fault::SlowServeBatch { batch: b, .. } if *b == batch))
+            {
+                return Some(super::ServeBatchFault::Slow(nanos));
+            }
+            None
+        }
+
         /// Worker-entry hook: applies `DelayWorker` / `CrashWorker`
         /// faults targeting this chunk and invocation.
         pub(crate) fn worker_entry(&self, chunk: usize, run: u64) {
@@ -549,6 +634,12 @@ mod inject {
 
         #[inline(always)]
         pub(crate) fn worker_entry(&self, _chunk: usize, _run: u64) {}
+
+        /// Inert serving-layer hook: never fires without `fault-inject`.
+        #[inline(always)]
+        pub fn serve_batch_entry(&self, _batch: u64) -> Option<super::ServeBatchFault> {
+            None
+        }
     }
 }
 

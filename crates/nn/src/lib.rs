@@ -73,7 +73,7 @@ pub use fold::{fold_batchnorm, strip_identity_batchnorms};
 pub use guard::Fault;
 pub use guard::{
     DemotionAction, DemotionReason, DemotionRecord, FaultPlan, GuardConfig, GuardReport,
-    GuardViolation, HealthReport, NonFiniteKind,
+    GuardViolation, HealthReport, NonFiniteKind, ServeBatchFault,
 };
 pub use ir::{IrOp, OpKind};
 pub use layer::{ConvAlgorithm, ExecConfig, ExecConfigBuilder, Layer, Param, Phase, WeightFormat};
@@ -81,7 +81,8 @@ pub use linear::Linear;
 pub use memory::{network_memory, MemoryBreakdown};
 pub use network::{adopt_packed_panels, export_packed_panels, Network};
 pub use passes::{
-    AlgoChoice, Autotune, FoldAndFuse, PassContext, PlanCompiler, PlanPass, SelectAlgorithms,
+    AlgoChoice, Autotune, FoldAndFuse, ForceThroughput, PassContext, PlanCompiler, PlanPass,
+    SelectAlgorithms,
 };
 pub use pool::{Flatten, GlobalAvgPool, MaxPool2d};
 pub use residual::ResidualBlock;

@@ -145,6 +145,20 @@ impl PlanCompiler {
         Self::standard().with_pass(Autotune::new())
     }
 
+    /// The brownout pipeline: [`FoldAndFuse`] then [`ForceThroughput`].
+    /// This is what the serving layer compiles its *degraded* session
+    /// ladder with — when the circuit breaker trips under overload,
+    /// workers swap onto plans that trade fidelity levers (cost-model
+    /// CSR wins, Winograd, paranoid guard scans — the guard level is the
+    /// caller's knob) for the flattest, most predictable throughput
+    /// path: im2col + packed GEMM with the fused-ReLU epilogue
+    /// everywhere.
+    pub fn degraded() -> Self {
+        Self::new()
+            .with_pass(FoldAndFuse)
+            .with_pass(ForceThroughput)
+    }
+
     /// Appends a pass to the pipeline.
     pub fn with_pass(mut self, pass: impl PlanPass + 'static) -> Self {
         self.passes.push(Box::new(pass));
@@ -513,6 +527,33 @@ impl PlanPass for SelectAlgorithms {
         for op in &mut ops {
             if let Some(&(best, _)) = candidates(op).first() {
                 apply_choice(ctx.net, op, best);
+            }
+        }
+        ctx.ops = ops;
+        Ok(())
+    }
+}
+
+/// Degradation pass for brownout serving: forces the throughput-biased
+/// im2col+packed configuration on every conv and linear op, ignoring
+/// the cost model, measured sparsity, and any base-config override.
+/// Sparse layers are densified and Winograd candidates are ignored —
+/// under brownout the objective is the highest *predictable* batch
+/// throughput, not the fastest plan for this particular weight tensor.
+pub struct ForceThroughput;
+
+impl PlanPass for ForceThroughput {
+    fn name(&self) -> &'static str {
+        "force-throughput"
+    }
+
+    fn run(&self, ctx: &mut PassContext) -> Result<(), Error> {
+        let mut ops = std::mem::take(&mut ctx.ops);
+        for op in &mut ops {
+            match &op.kind {
+                OpKind::Conv { .. } => apply_choice(ctx.net, op, AlgoChoice::Im2colPacked),
+                OpKind::Linear { .. } => apply_choice(ctx.net, op, AlgoChoice::PackedLinear),
+                _ => {}
             }
         }
         ctx.ops = ops;

@@ -94,6 +94,15 @@ metrics! {
     ServeBatchOccupancy => ("serve.batch_occupancy", Histogram),
     ServeQueueWaitNs => ("serve.queue_wait_ns", Histogram),
     ServeLatencyNs => ("serve.latency_ns", Histogram),
+    // Serving supervisor (serve::supervisor): worker self-healing.
+    ServeWorkerCrashes => ("serve.supervisor.crashes", Counter),
+    ServeRespawns => ("serve.supervisor.respawns", Counter),
+    ServeHungBatches => ("serve.supervisor.hung_batches", Counter),
+    // Brownout circuit breaker (serve::breaker). State gauge encodes
+    // 0 = closed, 1 = half-open, 2 = open.
+    ServeBreakerTrips => ("serve.breaker.trips", Counter),
+    ServeBreakerState => ("serve.breaker.state", Gauge),
+    ServeDegradedBatches => ("serve.breaker.degraded_batches", Counter),
 }
 
 /// Number of log₂ buckets per histogram: bucket `i` counts samples in

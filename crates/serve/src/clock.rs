@@ -36,6 +36,13 @@ pub trait Clock: std::fmt::Debug + Send + Sync + 'static {
     /// `deadline_ns`.
     fn recv_deadline(&self, rx: &Receiver<Request>, deadline_ns: u64)
         -> Result<Request, WaitError>;
+
+    /// Blocks the caller for `dur` of this clock's time: a real sleep
+    /// on [`MonotonicClock`], an instantaneous advance on
+    /// [`ManualClock`]. This is how the fault injector's slow-batch
+    /// stall consumes *simulated* time in the deterministic tests while
+    /// consuming *wall* time in a threaded server.
+    fn stall(&self, dur: Duration);
 }
 
 /// Wall-clock time from a process-local epoch ([`Instant`]-backed).
@@ -84,6 +91,10 @@ impl Clock for MonotonicClock {
             Err(RecvTimeoutError::Timeout) => Err(WaitError::Timeout),
             Err(RecvTimeoutError::Disconnected) => Err(WaitError::Disconnected),
         }
+    }
+
+    fn stall(&self, dur: Duration) {
+        std::thread::sleep(dur);
     }
 }
 
@@ -140,5 +151,9 @@ impl Clock for ManualClock {
             }
             Err(TryRecvError::Disconnected) => Err(WaitError::Disconnected),
         }
+    }
+
+    fn stall(&self, dur: Duration) {
+        self.advance(dur);
     }
 }

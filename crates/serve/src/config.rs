@@ -7,7 +7,9 @@
 //! `build()`. A `ServeConfig` in hand is always runnable.
 
 use crate::batcher::BatchPolicy;
+use crate::breaker::BreakerPolicy;
 use crate::error::ServeError;
+use crate::supervisor::SupervisionPolicy;
 use cnn_stack_nn::{ConvAlgorithm, ExecConfig, GuardConfig};
 use cnn_stack_obs::ObsLevel;
 use std::time::Duration;
@@ -24,6 +26,8 @@ pub struct ServeConfig {
     guard: GuardConfig,
     threads: usize,
     observer: ObsLevel,
+    supervision: SupervisionPolicy,
+    breaker: Option<BreakerPolicy>,
 }
 
 impl ServeConfig {
@@ -40,6 +44,8 @@ impl ServeConfig {
             guard: GuardConfig::default(),
             threads: 1,
             observer: ObsLevel::Metrics,
+            supervision: SupervisionPolicy::default(),
+            breaker: None,
         }
     }
 
@@ -87,6 +93,18 @@ impl ServeConfig {
     /// Observability level of the server's own instruments.
     pub fn observer(&self) -> ObsLevel {
         self.observer
+    }
+
+    /// Hang-detection and crash-backoff tuning for worker supervision.
+    pub fn supervision(&self) -> &SupervisionPolicy {
+        &self.supervision
+    }
+
+    /// Brownout circuit-breaker policy, if one was configured. `Some`
+    /// means the server compiles a second, degraded plan ladder per
+    /// worker and swaps onto it while the breaker is open.
+    pub fn breaker(&self) -> Option<&BreakerPolicy> {
+        self.breaker.as_ref()
     }
 
     /// The dynamic-batching policy this config encodes.
@@ -138,6 +156,8 @@ pub struct ServeConfigBuilder {
     guard: GuardConfig,
     threads: usize,
     observer: ObsLevel,
+    supervision: SupervisionPolicy,
+    breaker: Option<BreakerPolicy>,
 }
 
 impl ServeConfigBuilder {
@@ -195,6 +215,24 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Worker-supervision tuning: hang-detection timeout (multiplier ×
+    /// expected rung latency, floored), the monitor sweep interval, and
+    /// the capped exponential crash-respawn backoff. Supervision itself
+    /// is always on; this only tunes it.
+    pub fn supervision(mut self, supervision: SupervisionPolicy) -> Self {
+        self.supervision = supervision;
+        self
+    }
+
+    /// Enables the brownout circuit breaker. Each worker additionally
+    /// compiles a degraded (throughput-over-fidelity, guards-off) plan
+    /// ladder and swaps onto it while the breaker is open; see
+    /// [`BreakerPolicy`] for the trip/recovery knobs.
+    pub fn breaker(mut self, breaker: BreakerPolicy) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
@@ -202,7 +240,8 @@ impl ServeConfigBuilder {
     /// [`ServeError::InvalidConfig`] when any knob is out of range:
     /// empty/zero input shape, `max_batch == 0`, `queue_depth == 0`,
     /// `queue_depth < max_batch` (a full batch could never accumulate),
-    /// `threads == 0`, or a zero `default_deadline`.
+    /// `threads == 0`, a zero `default_deadline`, or an out-of-range
+    /// supervision/breaker policy.
     pub fn build(self) -> Result<ServeConfig, ServeError> {
         if self.input_shape.is_empty() || self.input_shape.contains(&0) {
             return Err(ServeError::InvalidConfig(format!(
@@ -236,6 +275,12 @@ impl ServeConfigBuilder {
                 "default_deadline must be positive".into(),
             ));
         }
+        self.supervision
+            .validate()
+            .map_err(ServeError::InvalidConfig)?;
+        if let Some(breaker) = &self.breaker {
+            breaker.validate().map_err(ServeError::InvalidConfig)?;
+        }
         Ok(ServeConfig {
             input_shape: self.input_shape,
             max_batch: self.max_batch,
@@ -246,6 +291,8 @@ impl ServeConfigBuilder {
             guard: self.guard,
             threads: self.threads,
             observer: self.observer,
+            supervision: self.supervision,
+            breaker: self.breaker,
         })
     }
 }
@@ -276,6 +323,20 @@ mod tests {
             .default_deadline(Duration::ZERO)
             .build()
             .is_err());
+        assert!(ServeConfig::builder([3, 32, 32])
+            .supervision(SupervisionPolicy {
+                hang_multiplier: 0.5,
+                ..SupervisionPolicy::default()
+            })
+            .build()
+            .is_err());
+        assert!(ServeConfig::builder([3, 32, 32])
+            .breaker(BreakerPolicy {
+                trip_miss_rate: 1.5,
+                ..BreakerPolicy::default()
+            })
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -285,7 +346,7 @@ mod tests {
                 .max_batch(mb)
                 .queue_depth(64)
                 .build()
-                .unwrap()
+                .expect("a plain max_batch/queue_depth config validates")
         };
         assert_eq!(cfg(1).ladder_sizes(), vec![1]);
         assert_eq!(cfg(4).ladder_sizes(), vec![1, 4]);

@@ -1,6 +1,6 @@
 //! Multi-tenant CNN inference serving: a bounded request queue feeding
 //! a dynamic batcher that coalesces concurrent requests into one
-//! batched session run.
+//! batched session run, under a self-healing supervision runtime.
 //!
 //! The paper's batching result (throughput grows with batch size until
 //! cache pressure bites) only pays off in a *serving* context if
@@ -12,6 +12,8 @@
 //!      │   full? Shed(QueueFull)   │  max_batch / max_delay │  smallest rung ≥ n
 //!      ▼                           ▼                        ▼
 //!   Ticket ◀──────── Response {Served | Shed | Failed} ◀────┘
+//!                                        ▲
+//!          supervisor / watchdog / breaker keep this edge alive
 //! ```
 //!
 //! * **Admission control** — the queue is a `sync_channel` of
@@ -34,10 +36,27 @@
 //! * **Typed outcomes** — every accepted [`Ticket`] resolves to exactly
 //!   one [`Outcome`]; shutdown resolves stragglers to
 //!   [`ShedReason::ShuttingDown`]. [`Ticket::wait`] never hangs.
-//! * **Observability** — queue depth, wait, occupancy, latency, and
-//!   shed counters land in the `serve.*` instruments of
-//!   [`cnn_stack_obs`]; [`Server::health`] aggregates per-worker
-//!   [`WorkerHealth`] (including engine guard/demotion reports).
+//! * **Worker supervision** — a panicking worker's batch resolves as
+//!   typed [`FailureCause::WorkerCrashed`] failures (never lost
+//!   tickets); the worker respawns with a fresh session ladder rebuilt
+//!   from the shared prepack, under capped exponential backoff
+//!   ([`SupervisionPolicy`]).
+//! * **Hung-batch watchdog** — a batch running past a configurable
+//!   multiple of its rung's expected latency gets its worker deposed:
+//!   in-flight tickets resolve as [`FailureCause::BatchHung`] and a
+//!   replacement takes over the queue.
+//! * **Brownout circuit breaker** — optionally
+//!   ([`ServeConfigBuilder::breaker`]), a sliding window over
+//!   deadline-miss/failure rate drives Closed → Open → HalfOpen; while
+//!   open, workers swap onto a pre-compiled *degraded* plan ladder
+//!   (throughput over fidelity: forced im2col+packed, fused ReLU,
+//!   guards off) instead of shedding, then recover through a clean
+//!   half-open probe window ([`BreakerPolicy`]).
+//! * **Observability** — queue depth, wait, occupancy, latency, shed,
+//!   crash/respawn/hang and breaker counters land in the `serve.*`
+//!   instruments of [`cnn_stack_obs`]; [`Server::health`] aggregates
+//!   per-worker [`WorkerHealth`] (including engine guard/demotion
+//!   reports).
 //!
 //! # Example
 //!
@@ -45,26 +64,30 @@
 //! use cnn_stack_serve::{Outcome, ServeConfig, Server};
 //! use cnn_stack_tensor::Tensor;
 //!
-//! let cfg = ServeConfig::builder([3, 32, 32]).max_batch(4).build().unwrap();
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = ServeConfig::builder([3, 32, 32]).max_batch(4).build()?;
 //! let server = Server::start(cfg, || {
 //!     cnn_stack_models::mobilenet_width(10, 0.25).network
-//! })
-//! .unwrap();
-//! let ticket = server.submit(Tensor::zeros(vec![3, 32, 32])).unwrap();
+//! })?;
+//! let ticket = server.submit(Tensor::zeros(vec![3, 32, 32]))?;
 //! match ticket.wait().outcome {
 //!     Outcome::Served(s) => assert!(s.output.len() > 0),
 //!     other => panic!("not served: {other:?}"),
 //! }
 //! let health = server.shutdown();
 //! assert_eq!(health.served, 1);
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! Deterministic tests replace the wall clock with a [`ManualClock`]
 //! and run the server in manual-pump mode (`workers(0)` +
-//! [`Server::pump`]); see `tests/serve_batching.rs` at the workspace
-//! root.
+//! [`Server::pump`], with [`Server::supervise`] driving the watchdog);
+//! see `tests/serve_batching.rs` and `tests/serve_supervision.rs` at
+//! the workspace root.
 
 mod batcher;
+mod breaker;
 mod clock;
 mod config;
 mod error;
@@ -72,13 +95,16 @@ mod health;
 mod loadgen;
 mod pool;
 mod server;
+mod supervisor;
 mod ticket;
 
 pub use batcher::BatchPolicy;
+pub use breaker::{BreakerPolicy, BreakerSnapshot, BreakerState};
 pub use clock::{Clock, ManualClock, MonotonicClock, WaitError};
 pub use config::{ServeConfig, ServeConfigBuilder};
 pub use error::ServeError;
 pub use health::{ServerHealth, WorkerHealth};
-pub use loadgen::{run_open_loop, LoadReport, LoadSpec};
+pub use loadgen::{run_open_loop, LoadReport, LoadSpec, RetryPolicy};
 pub use server::Server;
-pub use ticket::{Outcome, Response, Served, ShedReason, Ticket};
+pub use supervisor::SupervisionPolicy;
+pub use ticket::{FailureCause, Outcome, Response, Served, ShedReason, Ticket};

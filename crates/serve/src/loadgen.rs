@@ -6,11 +6,57 @@
 //! as shed requests and climbing latency instead of (closed-loop style)
 //! silently throttled offered load. This is the traffic model behind
 //! `BENCH_serve.json`'s QPS/latency numbers.
+//!
+//! Optionally ([`LoadSpec::retry`]), queue-full sheds are retried with
+//! jittered exponential backoff — modelling a client that backs off
+//! under admission-control pushback instead of giving up. Retries are
+//! a bounded, deliberate departure from pure open-loop arrivals and
+//! are reported separately in the [`LoadReport`].
 
 use crate::server::Server;
 use crate::ticket::{Outcome, ShedReason, Ticket};
 use cnn_stack_tensor::Tensor;
 use std::time::{Duration, Instant};
+
+/// Bounded retry-with-backoff for queue-full sheds.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Resubmissions allowed per request beyond the first attempt.
+    pub max_retries: u32,
+    /// Wait before the first retry; doubles on each further attempt.
+    pub backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each wait is stretched by up to
+    /// this fraction, using a deterministic per-(request, attempt)
+    /// hash so runs are reproducible.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered wait before retry number `attempt` (1-based) of
+    /// request `i`: `backoff × 2^(attempt-1) × (1 + jitter × u)` with
+    /// deterministic `u ∈ [0, 1)`.
+    fn wait(&self, i: usize, attempt: u32) -> Duration {
+        let hash = (i as u64)
+            .wrapping_mul(2654435761)
+            .wrapping_add((attempt as u64).wrapping_mul(40503))
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (hash >> 33) as f64 / (1u64 << 31) as f64;
+        let exp = 1u64 << (attempt.saturating_sub(1)).min(20);
+        self.backoff
+            .mul_f64(exp as f64 * (1.0 + self.jitter.clamp(0.0, 1.0) * u))
+    }
+}
 
 /// One open-loop run: fixed-rate arrivals for a fixed request count.
 #[derive(Clone, Debug)]
@@ -21,6 +67,9 @@ pub struct LoadSpec {
     pub requests: usize,
     /// Per-request deadline budget; `None` uses the server default.
     pub deadline: Option<Duration>,
+    /// Retry queue-full sheds with jittered backoff; `None` (pure
+    /// open-loop) takes the shed as the request's final outcome.
+    pub retry: Option<RetryPolicy>,
 }
 
 /// What an open-loop run measured.
@@ -28,16 +77,20 @@ pub struct LoadSpec {
 pub struct LoadReport {
     /// The offered rate the generator was asked for.
     pub offered_qps: f64,
-    /// Requests submitted.
+    /// Requests submitted (excluding retry resubmissions).
     pub submitted: usize,
     /// Requests served to completion.
     pub served: usize,
-    /// Requests shed at admission (queue full).
+    /// Requests shed at admission (queue full) as their final outcome.
     pub shed_queue_full: usize,
     /// Requests shed because their deadline expired in the queue.
     pub shed_deadline: usize,
     /// Requests that resolved to [`Outcome::Failed`].
     pub failed: usize,
+    /// Queue-full resubmissions performed under [`LoadSpec::retry`].
+    pub retries: usize,
+    /// Requests still shed queue-full after exhausting their retries.
+    pub retry_exhausted: usize,
     /// Fraction of submitted requests that did not complete within the
     /// deadline: every shed (queue-full or expired — a shed request
     /// never completes) plus served-past-deadline.
@@ -53,6 +106,12 @@ pub struct LoadReport {
     pub wall_ms: f64,
     /// Mean co-batched request count over served requests.
     pub mean_batch: f64,
+}
+
+/// A request's state at the end of the submission loop.
+enum Slot {
+    Pending(Ticket),
+    Done(Outcome),
 }
 
 /// Latency percentile (nearest-rank) over served requests, in ms.
@@ -79,7 +138,9 @@ pub fn run_open_loop(
     assert!(spec.qps > 0.0, "offered load must be positive");
     let interval = Duration::from_secs_f64(1.0 / spec.qps);
     let start = Instant::now();
-    let mut tickets: Vec<Ticket> = Vec::with_capacity(spec.requests);
+    let mut retries = 0usize;
+    let mut retry_exhausted = 0usize;
+    let mut slots: Vec<Slot> = Vec::with_capacity(spec.requests);
     for i in 0..spec.requests {
         // Fixed schedule: sleep to the i-th arrival instant, never
         // to "interval after the previous submit returned".
@@ -88,13 +149,34 @@ pub fn run_open_loop(
         if due > elapsed {
             std::thread::sleep(due - elapsed);
         }
-        let input = make_input(i);
-        let ticket = match spec.deadline {
-            Some(d) => server.submit_with_deadline(input, d),
-            None => server.submit(input),
-        }
-        .expect("load generator submitted a mis-shaped input");
-        tickets.push(ticket);
+        let mut attempt = 0u32;
+        let slot = loop {
+            let input = make_input(i);
+            let ticket = match spec.deadline {
+                Some(d) => server.submit_with_deadline(input, d),
+                None => server.submit(input),
+            }
+            .expect("load generator submitted a mis-shaped input");
+            let Some(policy) = &spec.retry else {
+                break Slot::Pending(ticket);
+            };
+            // A queue-full shed resolves synchronously at submit, so
+            // one poll is enough to see it.
+            match ticket.try_wait() {
+                Some(resp) if matches!(resp.outcome, Outcome::Shed(ShedReason::QueueFull)) => {
+                    if attempt >= policy.max_retries {
+                        retry_exhausted += 1;
+                        break Slot::Done(resp.outcome);
+                    }
+                    attempt += 1;
+                    retries += 1;
+                    std::thread::sleep(policy.wait(i, attempt));
+                }
+                Some(resp) => break Slot::Done(resp.outcome),
+                None => break Slot::Pending(ticket),
+            }
+        };
+        slots.push(slot);
     }
 
     let mut served = 0usize;
@@ -104,8 +186,12 @@ pub fn run_open_loop(
     let mut late = 0usize;
     let mut latencies: Vec<Duration> = Vec::new();
     let mut batch_sum = 0usize;
-    for ticket in tickets {
-        match ticket.wait().outcome {
+    for slot in slots {
+        let outcome = match slot {
+            Slot::Pending(ticket) => ticket.wait().outcome,
+            Slot::Done(outcome) => outcome,
+        };
+        match outcome {
             Outcome::Served(s) => {
                 served += 1;
                 batch_sum += s.batch_size;
@@ -129,6 +215,8 @@ pub fn run_open_loop(
         shed_queue_full,
         shed_deadline,
         failed,
+        retries,
+        retry_exhausted,
         deadline_miss_rate: (shed_queue_full + shed_deadline + late) as f64
             / spec.requests.max(1) as f64,
         p50_ms: percentile_ms(&latencies, 0.50),

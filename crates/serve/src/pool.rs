@@ -9,14 +9,27 @@
 //! [`ServeConfig`](crate::ServeConfig)) bound that padding waste while
 //! keeping weight-replica memory low.
 
+use crate::clock::Clock;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
-use cnn_stack_nn::{adopt_packed_panels, InferenceSession, Network, PlanCompiler};
+use cnn_stack_nn::{adopt_packed_panels, GuardConfig, InferenceSession, Network, PlanCompiler};
 use cnn_stack_tensor::Tensor;
 use std::sync::Arc;
 
 /// Shared prepack exported from the first session built for a model.
 pub(crate) type PanelSet = Vec<Option<Arc<Vec<f32>>>>;
+
+/// Which plan pipeline a ladder compiles with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LadderKind {
+    /// Full fidelity: `PlanCompiler::standard()` plus the configured
+    /// guard policy.
+    Primary,
+    /// The brownout breaker's fallback: `PlanCompiler::degraded()`
+    /// (forced im2col+packed GEMM, fused ReLU) with guards off —
+    /// throughput over fidelity while the breaker is open.
+    Degraded,
+}
 
 /// One rung: a pre-warmed session at a fixed batch size plus its
 /// pre-allocated input/output staging tensors (runs are allocation-free).
@@ -25,6 +38,9 @@ struct Rung {
     session: InferenceSession<'static>,
     input: Tensor,
     output: Tensor,
+    /// Pre-warm latency on the server clock; the hung-batch watchdog's
+    /// baseline for "how long should a batch on this rung take".
+    expected_ns: u64,
 }
 
 /// What one ladder run did, beyond the outputs themselves.
@@ -50,8 +66,10 @@ impl SessionLadder {
     /// ladder shares one physical prepack.
     pub(crate) fn build(
         cfg: &ServeConfig,
+        kind: LadderKind,
         build_net: &(dyn Fn() -> Network + Send + Sync),
         shared: &mut Option<PanelSet>,
+        clock: &dyn Clock,
     ) -> Result<Self, ServeError> {
         let exec = cfg.exec();
         let request_elems: usize = cfg.input_shape().iter().product();
@@ -60,30 +78,53 @@ impl SessionLadder {
             let mut shape = vec![batch];
             shape.extend_from_slice(cfg.input_shape());
             let mut net = build_net();
-            let plan = PlanCompiler::standard().run(&mut net, &shape, &exec)?;
+            let compiler = match kind {
+                LadderKind::Primary => PlanCompiler::standard(),
+                LadderKind::Degraded => PlanCompiler::degraded(),
+            };
+            let plan = compiler.run(&mut net, &shape, &exec)?;
             if let Some(panels) = shared.as_ref() {
                 adopt_packed_panels(&mut net, panels);
             }
-            let mut session = InferenceSession::owned(net, plan, cfg.guard())?;
+            let guard = match kind {
+                LadderKind::Primary => cfg.guard(),
+                LadderKind::Degraded => GuardConfig::Off,
+            };
+            let mut session = InferenceSession::owned(net, plan, guard)?;
             if shared.is_none() {
                 *shared = Some(session.export_packed_panels());
             }
             let input = Tensor::zeros(shape);
             let mut output = Tensor::zeros(session.plan().output_shape().to_vec());
             // Pre-warm: the first run settles lazy state (thread pools,
-            // page faults on the arenas) off the serving path.
+            // page faults on the arenas) off the serving path. Timing
+            // it gives the watchdog its expected-latency baseline
+            // (zero under ManualClock — the hang floor covers that).
+            let warm_start = clock.now_ns();
             session.run_into(&input, &mut output)?;
+            let expected_ns = clock.now_ns().saturating_sub(warm_start);
             rungs.push(Rung {
                 batch,
                 session,
                 input,
                 output,
+                expected_ns,
             });
         }
         Ok(SessionLadder {
             rungs,
             request_elems,
         })
+    }
+
+    /// Expected latency of the rung that would carry an `n`-request
+    /// batch (the pre-warm measurement).
+    pub(crate) fn expected_ns(&self, n: usize) -> u64 {
+        self.rungs
+            .iter()
+            .find(|r| r.batch >= n)
+            .map(|r| r.expected_ns)
+            .unwrap_or(0)
     }
 
     /// Runs `inputs` as one batch on the smallest covering rung and

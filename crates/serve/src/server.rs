@@ -1,25 +1,32 @@
 //! The multi-tenant inference server: bounded queue → dynamic batcher
 //! → pre-warmed session ladder, with admission control, deadline
-//! shedding, and per-request typed outcomes.
+//! shedding, per-request typed outcomes — and self-healing: a
+//! supervisor that catches worker panics and respawns with capped
+//! backoff, a hung-batch watchdog that fails over wedged workers, and
+//! an optional brownout circuit breaker that swaps overloaded workers
+//! onto a degraded plan ladder.
 
 use crate::batcher::{BatchEnd, Batcher};
+use crate::breaker::{CircuitBreaker, Route};
 use crate::clock::{Clock, MonotonicClock};
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::health::{ServerHealth, WorkerHealth};
-use crate::pool::{PanelSet, SessionLadder};
-use crate::ticket::{Outcome, Request, Served, ShedReason, Ticket};
-use cnn_stack_nn::Network;
+use crate::pool::{LadderKind, PanelSet, SessionLadder};
+use crate::supervisor::{lock_unpoisoned, SupervisionPolicy, WorkerSlot};
+use crate::ticket::{FailureCause, Outcome, Request, Served, ShedReason, Ticket};
+use cnn_stack_nn::{HealthReport, Network};
 use cnn_stack_obs::{Metric, Observer};
-use cnn_stack_parallel::spawn_worker;
+use cnn_stack_parallel::{panic_message, spawn_worker};
 use cnn_stack_tensor::Tensor;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// State shared between submitters and workers.
+/// State shared between submitters, workers, and the supervisor.
 struct ServerInner {
     observer: Option<Arc<Observer>>,
     /// Requests currently queued (admission gauge).
@@ -30,7 +37,16 @@ struct ServerInner {
     shed_queue_full: AtomicU64,
     shed_deadline: AtomicU64,
     failed: AtomicU64,
-    worker_health: Vec<Mutex<WorkerHealth>>,
+    /// Per-worker supervision slots; these outlive worker threads, so
+    /// counters and in-flight tickets survive crashes and failovers.
+    slots: Vec<Arc<WorkerSlot>>,
+    breaker: Option<Arc<CircuitBreaker>>,
+    /// Set at shutdown so the monitor and any parked/hung workers exit.
+    shutdown: AtomicBool,
+    /// Serve-level fault plan (crash/hang/slow batches), shared so it
+    /// reaches threaded workers too.
+    #[cfg(feature = "fault-inject")]
+    serve_faults: Mutex<Arc<cnn_stack_nn::FaultPlan>>,
 }
 
 impl ServerInner {
@@ -53,26 +69,147 @@ impl ServerInner {
     }
 }
 
-/// One batch worker: drains the shared queue through the batcher and
-/// runs batches on its own session ladder.
-struct Worker {
-    index: usize,
+/// Feeds one request outcome to the breaker (if any), bumping the trip
+/// metric when this outcome opened it.
+fn breaker_record(inner: &ServerInner, now_ns: u64, ok: bool) {
+    if let Some(b) = &inner.breaker {
+        if b.record(now_ns, ok) {
+            inner.count(Metric::ServeBreakerTrips, 1);
+        }
+    }
+}
+
+fn fold_health(into: &mut HealthReport, from: &HealthReport) {
+    into.guards_tripped += from.guards_tripped;
+    into.panics_contained += from.panics_contained;
+    into.retries += from.retries;
+    into.demotions.extend(from.demotions.iter().cloned());
+}
+
+/// Everything needed to rebuild a worker's ladders after a crash or a
+/// watchdog failover. The prepacked panel sets are frozen from the
+/// initial build, so respawns adopt the shared prepack instead of
+/// re-packing weights.
+struct Respawner {
+    cfg: ServeConfig,
+    primary_panels: PanelSet,
+    degraded_panels: Option<PanelSet>,
+    build_net: Arc<dyn Fn() -> Network + Send + Sync>,
+    clock: Arc<dyn Clock>,
+}
+
+impl Respawner {
+    fn primary(&self) -> Result<SessionLadder, ServeError> {
+        let mut shared = Some(self.primary_panels.clone());
+        SessionLadder::build(
+            &self.cfg,
+            LadderKind::Primary,
+            &*self.build_net,
+            &mut shared,
+            &*self.clock,
+        )
+    }
+
+    fn degraded(&self) -> Result<Option<SessionLadder>, ServeError> {
+        match &self.degraded_panels {
+            None => Ok(None),
+            Some(panels) => {
+                let mut shared = Some(panels.clone());
+                Ok(Some(SessionLadder::build(
+                    &self.cfg,
+                    LadderKind::Degraded,
+                    &*self.build_net,
+                    &mut shared,
+                    &*self.clock,
+                )?))
+            }
+        }
+    }
+}
+
+/// Shared context the watchdog needs to fail over and respawn workers,
+/// whether it runs on the background monitor thread (threaded servers)
+/// or inside [`Server::supervise`] (manual servers).
+struct SupervisorCtx {
+    inner: Arc<ServerInner>,
     batcher: Arc<Mutex<Batcher>>,
-    ladder: SessionLadder,
+    respawner: Arc<Respawner>,
+    clock: Arc<dyn Clock>,
+    /// Live worker threads, including replacements spawned after
+    /// failovers; drained at shutdown.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    supervision: SupervisionPolicy,
+}
+
+/// One batch worker: drains the shared queue through the batcher and
+/// runs batches on its own session ladder(s). The thread half of a
+/// worker — its durable half is the [`WorkerSlot`].
+struct Worker {
+    slot: Arc<WorkerSlot>,
+    /// The slot generation this thread serves under; a mismatch means
+    /// the watchdog deposed it and a replacement owns the queue.
+    generation: u64,
+    batcher: Arc<Mutex<Batcher>>,
+    primary: SessionLadder,
+    /// Present when a breaker is configured: the throughput-tuned
+    /// fallback ladder batches run on while the breaker is open.
+    degraded: Option<SessionLadder>,
+    /// Engine health inherited from ladders discarded by earlier
+    /// respawns, so history survives the rebuild.
+    engine_base: HealthReport,
     inner: Arc<ServerInner>,
     clock: Arc<dyn Clock>,
-    batches: u64,
-    served: u64,
-    shed_deadline: u64,
-    failed: u64,
+    respawner: Arc<Respawner>,
+    supervision: SupervisionPolicy,
+    /// Only consulted by the injected-hang path, which is feature-gated.
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    manual: bool,
+    /// Manual mode: a hang fault parks the worker (the thread analogue
+    /// of being wedged) until the watchdog recycles it.
+    parked: bool,
+    /// Manual mode: crash backoff gate — no cycles until this instant.
+    respawn_at_ns: Option<u64>,
 }
 
 impl Worker {
+    /// Builds a replacement worker for `slot` from the frozen prepack.
+    fn fresh(
+        ctx: &SupervisorCtx,
+        slot: Arc<WorkerSlot>,
+        generation: u64,
+    ) -> Result<Worker, ServeError> {
+        let primary = ctx.respawner.primary()?;
+        let degraded = ctx.respawner.degraded()?;
+        let engine_base = slot.engine_health();
+        Ok(Worker {
+            slot,
+            generation,
+            batcher: Arc::clone(&ctx.batcher),
+            primary,
+            degraded,
+            engine_base,
+            inner: Arc::clone(&ctx.inner),
+            clock: Arc::clone(&ctx.clock),
+            respawner: Arc::clone(&ctx.respawner),
+            supervision: ctx.supervision,
+            manual: false,
+            parked: false,
+            respawn_at_ns: None,
+        })
+    }
+
+    fn deposed(&self) -> bool {
+        self.slot.generation() != self.generation
+    }
+
     /// Runs one batch cycle. `Some(did_work)` while the queue is live;
     /// `None` once every submitter is gone and the queue is drained.
     fn cycle(&mut self, block: bool) -> Option<bool> {
+        if self.parked {
+            return Some(false);
+        }
         let batch = {
-            let mut batcher = self.batcher.lock().expect("batcher lock");
+            let mut batcher = lock_unpoisoned(&self.batcher);
             batcher.next_batch(block)
         };
         let batch = match batch {
@@ -96,7 +233,8 @@ impl Worker {
         for r in dead {
             inner.count(Metric::ServeShedDeadline, 1);
             inner.shed_deadline.fetch_add(1, Ordering::Relaxed);
-            self.shed_deadline += 1;
+            self.slot.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            breaker_record(&inner, now, false);
             r.respond(Outcome::Shed(ShedReason::DeadlineExpired));
         }
         if live.is_empty() {
@@ -104,55 +242,287 @@ impl Worker {
             return Some(true);
         }
 
+        // Route: degraded ladder while the breaker is open.
+        let degraded_route = match (&inner.breaker, &self.degraded) {
+            (Some(b), Some(_)) => b.route(now) == Route::Degraded,
+            _ => false,
+        };
+        let expected_ns = if degraded_route {
+            self.degraded
+                .as_ref()
+                .map(|l| l.expected_ns(live.len()))
+                .unwrap_or(0)
+        } else {
+            self.primary.expected_ns(live.len())
+        };
+
+        // Register the batch BEFORE any fallible work: from here on, a
+        // panic or hang resolves these tickets as typed failures via
+        // the slot registry — they are never lost.
+        let watchdog_deadline = now.saturating_add(self.supervision.hang_timeout_ns(expected_ns));
+        let batch_idx = self.slot.batches.fetch_add(1, Ordering::Relaxed);
+        self.slot.begin_batch(&live, watchdog_deadline);
         inner.count(Metric::ServeBatches, 1);
         inner.observe(Metric::ServeBatchOccupancy, live.len() as u64);
+
+        // Serve-level fault injection: crash, hang, or slow this batch.
+        #[cfg(feature = "fault-inject")]
+        {
+            use cnn_stack_nn::ServeBatchFault;
+            let plan = Arc::clone(&lock_unpoisoned(&inner.serve_faults));
+            match plan.serve_batch_entry(batch_idx) {
+                Some(ServeBatchFault::Crash) => {
+                    panic!("fault-inject: serve worker crash on batch {batch_idx}");
+                }
+                Some(ServeBatchFault::Hang) => return self.hang(live),
+                Some(ServeBatchFault::Slow(nanos)) => {
+                    self.clock.stall(Duration::from_nanos(nanos));
+                }
+                None => {}
+            }
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        let _ = batch_idx;
+
         let batch_size = live.len();
         let inputs: Vec<&Tensor> = live.iter().map(|r| &r.input).collect();
-        match self.ladder.run(&inputs) {
+        let ladder = if degraded_route {
+            self.degraded
+                .as_mut()
+                .expect("degraded route checked above")
+        } else {
+            &mut self.primary
+        };
+        let run = ladder.run(&inputs);
+        drop(inputs);
+
+        if self.deposed() {
+            // The watchdog gave up on this batch mid-run, already
+            // failed its tickets, and handed the queue to a
+            // replacement; responding now would be double-talk.
+            return Some(true);
+        }
+        let done = self.clock.now_ns();
+        match run {
             Ok((outputs, info)) => {
-                let done = self.clock.now_ns();
                 for (r, output) in live.into_iter().zip(outputs) {
                     let latency_ns = done.saturating_sub(r.submitted_ns);
+                    let on_time = r.deadline_ns.is_none_or(|d| d >= done);
+                    breaker_record(&inner, done, on_time);
                     inner.observe(Metric::ServeLatencyNs, latency_ns);
                     inner.count(Metric::ServeServed, 1);
                     inner.served.fetch_add(1, Ordering::Relaxed);
-                    self.served += 1;
+                    self.slot.served.fetch_add(1, Ordering::Relaxed);
                     r.respond(Outcome::Served(Served {
                         output,
                         latency: Duration::from_nanos(latency_ns),
                         batch_size,
                         demoted: info.demoted,
                         guarded: info.guarded,
+                        degraded: degraded_route,
                     }));
                 }
             }
             Err(e) => {
-                let msg = e.to_string();
+                let cause = FailureCause::Engine(e.to_string());
                 for r in live {
+                    breaker_record(&inner, done, false);
                     inner.count(Metric::ServeFailed, 1);
                     inner.failed.fetch_add(1, Ordering::Relaxed);
-                    self.failed += 1;
-                    r.respond(Outcome::Failed(msg.clone()));
+                    self.slot.failed.fetch_add(1, Ordering::Relaxed);
+                    r.respond(Outcome::Failed(cause.clone()));
                 }
             }
         }
-        self.batches += 1;
+        self.slot.end_batch(watchdog_deadline);
+        if degraded_route {
+            self.slot.degraded_batches.fetch_add(1, Ordering::Relaxed);
+            inner.count(Metric::ServeDegradedBatches, 1);
+            if let Some(b) = &inner.breaker {
+                b.note_degraded_batch();
+            }
+        }
+        self.slot.note_clean();
         self.publish_health();
         Some(true)
     }
 
-    fn publish_health(&self) {
-        *self.inner.worker_health[self.index]
-            .lock()
-            .expect("health lock") = WorkerHealth {
-            worker: self.index,
-            batches: self.batches,
-            served: self.served,
-            shed_deadline: self.shed_deadline,
-            failed: self.failed,
-            engine: self.ladder.health(),
-        };
+    /// An injected hang: the worker wedges with its batch registered
+    /// in flight, and only the watchdog can get those tickets
+    /// resolved. Manual workers park (so a single-threaded test can
+    /// keep driving the clock); threaded workers block until deposed
+    /// or shutdown, like a genuinely stuck thread would.
+    #[cfg(feature = "fault-inject")]
+    fn hang(&mut self, live: Vec<Request>) -> Option<bool> {
+        if self.manual {
+            self.parked = true;
+        } else {
+            while !self.deposed() && !self.inner.shutdown.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        // Dropping `live` is safe: the slot registry holds reply-sender
+        // clones, so the watchdog resolves these tickets as BatchHung.
+        drop(live);
+        Some(true)
     }
+
+    /// Resolves the crashed batch's tickets as typed failures and
+    /// extends the crash streak. Runs on whichever thread caught the
+    /// panic; the slot outlives the dead worker.
+    fn handle_crash(&mut self, msg: String) {
+        let now = self.clock.now_ns();
+        let n = self.slot.fail_inflight(FailureCause::WorkerCrashed(msg));
+        self.slot.abort_batch();
+        if n > 0 {
+            self.inner.failed.fetch_add(n, Ordering::Relaxed);
+            self.slot.failed.fetch_add(n, Ordering::Relaxed);
+            self.inner.count(Metric::ServeFailed, n);
+            for _ in 0..n {
+                breaker_record(&self.inner, now, false);
+            }
+        }
+        self.slot.crashes.fetch_add(1, Ordering::Relaxed);
+        self.inner.count(Metric::ServeWorkerCrashes, 1);
+        self.slot.note_failure();
+    }
+
+    /// Rebuilds both ladders in place from the frozen prepack (a
+    /// respawn), folding the dying ladders' engine health into the
+    /// base so history survives. Leaves the worker untouched on error.
+    fn rebuild(&mut self) -> Result<(), ServeError> {
+        let mut base = self.engine_base.clone();
+        fold_health(&mut base, &self.primary.health());
+        if let Some(d) = &self.degraded {
+            fold_health(&mut base, &d.health());
+        }
+        let primary = self.respawner.primary()?;
+        let degraded = self.respawner.degraded()?;
+        self.engine_base = base;
+        self.primary = primary;
+        self.degraded = degraded;
+        self.slot.respawns.fetch_add(1, Ordering::Relaxed);
+        self.inner.count(Metric::ServeRespawns, 1);
+        self.publish_health();
+        Ok(())
+    }
+
+    fn publish_health(&self) {
+        let mut merged = self.engine_base.clone();
+        fold_health(&mut merged, &self.primary.health());
+        if let Some(d) = &self.degraded {
+            fold_health(&mut merged, &d.health());
+        }
+        self.slot.publish_engine(merged);
+        if let Some(b) = &self.inner.breaker {
+            self.inner.gauge(Metric::ServeBreakerState, b.state_gauge());
+        }
+    }
+}
+
+/// A threaded worker's life: cycle until the queue closes, catching
+/// panics; each crash resolves its batch as typed failures, backs off
+/// (capped exponential in the crash streak), and respawns in place
+/// with fresh ladders. Exits quietly if the watchdog deposed it.
+fn worker_loop(mut worker: Worker) {
+    loop {
+        if worker.deposed() {
+            return;
+        }
+        match catch_unwind(AssertUnwindSafe(|| worker.cycle(true))) {
+            Ok(Some(_)) => continue,
+            Ok(None) => break,
+            Err(payload) => {
+                worker.handle_crash(panic_message(payload));
+                loop {
+                    std::thread::sleep(worker.slot.backoff(&worker.supervision));
+                    if worker.deposed() || worker.inner.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match worker.rebuild() {
+                        Ok(()) => break,
+                        // The rebuild itself failed: treat it like
+                        // another crash and back off harder.
+                        Err(_) => {
+                            worker.slot.note_failure();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    worker.publish_health();
+}
+
+/// Spawns a replacement thread for a deposed worker's slot. The
+/// replacement builds its ladders on its own thread (so the monitor
+/// never blocks on session construction), retrying with backoff.
+fn spawn_replacement(ctx: &Arc<SupervisorCtx>, slot: Arc<WorkerSlot>) {
+    let generation = slot.generation();
+    let name = format!("cnn-stack-serve-{}r{}", slot.index, generation);
+    let ctx2 = Arc::clone(ctx);
+    let handle = spawn_worker(&name, move || {
+        let worker = loop {
+            if slot.generation() != generation || ctx2.inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match Worker::fresh(&ctx2, Arc::clone(&slot), generation) {
+                Ok(w) => break w,
+                Err(_) => {
+                    slot.note_failure();
+                    std::thread::sleep(slot.backoff(&ctx2.supervision));
+                }
+            }
+        };
+        worker.slot.respawns.fetch_add(1, Ordering::Relaxed);
+        ctx2.inner.count(Metric::ServeRespawns, 1);
+        worker_loop(worker);
+    });
+    lock_unpoisoned(&ctx.threads).push(handle);
+}
+
+/// One hung-batch watchdog sweep: any slot whose in-flight batch has
+/// outlived its hang timeout is deposed, its tickets resolved as
+/// [`FailureCause::BatchHung`], and a replacement takes over the
+/// queue. Returns the number of failovers.
+fn sweep(ctx: &Arc<SupervisorCtx>, manual: Option<&Mutex<Worker>>) -> usize {
+    let now = ctx.clock.now_ns();
+    let mut failovers = 0;
+    for slot in &ctx.inner.slots {
+        if !slot.is_overdue(now) {
+            continue;
+        }
+        failovers += 1;
+        slot.depose();
+        let n = slot.fail_inflight(FailureCause::BatchHung);
+        slot.abort_batch();
+        if n > 0 {
+            ctx.inner.failed.fetch_add(n, Ordering::Relaxed);
+            slot.failed.fetch_add(n, Ordering::Relaxed);
+            ctx.inner.count(Metric::ServeFailed, n);
+            for _ in 0..n {
+                breaker_record(&ctx.inner, now, false);
+            }
+        }
+        slot.hung_batches.fetch_add(1, Ordering::Relaxed);
+        ctx.inner.count(Metric::ServeHungBatches, 1);
+        match manual {
+            // Manual mode: recycle the one worker in place — unpark it
+            // under the new generation with fresh ladders.
+            Some(worker_mutex) => {
+                let mut worker = lock_unpoisoned(worker_mutex);
+                worker.generation = slot.generation();
+                worker.parked = false;
+                if worker.rebuild().is_err() {
+                    worker.slot.note_failure();
+                    let backoff = worker.slot.backoff(&ctx.supervision);
+                    worker.respawn_at_ns = Some(now.saturating_add(backoff.as_nanos() as u64));
+                }
+            }
+            None => spawn_replacement(ctx, Arc::clone(slot)),
+        }
+    }
+    failovers
 }
 
 /// The serving front end; see the [crate docs](crate) for the
@@ -161,17 +531,21 @@ pub struct Server {
     cfg: ServeConfig,
     inner: Arc<ServerInner>,
     clock: Arc<dyn Clock>,
+    ctx: Arc<SupervisorCtx>,
     tx: Mutex<Option<SyncSender<Request>>>,
-    threads: Vec<JoinHandle<()>>,
+    /// Background watchdog thread (threaded servers only).
+    monitor: Option<JoinHandle<()>>,
     /// The single worker of a manually-pumped server (`workers == 0`).
     manual: Option<Mutex<Worker>>,
 }
 
 impl Server {
     /// Builds the session pool (one ladder per worker, all sharing one
-    /// prepack), pre-warms every session, and starts the batch workers.
-    /// `build_net` must produce identically-initialised networks — it
-    /// is called once per session replica.
+    /// prepack — two ladders per worker when a breaker is configured),
+    /// pre-warms every session, and starts the batch workers plus the
+    /// supervision monitor. `build_net` must produce
+    /// identically-initialised networks — it is called once per session
+    /// replica, including respawns after a crash.
     ///
     /// # Errors
     ///
@@ -185,7 +559,8 @@ impl Server {
 
     /// Like [`start`](Self::start) with an explicit time source; the
     /// deterministic tests pass a [`crate::ManualClock`] together with
-    /// `workers == 0` and drive batches via [`pump`](Self::pump).
+    /// `workers == 0` and drive batches via [`pump`](Self::pump) and
+    /// the watchdog via [`supervise`](Self::supervise).
     pub fn start_with_clock<F>(
         cfg: ServeConfig,
         clock: Arc<dyn Clock>,
@@ -196,6 +571,7 @@ impl Server {
     {
         let worker_count = cfg.workers().max(1);
         let (tx, rx) = mpsc::sync_channel::<Request>(cfg.queue_depth());
+        let breaker = cfg.breaker().map(|p| Arc::new(CircuitBreaker::new(*p)));
         let inner = Arc::new(ServerInner {
             observer: Observer::for_level(cfg.observer()),
             depth: AtomicI64::new(0),
@@ -205,61 +581,115 @@ impl Server {
             shed_queue_full: AtomicU64::new(0),
             shed_deadline: AtomicU64::new(0),
             failed: AtomicU64::new(0),
-            worker_health: (0..worker_count)
-                .map(|_| Mutex::new(WorkerHealth::default()))
+            slots: (0..worker_count)
+                .map(|i| Arc::new(WorkerSlot::new(i)))
                 .collect(),
+            breaker,
+            shutdown: AtomicBool::new(false),
+            #[cfg(feature = "fault-inject")]
+            serve_faults: Mutex::new(Arc::new(cnn_stack_nn::FaultPlan::new())),
         });
         let batcher = Arc::new(Mutex::new(Batcher::new(
             rx,
             Arc::clone(&clock),
             cfg.batch_policy(),
         )));
+        let build_net: Arc<dyn Fn() -> Network + Send + Sync> = Arc::new(build_net);
 
         // Build every ladder up front on this thread: the first session
         // exports its prepacked panels and all later replicas adopt
-        // them, so the whole pool shares one prepack per model.
-        let mut shared: Option<PanelSet> = None;
-        let mut workers = Vec::new();
-        for index in 0..worker_count {
-            let ladder = SessionLadder::build(&cfg, &build_net, &mut shared)?;
-            workers.push(Worker {
-                index,
+        // them, so the whole pool shares one prepack per plan kind.
+        // The panel sets are then frozen in the respawner, making
+        // post-crash rebuilds adopt-only too.
+        let mut primary_panels: Option<PanelSet> = None;
+        let mut degraded_panels: Option<PanelSet> = None;
+        let mut ladders = Vec::new();
+        for _ in 0..worker_count {
+            let primary = SessionLadder::build(
+                &cfg,
+                LadderKind::Primary,
+                &*build_net,
+                &mut primary_panels,
+                &*clock,
+            )?;
+            let degraded = if inner.breaker.is_some() {
+                Some(SessionLadder::build(
+                    &cfg,
+                    LadderKind::Degraded,
+                    &*build_net,
+                    &mut degraded_panels,
+                    &*clock,
+                )?)
+            } else {
+                None
+            };
+            ladders.push((primary, degraded));
+        }
+        let respawner = Arc::new(Respawner {
+            cfg: cfg.clone(),
+            primary_panels: primary_panels.expect("first ladder exports its panels"),
+            degraded_panels,
+            build_net,
+            clock: Arc::clone(&clock),
+        });
+        let ctx = Arc::new(SupervisorCtx {
+            inner: Arc::clone(&inner),
+            batcher: Arc::clone(&batcher),
+            respawner: Arc::clone(&respawner),
+            clock: Arc::clone(&clock),
+            threads: Mutex::new(Vec::new()),
+            supervision: *cfg.supervision(),
+        });
+        let manual_mode = cfg.workers() == 0;
+        let mut workers: Vec<Worker> = ladders
+            .into_iter()
+            .enumerate()
+            .map(|(index, (primary, degraded))| Worker {
+                slot: Arc::clone(&inner.slots[index]),
+                generation: inner.slots[index].generation(),
                 batcher: Arc::clone(&batcher),
-                ladder,
+                primary,
+                degraded,
+                engine_base: HealthReport::default(),
                 inner: Arc::clone(&inner),
                 clock: Arc::clone(&clock),
-                batches: 0,
-                served: 0,
-                shed_deadline: 0,
-                failed: 0,
-            });
-        }
+                respawner: Arc::clone(&respawner),
+                supervision: *cfg.supervision(),
+                manual: manual_mode,
+                parked: false,
+                respawn_at_ns: None,
+            })
+            .collect();
 
-        let mut threads = Vec::new();
         let mut manual = None;
-        if cfg.workers() == 0 {
+        let mut monitor = None;
+        if manual_mode {
             let worker = workers.pop().expect("one manual worker");
             manual = Some(Mutex::new(worker));
         } else {
-            for mut worker in workers {
-                threads.push(spawn_worker(
-                    &format!("cnn-stack-serve-{}", worker.index),
-                    move || {
-                        // Drain until every submitter is gone; buffered
-                        // requests are still served after shutdown
-                        // drops the sender.
-                        while worker.cycle(true).is_some() {}
-                        worker.publish_health();
-                    },
+            let mut handles = lock_unpoisoned(&ctx.threads);
+            for worker in workers {
+                handles.push(spawn_worker(
+                    &format!("cnn-stack-serve-{}", worker.slot.index),
+                    move || worker_loop(worker),
                 ));
             }
+            drop(handles);
+            let monitor_ctx = Arc::clone(&ctx);
+            monitor = Some(spawn_worker("cnn-stack-serve-monitor", move || {
+                while !monitor_ctx.inner.shutdown.load(Ordering::Acquire) {
+                    std::thread::sleep(monitor_ctx.supervision.monitor_interval);
+                    sweep(&monitor_ctx, None);
+                }
+            }));
         }
         Ok(Server {
             cfg,
             inner,
             clock,
+            ctx,
             tx: Mutex::new(Some(tx)),
-            threads,
+            monitor,
             manual,
         })
     }
@@ -325,7 +755,7 @@ impl Server {
             deadline_ns: deadline.map(|d| now.saturating_add(d.as_nanos() as u64)),
             reply,
         };
-        let tx = self.tx.lock().expect("submit lock");
+        let tx = lock_unpoisoned(&self.tx);
         match tx.as_ref() {
             None => request.respond(Outcome::Shed(ShedReason::ShuttingDown)),
             Some(tx) => match tx.try_send(request) {
@@ -336,6 +766,9 @@ impl Server {
                 Err(TrySendError::Full(request)) => {
                     inner.shed_queue_full.fetch_add(1, Ordering::Relaxed);
                     inner.count(Metric::ServeShedQueueFull, 1);
+                    // Queue-full sheds are overload pressure the
+                    // breaker should see.
+                    breaker_record(inner, now, false);
                     request.respond(Outcome::Shed(ShedReason::QueueFull));
                 }
                 Err(TrySendError::Disconnected(request)) => {
@@ -349,40 +782,87 @@ impl Server {
     /// Runs one batch cycle on the caller's thread (manual mode,
     /// `workers == 0`): assembles at most one batch and serves it.
     /// Returns `true` if a batch (or a shed) was processed, `false` if
-    /// the queue was empty.
+    /// the queue was empty, the worker is parked on an injected hang,
+    /// or a crashed worker is still inside its respawn backoff.
+    ///
+    /// A panic inside the cycle is caught here exactly like the
+    /// threaded supervisor would: the batch's tickets resolve as
+    /// [`FailureCause::WorkerCrashed`] and the worker stays down until
+    /// its capped-exponential backoff expires on the server clock.
     ///
     /// # Panics
     ///
     /// Panics when the server was started with background workers —
     /// pumping would race them.
     pub fn pump(&self) -> bool {
-        let worker = self
+        let worker_mutex = self
             .manual
             .as_ref()
             .expect("pump requires a manual server (workers == 0)");
-        let mut worker = worker.lock().expect("manual worker lock");
-        worker.cycle(false).unwrap_or(false)
+        let mut worker = lock_unpoisoned(worker_mutex);
+        if let Some(at) = worker.respawn_at_ns {
+            if self.clock.now_ns() < at {
+                return false;
+            }
+            worker.respawn_at_ns = None;
+            if worker.rebuild().is_err() {
+                worker.slot.note_failure();
+                let backoff = worker.slot.backoff(&self.ctx.supervision);
+                worker.respawn_at_ns = Some(
+                    self.clock
+                        .now_ns()
+                        .saturating_add(backoff.as_nanos() as u64),
+                );
+                return true;
+            }
+        }
+        match catch_unwind(AssertUnwindSafe(|| worker.cycle(false))) {
+            Ok(did_work) => did_work.unwrap_or(false),
+            Err(payload) => {
+                worker.handle_crash(panic_message(payload));
+                let backoff = worker.slot.backoff(&self.ctx.supervision);
+                worker.respawn_at_ns = Some(
+                    self.clock
+                        .now_ns()
+                        .saturating_add(backoff.as_nanos() as u64),
+                );
+                true
+            }
+        }
+    }
+
+    /// Runs one hung-batch watchdog sweep on the caller's thread and
+    /// returns how many workers were failed over. Threaded servers
+    /// sweep automatically every
+    /// [`SupervisionPolicy::monitor_interval`] on a background monitor
+    /// thread; manual servers call this from the test after advancing
+    /// the [`crate::ManualClock`] past a batch's hang timeout.
+    pub fn supervise(&self) -> usize {
+        sweep(&self.ctx, self.manual.as_ref())
     }
 
     /// Current aggregated health snapshot.
     pub fn health(&self) -> ServerHealth {
         let inner = &self.inner;
+        let workers: Vec<WorkerHealth> = inner.slots.iter().map(|s| s.health()).collect();
+        let breaker = inner.breaker.as_ref().map(|b| b.snapshot());
         ServerHealth {
             submitted: inner.submitted.load(Ordering::Relaxed),
             served: inner.served.load(Ordering::Relaxed),
             shed_queue_full: inner.shed_queue_full.load(Ordering::Relaxed),
             shed_deadline: inner.shed_deadline.load(Ordering::Relaxed),
             failed: inner.failed.load(Ordering::Relaxed),
-            workers: inner
-                .worker_health
-                .iter()
-                .map(|w| w.lock().expect("health lock").clone())
-                .collect(),
+            respawns: workers.iter().map(|w| w.respawns).sum(),
+            hung_batches: workers.iter().map(|w| w.hung_batches).sum(),
+            degraded_batches: workers.iter().map(|w| w.degraded_batches).sum(),
+            breaker_trips: breaker.map(|b| b.trips).unwrap_or(0),
+            breaker,
+            workers,
         }
     }
 
     /// Installs a deterministic fault plan into every session of the
-    /// manual worker's ladder — the serving end of the engine's
+    /// manual worker's ladders — the serving end of the engine's
     /// fault-injection harness. Manual mode only.
     ///
     /// # Panics
@@ -394,8 +874,20 @@ impl Server {
             .manual
             .as_ref()
             .expect("inject_faults requires a manual server (workers == 0)");
-        let mut worker = worker.lock().expect("manual worker lock");
-        worker.ladder.inject_faults(&faults);
+        let mut worker = lock_unpoisoned(worker);
+        worker.primary.inject_faults(&faults);
+        if let Some(degraded) = worker.degraded.as_mut() {
+            degraded.inject_faults(&faults);
+        }
+    }
+
+    /// Installs a serve-level fault plan: worker-crash, worker-hang
+    /// and slow-batch faults matched by per-worker batch index. Unlike
+    /// [`inject_faults`](Self::inject_faults) this reaches threaded
+    /// workers too — the chaos bench injects crashes under real load.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_serve_faults(&self, faults: cnn_stack_nn::FaultPlan) {
+        *lock_unpoisoned(&self.inner.serve_faults) = Arc::new(faults);
     }
 
     /// Stops accepting work, serves everything already queued, and
@@ -407,15 +899,56 @@ impl Server {
     }
 
     fn shutdown_in_place(&mut self) {
-        // Dropping the sender lets workers drain the buffer and exit.
-        *self.tx.lock().expect("submit lock") = None;
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        // Dropping the sender lets workers drain the buffer and exit;
+        // the shutdown flag releases the monitor and any wedged worker.
+        *lock_unpoisoned(&self.tx) = None;
+        self.inner.shutdown.store(true, Ordering::Release);
+        if let Some(monitor) = self.monitor.take() {
+            let _ = monitor.join();
         }
-        if let Some(worker) = self.manual.as_ref() {
-            let mut worker = worker.lock().expect("manual worker lock");
-            while worker.cycle(false).is_some() {}
+        // Replacements can spawn while we join, so drain until empty.
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                lock_unpoisoned(&self.ctx.threads).drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for t in handles {
+                let _ = t.join();
+            }
+        }
+        if let Some(worker_mutex) = self.manual.as_ref() {
+            let mut worker = lock_unpoisoned(worker_mutex);
+            // Drain the buffer on this thread. A worker down for crash
+            // backoff is rebuilt immediately — shutdown must not leave
+            // queued work unresolved; a crash mid-drain stops the
+            // drain (remaining tickets resolve ShuttingDown when the
+            // queue drops).
+            loop {
+                if worker.respawn_at_ns.take().is_some() && worker.rebuild().is_err() {
+                    break;
+                }
+                match catch_unwind(AssertUnwindSafe(|| worker.cycle(false))) {
+                    Ok(Some(true)) => continue,
+                    Ok(_) => break,
+                    Err(payload) => {
+                        worker.handle_crash(panic_message(payload));
+                        break;
+                    }
+                }
+            }
             worker.publish_health();
+        }
+        // Resolve anything a wedged worker abandoned mid-flight so no
+        // ticket is ever lost, even through shutdown.
+        for slot in &self.inner.slots {
+            let n = slot.fail_inflight(FailureCause::BatchHung);
+            if n > 0 {
+                self.inner.failed.fetch_add(n, Ordering::Relaxed);
+                slot.failed.fetch_add(n, Ordering::Relaxed);
+                self.inner.count(Metric::ServeFailed, n);
+                slot.abort_batch();
+            }
         }
     }
 }

@@ -31,6 +31,38 @@ pub struct Served {
     pub demoted: bool,
     /// A guard tripped (and was recovered) during this run.
     pub guarded: bool,
+    /// Served on the brownout breaker's degraded plan ladder
+    /// (throughput-tuned, guards off) rather than the primary one.
+    pub degraded: bool,
+}
+
+/// Why a request resolved to [`Outcome::Failed`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The engine gave up (guard exhausted its demotion ladder, or a
+    /// kernel failure was not recoverable).
+    Engine(String),
+    /// The batch worker panicked with this request's batch in flight;
+    /// the supervisor resolved the ticket on the dead worker's behalf.
+    /// Carries the panic message.
+    WorkerCrashed(String),
+    /// The hung-batch watchdog deposed the worker after this request's
+    /// batch exceeded its hang timeout.
+    BatchHung,
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::Engine(msg) => write!(f, "engine failure: {msg}"),
+            FailureCause::WorkerCrashed(msg) => {
+                write!(f, "worker crashed mid-batch: {msg}")
+            }
+            FailureCause::BatchHung => {
+                write!(f, "batch exceeded its hang timeout; worker recycled")
+            }
+        }
+    }
 }
 
 /// The typed terminal state of a request.
@@ -40,9 +72,10 @@ pub enum Outcome {
     Served(Served),
     /// Refused without running — never silently dropped.
     Shed(ShedReason),
-    /// The engine gave up (guard exhausted its demotion ladder, or a
-    /// kernel failure was not recoverable).
-    Failed(String),
+    /// Ran (or was running) and could not complete; the cause says
+    /// whether the engine, a crashed worker, or the hung-batch watchdog
+    /// resolved it.
+    Failed(FailureCause),
 }
 
 impl Outcome {

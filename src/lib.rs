@@ -71,8 +71,8 @@ pub mod prelude {
     };
     pub use crate::obs::ObsLevel;
     pub use crate::serve::{
-        run_open_loop, LoadReport, LoadSpec, Outcome, ServeConfig, Served, Server, ServerHealth,
-        ShedReason, Ticket,
+        run_open_loop, BreakerPolicy, FailureCause, LoadReport, LoadSpec, Outcome, RetryPolicy,
+        ServeConfig, Served, Server, ServerHealth, ShedReason, SupervisionPolicy, Ticket,
     };
     pub use crate::stack::{serve_cell, CellResult, PlatformChoice, StackConfig};
     pub use crate::tensor::{ops, Tensor};

@@ -90,6 +90,21 @@ cargo test -q --test serve_supervision
 cargo test -q --test serve_supervision --features fault-inject
 CHAOS_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench chaos --features fault-inject
 
+echo "== quant-proptest =="
+# Quantised compute path: the 2-bit spmm and the ternary/int8 packed
+# GEMM engines vs their f32/exact-integer references (incl. the 0·NaN
+# propagation policy), plus the panel-cache lifecycle (weight_mut /
+# set_format / TTQ reproject must drop stale code snapshots).
+cargo test -q --test quant_kernels
+cargo test -q --test quant_invalidation
+
+echo "== quant-bench-smoke =="
+# Tiny-shape pass through the quant bench harness, asserting the ternary
+# path stays bit-identical to f32 before timing; the full run (which
+# regenerates BENCH_quant.json and enforces the >= 1.5x conv5 speedup
+# gate) is manual.
+QUANT_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench quant
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

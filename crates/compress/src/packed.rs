@@ -120,8 +120,14 @@ impl PackedTernaryMatrix {
         Tensor::from_fn([self.rows, self.cols], |i| self.decode(i))
     }
 
-    /// Packed × dense product `C = self · B`, decoding codes on the fly —
-    /// the "inference time would also increase" path.
+    /// Packed × dense product `C = self · B`, walking the 2-bit codes
+    /// byte by byte straight out of packed storage (no dense expansion,
+    /// no workspace) — the "inference time would also increase" path.
+    ///
+    /// Zero codes still multiply: `0 · NaN` and `0 · ∞` propagate
+    /// exactly as the dense f32 kernels do, so swapping a layer between
+    /// this path and dense GEMM never changes which non-finite inputs
+    /// poison the output.
     ///
     /// # Panics
     ///
@@ -131,17 +137,29 @@ impl PackedTernaryMatrix {
         assert_eq!(bk, self.cols, "inner dimension mismatch");
         let mut out = Tensor::zeros([self.rows, bn]);
         let odata = out.data_mut();
+        let bdata = b.data();
+        let lut = [0.0f32, self.positive, -self.negative, 0.0];
         for r in 0..self.rows {
             let orow = &mut odata[r * bn..(r + 1) * bn];
-            for c in 0..self.cols {
-                let v = self.decode(r * self.cols + c);
-                if v == 0.0 {
-                    continue;
+            // Rows are not byte-aligned when `cols % 4 != 0`: walk the
+            // row's linear code range one byte at a time, starting at
+            // whatever 2-bit lane the row begins in.
+            let mut idx = r * self.cols;
+            let end = idx + self.cols;
+            let mut c = 0usize;
+            while idx < end {
+                let byte = self.codes[idx / 4];
+                let first = idx % 4;
+                let take = (4 - first).min(end - idx);
+                for j in 0..take {
+                    let v = lut[((byte >> ((first + j) * 2)) & 0b11) as usize];
+                    let brow = &bdata[(c + j) * bn..(c + j + 1) * bn];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += v * bv;
+                    }
                 }
-                let brow = &b.data()[c * bn..(c + 1) * bn];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += v * bv;
-                }
+                idx += take;
+                c += take;
             }
         }
         out

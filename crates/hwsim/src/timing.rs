@@ -125,7 +125,10 @@ fn is_parallelised(kind: &LayerKind) -> bool {
 /// (see the module docs).
 fn effective_work(platform: &Platform, desc: &LayerDescriptor) -> f64 {
     match desc.format {
-        WeightFormat::Dense => desc.macs as f64,
+        // The quantised kernels run the same dense MAC grid (the codes
+        // decode to full-rate FMA operands), so their compute work is
+        // dense work — the win is on the memory side.
+        WeightFormat::Dense | WeightFormat::Ternary | WeightFormat::Int8 => desc.macs as f64,
         WeightFormat::Csr => {
             let density = if desc.weight_elems == 0 {
                 1.0
@@ -147,6 +150,9 @@ fn streamed_weight_bytes(desc: &LayerDescriptor) -> f64 {
     match desc.format {
         WeightFormat::Dense => desc.weight_elems as f64 * 4.0,
         WeightFormat::Csr => desc.weight_nnz as f64 * 8.0 + (desc.parallel_grains + 1) as f64 * 8.0,
+        // 2-bit codes / 1-byte elements plus the per-layer scales.
+        WeightFormat::Ternary => desc.weight_elems as f64 / 4.0 + 8.0,
+        WeightFormat::Int8 => desc.weight_elems as f64 + 4.0,
     }
 }
 
@@ -179,8 +185,8 @@ fn cpu_layer_time(platform: &Platform, desc: &LayerDescriptor, cfg: &SimConfig) 
         // still lets the highly sparse MobileNet variants win.
         const CSR_INTENSITY_CAP: f64 = 4.0;
         let intensity = match desc.format {
-            WeightFormat::Dense => (work / bytes).max(1e-6),
             WeightFormat::Csr => (work / bytes).clamp(1e-6, CSR_INTENSITY_CAP),
+            _ => (work / bytes).max(1e-6),
         };
         let ratio = platform.intensity_ref / intensity;
         let eff = 1.0 / (1.0 + platform.mem_contention * (t - 1) as f64 * ratio * ratio);

@@ -1,7 +1,9 @@
 //! Standard 2-D convolution with selectable algorithm and weight format.
 
 use crate::descriptor::{LayerDescriptor, LayerKind};
-use crate::layer::{ConvAlgorithm, ExecConfig, Layer, Param, Phase, WeightFormat};
+use crate::layer::{
+    scan_ternary, ConvAlgorithm, ExecConfig, Layer, Param, Phase, QuantPanels, WeightFormat,
+};
 use cnn_stack_parallel::parallel_for;
 use cnn_stack_parallel::DisjointWriter;
 use cnn_stack_sparse::CsrMatrix;
@@ -55,6 +57,12 @@ pub struct Conv2d {
     /// holding a clone of the old `Arc` keeps a fully consistent panel
     /// set and can never observe a half-invalidated cache.
     packed_weights: Option<Arc<Vec<f32>>>,
+    /// Quantised weight snapshot (2-bit ternary B-panel codes), built
+    /// eagerly by `set_format(Ternary)` when the weights are exactly
+    /// ternary. Shares the `packed_weights` invalidation contract: any
+    /// weight mutation drops the handle and the layer falls back to the
+    /// f32 packed engine until `set_format` re-snapshots.
+    quant_weights: Option<QuantPanels>,
     /// Cached training-forward input.
     cached_input: Option<Tensor>,
 }
@@ -94,6 +102,7 @@ impl Conv2d {
             format: WeightFormat::Dense,
             csr: None,
             packed_weights: None,
+            quant_weights: None,
             cached_input: None,
         }
     }
@@ -123,6 +132,7 @@ impl Conv2d {
     pub fn weight_mut(&mut self) -> &mut Param {
         self.csr = None;
         self.packed_weights = None;
+        self.quant_weights = None;
         &mut self.weight
     }
 
@@ -142,14 +152,36 @@ impl Conv2d {
     }
 
     /// Selects the inference weight format; `Csr` snapshots the current
-    /// dense weights into CSR.
+    /// dense weights into CSR, `Ternary` snapshots exactly-ternary
+    /// weights into 2-bit packed B-panel codes (non-ternary weights
+    /// leave no snapshot and the layer runs the dense f32 engine).
+    /// `Int8` has no convolution kernel — it also runs dense f32.
     pub fn set_format(&mut self, format: WeightFormat) {
         self.format = format;
         self.packed_weights = None;
+        self.quant_weights = None;
         self.csr = match format {
-            WeightFormat::Dense => None,
             WeightFormat::Csr => Some(CsrMatrix::from_dense(&self.weight_matrix(), 0.0)),
+            _ => None,
         };
+        if format == WeightFormat::Ternary {
+            if let Some((positive, negative)) = scan_ternary(self.weight.value.data()) {
+                // The codes are the B operand of the transposed product
+                // Outᵀ = Colᵀ·Wᵀ; their layout depends only on
+                // (out_c, patch_len), so one snapshot serves every
+                // input shape. `weight_matrix()` is `[out_c × patch_len]`
+                // row-major — exactly the `[n × k]` the packer expects.
+                let k_dim = self.in_channels * self.kernel * self.kernel;
+                let plan = GemmPlan::new(1, k_dim, self.out_channels);
+                let mut codes = vec![0u32; plan.ternary_b_words()];
+                gemm::pack_b_ternary_transposed_into(&plan, self.weight.value.data(), &mut codes);
+                self.quant_weights = Some(QuantPanels::Ternary {
+                    codes: Arc::new(codes),
+                    positive,
+                    negative,
+                });
+            }
+        }
     }
 
     /// The weights viewed as a `[out_c, in_c*k*k]` matrix (same memory
@@ -204,6 +236,7 @@ impl Conv2d {
         self.bias = Param::new(Tensor::from_vec([self.out_channels], b));
         self.csr = None;
         self.packed_weights = None;
+        self.quant_weights = None;
     }
 
     /// Removes input channel `c`: drops that slice from every filter.
@@ -236,6 +269,7 @@ impl Conv2d {
         ));
         self.csr = None;
         self.packed_weights = None;
+        self.quant_weights = None;
     }
 
     /// Scratch floats the im2col lowering needs for one image at the
@@ -245,11 +279,46 @@ impl Conv2d {
     }
 
     /// Whether `cfg` routes this layer through the packed GEMM engine
-    /// (dense weights lowered to im2col with the packed kernel).
+    /// (weights lowered to im2col with a packed micro-kernel). The
+    /// quantised algorithms are included: when their snapshot is absent
+    /// or stale they run the same f32 packed engine on the dense master
+    /// weights, so the routing predicate — and therefore scratch sizing
+    /// and plan-time prepacking — does not depend on snapshot state.
     pub(crate) fn uses_packed_gemm(&self, cfg: &ExecConfig) -> bool {
-        self.format == WeightFormat::Dense
+        self.format != WeightFormat::Csr
             && cfg.conv_algo == ConvAlgorithm::Im2col
-            && cfg.gemm_algo == GemmAlgorithm::Packed
+            && matches!(
+                cfg.gemm_algo,
+                GemmAlgorithm::Packed | GemmAlgorithm::TernaryPacked | GemmAlgorithm::Int8Packed
+            )
+    }
+
+    /// Blocking plan of the transposed per-image ternary GEMM:
+    /// `Outᵀ [positions × out_c] = Colᵀ · Wᵀ`. Running the product
+    /// transposed keeps the 2-bit weight codes in the streaming B
+    /// operand, and moves the (often tiny) output plane from the
+    /// NR-padded column dimension onto the cheaper MR-padded rows.
+    fn ternary_plan(&self, geom: &Conv2dGeometry) -> GemmPlan {
+        GemmPlan::new(geom.out_positions(), geom.patch_len(), self.out_channels)
+    }
+
+    /// Length of a valid ternary code snapshot (shape-independent: the
+    /// B-panel layout depends only on `(out_c, patch_len)`).
+    fn ternary_code_words(&self) -> usize {
+        let k_dim = self.in_channels * self.kernel * self.kernel;
+        GemmPlan::new(1, k_dim, self.out_channels).ternary_b_words()
+    }
+
+    /// Whether a valid quantised snapshot matches `cfg`'s kernel choice.
+    /// Convolution only has a ternary kernel; `Int8Packed` always runs
+    /// the f32 fallback here.
+    fn quant_snapshot_active(&self, cfg: &ExecConfig) -> bool {
+        matches!(
+            (cfg.gemm_algo, &self.quant_weights),
+            (GemmAlgorithm::TernaryPacked, Some(QuantPanels::Ternary { codes, .. }))
+                if self.format == WeightFormat::Ternary
+                    && codes.len() == self.ternary_code_words()
+        )
     }
 
     /// Blocking plan of the packed per-image GEMM: `[out_c × patch_len]`
@@ -513,6 +582,101 @@ impl Conv2d {
         }
     }
 
+    /// Ternary packed-GEMM im2col kernel, run **transposed**:
+    /// `Outᵀ [positions × out_c] = Colᵀ · Wᵀ`. The im2col matrix
+    /// `[patch_len × positions]` is exactly the Aᵀ operand, so it packs
+    /// straight into MR-row A-panels; the weights stay 2-bit packed in
+    /// the B codes and are decoded to `{+positive, −negative, 0}` inside
+    /// the micro-kernel. The product lands in a `[positions × out_c]`
+    /// buffer and is transpose-scattered into the NCHW plane.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_ternary_im2col_into(
+        &self,
+        codes: &[u32],
+        positive: f32,
+        negative: f32,
+        in_data: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        geom: &Conv2dGeometry,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        let plane = geom.out_positions();
+        let in_img = self.in_channels * h * w;
+        let out_img = self.out_channels * plane;
+        let bdata = self.bias.value.data();
+        let cols_len = self.im2col_scratch_elems(geom);
+        let plan = self.ternary_plan(geom);
+        let (cols, rest) = scratch[..cols_len + plan.packed_a_elems() + plane * self.out_channels]
+            .split_at_mut(cols_len);
+        let (a_buf, c_buf) = rest.split_at_mut(plan.packed_a_elems());
+        for img in 0..n {
+            im2col_into(&in_data[img * in_img..(img + 1) * in_img], geom, cols);
+            gemm::pack_a_transposed_into(&plan, cols, a_buf);
+            // Every Outᵀ row is one output position: prefill each with
+            // the bias vector (the `+=` GEMM contract folds it in).
+            for row in c_buf.chunks_exact_mut(self.out_channels) {
+                row.copy_from_slice(bdata);
+            }
+            gemm::gemm_prepacked_ternary(
+                &plan,
+                a_buf,
+                codes,
+                positive,
+                negative,
+                c_buf,
+                cfg.threads,
+                cfg.schedule,
+                cfg.epilogue(),
+            );
+            let dst = &mut out[img * out_img..(img + 1) * out_img];
+            for (o, drow) in dst.chunks_exact_mut(plane).enumerate() {
+                for (pos, d) in drow.iter_mut().enumerate() {
+                    *d = c_buf[pos * self.out_channels + o];
+                }
+            }
+        }
+    }
+
+    /// Routes a packed-engine run to the quantised kernel when `cfg`
+    /// selects one *and* a valid snapshot is installed; anything else —
+    /// plain `Packed`, `Int8Packed` (no int8 convolution kernel), or a
+    /// missing/stale ternary snapshot — runs the f32 packed engine on
+    /// the dense master weights. A dropped snapshot is a performance
+    /// event, never a correctness event.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_packed_dispatch_into(
+        &self,
+        in_data: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        geom: &Conv2dGeometry,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        if let (
+            GemmAlgorithm::TernaryPacked,
+            Some(QuantPanels::Ternary {
+                codes,
+                positive,
+                negative,
+            }),
+        ) = (cfg.gemm_algo, &self.quant_weights)
+        {
+            if self.format == WeightFormat::Ternary && codes.len() == self.ternary_code_words() {
+                return self.eval_ternary_im2col_into(
+                    codes, *positive, *negative, in_data, n, h, w, geom, out, scratch, cfg,
+                );
+            }
+        }
+        self.eval_dense_im2col_packed_into(in_data, n, h, w, geom, out, scratch, cfg)
+    }
+
     /// CSR kernel over raw slices; `scratch` is only read by the im2col
     /// lowering (empty slice is fine for direct).
     #[allow(clippy::too_many_arguments)]
@@ -744,9 +908,22 @@ impl Layer for Conv2d {
         let mut out = Tensor::zeros([n, self.out_channels, geom.out_h, geom.out_w]);
         let mut scratch = vec![0.0f32; self.forward_scratch_elems(&[n, in_c, h, w], cfg)];
         match self.format {
-            WeightFormat::Dense => match cfg.conv_algo {
-                ConvAlgorithm::Im2col if cfg.gemm_algo == gemm::GemmAlgorithm::Packed => self
-                    .eval_dense_im2col_packed_into(
+            WeightFormat::Csr => self.eval_csr_into(
+                input.data(),
+                n,
+                h,
+                w,
+                &geom,
+                out.data_mut(),
+                &mut scratch,
+                cfg,
+            ),
+            // Dense master weights drive every other format; quantised
+            // formats route through the packed dispatcher, which falls
+            // back to the f32 engine when no snapshot applies.
+            _ => match cfg.conv_algo {
+                ConvAlgorithm::Im2col if self.uses_packed_gemm(cfg) => self
+                    .eval_packed_dispatch_into(
                         input.data(),
                         n,
                         h,
@@ -772,16 +949,6 @@ impl Layer for Conv2d {
                     self.eval_dense_direct_into(input.data(), n, &geom, out.data_mut(), cfg)
                 }
             },
-            WeightFormat::Csr => self.eval_csr_into(
-                input.data(),
-                n,
-                h,
-                w,
-                &geom,
-                out.data_mut(),
-                &mut scratch,
-                cfg,
-            ),
         }
         out
     }
@@ -843,9 +1010,13 @@ impl Layer for Conv2d {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         // The caller may rewrite the weights (masked pruning does), which
         // would leave plan-time packed panels stale — drop them; the
-        // next `prepare` or scratch-path run repacks. The CSR snapshot is
+        // next `prepare` or scratch-path run repacks. The quantised
+        // snapshot goes too: stale codes would silently diverge from the
+        // master weights, so the layer falls back to the dense f32
+        // engine until `set_format` re-snapshots. The CSR snapshot is
         // left alone: its refresh contract is an explicit `set_format`.
         self.packed_weights = None;
+        self.quant_weights = None;
         vec![&mut self.weight, &mut self.bias]
     }
 
@@ -904,7 +1075,20 @@ impl Layer for Conv2d {
                 } else {
                     0
                 };
-                plan.packed_b_elems() + c_elems + plan.packed_a_elems()
+                let f32_elems = plan.packed_b_elems() + c_elems + plan.packed_a_elems();
+                if cfg.gemm_algo == GemmAlgorithm::TernaryPacked {
+                    // Quant dispatch is decided at run time, so cover
+                    // both paths: the ternary kernel needs the im2col
+                    // matrix, its transposed A-panels, and the
+                    // `[positions × out_c]` Outᵀ buffer.
+                    let tplan = self.ternary_plan(&geom);
+                    let t_elems = self.im2col_scratch_elems(&geom)
+                        + tplan.packed_a_elems()
+                        + geom.out_positions() * self.out_channels;
+                    f32_elems.max(t_elems)
+                } else {
+                    f32_elems
+                }
             } else {
                 self.im2col_scratch_elems(&geom)
             }
@@ -915,6 +1099,12 @@ impl Layer for Conv2d {
 
     fn prepare(&mut self, cfg: &ExecConfig) {
         if self.uses_packed_gemm(cfg) {
+            // An active quantised snapshot *is* the weight prepack: the
+            // f32 panels would never be read, so don't build them.
+            if self.quant_snapshot_active(cfg) {
+                self.packed_weights = None;
+                return;
+            }
             let k_dim = self.in_channels * self.kernel * self.kernel;
             // A-panel layout depends only on (out_c, patch_len), not on
             // the output extent, so the panels serve every input shape.
@@ -949,6 +1139,22 @@ impl Layer for Conv2d {
         }
     }
 
+    fn quant_panels(&self) -> Option<QuantPanels> {
+        self.quant_weights.clone()
+    }
+
+    fn install_quant_panels(&mut self, panels: QuantPanels) -> bool {
+        match &panels {
+            QuantPanels::Ternary { codes, .. } if codes.len() == self.ternary_code_words() => {
+                self.quant_weights = Some(panels);
+                true
+            }
+            // No int8 convolution kernel — refuse the panels so the
+            // layer never advertises a snapshot it cannot run.
+            _ => false,
+        }
+    }
+
     fn gemm_plan(&self, input_shape: &[usize], cfg: &ExecConfig) -> Option<GemmPlan> {
         if self.uses_packed_gemm(cfg) {
             let geom = self.geometry(input_shape[2], input_shape[3]);
@@ -980,9 +1186,10 @@ impl Layer for Conv2d {
         );
         let geom = self.geometry(h, w);
         match self.format {
-            WeightFormat::Dense => match cfg.conv_algo {
-                ConvAlgorithm::Im2col if cfg.gemm_algo == gemm::GemmAlgorithm::Packed => {
-                    self.eval_dense_im2col_packed_into(input, n, h, w, &geom, out, scratch, cfg)
+            WeightFormat::Csr => self.eval_csr_into(input, n, h, w, &geom, out, scratch, cfg),
+            _ => match cfg.conv_algo {
+                ConvAlgorithm::Im2col if self.uses_packed_gemm(cfg) => {
+                    self.eval_packed_dispatch_into(input, n, h, w, &geom, out, scratch, cfg)
                 }
                 ConvAlgorithm::Im2col => {
                     self.eval_dense_im2col_into(input, n, h, w, &geom, out, scratch, cfg)
@@ -994,7 +1201,6 @@ impl Layer for Conv2d {
                     self.eval_dense_direct_into(input, n, &geom, out, cfg)
                 }
             },
-            WeightFormat::Csr => self.eval_csr_into(input, n, h, w, &geom, out, scratch, cfg),
         }
     }
 }

@@ -728,6 +728,22 @@ impl<'n> InferenceSession<'n> {
         crate::network::adopt_packed_panels(&mut self.net, panels)
     }
 
+    /// Exports every (nested) layer's quantised weight snapshot in
+    /// `visit_mut` order — the quantised counterpart of
+    /// [`export_packed_panels`](Self::export_packed_panels); the 2-bit
+    /// code panels are `Arc`-shared across a pool the same way.
+    pub fn export_quant_panels(&mut self) -> Vec<Option<crate::QuantPanels>> {
+        crate::network::export_quant_panels(&mut self.net)
+    }
+
+    /// Installs quantised snapshots exported from an identically-built
+    /// donor session, returning how many layers accepted one. Rejected
+    /// snapshots leave the layer on its f32 fallback — adoption can
+    /// degrade sharing, never correctness.
+    pub fn adopt_quant_panels(&mut self, panels: &[Option<crate::QuantPanels>]) -> usize {
+        crate::network::adopt_quant_panels(&mut self.net, panels)
+    }
+
     /// The session's observer, when the plan was compiled with an
     /// [`cnn_stack_obs::ObsLevel`] above `Off` (see
     /// [`ExecConfig::observer`]). Snapshot its metrics or export its
@@ -1069,9 +1085,9 @@ impl<'n> InferenceSession<'n> {
     }
 
     /// Applies the strongest available demotion lever to `step`:
-    /// CSR→dense first, then Winograd→im2col, then packed→blocked GEMM.
-    /// Returns `false` when no lever applies (the failure is not
-    /// recoverable by demotion).
+    /// CSR→dense first, then Winograd→im2col, then quantised→f32
+    /// packed, then packed→blocked GEMM. Returns `false` when no lever
+    /// applies (the failure is not recoverable by demotion).
     fn try_demote(&mut self, step: usize, reason: DemotionReason) -> bool {
         if step >= self.plan.steps.len() {
             return false;
@@ -1094,6 +1110,21 @@ impl<'n> InferenceSession<'n> {
             return true;
         }
         let cfg = self.exec[step].cfg;
+        // Quantised packed GEMM demotes to the f32 packed engine on the
+        // dense master weights first — for exactly-ternary weights that
+        // rung is bit-identical, and a further failure still has the
+        // packed→blocked rung below.
+        if matches!(
+            cfg.gemm_algo,
+            GemmAlgorithm::TernaryPacked | GemmAlgorithm::Int8Packed
+        ) && layer_uses_packed_gemm(self.net.layers_mut()[li].as_mut(), &cfg)
+        {
+            self.exec[step].cfg.gemm_algo = GemmAlgorithm::Packed;
+            self.exec[step].chunk_cfg.gemm_algo = GemmAlgorithm::Packed;
+            self.record_demotion(step, DemotionAction::QuantisedToPacked, reason);
+            self.rebuild();
+            return true;
+        }
         if cfg.gemm_algo == GemmAlgorithm::Packed
             && layer_uses_packed_gemm(self.net.layers_mut()[li].as_mut(), &cfg)
         {

@@ -167,6 +167,12 @@ pub enum DemotionAction {
     /// The step's packed micro-kernel GEMM was replaced with the
     /// scalar blocked GEMM.
     PackedToBlocked,
+    /// The step's quantised (ternary/int8) packed GEMM was replaced
+    /// with the f32 packed GEMM on the dense master weights — the
+    /// defined first rung of the quantised degradation ladder (for
+    /// exactly-ternary weights the f32 product is bit-identical to the
+    /// healthy quantised kernel).
+    QuantisedToPacked,
 }
 
 /// Why a step was demoted.
@@ -508,17 +514,24 @@ mod inject {
                 flipped = true;
             }
             if flipped {
-                // `set_format(Csr)` re-snapshots the dense master, so the
-                // flipped bit reaches the sparse kernels as well.
+                // Re-running `set_format` re-snapshots the dense master,
+                // so the flipped bit reaches the derived-format kernels
+                // too: CSR values, and the quantised code panels (the
+                // `params_mut` above already dropped those, so without
+                // this the layer would silently fall back to f32; a flip
+                // that makes the weights non-ternary leaves no snapshot
+                // and the f32 fallback is the defined behaviour).
                 for layer in net.layers_mut() {
                     layer.visit_mut(&mut |l| {
                         if let Some(c) = l.as_any_mut().downcast_mut::<crate::Conv2d>() {
-                            if c.format() == WeightFormat::Csr {
-                                c.set_format(WeightFormat::Csr);
+                            let f = c.format();
+                            if f != WeightFormat::Dense {
+                                c.set_format(f);
                             }
                         } else if let Some(fc) = l.as_any_mut().downcast_mut::<crate::Linear>() {
-                            if fc.format() == WeightFormat::Csr {
-                                fc.set_format(WeightFormat::Csr);
+                            let f = fc.format();
+                            if f != WeightFormat::Dense {
+                                fc.set_format(f);
                             }
                         }
                     });

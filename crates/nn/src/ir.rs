@@ -37,6 +37,10 @@ pub enum OpKind {
         format: WeightFormat,
         /// Measured (exact-zero) weight sparsity in `[0, 1]`.
         sparsity: f64,
+        /// Whether the weights are *exactly* ternary (at most one
+        /// distinct magnitude per sign) — the value-preserving
+        /// precondition for the packed ternary kernel.
+        ternary: bool,
     },
     /// Depthwise convolution.
     DepthwiseConv {
@@ -55,6 +59,9 @@ pub enum OpKind {
         format: WeightFormat,
         /// Measured (exact-zero) weight sparsity in `[0, 1]`.
         sparsity: f64,
+        /// Whether the weights are *exactly* ternary — see
+        /// [`OpKind::Conv::ternary`].
+        ternary: bool,
     },
     /// Batch normalisation over channels.
     BatchNorm {
@@ -142,6 +149,7 @@ pub fn lower(net: &Network, input_shape: &[usize], cfg: &ExecConfig) -> Result<V
                 out_channels,
                 format: d.format,
                 sparsity: measured_sparsity(layer.as_ref()),
+                ternary: exact_ternary(layer.as_ref()),
             },
             LayerKind::DepthwiseConv { geom, channels } => OpKind::DepthwiseConv { geom, channels },
             LayerKind::Linear {
@@ -152,6 +160,7 @@ pub fn lower(net: &Network, input_shape: &[usize], cfg: &ExecConfig) -> Result<V
                 out_features,
                 format: d.format,
                 sparsity: measured_sparsity(layer.as_ref()),
+                ternary: exact_ternary(layer.as_ref()),
             },
             LayerKind::BatchNorm { channels } => OpKind::BatchNorm {
                 channels,
@@ -182,6 +191,20 @@ pub fn lower(net: &Network, input_shape: &[usize], cfg: &ExecConfig) -> Result<V
         shape = d.output_shape;
     }
     Ok(ops)
+}
+
+/// Whether the layer's weights are exactly ternary (the packed ternary
+/// kernel's value-preserving precondition); `false` for layers the
+/// selector cannot quantise. Computed here because pass candidates see
+/// only the op, never the network.
+fn exact_ternary(layer: &dyn Layer) -> bool {
+    if let Some(c) = layer.as_any().downcast_ref::<Conv2d>() {
+        crate::layer::scan_ternary(c.weight().value.data()).is_some()
+    } else if let Some(fc) = layer.as_any().downcast_ref::<Linear>() {
+        crate::layer::scan_ternary(fc.weight().value.data()).is_some()
+    } else {
+        false
+    }
 }
 
 /// Measured exact-zero sparsity of the layer's first (weight) parameter;

@@ -39,6 +39,77 @@ pub enum WeightFormat {
     Dense,
     /// Compressed Sparse Row; pays per-nonzero index overhead.
     Csr,
+    /// 2-bit packed ternary codes with two per-layer magnitudes (the TTQ
+    /// output format). Value-preserving: the dense master already holds
+    /// exactly {−Wₙ, 0, +Wₚ}, so the quantised kernel and the dense
+    /// fallback produce identical bits. If the weights are *not* exactly
+    /// ternary when this format is selected, no quant snapshot is built
+    /// and every evaluation path falls back to the dense f32 kernels
+    /// (defined, value-correct behaviour).
+    Ternary,
+    /// Per-tensor int8 weight codes with an f32 scale; activations are
+    /// quantised per call. Lossy (≈0.4% per-weight rounding at int8),
+    /// so the plan compiler only proposes the int8 kernel for layers a
+    /// caller has explicitly put in this format.
+    Int8,
+}
+
+/// Shared handle to a layer's quantised weight snapshot, exported and
+/// adopted across serving replicas exactly like the f32
+/// [`packed_panels`](Layer::packed_panels) set. The buffers are
+/// immutable for the lifetime of the handle: invalidation drops the
+/// `Arc`, never mutates through it.
+#[derive(Clone, Debug)]
+pub enum QuantPanels {
+    /// 2-bit ternary B-panel codes (one `u32` per reduction step per
+    /// NR-panel, see `pack_b_ternary_transposed_into`) plus the two
+    /// per-layer magnitudes (`negative` stored positive).
+    Ternary {
+        /// Packed sign codes.
+        codes: std::sync::Arc<Vec<u32>>,
+        /// Value encoded by `0b01`.
+        positive: f32,
+        /// Magnitude encoded by `0b10`.
+        negative: f32,
+    },
+    /// Int8 B-panels (NR-column i8 layout) plus the weight scale
+    /// `qw = 127 / max|W|`.
+    Int8 {
+        /// Quantised weight panels.
+        codes: std::sync::Arc<Vec<i8>>,
+        /// Weight quantisation scale.
+        scale: f32,
+    },
+}
+
+/// Scans a weight slice for exact ternary structure: at most one
+/// distinct positive magnitude and one distinct negative magnitude, all
+/// values finite. Returns `(positive, negative)` magnitudes (both
+/// non-negative; zero when that sign is absent), or `None` when the
+/// weights are not ternary — the quantised snapshot is then skipped and
+/// the layer keeps its dense fallback.
+pub(crate) fn scan_ternary(data: &[f32]) -> Option<(f32, f32)> {
+    let mut positive = 0.0f32;
+    let mut negative = 0.0f32;
+    for &v in data {
+        if !v.is_finite() {
+            return None;
+        }
+        if v > 0.0 {
+            if positive == 0.0 {
+                positive = v;
+            } else if positive != v {
+                return None;
+            }
+        } else if v < 0.0 {
+            if negative == 0.0 {
+                negative = -v;
+            } else if negative != -v {
+                return None;
+            }
+        }
+    }
+    Some((positive, negative))
 }
 
 /// Execution configuration for a forward pass: the knobs of the paper's
@@ -384,6 +455,25 @@ pub trait Layer: std::fmt::Debug + std::any::Any + Send + Sync {
     /// to scratch repacking, so a mismatched install is safe, just
     /// wasted. Layers without a panel cache keep the default no-op.
     fn install_packed_panels(&mut self, _panels: std::sync::Arc<Vec<f32>>) -> bool {
+        false
+    }
+
+    /// Shared handle to the quantised weight snapshot built by
+    /// [`prepare`](Layer::prepare) / `set_format`, if this layer holds
+    /// one. The serving pool clones this next to
+    /// [`packed_panels`](Layer::packed_panels) so replicas share one
+    /// quantised prepack.
+    fn quant_panels(&self) -> Option<QuantPanels> {
+        None
+    }
+
+    /// Installs a shared quantised snapshot exported from an
+    /// identically-shaped donor via [`quant_panels`](Layer::quant_panels).
+    /// Returns `false` (cache untouched) when the panel length or
+    /// variant does not match what this layer would build — evaluation
+    /// then falls back to the dense f32 path, so a mismatched install is
+    /// safe, just wasted.
+    fn install_quant_panels(&mut self, _panels: QuantPanels) -> bool {
         false
     }
 

@@ -76,10 +76,14 @@ pub use guard::{
     GuardViolation, HealthReport, NonFiniteKind, ServeBatchFault,
 };
 pub use ir::{IrOp, OpKind};
-pub use layer::{ConvAlgorithm, ExecConfig, ExecConfigBuilder, Layer, Param, Phase, WeightFormat};
+pub use layer::{
+    ConvAlgorithm, ExecConfig, ExecConfigBuilder, Layer, Param, Phase, QuantPanels, WeightFormat,
+};
 pub use linear::Linear;
 pub use memory::{network_memory, MemoryBreakdown};
-pub use network::{adopt_packed_panels, export_packed_panels, Network};
+pub use network::{
+    adopt_packed_panels, adopt_quant_panels, export_packed_panels, export_quant_panels, Network,
+};
 pub use passes::{
     AlgoChoice, Autotune, FoldAndFuse, ForceThroughput, PassContext, PlanCompiler, PlanPass,
     SelectAlgorithms,

@@ -1,7 +1,7 @@
 //! Fully connected (dense) layer.
 
 use crate::descriptor::{LayerDescriptor, LayerKind};
-use crate::layer::{ExecConfig, Layer, Param, Phase, WeightFormat};
+use crate::layer::{scan_ternary, ExecConfig, Layer, Param, Phase, QuantPanels, WeightFormat};
 use cnn_stack_parallel::parallel_for;
 use cnn_stack_parallel::DisjointWriter;
 use cnn_stack_sparse::CsrMatrix;
@@ -42,6 +42,12 @@ pub struct Linear {
     /// invariant: fresh `Vec` then `Arc::new`, never mutated through
     /// the handle).
     packed_weights: Option<Arc<Vec<f32>>>,
+    /// Quantised weight snapshot (ternary codes or int8 panels), built
+    /// eagerly by [`set_format`](Linear::set_format) for the quantised
+    /// formats — mirroring the CSR snapshot — and dropped by any weight
+    /// mutation. Shares the `Arc` immutability invariant of
+    /// `packed_weights`.
+    quant_weights: Option<QuantPanels>,
     cached_input: Option<Tensor>,
 }
 
@@ -68,6 +74,7 @@ impl Linear {
             format: WeightFormat::Dense,
             csr: None,
             packed_weights: None,
+            quant_weights: None,
             cached_input: None,
         }
     }
@@ -87,10 +94,12 @@ impl Linear {
         &self.weight
     }
 
-    /// Mutable weight parameter (invalidates any CSR snapshot).
+    /// Mutable weight parameter (invalidates any CSR, packed-panel or
+    /// quantised snapshot).
     pub fn weight_mut(&mut self) -> &mut Param {
         self.csr = None;
         self.packed_weights = None;
+        self.quant_weights = None;
         &mut self.weight
     }
 
@@ -104,24 +113,163 @@ impl Linear {
         self.format
     }
 
-    /// Selects the inference weight format.
+    /// Selects the inference weight format. Like the CSR snapshot, the
+    /// quantised snapshots are built eagerly here from the dense master:
+    /// `Ternary` scans the weights and packs 2-bit codes only when they
+    /// are *exactly* ternary (otherwise no snapshot is built and every
+    /// run takes the dense fallback); `Int8` always snapshots, with the
+    /// per-tensor scale `qw = 127 / max|W|`.
     pub fn set_format(&mut self, format: WeightFormat) {
         self.format = format;
         self.packed_weights = None;
+        self.quant_weights = None;
         self.csr = match format {
-            WeightFormat::Dense => None,
             WeightFormat::Csr => Some(CsrMatrix::from_dense(&self.weight.value, 0.0)),
+            _ => None,
         };
+        match format {
+            WeightFormat::Ternary => {
+                if let Some((positive, negative)) = scan_ternary(self.weight.value.data()) {
+                    let plan = self.packed_plan(1);
+                    let mut codes = vec![0u32; plan.ternary_b_words()];
+                    gemm::pack_b_ternary_transposed_into(
+                        &plan,
+                        self.weight.value.data(),
+                        &mut codes,
+                    );
+                    // Fresh Vec, then Arc::new — never mutate through it.
+                    self.quant_weights = Some(QuantPanels::Ternary {
+                        codes: Arc::new(codes),
+                        positive,
+                        negative,
+                    });
+                }
+            }
+            WeightFormat::Int8 => {
+                let scale = gemm::quantise_scale_i8(self.weight.value.data());
+                let plan = self.packed_plan(1);
+                let mut codes = vec![0i8; plan.packed_b_elems()];
+                gemm::pack_b_transposed_i8_into(&plan, self.weight.value.data(), scale, &mut codes);
+                self.quant_weights = Some(QuantPanels::Int8 {
+                    codes: Arc::new(codes),
+                    scale,
+                });
+            }
+            _ => {}
+        }
     }
 
-    /// Whether `cfg` routes this layer through the packed GEMM engine.
+    /// Whether `cfg` routes this layer through the packed GEMM engine —
+    /// f32 or quantised. A quantised `gemm_algo` without a matching
+    /// quant snapshot still lands here: the run then takes the f32
+    /// packed path over the dense master (the bit-identical fallback the
+    /// guard demotion also uses).
     pub(crate) fn uses_packed_gemm(&self, cfg: &ExecConfig) -> bool {
-        self.format == WeightFormat::Dense && cfg.gemm_algo == GemmAlgorithm::Packed
+        self.format != WeightFormat::Csr
+            && matches!(
+                cfg.gemm_algo,
+                GemmAlgorithm::Packed | GemmAlgorithm::TernaryPacked | GemmAlgorithm::Int8Packed
+            )
     }
 
     /// Blocking plan of the packed product `X[batch×in] · Wᵀ[in×out]`.
     fn packed_plan(&self, batch: usize) -> GemmPlan {
         GemmPlan::new(batch, self.in_features, self.out_features)
+    }
+
+    /// Routes one packed-engine evaluation: the quantised kernel when
+    /// `cfg` asks for it *and* a valid matching snapshot exists,
+    /// otherwise the f32 packed kernel on the dense master. Keeping the
+    /// fallback inside one router is what makes a missing/stale quant
+    /// snapshot a performance event, never a correctness one.
+    fn eval_packed_dispatch_into(
+        &self,
+        in_data: &[f32],
+        batch: usize,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        let plan = self.packed_plan(batch);
+        match (cfg.gemm_algo, &self.quant_weights) {
+            (
+                GemmAlgorithm::TernaryPacked,
+                Some(QuantPanels::Ternary {
+                    codes,
+                    positive,
+                    negative,
+                }),
+            ) if self.format == WeightFormat::Ternary && codes.len() == plan.ternary_b_words() => {
+                let a_buf = &mut scratch[..plan.packed_a_elems()];
+                gemm::pack_a_into(&plan, in_data, a_buf);
+                self.prefill_bias(out);
+                gemm::gemm_prepacked_ternary(
+                    &plan,
+                    a_buf,
+                    codes,
+                    *positive,
+                    *negative,
+                    out,
+                    cfg.threads,
+                    cfg.schedule,
+                    cfg.epilogue(),
+                );
+            }
+            (GemmAlgorithm::Int8Packed, Some(QuantPanels::Int8 { codes, scale }))
+                if self.format == WeightFormat::Int8 && codes.len() == plan.packed_b_elems() =>
+            {
+                // Per-call activation quantisation: NaN activations map
+                // to 0 and magnitudes saturate at ±127 — the documented
+                // lossy contract of the int8 path.
+                let qa = gemm::quantise_scale_i8(in_data);
+                let elems = plan.packed_a_elems();
+                let a_f32 = &mut scratch[..elems.div_ceil(4)];
+                // SAFETY: an f32 slice is always valid byte storage —
+                // same allocation, stricter alignment (4 → 1), length
+                // `elems.div_ceil(4) · 4 ≥ elems` bytes, and the i8 view
+                // is dropped before anyone reads the floats again.
+                let a_buf = unsafe {
+                    std::slice::from_raw_parts_mut(a_f32.as_mut_ptr() as *mut i8, a_f32.len() * 4)
+                };
+                gemm::pack_a_i8_into(&plan, in_data, qa, &mut a_buf[..elems]);
+                self.prefill_bias(out);
+                gemm::gemm_prepacked_int8(
+                    &plan,
+                    &a_buf[..elems],
+                    codes,
+                    1.0 / (qa * scale),
+                    out,
+                    cfg.threads,
+                    cfg.schedule,
+                    cfg.epilogue(),
+                );
+            }
+            _ => self.eval_dense_packed_into(in_data, batch, out, scratch, cfg),
+        }
+    }
+
+    /// Whether a valid quantised snapshot matches `cfg`'s kernel choice
+    /// (the quant arms of [`eval_packed_dispatch_into`]'s match).
+    fn quant_snapshot_active(&self, cfg: &ExecConfig) -> bool {
+        let plan = self.packed_plan(1);
+        match (cfg.gemm_algo, &self.quant_weights) {
+            (GemmAlgorithm::TernaryPacked, Some(QuantPanels::Ternary { codes, .. })) => {
+                self.format == WeightFormat::Ternary && codes.len() == plan.ternary_b_words()
+            }
+            (GemmAlgorithm::Int8Packed, Some(QuantPanels::Int8 { codes, .. })) => {
+                self.format == WeightFormat::Int8 && codes.len() == plan.packed_b_elems()
+            }
+            _ => false,
+        }
+    }
+
+    /// Copies the bias vector into every output row (the `+=` GEMM
+    /// contract folds it into the product).
+    fn prefill_bias(&self, out: &mut [f32]) {
+        let bdata = self.bias.value.data();
+        for row in out.chunks_exact_mut(self.out_features) {
+            row.copy_from_slice(bdata);
+        }
     }
 
     /// Packed-GEMM dense kernel: the activations are packed into MR-row
@@ -150,10 +298,7 @@ impl Linear {
                 b_buf
             }
         };
-        let bdata = self.bias.value.data();
-        for row in out.chunks_exact_mut(self.out_features) {
-            row.copy_from_slice(bdata);
-        }
+        self.prefill_bias(out);
         gemm::gemm_prepacked_epilogue(
             &plan,
             a_buf,
@@ -246,6 +391,7 @@ impl Linear {
         self.weight = Param::new(Tensor::from_vec([self.out_features, self.in_features], w));
         self.csr = None;
         self.packed_weights = None;
+        self.quant_weights = None;
     }
 }
 
@@ -274,7 +420,7 @@ impl Layer for Linear {
         let mut out = Tensor::zeros([batch, self.out_features]);
         if self.uses_packed_gemm(cfg) {
             let mut scratch = vec![0.0f32; self.packed_plan(batch).scratch_elems()];
-            self.eval_dense_packed_into(input.data(), batch, out.data_mut(), &mut scratch, cfg);
+            self.eval_packed_dispatch_into(input.data(), batch, out.data_mut(), &mut scratch, cfg);
         } else {
             self.eval_into(input.data(), batch, out.data_mut(), cfg);
         }
@@ -306,9 +452,13 @@ impl Layer for Linear {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         // The caller may rewrite the weights (masked pruning does), which
         // would leave plan-time packed panels stale — drop them; the
-        // next `prepare` or scratch-path run repacks. The CSR snapshot is
-        // left alone: its refresh contract is an explicit `set_format`.
+        // next `prepare` or scratch-path run repacks. The quantised
+        // snapshot drops too (its codes would silently diverge from the
+        // master; the run then falls back to the dense f32 path until a
+        // `set_format` re-snapshot). The CSR snapshot is left alone: its
+        // refresh contract is an explicit `set_format`.
         self.packed_weights = None;
+        self.quant_weights = None;
         vec![&mut self.weight, &mut self.bias]
     }
 
@@ -333,6 +483,12 @@ impl Layer for Linear {
 
     fn prepare(&mut self, cfg: &ExecConfig) {
         if self.uses_packed_gemm(cfg) {
+            // An active quantised snapshot *is* the weight prepack: the
+            // f32 panels would never be read, so don't build them.
+            if self.quant_snapshot_active(cfg) {
+                self.packed_weights = None;
+                return;
+            }
             // B-panel layout depends only on (in, out), not on the batch.
             let plan = self.packed_plan(1);
             // Keep a still-valid cache (own or adopted) — `Some` +
@@ -362,6 +518,22 @@ impl Layer for Linear {
         }
     }
 
+    fn quant_panels(&self) -> Option<QuantPanels> {
+        self.quant_weights.clone()
+    }
+
+    fn install_quant_panels(&mut self, panels: QuantPanels) -> bool {
+        let plan = self.packed_plan(1);
+        let ok = match &panels {
+            QuantPanels::Ternary { codes, .. } => codes.len() == plan.ternary_b_words(),
+            QuantPanels::Int8 { codes, .. } => codes.len() == plan.packed_b_elems(),
+        };
+        if ok {
+            self.quant_weights = Some(panels);
+        }
+        ok
+    }
+
     fn gemm_plan(&self, input_shape: &[usize], cfg: &ExecConfig) -> Option<GemmPlan> {
         if self.uses_packed_gemm(cfg) {
             Some(self.packed_plan(input_shape[0]))
@@ -386,7 +558,7 @@ impl Layer for Linear {
             self.name()
         );
         if self.uses_packed_gemm(cfg) {
-            self.eval_dense_packed_into(input, batch, out, scratch, cfg);
+            self.eval_packed_dispatch_into(input, batch, out, scratch, cfg);
         } else {
             self.eval_into(input, batch, out, cfg);
         }

@@ -69,6 +69,10 @@ pub fn layer_weight_bytes(desc: &LayerDescriptor) -> usize {
             // Stateless / normalisation layers stay dense.
             _ => desc.weight_elems * 4,
         },
+        // 2-bit packed codes (4 per byte) plus the two per-layer scales.
+        WeightFormat::Ternary => desc.weight_elems.div_ceil(4) + 8,
+        // One byte per element plus the per-tensor activation scale.
+        WeightFormat::Int8 => desc.weight_elems + 4,
     }
 }
 

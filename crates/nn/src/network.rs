@@ -320,6 +320,43 @@ pub fn adopt_packed_panels(
     adopted
 }
 
+/// Exports every (nested) layer's quantised weight snapshot in
+/// [`Layer::visit_mut`] order — `None` entries for layers without one.
+/// The quantised counterpart of [`export_packed_panels`]: the code
+/// panels sit behind an `Arc`, so a serving pool shares one ternary
+/// prepack across all replicas of a model.
+pub fn export_quant_panels(net: &mut Network) -> Vec<Option<crate::layer::QuantPanels>> {
+    let mut out = Vec::new();
+    for layer in net.layers_mut() {
+        layer.visit_mut(&mut |l| out.push(l.quant_panels()));
+    }
+    out
+}
+
+/// Installs quantised snapshots exported from an identically-built
+/// donor network, returning how many layers accepted one. A layer whose
+/// expected code length differs (or that has no kernel for the panel
+/// kind) rejects the snapshot and runs its f32 fallback — adoption can
+/// degrade sharing, never correctness.
+pub fn adopt_quant_panels(
+    net: &mut Network,
+    panels: &[Option<crate::layer::QuantPanels>],
+) -> usize {
+    let mut i = 0usize;
+    let mut adopted = 0usize;
+    for layer in net.layers_mut() {
+        layer.visit_mut(&mut |l| {
+            if let Some(Some(p)) = panels.get(i) {
+                if l.install_quant_panels(p.clone()) {
+                    adopted += 1;
+                }
+            }
+            i += 1;
+        });
+    }
+    adopted
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

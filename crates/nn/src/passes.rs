@@ -302,6 +302,17 @@ pub enum AlgoChoice {
     ScalarLinear,
     /// CSR sparse linear layer.
     CsrLinear,
+    /// im2col lowering into the packed **ternary** GEMM engine (2-bit
+    /// weight codes, transposed product). Value-preserving, so proposed
+    /// whenever the weights are exactly ternary.
+    TernaryConv,
+    /// Packed ternary GEMM linear layer. Value-preserving, proposed
+    /// whenever the weights are exactly ternary.
+    TernaryLinear,
+    /// Packed int8 GEMM linear layer. **Lossy** (activations are
+    /// re-quantised per call), so only proposed for layers already
+    /// placed in [`WeightFormat::Int8`] by the caller.
+    Int8Linear,
 }
 
 impl AlgoChoice {
@@ -315,6 +326,9 @@ impl AlgoChoice {
             AlgoChoice::PackedLinear => "gemm-packed",
             AlgoChoice::ScalarLinear => "gemm-scalar",
             AlgoChoice::CsrLinear => "gemm-csr",
+            AlgoChoice::TernaryConv => "im2col-ternary",
+            AlgoChoice::TernaryLinear => "gemm-ternary",
+            AlgoChoice::Int8Linear => "gemm-int8",
         }
     }
 
@@ -327,6 +341,9 @@ impl AlgoChoice {
             "gemm-packed" => AlgoChoice::PackedLinear,
             "gemm-scalar" => AlgoChoice::ScalarLinear,
             "gemm-csr" => AlgoChoice::CsrLinear,
+            "im2col-ternary" => AlgoChoice::TernaryConv,
+            "gemm-ternary" => AlgoChoice::TernaryLinear,
+            "gemm-int8" => AlgoChoice::Int8Linear,
             _ => return None,
         })
     }
@@ -345,8 +362,28 @@ const PACKED_GFLOPS: f64 = 54.0;
 const SCALAR_GFLOPS: f64 = 1.8;
 const SPARSE_GFLOPS: f64 = 1.2;
 const WINOGRAD_GFLOPS: f64 = 0.9;
-/// Streaming bandwidth charged for building/packing the im2col matrix.
+// The quantised micro-kernels run the same FMA ladder as the f32 kernel
+// with a per-step decode prologue (2-bit shift/permute select, or i8 →
+// f32 widening); the anchors price that overhead. Their wins come from
+// the traffic terms below (2-bit/1-byte weight streams) and, for the
+// transposed ternary convolution, from moving a tiny output plane off
+// the NR-padded column dimension — both modelled explicitly.
+const TERNARY_GFLOPS: f64 = 48.0;
+const INT8_GFLOPS: f64 = 50.0;
+/// Streaming bandwidth charged for building/packing the im2col matrix
+/// and for weight-panel traffic.
 const PACK_BYTES_PER_SEC: f64 = 4.0e9;
+
+/// FLOPs the packed tile grid actually executes for an `[m × k]·[k × n]`
+/// product: ragged edges run full `MR × NR` micro-kernels on zero-padded
+/// lanes, so tiny dimensions pay their round-up. This is what makes the
+/// transposed ternary convolution win on late VGG layers — a 2×2 output
+/// plane pads 4 → 16 columns under f32 but only 4 → 6 rows transposed.
+fn tile_padded_flops(m: usize, k: usize, n: usize) -> f64 {
+    let m_pad = m.div_ceil(cnn_stack_tensor::MR) * cnn_stack_tensor::MR;
+    let n_pad = n.div_ceil(cnn_stack_tensor::NR) * cnn_stack_tensor::NR;
+    2.0 * m_pad as f64 * k as f64 * n_pad as f64
+}
 
 /// Predicted seconds for one single-thread forward of `op` under
 /// `choice`. Relative accuracy is all that matters: every path
@@ -354,27 +391,74 @@ const PACK_BYTES_PER_SEC: f64 = 4.0e9;
 /// candidates alike.
 fn predicted_seconds(op: &IrOp, choice: AlgoChoice) -> f64 {
     let flops = 2.0 * op.macs as f64;
-    let batch = op.input_shape.first().copied().unwrap_or(1) as f64;
+    let batch = op.input_shape.first().copied().unwrap_or(1).max(1);
     match choice {
         AlgoChoice::DirectConv | AlgoChoice::ScalarLinear => flops / (SCALAR_GFLOPS * 1e9),
         AlgoChoice::Im2colPacked => {
-            let pack = match &op.kind {
-                OpKind::Conv { geom, .. } => {
-                    let footprint = (geom.patch_len() * geom.out_positions() * 4) as f64 * batch;
-                    // Pointwise stride-1 convolutions skip the im2col
-                    // indirection entirely (the image is the column
-                    // matrix) — only the panel repack remains.
-                    if geom.is_pointwise_identity() {
-                        footprint * 0.5
-                    } else {
-                        footprint
-                    }
-                }
-                _ => 0.0,
+            let OpKind::Conv {
+                geom, out_channels, ..
+            } = &op.kind
+            else {
+                return flops / (PACKED_GFLOPS * 1e9);
             };
-            flops / (PACKED_GFLOPS * 1e9) + pack / PACK_BYTES_PER_SEC
+            let plane = geom.out_positions();
+            let k = geom.patch_len();
+            // Mirror the engine's small-plane batching: groups of images
+            // merge their columns until one column grain is filled, so
+            // the NR round-up is paid once per group, not per image.
+            let group = ((4 * cnn_stack_tensor::NR) / plane.max(1)).clamp(1, batch);
+            let groups = batch as f64 / group as f64;
+            let eff = groups * tile_padded_flops(*out_channels, k, group * plane);
+            let weight_traffic = groups * (out_channels * k * 4) as f64;
+            let footprint = (k * plane * 4) as f64 * batch as f64;
+            // Pointwise stride-1 convolutions skip the im2col
+            // indirection entirely (the image is the column matrix) —
+            // only the panel repack remains.
+            let pack = if geom.is_pointwise_identity() {
+                footprint * 0.5
+            } else {
+                footprint
+            };
+            eff / (PACKED_GFLOPS * 1e9) + (pack + weight_traffic) / PACK_BYTES_PER_SEC
         }
-        AlgoChoice::PackedLinear => flops / (PACKED_GFLOPS * 1e9),
+        AlgoChoice::TernaryConv => {
+            let OpKind::Conv {
+                geom, out_channels, ..
+            } = &op.kind
+            else {
+                return f64::INFINITY;
+            };
+            let plane = geom.out_positions();
+            let k = geom.patch_len();
+            // Transposed product Outᵀ = Colᵀ·Wᵀ, per image: the plane is
+            // the MR-padded row dimension, the weights stream as 2-bit
+            // codes (16× less panel traffic than f32).
+            let eff = batch as f64 * tile_padded_flops(plane, k, *out_channels);
+            let weight_traffic = batch as f64 * (out_channels * k) as f64 / 4.0;
+            let footprint = (k * plane * 4) as f64 * batch as f64;
+            eff / (TERNARY_GFLOPS * 1e9) + (footprint + weight_traffic) / PACK_BYTES_PER_SEC
+        }
+        AlgoChoice::PackedLinear | AlgoChoice::TernaryLinear | AlgoChoice::Int8Linear => {
+            let OpKind::Linear {
+                in_features,
+                out_features,
+                ..
+            } = &op.kind
+            else {
+                return f64::INFINITY;
+            };
+            let eff = tile_padded_flops(batch, *in_features, *out_features);
+            // At serving batch sizes the product is bound by streaming
+            // the weight panels; the quantised formats' narrower panels
+            // are exactly where they win.
+            let elems = (in_features * out_features) as f64;
+            let (gflops, weight_traffic) = match choice {
+                AlgoChoice::PackedLinear => (PACKED_GFLOPS, elems * 4.0),
+                AlgoChoice::TernaryLinear => (TERNARY_GFLOPS, elems / 4.0),
+                _ => (INT8_GFLOPS, elems),
+            };
+            eff / (gflops * 1e9) + weight_traffic / PACK_BYTES_PER_SEC
+        }
         AlgoChoice::Winograd => flops / 2.25 / (WINOGRAD_GFLOPS * 1e9),
         AlgoChoice::CsrConv | AlgoChoice::CsrLinear => {
             let density = match &op.kind {
@@ -390,7 +474,7 @@ fn predicted_seconds(op: &IrOp, choice: AlgoChoice) -> f64 {
 /// the selector does not touch.
 fn candidates(op: &IrOp) -> Vec<(AlgoChoice, f64)> {
     let mut c: Vec<AlgoChoice> = match &op.kind {
-        OpKind::Conv { geom, .. } => {
+        OpKind::Conv { geom, ternary, .. } => {
             let mut v = vec![
                 AlgoChoice::DirectConv,
                 AlgoChoice::Im2colPacked,
@@ -399,13 +483,31 @@ fn candidates(op: &IrOp) -> Vec<(AlgoChoice, f64)> {
             if geom.k_h == 3 && geom.k_w == 3 && geom.stride == 1 {
                 v.push(AlgoChoice::Winograd);
             }
+            // Value-preserving, so auto-selectable: the packed ternary
+            // kernel decodes the codes to the exact weight values.
+            if *ternary {
+                v.push(AlgoChoice::TernaryConv);
+            }
             v
         }
-        OpKind::Linear { .. } => vec![
-            AlgoChoice::PackedLinear,
-            AlgoChoice::ScalarLinear,
-            AlgoChoice::CsrLinear,
-        ],
+        OpKind::Linear {
+            format, ternary, ..
+        } => {
+            let mut v = vec![
+                AlgoChoice::PackedLinear,
+                AlgoChoice::ScalarLinear,
+                AlgoChoice::CsrLinear,
+            ];
+            if *ternary {
+                v.push(AlgoChoice::TernaryLinear);
+            }
+            // Int8 is lossy (per-call activation quantisation): only a
+            // candidate when the caller already opted the layer in.
+            if *format == WeightFormat::Int8 {
+                v.push(AlgoChoice::Int8Linear);
+            }
+            v
+        }
         _ => Vec::new(),
     };
     c.sort_by(|a, b| predicted_seconds(op, *a).total_cmp(&predicted_seconds(op, *b)));
@@ -447,11 +549,26 @@ fn apply_choice(net: &mut Network, op: &mut IrOp, choice: AlgoChoice) {
         AlgoChoice::CsrLinear => {
             set_layer_format(layers, op.layer, WeightFormat::Csr);
         }
+        AlgoChoice::TernaryConv => {
+            op.cfg.conv_algo = ConvAlgorithm::Im2col;
+            op.cfg.gemm_algo = GemmAlgorithm::TernaryPacked;
+            set_layer_format(layers, op.layer, WeightFormat::Ternary);
+        }
+        AlgoChoice::TernaryLinear => {
+            op.cfg.gemm_algo = GemmAlgorithm::TernaryPacked;
+            set_layer_format(layers, op.layer, WeightFormat::Ternary);
+        }
+        AlgoChoice::Int8Linear => {
+            op.cfg.gemm_algo = GemmAlgorithm::Int8Packed;
+            set_layer_format(layers, op.layer, WeightFormat::Int8);
+        }
     }
     // Keep the IR's format fact in sync for later passes.
     if let OpKind::Conv { format, .. } | OpKind::Linear { format, .. } = &mut op.kind {
         *format = match choice {
             AlgoChoice::CsrConv | AlgoChoice::CsrLinear => WeightFormat::Csr,
+            AlgoChoice::TernaryConv | AlgoChoice::TernaryLinear => WeightFormat::Ternary,
+            AlgoChoice::Int8Linear => WeightFormat::Int8,
             _ => WeightFormat::Dense,
         };
     }
@@ -467,13 +584,21 @@ fn apply_choice(net: &mut Network, op: &mut IrOp, choice: AlgoChoice) {
 }
 
 fn set_layer_format(layers: &mut [Box<dyn crate::layer::Layer>], idx: usize, format: WeightFormat) {
+    // Quantised formats always re-run `set_format`, even when the label
+    // already matches: an earlier pass (BN folding) may have rewritten
+    // the weights through `weight_mut`, which drops the code snapshot —
+    // without a fresh pack the step would silently run the f32
+    // fallback. Re-packing is a compile-time cost only. Dense/CSR keep
+    // the skip (CSR snapshots are rebuilt by `weight_mut` callers via
+    // `set_format`, and re-snapshotting dense is a no-op).
+    let refresh = matches!(format, WeightFormat::Ternary | WeightFormat::Int8);
     let layer = layers[idx].as_any_mut();
     if let Some(c) = layer.downcast_mut::<crate::Conv2d>() {
-        if c.format() != format {
+        if refresh || c.format() != format {
             c.set_format(format);
         }
     } else if let Some(fc) = layer.downcast_mut::<crate::Linear>() {
-        if fc.format() != format {
+        if refresh || fc.format() != format {
             fc.set_format(format);
         }
     }
@@ -966,6 +1091,9 @@ mod tests {
             AlgoChoice::PackedLinear,
             AlgoChoice::ScalarLinear,
             AlgoChoice::CsrLinear,
+            AlgoChoice::TernaryConv,
+            AlgoChoice::TernaryLinear,
+            AlgoChoice::Int8Linear,
         ] {
             assert_eq!(AlgoChoice::from_tag(choice.tag()), Some(choice));
         }

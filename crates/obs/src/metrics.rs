@@ -62,6 +62,8 @@ metrics! {
     GemmPanels => ("gemm.panels", Counter),
     GemmKernelAvx2 => ("gemm.kernel.avx2", Counter),
     GemmKernelScalar => ("gemm.kernel.scalar", Counter),
+    GemmKernelTernary => ("gemm.kernel.ternary", Counter),
+    GemmKernelInt8 => ("gemm.kernel.int8", Counter),
     GemmBytesPacked => ("gemm.bytes_packed", Counter),
     // im2col lowering (tensor::im2col), incl. the fused im2col→pack path.
     Im2colCalls => ("im2col.calls", Counter),

@@ -12,12 +12,22 @@
 use crate::clock::Clock;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
-use cnn_stack_nn::{adopt_packed_panels, GuardConfig, InferenceSession, Network, PlanCompiler};
+use cnn_stack_nn::{
+    adopt_packed_panels, adopt_quant_panels, GuardConfig, InferenceSession, Network, PlanCompiler,
+    QuantPanels,
+};
 use cnn_stack_tensor::Tensor;
 use std::sync::Arc;
 
-/// Shared prepack exported from the first session built for a model.
-pub(crate) type PanelSet = Vec<Option<Arc<Vec<f32>>>>;
+/// Shared prepack exported from the first session built for a model:
+/// the f32 packed weight panels plus any quantised (2-bit ternary /
+/// int8) code panels — both `Arc`-shared, so every replica in a pool
+/// reads one physical copy of each.
+#[derive(Clone)]
+pub(crate) struct PanelSet {
+    packed: Vec<Option<Arc<Vec<f32>>>>,
+    quant: Vec<Option<QuantPanels>>,
+}
 
 /// Which plan pipeline a ladder compiles with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,7 +94,8 @@ impl SessionLadder {
             };
             let plan = compiler.run(&mut net, &shape, &exec)?;
             if let Some(panels) = shared.as_ref() {
-                adopt_packed_panels(&mut net, panels);
+                adopt_packed_panels(&mut net, &panels.packed);
+                adopt_quant_panels(&mut net, &panels.quant);
             }
             let guard = match kind {
                 LadderKind::Primary => cfg.guard(),
@@ -92,7 +103,10 @@ impl SessionLadder {
             };
             let mut session = InferenceSession::owned(net, plan, guard)?;
             if shared.is_none() {
-                *shared = Some(session.export_packed_panels());
+                *shared = Some(PanelSet {
+                    packed: session.export_packed_panels(),
+                    quant: session.export_quant_panels(),
+                });
             }
             let input = Tensor::zeros(shape);
             let mut output = Tensor::zeros(session.plan().output_shape().to_vec());

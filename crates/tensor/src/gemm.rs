@@ -56,6 +56,20 @@ pub enum GemmAlgorithm {
     /// available). The fast path for conv-im2col and linear layers.
     #[default]
     Packed,
+    /// Packed engine whose B-panels stay 2-bit ternary codes (one `u32`
+    /// per reduction step per NR-panel): the micro-kernel sign-selects
+    /// {−Wₙ, 0, +Wₚ} in registers from two per-layer scales. The decoded
+    /// values are exact f32s, so the FMA sequence — and therefore the
+    /// output bits — match [`GemmAlgorithm::Packed`] run on the
+    /// dequantised weights. Requires prepacked ternary panels; callers
+    /// without them (e.g. [`gemm_into`]) take the f32 packed path.
+    TernaryPacked,
+    /// Packed engine over int8 operands (per-tensor scales, f32
+    /// accumulate): both panels are quantised `i8`, products accumulate
+    /// exactly in f32, and the driver rescales at write-back. Requires
+    /// prepacked int8 panels; callers without them take the f32 packed
+    /// path.
+    Int8Packed,
 }
 
 /// Element-wise epilogue fused into the packed engine's write-back.
@@ -240,6 +254,14 @@ impl GemmPlan {
     pub fn col_chunks(&self) -> usize {
         self.n_panels().div_ceil(self.nc / NR)
     }
+
+    /// Words in a ternary packed-B buffer: one `u32` per reduction step
+    /// per NR-panel (16 columns × 2 bits). Compare
+    /// [`packed_b_elems`](Self::packed_b_elems): the same panels cost
+    /// 16× less memory traffic than f32.
+    pub fn ternary_b_words(&self) -> usize {
+        self.n_panels() * self.k
+    }
 }
 
 /// Packs `a[m×k]` (row-major) into MR-row panels: panel `ip` holds rows
@@ -346,6 +368,180 @@ pub fn pack_b_transposed_into(plan: &GemmPlan, w: &[f32], buf: &mut [f32]) {
         Metric::GemmBytesPacked,
         (plan.packed_b_elems() * std::mem::size_of::<f32>()) as u64,
     );
+}
+
+/// Packs `Aᵀ` into MR-row panels directly from `at[k×m]` (row-major),
+/// without materialising the transpose: the packed A is the `m×k`
+/// matrix with `A[r][p] = at[p·m + r]`. This is the transposed-conv
+/// orientation — the im2col matrix `[patch_len, positions]` *is* `Aᵀ`
+/// when positions play the M role — and the copies are contiguous
+/// MR-wide runs of each `at` row, so it is cheaper than [`pack_a_into`]
+/// on an explicit transpose.
+///
+/// # Panics
+///
+/// Panics if `at` or `buf` is shorter than the plan requires.
+pub fn pack_a_transposed_into(plan: &GemmPlan, at: &[f32], buf: &mut [f32]) {
+    let (m, k) = (plan.m, plan.k);
+    assert_eq!(at.len(), k * m, "Aᵀ length mismatch");
+    assert!(
+        buf.len() >= plan.packed_a_elems(),
+        "packed-A buffer too small"
+    );
+    for ip in 0..plan.m_panels() {
+        let i0 = ip * MR;
+        let rows = MR.min(m - i0);
+        let dst = &mut buf[ip * MR * k..(ip + 1) * MR * k];
+        for p in 0..k {
+            let src = &at[p * m + i0..p * m + i0 + rows];
+            let d = &mut dst[p * MR..p * MR + MR];
+            d[..rows].copy_from_slice(src);
+            d[rows..].fill(0.0);
+        }
+    }
+    obs::count(
+        Metric::GemmBytesPacked,
+        (plan.packed_a_elems() * std::mem::size_of::<f32>()) as u64,
+    );
+}
+
+/// Packs the *signs* of `Wᵀ` into 2-bit ternary NR-column panels: one
+/// `u32` per reduction step per panel, the code for column `c` at bits
+/// `2c..2c+2` — `0b00` = 0, `0b01` = +Wₚ, `0b10` = −Wₙ. `w[n×k]` is the
+/// linear weight layout (`B = Wᵀ`), exactly as in
+/// [`pack_b_transposed_into`]; columns beyond `n` encode zero. The two
+/// magnitudes are *not* stored here — the caller passes them to
+/// [`gemm_prepacked_ternary`], which is what makes the panels reusable
+/// across scale updates.
+///
+/// # Panics
+///
+/// Panics if `w` or `buf` is shorter than the plan requires.
+pub fn pack_b_ternary_transposed_into(plan: &GemmPlan, w: &[f32], buf: &mut [u32]) {
+    let (k, n) = (plan.k, plan.n);
+    assert_eq!(w.len(), n * k, "W length mismatch");
+    assert!(
+        buf.len() >= plan.ternary_b_words(),
+        "ternary packed-B buffer too small"
+    );
+    for jp in 0..plan.n_panels() {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let dst = &mut buf[jp * k..(jp + 1) * k];
+        dst.fill(0);
+        for c in 0..cols {
+            let src = &w[(j0 + c) * k..(j0 + c) * k + k];
+            for (p, &v) in src.iter().enumerate() {
+                let code: u32 = if v > 0.0 {
+                    0b01
+                } else if v < 0.0 {
+                    0b10
+                } else {
+                    0b00
+                };
+                dst[p] |= code << (2 * c);
+            }
+        }
+    }
+    obs::count(
+        Metric::GemmBytesPacked,
+        (plan.ternary_b_words() * std::mem::size_of::<u32>()) as u64,
+    );
+}
+
+/// Per-tensor int8 quantisation scale: `127 / max|x|`, or `1.0` when the
+/// data is empty, all-zero, or contains a non-finite value (every
+/// element then saturates/zeroes predictably under [`quantise_i8`]).
+pub fn quantise_scale_i8(data: &[f32]) -> f32 {
+    let mut maxabs = 0.0f32;
+    for &v in data {
+        // `f32::max` would silently drop a NaN operand, so reject
+        // non-finite values explicitly.
+        if !v.is_finite() {
+            return 1.0;
+        }
+        maxabs = maxabs.max(v.abs());
+    }
+    if maxabs > 0.0 {
+        127.0 / maxabs
+    } else {
+        1.0
+    }
+}
+
+/// Quantises one value to int8: `round(v · scale)` clamped to
+/// `[-127, 127]`. NaN maps to 0 (the `as` cast's saturating contract) —
+/// the int8 path is documented lossy, unlike the ternary path.
+#[inline]
+pub fn quantise_i8(v: f32, scale: f32) -> i8 {
+    (v * scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// [`pack_a_into`] for the int8 engine: quantises `a[m×k]` by `scale`
+/// while packing into MR-row i8 panels (same `buf[ip·MR·k + p·MR + r]`
+/// layout, one byte per element).
+///
+/// # Panics
+///
+/// Panics if `a` or `buf` is shorter than the plan requires.
+pub fn pack_a_i8_into(plan: &GemmPlan, a: &[f32], scale: f32, buf: &mut [i8]) {
+    let (m, k) = (plan.m, plan.k);
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert!(
+        buf.len() >= plan.packed_a_elems(),
+        "packed-A buffer too small"
+    );
+    for ip in 0..plan.m_panels() {
+        let dst = &mut buf[ip * MR * k..(ip + 1) * MR * k];
+        for r in 0..MR {
+            let row = ip * MR + r;
+            if row < m {
+                let src = &a[row * k..row * k + k];
+                for (p, &v) in src.iter().enumerate() {
+                    dst[p * MR + r] = quantise_i8(v, scale);
+                }
+            } else {
+                for p in 0..k {
+                    dst[p * MR + r] = 0;
+                }
+            }
+        }
+    }
+    obs::count(Metric::GemmBytesPacked, plan.packed_a_elems() as u64);
+}
+
+/// [`pack_b_transposed_into`] for the int8 engine: quantises `w[n×k]` by
+/// `scale` while packing `Wᵀ` into NR-column i8 panels (same
+/// `buf[jp·NR·k + p·NR + c]` layout, one byte per element).
+///
+/// # Panics
+///
+/// Panics if `w` or `buf` is shorter than the plan requires.
+pub fn pack_b_transposed_i8_into(plan: &GemmPlan, w: &[f32], scale: f32, buf: &mut [i8]) {
+    let (k, n) = (plan.k, plan.n);
+    assert_eq!(w.len(), n * k, "W length mismatch");
+    assert!(
+        buf.len() >= plan.packed_b_elems(),
+        "packed-B buffer too small"
+    );
+    for jp in 0..plan.n_panels() {
+        let j0 = jp * NR;
+        let dst = &mut buf[jp * NR * k..(jp + 1) * NR * k];
+        for c in 0..NR {
+            let col = j0 + c;
+            if col < n {
+                let src = &w[col * k..col * k + k];
+                for (p, &v) in src.iter().enumerate() {
+                    dst[p * NR + c] = quantise_i8(v, scale);
+                }
+            } else {
+                for p in 0..k {
+                    dst[p * NR + c] = 0;
+                }
+            }
+        }
+    }
+    obs::count(Metric::GemmBytesPacked, plan.packed_b_elems() as u64);
 }
 
 /// Which micro-kernel the packed engine dispatches to.
@@ -493,6 +689,265 @@ fn microkernel(kernel: MicroKernel, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; 
         // after `is_x86_feature_detected!` confirmed AVX2 and FMA; the
         // slice-length contract is upheld by the panel driver.
         MicroKernel::Avx2Fma => unsafe { microkernel_avx2(a, b, acc) },
+    }
+}
+
+/// Portable ternary micro-kernel: decodes each 2-bit B code word into an
+/// exact f32 row {0, +Wₚ, −Wₙ}, then runs the identical FMA loop as
+/// [`microkernel_scalar`] — same operations on the same values, so the
+/// accumulator bits match the f32 kernel on dequantised weights.
+fn microkernel_ternary_scalar(
+    a: &[f32],
+    codes: &[u32],
+    positive: f32,
+    negative: f32,
+    acc: &mut [[f32; NR]; MR],
+) {
+    let lut = [0.0f32, positive, -negative, 0.0];
+    for (ap, &word) in a.chunks_exact(MR).zip(codes) {
+        let ap: &[f32; MR] = ap.try_into().expect("chunks_exact yields MR");
+        let mut bp = [0.0f32; NR];
+        for (c, b) in bp.iter_mut().enumerate() {
+            *b = lut[((word >> (2 * c)) & 0b11) as usize];
+        }
+        for r in 0..MR {
+            let ar = ap[r];
+            let row = &mut acc[r];
+            for c in 0..NR {
+                row[c] += ar * bp[c];
+            }
+        }
+    }
+}
+
+/// AVX2/FMA ternary micro-kernel: each `u32` code word expands into two
+/// B vectors with three instructions apiece — variable right-shift
+/// (`vpsrlvd`) to move each 2-bit code into lane bits 1:0, mask, then a
+/// `vpermps` gather from the in-register table {0, +Wₚ, −Wₙ, 0} — and
+/// the FMA ladder is byte-for-byte the one in [`microkernel_avx2`], so
+/// outputs are bit-identical to the f32 kernel on dequantised weights
+/// while B-panel traffic drops 16×.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available. `a.len()` must be a
+/// multiple of `MR` and `codes.len()` must equal `a.len() / MR`.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_ternary_avx2(
+    a: &[f32],
+    codes: &[u32],
+    positive: f32,
+    negative: f32,
+    acc: &mut [[f32; NR]; MR],
+) {
+    #[cfg(target_arch = "x86")]
+    use core::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    debug_assert_eq!(a.len() % MR, 0);
+    debug_assert_eq!(codes.len(), a.len() / MR);
+    let kc = a.len() / MR;
+
+    // Decode table: lane index = 2-bit code (0b11 is never produced by
+    // the packer but still lands on 0.0).
+    let lut = _mm256_setr_ps(0.0, positive, -negative, 0.0, 0.0, 0.0, 0.0, 0.0);
+    let shifts_lo = _mm256_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14);
+    let shifts_hi = _mm256_setr_epi32(16, 18, 20, 22, 24, 26, 28, 30);
+    let mask3 = _mm256_set1_epi32(3);
+
+    // SAFETY (all intrinsics below): loads/stores stay inside `a`,
+    // `codes` and `acc`, whose lengths are checked above; only unaligned
+    // load/store forms are used.
+    let mut c00 = _mm256_loadu_ps(acc[0].as_ptr());
+    let mut c01 = _mm256_loadu_ps(acc[0].as_ptr().add(8));
+    let mut c10 = _mm256_loadu_ps(acc[1].as_ptr());
+    let mut c11 = _mm256_loadu_ps(acc[1].as_ptr().add(8));
+    let mut c20 = _mm256_loadu_ps(acc[2].as_ptr());
+    let mut c21 = _mm256_loadu_ps(acc[2].as_ptr().add(8));
+    let mut c30 = _mm256_loadu_ps(acc[3].as_ptr());
+    let mut c31 = _mm256_loadu_ps(acc[3].as_ptr().add(8));
+    let mut c40 = _mm256_loadu_ps(acc[4].as_ptr());
+    let mut c41 = _mm256_loadu_ps(acc[4].as_ptr().add(8));
+    let mut c50 = _mm256_loadu_ps(acc[5].as_ptr());
+    let mut c51 = _mm256_loadu_ps(acc[5].as_ptr().add(8));
+
+    let mut ap = a.as_ptr();
+    let mut wp = codes.as_ptr();
+    for _ in 0..kc {
+        let w = _mm256_set1_epi32(*wp as i32);
+        let idx0 = _mm256_and_si256(_mm256_srlv_epi32(w, shifts_lo), mask3);
+        let idx1 = _mm256_and_si256(_mm256_srlv_epi32(w, shifts_hi), mask3);
+        let b0 = _mm256_permutevar8x32_ps(lut, idx0);
+        let b1 = _mm256_permutevar8x32_ps(lut, idx1);
+        let a0 = _mm256_set1_ps(*ap);
+        c00 = _mm256_fmadd_ps(a0, b0, c00);
+        c01 = _mm256_fmadd_ps(a0, b1, c01);
+        let a1 = _mm256_set1_ps(*ap.add(1));
+        c10 = _mm256_fmadd_ps(a1, b0, c10);
+        c11 = _mm256_fmadd_ps(a1, b1, c11);
+        let a2 = _mm256_set1_ps(*ap.add(2));
+        c20 = _mm256_fmadd_ps(a2, b0, c20);
+        c21 = _mm256_fmadd_ps(a2, b1, c21);
+        let a3 = _mm256_set1_ps(*ap.add(3));
+        c30 = _mm256_fmadd_ps(a3, b0, c30);
+        c31 = _mm256_fmadd_ps(a3, b1, c31);
+        let a4 = _mm256_set1_ps(*ap.add(4));
+        c40 = _mm256_fmadd_ps(a4, b0, c40);
+        c41 = _mm256_fmadd_ps(a4, b1, c41);
+        let a5 = _mm256_set1_ps(*ap.add(5));
+        c50 = _mm256_fmadd_ps(a5, b0, c50);
+        c51 = _mm256_fmadd_ps(a5, b1, c51);
+        ap = ap.add(MR);
+        wp = wp.add(1);
+    }
+
+    _mm256_storeu_ps(acc[0].as_mut_ptr(), c00);
+    _mm256_storeu_ps(acc[0].as_mut_ptr().add(8), c01);
+    _mm256_storeu_ps(acc[1].as_mut_ptr(), c10);
+    _mm256_storeu_ps(acc[1].as_mut_ptr().add(8), c11);
+    _mm256_storeu_ps(acc[2].as_mut_ptr(), c20);
+    _mm256_storeu_ps(acc[2].as_mut_ptr().add(8), c21);
+    _mm256_storeu_ps(acc[3].as_mut_ptr(), c30);
+    _mm256_storeu_ps(acc[3].as_mut_ptr().add(8), c31);
+    _mm256_storeu_ps(acc[4].as_mut_ptr(), c40);
+    _mm256_storeu_ps(acc[4].as_mut_ptr().add(8), c41);
+    _mm256_storeu_ps(acc[5].as_mut_ptr(), c50);
+    _mm256_storeu_ps(acc[5].as_mut_ptr().add(8), c51);
+}
+
+/// Dispatches one ternary reduction block to the active micro-kernel.
+#[inline]
+fn microkernel_ternary(
+    kernel: MicroKernel,
+    a: &[f32],
+    codes: &[u32],
+    positive: f32,
+    negative: f32,
+    acc: &mut [[f32; NR]; MR],
+) {
+    match kernel {
+        MicroKernel::Scalar => microkernel_ternary_scalar(a, codes, positive, negative, acc),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: `Avx2Fma` is only ever selected by `active_kernel`
+        // after `is_x86_feature_detected!` confirmed AVX2 and FMA; the
+        // slice-length contract is upheld by the panel driver.
+        MicroKernel::Avx2Fma => unsafe {
+            microkernel_ternary_avx2(a, codes, positive, negative, acc)
+        },
+    }
+}
+
+/// Portable int8 micro-kernel: products of i8 operands accumulate in
+/// f32. Every product is an integer with |p| ≤ 127² = 16129 and a block
+/// partial sum is bounded by `kc · 16129 < 2²⁴` (kc ≤ 256), so the f32
+/// accumulation is *exact* — the scalar and FMA kernels agree bit for
+/// bit.
+fn microkernel_int8_scalar(a: &[i8], b: &[i8], acc: &mut [[f32; NR]; MR]) {
+    for (ap, bp) in a.chunks_exact(MR).zip(b.chunks_exact(NR)) {
+        let ap: &[i8; MR] = ap.try_into().expect("chunks_exact yields MR");
+        let bp: &[i8; NR] = bp.try_into().expect("chunks_exact yields NR");
+        for r in 0..MR {
+            let ar = ap[r] as f32;
+            let row = &mut acc[r];
+            for c in 0..NR {
+                row[c] += ar * bp[c] as f32;
+            }
+        }
+    }
+}
+
+/// AVX2/FMA int8 micro-kernel: one 16-byte B load per step sign-extends
+/// to two i32 vectors (`vpmovsxbd`) and converts to f32; the FMA ladder
+/// matches [`microkernel_avx2`]. Exact for the same reason as the scalar
+/// variant (all intermediates are integers below 2²⁴).
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available. `a.len()` must be a
+/// multiple of `MR` and `b.len() / NR` must equal `a.len() / MR`.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_int8_avx2(a: &[i8], b: &[i8], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86")]
+    use core::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    debug_assert_eq!(a.len() % MR, 0);
+    debug_assert_eq!(b.len() % NR, 0);
+    debug_assert_eq!(a.len() / MR, b.len() / NR);
+    let kc = a.len() / MR;
+
+    // SAFETY (all intrinsics below): loads/stores stay inside `a`, `b`
+    // and `acc`, whose lengths are checked above; only unaligned forms
+    // are used.
+    let mut c00 = _mm256_loadu_ps(acc[0].as_ptr());
+    let mut c01 = _mm256_loadu_ps(acc[0].as_ptr().add(8));
+    let mut c10 = _mm256_loadu_ps(acc[1].as_ptr());
+    let mut c11 = _mm256_loadu_ps(acc[1].as_ptr().add(8));
+    let mut c20 = _mm256_loadu_ps(acc[2].as_ptr());
+    let mut c21 = _mm256_loadu_ps(acc[2].as_ptr().add(8));
+    let mut c30 = _mm256_loadu_ps(acc[3].as_ptr());
+    let mut c31 = _mm256_loadu_ps(acc[3].as_ptr().add(8));
+    let mut c40 = _mm256_loadu_ps(acc[4].as_ptr());
+    let mut c41 = _mm256_loadu_ps(acc[4].as_ptr().add(8));
+    let mut c50 = _mm256_loadu_ps(acc[5].as_ptr());
+    let mut c51 = _mm256_loadu_ps(acc[5].as_ptr().add(8));
+
+    let mut ap = a.as_ptr();
+    let mut bp = b.as_ptr();
+    for _ in 0..kc {
+        let raw = _mm_loadu_si128(bp as *const __m128i);
+        let b0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+        let b1 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128::<8>(raw)));
+        let a0 = _mm256_set1_ps(*ap as f32);
+        c00 = _mm256_fmadd_ps(a0, b0, c00);
+        c01 = _mm256_fmadd_ps(a0, b1, c01);
+        let a1 = _mm256_set1_ps(*ap.add(1) as f32);
+        c10 = _mm256_fmadd_ps(a1, b0, c10);
+        c11 = _mm256_fmadd_ps(a1, b1, c11);
+        let a2 = _mm256_set1_ps(*ap.add(2) as f32);
+        c20 = _mm256_fmadd_ps(a2, b0, c20);
+        c21 = _mm256_fmadd_ps(a2, b1, c21);
+        let a3 = _mm256_set1_ps(*ap.add(3) as f32);
+        c30 = _mm256_fmadd_ps(a3, b0, c30);
+        c31 = _mm256_fmadd_ps(a3, b1, c31);
+        let a4 = _mm256_set1_ps(*ap.add(4) as f32);
+        c40 = _mm256_fmadd_ps(a4, b0, c40);
+        c41 = _mm256_fmadd_ps(a4, b1, c41);
+        let a5 = _mm256_set1_ps(*ap.add(5) as f32);
+        c50 = _mm256_fmadd_ps(a5, b0, c50);
+        c51 = _mm256_fmadd_ps(a5, b1, c51);
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+
+    _mm256_storeu_ps(acc[0].as_mut_ptr(), c00);
+    _mm256_storeu_ps(acc[0].as_mut_ptr().add(8), c01);
+    _mm256_storeu_ps(acc[1].as_mut_ptr(), c10);
+    _mm256_storeu_ps(acc[1].as_mut_ptr().add(8), c11);
+    _mm256_storeu_ps(acc[2].as_mut_ptr(), c20);
+    _mm256_storeu_ps(acc[2].as_mut_ptr().add(8), c21);
+    _mm256_storeu_ps(acc[3].as_mut_ptr(), c30);
+    _mm256_storeu_ps(acc[3].as_mut_ptr().add(8), c31);
+    _mm256_storeu_ps(acc[4].as_mut_ptr(), c40);
+    _mm256_storeu_ps(acc[4].as_mut_ptr().add(8), c41);
+    _mm256_storeu_ps(acc[5].as_mut_ptr(), c50);
+    _mm256_storeu_ps(acc[5].as_mut_ptr().add(8), c51);
+}
+
+/// Dispatches one int8 reduction block to the active micro-kernel.
+#[inline]
+fn microkernel_int8(kernel: MicroKernel, a: &[i8], b: &[i8], acc: &mut [[f32; NR]; MR]) {
+    match kernel {
+        MicroKernel::Scalar => microkernel_int8_scalar(a, b, acc),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: `Avx2Fma` is only ever selected by `active_kernel`
+        // after `is_x86_feature_detected!` confirmed AVX2 and FMA; the
+        // slice-length contract is upheld by the panel driver.
+        MicroKernel::Avx2Fma => unsafe { microkernel_int8_avx2(a, b, acc) },
     }
 }
 
@@ -650,6 +1105,234 @@ pub fn gemm_prepacked_epilogue(
     );
 }
 
+/// Ternary packed GEMM: `c[m×n] += packed_a · B` where B lives as 2-bit
+/// codes (see [`pack_b_ternary_transposed_into`]) with per-layer
+/// magnitudes `positive`/`negative` (the −Wₙ sign is applied in the
+/// kernel; pass `negative` as a positive magnitude). Blocking, K-walk,
+/// parallel grid, and the fused epilogue are identical to
+/// [`gemm_prepacked_epilogue`]; since the decoded weights are exact
+/// f32s, the output is bit-identical to the f32 engine run on the
+/// dequantised weights — the property the guard's quantised→packed
+/// demotion relies on.
+///
+/// # Panics
+///
+/// Panics if a buffer is shorter than the plan requires.
+#[allow(clippy::too_many_arguments)] // low-level kernel: the argument list *is* the GEMM shape
+pub fn gemm_prepacked_ternary(
+    plan: &GemmPlan,
+    packed_a: &[f32],
+    codes: &[u32],
+    positive: f32,
+    negative: f32,
+    c: &mut [f32],
+    threads: usize,
+    schedule: Schedule,
+    epilogue: GemmEpilogue,
+) {
+    let GemmPlan { m, k, n, .. } = *plan;
+    assert!(
+        packed_a.len() >= plan.packed_a_elems(),
+        "packed-A too small"
+    );
+    assert!(
+        codes.len() >= plan.ternary_b_words(),
+        "ternary packed-B too small"
+    );
+    assert_eq!(c.len(), m * n, "C length mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        if k == 0 && epilogue == GemmEpilogue::Relu {
+            for v in c.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        return;
+    }
+    let kernel = active_kernel();
+    let m_panels = plan.m_panels();
+    let n_panels = plan.n_panels();
+    let panels_per_row_chunk = plan.mc / MR;
+    let panels_per_col_chunk = plan.nc / NR;
+    let kc = plan.kc;
+
+    obs::with_current(|o| {
+        let metrics = o.metrics();
+        metrics.add(Metric::GemmCalls, 1);
+        metrics.add(Metric::GemmFlops, 2 * (m * k * n) as u64);
+        metrics.add(
+            Metric::GemmPanels,
+            (m_panels * n_panels * k.div_ceil(kc)) as u64,
+        );
+        metrics.add(Metric::GemmKernelTernary, 1);
+    });
+
+    let writer = DisjointWriter::new(c);
+    let writer = &writer;
+    parallel_tiles(
+        threads,
+        plan.row_chunks(),
+        plan.col_chunks(),
+        schedule,
+        |rc, cc| {
+            let ip0 = rc * panels_per_row_chunk;
+            let ip1 = (ip0 + panels_per_row_chunk).min(m_panels);
+            let jp0 = cc * panels_per_col_chunk;
+            let jp1 = (jp0 + panels_per_col_chunk).min(n_panels);
+            let mut pc = 0;
+            while pc < k {
+                let kc_eff = kc.min(k - pc);
+                let last_block = pc + kc_eff >= k;
+                for jp in jp0..jp1 {
+                    let b_codes = &codes[jp * k + pc..jp * k + pc + kc_eff];
+                    let j0 = jp * NR;
+                    let cols = NR.min(n - j0);
+                    for ip in ip0..ip1 {
+                        let a_block =
+                            &packed_a[ip * MR * k + pc * MR..ip * MR * k + (pc + kc_eff) * MR];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        microkernel_ternary(kernel, a_block, b_codes, positive, negative, &mut acc);
+                        let i0 = ip * MR;
+                        let rows = MR.min(m - i0);
+                        for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                            let row = i0 + r;
+                            // SAFETY: grain (rc, cc) exclusively owns
+                            // rows [ip0·MR, ip1·MR) × cols [jp0·NR,
+                            // jp1·NR) of C; ranges from distinct grains
+                            // never overlap, and the buffer outlives
+                            // the parallel region.
+                            let dst =
+                                unsafe { writer.slice_mut(row * n + j0, row * n + j0 + cols) };
+                            if last_block && epilogue == GemmEpilogue::Relu {
+                                for (d, &v) in dst.iter_mut().zip(&acc_row[..cols]) {
+                                    *d = (*d + v).max(0.0);
+                                }
+                            } else {
+                                for (d, &v) in dst.iter_mut().zip(&acc_row[..cols]) {
+                                    *d += v;
+                                }
+                            }
+                        }
+                    }
+                }
+                pc += kc_eff;
+            }
+        },
+    );
+}
+
+/// Int8 packed GEMM: `c[m×n] += scale · (packed_a · packed_b)` over i8
+/// panels (see [`pack_a_i8_into`] / [`pack_b_transposed_i8_into`]), with
+/// `scale = 1 / (qa · qw)` folding both quantisation scales back out.
+/// Products accumulate exactly in f32 inside each `kc` block, and the
+/// rescale happens at *every* block's write-back (a constant scale
+/// distributes over the blocked partial sums), so K-blocking cannot
+/// change the result; a fused ReLU still fires only on the final block.
+///
+/// # Panics
+///
+/// Panics if a buffer is shorter than the plan requires.
+#[allow(clippy::too_many_arguments)] // low-level kernel: the argument list *is* the GEMM shape
+pub fn gemm_prepacked_int8(
+    plan: &GemmPlan,
+    packed_a: &[i8],
+    packed_b: &[i8],
+    scale: f32,
+    c: &mut [f32],
+    threads: usize,
+    schedule: Schedule,
+    epilogue: GemmEpilogue,
+) {
+    let GemmPlan { m, k, n, .. } = *plan;
+    assert!(
+        packed_a.len() >= plan.packed_a_elems(),
+        "packed-A too small"
+    );
+    assert!(
+        packed_b.len() >= plan.packed_b_elems(),
+        "packed-B too small"
+    );
+    assert_eq!(c.len(), m * n, "C length mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        if k == 0 && epilogue == GemmEpilogue::Relu {
+            for v in c.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        return;
+    }
+    let kernel = active_kernel();
+    let m_panels = plan.m_panels();
+    let n_panels = plan.n_panels();
+    let panels_per_row_chunk = plan.mc / MR;
+    let panels_per_col_chunk = plan.nc / NR;
+    let kc = plan.kc;
+
+    obs::with_current(|o| {
+        let metrics = o.metrics();
+        metrics.add(Metric::GemmCalls, 1);
+        metrics.add(Metric::GemmFlops, 2 * (m * k * n) as u64);
+        metrics.add(
+            Metric::GemmPanels,
+            (m_panels * n_panels * k.div_ceil(kc)) as u64,
+        );
+        metrics.add(Metric::GemmKernelInt8, 1);
+    });
+
+    let writer = DisjointWriter::new(c);
+    let writer = &writer;
+    parallel_tiles(
+        threads,
+        plan.row_chunks(),
+        plan.col_chunks(),
+        schedule,
+        |rc, cc| {
+            let ip0 = rc * panels_per_row_chunk;
+            let ip1 = (ip0 + panels_per_row_chunk).min(m_panels);
+            let jp0 = cc * panels_per_col_chunk;
+            let jp1 = (jp0 + panels_per_col_chunk).min(n_panels);
+            let mut pc = 0;
+            while pc < k {
+                let kc_eff = kc.min(k - pc);
+                let last_block = pc + kc_eff >= k;
+                for jp in jp0..jp1 {
+                    let b_block =
+                        &packed_b[jp * NR * k + pc * NR..jp * NR * k + (pc + kc_eff) * NR];
+                    let j0 = jp * NR;
+                    let cols = NR.min(n - j0);
+                    for ip in ip0..ip1 {
+                        let a_block =
+                            &packed_a[ip * MR * k + pc * MR..ip * MR * k + (pc + kc_eff) * MR];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        microkernel_int8(kernel, a_block, b_block, &mut acc);
+                        let i0 = ip * MR;
+                        let rows = MR.min(m - i0);
+                        for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                            let row = i0 + r;
+                            // SAFETY: grain (rc, cc) exclusively owns
+                            // rows [ip0·MR, ip1·MR) × cols [jp0·NR,
+                            // jp1·NR) of C; ranges from distinct grains
+                            // never overlap, and the buffer outlives
+                            // the parallel region.
+                            let dst =
+                                unsafe { writer.slice_mut(row * n + j0, row * n + j0 + cols) };
+                            if last_block && epilogue == GemmEpilogue::Relu {
+                                for (d, &v) in dst.iter_mut().zip(&acc_row[..cols]) {
+                                    *d = (*d + v * scale).max(0.0);
+                                }
+                            } else {
+                                for (d, &v) in dst.iter_mut().zip(&acc_row[..cols]) {
+                                    *d += v * scale;
+                                }
+                            }
+                        }
+                    }
+                }
+                pc += kc_eff;
+            }
+        },
+    );
+}
+
 /// Packed GEMM from unpacked operands: packs A and B into `scratch`
 /// (sized by [`GemmPlan::scratch_elems`]), then runs [`gemm_prepacked`].
 /// `c[m×n] += a[m×k] · b[k×n]`; never allocates.
@@ -745,7 +1428,10 @@ pub fn gemm_into(
         GemmAlgorithm::Naive => gemm_naive(a, b, c, m, k, n),
         GemmAlgorithm::Blocked => gemm_tiled(a, b, c, m, k, n, TileConfig::new(64, 64, 64, 4)),
         GemmAlgorithm::Tiled(cfg) => gemm_tiled(a, b, c, m, k, n, cfg),
-        GemmAlgorithm::Packed => {
+        // The quantised engines operate on prepacked quantised panels;
+        // from plain f32 slices the defined fallback is the f32 packed
+        // path — the same bit-identical demotion the guard applies.
+        GemmAlgorithm::Packed | GemmAlgorithm::TernaryPacked | GemmAlgorithm::Int8Packed => {
             let plan = GemmPlan::new(m, k, n);
             let mut scratch = vec![0.0f32; plan.scratch_elems()];
             gemm_packed_into(a, b, c, m, k, n, &mut scratch, 1, Schedule::Static);
@@ -1207,6 +1893,337 @@ mod tests {
             &plan,
             &[],
             &[],
+            &mut c,
+            1,
+            Schedule::Static,
+            GemmEpilogue::Relu,
+        );
+        assert_eq!(c, vec![0.0, 2.0, 0.0, 4.0, 0.0, 6.0]);
+    }
+
+    /// A deterministic ternary weight matrix drawn from {−0.4, 0, +0.7}.
+    fn ternary_weights(n: usize, k: usize, seed: u64) -> Vec<f32> {
+        (0..n * k)
+            .map(|i| match (i as u64 * 2654435761 + seed) % 5 {
+                0 => 0.7,
+                1 => -0.4,
+                _ => 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_a_transposed_matches_pack_a() {
+        let (m, k) = (13, 29);
+        let a = random_tensor([m, k], 91);
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a.data()[i * k + p];
+            }
+        }
+        let plan = GemmPlan::new(m, k, 8);
+        let mut direct = vec![f32::NAN; plan.packed_a_elems()];
+        let mut via = vec![f32::NAN; plan.packed_a_elems()];
+        pack_a_into(&plan, a.data(), &mut direct);
+        pack_a_transposed_into(&plan, &at, &mut via);
+        assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn ternary_prepacked_bit_matches_f32_on_dequantised() {
+        // The quantised→packed demotion contract: the ternary engine must
+        // reproduce the f32 packed engine's exact bits when the f32
+        // engine runs on the dequantised weights. k = 300 > kc exercises
+        // multiple reduction blocks, ragged m/n the panel edges.
+        for &(m, k, n) in &[
+            (1, 9, 1),
+            (MR - 1, 13, NR - 1),
+            (MR + 1, 300, NR + 1),
+            (7, 256, 33),
+        ] {
+            let a = random_tensor([m, k], (m * k) as u64);
+            let w = ternary_weights(n, k, (k + n) as u64);
+            let plan = GemmPlan::new(m, k, n);
+            let mut pa = vec![f32::NAN; plan.packed_a_elems()];
+            pack_a_into(&plan, a.data(), &mut pa);
+            let mut pb = vec![f32::NAN; plan.packed_b_elems()];
+            pack_b_transposed_into(&plan, &w, &mut pb);
+            let mut codes = vec![0xffff_ffffu32; plan.ternary_b_words()];
+            pack_b_ternary_transposed_into(&plan, &w, &mut codes);
+            for epilogue in [GemmEpilogue::None, GemmEpilogue::Relu] {
+                let bias: Vec<f32> = (0..m * n).map(|i| (i as f32 * 0.4).sin()).collect();
+                let mut f32_c = bias.clone();
+                gemm_prepacked_epilogue(&plan, &pa, &pb, &mut f32_c, 1, Schedule::Static, epilogue);
+                let mut tern_c = bias;
+                gemm_prepacked_ternary(
+                    &plan,
+                    &pa,
+                    &codes,
+                    0.7,
+                    0.4,
+                    &mut tern_c,
+                    1,
+                    Schedule::Static,
+                    epilogue,
+                );
+                assert_eq!(
+                    f32_c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    tern_c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{m}x{k}x{n} {epilogue:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_parallel_matches_serial() {
+        let (m, k, n) = (41, 300, 53);
+        let a = random_tensor([m, k], 11);
+        let w = ternary_weights(n, k, 12);
+        let plan = GemmPlan::new(m, k, n);
+        let mut pa = vec![0.0f32; plan.packed_a_elems()];
+        pack_a_into(&plan, a.data(), &mut pa);
+        let mut codes = vec![0u32; plan.ternary_b_words()];
+        pack_b_ternary_transposed_into(&plan, &w, &mut codes);
+        let run = |threads: usize, schedule: Schedule| {
+            let mut c = vec![0.0f32; m * n];
+            gemm_prepacked_ternary(
+                &plan,
+                &pa,
+                &codes,
+                0.7,
+                0.4,
+                &mut c,
+                threads,
+                schedule,
+                GemmEpilogue::None,
+            );
+            c
+        };
+        let serial = run(1, Schedule::Static);
+        for threads in [2, 4] {
+            assert_eq!(
+                serial,
+                run(threads, Schedule::Dynamic { chunk: 1 }),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn ternary_zero_weight_times_nan_activation_is_nan() {
+        // 0 · NaN policy: a zero *code* still multiplies the activation,
+        // so a NaN in A reaches every output column — including columns
+        // whose weights are all zero — exactly like the f32 kernels.
+        let (m, k, n) = (3, 5, 4);
+        let mut a = vec![1.0f32; m * k];
+        a[k] = f32::NAN; // row 1 sees a NaN at k-step 0
+        let w = vec![0.0f32; n * k]; // all-zero ternary weights
+        let plan = GemmPlan::new(m, k, n);
+        let mut pa = vec![0.0f32; plan.packed_a_elems()];
+        pack_a_into(&plan, &a, &mut pa);
+        let mut codes = vec![0u32; plan.ternary_b_words()];
+        pack_b_ternary_transposed_into(&plan, &w, &mut codes);
+        let mut c = vec![0.0f32; m * n];
+        gemm_prepacked_ternary(
+            &plan,
+            &pa,
+            &codes,
+            0.0,
+            0.0,
+            &mut c,
+            1,
+            Schedule::Static,
+            GemmEpilogue::None,
+        );
+        for j in 0..n {
+            assert!(c[n + j].is_nan(), "row 1 col {j} must be NaN");
+            assert_eq!(c[j], 0.0, "row 0 col {j} stays 0");
+        }
+    }
+
+    #[test]
+    fn ternary_scalar_and_simd_kernels_agree() {
+        let (m, k, n) = (MR, 37, NR);
+        let a = random_tensor([m, k], 23);
+        let w = ternary_weights(n, k, 24);
+        let plan = GemmPlan::new(m, k, n);
+        let mut pa = vec![0.0f32; plan.packed_a_elems()];
+        pack_a_into(&plan, a.data(), &mut pa);
+        let mut codes = vec![0u32; plan.ternary_b_words()];
+        pack_b_ternary_transposed_into(&plan, &w, &mut codes);
+        let mut scalar = [[0.0f32; NR]; MR];
+        microkernel_ternary_scalar(&pa, &codes, 0.7, 0.4, &mut scalar);
+        let mut other = [[0.0f32; NR]; MR];
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            // SAFETY: AVX2+FMA presence just checked; panel lengths are
+            // plan-consistent by construction.
+            unsafe { microkernel_ternary_avx2(&pa, &codes, 0.7, 0.4, &mut other) };
+        } else {
+            microkernel_ternary_scalar(&pa, &codes, 0.7, 0.4, &mut other);
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        microkernel_ternary_scalar(&pa, &codes, 0.7, 0.4, &mut other);
+        for r in 0..MR {
+            for c in 0..NR {
+                assert!(
+                    (scalar[r][c] - other[r][c]).abs() <= 1e-4,
+                    "kernel mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_prepacked_matches_dequantised_reference() {
+        // The int8 engine must equal the f32 naive reference computed
+        // from the *dequantised* operands to ≤1e-5 relative tolerance
+        // (the only rounding is the per-block scaled write-back).
+        for &(m, k, n) in &[(1, 9, 1), (MR + 1, 300, NR + 1), (7, 256, 33)] {
+            let a = random_tensor([m, k], (m + 7 * k) as u64);
+            let w = random_tensor([n, k], (n + 3 * k) as u64);
+            let qa = quantise_scale_i8(a.data());
+            let qw = quantise_scale_i8(w.data());
+            let plan = GemmPlan::new(m, k, n);
+            let mut pa = vec![0i8; plan.packed_a_elems()];
+            pack_a_i8_into(&plan, a.data(), qa, &mut pa);
+            let mut pb = vec![0i8; plan.packed_b_elems()];
+            pack_b_transposed_i8_into(&plan, w.data(), qw, &mut pb);
+            let mut c = vec![0.0f32; m * n];
+            gemm_prepacked_int8(
+                &plan,
+                &pa,
+                &pb,
+                1.0 / (qa * qw),
+                &mut c,
+                1,
+                Schedule::Static,
+                GemmEpilogue::None,
+            );
+            // Dequantised reference.
+            let deq_a: Vec<f32> = (0..m * k)
+                .map(|i| quantise_i8(a.data()[i], qa) as f32 / qa)
+                .collect();
+            let mut deq_b = vec![0.0f32; k * n];
+            for j in 0..n {
+                for p in 0..k {
+                    deq_b[p * n + j] = quantise_i8(w.data()[j * k + p], qw) as f32 / qw;
+                }
+            }
+            let mut want = vec![0.0f32; m * n];
+            gemm_naive(&deq_a, &deq_b, &mut want, m, k, n);
+            for (i, (&got, &exp)) in c.iter().zip(&want).enumerate() {
+                let tol = 1e-5 * exp.abs().max(1.0);
+                assert!(
+                    (got - exp).abs() <= tol,
+                    "{m}x{k}x{n} elem {i}: {got} vs {exp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_scalar_and_simd_kernels_agree_exactly() {
+        // All int8 intermediates are integers below 2^24, so mul+add and
+        // FMA round identically: the two kernels must agree bit for bit.
+        let (m, k, n) = (MR, 37, NR);
+        let a = random_tensor([m, k], 25);
+        let w = random_tensor([n, k], 26);
+        let plan = GemmPlan::new(m, k, n);
+        let mut pa = vec![0i8; plan.packed_a_elems()];
+        pack_a_i8_into(&plan, a.data(), quantise_scale_i8(a.data()), &mut pa);
+        let mut pb = vec![0i8; plan.packed_b_elems()];
+        pack_b_transposed_i8_into(&plan, w.data(), quantise_scale_i8(w.data()), &mut pb);
+        let mut scalar = [[0.0f32; NR]; MR];
+        microkernel_int8_scalar(&pa, &pb, &mut scalar);
+        let mut other = [[0.0f32; NR]; MR];
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            // SAFETY: AVX2+FMA presence just checked; panel lengths are
+            // plan-consistent by construction.
+            unsafe { microkernel_int8_avx2(&pa, &pb, &mut other) };
+        } else {
+            microkernel_int8_scalar(&pa, &pb, &mut other);
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        microkernel_int8_scalar(&pa, &pb, &mut other);
+        assert_eq!(scalar, other);
+    }
+
+    #[test]
+    fn int8_relu_epilogue_fires_only_on_last_block() {
+        // k = 300 > kc: earlier blocks must write raw scaled partial
+        // sums; only the final block clamps. Compare against an unfused
+        // run plus a separate sweep.
+        let (m, k, n) = (7, 300, 17);
+        let a = random_tensor([m, k], 31);
+        let w = random_tensor([n, k], 32);
+        let qa = quantise_scale_i8(a.data());
+        let qw = quantise_scale_i8(w.data());
+        let plan = GemmPlan::new(m, k, n);
+        let mut pa = vec![0i8; plan.packed_a_elems()];
+        pack_a_i8_into(&plan, a.data(), qa, &mut pa);
+        let mut pb = vec![0i8; plan.packed_b_elems()];
+        pack_b_transposed_i8_into(&plan, w.data(), qw, &mut pb);
+        let bias: Vec<f32> = (0..m * n).map(|i| (i as f32 * 0.3).cos()).collect();
+        let scale = 1.0 / (qa * qw);
+        let mut fused = bias.clone();
+        gemm_prepacked_int8(
+            &plan,
+            &pa,
+            &pb,
+            scale,
+            &mut fused,
+            1,
+            Schedule::Static,
+            GemmEpilogue::Relu,
+        );
+        let mut swept = bias;
+        gemm_prepacked_int8(
+            &plan,
+            &pa,
+            &pb,
+            scale,
+            &mut swept,
+            1,
+            Schedule::Static,
+            GemmEpilogue::None,
+        );
+        for v in swept.iter_mut() {
+            *v = v.max(0.0);
+        }
+        assert_eq!(
+            fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            swept.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn quantise_helpers_guard_degenerate_inputs() {
+        assert_eq!(quantise_scale_i8(&[]), 1.0);
+        assert_eq!(quantise_scale_i8(&[0.0, 0.0]), 1.0);
+        assert_eq!(quantise_scale_i8(&[1.0, f32::NAN]), 1.0);
+        assert_eq!(quantise_scale_i8(&[f32::INFINITY]), 1.0);
+        assert_eq!(quantise_scale_i8(&[-2.0, 0.5]), 127.0 / 2.0);
+        // NaN activations quantise to 0 (saturating cast) — documented
+        // lossy, unlike the ternary path.
+        assert_eq!(quantise_i8(f32::NAN, 1.0), 0);
+        assert_eq!(quantise_i8(f32::INFINITY, 1.0), 127);
+        assert_eq!(quantise_i8(-1e9, 1.0), -127);
+    }
+
+    #[test]
+    fn ternary_empty_reduction_applies_epilogue() {
+        let plan = GemmPlan::new(2, 0, 3);
+        let mut c = vec![-1.0, 2.0, -3.0, 4.0, -5.0, 6.0];
+        gemm_prepacked_ternary(
+            &plan,
+            &[],
+            &[],
+            0.5,
+            0.5,
             &mut c,
             1,
             Schedule::Static,

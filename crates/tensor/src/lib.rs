@@ -27,8 +27,10 @@ pub mod tensor;
 pub mod winograd;
 
 pub use gemm::{
-    gemm_kernel_name, gemm_packed_into, gemm_prepacked, gemm_prepacked_epilogue, matmul,
-    pack_a_into, pack_b_into, pack_b_transposed_into, GemmAlgorithm, GemmEpilogue, GemmPlan,
+    gemm_kernel_name, gemm_packed_into, gemm_prepacked, gemm_prepacked_epilogue,
+    gemm_prepacked_int8, gemm_prepacked_ternary, matmul, pack_a_i8_into, pack_a_into,
+    pack_a_transposed_into, pack_b_into, pack_b_ternary_transposed_into, pack_b_transposed_i8_into,
+    pack_b_transposed_into, quantise_i8, quantise_scale_i8, GemmAlgorithm, GemmEpilogue, GemmPlan,
     TileConfig, MR, NR,
 };
 pub use im2col::{

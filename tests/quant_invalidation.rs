@@ -1,0 +1,288 @@
+//! Quantised panel-cache lifecycle tests: every route that mutates a
+//! layer's weights or flips its storage format must drop (or refresh)
+//! the 2-bit ternary / int8 code snapshots, so the quantised kernels
+//! can never read stale codes. A missing snapshot is a performance
+//! event — the dispatch falls back to the f32 packed engine on the
+//! dense master weights — never a correctness one.
+//!
+//! Covered routes: `set_format` (snapshot + refresh + drop on flip to
+//! Dense), `weight_mut` (drop), and `compress::ttq::reproject` (drop
+//! via the shared weight-param walk), plus the panel-adoption surface
+//! (`export_quant_panels` / `adopt_quant_panels`) rejecting mismatched
+//! donors.
+
+use cnn_stack::compress::ttq::{reproject, ttq_quantise};
+use cnn_stack::nn::{
+    adopt_quant_panels, export_quant_panels, Conv2d, ConvAlgorithm, ExecConfig, Flatten, Layer,
+    Linear, Network, Phase, WeightFormat,
+};
+use cnn_stack::tensor::{GemmAlgorithm, Tensor};
+
+fn ternary_cfg() -> ExecConfig {
+    ExecConfig {
+        conv_algo: ConvAlgorithm::Im2col,
+        gemm_algo: GemmAlgorithm::TernaryPacked,
+        ..ExecConfig::serial()
+    }
+}
+
+fn packed_cfg() -> ExecConfig {
+    ExecConfig {
+        conv_algo: ConvAlgorithm::Im2col,
+        gemm_algo: GemmAlgorithm::Packed,
+        ..ExecConfig::serial()
+    }
+}
+
+/// Writes a deterministic ternary pattern drawn from `{-wn, 0, +wp}`.
+fn fill_ternary(data: &mut [f32], wp: f32, wn: f32, seed: u64) {
+    for (i, v) in data.iter_mut().enumerate() {
+        *v = match (i as u64 * 2654435761 + seed) % 4 {
+            0 => wp,
+            1 => -wn,
+            _ => 0.0,
+        };
+    }
+}
+
+fn assert_bit_identical(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape().dims(), b.shape().dims());
+    for (i, (&x, &y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+        assert!(
+            x == y || (x.is_nan() && y.is_nan()),
+            "{} element {} differs: {} vs {}",
+            what,
+            i,
+            x,
+            y
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+#[test]
+fn linear_ternary_snapshot_bit_matches_f32_packed() {
+    let mut fc = Linear::new(33, 17, 5);
+    fill_ternary(fc.weight_mut().value.data_mut(), 0.75, 0.5, 1);
+    fc.set_format(WeightFormat::Ternary);
+    let x = Tensor::from_fn([3, 33], |i| (i as f32 * 0.17).sin());
+    let quant = fc.forward(&x, Phase::Eval, &ternary_cfg());
+    let f32_run = fc.forward(&x, Phase::Eval, &packed_cfg());
+    assert_bit_identical(&quant, &f32_run, "linear ternary");
+}
+
+#[test]
+fn linear_weight_mut_drops_stale_ternary_panels() {
+    let mut fc = Linear::new(20, 9, 5);
+    fill_ternary(fc.weight_mut().value.data_mut(), 0.75, 0.5, 1);
+    fc.set_format(WeightFormat::Ternary);
+    let x = Tensor::from_fn([2, 20], |i| (i as f32 * 0.31).cos());
+    let before = fc.forward(&x, Phase::Eval, &ternary_cfg());
+
+    // Mutate the weights through `weight_mut` *without* re-calling
+    // `set_format`: the snapshot must be dropped, so the quantised
+    // config falls back to the f32 engine on the NEW weights.
+    fill_ternary(fc.weight_mut().value.data_mut(), 1.25, 0.25, 7);
+    let after = fc.forward(&x, Phase::Eval, &ternary_cfg());
+    let reference = fc.forward(&x, Phase::Eval, &packed_cfg());
+    assert_bit_identical(&after, &reference, "post-mutation linear");
+    assert!(
+        after.data() != before.data(),
+        "stale codes survived the weight mutation"
+    );
+
+    // Re-snapshotting restores the quantised kernel, still bit-equal.
+    fc.set_format(WeightFormat::Ternary);
+    let refreshed = fc.forward(&x, Phase::Eval, &ternary_cfg());
+    assert_bit_identical(&refreshed, &reference, "refreshed linear");
+}
+
+#[test]
+fn linear_format_flips_replace_or_drop_panels() {
+    let mut fc = Linear::new(24, 11, 3);
+    fill_ternary(fc.weight_mut().value.data_mut(), 0.5, 1.0, 2);
+    let x = Tensor::from_fn([2, 24], |i| (i as f32 * 0.13).sin());
+    let dense_ref = fc.forward(&x, Phase::Eval, &packed_cfg());
+
+    // Ternary → Int8 → Dense. Each flip must leave the layer serving
+    // correct results under every kernel request.
+    fc.set_format(WeightFormat::Ternary);
+    assert_bit_identical(
+        &fc.forward(&x, Phase::Eval, &ternary_cfg()),
+        &dense_ref,
+        "ternary rung",
+    );
+
+    fc.set_format(WeightFormat::Int8);
+    let int8_cfg = ExecConfig {
+        gemm_algo: GemmAlgorithm::Int8Packed,
+        ..ExecConfig::serial()
+    };
+    let int8_out = fc.forward(&x, Phase::Eval, &int8_cfg);
+    // Int8 is lossy: close, not bit-equal (weights and activations each
+    // round to 8 bits).
+    for (&q, &d) in int8_out.data().iter().zip(dense_ref.data()) {
+        assert!(
+            (q - d).abs() <= 0.05 * d.abs().max(1.0),
+            "int8 drifted: {} vs {}",
+            q,
+            d
+        );
+    }
+    // A ternary request against an int8 snapshot must fall back to f32,
+    // not decode int8 codes as ternary.
+    assert_bit_identical(
+        &fc.forward(&x, Phase::Eval, &ternary_cfg()),
+        &dense_ref,
+        "ternary request on int8 snapshot",
+    );
+
+    fc.set_format(WeightFormat::Dense);
+    assert_bit_identical(
+        &fc.forward(&x, Phase::Eval, &ternary_cfg()),
+        &dense_ref,
+        "dense rung",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+#[test]
+fn conv_ternary_snapshot_bit_matches_f32_packed() {
+    let mut conv = Conv2d::new(4, 10, 3, 1, 1, 9);
+    fill_ternary(conv.weight_mut().value.data_mut(), 0.625, 0.375, 3);
+    conv.set_format(WeightFormat::Ternary);
+    let x = Tensor::from_fn([2, 4, 6, 6], |i| (i as f32 * 0.07).sin());
+    let quant = conv.forward(&x, Phase::Eval, &ternary_cfg());
+    let f32_run = conv.forward(&x, Phase::Eval, &packed_cfg());
+    assert_bit_identical(&quant, &f32_run, "conv ternary");
+}
+
+#[test]
+fn conv_weight_mut_drops_stale_ternary_panels() {
+    let mut conv = Conv2d::new(3, 6, 3, 1, 1, 9);
+    fill_ternary(conv.weight_mut().value.data_mut(), 0.625, 0.375, 3);
+    conv.set_format(WeightFormat::Ternary);
+    let x = Tensor::from_fn([1, 3, 5, 5], |i| (i as f32 * 0.11).cos());
+    let before = conv.forward(&x, Phase::Eval, &ternary_cfg());
+
+    fill_ternary(conv.weight_mut().value.data_mut(), 0.875, 0.125, 11);
+    let after = conv.forward(&x, Phase::Eval, &ternary_cfg());
+    let reference = conv.forward(&x, Phase::Eval, &packed_cfg());
+    assert_bit_identical(&after, &reference, "post-mutation conv");
+    assert!(
+        after.data() != before.data(),
+        "stale codes survived the weight mutation"
+    );
+}
+
+#[test]
+fn conv_non_ternary_weights_fall_back_defined() {
+    // `set_format(Ternary)` on weights with more than one magnitude per
+    // sign takes no snapshot; the quantised request must serve the f32
+    // path instead of asserting or mis-encoding.
+    let mut conv = Conv2d::new(2, 4, 3, 1, 1, 9);
+    conv.set_format(WeightFormat::Ternary); // random init: not ternary
+    let x = Tensor::from_fn([1, 2, 5, 5], |i| (i as f32 * 0.19).sin());
+    let quant = conv.forward(&x, Phase::Eval, &ternary_cfg());
+    let reference = conv.forward(&x, Phase::Eval, &packed_cfg());
+    assert_bit_identical(&quant, &reference, "non-ternary fallback");
+}
+
+// ---------------------------------------------------------------------------
+// TTQ reprojection
+// ---------------------------------------------------------------------------
+
+/// Mixed-magnitude pattern whose TTQ scales are lopsided (W⁺ ≈ 0.9,
+/// W⁻ ≈ 0.25), so a reprojection at `t = 0.4` (delta ≈ 0.36) provably
+/// zeroes the whole negative side and changes the network output.
+fn fill_mixed(data: &mut [f32], seed: u64) {
+    for (i, v) in data.iter_mut().enumerate() {
+        *v = match (i as u64 * 2654435761 + seed) % 5 {
+            0 => 1.0,
+            1 => 0.8,
+            2 => -0.3,
+            3 => -0.2,
+            _ => 0.04,
+        };
+    }
+}
+
+#[test]
+fn reproject_drops_stale_quant_panels() {
+    let build = || {
+        Network::new(vec![
+            Box::new(Conv2d::new(3, 8, 3, 1, 1, 21)) as Box<dyn Layer>,
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(8 * 6 * 6, 5, 22)),
+        ])
+        .unwrap()
+    };
+    let mut net = build();
+    for layer in net.layers_mut() {
+        if let Some(c) = layer.as_any_mut().downcast_mut::<Conv2d>() {
+            fill_mixed(c.weight_mut().value.data_mut(), 1);
+        } else if let Some(fc) = layer.as_any_mut().downcast_mut::<Linear>() {
+            fill_mixed(fc.weight_mut().value.data_mut(), 2);
+        }
+    }
+    ttq_quantise(&mut net, 0.05);
+    cnn_stack::nn::network::set_network_format(&mut net, WeightFormat::Ternary);
+    let x = Tensor::from_fn([1, 3, 6, 6], |i| (i as f32 * 0.23).sin());
+    let before = net.forward(&x, Phase::Eval, &ternary_cfg());
+
+    // Reprojecting at a harsher threshold rewrites the master weights
+    // (through `weight_mut`), so the old code panels are stale; the
+    // quantised config must now serve the REPROJECTED weights via the
+    // f32 fallback.
+    reproject(&mut net, 0.4);
+    let after = net.forward(&x, Phase::Eval, &ternary_cfg());
+    let reference = net.forward(&x, Phase::Eval, &packed_cfg());
+    assert_bit_identical(&after, &reference, "post-reproject");
+    assert!(
+        after.data() != before.data(),
+        "reprojection changed no output — threshold too soft for the test"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Panel adoption
+// ---------------------------------------------------------------------------
+
+#[test]
+fn adopt_quant_panels_shares_and_rejects() {
+    let build = |seed| {
+        let mut fc = Linear::new(28, 13, seed);
+        fill_ternary(fc.weight_mut().value.data_mut(), 0.5, 0.75, 4);
+        let mut net = Network::new(vec![Box::new(fc) as Box<dyn Layer>]).unwrap();
+        cnn_stack::nn::network::set_network_format(&mut net, WeightFormat::Ternary);
+        net
+    };
+    let mut donor = build(31);
+    let panels = export_quant_panels(&mut donor);
+    assert!(
+        panels.iter().any(|p| p.is_some()),
+        "donor exported no quant panels"
+    );
+
+    // Identically-shaped replica adopts the donor's codes.
+    let mut replica = build(31);
+    assert_eq!(adopt_quant_panels(&mut replica, &panels), 1);
+    let x = Tensor::from_fn([2, 28], |i| (i as f32 * 0.29).cos());
+    assert_bit_identical(
+        &replica.forward(&x, Phase::Eval, &ternary_cfg()),
+        &donor.forward(&x, Phase::Eval, &ternary_cfg()),
+        "replica vs donor",
+    );
+
+    // A differently-shaped layer must refuse the panels outright.
+    let mut misfit =
+        Network::new(vec![Box::new(Linear::new(12, 13, 31)) as Box<dyn Layer>]).unwrap();
+    cnn_stack::nn::network::set_network_format(&mut misfit, WeightFormat::Ternary);
+    assert_eq!(adopt_quant_panels(&mut misfit, &panels), 0);
+}

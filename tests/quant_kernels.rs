@@ -1,0 +1,250 @@
+//! Property tests pinning the quantised compute path to f32 references:
+//!
+//! * [`PackedTernaryMatrix::spmm`] (the 2-bit storage path) against a
+//!   naive dense-reference product, including NaN/Inf inputs — zero
+//!   codes still multiply, so `0 · NaN` stays NaN exactly like the
+//!   dense GEMM kernels (no zero-skip);
+//! * the ternary packed GEMM engine against the f32 packed engine run
+//!   on the dequantised weights — bit-identical by construction (same
+//!   FMA ladder, same blocking), which is the property the guard's
+//!   quantised→packed demotion relies on;
+//! * the int8 packed GEMM engine against an exact integer reference —
+//!   products accumulate exactly in f32 below 2²⁴, so a single-K-block
+//!   run must match `scale · Σ(aq·wq)` to the bit.
+
+use cnn_stack::compress::packed::PackedTernaryMatrix;
+use cnn_stack::parallel::Schedule;
+use cnn_stack::tensor::{
+    gemm_prepacked_int8, gemm_prepacked_ternary, pack_a_i8_into, pack_a_into,
+    pack_b_ternary_transposed_into, pack_b_transposed_i8_into, pack_b_transposed_into, quantise_i8,
+    quantise_scale_i8, GemmEpilogue, GemmPlan, Tensor,
+};
+use proptest::prelude::*;
+
+/// Bitwise-ish f32 equality: NaN matches NaN, everything else must
+/// compare equal (covers ±inf; treats -0.0 == 0.0, which is fine here).
+fn same_f32(a: f32, b: f32) -> bool {
+    (a.is_nan() && b.is_nan()) || a == b
+}
+
+fn assert_all_match(actual: &[f32], expected: &[f32], what: &str) {
+    assert_eq!(actual.len(), expected.len());
+    for (i, (&a, &e)) in actual.iter().zip(expected).enumerate() {
+        assert!(
+            same_f32(a, e),
+            "{} element {} differs: got {}, reference {}",
+            what,
+            i,
+            a,
+            e
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PackedTernaryMatrix::spmm
+// ---------------------------------------------------------------------------
+
+/// Naive `W·B` accumulating columns in the same ascending order as
+/// `spmm`'s packed traversal, so finite results — and the reach of any
+/// NaN/Inf — are bit-identical. Zero weights multiply; nothing skips.
+fn naive_spmm(w: &[f32], b: &[f32], rows: usize, cols: usize, bn: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * bn];
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = w[r * cols + c];
+            for j in 0..bn {
+                out[r * bn + j] += v * b[c * bn + j];
+            }
+        }
+    }
+    out
+}
+
+/// ((rows, cols, bn), ternary codes as 0/1/2, (Wp, Wn), B values).
+type SpmmCase = ((usize, usize, usize), Vec<u8>, (f32, f32), Vec<f32>);
+
+fn spmm_case() -> impl Strategy<Value = SpmmCase> {
+    (1usize..9, 1usize..14, 1usize..6).prop_flat_map(|(rows, cols, bn)| {
+        let codes = proptest::collection::vec(0u8..3, rows * cols);
+        let scales = (0.01f32..2.0, 0.01f32..2.0);
+        let b = proptest::collection::vec(-4.0f32..4.0, cols * bn);
+        (Just((rows, cols, bn)), codes, scales, b)
+    })
+}
+
+fn dense_ternary(rows: usize, cols: usize, codes: &[u8], wp: f32, wn: f32) -> Tensor {
+    Tensor::from_fn([rows, cols], |i| match codes[i] {
+        1 => wp,
+        2 => -wn,
+        _ => 0.0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spmm_matches_dense_reference(
+        ((rows, cols, bn), codes, (wp, wn), b) in spmm_case()
+    ) {
+        let dense = dense_ternary(rows, cols, &codes, wp, wn);
+        let m = PackedTernaryMatrix::from_dense_ternary(&dense).unwrap();
+        let bt = Tensor::from_vec([cols, bn], b.clone());
+        let got = m.spmm(&bt);
+        let want = naive_spmm(dense.data(), &b, rows, cols, bn);
+        assert_all_match(got.data(), &want, "spmm");
+    }
+
+    #[test]
+    fn spmm_propagates_nan_and_inf(
+        ((rows, cols, bn), codes, (wp, wn), b) in spmm_case(),
+        poison in 0usize..2,
+        at in 0usize..64,
+    ) {
+        // Poison one B element with NaN or +inf; the packed traversal
+        // must agree with the reference on exactly which outputs it
+        // reaches — including through zero codes (0 · NaN = NaN).
+        let mut b = b;
+        let idx = at % b.len();
+        b[idx] = if poison == 0 { f32::NAN } else { f32::INFINITY };
+        let dense = dense_ternary(rows, cols, &codes, wp, wn);
+        let m = PackedTernaryMatrix::from_dense_ternary(&dense).unwrap();
+        let bt = Tensor::from_vec([cols, bn], b.clone());
+        let got = m.spmm(&bt);
+        let want = naive_spmm(dense.data(), &b, rows, cols, bn);
+        assert_all_match(got.data(), &want, "spmm");
+        // The poisoned B row feeds every output row (all weights in its
+        // column multiply, zeros included), so column `idx % bn` of the
+        // output must be non-finite in every row.
+        for r in 0..rows {
+            let v = got.data()[r * bn + idx % bn];
+            prop_assert!(
+                !v.is_finite() || poison == 1,
+                "row {} lost the poison: {}", r, v
+            );
+        }
+    }
+}
+
+/// Regression for the removed zero-skip: an all-zero packed matrix
+/// times a NaN activation must produce NaN, exactly like dense GEMM.
+#[test]
+fn spmm_zero_weight_times_nan_is_nan() {
+    let m = PackedTernaryMatrix::from_dense_ternary(&Tensor::zeros([2, 3])).unwrap();
+    let b = Tensor::from_vec([3, 2], vec![f32::NAN, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    let out = m.spmm(&b);
+    assert!(out.data()[0].is_nan(), "0 · NaN must stay NaN");
+    assert_eq!(out.data()[1], 0.0);
+    assert!(out.data()[2].is_nan());
+    assert_eq!(out.data()[3], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Ternary packed GEMM vs the f32 engine on dequantised weights
+// ---------------------------------------------------------------------------
+
+/// ((m, k, n), A values, ternary weight codes, (Wp, Wn)).
+type TernaryGemmCase = ((usize, usize, usize), Vec<f32>, Vec<u8>, (f32, f32));
+
+fn ternary_gemm_case() -> impl Strategy<Value = TernaryGemmCase> {
+    (1usize..15, 1usize..40, 1usize..36).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-2.0f32..2.0, m * k);
+        let codes = proptest::collection::vec(0u8..3, n * k);
+        let scales = (0.01f32..1.5, 0.01f32..1.5);
+        (Just((m, k, n)), a, codes, scales)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ternary_gemm_bit_identical_to_f32_on_dequantised(
+        ((m, k, n), a, codes, (wp, wn)) in ternary_gemm_case(),
+        relu in 0usize..2,
+    ) {
+        let plan = GemmPlan::new(m, k, n);
+        let weight = dense_ternary(n, k, &codes, wp, wn);
+        let epilogue = if relu == 1 { GemmEpilogue::Relu } else { GemmEpilogue::None };
+
+        let mut packed_a = vec![0.0f32; plan.packed_a_elems()];
+        pack_a_into(&plan, &a, &mut packed_a);
+
+        let mut tern = vec![0u32; plan.ternary_b_words()];
+        pack_b_ternary_transposed_into(&plan, weight.data(), &mut tern);
+        let mut got = vec![0.0f32; m * n];
+        gemm_prepacked_ternary(
+            &plan, &packed_a, &tern, wp, wn, &mut got, 1, Schedule::Static, epilogue,
+        );
+
+        let mut packed_b = vec![0.0f32; plan.packed_b_elems()];
+        pack_b_transposed_into(&plan, weight.data(), &mut packed_b);
+        let mut want = vec![0.0f32; m * n];
+        cnn_stack::tensor::gemm_prepacked_epilogue(
+            &plan, &packed_a, &packed_b, &mut want, 1, Schedule::Static, epilogue,
+        );
+
+        // Same FMA ladder, same blocking: not merely within 1e-5
+        // relative (the plan-level acceptance bar) but equal to the bit.
+        assert_all_match(&got, &want, "ternary gemm");
+        for (&g, &w) in got.iter().zip(&want) {
+            let rel = (g - w).abs() / w.abs().max(1.0);
+            prop_assert!(rel <= 1e-5, "rel error {} exceeds 1e-5", rel);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Int8 packed GEMM vs an exact integer reference
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn int8_gemm_matches_exact_integer_reference(
+        (m, k, n) in (1usize..14, 1usize..60, 1usize..36),
+        seed in 0u64..1000,
+    ) {
+        // k < kc (256): a single K block, so the driver's one rescale
+        // is `scale · Σ(aq·wq)` with the integer sum exact in f32
+        // (|Σ| ≤ 60 · 127² < 2²⁴).
+        let a = Tensor::from_fn([m, k], |i| {
+            ((i as u64 * 37 + seed) % 41) as f32 * 0.1 - 2.0
+        });
+        let w = Tensor::from_fn([n, k], |i| {
+            ((i as u64 * 53 + seed) % 29) as f32 * 0.1 - 1.4
+        });
+        let qa = quantise_scale_i8(a.data());
+        let qw = quantise_scale_i8(w.data());
+
+        let plan = GemmPlan::new(m, k, n);
+        let mut pa = vec![0i8; plan.packed_a_elems()];
+        pack_a_i8_into(&plan, a.data(), qa, &mut pa);
+        let mut pb = vec![0i8; plan.packed_b_elems()];
+        pack_b_transposed_i8_into(&plan, w.data(), qw, &mut pb);
+        let scale = 1.0 / (qa * qw);
+        let mut got = vec![0.0f32; m * n];
+        gemm_prepacked_int8(
+            &plan, &pa, &pb, scale, &mut got, 1, Schedule::Static, GemmEpilogue::None,
+        );
+
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for p in 0..k {
+                    let aq = quantise_i8(a.data()[i * k + p], qa) as i32;
+                    let wq = quantise_i8(w.data()[j * k + p], qw) as i32;
+                    acc += aq * wq;
+                }
+                let want = scale * acc as f32;
+                let gotv = got[i * n + j];
+                prop_assert!(
+                    same_f32(gotv, want),
+                    "({}, {}): got {}, exact reference {}", i, j, gotv, want
+                );
+            }
+        }
+    }
+}

@@ -105,6 +105,18 @@ echo "== quant-bench-smoke =="
 # gate) is manual.
 QUANT_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench quant
 
+echo "== plan-memory =="
+# Memory-budgeted planning: coloured-arena bit-identity vs ping-pong
+# (property-based, incl. non-finite payloads), the 16 MB VGG-16 budget
+# acceptance scenario, budget-infeasibility floor reporting, and the
+# liveness/colouring unit tests. The smoke bench exercises the memory
+# harness end to end on a thin model; the full run (which regenerates
+# BENCH_memory.json and enforces the >= 30% peak-reduction / <= 5%
+# latency gates) is manual.
+cargo test -q --test plan_memory
+cargo test -q -p cnn-stack-nn liveness::
+MEMORY_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench memory
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

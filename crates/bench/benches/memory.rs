@@ -1,0 +1,231 @@
+//! Memory-planning benchmark: the liveness-coloured arena against the
+//! legacy ping-pong pair on batch-8 VGG-16, emitting `BENCH_memory.json`
+//! at the repository root.
+//!
+//! Colouring is a pure layout optimisation — the kernels and algorithm
+//! choices are identical, so outputs are asserted bit-identical before
+//! either layout is timed. The gates (full mode only) encode the PR's
+//! acceptance bar:
+//!
+//!   * coloured peak ≤ 70 % of the ping-pong peak (≥ 30 % reduction);
+//!   * coloured median latency ≤ 105 % of ping-pong (≤ 5 % regression).
+//!
+//! A third row plans the same model under a 16 MB activation budget —
+//! the envelope the fixed im2col + ping-pong configuration cannot fit —
+//! and must land inside it.
+//!
+//! Run modes:
+//!   cargo bench -p cnn-stack-bench --bench memory        # full measurement
+//!   MEMORY_BENCH_SMOKE=1 cargo bench ... --bench memory  # thin model, one
+//!       iteration, writes to target/BENCH_memory.smoke.json (CI check)
+
+use cnn_stack_models::{vgg16, vgg16_width, Model};
+use cnn_stack_nn::{ArenaStrategy, ExecConfig, InferenceSession, PlanCompiler};
+use cnn_stack_tensor::Tensor;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    peak_bytes: usize,
+    arena_bytes: usize,
+    seconds: f64,
+}
+
+/// How a row's output is checked against the ping-pong reference.
+enum Check<'a> {
+    /// This row *is* the reference; capture its output.
+    Reference(&'a mut Vec<f32>),
+    /// Same compiled algorithms, different layout: bits must match.
+    BitIdentical(&'a [f32]),
+    /// The budget solver may pick different kernels: tolerance match.
+    Close(&'a [f32]),
+}
+
+/// Compiles `model` with `cfg`, checks its output per `check`, then
+/// returns the plan's predicted peak, the session's actual arena
+/// allocation, and the median seconds per run.
+fn measure(
+    mut model: Model,
+    cfg: &ExecConfig,
+    input: &Tensor,
+    check: Check,
+    iters: usize,
+    name: &'static str,
+) -> Row {
+    let shape = input.shape().dims().to_vec();
+    let plan = PlanCompiler::standard()
+        .run(&mut model.network, &shape, cfg)
+        .expect("plan compiles");
+    let peak_bytes = plan.strategy_peak_bytes();
+    let mut session = InferenceSession::new(&mut model.network, plan).expect("session builds");
+    let arena_bytes = session.arena_bytes();
+    let mut out = Tensor::zeros(session.plan().output_shape().to_vec());
+
+    // Correctness before timing: a layout change must not change math.
+    session.run_into(input, &mut out).expect("clean run");
+    match check {
+        Check::Reference(sink) => *sink = out.data().to_vec(),
+        Check::BitIdentical(want) => {
+            for (i, (a, b)) in out.data().iter().zip(want).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "{name}: elem {i} diverged from reference ({a} vs {b})"
+                );
+            }
+        }
+        Check::Close(want) => {
+            for (i, (a, b)) in out.data().iter().zip(want).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-3,
+                    "{name}: elem {i} drifted from reference ({a} vs {b})"
+                );
+            }
+        }
+    }
+
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        session.run_into(input, &mut out).expect("clean run");
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|x, y| x.partial_cmp(y).expect("timings are finite"));
+    Row {
+        name,
+        peak_bytes,
+        arena_bytes,
+        seconds: samples[samples.len() / 2],
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("MEMORY_BENCH_SMOKE").is_ok();
+    let iters = if smoke { 1 } else { 31 };
+    let batch = if smoke { 2 } else { 8 };
+    let budget = 16 << 20;
+    let build = || {
+        if smoke {
+            vgg16_width(10, 0.25)
+        } else {
+            vgg16(10)
+        }
+    };
+
+    let shape = vec![batch, 3, 32, 32];
+    let input = Tensor::from_fn(shape.clone(), |i| ((i % 31) as f32 - 15.0) * 0.05);
+
+    let ping_cfg = ExecConfig::builder()
+        .arena(ArenaStrategy::PingPong)
+        .build()
+        .expect("valid config");
+    let colour_cfg = ExecConfig::builder()
+        .arena(ArenaStrategy::Coloured)
+        .build()
+        .expect("valid config");
+    let capped_cfg = ExecConfig::builder()
+        .plan_budget(budget)
+        .build()
+        .expect("valid config");
+
+    println!(
+        "memory bench: batch-{batch} VGG-16{}, single thread",
+        if smoke { " (width 0.25) [smoke]" } else { "" }
+    );
+
+    // The ping-pong row is the reference: colouring is a pure layout
+    // change over the same compiled plan, so it must match to the bit;
+    // the budgeted row may select different kernels and gets a
+    // tolerance check instead.
+    let mut want: Vec<f32> = Vec::new();
+    let rows = vec![
+        measure(
+            build(),
+            &ping_cfg,
+            &input,
+            Check::Reference(&mut want),
+            iters,
+            "ping-pong",
+        ),
+        measure(
+            build(),
+            &colour_cfg,
+            &input,
+            Check::BitIdentical(&want),
+            iters,
+            "coloured",
+        ),
+        measure(
+            build(),
+            &capped_cfg,
+            &input,
+            Check::Close(&want),
+            iters,
+            "16MB-budget",
+        ),
+    ];
+    for r in &rows {
+        println!(
+            "  {:<12} peak {:>10} B  arena {:>10} B  median {:>9.6}s",
+            r.name, r.peak_bytes, r.arena_bytes, r.seconds
+        );
+    }
+
+    let reduction = 1.0 - rows[1].peak_bytes as f64 / rows[0].peak_bytes as f64;
+    let latency_ratio = rows[1].seconds / rows[0].seconds;
+    println!(
+        "  coloured vs ping-pong: {:.1}% smaller peak, {:.3}x latency",
+        reduction * 100.0,
+        latency_ratio
+    );
+
+    if !smoke {
+        assert!(
+            reduction >= 0.30,
+            "coloured arena must cut the ping-pong peak by >= 30%, got {:.1}%",
+            reduction * 100.0
+        );
+        assert!(
+            latency_ratio <= 1.05,
+            "coloured arena must cost <= 5% latency, got {:.3}x",
+            latency_ratio
+        );
+        assert!(
+            rows[2].peak_bytes <= budget && rows[2].arena_bytes <= budget,
+            "the budgeted plan must fit its 16 MB envelope"
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"VGG-16 CIFAR batch {batch}, single thread{}\",",
+        if smoke { " [smoke]" } else { "" }
+    );
+    let _ = writeln!(
+        json,
+        "  \"note\": \"median of {iters} steady-state session runs; coloured output asserted bit-identical to the ping-pong reference before timing (budgeted row within 1e-3); gates: coloured peak <= 70% of ping-pong, latency <= 105%\","
+    );
+    let _ = writeln!(json, "  \"peak_reduction_pct\": {:.1},", reduction * 100.0);
+    let _ = writeln!(json, "  \"latency_ratio\": {latency_ratio:.3},");
+    let _ = writeln!(json, "  \"budget_bytes\": {budget},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"arena\": \"{}\", \"peak_bytes\": {}, \"arena_bytes\": {}, \"seconds\": {:.6}}}",
+            r.name, r.peak_bytes, r.arena_bytes, r.seconds
+        );
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = if smoke {
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/BENCH_memory.smoke.json")
+    } else {
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_memory.json")
+    };
+    std::fs::write(&path, json).expect("write benchmark JSON");
+    println!("wrote {}", path.display());
+}

@@ -93,6 +93,9 @@ pub struct Platform {
     pub intensity_ref: f64,
     /// GPU, if the platform has one the paper uses.
     pub gpu: Option<GpuDevice>,
+    /// Installed RAM. Bounds the activation arena a deployed plan may
+    /// claim — see [`Platform::arena_budget_bytes`].
+    pub ram_bytes: u64,
 }
 
 impl Platform {
@@ -133,6 +136,15 @@ impl Platform {
     /// Effective memory bandwidth with `threads` active.
     pub fn effective_bandwidth(&self, threads: usize) -> f64 {
         self.mem_bytes_per_sec / (1.0 + self.mem_contention * (threads.saturating_sub(1)) as f64)
+    }
+
+    /// Default activation-arena budget for plans deployed on this
+    /// platform: a quarter of installed RAM, leaving the rest for
+    /// weights, the OS, and whatever else shares the board. The stack
+    /// runner passes this as `ExecConfig::plan_budget` unless the
+    /// experiment overrides it.
+    pub fn arena_budget_bytes(&self) -> usize {
+        (self.ram_bytes / 4) as usize
     }
 
     /// The thread counts the paper sweeps on this platform
@@ -183,6 +195,7 @@ pub fn odroid_xu4() -> Platform {
             kernel_launch_s: 60e-6,
             gemm_call_overhead_s: 4.0e-3,
         }),
+        ram_bytes: 2 * 1024 * 1024 * 1024,
     }
 }
 
@@ -206,6 +219,7 @@ pub fn intel_i7() -> Platform {
         parallel_thrash: 0.03,
         intensity_ref: 8.0,
         gpu: None,
+        ram_bytes: 16 * 1024 * 1024 * 1024,
     }
 }
 
@@ -250,6 +264,13 @@ mod tests {
     #[test]
     fn i7_is_faster_per_core_than_odroid() {
         assert!(intel_i7().single_core_rate() > odroid_xu4().single_core_rate() * 2.0);
+    }
+
+    #[test]
+    fn arena_budget_is_a_quarter_of_ram() {
+        // 2 GB board → 512 MB arena; 16 GB desktop → 4 GB arena.
+        assert_eq!(odroid_xu4().arena_budget_bytes(), 512 << 20);
+        assert_eq!(intel_i7().arena_budget_bytes(), 4 << 30);
     }
 
     #[test]

@@ -499,7 +499,18 @@ impl Conv2d {
         } else {
             0
         };
-        let (b_buf, rest) = scratch[..plan.packed_b_elems() + c_elems + plan.packed_a_elems()]
+        let have_panels =
+            matches!(&self.packed_weights, Some(panels) if panels.len() == plan.packed_a_elems());
+        // The A-panel repack region is needed only when the plan-time
+        // panels are absent or stale; the steady-state workspace the
+        // liveness planner sizes (`forward_workspace_elems`) excludes
+        // it, so slice it only on the cold path.
+        let a_elems = if have_panels {
+            0
+        } else {
+            plan.packed_a_elems()
+        };
+        let (b_buf, rest) = scratch[..plan.packed_b_elems() + c_elems + a_elems]
             .split_at_mut(plan.packed_b_elems());
         let (c_buf, a_buf) = rest.split_at_mut(c_elems);
         let packed_a: &[f32] = match &self.packed_weights {
@@ -1081,6 +1092,42 @@ impl Layer for Conv2d {
                     // both paths: the ternary kernel needs the im2col
                     // matrix, its transposed A-panels, and the
                     // `[positions × out_c]` Outᵀ buffer.
+                    let tplan = self.ternary_plan(&geom);
+                    let t_elems = self.im2col_scratch_elems(&geom)
+                        + tplan.packed_a_elems()
+                        + geom.out_positions() * self.out_channels;
+                    f32_elems.max(t_elems)
+                } else {
+                    f32_elems
+                }
+            } else {
+                self.im2col_scratch_elems(&geom)
+            }
+        } else {
+            0
+        }
+    }
+
+    fn forward_workspace_elems(&self, input_shape: &[usize], cfg: &ExecConfig) -> usize {
+        if cfg.conv_algo == ConvAlgorithm::Im2col {
+            let geom = self.geometry(input_shape[2], input_shape[3]);
+            if self.uses_packed_gemm(cfg) {
+                // Steady state: `prepare()` has cached the weight
+                // A-panels (or the quantised snapshot), so unlike
+                // `forward_scratch_elems` the repack region is never
+                // paid — for VGG-scale layers that region dominates
+                // the conservative bound.
+                let group = self.packed_group(&geom, input_shape[0]);
+                let plan = self.packed_batch_plan(&geom, group);
+                let c_elems = if group > 1 {
+                    self.out_channels * group * geom.out_positions()
+                } else {
+                    0
+                };
+                let f32_elems = plan.packed_b_elems() + c_elems;
+                if cfg.gemm_algo == GemmAlgorithm::TernaryPacked {
+                    // Quant dispatch is decided at run time, so cover
+                    // both the ternary kernel and the dense fallback.
                     let tplan = self.ternary_plan(&geom);
                     let t_elems = self.im2col_scratch_elems(&geom)
                         + tplan.packed_a_elems()

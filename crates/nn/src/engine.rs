@@ -6,9 +6,15 @@
 //! for this reason). This module compiles a network once into an
 //! [`InferencePlan`] — every layer's output shape, its scratch
 //! requirement, and whether its allocation-free kernel applies — and then
-//! executes it through an [`InferenceSession`] that ping-pongs activations
-//! between two pre-sized arena buffers, so steady-state inference performs
-//! **zero** per-layer heap allocations.
+//! executes it through an [`InferenceSession`] over one pre-sized arena,
+//! so steady-state inference performs **zero** per-layer heap
+//! allocations. By default the arena is laid out by the liveness
+//! colouring in [`crate::liveness`]: each step's output and workspace
+//! get offsets such that buffers with overlapping live intervals never
+//! share bytes while everything else does, which roughly halves the
+//! peak footprint of deep sequential nets against the legacy two-buffer
+//! ping-pong layout ([`crate::layer::ArenaStrategy::PingPong`], kept as
+//! a bit-exact baseline).
 //!
 //! When every layer supports the arena path and the configuration asks
 //! for more than one thread, the session switches to data-parallel batch
@@ -56,12 +62,13 @@
 //! assert!(session.health().is_clean());
 //! ```
 
-use crate::error::Error;
+use crate::error::{Error, PlanError};
 use crate::guard::{
-    scan_non_finite, DemotionAction, DemotionReason, DemotionRecord, FaultPlan, GuardConfig,
-    GuardReport, GuardViolation, HealthReport,
+    scan_non_finite, BudgetBreachRecord, DemotionAction, DemotionReason, DemotionRecord, FaultPlan,
+    GuardConfig, GuardReport, GuardViolation, HealthReport,
 };
-use crate::layer::{ConvAlgorithm, ExecConfig, Layer, Phase, WeightFormat};
+use crate::layer::{ArenaStrategy, ConvAlgorithm, ExecConfig, Layer, Phase, WeightFormat};
+use crate::liveness::{ArenaLayout, MemoryFootprint, StepExtent};
 use crate::network::Network;
 use cnn_stack_obs::{Metric, NameId, Observer};
 use cnn_stack_parallel::{panic_message, PoolError, ThreadPool};
@@ -103,8 +110,17 @@ pub struct PlanStep {
     pub input_elems: usize,
     /// Elements leaving the layer.
     pub output_elems: usize,
-    /// Scratch floats the arena kernel needs (0 when unsupported).
+    /// Conservative scratch floats the arena kernel may need on any
+    /// path, including cold ones such as repacking dropped weight
+    /// panels (0 when unsupported). Sizes the legacy ping-pong scratch
+    /// region.
     pub scratch_elems: usize,
+    /// Steady-state workspace floats the kernel needs once `prepare()`
+    /// has cached its panels (0 when unsupported). The liveness
+    /// colouring sizes arena slots with this; for packed VGG-scale
+    /// convolutions it is far below
+    /// [`scratch_elems`](PlanStep::scratch_elems).
+    pub workspace_elems: usize,
     /// Whether [`Layer::forward_into`] executes this step; `false` routes
     /// it through the allocating [`Layer::forward`] fallback (e.g. the
     /// true Winograd transform).
@@ -161,7 +177,20 @@ impl InferencePlan {
             shape = step.output_shape.clone();
             steps.push(step);
         }
-        Ok(Self::from_parts(input_shape.to_vec(), *cfg, steps))
+        let plan = Self::from_parts(input_shape.to_vec(), *cfg, steps);
+        // A global-mode compile has no per-layer algorithm freedom, so
+        // the budget is a straight admission check: this exact plan
+        // either fits or nothing does.
+        if let Some(budget) = cfg.plan_budget {
+            let peak = plan.strategy_peak_bytes();
+            if peak > budget {
+                return Err(Error::Plan(PlanError::BudgetInfeasible {
+                    budget_bytes: budget,
+                    min_feasible_bytes: peak,
+                }));
+            }
+        }
+        Ok(plan)
     }
 
     /// Assembles a plan from pre-built steps, re-deriving the arena
@@ -226,6 +255,38 @@ impl InferencePlan {
     pub fn fully_supported(&self) -> bool {
         self.all_supported
     }
+
+    /// Per-step memory extents for the liveness planner, at the plan's
+    /// full batch executed sequentially.
+    pub(crate) fn step_extents(&self) -> Vec<StepExtent> {
+        self.steps
+            .iter()
+            .map(|s| StepExtent {
+                output_elems: s.output_elems,
+                workspace_elems: s.workspace_elems,
+                scratch_elems: s.scratch_elems,
+            })
+            .collect()
+    }
+
+    /// The plan's predicted arena requirement: the liveness-coloured
+    /// peak and the counterfactual ping-pong footprint, for the full
+    /// batch executed sequentially (batch-parallel sessions size one
+    /// smaller arena per chunk; their exact total is reported by
+    /// [`InferenceSession::arena_bytes`]).
+    pub fn footprint(&self) -> MemoryFootprint {
+        MemoryFootprint::of(&self.step_extents())
+    }
+
+    /// Peak bytes under the plan's own arena strategy — what a memory
+    /// budget is compared against.
+    pub fn strategy_peak_bytes(&self) -> usize {
+        let fp = self.footprint();
+        match self.cfg.arena {
+            ArenaStrategy::Coloured => fp.peak_bytes,
+            ArenaStrategy::PingPong => fp.naive_bytes,
+        }
+    }
 }
 
 /// Compiles one layer at one input shape under one configuration into an
@@ -248,10 +309,13 @@ pub(crate) fn compile_step(
     }
     let d = layer.descriptor(shape);
     let supported = layer.forward_into_supported(cfg);
-    let scratch = if supported {
-        layer.forward_scratch_elems(shape, cfg)
+    let (scratch, workspace) = if supported {
+        (
+            layer.forward_scratch_elems(shape, cfg),
+            layer.forward_workspace_elems(shape, cfg),
+        )
     } else {
-        0
+        (0, 0)
     };
     Ok(PlanStep {
         name: d.name,
@@ -263,6 +327,7 @@ pub(crate) fn compile_step(
         input_elems: d.input_elems,
         output_elems: d.output_elems,
         scratch_elems: scratch,
+        workspace_elems: workspace,
         supported,
         gemm: layer.gemm_plan(shape, cfg),
         macs: d.macs,
@@ -347,14 +412,6 @@ impl SessionProfile {
     }
 }
 
-/// Which buffer currently holds the live activation.
-#[derive(Clone, Copy)]
-enum Loc {
-    Input,
-    A,
-    B,
-}
-
 /// Per-step execution state the session can change at runtime (unlike
 /// the immutable compiled [`PlanStep`]): the effective configuration
 /// after demotions, its single-threaded chunk twin, and whether the
@@ -367,13 +424,20 @@ struct ExecStep {
 }
 
 /// A per-chunk view of the plan: the same steps re-shaped to the chunk's
-/// batch size, plus the chunk's own arena buffers.
+/// batch size, plus each step's slots in the chunk's arena.
 #[derive(Debug)]
 struct ChunkStep {
     layer: usize,
     input_shape: Vec<usize>,
     input_elems: usize,
     output_elems: usize,
+    /// Arena offset of the step's output activation (unused for the
+    /// final step, which writes straight to the caller's buffer).
+    dst_off: usize,
+    /// Arena offset of the step's workspace.
+    ws_off: usize,
+    /// Workspace floats reserved at `ws_off`.
+    ws_len: usize,
 }
 
 #[derive(Debug)]
@@ -381,9 +445,12 @@ struct ChunkArena {
     /// Images in this chunk.
     len: usize,
     steps: Vec<ChunkStep>,
-    buf_a: Vec<f32>,
-    buf_b: Vec<f32>,
-    scratch: Vec<f32>,
+    /// The chunk's single arena: every intermediate activation and
+    /// workspace lives at a liveness-assigned offset in here.
+    arena: Vec<f32>,
+    /// Elements the legacy ping-pong layout would have reserved for
+    /// this chunk (the counterfactual behind the reuse gauge).
+    naive_elems: usize,
     /// Wall-clock nanoseconds per step on the most recent attempt,
     /// written by the chunk worker so the session can attribute
     /// per-layer time (max over chunks) after a parallel run.
@@ -445,40 +512,103 @@ fn build_chunks(net: &Network, plan: &InferencePlan, exec: &[ExecStep]) -> Vec<C
     for c in 0..chunk_count {
         let m = base + usize::from(c < extra);
         let mut steps = Vec::with_capacity(plan.steps().len());
-        let mut buf_elems = 0;
-        let mut scratch_elems = 0;
+        let mut extents = Vec::with_capacity(plan.steps().len());
         for (i, ps) in plan.steps().iter().enumerate() {
             let mut input_shape = ps.input_shape.clone();
             input_shape[0] = m;
             let input_elems = ps.input_elems / n * m;
             let output_elems = ps.output_elems / n * m;
-            buf_elems = buf_elems.max(output_elems);
-            if exec[i].supported {
+            // Workspace/scratch are re-derived at the chunk's batch
+            // size and effective (possibly demoted) configuration —
+            // the plan-level numbers cover the full batch only.
+            let (workspace_elems, scratch_elems) = if exec[i].supported {
                 let cfg = if chunk_count > 1 {
                     &exec[i].chunk_cfg
                 } else {
                     &exec[i].cfg
                 };
-                scratch_elems = scratch_elems
-                    .max(net.layers()[ps.layer].forward_scratch_elems(&input_shape, cfg));
-            }
+                let layer = net.layers()[ps.layer].as_ref();
+                (
+                    layer.forward_workspace_elems(&input_shape, cfg),
+                    layer.forward_scratch_elems(&input_shape, cfg),
+                )
+            } else {
+                (0, 0)
+            };
+            extents.push(StepExtent {
+                output_elems,
+                workspace_elems,
+                scratch_elems,
+            });
             steps.push(ChunkStep {
                 layer: ps.layer,
                 input_shape,
                 input_elems,
                 output_elems,
+                dst_off: 0,
+                ws_off: 0,
+                ws_len: 0,
             });
+        }
+        let layout = match plan.cfg().arena {
+            ArenaStrategy::Coloured => ArenaLayout::colour(&extents),
+            ArenaStrategy::PingPong => ArenaLayout::ping_pong(&extents),
+        };
+        for (step, slot) in steps.iter_mut().zip(&layout.slots) {
+            step.dst_off = slot.dst_off;
+            step.ws_off = slot.ws_off;
+            step.ws_len = slot.ws_elems;
         }
         chunks.push(ChunkArena {
             len: m,
             steps,
-            buf_a: vec![0.0; buf_elems],
-            buf_b: vec![0.0; buf_elems],
-            scratch: vec![0.0; scratch_elems],
+            arena: vec![0.0; layout.total_elems],
+            naive_elems: layout.naive_elems,
             step_ns: vec![0; plan.steps().len()],
         });
     }
     chunks
+}
+
+/// Splits one chunk arena into a step's source / destination /
+/// workspace views. `src`/`dst` are `None` at the pipeline boundaries
+/// (the network input and final output live in caller buffers).
+///
+/// The liveness layout guarantees that the three ranges are pairwise
+/// disjoint: the previous step's output, this step's output, and this
+/// step's workspace are all live at this step, so the colouring placed
+/// them in non-overlapping byte ranges (the ping-pong layout trivially
+/// so). `debug_assert`s re-check that invariant here.
+fn arena_views(
+    arena: &mut [f32],
+    src: Option<(usize, usize)>,
+    dst: Option<(usize, usize)>,
+    ws: (usize, usize),
+) -> (Option<&[f32]>, Option<&mut [f32]>, &mut [f32]) {
+    let ranges = [src.unwrap_or((0, 0)), dst.unwrap_or((0, 0)), ws];
+    for (a, &(ao, al)) in ranges.iter().enumerate() {
+        debug_assert!(ao + al <= arena.len(), "arena view out of bounds");
+        for &(bo, bl) in ranges.iter().skip(a + 1) {
+            debug_assert!(
+                al == 0 || bl == 0 || ao + al <= bo || bo + bl <= ao,
+                "arena views overlap: [{ao}, {})+[{bo}, {})",
+                ao + al,
+                bo + bl
+            );
+        }
+    }
+    let ptr = arena.as_mut_ptr();
+    // SAFETY: every range is in-bounds and the mutable ranges (dst, ws)
+    // are disjoint from each other and from src — asserted above and
+    // guaranteed by the layout construction — so the raw reborrows
+    // never alias.
+    unsafe {
+        (
+            src.map(|(o, l)| std::slice::from_raw_parts(ptr.add(o), l)),
+            dst.map(|(o, l)| std::slice::from_raw_parts_mut(ptr.add(o), l)),
+            std::slice::from_raw_parts_mut(ptr.add(ws.0), ws.1),
+        )
+    }
 }
 
 /// Whether the layer (or any nested layer) runs a convolution that
@@ -757,7 +887,13 @@ impl<'n> InferenceSession<'n> {
     /// arena-footprint gauge, and the worker pool's observer hook. Cold
     /// path — run at session build and after every rebuild.
     fn sync_obs(&mut self) {
-        let Some(w) = &mut self.obs else { return };
+        if self.obs.is_none() {
+            return;
+        }
+        let arena_bytes = self.arena_bytes();
+        let reuse_bytes = self.arena_reuse_bytes();
+        let peak_bytes = self.plan.footprint().peak_bytes;
+        let w = self.obs.as_mut().expect("checked above");
         let names: Vec<NameId> = self
             .plan
             .steps
@@ -772,17 +908,38 @@ impl<'n> InferenceSession<'n> {
             })
             .collect();
         w.step_names = names;
-        let arena_bytes: usize = self
-            .chunks
-            .iter()
-            .map(|c| (c.buf_a.len() + c.buf_b.len() + c.scratch.len()) * std::mem::size_of::<f32>())
-            .sum();
         w.observer
             .metrics()
             .set(Metric::ArenaBytes, arena_bytes as i64);
+        w.observer
+            .metrics()
+            .set(Metric::PlanPeakBytes, peak_bytes as i64);
+        w.observer
+            .metrics()
+            .set(Metric::ArenaReuseBytes, reuse_bytes as i64);
         if let Some(pool) = &self.pool {
             pool.set_observer(Some(w.observer.clone()));
         }
+    }
+
+    /// Bytes of arena actually allocated by this session, summed over
+    /// its chunks — the exact steady-state activation/workspace
+    /// footprint of [`run_into`](Self::run_into).
+    pub fn arena_bytes(&self) -> usize {
+        self.chunks
+            .iter()
+            .map(|c| c.arena.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Bytes the session's arena layout saves over the legacy
+    /// ping-pong layout (zero when the plan was compiled with
+    /// [`ArenaStrategy::PingPong`]).
+    pub fn arena_reuse_bytes(&self) -> usize {
+        self.chunks
+            .iter()
+            .map(|c| (c.naive_elems.saturating_sub(c.arena.len())) * std::mem::size_of::<f32>())
+            .sum()
     }
 
     /// Adds `n` to counter `m` on the session's observer, if any.
@@ -1097,7 +1254,7 @@ impl<'n> InferenceSession<'n> {
         if layer_has_csr(layer) {
             densify_layer(layer);
             self.record_demotion(step, DemotionAction::CsrToDense, reason);
-            self.rebuild();
+            self.rebuild(step);
             return true;
         }
         if self.exec[step].cfg.conv_algo == ConvAlgorithm::Winograd
@@ -1106,7 +1263,7 @@ impl<'n> InferenceSession<'n> {
             self.exec[step].cfg.conv_algo = ConvAlgorithm::Im2col;
             self.exec[step].chunk_cfg.conv_algo = ConvAlgorithm::Im2col;
             self.record_demotion(step, DemotionAction::WinogradToIm2col, reason);
-            self.rebuild();
+            self.rebuild(step);
             return true;
         }
         let cfg = self.exec[step].cfg;
@@ -1122,7 +1279,7 @@ impl<'n> InferenceSession<'n> {
             self.exec[step].cfg.gemm_algo = GemmAlgorithm::Packed;
             self.exec[step].chunk_cfg.gemm_algo = GemmAlgorithm::Packed;
             self.record_demotion(step, DemotionAction::QuantisedToPacked, reason);
-            self.rebuild();
+            self.rebuild(step);
             return true;
         }
         if cfg.gemm_algo == GemmAlgorithm::Packed
@@ -1131,7 +1288,7 @@ impl<'n> InferenceSession<'n> {
             self.exec[step].cfg.gemm_algo = GemmAlgorithm::Blocked;
             self.exec[step].chunk_cfg.gemm_algo = GemmAlgorithm::Blocked;
             self.record_demotion(step, DemotionAction::PackedToBlocked, reason);
-            self.rebuild();
+            self.rebuild(step);
             return true;
         }
         false
@@ -1160,8 +1317,15 @@ impl<'n> InferenceSession<'n> {
     }
 
     /// Re-derives arena support, chunking, layer caches, and the worker
-    /// pool after a demotion changed a step's algorithm or weight format.
-    fn rebuild(&mut self) {
+    /// pool after the demotion of `demoted_step` changed its algorithm
+    /// or weight format. The rebuilt arena re-runs the liveness sizing;
+    /// when the plan carries a memory budget and the demoted plan no
+    /// longer fits (a demotion can *raise* workspace need — e.g.
+    /// Winograd→im2col trades an unsupported zero-workspace step for a
+    /// real im2col buffer), the overshoot is recorded as a
+    /// [`BudgetBreachRecord`] health event: correctness wins over fit,
+    /// since the demoted algorithm is the only safe one left.
+    fn rebuild(&mut self, demoted_step: usize) {
         let layers = self.net.layers();
         for (i, ps) in self.plan.steps.iter().enumerate() {
             self.exec[i].supported = layers[ps.layer].forward_into_supported(&self.exec[i].cfg);
@@ -1176,7 +1340,55 @@ impl<'n> InferenceSession<'n> {
         } else {
             self.pool = None;
         }
+        if let Some(budget) = self.plan.cfg().plan_budget {
+            let peak = self.current_footprint_peak_bytes();
+            if peak > budget {
+                self.profile
+                    .health
+                    .budget_breaches
+                    .push(BudgetBreachRecord {
+                        layer_index: demoted_step,
+                        layer_name: self.plan.steps[demoted_step].name.clone(),
+                        budget_bytes: budget,
+                        peak_bytes: peak,
+                    });
+            }
+        }
         self.sync_obs();
+    }
+
+    /// Plan-level peak bytes re-derived from the *current* execution
+    /// state (post-demotion configs and support flags), comparable to
+    /// the compile-time number a budget admitted.
+    fn current_footprint_peak_bytes(&self) -> usize {
+        let layers = self.net.layers();
+        let extents: Vec<StepExtent> = self
+            .plan
+            .steps
+            .iter()
+            .zip(&self.exec)
+            .map(|(ps, e)| {
+                let (workspace_elems, scratch_elems) = if e.supported {
+                    let layer = layers[ps.layer].as_ref();
+                    (
+                        layer.forward_workspace_elems(&ps.input_shape, &e.cfg),
+                        layer.forward_scratch_elems(&ps.input_shape, &e.cfg),
+                    )
+                } else {
+                    (0, 0)
+                };
+                StepExtent {
+                    output_elems: ps.output_elems,
+                    workspace_elems,
+                    scratch_elems,
+                }
+            })
+            .collect();
+        let fp = MemoryFootprint::of(&extents);
+        match self.plan.cfg().arena {
+            ArenaStrategy::Coloured => fp.peak_bytes,
+            ArenaStrategy::PingPong => fp.naive_bytes,
+        }
     }
 }
 
@@ -1197,26 +1409,28 @@ fn run_steps_sequential(
     obs: Option<&ObsWiring>,
 ) -> Result<(), RunFailure> {
     let last = chunk.steps.len() - 1;
-    let mut src = Loc::Input;
-    let ChunkArena {
-        steps,
-        buf_a,
-        buf_b,
-        scratch,
-        ..
-    } = chunk;
+    let ChunkArena { steps, arena, .. } = chunk;
+    // Arena offset of the previous step's output (the current source);
+    // step 0 reads the caller's input instead.
+    let mut prev_off = 0usize;
     for (i, step) in steps.iter().enumerate() {
         // Span start is taken before `started` so `ts + dur` never spills
         // past the next step's start (keeps the exported nesting exact).
         let obs_ts = obs.map(|w| w.observer.now_ns());
         let started = Instant::now();
-        let (src_slice, dst_slice): (&[f32], &mut [f32]) = match (src, i == last) {
-            (Loc::Input, true) => (&input[..step.input_elems], &mut out[..]),
-            (Loc::Input, false) => (&input[..step.input_elems], &mut buf_a[..step.output_elems]),
-            (Loc::A, true) => (&buf_a[..step.input_elems], &mut out[..]),
-            (Loc::A, false) => (&buf_a[..step.input_elems], &mut buf_b[..step.output_elems]),
-            (Loc::B, true) => (&buf_b[..step.input_elems], &mut out[..]),
-            (Loc::B, false) => (&buf_b[..step.input_elems], &mut buf_a[..step.output_elems]),
+        let (src_a, dst_a, ws_slice) = arena_views(
+            arena,
+            (i > 0).then_some((prev_off, step.input_elems)),
+            (i != last).then_some((step.dst_off, step.output_elems)),
+            (step.ws_off, step.ws_len),
+        );
+        let src_slice: &[f32] = match src_a {
+            Some(s) => s,
+            None => &input[..step.input_elems],
+        };
+        let dst_slice: &mut [f32] = match dst_a {
+            Some(d) => d,
+            None => &mut out[..],
         };
         let layer = &mut layers[step.layer];
         let kernel = catch_unwind(AssertUnwindSafe(|| -> Result<(), GuardViolation> {
@@ -1226,7 +1440,7 @@ fn run_steps_sequential(
                     src_slice,
                     &step.input_shape,
                     dst_slice,
-                    scratch,
+                    ws_slice,
                     &exec[i].cfg,
                 );
             } else {
@@ -1287,11 +1501,7 @@ fn run_steps_sequential(
             w.observer
                 .span(w.step_names[i], obs_ts.unwrap_or(0), ns.max(1), 0);
         }
-        src = match (src, i == last) {
-            (_, true) => src,
-            (Loc::Input | Loc::B, false) => Loc::A,
-            (Loc::A, false) => Loc::B,
-        };
+        prev_off = step.dst_off;
     }
     Ok(())
 }
@@ -1314,26 +1524,30 @@ fn run_steps_chunk(
 ) -> Result<(), RunFailure> {
     faults.worker_entry(chunk_idx, run);
     let last = chunk.steps.len() - 1;
-    let mut src = Loc::Input;
     let ChunkArena {
         steps,
-        buf_a,
-        buf_b,
-        scratch,
+        arena,
         step_ns,
         ..
     } = chunk;
+    let mut prev_off = 0usize;
     for (i, step) in steps.iter().enumerate() {
         debug_assert!(exec[i].supported, "parallel chunks require full support");
         let obs_ts = obs.map(|w| w.observer.now_ns());
         let started = Instant::now();
-        let (src_slice, dst_slice): (&[f32], &mut [f32]) = match (src, i == last) {
-            (Loc::Input, true) => (&input[..step.input_elems], &mut out[..]),
-            (Loc::Input, false) => (&input[..step.input_elems], &mut buf_a[..step.output_elems]),
-            (Loc::A, true) => (&buf_a[..step.input_elems], &mut out[..]),
-            (Loc::A, false) => (&buf_a[..step.input_elems], &mut buf_b[..step.output_elems]),
-            (Loc::B, true) => (&buf_b[..step.input_elems], &mut out[..]),
-            (Loc::B, false) => (&buf_b[..step.input_elems], &mut buf_a[..step.output_elems]),
+        let (src_a, dst_a, ws_slice) = arena_views(
+            arena,
+            (i > 0).then_some((prev_off, step.input_elems)),
+            (i != last).then_some((step.dst_off, step.output_elems)),
+            (step.ws_off, step.ws_len),
+        );
+        let src_slice: &[f32] = match src_a {
+            Some(s) => s,
+            None => &input[..step.input_elems],
+        };
+        let dst_slice: &mut [f32] = match dst_a {
+            Some(d) => d,
+            None => &mut out[..],
         };
         let layer = &layers[step.layer];
         let kernel = catch_unwind(AssertUnwindSafe(|| {
@@ -1342,7 +1556,7 @@ fn run_steps_chunk(
                 src_slice,
                 &step.input_shape,
                 dst_slice,
-                scratch,
+                ws_slice,
                 &exec[i].chunk_cfg,
             );
         }));
@@ -1382,11 +1596,7 @@ fn run_steps_chunk(
                 chunk_idx as u32 + 1,
             );
         }
-        src = match (src, i == last) {
-            (_, true) => src,
-            (Loc::Input | Loc::B, false) => Loc::A,
-            (Loc::A, false) => Loc::B,
-        };
+        prev_off = step.dst_off;
     }
     Ok(())
 }

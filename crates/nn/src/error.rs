@@ -12,6 +12,37 @@ use crate::guard::GuardReport;
 use crate::serialize::LoadParamsError;
 use cnn_stack_parallel::PoolError;
 
+/// Memory-planning failures (see [`crate::liveness`] and the budget
+/// solver in [`crate::passes`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// No combination of per-layer algorithm choices fits the requested
+    /// peak-arena budget. `min_feasible_bytes` is the smallest budget
+    /// that would have succeeded (the liveness-coloured peak with every
+    /// layer on its smallest-workspace algorithm), so callers can
+    /// retry with a workable envelope.
+    BudgetInfeasible {
+        /// The budget that was requested, in bytes.
+        budget_bytes: usize,
+        /// The smallest peak-arena budget any plan can meet, in bytes.
+        min_feasible_bytes: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::BudgetInfeasible {
+                budget_bytes,
+                min_feasible_bytes,
+            } => write!(
+                f,
+                "memory budget of {budget_bytes} bytes is infeasible: the smallest-workspace plan still peaks at {min_feasible_bytes} bytes"
+            ),
+        }
+    }
+}
+
 /// Errors produced by network construction, indexing, and execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Error {
@@ -53,6 +84,8 @@ pub enum Error {
     },
     /// The worker pool failed persistently (retries exhausted).
     Pool(PoolError),
+    /// Memory planning failed (e.g. an infeasible peak-arena budget).
+    Plan(PlanError),
 }
 
 impl std::fmt::Display for Error {
@@ -86,6 +119,7 @@ impl std::fmt::Display for Error {
                 "kernel panicked in layer {layer} ({name}): {message} (contained; no safer algorithm available)"
             ),
             Error::Pool(e) => write!(f, "worker pool failed: {e}"),
+            Error::Plan(e) => write!(f, "memory planning failed: {e}"),
         }
     }
 }
@@ -101,6 +135,12 @@ impl From<LoadParamsError> for Error {
 impl From<PoolError> for Error {
     fn from(e: PoolError) -> Self {
         Error::Pool(e)
+    }
+}
+
+impl From<PlanError> for Error {
+    fn from(e: PlanError) -> Self {
+        Error::Plan(e)
     }
 }
 

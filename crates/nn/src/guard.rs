@@ -197,6 +197,24 @@ pub struct DemotionRecord {
     pub reason: DemotionReason,
 }
 
+/// One recorded budget breach: a demotion rebuild re-ran the liveness
+/// sizing and the resized arena no longer fits the plan's memory
+/// budget. The session keeps running (correctness over fit — the
+/// demoted algorithm is the only safe one left), but the overshoot is
+/// surfaced here so operators can re-plan or raise the envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BudgetBreachRecord {
+    /// Index of the demoted top-level layer (plan step) whose new
+    /// algorithm pushed the arena past the budget.
+    pub layer_index: usize,
+    /// Its name, as recorded in the plan.
+    pub layer_name: String,
+    /// The plan's byte budget.
+    pub budget_bytes: usize,
+    /// The arena bytes actually required after the demotion rebuild.
+    pub peak_bytes: usize,
+}
+
 /// What a session (or a whole stack evaluation) survived.
 ///
 /// Attached to [`SessionProfile`](crate::SessionProfile) and, through
@@ -211,16 +229,20 @@ pub struct HealthReport {
     pub retries: u64,
     /// Algorithm demotions applied, in order.
     pub demotions: Vec<DemotionRecord>,
+    /// Demotion rebuilds whose re-sized arena exceeded the plan's
+    /// memory budget, in order.
+    pub budget_breaches: Vec<BudgetBreachRecord>,
 }
 
 impl HealthReport {
-    /// `true` when nothing went wrong: no guards, panics, retries, or
-    /// demotions.
+    /// `true` when nothing went wrong: no guards, panics, retries,
+    /// demotions, or budget breaches.
     pub fn is_clean(&self) -> bool {
         self.guards_tripped == 0
             && self.panics_contained == 0
             && self.retries == 0
             && self.demotions.is_empty()
+            && self.budget_breaches.is_empty()
     }
 }
 
@@ -228,11 +250,12 @@ impl fmt::Display for HealthReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "health: {} guard(s) tripped, {} panic(s) contained, {} retry(ies), {} demotion(s)",
+            "health: {} guard(s) tripped, {} panic(s) contained, {} retry(ies), {} demotion(s), {} budget breach(es)",
             self.guards_tripped,
             self.panics_contained,
             self.retries,
-            self.demotions.len()
+            self.demotions.len(),
+            self.budget_breaches.len()
         )
     }
 }

@@ -112,6 +112,20 @@ pub(crate) fn scan_ternary(data: &[f32]) -> Option<(f32, f32)> {
     Some((positive, negative))
 }
 
+/// How the engine lays out the activation/workspace arena for a
+/// compiled session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ArenaStrategy {
+    /// Liveness-coloured single arena: activations and workspaces with
+    /// disjoint live intervals share bytes (see [`crate::liveness`]).
+    #[default]
+    Coloured,
+    /// The legacy layout — two ping-pong activation buffers sized by
+    /// the largest step plus one conservative scratch region. Kept as
+    /// a bit-exact baseline for benchmarks and differential tests.
+    PingPong,
+}
+
 /// Execution configuration for a forward pass: the knobs of the paper's
 /// "Systems Techniques" stack layer.
 ///
@@ -151,6 +165,16 @@ pub struct ExecConfig {
     /// session's registry, [`ObsLevel::Trace`] additionally records
     /// per-step spans into a bounded ring for Chrome-trace export.
     pub observer: ObsLevel,
+    /// Peak arena budget in bytes for plans compiled from this config.
+    /// `None` (default) plans for time only. When set, the plan
+    /// compiler solves "fastest plan under this many bytes", demoting
+    /// workspace-hungry algorithm choices until the liveness-coloured
+    /// footprint fits, and fails with
+    /// [`crate::error::PlanError::BudgetInfeasible`] when no choice of
+    /// algorithms can fit.
+    pub plan_budget: Option<usize>,
+    /// Arena layout strategy for sessions built from this config.
+    pub arena: ArenaStrategy,
 }
 
 impl ExecConfig {
@@ -164,6 +188,8 @@ impl ExecConfig {
             gemm_algo: GemmAlgorithm::Packed,
             fused_relu: false,
             observer: ObsLevel::Off,
+            plan_budget: None,
+            arena: ArenaStrategy::Coloured,
         }
     }
 
@@ -250,6 +276,18 @@ impl ExecConfigBuilder {
     /// Sets the observability level for sessions built from this config.
     pub fn observer(mut self, level: ObsLevel) -> Self {
         self.config.observer = level;
+        self
+    }
+
+    /// Caps the peak arena footprint of compiled plans at `bytes`.
+    pub fn plan_budget(mut self, bytes: usize) -> Self {
+        self.config.plan_budget = Some(bytes);
+        self
+    }
+
+    /// Selects the arena layout strategy for compiled sessions.
+    pub fn arena(mut self, strategy: ArenaStrategy) -> Self {
+        self.config.arena = strategy;
         self
     }
 
@@ -487,10 +525,23 @@ pub trait Layer: std::fmt::Debug + std::any::Any + Send + Sync {
     }
 
     /// Scratch floats [`forward_into`](Layer::forward_into) needs for
-    /// the given input shape (0 for layers that need none). The engine
-    /// sizes one shared scratch buffer to the maximum over all layers.
+    /// the given input shape (0 for layers that need none). This is the
+    /// conservative bound: it must cover every path the kernel can
+    /// take, including cold ones such as re-packing weight panels when
+    /// no [`prepare`](Layer::prepare)d cache exists.
     fn forward_scratch_elems(&self, _input_shape: &[usize], _cfg: &ExecConfig) -> usize {
         0
+    }
+
+    /// Steady-state workspace floats
+    /// [`forward_into`](Layer::forward_into) needs per call once
+    /// [`prepare`](Layer::prepare) has run (packed panels cached). The
+    /// liveness planner sizes coloured arena slots with this, so it
+    /// may be far below [`forward_scratch_elems`](Layer::forward_scratch_elems)
+    /// — e.g. a packed convolution drops the A-panel repack region.
+    /// The default assumes no prepared state helps.
+    fn forward_workspace_elems(&self, input_shape: &[usize], cfg: &ExecConfig) -> usize {
+        self.forward_scratch_elems(input_shape, cfg)
     }
 
     /// Inference forward into a caller-provided output buffer, with no

@@ -35,9 +35,12 @@
 //!
 //! For repeated inference, compile the network once into an
 //! [`engine::InferencePlan`] and execute it through an
-//! [`engine::InferenceSession`]: activations ping-pong between two
-//! arena buffers sized at compile time, so steady-state forward passes
-//! allocate nothing.
+//! [`engine::InferenceSession`]: a [`liveness`] pass colours every
+//! activation and workspace interval into one arena sized at compile
+//! time (dead buffers are reused in place), so steady-state forward
+//! passes allocate nothing. [`layer::ExecConfig::plan_budget`] asks
+//! the plan compiler for the fastest plan whose arena fits a byte
+//! budget.
 
 pub mod activations;
 pub mod batchnorm;
@@ -51,6 +54,7 @@ pub mod guard;
 pub mod ir;
 pub mod layer;
 pub mod linear;
+pub mod liveness;
 pub mod memory;
 pub mod network;
 pub mod passes;
@@ -67,19 +71,21 @@ pub use conv::Conv2d;
 pub use depthwise::DepthwiseConv2d;
 pub use descriptor::{LayerDescriptor, LayerKind};
 pub use engine::{InferencePlan, InferenceSession, PlanStep, SessionProfile};
-pub use error::Error;
+pub use error::{Error, PlanError};
 pub use fold::{fold_batchnorm, strip_identity_batchnorms};
 #[cfg(feature = "fault-inject")]
 pub use guard::Fault;
 pub use guard::{
-    DemotionAction, DemotionReason, DemotionRecord, FaultPlan, GuardConfig, GuardReport,
-    GuardViolation, HealthReport, NonFiniteKind, ServeBatchFault,
+    BudgetBreachRecord, DemotionAction, DemotionReason, DemotionRecord, FaultPlan, GuardConfig,
+    GuardReport, GuardViolation, HealthReport, NonFiniteKind, ServeBatchFault,
 };
 pub use ir::{IrOp, OpKind};
 pub use layer::{
-    ConvAlgorithm, ExecConfig, ExecConfigBuilder, Layer, Param, Phase, QuantPanels, WeightFormat,
+    ArenaStrategy, ConvAlgorithm, ExecConfig, ExecConfigBuilder, Layer, Param, Phase, QuantPanels,
+    WeightFormat,
 };
 pub use linear::Linear;
+pub use liveness::{ArenaLayout, MemoryFootprint, StepExtent, StepSlots};
 pub use memory::{network_memory, MemoryBreakdown};
 pub use network::{
     adopt_packed_panels, adopt_quant_panels, export_packed_panels, export_quant_panels, Network,

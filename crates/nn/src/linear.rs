@@ -287,7 +287,19 @@ impl Linear {
         cfg: &ExecConfig,
     ) {
         let plan = self.packed_plan(batch);
-        let (a_buf, b_buf) = scratch[..plan.scratch_elems()].split_at_mut(plan.packed_a_elems());
+        let have_panels =
+            matches!(&self.packed_weights, Some(panels) if panels.len() == plan.packed_b_elems());
+        // The B-panel repack region is needed only when the plan-time
+        // panels are absent or stale; the steady-state workspace the
+        // liveness planner sizes (`forward_workspace_elems`) excludes
+        // it, so slice it only on the cold path.
+        let b_elems = if have_panels {
+            0
+        } else {
+            plan.packed_b_elems()
+        };
+        let (a_buf, b_buf) =
+            scratch[..plan.packed_a_elems() + b_elems].split_at_mut(plan.packed_a_elems());
         gemm::pack_a_into(&plan, in_data, a_buf);
         let packed_b: &[f32] = match &self.packed_weights {
             Some(panels) if panels.len() == plan.packed_b_elems() => panels.as_slice(),
@@ -476,6 +488,19 @@ impl Layer for Linear {
             // `&self` run path can repack weights even when the plan-time
             // panels have been dropped.
             self.packed_plan(input_shape[0]).scratch_elems()
+        } else {
+            0
+        }
+    }
+
+    fn forward_workspace_elems(&self, input_shape: &[usize], cfg: &ExecConfig) -> usize {
+        if self.uses_packed_gemm(cfg) {
+            // Steady state: `prepare()` has cached the Wᵀ B-panels (or
+            // the quantised snapshot), so only the activation A-panel
+            // region is paid per call. The int8 arm's byte panels fit
+            // in `packed_a_elems().div_ceil(4)` floats, and the ternary
+            // arm packs the same A region — one bound covers all arms.
+            self.packed_plan(input_shape[0]).packed_a_elems()
         } else {
             0
         }

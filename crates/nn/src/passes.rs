@@ -62,10 +62,11 @@
 //! ```
 
 use crate::engine::{compile_step, InferencePlan, PlanStep};
-use crate::error::Error;
+use crate::error::{Error, PlanError};
 use crate::fold;
 use crate::ir::{self, IrOp, OpKind};
-use crate::layer::{ConvAlgorithm, ExecConfig, Phase, WeightFormat};
+use crate::layer::{ArenaStrategy, ConvAlgorithm, ExecConfig, Phase, WeightFormat};
+use crate::liveness::{MemoryFootprint, StepExtent};
 use crate::network::Network;
 use cnn_stack_tensor::{GemmAlgorithm, Tensor};
 use std::fmt::Write as _;
@@ -165,14 +166,19 @@ impl PlanCompiler {
         self
     }
 
-    /// Runs the pipeline: lower, apply every pass in order, lower the
-    /// final op list to plan steps.
+    /// Runs the pipeline: lower, apply every pass in order, solve the
+    /// memory budget if one is set, lower the final op list to plan
+    /// steps.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] on a zero thread count, an
     /// empty/zero-extent input shape, or a layer/shape rank mismatch —
-    /// the same contract as [`InferencePlan::compile`].
+    /// the same contract as [`InferencePlan::compile`]. With
+    /// `cfg.plan_budget` set, returns
+    /// [`PlanError::BudgetInfeasible`] (as [`Error::Plan`]) when even
+    /// the smallest-workspace algorithm selection cannot fit the
+    /// budget; the error carries the smallest feasible budget.
     pub fn run(
         &self,
         net: &mut Network,
@@ -198,6 +204,9 @@ impl PlanCompiler {
         for pass in &self.passes {
             pass.run(&mut ctx)?;
         }
+        if let Some(budget) = cfg.plan_budget {
+            fit_budget(&mut ctx, budget)?;
+        }
         let mut steps: Vec<PlanStep> = Vec::with_capacity(ctx.ops.len());
         for op in &ctx.ops {
             let layer = ctx.net.layers()[op.layer].as_ref();
@@ -207,7 +216,20 @@ impl PlanCompiler {
             step.macs = op.macs;
             steps.push(step);
         }
-        Ok(InferencePlan::from_parts(input_shape.to_vec(), *cfg, steps))
+        let plan = InferencePlan::from_parts(input_shape.to_vec(), *cfg, steps);
+        // Admission: after best-effort solving (or a standdown on user
+        // overrides) the plan either fits or nothing reachable does —
+        // the solved plan's peak *is* the smallest feasible budget.
+        if let Some(budget) = cfg.plan_budget {
+            let peak = plan.strategy_peak_bytes();
+            if peak > budget {
+                return Err(Error::Plan(PlanError::BudgetInfeasible {
+                    budget_bytes: budget,
+                    min_feasible_bytes: peak,
+                }));
+            }
+        }
+        Ok(plan)
     }
 }
 
@@ -687,6 +709,200 @@ impl PlanPass for ForceThroughput {
 }
 
 // ---------------------------------------------------------------------
+// Budget solver: fastest plan under N bytes
+// ---------------------------------------------------------------------
+
+/// One algorithm option for one op during budget solving. `choice` is
+/// `None` for ops the selector does not touch (their extent is fixed);
+/// `Some` entries can be (re-)applied via [`apply_choice`].
+struct BudgetCand {
+    choice: Option<AlgoChoice>,
+    secs: f64,
+    extent: StepExtent,
+}
+
+/// Peak arena bytes of a step-extent sequence under `arena` — the same
+/// number `InferencePlan::strategy_peak_bytes` reports for the compiled
+/// plan, so solver decisions and the admission check agree.
+fn arena_peak_bytes(extents: &[StepExtent], arena: ArenaStrategy) -> usize {
+    let fp = MemoryFootprint::of(extents);
+    match arena {
+        ArenaStrategy::Coloured => fp.peak_bytes,
+        ArenaStrategy::PingPong => fp.naive_bytes,
+    }
+}
+
+/// Memory extent of one op compiled under its current per-op config —
+/// a real `compile_step` probe, so the workspace numbers are the
+/// kernels' own, not a cost-model estimate.
+fn op_extent(net: &Network, op: &IrOp) -> Result<StepExtent, Error> {
+    let step = compile_step(
+        net.layers()[op.layer].as_ref(),
+        op.layer,
+        &op.input_shape,
+        &op.cfg,
+    )?;
+    Ok(StepExtent {
+        output_elems: step.output_elems,
+        workspace_elems: step.workspace_elems,
+        scratch_elems: step.scratch_elems,
+    })
+}
+
+/// Whether `choice` describes the op's *current* configuration, so the
+/// solver can start from the pass pipeline's selection (including an
+/// autotuned winner) rather than resetting every op to the cost model's
+/// predicted-fastest.
+fn matches_current(op: &IrOp, choice: AlgoChoice) -> bool {
+    let format = match &op.kind {
+        OpKind::Conv { format, .. } | OpKind::Linear { format, .. } => *format,
+        _ => return false,
+    };
+    let cfg = &op.cfg;
+    match choice {
+        AlgoChoice::DirectConv => {
+            cfg.conv_algo == ConvAlgorithm::Direct && format == WeightFormat::Dense
+        }
+        AlgoChoice::Im2colPacked => {
+            cfg.conv_algo == ConvAlgorithm::Im2col
+                && cfg.gemm_algo == GemmAlgorithm::Packed
+                && format == WeightFormat::Dense
+        }
+        AlgoChoice::Winograd => cfg.conv_algo == ConvAlgorithm::Winograd,
+        AlgoChoice::CsrConv | AlgoChoice::CsrLinear => format == WeightFormat::Csr,
+        AlgoChoice::TernaryConv | AlgoChoice::TernaryLinear => format == WeightFormat::Ternary,
+        AlgoChoice::Int8Linear => format == WeightFormat::Int8,
+        AlgoChoice::PackedLinear => {
+            cfg.gemm_algo == GemmAlgorithm::Packed && format == WeightFormat::Dense
+        }
+        AlgoChoice::ScalarLinear => {
+            cfg.gemm_algo == GemmAlgorithm::Blocked && format == WeightFormat::Dense
+        }
+    }
+}
+
+/// Solves "fastest plan under the budget" over the pipeline's op list.
+///
+/// The solver first checks the liveness-derived peak of the current
+/// selection; when it already fits, nothing changes (an autotuned
+/// winner stays an autotuned winner). When over budget, it probes every
+/// conv/linear candidate's true workspace via [`compile_step`] and then
+/// greedily demotes: each round it evaluates, for every op, a move to
+/// that op's fastest strictly-smaller-workspace algorithm (im2col +
+/// packed falls back towards Winograd/direct, packed linear towards
+/// blocked), recomputes the coloured peak each move would produce, and
+/// applies the move with the lowest resulting peak, breaking ties
+/// towards the smallest predicted slowdown. When every op sits at its
+/// smallest workspace and the plan still exceeds the budget, the floor
+/// selection is left applied and the caller's admission check reports
+/// [`PlanError::BudgetInfeasible`] with that floor as the smallest
+/// feasible budget.
+///
+/// A non-default `conv_algo`/`gemm_algo` in the base config is a user
+/// override and the solver stands down, exactly like
+/// [`SelectAlgorithms`]: the admission check then reports infeasibility
+/// rather than silently rewriting the user's plan.
+fn fit_budget(ctx: &mut PassContext, budget_bytes: usize) -> Result<(), Error> {
+    let defaults = ExecConfig::serial();
+    if ctx.base_cfg.conv_algo != defaults.conv_algo || ctx.base_cfg.gemm_algo != defaults.gemm_algo
+    {
+        return Ok(());
+    }
+    let arena = ctx.base_cfg.arena;
+    let current: Vec<StepExtent> = ctx
+        .ops
+        .iter()
+        .map(|op| op_extent(ctx.net, op))
+        .collect::<Result<_, _>>()?;
+    if arena_peak_bytes(&current, arena) <= budget_bytes {
+        return Ok(());
+    }
+
+    let mut ops = std::mem::take(&mut ctx.ops);
+    let mut tables: Vec<Vec<BudgetCand>> = Vec::with_capacity(ops.len());
+    let mut selected: Vec<usize> = Vec::with_capacity(ops.len());
+    for (op, cur) in ops.iter_mut().zip(&current) {
+        let cands = candidates(op);
+        if cands.is_empty() {
+            tables.push(vec![BudgetCand {
+                choice: None,
+                secs: 0.0,
+                extent: *cur,
+            }]);
+            selected.push(0);
+            continue;
+        }
+        // Record which candidate the pipeline currently has applied
+        // *before* probing overwrites the op's config.
+        let init = cands
+            .iter()
+            .position(|&(c, _)| matches_current(op, c))
+            .unwrap_or(0);
+        let mut table = Vec::with_capacity(cands.len());
+        for (choice, secs) in cands {
+            apply_choice(ctx.net, op, choice);
+            table.push(BudgetCand {
+                choice: Some(choice),
+                secs,
+                extent: op_extent(ctx.net, op)?,
+            });
+        }
+        tables.push(table);
+        selected.push(init);
+    }
+
+    loop {
+        let extents: Vec<StepExtent> = tables
+            .iter()
+            .zip(&selected)
+            .map(|(t, &j)| t[j].extent)
+            .collect();
+        if arena_peak_bytes(&extents, arena) <= budget_bytes {
+            break;
+        }
+        let mut best: Option<(usize, usize, usize, f64)> = None;
+        for (i, table) in tables.iter().enumerate() {
+            let cur = &table[selected[i]];
+            // Candidates are sorted fastest-first, so `position` finds
+            // the fastest algorithm that actually shrinks this op.
+            let Some(j) = table
+                .iter()
+                .position(|c| c.extent.workspace_elems < cur.extent.workspace_elems)
+            else {
+                continue;
+            };
+            let mut trial = extents.clone();
+            trial[i] = table[j].extent;
+            let new_peak = arena_peak_bytes(&trial, arena);
+            let dsecs = table[j].secs - cur.secs;
+            let better = match best {
+                None => true,
+                Some((_, _, bp, bd)) => new_peak < bp || (new_peak == bp && dsecs < bd),
+            };
+            if better {
+                best = Some((i, j, new_peak, dsecs));
+            }
+        }
+        let Some((i, j, _, _)) = best else {
+            // Every op already sits at its smallest workspace; the
+            // caller's admission check reports the floor.
+            break;
+        };
+        selected[i] = j;
+    }
+
+    // Leave the network and op list in the solved state (probing left
+    // them on each op's last-probed candidate).
+    for (op, (table, &j)) in ops.iter_mut().zip(tables.iter().zip(&selected)) {
+        if let Some(choice) = table[j].choice {
+            apply_choice(ctx.net, op, choice);
+        }
+    }
+    ctx.ops = ops;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Pass 3: empirical autotune
 // ---------------------------------------------------------------------
 
@@ -834,9 +1050,37 @@ impl PlanPass for Autotune {
                 apply_choice(ctx.net, op, *cached);
                 continue;
             }
-            let top: Vec<AlgoChoice> = candidates(op).into_iter().take(2).map(|(c, _)| c).collect();
+            let mut top: Vec<AlgoChoice> =
+                candidates(op).into_iter().take(2).map(|(c, _)| c).collect();
             if top.len() < 2 {
                 continue; // nothing to compare; keep the selector's pick
+            }
+            // Light budget filter: a candidate whose own step residency
+            // (input + output + workspace are simultaneously live)
+            // exceeds the budget can never appear in a feasible plan,
+            // so don't spend samples measuring it. A budget-influenced
+            // winner must not enter the budget-agnostic tuning cache.
+            let mut cacheable = true;
+            if let Some(budget) = ctx.base_cfg.plan_budget {
+                let input_elems: usize = op.input_shape.iter().product();
+                let mut keep = Vec::with_capacity(top.len());
+                for &choice in &top {
+                    apply_choice(ctx.net, op, choice);
+                    let ext = op_extent(ctx.net, op)?;
+                    let resident = 4 * (input_elems + ext.output_elems + ext.workspace_elems);
+                    if resident <= budget {
+                        keep.push(choice);
+                    }
+                }
+                cacheable = keep.len() == top.len();
+                top = keep;
+                if top.is_empty() {
+                    continue; // nothing fits here; the budget solver repairs later
+                }
+                if top.len() == 1 {
+                    apply_choice(ctx.net, op, top[0]);
+                    continue;
+                }
             }
             let mut winner = top[0];
             let mut best = f64::INFINITY;
@@ -849,8 +1093,10 @@ impl PlanPass for Autotune {
                 }
             }
             apply_choice(ctx.net, op, winner);
-            cache.push((key, winner));
-            dirty = true;
+            if cacheable {
+                cache.push((key, winner));
+                dirty = true;
+            }
         }
         ctx.ops = ops;
         if dirty {
@@ -1098,5 +1344,120 @@ mod tests {
             assert_eq!(AlgoChoice::from_tag(choice.tag()), Some(choice));
         }
         assert_eq!(AlgoChoice::from_tag("nonsense"), None);
+    }
+
+    fn budget_net(seed: u64) -> Network {
+        Network::new(vec![
+            Box::new(Conv2d::new(3, 16, 3, 1, 1, seed)),
+            Box::new(ReLU::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(16 * 6 * 6, 10, seed + 1)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn loose_budget_keeps_pipeline_selection() {
+        let shape = [2usize, 3, 12, 12];
+        let mut free_net = budget_net(31);
+        let free = PlanCompiler::standard()
+            .run(&mut free_net, &shape, &ExecConfig::serial())
+            .unwrap();
+        let mut capped_net = budget_net(31);
+        let cfg = ExecConfig::builder().plan_budget(1 << 30).build().unwrap();
+        let capped = PlanCompiler::standard()
+            .run(&mut capped_net, &shape, &cfg)
+            .unwrap();
+        for (a, b) in free.steps().iter().zip(capped.steps()) {
+            assert_eq!(a.cfg.conv_algo, b.cfg.conv_algo, "step {}", a.name);
+            assert_eq!(a.cfg.gemm_algo, b.cfg.gemm_algo, "step {}", a.name);
+        }
+    }
+
+    #[test]
+    fn tight_budget_demotes_to_smaller_workspace() {
+        let shape = [2usize, 3, 12, 12];
+        let mut free_net = budget_net(32);
+        let free = PlanCompiler::standard()
+            .run(&mut free_net, &shape, &ExecConfig::serial())
+            .unwrap();
+        let free_peak = free.footprint().peak_bytes;
+        assert!(free_peak > 0);
+        // Ask for just under the unconstrained peak: the solver must
+        // demote at least one step onto a smaller-workspace algorithm.
+        let budget = free_peak - 4;
+        let mut capped_net = budget_net(32);
+        let cfg = ExecConfig::builder().plan_budget(budget).build().unwrap();
+        let capped = PlanCompiler::standard()
+            .run(&mut capped_net, &shape, &cfg)
+            .unwrap();
+        assert!(capped.footprint().peak_bytes <= budget);
+        assert!(
+            free.steps()
+                .iter()
+                .zip(capped.steps())
+                .any(|(a, b)| a.cfg.conv_algo != b.cfg.conv_algo
+                    || a.cfg.gemm_algo != b.cfg.gemm_algo),
+            "a demotion must have happened"
+        );
+        // The demoted plan still computes the right function.
+        let x = random(shape, 77);
+        let mut free_sess = InferenceSession::new(&mut free_net, free).unwrap();
+        let mut capped_sess = InferenceSession::new(&mut capped_net, capped).unwrap();
+        let ya = free_sess.run(&x).unwrap();
+        let yb = capped_sess.run(&x).unwrap();
+        for (a, b) in ya.data().iter().zip(yb.data()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_reports_achievable_floor() {
+        let shape = [2usize, 3, 12, 12];
+        let mut net = budget_net(33);
+        let cfg = ExecConfig::builder().plan_budget(64).build().unwrap();
+        let err = PlanCompiler::standard()
+            .run(&mut net, &shape, &cfg)
+            .unwrap_err();
+        let Error::Plan(PlanError::BudgetInfeasible {
+            budget_bytes,
+            min_feasible_bytes,
+        }) = err
+        else {
+            panic!("expected BudgetInfeasible, got {err:?}");
+        };
+        assert_eq!(budget_bytes, 64);
+        assert!(min_feasible_bytes > 64);
+        // The reported floor is itself achievable.
+        let mut net2 = budget_net(33);
+        let cfg2 = ExecConfig::builder()
+            .plan_budget(min_feasible_bytes)
+            .build()
+            .unwrap();
+        let plan = PlanCompiler::standard()
+            .run(&mut net2, &shape, &cfg2)
+            .unwrap();
+        assert!(plan.footprint().peak_bytes <= min_feasible_bytes);
+    }
+
+    #[test]
+    fn user_override_stands_down_solver() {
+        // An explicit conv_algo override must not be rewritten to fit;
+        // the compiler reports infeasibility instead.
+        let shape = [2usize, 3, 12, 12];
+        let mut net = budget_net(34);
+        let cfg = ExecConfig::builder()
+            .conv_algo(ConvAlgorithm::Im2col)
+            .plan_budget(64)
+            .build()
+            .unwrap();
+        let err = PlanCompiler::standard()
+            .run(&mut net, &shape, &cfg)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Plan(PlanError::BudgetInfeasible { .. })
+        ));
     }
 }

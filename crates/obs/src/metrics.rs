@@ -84,6 +84,8 @@ metrics! {
     StepsExecuted => ("engine.steps_executed", Counter),
     RunsCompleted => ("engine.runs_completed", Counter),
     ArenaBytes => ("engine.arena_bytes", Gauge),
+    PlanPeakBytes => ("plan.peak_bytes", Gauge),
+    ArenaReuseBytes => ("engine.arena_reuse_bytes", Gauge),
     StepNs => ("engine.step_ns", Histogram),
     // Serving layer (serve::Server): admission, batching, shedding.
     ServeSubmitted => ("serve.submitted", Counter),

@@ -28,6 +28,7 @@ pub struct ServeConfig {
     observer: ObsLevel,
     supervision: SupervisionPolicy,
     breaker: Option<BreakerPolicy>,
+    memory_budget: Option<usize>,
 }
 
 impl ServeConfig {
@@ -46,6 +47,7 @@ impl ServeConfig {
             observer: ObsLevel::Metrics,
             supervision: SupervisionPolicy::default(),
             breaker: None,
+            memory_budget: None,
         }
     }
 
@@ -57,6 +59,23 @@ impl ServeConfig {
     /// Largest number of requests coalesced into one session run.
     pub fn max_batch(&self) -> usize {
         self.max_batch
+    }
+
+    /// Activation-arena envelope for one worker's whole session ladder,
+    /// if one was configured.
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.memory_budget
+    }
+
+    /// The slice of the memory envelope a rung of the given batch size
+    /// may claim: arenas grow roughly linearly with batch, so the
+    /// envelope is split across the ladder proportionally to batch
+    /// size. `None` when no envelope is configured.
+    pub(crate) fn rung_budget(&self, batch: usize) -> Option<usize> {
+        self.memory_budget.map(|total| {
+            let sum: usize = self.ladder_sizes().iter().sum();
+            total * batch / sum.max(1)
+        })
     }
 
     /// Longest a batch is held open waiting for co-batchable requests.
@@ -158,6 +177,7 @@ pub struct ServeConfigBuilder {
     observer: ObsLevel,
     supervision: SupervisionPolicy,
     breaker: Option<BreakerPolicy>,
+    memory_budget: Option<usize>,
 }
 
 impl ServeConfigBuilder {
@@ -224,6 +244,19 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Caps the total activation-arena bytes of one worker's session
+    /// ladder. The pool splits the envelope across rungs proportionally
+    /// to batch size and compiles each rung under its share, so the
+    /// plan compiler can demote layers onto smaller-workspace
+    /// algorithms where the envelope bites. An envelope that even the
+    /// smallest-workspace plans cannot fit fails server construction
+    /// with a typed `BudgetInfeasible` carrying the smallest feasible
+    /// budget.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// Enables the brownout circuit breaker. Each worker additionally
     /// compiles a degraded (throughput-over-fidelity, guards-off) plan
     /// ladder and swaps onto it while the breaker is open; see
@@ -240,8 +273,8 @@ impl ServeConfigBuilder {
     /// [`ServeError::InvalidConfig`] when any knob is out of range:
     /// empty/zero input shape, `max_batch == 0`, `queue_depth == 0`,
     /// `queue_depth < max_batch` (a full batch could never accumulate),
-    /// `threads == 0`, a zero `default_deadline`, or an out-of-range
-    /// supervision/breaker policy.
+    /// `threads == 0`, a zero `default_deadline`, a zero
+    /// `memory_budget`, or an out-of-range supervision/breaker policy.
     pub fn build(self) -> Result<ServeConfig, ServeError> {
         if self.input_shape.is_empty() || self.input_shape.contains(&0) {
             return Err(ServeError::InvalidConfig(format!(
@@ -275,6 +308,11 @@ impl ServeConfigBuilder {
                 "default_deadline must be positive".into(),
             ));
         }
+        if self.memory_budget == Some(0) {
+            return Err(ServeError::InvalidConfig(
+                "memory_budget must be positive".into(),
+            ));
+        }
         self.supervision
             .validate()
             .map_err(ServeError::InvalidConfig)?;
@@ -293,6 +331,7 @@ impl ServeConfigBuilder {
             observer: self.observer,
             supervision: self.supervision,
             breaker: self.breaker,
+            memory_budget: self.memory_budget,
         })
     }
 }

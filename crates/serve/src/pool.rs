@@ -81,10 +81,22 @@ impl SessionLadder {
         shared: &mut Option<PanelSet>,
         clock: &dyn Clock,
     ) -> Result<Self, ServeError> {
-        let exec = cfg.exec();
+        let base_exec = cfg.exec();
         let request_elems: usize = cfg.input_shape().iter().product();
         let mut rungs = Vec::new();
         for &batch in &cfg.ladder_sizes() {
+            // Under a memory envelope each rung compiles against its
+            // proportional share, and the conv override is released so
+            // the budget solver may demote layers (the cost model picks
+            // im2col+packed anyway wherever the share allows it).
+            let exec = match cfg.rung_budget(batch) {
+                Some(budget) => cnn_stack_nn::ExecConfig {
+                    conv_algo: cnn_stack_nn::ExecConfig::serial().conv_algo,
+                    plan_budget: Some(budget),
+                    ..base_exec
+                },
+                None => base_exec,
+            };
             let mut shape = vec![batch];
             shape.extend_from_slice(cfg.input_shape());
             let mut net = build_net();
@@ -195,6 +207,9 @@ impl SessionLadder {
             merged.panics_contained += h.panics_contained;
             merged.retries += h.retries;
             merged.demotions.extend(h.demotions.iter().cloned());
+            merged
+                .budget_breaches
+                .extend(h.budget_breaches.iter().cloned());
         }
         merged
     }

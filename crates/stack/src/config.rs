@@ -139,6 +139,10 @@ pub struct StackConfig {
     /// default, one algorithm everywhere) or [`PlanMode::Selection`]
     /// (fused, per-layer choices from the pass compiler).
     pub plan: PlanMode,
+    /// Peak activation-arena bytes the host-execution plan may claim.
+    /// `None` (the default) defers to the platform's envelope —
+    /// [`Platform::arena_budget_bytes`], a quarter of installed RAM.
+    pub plan_budget: Option<usize>,
     /// Observability level for the cell's evaluation:
     /// [`ObsLevel::Off`] (the default) records nothing,
     /// [`ObsLevel::Metrics`] attaches a metrics snapshot to the
@@ -161,6 +165,7 @@ impl StackConfig {
             platform,
             guard: GuardConfig::Off,
             plan: PlanMode::Global,
+            plan_budget: None,
             obs: ObsLevel::Off,
         }
     }
@@ -205,6 +210,13 @@ impl StackConfig {
     /// Sets the host plan-construction mode (builder style).
     pub fn plan(mut self, plan: PlanMode) -> Self {
         self.plan = plan;
+        self
+    }
+
+    /// Caps the host plan's arena footprint (builder style), overriding
+    /// the platform's default envelope.
+    pub fn plan_budget(mut self, bytes: usize) -> Self {
+        self.plan_budget = Some(bytes);
         self
     }
 
@@ -304,6 +316,13 @@ impl StackConfigBuilder {
     /// Sets the host plan-construction mode.
     pub fn plan(mut self, plan: PlanMode) -> Self {
         self.config.plan = plan;
+        self
+    }
+
+    /// Caps the host plan's arena footprint, overriding the platform's
+    /// default envelope.
+    pub fn plan_budget(mut self, bytes: usize) -> Self {
+        self.config.plan_budget = Some(bytes);
         self
     }
 

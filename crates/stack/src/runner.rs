@@ -113,6 +113,13 @@ pub fn try_evaluate_with(
             threads: cfg.threads,
             conv_algo: cfg.algorithm,
             observer: cfg.obs,
+            // Deployed plans must fit the target's memory envelope: an
+            // explicit stack budget wins, else the platform's default
+            // (a quarter of installed RAM).
+            plan_budget: Some(
+                cfg.plan_budget
+                    .unwrap_or_else(|| platform.arena_budget_bytes()),
+            ),
             ..ExecConfig::serial()
         };
         // Compile once, execute via the arena-backed session: the timed

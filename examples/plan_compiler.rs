@@ -2,14 +2,16 @@
 //! algorithm choices — for the paper's three models, plain and with the
 //! large layers magnitude-pruned to 99.5% sparsity. This regenerates the
 //! per-layer selection table in EXPERIMENTS.md (the paper's Fig. 7
-//! "which algorithm wins where" analogue).
+//! "which algorithm wins where" analogue), then sweeps a shrinking
+//! memory budget over batch-8 VGG-16 to show the planner trading speed
+//! for footprint ("fastest plan under N MB").
 //!
 //! ```bash
 //! cargo run --release --example plan_compiler
 //! ```
 
 use cnn_stack::models::ModelKind;
-use cnn_stack::nn::{Conv2d, ExecConfig, Linear, PlanCompiler};
+use cnn_stack::nn::{Conv2d, Error, ExecConfig, Linear, PlanCompiler, PlanError};
 
 /// Magnitude-prunes a weight slice in place to the target sparsity.
 fn prune_to(data: &mut [f32], sparsity: f64) {
@@ -63,5 +65,55 @@ fn main() {
             }
             println!();
         }
+    }
+    budget_sweep();
+}
+
+/// "Fastest plan under N MB" on batch-8 VGG-16: the same model planned
+/// under a shrinking activation envelope. The unconstrained plan picks
+/// im2col + packed GEMM everywhere; as the budget bites, the solver
+/// demotes the widest layers to smaller-workspace algorithms, and an
+/// impossible envelope fails with the smallest budget that would work.
+fn budget_sweep() {
+    println!("## VGG-16 (batch 8) under a memory budget");
+    let batch = 8;
+    let budgets: [(Option<usize>, &str); 4] = [
+        (None, "unbounded"),
+        (Some(64 << 20), "64 MB"),
+        (Some(16 << 20), "16 MB"),
+        (Some(4 << 20), "4 MB"),
+    ];
+    for (budget, label) in budgets {
+        let mut model = ModelKind::Vgg16.build(10);
+        let mut builder = ExecConfig::builder();
+        if let Some(bytes) = budget {
+            builder = builder.plan_budget(bytes);
+        }
+        let cfg = builder.build().expect("config is valid");
+        match model.compile_plan(batch, &cfg, &PlanCompiler::standard()) {
+            Ok(plan) => {
+                let fp = plan.footprint();
+                println!(
+                    "  budget {label:>9}: peak {:>6.2} MB (naive ping-pong {:>6.2} MB)",
+                    fp.peak_bytes as f64 / (1 << 20) as f64,
+                    fp.naive_bytes as f64 / (1 << 20) as f64,
+                );
+                for s in plan.steps() {
+                    // Step names carry the selected algorithm as a
+                    // bracketed tag, e.g. "conv1_1 [im2col+packed]".
+                    println!("    {}", s.name);
+                }
+            }
+            Err(Error::Plan(PlanError::BudgetInfeasible {
+                budget_bytes,
+                min_feasible_bytes,
+            })) => println!(
+                "  budget {label:>9}: infeasible ({:.2} MB asked, {:.2} MB is the floor)",
+                budget_bytes as f64 / (1 << 20) as f64,
+                min_feasible_bytes as f64 / (1 << 20) as f64,
+            ),
+            Err(other) => panic!("unexpected compile failure: {other:?}"),
+        }
+        println!();
     }
 }

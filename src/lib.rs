@@ -66,8 +66,8 @@ pub mod prelude {
         mobilenet, mobilenet_width, resnet18, resnet18_width, vgg16, vgg16_width, Model, ModelKind,
     };
     pub use crate::nn::{
-        ConvAlgorithm, ExecConfig, GuardConfig, HealthReport, InferencePlan, InferenceSession,
-        Network, Phase, PlanCompiler,
+        ArenaStrategy, ConvAlgorithm, ExecConfig, GuardConfig, HealthReport, InferencePlan,
+        InferenceSession, Network, Phase, PlanCompiler, PlanError,
     };
     pub use crate::obs::ObsLevel;
     pub use crate::serve::{

@@ -402,3 +402,88 @@ proptest! {
         }
     }
 }
+
+/// Demotion must keep correctness even when the safer kernel needs more
+/// memory than the plan's budget: the session re-runs liveness sizing
+/// after the rebuild and, when the demoted plan no longer fits, surfaces
+/// a typed budget-breach health event instead of failing the run.
+#[test]
+fn demotion_past_the_budget_surfaces_a_breach_event() {
+    // A wide-input conv: the im2col patch matrix (in_c·k² = 144 rows per
+    // output position) needs a packing workspace far larger than any
+    // activation, while the Winograd step carries no arena workspace.
+    fn wide_stack(seed: u64) -> Network {
+        Network::new(vec![
+            Box::new(Conv2d::new(16, 4, 3, 1, 1, seed)),
+            Box::new(ReLU::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4 * 8 * 8, 10, seed + 1)),
+        ])
+        .expect("stack is non-empty")
+    }
+    let seed = 314;
+    let input = Tensor::from_fn([4, 16, 8, 8], |i| {
+        ((i as u64 * 2654435761) % 211) as f32 * 0.01 - 1.0
+    });
+
+    // The Winograd plan's peak is a budget the im2col fallback cannot
+    // fit: its packing workspace dwarfs every activation buffer.
+    let wino_cfg = cfg_with(ConvAlgorithm::Winograd, 1);
+    let wino_peak = InferencePlan::compile(&wide_stack(seed), input.shape().dims(), &wino_cfg)
+        .unwrap()
+        .footprint()
+        .peak_bytes;
+    let im2col_peak = InferencePlan::compile(
+        &wide_stack(seed),
+        input.shape().dims(),
+        &cfg_with(ConvAlgorithm::Im2col, 1),
+    )
+    .unwrap()
+    .footprint()
+    .peak_bytes;
+    assert!(
+        im2col_peak > wino_peak,
+        "im2col needs a packing workspace Winograd does not ({im2col_peak} vs {wino_peak})"
+    );
+
+    // Admission passes: the Winograd plan fits its budget exactly.
+    let mut net = wide_stack(seed);
+    let cfg = ExecConfig {
+        plan_budget: Some(wino_peak),
+        ..wino_cfg
+    };
+    let plan = InferencePlan::compile(&net, input.shape().dims(), &cfg).unwrap();
+    let mut session = InferenceSession::new(&mut net, plan).unwrap();
+    session.inject_faults(FaultPlan::new().panic_in_kernel(0, 0));
+
+    // The panic demotes Winograd -> im2col, whose workspace bursts the
+    // envelope; the run still succeeds, bit-identical to pure im2col.
+    let got = session.run(&input).expect("session recovers by demotion");
+    let mut ref_net = wide_stack(seed);
+    let ref_cfg = cfg_with(ConvAlgorithm::Im2col, 1);
+    let ref_plan = InferencePlan::compile(&ref_net, input.shape().dims(), &ref_cfg).unwrap();
+    let want = InferenceSession::new(&mut ref_net, ref_plan)
+        .unwrap()
+        .run(&input)
+        .unwrap();
+    let got_bits: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+    let want_bits: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got_bits, want_bits);
+
+    let health = session.health().clone();
+    assert_eq!(health.demotions.len(), 1);
+    assert_eq!(
+        health.budget_breaches.len(),
+        1,
+        "the rebuilt plan re-ran liveness sizing and reported the breach"
+    );
+    let breach = &health.budget_breaches[0];
+    assert_eq!(breach.layer_index, 0);
+    assert_eq!(breach.budget_bytes, wino_peak);
+    assert!(
+        breach.peak_bytes > breach.budget_bytes,
+        "breach records the new, larger peak ({} vs budget {})",
+        breach.peak_bytes,
+        breach.budget_bytes
+    );
+}

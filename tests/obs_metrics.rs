@@ -149,3 +149,27 @@ proptest! {
         );
     }
 }
+
+/// On a real deep network the coloured arena must actually reuse bytes:
+/// the session reports its allocated arena, the plan's predicted peak,
+/// and a strictly positive saving over the legacy ping-pong layout.
+#[test]
+fn vgg16_reports_positive_arena_reuse() {
+    let mut model = cnn_stack::models::vgg16(10);
+    let cfg = ExecConfig {
+        observer: ObsLevel::Metrics,
+        ..ExecConfig::serial()
+    };
+    let input = Tensor::from_fn([2, 3, 32, 32], |i| ((i * 7 % 13) as f32) * 0.1 - 0.6);
+    let m = run_and_snapshot(&mut model.network, &cfg, GuardConfig::Off, &input, 1);
+    let arena = m.gauge("engine.arena_bytes").expect("arena gauge");
+    let peak = m.gauge("plan.peak_bytes").expect("peak gauge");
+    let reuse = m.gauge("engine.arena_reuse_bytes").expect("reuse gauge");
+    assert!(arena > 0, "session allocated an arena");
+    assert!(
+        reuse > 0,
+        "liveness colouring must save bytes over ping-pong on VGG-16"
+    );
+    // The serial session's one arena is exactly the plan-level layout.
+    assert_eq!(arena, peak);
+}

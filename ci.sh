@@ -7,6 +7,29 @@ cd "$(dirname "$0")"
 # so CI never needs the network.
 export CARGO_NET_OFFLINE=true
 
+# Cross-algorithm convolution conformance: every algorithm (direct,
+# im2col over both GEMM engines, Winograd F(2x2)/F(4x4), FFT, CSR)
+# against the naive reference under per-algorithm error budgets, plus
+# the transform-ladder fault-injection rungs and a tiny-shape pass
+# through the conv-algo bench harness. The full bench run (which
+# regenerates BENCH_conv.json and enforces the FFT-beats-im2col and
+# F4 >= 1.3x F2 gates) is manual.
+conv_conformance() {
+  echo "== conv-conformance =="
+  cargo test -q --test conv_conformance
+  cargo test -q --features fault-inject --test fault_injection fft
+  cargo test -q --features fault-inject --test fault_injection winograd4
+  CONV_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench conv_algo
+}
+
+# `./ci.sh conv-conformance` runs just that job (fast inner loop for
+# kernel work); no argument runs the whole tier-1 gate.
+if [[ "${1:-all}" == "conv-conformance" ]]; then
+  conv_conformance
+  echo "ci: conv-conformance green"
+  exit 0
+fi
+
 echo "== build (release) =="
 cargo build --workspace --release
 
@@ -116,6 +139,8 @@ echo "== plan-memory =="
 cargo test -q --test plan_memory
 cargo test -q -p cnn-stack-nn liveness::
 MEMORY_BENCH_SMOKE=1 cargo bench -p cnn-stack-bench --bench memory
+
+conv_conformance
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

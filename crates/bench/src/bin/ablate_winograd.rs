@@ -41,7 +41,8 @@ fn main() {
             let cols = im2col(input.data(), &geom);
             gemm::matmul(&wmat, &cols)
         });
-        let t_wino = time_it(|| winograd_conv2d(&input, &weights, None, 1));
+        let t_wino =
+            time_it(|| winograd_conv2d(&input, &weights, None, 1).expect("eligible 3x3 layer"));
         let (muls_direct, muls_wino) = multiply_counts(in_c, out_c, geom.out_h, geom.out_w);
         rows.push(vec![
             label.to_string(),

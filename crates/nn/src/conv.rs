@@ -9,7 +9,8 @@ use cnn_stack_parallel::DisjointWriter;
 use cnn_stack_sparse::CsrMatrix;
 use cnn_stack_tensor::init::{initialise, Init};
 use cnn_stack_tensor::{
-    col2im, gemm, im2col, im2col_into, ops, pack_b_im2col_batch_into, pack_b_im2col_into,
+    col2im, fft_conv2d_into, fft_conv_scratch_elems, gemm, im2col, im2col_into, ops,
+    pack_b_im2col_batch_into, pack_b_im2col_into, winograd4_conv2d_into, winograd4_scratch_elems,
     winograd_conv2d, Conv2dGeometry, GemmAlgorithm, GemmPlan, Tensor,
 };
 use std::sync::Arc;
@@ -716,9 +717,13 @@ impl Conv2d {
         let writer = &writer;
         for img in 0..n {
             match cfg.conv_algo {
-                // Winograd applies to dense weights only; CSR falls
-                // back to the direct sparse kernel.
-                ConvAlgorithm::Direct | ConvAlgorithm::Winograd => {
+                // The transform-domain algorithms apply to dense
+                // weights only; CSR falls back to the direct sparse
+                // kernel.
+                ConvAlgorithm::Direct
+                | ConvAlgorithm::Winograd
+                | ConvAlgorithm::WinogradF4
+                | ConvAlgorithm::Fft => {
                     let x = &in_data[img * in_img..(img + 1) * in_img];
                     parallel_for(cfg.threads, self.out_channels, cfg.schedule, |range| {
                         for o in range {
@@ -787,6 +792,90 @@ impl Conv2d {
             && cfg.conv_algo == ConvAlgorithm::Winograd
             && self.kernel == 3
             && self.stride == 1
+    }
+
+    /// Whether an F(4×4, 3×3) execution takes the Winograd transform
+    /// (3×3, stride 1, non-CSR weights) rather than the direct
+    /// fallback. Unlike F(2×2), the F(4×4) kernel runs in
+    /// caller-provided scratch, so it stays on the `forward_into` path
+    /// and its workspace is visible to the liveness planner.
+    fn takes_winograd4_transform(&self, cfg: &ExecConfig) -> bool {
+        self.format != WeightFormat::Csr
+            && cfg.conv_algo == ConvAlgorithm::WinogradF4
+            && self.kernel == 3
+            && self.stride == 1
+    }
+
+    /// Whether an FFT execution takes the frequency-domain kernel.
+    /// FFT convolution handles any kernel/stride/padding over dense
+    /// master weights; only CSR storage falls back to the sparse
+    /// kernels.
+    fn takes_fft(&self, cfg: &ExecConfig) -> bool {
+        self.format != WeightFormat::Csr && cfg.conv_algo == ConvAlgorithm::Fft
+    }
+
+    /// F(4×4, 3×3) evaluation into caller buffers: the shared kernel
+    /// for `forward` and `forward_into`, plus the fused-ReLU epilogue.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_winograd4_into(
+        &self,
+        in_data: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        winograd4_conv2d_into(
+            in_data,
+            n,
+            self.in_channels,
+            h,
+            w,
+            self.weight.value.data(),
+            self.out_channels,
+            Some(self.bias.value.data()),
+            self.padding,
+            out,
+            scratch,
+        )
+        .expect("takes_winograd4_transform checked eligibility");
+        if cfg.fused_relu {
+            for v in out.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+    }
+
+    /// FFT evaluation into caller buffers: the shared kernel for
+    /// `forward` and `forward_into`, plus the fused-ReLU epilogue.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_fft_into(
+        &self,
+        in_data: &[f32],
+        n: usize,
+        geom: &Conv2dGeometry,
+        out: &mut [f32],
+        scratch: &mut [f32],
+        cfg: &ExecConfig,
+    ) {
+        fft_conv2d_into(
+            in_data,
+            n,
+            geom,
+            self.weight.value.data(),
+            self.out_channels,
+            Some(self.bias.value.data()),
+            out,
+            scratch,
+        )
+        .expect("geometry and scratch sized by forward_scratch_elems");
+        if cfg.fused_relu {
+            for v in out.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
     }
 }
 
@@ -908,7 +997,8 @@ impl Layer for Conv2d {
                 &self.weight.value,
                 Some(self.bias.value.data()),
                 self.padding,
-            );
+            )
+            .expect("takes_winograd_transform checked eligibility");
             if cfg.fused_relu {
                 for v in out.data_mut().iter_mut() {
                     *v = v.max(0.0);
@@ -954,9 +1044,17 @@ impl Layer for Conv2d {
                     &mut scratch,
                     cfg,
                 ),
-                // Winograd on a non-3x3/stride-1 layer falls back to the
-                // direct kernel.
-                ConvAlgorithm::Direct | ConvAlgorithm::Winograd => {
+                ConvAlgorithm::WinogradF4 if self.takes_winograd4_transform(cfg) => self
+                    .eval_winograd4_into(input.data(), n, h, w, out.data_mut(), &mut scratch, cfg),
+                ConvAlgorithm::Fft if self.takes_fft(cfg) => {
+                    self.eval_fft_into(input.data(), n, &geom, out.data_mut(), &mut scratch, cfg)
+                }
+                // Winograd variants on a non-3x3/stride-1 layer fall
+                // back to the direct kernel.
+                ConvAlgorithm::Direct
+                | ConvAlgorithm::Winograd
+                | ConvAlgorithm::WinogradF4
+                | ConvAlgorithm::Fft => {
                     self.eval_dense_direct_into(input.data(), n, &geom, out.data_mut(), cfg)
                 }
             },
@@ -1071,6 +1169,13 @@ impl Layer for Conv2d {
     }
 
     fn forward_scratch_elems(&self, input_shape: &[usize], cfg: &ExecConfig) -> usize {
+        if self.takes_winograd4_transform(cfg) {
+            return winograd4_scratch_elems(self.in_channels, self.out_channels);
+        }
+        if self.takes_fft(cfg) {
+            let geom = self.geometry(input_shape[2], input_shape[3]);
+            return fft_conv_scratch_elems(&geom, self.out_channels);
+        }
         if cfg.conv_algo == ConvAlgorithm::Im2col {
             let geom = self.geometry(input_shape[2], input_shape[3]);
             if self.uses_packed_gemm(cfg) {
@@ -1109,6 +1214,11 @@ impl Layer for Conv2d {
     }
 
     fn forward_workspace_elems(&self, input_shape: &[usize], cfg: &ExecConfig) -> usize {
+        // The transform-domain kernels have no prepare-time caching, so
+        // their steady-state workspace equals the conservative bound.
+        if self.takes_winograd4_transform(cfg) || self.takes_fft(cfg) {
+            return self.forward_scratch_elems(input_shape, cfg);
+        }
         if cfg.conv_algo == ConvAlgorithm::Im2col {
             let geom = self.geometry(input_shape[2], input_shape[3]);
             if self.uses_packed_gemm(cfg) {
@@ -1241,12 +1351,20 @@ impl Layer for Conv2d {
                 ConvAlgorithm::Im2col => {
                     self.eval_dense_im2col_into(input, n, h, w, &geom, out, scratch, cfg)
                 }
-                // The Winograd arm only sees non-eligible layers here
-                // (`forward_into_supported` gates the rest) — direct
-                // fallback, same as `forward`.
-                ConvAlgorithm::Direct | ConvAlgorithm::Winograd => {
-                    self.eval_dense_direct_into(input, n, &geom, out, cfg)
+                ConvAlgorithm::WinogradF4 if self.takes_winograd4_transform(cfg) => {
+                    self.eval_winograd4_into(input, n, h, w, out, scratch, cfg)
                 }
+                ConvAlgorithm::Fft if self.takes_fft(cfg) => {
+                    self.eval_fft_into(input, n, &geom, out, scratch, cfg)
+                }
+                // The F(2x2) Winograd arm only sees non-eligible layers
+                // here (`forward_into_supported` gates the rest) —
+                // direct fallback, same as `forward`. Non-eligible
+                // F(4x4) layers fall back the same way.
+                ConvAlgorithm::Direct
+                | ConvAlgorithm::Winograd
+                | ConvAlgorithm::WinogradF4
+                | ConvAlgorithm::Fft => self.eval_dense_direct_into(input, n, &geom, out, cfg),
             },
         }
     }

@@ -1242,9 +1242,10 @@ impl<'n> InferenceSession<'n> {
     }
 
     /// Applies the strongest available demotion lever to `step`:
-    /// CSR→dense first, then Winograd→im2col, then quantised→f32
-    /// packed, then packed→blocked GEMM. Returns `false` when no lever
-    /// applies (the failure is not recoverable by demotion).
+    /// CSR→dense first, then FFT→im2col, Winograd F(4×4)→F(2×2),
+    /// Winograd→im2col, then quantised→f32 packed, then packed→blocked
+    /// GEMM. Returns `false` when no lever applies (the failure is not
+    /// recoverable by demotion).
     fn try_demote(&mut self, step: usize, reason: DemotionReason) -> bool {
         if step >= self.plan.steps.len() {
             return false;
@@ -1254,6 +1255,27 @@ impl<'n> InferenceSession<'n> {
         if layer_has_csr(layer) {
             densify_layer(layer);
             self.record_demotion(step, DemotionAction::CsrToDense, reason);
+            self.rebuild(step);
+            return true;
+        }
+        // FFT drops straight to im2col; F(4x4) Winograd steps down to
+        // the better-conditioned F(2x2) transform first, whose own rung
+        // below continues the ladder to im2col.
+        if self.exec[step].cfg.conv_algo == ConvAlgorithm::Fft
+            && layer_has_conv(self.net.layers_mut()[li].as_mut())
+        {
+            self.exec[step].cfg.conv_algo = ConvAlgorithm::Im2col;
+            self.exec[step].chunk_cfg.conv_algo = ConvAlgorithm::Im2col;
+            self.record_demotion(step, DemotionAction::FftToIm2col, reason);
+            self.rebuild(step);
+            return true;
+        }
+        if self.exec[step].cfg.conv_algo == ConvAlgorithm::WinogradF4
+            && layer_has_conv(self.net.layers_mut()[li].as_mut())
+        {
+            self.exec[step].cfg.conv_algo = ConvAlgorithm::Winograd;
+            self.exec[step].chunk_cfg.conv_algo = ConvAlgorithm::Winograd;
+            self.record_demotion(step, DemotionAction::Winograd4ToWinograd2, reason);
             self.rebuild(step);
             return true;
         }

@@ -162,6 +162,13 @@ impl fmt::Display for GuardReport {
 pub enum DemotionAction {
     /// The step's Winograd lowering was replaced with im2col+GEMM.
     WinogradToIm2col,
+    /// The step's F(4×4, 3×3) Winograd lowering was replaced with the
+    /// better-conditioned F(2×2, 3×3) transform — the first rung of
+    /// the Winograd ladder (a further failure still has
+    /// [`DemotionAction::WinogradToIm2col`] below it).
+    Winograd4ToWinograd2,
+    /// The step's FFT lowering was replaced with im2col+GEMM.
+    FftToIm2col,
     /// The step's CSR sparse weights were densified.
     CsrToDense,
     /// The step's packed micro-kernel GEMM was replaced with the

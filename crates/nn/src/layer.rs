@@ -29,6 +29,20 @@ pub enum ConvAlgorithm {
     /// paper names but does not evaluate). Applies to dense 3×3 stride-1
     /// convolutions; other layers fall back to the direct kernel.
     Winograd,
+    /// F(4×4, 3×3) Winograd transform: 6×6 tiles, 36 multiplies per 16
+    /// outputs — 4× fewer than direct and 16/9 fewer than F(2×2), at a
+    /// looser (still bounded) error budget from the worse-conditioned
+    /// {0, ±1, ±2} interpolation points. Applies to dense 3×3 stride-1
+    /// convolutions; other layers fall back to the direct kernel.
+    WinogradF4,
+    /// Real 2-D FFT convolution: frequency-domain pointwise
+    /// multiply-accumulate over channels on power-of-two planes. Wins
+    /// on large kernels over large feature maps, where im2col pays a
+    /// k²-fold lowering copy; costs a large workspace (per-channel-pair
+    /// filter spectra) that the memory planner accounts. Applies to
+    /// dense weights at any kernel/stride/padding; quantised or CSR
+    /// layers fall back to their own kernels.
+    Fft,
 }
 
 /// How a layer's weights are stored at inference time (§IV-C).

@@ -316,6 +316,15 @@ pub enum AlgoChoice {
     Im2colPacked,
     /// F(2×2, 3×3) Winograd (3×3 stride-1 dense convolutions only).
     Winograd,
+    /// F(4×4, 3×3) Winograd (3×3 stride-1 dense convolutions only):
+    /// 4× fewer multiplies than direct at a tiny fixed workspace, so
+    /// it is the budget solver's fastest small-footprint refuge when
+    /// the packed engine's im2col workspace does not fit.
+    WinogradF4,
+    /// Real 2-D FFT convolution (dense weights, any kernel/stride).
+    /// Only proposed for kernels strictly larger than 3×3 — the plane
+    /// transforms never amortise at CNN-typical 3×3/1×1 shapes.
+    FftConv,
     /// CSR sparse-direct convolution.
     CsrConv,
     /// Packed GEMM linear layer.
@@ -344,6 +353,8 @@ impl AlgoChoice {
             AlgoChoice::DirectConv => "direct",
             AlgoChoice::Im2colPacked => "im2col-packed",
             AlgoChoice::Winograd => "winograd",
+            AlgoChoice::WinogradF4 => "winograd-f4",
+            AlgoChoice::FftConv => "fft",
             AlgoChoice::CsrConv => "csr",
             AlgoChoice::PackedLinear => "gemm-packed",
             AlgoChoice::ScalarLinear => "gemm-scalar",
@@ -359,6 +370,8 @@ impl AlgoChoice {
             "direct" => AlgoChoice::DirectConv,
             "im2col-packed" => AlgoChoice::Im2colPacked,
             "winograd" => AlgoChoice::Winograd,
+            "winograd-f4" => AlgoChoice::WinogradF4,
+            "fft" => AlgoChoice::FftConv,
             "csr" => AlgoChoice::CsrConv,
             "gemm-packed" => AlgoChoice::PackedLinear,
             "gemm-scalar" => AlgoChoice::ScalarLinear,
@@ -392,6 +405,18 @@ const WINOGRAD_GFLOPS: f64 = 0.9;
 // the NR-padded column dimension — both modelled explicitly.
 const TERNARY_GFLOPS: f64 = 48.0;
 const INT8_GFLOPS: f64 = 50.0;
+// F(4×4, 3×3) executes 4× fewer multiplies per output than direct and
+// runs them as tile-blocked frequency-wise GEMMs (BENCH_conv.json:
+// ~5 GFLOP/s on the multiply count across the VGG shapes), so its
+// anchor sits well above the per-tile scalar F(2×2) loop while staying
+// far below the packed im2col engine.
+const WINOGRAD4_GFLOPS: f64 = 4.0;
+// The radix-2 split-complex FFT kernel's sustained rate over plane
+// transforms + frequency-domain MACs (BENCH_conv.json, large-kernel
+// sweep). Scalar, so ~30× below the packed GEMM engine — FFT wins only
+// where it removes ~two orders of magnitude of arithmetic and im2col
+// pack traffic, i.e. large kernels over large maps.
+const FFT_GFLOPS: f64 = 1.5;
 /// Streaming bandwidth charged for building/packing the im2col matrix
 /// and for weight-panel traffic.
 const PACK_BYTES_PER_SEC: f64 = 4.0e9;
@@ -482,6 +507,30 @@ fn predicted_seconds(op: &IrOp, choice: AlgoChoice) -> f64 {
             eff / (gflops * 1e9) + weight_traffic / PACK_BYTES_PER_SEC
         }
         AlgoChoice::Winograd => flops / 2.25 / (WINOGRAD_GFLOPS * 1e9),
+        AlgoChoice::WinogradF4 => flops / 4.0 / (WINOGRAD4_GFLOPS * 1e9),
+        AlgoChoice::FftConv => {
+            let OpKind::Conv {
+                geom, out_channels, ..
+            } = &op.kind
+            else {
+                return f64::INFINITY;
+            };
+            let (ph, pw) = cnn_stack_tensor::fft_plane_dims(geom);
+            let ps = (ph * pw) as f64;
+            let in_c = geom.in_channels as f64;
+            let oc = *out_channels as f64;
+            // One radix-2 plane transform ≈ 5·ps·log₂(ps) flops;
+            // conjugate-pair packing halves the transform count.
+            // Filter spectra are computed once per call, so they
+            // amortise over the batch; input/inverse transforms and
+            // the 8-flop complex MAC per (o, c, frequency) do not.
+            let plane_flops = 5.0 * ps * ps.log2().max(1.0);
+            let filter_planes = (oc * in_c / 2.0).ceil();
+            let image_planes = (in_c / 2.0).ceil() + (oc / 2.0).ceil();
+            let transforms = filter_planes + batch as f64 * image_planes;
+            let pointwise = batch as f64 * oc * in_c * ps * 8.0;
+            (transforms * plane_flops + pointwise) / (FFT_GFLOPS * 1e9)
+        }
         AlgoChoice::CsrConv | AlgoChoice::CsrLinear => {
             let density = match &op.kind {
                 OpKind::Conv { sparsity, .. } | OpKind::Linear { sparsity, .. } => 1.0 - sparsity,
@@ -504,6 +553,12 @@ fn candidates(op: &IrOp) -> Vec<(AlgoChoice, f64)> {
             ];
             if geom.k_h == 3 && geom.k_w == 3 && geom.stride == 1 {
                 v.push(AlgoChoice::Winograd);
+                v.push(AlgoChoice::WinogradF4);
+            }
+            // FFT never amortises its plane transforms at 3×3 and
+            // below; proposing it there would only churn the autotuner.
+            if geom.k_h * geom.k_w > 9 {
+                v.push(AlgoChoice::FftConv);
             }
             // Value-preserving, so auto-selectable: the packed ternary
             // kernel decodes the codes to the exact weight values.
@@ -554,6 +609,14 @@ fn apply_choice(net: &mut Network, op: &mut IrOp, choice: AlgoChoice) {
         }
         AlgoChoice::Winograd => {
             op.cfg.conv_algo = ConvAlgorithm::Winograd;
+            set_layer_format(layers, op.layer, WeightFormat::Dense);
+        }
+        AlgoChoice::WinogradF4 => {
+            op.cfg.conv_algo = ConvAlgorithm::WinogradF4;
+            set_layer_format(layers, op.layer, WeightFormat::Dense);
+        }
+        AlgoChoice::FftConv => {
+            op.cfg.conv_algo = ConvAlgorithm::Fft;
             set_layer_format(layers, op.layer, WeightFormat::Dense);
         }
         AlgoChoice::CsrConv => {
@@ -769,6 +832,8 @@ fn matches_current(op: &IrOp, choice: AlgoChoice) -> bool {
                 && format == WeightFormat::Dense
         }
         AlgoChoice::Winograd => cfg.conv_algo == ConvAlgorithm::Winograd,
+        AlgoChoice::WinogradF4 => cfg.conv_algo == ConvAlgorithm::WinogradF4,
+        AlgoChoice::FftConv => cfg.conv_algo == ConvAlgorithm::Fft,
         AlgoChoice::CsrConv | AlgoChoice::CsrLinear => format == WeightFormat::Csr,
         AlgoChoice::TernaryConv | AlgoChoice::TernaryLinear => format == WeightFormat::Ternary,
         AlgoChoice::Int8Linear => format == WeightFormat::Int8,
@@ -1224,9 +1289,12 @@ mod tests {
 
     #[test]
     fn selection_picks_packed_for_dense_and_csr_for_extreme_sparsity() {
+        // out_c of 16 keeps the dense layer on the packed engine: below
+        // ~12 output channels the F(4×4) candidate's multiply saving
+        // outweighs the pack-bandwidth term and wins the stem instead.
         let mut net = Network::new(vec![
-            Box::new(Conv2d::new(3, 8, 3, 1, 1, 2)),
-            Box::new(Conv2d::new(8, 8, 3, 1, 1, 3)),
+            Box::new(Conv2d::new(3, 16, 3, 1, 1, 2)),
+            Box::new(Conv2d::new(16, 16, 3, 1, 1, 3)),
         ])
         .unwrap();
         // Prune the second conv to ~99% sparsity: CSR beats packed

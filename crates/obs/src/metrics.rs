@@ -68,6 +68,11 @@ metrics! {
     // im2col lowering (tensor::im2col), incl. the fused im2col→pack path.
     Im2colCalls => ("im2col.calls", Counter),
     Im2colBytesLowered => ("im2col.bytes_lowered", Counter),
+    // Transform-domain convolution kernels (tensor::winograd, tensor::fft).
+    WinogradTiles => ("conv.winograd.tiles", Counter),
+    FftConvCalls => ("conv.fft.calls", Counter),
+    FftPlaneTransforms => ("conv.fft.plane_transforms", Counter),
+    FftPointwiseMacs => ("conv.fft.pointwise_macs", Counter),
     // Thread pool (parallel::ThreadPool).
     PoolTasksQueued => ("pool.tasks_queued", Counter),
     PoolTasksRun => ("pool.tasks_run", Counter),

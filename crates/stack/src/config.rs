@@ -337,10 +337,11 @@ impl StackConfigBuilder {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] if `threads == 0`, or if the
-    /// weight format is CSR while the algorithm is Winograd — the
-    /// Winograd transform needs dense filter taps, so that combination
-    /// has no execution path (the paper pairs Winograd with dense
-    /// formats only, §V-C).
+    /// weight format is CSR while the algorithm is a transform-domain
+    /// one (Winograd F(2×2)/F(4×4) or FFT) — those transforms need
+    /// dense filter taps, so the combinations have no execution path
+    /// (the paper pairs transform algorithms with dense formats only,
+    /// §V-C).
     pub fn build(self) -> Result<StackConfig, Error> {
         if self.config.threads == 0 {
             return Err(Error::InvalidConfig(
@@ -348,11 +349,14 @@ impl StackConfigBuilder {
             ));
         }
         if self.config.format == WeightFormat::Csr
-            && self.config.algorithm == ConvAlgorithm::Winograd
+            && matches!(
+                self.config.algorithm,
+                ConvAlgorithm::Winograd | ConvAlgorithm::WinogradF4 | ConvAlgorithm::Fft
+            )
         {
             return Err(Error::InvalidConfig(
-                "CSR weight format cannot be combined with the Winograd \
-                 algorithm: the transform needs dense filter taps"
+                "CSR weight format cannot be combined with a transform-domain \
+                 algorithm (Winograd/FFT): the transform needs dense filter taps"
                     .to_string(),
             ));
         }

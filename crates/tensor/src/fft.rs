@@ -1,0 +1,779 @@
+//! Real 2-D FFT convolution.
+//!
+//! The fourth algorithm of the cuDNN-style taxonomy the paper's Layer-3
+//! characterisation spans (GEMM, direct, Winograd, FFT). Each input
+//! plane and each filter is zero-padded to a power-of-two plane,
+//! transformed once, multiplied pointwise in the frequency domain and
+//! accumulated over input channels, and the per-output-channel
+//! accumulator is inverse-transformed — so the arithmetic per
+//! channel-pair drops from `O(k²)` per output to `O(1)` pointwise work
+//! plus plane transforms that amortise over the channel grid. FFT
+//! convolution therefore wins exactly where im2col loses: large kernels
+//! over large feature maps, where the im2col lowering materialises a
+//! `k²`-fold copy of the image (`BENCH_conv.json` quantifies the
+//! crossover).
+//!
+//! Real-input structure is exploited by conjugate-pair packing (the
+//! classic "two real FFTs for the price of one complex FFT"): forward
+//! transforms carry two real planes as the real/imaginary halves of one
+//! complex plane and unpack the two spectra by Hermitian symmetry;
+//! inverse transforms pack two output-channel accumulators the same way
+//! and read both real results back from one transform.
+//!
+//! Everything runs in caller-provided scratch sized by
+//! [`fft_conv_scratch_elems`] — no hidden allocation, so the PR 9
+//! liveness planner and `fit_budget` see the (large) workspace
+//! honestly. Strides > 1 are handled by computing the dense correlation
+//! and subsampling at extraction time; arbitrary padding and
+//! non-square kernels are supported. Error budget: results match direct
+//! convolution to a relative error that grows with `log₂(plane)` — the
+//! conformance harness's tolerance model, asserted by proptest.
+
+use crate::error::KernelError;
+use crate::im2col::Conv2dGeometry;
+use crate::tensor::Tensor;
+use cnn_stack_obs::{self as obs, Metric};
+
+/// Padded power-of-two plane extents `(ph, pw)` for a geometry: each
+/// dimension covers the zero-padded input plus the linear-convolution
+/// tail `k − 1`, rounded up to a power of two so the radix-2 transform
+/// applies.
+pub fn fft_plane_dims(geom: &Conv2dGeometry) -> (usize, usize) {
+    let ph = (geom.in_h + 2 * geom.padding + geom.k_h - 1).next_power_of_two();
+    let pw = (geom.in_w + 2 * geom.padding + geom.k_w - 1).next_power_of_two();
+    (ph, pw)
+}
+
+/// Scratch floats [`fft_conv2d_into`] needs for one call: twiddles, a
+/// transpose plane, a packing stage, two accumulator planes, `in_c`
+/// input spectra and `out_c·in_c` filter spectra (each spectrum is a
+/// split re/im pair of `ph·pw` planes).
+///
+/// The filter-spectrum bank dominates and scales with the channel
+/// grid — the honest price of caching every filter transform for the
+/// whole call. The memory planner sees this through the layer's
+/// workspace query and `fit_budget` will demote FFT away when the
+/// budget cannot carry it.
+pub fn fft_conv_scratch_elems(geom: &Conv2dGeometry, out_channels: usize) -> usize {
+    let (ph, pw) = fft_plane_dims(geom);
+    let ps = ph * pw;
+    let in_c = geom.in_channels;
+    // twiddles + tmp(2) + stage(2) + acc pair(4) + inputs + filters
+    ph.max(pw) + 2 * ps + 2 * ps + 4 * ps + 2 * ps * in_c + 2 * ps * in_c * out_channels
+}
+
+/// Fills `tw_re/tw_im` (each `n/2` long) with `exp(-2πik/n)`, computed
+/// in f64 so twiddle error never dominates the f32 transform error.
+fn fill_twiddles(n: usize, tw_re: &mut [f32], tw_im: &mut [f32]) {
+    for k in 0..n / 2 {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        tw_re[k] = ang.cos() as f32;
+        tw_im[k] = ang.sin() as f32;
+    }
+}
+
+fn bit_reverse_permute(re: &mut [f32], im: &mut [f32]) {
+    let n = re.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+}
+
+/// One in-place radix-2 DIT transform over `re/im` (power-of-two
+/// length). `tw_*` hold `exp(-2πik/tw_n)` for `k < tw_n/2` with
+/// `tw_n ≥ re.len()` (a table for the larger plane dimension serves
+/// both row and column passes). `inverse` conjugates the twiddles; the
+/// caller applies the `1/N` scale.
+fn fft_inplace(
+    re: &mut [f32],
+    im: &mut [f32],
+    tw_re: &[f32],
+    tw_im: &[f32],
+    tw_n: usize,
+    inverse: bool,
+) {
+    let n = re.len();
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(re, im);
+    let mut m = 2;
+    while m <= n {
+        let half = m / 2;
+        let stride = tw_n / m;
+        for base in (0..n).step_by(m) {
+            for k in 0..half {
+                let wr = tw_re[k * stride];
+                let wi = if inverse {
+                    -tw_im[k * stride]
+                } else {
+                    tw_im[k * stride]
+                };
+                let i0 = base + k;
+                let i1 = base + k + half;
+                let tr = re[i1] * wr - im[i1] * wi;
+                let ti = re[i1] * wi + im[i1] * wr;
+                re[i1] = re[i0] - tr;
+                im[i1] = im[i0] - ti;
+                re[i0] += tr;
+                im[i0] += ti;
+            }
+        }
+        m <<= 1;
+    }
+}
+
+fn transpose_into(src: &[f32], dst: &mut [f32], rows: usize, cols: usize) {
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+}
+
+/// Forward 2-D FFT of a natural-order `ph×pw` plane. On return `re/im`
+/// hold the spectrum in **transposed** (`pw×ph`) order — the pointwise
+/// product is elementwise, so every plane staying in the same
+/// transposed convention saves one transpose per transform.
+#[allow(clippy::too_many_arguments)]
+fn fft2d_forward(
+    re: &mut [f32],
+    im: &mut [f32],
+    ph: usize,
+    pw: usize,
+    tmp_re: &mut [f32],
+    tmp_im: &mut [f32],
+    tw_re: &[f32],
+    tw_im: &[f32],
+    tw_n: usize,
+) {
+    for r in 0..ph {
+        fft_inplace(
+            &mut re[r * pw..(r + 1) * pw],
+            &mut im[r * pw..(r + 1) * pw],
+            tw_re,
+            tw_im,
+            tw_n,
+            false,
+        );
+    }
+    transpose_into(re, tmp_re, ph, pw);
+    transpose_into(im, tmp_im, ph, pw);
+    for r in 0..pw {
+        fft_inplace(
+            &mut tmp_re[r * ph..(r + 1) * ph],
+            &mut tmp_im[r * ph..(r + 1) * ph],
+            tw_re,
+            tw_im,
+            tw_n,
+            false,
+        );
+    }
+    re.copy_from_slice(tmp_re);
+    im.copy_from_slice(tmp_im);
+}
+
+/// Inverse 2-D FFT of a transposed-order (`pw×ph`) spectrum back to a
+/// natural-order `ph×pw` plane, including the `1/(ph·pw)` scale.
+#[allow(clippy::too_many_arguments)]
+fn fft2d_inverse(
+    re: &mut [f32],
+    im: &mut [f32],
+    ph: usize,
+    pw: usize,
+    tmp_re: &mut [f32],
+    tmp_im: &mut [f32],
+    tw_re: &[f32],
+    tw_im: &[f32],
+    tw_n: usize,
+) {
+    for r in 0..pw {
+        fft_inplace(
+            &mut re[r * ph..(r + 1) * ph],
+            &mut im[r * ph..(r + 1) * ph],
+            tw_re,
+            tw_im,
+            tw_n,
+            true,
+        );
+    }
+    transpose_into(re, tmp_re, pw, ph);
+    transpose_into(im, tmp_im, pw, ph);
+    for r in 0..ph {
+        fft_inplace(
+            &mut tmp_re[r * pw..(r + 1) * pw],
+            &mut tmp_im[r * pw..(r + 1) * pw],
+            tw_re,
+            tw_im,
+            tw_n,
+            true,
+        );
+    }
+    let scale = 1.0 / (ph * pw) as f32;
+    for (d, s) in re.iter_mut().zip(tmp_re.iter()) {
+        *d = s * scale;
+    }
+    for (d, s) in im.iter_mut().zip(tmp_im.iter()) {
+        *d = s * scale;
+    }
+}
+
+/// Hermitian unpack of one packed forward transform: `z = fft(a + i·b)`
+/// for real planes `a`, `b` splits into the two real-input spectra via
+/// `A[k] = (Z[k] + conj(Z[−k]))/2`, `B[k] = (Z[k] − conj(Z[−k]))/(2i)`.
+/// Indices are taken modulo the (transposed) `rows×cols` grid.
+#[allow(clippy::too_many_arguments)]
+fn unpack_pair(
+    zr: &[f32],
+    zi: &[f32],
+    ar: &mut [f32],
+    ai: &mut [f32],
+    br: &mut [f32],
+    bi: &mut [f32],
+    rows: usize,
+    cols: usize,
+) {
+    for r in 0..rows {
+        let pr = (rows - r) % rows;
+        for c in 0..cols {
+            let pc = (cols - c) % cols;
+            let k = r * cols + c;
+            let pk = pr * cols + pc;
+            ar[k] = 0.5 * (zr[k] + zr[pk]);
+            ai[k] = 0.5 * (zi[k] - zi[pk]);
+            br[k] = 0.5 * (zi[k] + zi[pk]);
+            bi[k] = 0.5 * (zr[pk] - zr[k]);
+        }
+    }
+}
+
+/// FFT convolution (CNN cross-correlation) over raw NCHW slices,
+/// writing the `[n, out_c, out_h, out_w]` result into `out` using
+/// caller-provided scratch (at least [`fft_conv_scratch_elems`]
+/// floats).
+///
+/// The geometry's stride and padding are honoured: the dense
+/// correlation is computed at stride 1 in the frequency domain and
+/// subsampled at extraction.
+///
+/// # Errors
+///
+/// Returns [`KernelError`] on mismatched buffer lengths, bias length,
+/// or undersized scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn fft_conv2d_into(
+    input: &[f32],
+    n: usize,
+    geom: &Conv2dGeometry,
+    weights: &[f32],
+    out_channels: usize,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    scratch: &mut [f32],
+) -> Result<(), KernelError> {
+    let in_c = geom.in_channels;
+    let (h, w) = (geom.in_h, geom.in_w);
+    let (k_h, k_w) = (geom.k_h, geom.k_w);
+    if input.len() != n * in_c * h * w {
+        return Err(KernelError::BufferSize {
+            what: "input",
+            expected: n * in_c * h * w,
+            got: input.len(),
+        });
+    }
+    if weights.len() != out_channels * in_c * k_h * k_w {
+        return Err(KernelError::BufferSize {
+            what: "weights",
+            expected: out_channels * in_c * k_h * k_w,
+            got: weights.len(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != out_channels {
+            return Err(KernelError::BiasLength {
+                expected: out_channels,
+                got: b.len(),
+            });
+        }
+    }
+    let (out_h, out_w) = (geom.out_h, geom.out_w);
+    if out.len() != n * out_channels * out_h * out_w {
+        return Err(KernelError::BufferSize {
+            what: "output",
+            expected: n * out_channels * out_h * out_w,
+            got: out.len(),
+        });
+    }
+    let needed = fft_conv_scratch_elems(geom, out_channels);
+    if scratch.len() < needed {
+        return Err(KernelError::ScratchTooSmall {
+            needed,
+            got: scratch.len(),
+        });
+    }
+
+    let (ph, pw) = fft_plane_dims(geom);
+    let ps = ph * pw;
+    let tw_n = ph.max(pw);
+    let pad = geom.padding;
+
+    // Carve the scratch into named regions (layout documented in
+    // `fft_conv_scratch_elems`).
+    let (tw, rest) = scratch.split_at_mut(tw_n);
+    let (tw_re, tw_im) = tw.split_at_mut(tw_n / 2);
+    let (tmp, rest) = rest.split_at_mut(2 * ps);
+    let (tmp_re, tmp_im) = tmp.split_at_mut(ps);
+    let (stage, rest) = rest.split_at_mut(2 * ps);
+    let (stage_re, stage_im) = stage.split_at_mut(ps);
+    let (acc, rest) = rest.split_at_mut(4 * ps);
+    let (acc0, acc1) = acc.split_at_mut(2 * ps);
+    let (acc0_re, acc0_im) = acc0.split_at_mut(ps);
+    let (acc1_re, acc1_im) = acc1.split_at_mut(ps);
+    let (x_bank, w_bank) = rest.split_at_mut(2 * ps * in_c);
+
+    fill_twiddles(tw_n, tw_re, tw_im);
+    let mut plane_transforms: u64 = 0;
+
+    // Filter spectra for every (o, c), conjugate-pair packed along the
+    // input-channel axis. Filters enter flipped (cross-correlation =
+    // linear convolution with the 180°-rotated kernel) at the plane
+    // origin.
+    let load_filter = |dst: &mut [f32], o: usize, c: usize| {
+        dst.fill(0.0);
+        let f = &weights[(o * in_c + c) * k_h * k_w..(o * in_c + c + 1) * k_h * k_w];
+        for i in 0..k_h {
+            for j in 0..k_w {
+                dst[i * pw + j] = f[(k_h - 1 - i) * k_w + (k_w - 1 - j)];
+            }
+        }
+    };
+    for o in 0..out_channels {
+        let mut c = 0;
+        while c < in_c {
+            load_filter(stage_re, o, c);
+            if c + 1 < in_c {
+                load_filter(stage_im, o, c + 1);
+            } else {
+                stage_im.fill(0.0);
+            }
+            fft2d_forward(
+                stage_re, stage_im, ph, pw, tmp_re, tmp_im, tw_re, tw_im, tw_n,
+            );
+            plane_transforms += 1;
+            let (wa, wrest) = w_bank[2 * ps * (o * in_c + c)..].split_at_mut(2 * ps);
+            let (wa_re, wa_im) = wa.split_at_mut(ps);
+            if c + 1 < in_c {
+                let (wb, _) = wrest.split_at_mut(2 * ps);
+                let (wb_re, wb_im) = wb.split_at_mut(ps);
+                unpack_pair(stage_re, stage_im, wa_re, wa_im, wb_re, wb_im, pw, ph);
+            } else {
+                // Odd tail: the packed imaginary half was zero, so the
+                // transform already *is* the single spectrum.
+                wa_re.copy_from_slice(stage_re);
+                wa_im.copy_from_slice(stage_im);
+            }
+            c += 2;
+        }
+    }
+
+    let in_img = in_c * h * w;
+    let out_img = out_channels * out_h * out_w;
+    for img in 0..n {
+        // Input spectra per channel, pair-packed. The image plane is
+        // embedded at offset (pad, pad) so the zero padding is part of
+        // the transform.
+        let load_input = |dst: &mut [f32], c: usize| {
+            dst.fill(0.0);
+            let x = &input[img * in_img + c * h * w..img * in_img + (c + 1) * h * w];
+            for y in 0..h {
+                dst[(y + pad) * pw + pad..(y + pad) * pw + pad + w]
+                    .copy_from_slice(&x[y * w..(y + 1) * w]);
+            }
+        };
+        let mut c = 0;
+        while c < in_c {
+            load_input(stage_re, c);
+            if c + 1 < in_c {
+                load_input(stage_im, c + 1);
+            } else {
+                stage_im.fill(0.0);
+            }
+            fft2d_forward(
+                stage_re, stage_im, ph, pw, tmp_re, tmp_im, tw_re, tw_im, tw_n,
+            );
+            plane_transforms += 1;
+            let (xa, xrest) = x_bank[2 * ps * c..].split_at_mut(2 * ps);
+            let (xa_re, xa_im) = xa.split_at_mut(ps);
+            if c + 1 < in_c {
+                let (xb, _) = xrest.split_at_mut(2 * ps);
+                let (xb_re, xb_im) = xb.split_at_mut(ps);
+                unpack_pair(stage_re, stage_im, xa_re, xa_im, xb_re, xb_im, pw, ph);
+            } else {
+                xa_re.copy_from_slice(stage_re);
+                xa_im.copy_from_slice(stage_im);
+            }
+            c += 2;
+        }
+
+        // Frequency-domain multiply-accumulate over input channels,
+        // two output channels at a time so one inverse transform
+        // yields both real results (packed as acc0 + i·acc1).
+        let mut o = 0;
+        while o < out_channels {
+            acc0_re.fill(0.0);
+            acc0_im.fill(0.0);
+            acc1_re.fill(0.0);
+            acc1_im.fill(0.0);
+            for c in 0..in_c {
+                let x = &x_bank[2 * ps * c..2 * ps * (c + 1)];
+                let (x_re, x_im) = x.split_at(ps);
+                let wf = &w_bank[2 * ps * (o * in_c + c)..2 * ps * (o * in_c + c + 1)];
+                let (w_re, w_im) = wf.split_at(ps);
+                for k in 0..ps {
+                    acc0_re[k] += x_re[k] * w_re[k] - x_im[k] * w_im[k];
+                    acc0_im[k] += x_re[k] * w_im[k] + x_im[k] * w_re[k];
+                }
+                if o + 1 < out_channels {
+                    let wf =
+                        &w_bank[2 * ps * ((o + 1) * in_c + c)..2 * ps * ((o + 1) * in_c + c + 1)];
+                    let (w_re, w_im) = wf.split_at(ps);
+                    for k in 0..ps {
+                        acc1_re[k] += x_re[k] * w_re[k] - x_im[k] * w_im[k];
+                        acc1_im[k] += x_re[k] * w_im[k] + x_im[k] * w_re[k];
+                    }
+                }
+            }
+            // Pack the two real-output spectra as one complex plane:
+            // C = S0 + i·S1.
+            for k in 0..ps {
+                let s0r = acc0_re[k];
+                let s0i = acc0_im[k];
+                acc0_re[k] = s0r - acc1_im[k];
+                acc0_im[k] = s0i + acc1_re[k];
+            }
+            fft2d_inverse(acc0_re, acc0_im, ph, pw, tmp_re, tmp_im, tw_re, tw_im, tw_n);
+            plane_transforms += 1;
+            // Extract the valid correlation region at offset (k−1),
+            // subsampling by the stride.
+            for (lane, oc) in [(0usize, o), (1usize, o + 1)] {
+                if oc >= out_channels {
+                    continue;
+                }
+                let src: &[f32] = if lane == 0 { acc0_re } else { acc0_im };
+                let b = bias.map_or(0.0, |b| b[oc]);
+                let dst = &mut out
+                    [img * out_img + oc * out_h * out_w..img * out_img + (oc + 1) * out_h * out_w];
+                for y in 0..out_h {
+                    let sy = y * geom.stride + k_h - 1;
+                    for x in 0..out_w {
+                        let sx = x * geom.stride + k_w - 1;
+                        dst[y * out_w + x] = src[sy * pw + sx] + b;
+                    }
+                }
+            }
+            o += 2;
+        }
+    }
+
+    obs::with_current(|ob| {
+        let m = ob.metrics();
+        m.add(Metric::FftConvCalls, 1);
+        m.add(Metric::FftPlaneTransforms, plane_transforms);
+        m.add(
+            Metric::FftPointwiseMacs,
+            (n * out_channels * in_c * ps) as u64,
+        );
+    });
+    Ok(())
+}
+
+/// Allocating wrapper over [`fft_conv2d_into`] for tensor arguments:
+/// FFT convolution of a `[n, c, h, w]` input with
+/// `[out_c, c, k_h, k_w]` filters.
+///
+/// # Errors
+///
+/// Returns [`KernelError`] if the weight tensor is not rank-4, the
+/// channels disagree, or the bias length is wrong.
+pub fn fft_conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor, KernelError> {
+    let (n, in_c, h, w) = input.shape().nchw();
+    let wd = weights.shape().dims();
+    if wd.len() != 4 {
+        return Err(KernelError::WeightRank {
+            expected: 4,
+            got: wd.len(),
+        });
+    }
+    if wd[1] != in_c {
+        return Err(KernelError::ChannelMismatch {
+            weights: wd[1],
+            input: in_c,
+        });
+    }
+    let (out_c, k_h, k_w) = (wd[0], wd[2], wd[3]);
+    if h + 2 * padding < k_h || w + 2 * padding < k_w {
+        return Err(KernelError::InputTooSmall {
+            padded_h: h + 2 * padding,
+            padded_w: w + 2 * padding,
+            k_h,
+            k_w,
+        });
+    }
+    let geom = Conv2dGeometry::new(in_c, h, w, k_h, k_w, stride, padding);
+    let mut out = Tensor::zeros([n, out_c, geom.out_h, geom.out_w]);
+    let mut scratch = vec![0.0f32; fft_conv_scratch_elems(&geom, out_c)];
+    fft_conv2d_into(
+        input.data(),
+        n,
+        &geom,
+        weights.data(),
+        out_c,
+        bias,
+        out.data_mut(),
+        &mut scratch,
+    )?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random(shape: impl Into<Shape>, seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Tensor::from_fn(shape.into(), |_| rng.gen_range(-1.0..1.0))
+    }
+
+    /// Naive direct cross-correlation reference.
+    fn reference(
+        input: &Tensor,
+        weights: &Tensor,
+        bias: Option<&[f32]>,
+        stride: usize,
+        padding: usize,
+    ) -> Tensor {
+        let (n, in_c, h, w) = input.shape().nchw();
+        let wd = weights.shape().dims();
+        let (out_c, k_h, k_w) = (wd[0], wd[2], wd[3]);
+        let out_h = (h + 2 * padding - k_h) / stride + 1;
+        let out_w = (w + 2 * padding - k_w) / stride + 1;
+        let mut out = Tensor::zeros([n, out_c, out_h, out_w]);
+        let od = out.data_mut();
+        for img in 0..n {
+            for o in 0..out_c {
+                for y in 0..out_h {
+                    for x in 0..out_w {
+                        let mut acc = bias.map_or(0.0, |b| b[o]);
+                        for c in 0..in_c {
+                            for i in 0..k_h {
+                                let iy = (y * stride + i) as isize - padding as isize;
+                                if iy < 0 || iy as usize >= h {
+                                    continue;
+                                }
+                                for j in 0..k_w {
+                                    let ix = (x * stride + j) as isize - padding as isize;
+                                    if ix < 0 || ix as usize >= w {
+                                        continue;
+                                    }
+                                    acc += input.data()
+                                        [((img * in_c + c) * h + iy as usize) * w + ix as usize]
+                                        * weights.data()[((o * in_c + c) * k_h + i) * k_w + j];
+                                }
+                            }
+                        }
+                        od[((img * out_c + o) * out_h + y) * out_w + x] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fft_1d_roundtrip_recovers_signal() {
+        let n = 16;
+        let mut re: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut im = vec![0.0f32; n];
+        let orig = re.clone();
+        let mut tw_re = vec![0.0f32; n / 2];
+        let mut tw_im = vec![0.0f32; n / 2];
+        fill_twiddles(n, &mut tw_re, &mut tw_im);
+        fft_inplace(&mut re, &mut im, &tw_re, &tw_im, n, false);
+        fft_inplace(&mut re, &mut im, &tw_re, &tw_im, n, true);
+        for (got, want) in re.iter().zip(orig.iter()) {
+            assert!((got / n as f32 - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn hermitian_unpack_recovers_individual_spectra() {
+        // fft(a) and fft(b) recovered from one packed fft(a + i·b)
+        // must match the spectra computed separately.
+        let (ph, pw) = (8, 4);
+        let ps = ph * pw;
+        let tw_n = ph.max(pw);
+        let mut tw_re = vec![0.0f32; tw_n / 2];
+        let mut tw_im = vec![0.0f32; tw_n / 2];
+        fill_twiddles(tw_n, &mut tw_re, &mut tw_im);
+        let mut tmp_re = vec![0.0f32; ps];
+        let mut tmp_im = vec![0.0f32; ps];
+
+        let a: Vec<f32> = (0..ps).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
+        let b: Vec<f32> = (0..ps).map(|i| ((i * 5 + 1) % 13) as f32 - 6.0).collect();
+
+        let mut za = a.clone();
+        let mut za_im = vec![0.0f32; ps];
+        fft2d_forward(
+            &mut za,
+            &mut za_im,
+            ph,
+            pw,
+            &mut tmp_re,
+            &mut tmp_im,
+            &tw_re,
+            &tw_im,
+            tw_n,
+        );
+        let mut zb = b.clone();
+        let mut zb_im = vec![0.0f32; ps];
+        fft2d_forward(
+            &mut zb,
+            &mut zb_im,
+            ph,
+            pw,
+            &mut tmp_re,
+            &mut tmp_im,
+            &tw_re,
+            &tw_im,
+            tw_n,
+        );
+
+        let mut pr = a.clone();
+        let mut pi = b.clone();
+        fft2d_forward(
+            &mut pr,
+            &mut pi,
+            ph,
+            pw,
+            &mut tmp_re,
+            &mut tmp_im,
+            &tw_re,
+            &tw_im,
+            tw_n,
+        );
+        let mut ar = vec![0.0f32; ps];
+        let mut ai = vec![0.0f32; ps];
+        let mut br = vec![0.0f32; ps];
+        let mut bi = vec![0.0f32; ps];
+        // Spectra are stored transposed: pw rows of ph columns.
+        unpack_pair(&pr, &pi, &mut ar, &mut ai, &mut br, &mut bi, pw, ph);
+
+        for k in 0..ps {
+            assert!((ar[k] - za[k]).abs() < 1e-3, "a re at {k}");
+            assert!((ai[k] - za_im[k]).abs() < 1e-3, "a im at {k}");
+            assert!((br[k] - zb[k]).abs() < 1e-3, "b re at {k}");
+            assert!((bi[k] - zb_im[k]).abs() < 1e-3, "b im at {k}");
+        }
+    }
+
+    #[test]
+    fn matches_direct_small() {
+        let input = random([2, 3, 9, 7], 1);
+        let weights = random([4, 3, 3, 3], 2);
+        let bias = vec![0.3f32, -0.1, 0.7, 0.0];
+        let want = reference(&input, &weights, Some(&bias), 1, 1);
+        let got = fft_conv2d(&input, &weights, Some(&bias), 1, 1).unwrap();
+        assert_eq!(got.shape().dims(), want.shape().dims());
+        assert!(want.allclose(&got, 1e-3));
+    }
+
+    #[test]
+    fn matches_direct_strided_and_large_kernel() {
+        let input = random([1, 2, 16, 16], 3);
+        let weights = random([3, 2, 7, 7], 4);
+        let want = reference(&input, &weights, None, 2, 3);
+        let got = fft_conv2d(&input, &weights, None, 2, 3).unwrap();
+        assert_eq!(got.shape().dims(), want.shape().dims());
+        assert!(want.allclose(&got, 1e-3));
+    }
+
+    #[test]
+    fn matches_direct_non_square_kernel_and_plane() {
+        let input = random([1, 3, 10, 6], 5);
+        let weights = random([2, 3, 5, 3], 6);
+        let want = reference(&input, &weights, None, 1, 0);
+        let got = fft_conv2d(&input, &weights, None, 1, 0).unwrap();
+        assert_eq!(got.shape().dims(), want.shape().dims());
+        assert!(want.allclose(&got, 1e-3));
+    }
+
+    #[test]
+    fn pointwise_1x1_and_single_channel() {
+        let input = random([1, 1, 5, 5], 7);
+        let weights = random([2, 1, 1, 1], 8);
+        let want = reference(&input, &weights, None, 1, 0);
+        let got = fft_conv2d(&input, &weights, None, 1, 0).unwrap();
+        assert!(want.allclose(&got, 1e-4));
+    }
+
+    #[test]
+    fn odd_channel_counts_use_the_unpaired_tail() {
+        // 3 input channels, 3 output channels: both pair loops hit the
+        // odd tail.
+        let input = random([1, 3, 6, 6], 9);
+        let weights = random([3, 3, 3, 3], 10);
+        let want = reference(&input, &weights, None, 1, 1);
+        let got = fft_conv2d(&input, &weights, None, 1, 1).unwrap();
+        assert!(want.allclose(&got, 1e-3));
+    }
+
+    #[test]
+    fn rejects_undersized_scratch() {
+        let geom = Conv2dGeometry::new(2, 6, 6, 3, 3, 1, 1);
+        let input = vec![0.0f32; 2 * 6 * 6];
+        let weights = vec![0.0f32; 3 * 2 * 9];
+        let mut out = vec![0.0f32; 3 * 6 * 6];
+        let mut scratch = vec![0.0f32; 16];
+        let err = fft_conv2d_into(&input, 1, &geom, &weights, 3, None, &mut out, &mut scratch)
+            .unwrap_err();
+        assert!(matches!(err, KernelError::ScratchTooSmall { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let err = fft_conv2d(
+            &Tensor::zeros([1, 2, 8, 8]),
+            &Tensor::zeros([4, 3, 3, 3]),
+            None,
+            1,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            KernelError::ChannelMismatch {
+                weights: 3,
+                input: 2
+            }
+        );
+    }
+}

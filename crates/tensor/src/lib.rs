@@ -18,6 +18,8 @@
 //! assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
 //! ```
 
+pub mod error;
+pub mod fft;
 pub mod gemm;
 pub mod im2col;
 pub mod init;
@@ -26,6 +28,8 @@ pub mod shape;
 pub mod tensor;
 pub mod winograd;
 
+pub use error::KernelError;
+pub use fft::{fft_conv2d, fft_conv2d_into, fft_conv_scratch_elems, fft_plane_dims};
 pub use gemm::{
     gemm_kernel_name, gemm_packed_into, gemm_prepacked, gemm_prepacked_epilogue,
     gemm_prepacked_int8, gemm_prepacked_ternary, matmul, pack_a_i8_into, pack_a_into,
@@ -38,4 +42,6 @@ pub use im2col::{
 };
 pub use shape::Shape;
 pub use tensor::Tensor;
-pub use winograd::winograd_conv2d;
+pub use winograd::{
+    winograd4_conv2d, winograd4_conv2d_into, winograd4_scratch_elems, winograd_conv2d,
+};

@@ -270,3 +270,119 @@ fn autotune_cache_reuse_is_deterministic() {
     assert_eq!(cache_after_first, cache_after_second);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A single large-kernel stem layer where the FFT algorithm removes
+/// two orders of magnitude of arithmetic and all of im2col's pack
+/// traffic: the cost model must select it unprompted.
+#[test]
+fn cost_model_selects_fft_for_large_kernel_stem() {
+    let mut net = Network::new(vec![
+        Box::new(Conv2d::new(2, 2, 31, 1, 0, 11)) as Box<dyn cnn_stack::nn::Layer>
+    ])
+    .unwrap();
+    let cfg = ExecConfig::serial();
+    let plan = PlanCompiler::standard()
+        .run(&mut net, &[1, 2, 98, 98], &cfg)
+        .unwrap();
+    let step = &plan.steps()[0];
+    assert_eq!(
+        step.cfg.conv_algo,
+        ConvAlgorithm::Fft,
+        "31×31 over 98×98 should price FFT below im2col+packed; step: {}",
+        step.name
+    );
+    assert!(
+        step.name.ends_with("[fft]"),
+        "selection must be visible in the step name: {}",
+        step.name
+    );
+}
+
+/// Under a memory budget the solver must walk the conv off the packed
+/// im2col engine onto Winograd F(4×4) — the fastest candidate with a
+/// strictly smaller workspace — rather than all the way down to the
+/// direct kernel.
+#[test]
+fn budget_solver_prefers_winograd4_over_direct_as_refuge() {
+    let shape = [2usize, 16, 32, 32];
+    let free_cfg = ExecConfig::serial();
+    let mut net = Network::new(vec![
+        Box::new(Conv2d::new(16, 16, 3, 1, 1, 5)) as Box<dyn cnn_stack::nn::Layer>
+    ])
+    .unwrap();
+    let free_plan = PlanCompiler::standard()
+        .run(&mut net, &shape, &free_cfg)
+        .unwrap();
+    assert_eq!(free_plan.steps()[0].cfg.conv_algo, ConvAlgorithm::Im2col);
+    let free_peak = free_plan.footprint().peak_bytes;
+
+    let capped = ExecConfig::builder()
+        .plan_budget(free_peak - 1)
+        .build()
+        .unwrap();
+    let mut net = Network::new(vec![
+        Box::new(Conv2d::new(16, 16, 3, 1, 1, 5)) as Box<dyn cnn_stack::nn::Layer>
+    ])
+    .unwrap();
+    let plan = PlanCompiler::standard()
+        .run(&mut net, &shape, &capped)
+        .unwrap();
+    let step = &plan.steps()[0];
+    assert_eq!(
+        step.cfg.conv_algo,
+        ConvAlgorithm::WinogradF4,
+        "the budget refuge should be F(4×4), not direct; step: {}",
+        step.name
+    );
+    assert!(plan.footprint().peak_bytes < free_peak);
+
+    // The demoted plan still computes the right function.
+    let input = deterministic_input(shape);
+    let mut direct_net = Network::new(vec![
+        Box::new(Conv2d::new(16, 16, 3, 1, 1, 5)) as Box<dyn cnn_stack::nn::Layer>
+    ])
+    .unwrap();
+    let want = direct_net.forward(&input, Phase::Eval, &ExecConfig::serial());
+    let mut session = InferenceSession::new(&mut net, plan).unwrap();
+    let got = session.run(&input).unwrap();
+    let scale = want.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    for (g, r) in got.data().iter().zip(want.data()) {
+        assert!((g - r).abs() <= 1e-3 * scale.max(1.0));
+    }
+}
+
+/// Autotune over a stem whose candidate list now includes FFT stays
+/// deterministic: the second compilation is a pure cache hit (byte
+/// stable file) and reproduces the identical selection.
+#[test]
+fn autotune_with_fft_candidate_is_cache_deterministic() {
+    let dir = std::env::temp_dir().join(format!("cnn-stack-fft-tune-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("tune.tsv");
+    let shape = [1usize, 2, 98, 98];
+    let cfg = ExecConfig::serial();
+    let compiler = PlanCompiler::standard().with_pass(Autotune::with_cache_path(&cache));
+
+    let mut net_a = Network::new(vec![
+        Box::new(Conv2d::new(2, 2, 31, 1, 0, 17)) as Box<dyn cnn_stack::nn::Layer>
+    ])
+    .unwrap();
+    let plan_a = compiler.run(&mut net_a, &shape, &cfg).unwrap();
+    let cache_first = std::fs::read_to_string(&cache).unwrap();
+    assert!(!cache_first.is_empty());
+
+    let mut net_b = Network::new(vec![
+        Box::new(Conv2d::new(2, 2, 31, 1, 0, 17)) as Box<dyn cnn_stack::nn::Layer>
+    ])
+    .unwrap();
+    let plan_b = compiler.run(&mut net_b, &shape, &cfg).unwrap();
+    let cache_second = std::fs::read_to_string(&cache).unwrap();
+
+    assert_eq!(cache_first, cache_second, "cache hit must not rewrite");
+    assert_eq!(
+        plan_a.steps()[0].cfg.conv_algo,
+        plan_b.steps()[0].cfg.conv_algo
+    );
+    assert_eq!(plan_a.steps()[0].name, plan_b.steps()[0].name);
+    let _ = std::fs::remove_dir_all(&dir);
+}

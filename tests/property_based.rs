@@ -170,7 +170,8 @@ proptest! {
         let weights = Tensor::from_fn([out_c, c, 3, 3], |i| {
             (((i as u64 + seed) * 40503) % 31) as f32 * 0.05 - 0.75
         });
-        let got = cnn_stack::tensor::winograd_conv2d(&input, &weights, None, pad);
+        let got = cnn_stack::tensor::winograd_conv2d(&input, &weights, None, pad)
+            .expect("eligible 3x3 layer");
         // Reference via im2col + GEMM.
         let geom = Conv2dGeometry::new(c, h, w, 3, 3, 1, pad);
         let wmat = weights.reshape([out_c, c * 9]);
